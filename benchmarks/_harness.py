@@ -1,0 +1,29 @@
+"""Shared benchmark utilities (imported by every bench module)."""
+
+from __future__ import annotations
+
+from repro.engine import EngineConfig
+
+#: One engine iteration per point keeps figure-scale sweeps fast; the engine
+#: is deterministic, so more iterations would not change the series.
+BENCH_ENGINE = EngineConfig(iterations=1)
+
+#: The paper's batch ladder for figure sweeps.
+BATCH_LADDER = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Experiment tables queued for the end-of-session summary. pytest's
+#: fd-level capture swallows prints made during tests; the conftest's
+#: pytest_terminal_summary hook flushes this buffer through the terminal
+#: reporter, so the regenerated tables land in the bench log.
+REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue experiment output for the end-of-session summary."""
+    REPORTS.append(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed round (sweeps are seconds-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,49 @@
+"""Ablation — TKLQT classification vs the framework-tax baseline [14].
+
+The paper argues TKLQT pinpoints the launch path directly while the
+latency-curve method only observes aggregate flatness. This ablation runs
+both classifiers on identical sweeps and reports where their transition
+points land.
+"""
+
+from _harness import BATCH_LADDER, BENCH_ENGINE, report, run_once
+from repro.analysis import classify_latency_curve, run_batch_sweep
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.viz import render_table
+from repro.workloads import BERT_BASE, GPT2
+
+PLATFORMS = ("Intel+H100", "AMD+A100", "GH200")
+
+
+def _both_classifiers(model):
+    sweep = run_batch_sweep(model, (INTEL_H100, AMD_A100, GH200), BATCH_LADDER,
+                            seq_len=512, engine_config=BENCH_ENGINE)
+    out = {}
+    for platform in PLATFORMS:
+        tklqt_star = sweep.transition(platform).batch_size
+        framework = classify_latency_curve(
+            list(sweep.batch_sizes), sweep.ttft_series(platform))
+        out[platform] = (tklqt_star, framework.transition_batch_size)
+    return out
+
+
+def test_ablation_tklqt_vs_framework_tax(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {model.name: _both_classifiers(model)
+                 for model in (BERT_BASE, GPT2)})
+    rows = []
+    for model_name, per_platform in results.items():
+        for platform, (tklqt, framework) in per_platform.items():
+            rows.append([model_name, platform, str(tklqt), str(framework)])
+    report(render_table(
+        ["model", "platform", "TKLQT star", "framework-tax transition"], rows,
+        title="Ablation: transition batch size per classifier"))
+
+    for per_platform in results.values():
+        for tklqt, framework in per_platform.values():
+            # Both classifiers must find a transition within the sweep, and
+            # agree within one batch doubling (the paper's 'similar
+            # classification' claim).
+            assert tklqt is not None and framework is not None
+            assert 0.5 <= framework / tklqt <= 2.0

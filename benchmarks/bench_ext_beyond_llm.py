@@ -1,0 +1,68 @@
+"""Extension — the paper's future-work workloads: DLRM and GCN.
+
+Section VI plans to broaden the study "to include recommendation models
+(RMs) and graph neural networks (GNNs)". This bench runs both through SKIP
+on all three platforms: DLRM's tiny embedding gathers make it the most
+launch-bound workload in the suite (staying CPU-bound to very large batch),
+while GCN's bandwidth-heavy aggregation saturates the GPU almost
+immediately — bracketing the Transformer results from both sides.
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import run
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.skip import Boundedness, classify_metrics, compute_metrics
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads.gnn import GCN_MEDIUM, build_gcn_graph
+from repro.workloads.recsys import DLRM_SMALL, build_dlrm_graph
+
+PLATFORMS = (INTEL_H100, AMD_A100, GH200)
+DLRM_BATCHES = (64, 512, 4096)
+
+
+def _characterize():
+    out = {}
+    for platform in PLATFORMS:
+        for batch in DLRM_BATCHES:
+            graph = build_dlrm_graph(DLRM_SMALL, batch)
+            result = run(graph, platform, config=BENCH_ENGINE)
+            out[("dlrm", platform.name, batch)] = compute_metrics(result.trace)
+        gcn = build_gcn_graph(GCN_MEDIUM)
+        result = run(gcn, platform, config=BENCH_ENGINE)
+        out[("gcn", platform.name, 1)] = compute_metrics(result.trace)
+    return out
+
+
+def test_ext_dlrm_and_gcn(benchmark):
+    grid = run_once(benchmark, _characterize)
+    rows = []
+    for (workload, platform, batch), metrics in grid.items():
+        rows.append([
+            workload, platform, batch,
+            f"{ns_to_ms(metrics.inference_latency_ns):.3f}",
+            f"{100 * metrics.gpu_busy_ns / metrics.inference_latency_ns:.0f}%",
+            classify_metrics(metrics).value,
+        ])
+    report(render_table(
+        ["workload", "platform", "batch", "latency (ms)", "GPU busy",
+         "bound"],
+        rows, title="Extension: future-work workloads through SKIP"))
+
+    # DLRM: launch-bound to thousands of samples per batch on every
+    # platform — the extreme version of the paper's CPU-bound story.
+    for platform in PLATFORMS:
+        assert classify_metrics(
+            grid[("dlrm", platform.name, 64)]) is Boundedness.CPU_BOUND
+        assert classify_metrics(
+            grid[("dlrm", platform.name, 512)]) is Boundedness.CPU_BOUND
+    # GCN: a single large graph already saturates the GPU.
+    for platform in PLATFORMS:
+        metrics = grid[("gcn", platform.name, 1)]
+        assert metrics.gpu_busy_ns > 0.5 * metrics.inference_latency_ns
+    # The coupling inversion carries over: CPU-bound DLRM favors the LC
+    # CPUs; bandwidth-bound GCN favors GH200.
+    assert (grid[("dlrm", "Intel+H100", 64)].inference_latency_ns
+            < grid[("dlrm", "GH200", 64)].inference_latency_ns)
+    assert (grid[("gcn", "GH200", 1)].inference_latency_ns
+            < grid[("gcn", "Intel+H100", 1)].inference_latency_ns)

@@ -1,0 +1,77 @@
+"""Extension — decode-phase characterization.
+
+The paper measures prefill (TTFT) and notes decode stresses the memory
+subsystem (Section II-A); this extension characterizes the decode step with
+SKIP. One token per sequence makes every kernel tiny, so decode is deeply
+launch/dispatch-bound at low batch — the strongest case for CUDA graphs and
+kernel fusion.
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import ExecutionMode, run
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.skip import classify_metrics, compute_metrics, Boundedness
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import LLAMA_3_2_1B, Phase
+
+BATCHES = (1, 8, 64)
+CONTEXT = 1024
+
+
+def _decode_grid():
+    grid = {}
+    for platform in (INTEL_H100, AMD_A100, GH200):
+        for batch in BATCHES:
+            result = run(LLAMA_3_2_1B, platform, batch_size=batch, seq_len=1,
+                         phase=Phase.DECODE, context_len=CONTEXT,
+                         config=BENCH_ENGINE)
+            grid[(platform.name, batch)] = compute_metrics(result.trace)
+    return grid
+
+
+def test_ext_decode_step_characterization(benchmark):
+    grid = run_once(benchmark, _decode_grid)
+    rows = []
+    for (platform, batch), metrics in grid.items():
+        rows.append([
+            platform, batch,
+            f"{ns_to_ms(metrics.inference_latency_ns):.2f}",
+            f"{ns_to_ms(metrics.gpu_busy_ns):.2f}",
+            classify_metrics(metrics).value,
+        ])
+    report(render_table(
+        ["platform", "batch", "step (ms)", "GPU busy (ms)", "bound"],
+        rows, title=f"Extension: Llama-3.2-1B decode step, context={CONTEXT}"))
+
+    # Decode is CPU/launch-bound across the board at these batch sizes —
+    # kernel work per step is tiny relative to 421 dispatches.
+    for (platform, batch), metrics in grid.items():
+        if batch <= 8:
+            assert classify_metrics(metrics) is Boundedness.CPU_BOUND, (
+                platform, batch)
+            assert metrics.gpu_busy_ns < 0.7 * metrics.inference_latency_ns
+    # CPU-bound decode => the x86 LC systems beat GH200 at BS=1, the same
+    # inversion as prefill.
+    assert (grid[("Intel+H100", 1)].inference_latency_ns
+            < grid[("GH200", 1)].inference_latency_ns)
+
+
+def test_ext_decode_cuda_graph_gain(benchmark):
+    def _pair():
+        eager = run(LLAMA_3_2_1B, GH200, batch_size=1, seq_len=1,
+                    phase=Phase.DECODE, context_len=CONTEXT,
+                    config=BENCH_ENGINE)
+        graphed = run(LLAMA_3_2_1B, GH200, batch_size=1, seq_len=1,
+                      phase=Phase.DECODE, context_len=CONTEXT,
+                      mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+                      config=BENCH_ENGINE)
+        return (compute_metrics(eager.trace).inference_latency_ns,
+                compute_metrics(graphed.trace).inference_latency_ns)
+
+    eager_ns, graphed_ns = run_once(benchmark, _pair)
+    speedup = eager_ns / graphed_ns
+    report(f"Extension: GH200 decode step eager {ns_to_ms(eager_ns):.2f} ms "
+           f"-> CUDA graph {ns_to_ms(graphed_ns):.2f} ms ({speedup:.1f}x)")
+    # This is why serving stacks capture decode in CUDA graphs.
+    assert speedup > 3.0

@@ -1,0 +1,64 @@
+"""Extension — energy per token across coupling paradigms.
+
+Table IV's platforms sit in different power classes (A100 500 W, H100 PCIe
+350 W, GH200 module ~900 W). Combining the activity-based power model with
+the profiled busy/idle times answers the efficiency question the latency
+figures leave open: who wins on joules per token, and where?
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import run
+from repro.hardware import AMD_A100, GH200, INTEL_H100, energy_of, get_power_model
+from repro.skip import compute_metrics
+from repro.viz import render_table
+from repro.workloads import BERT_BASE
+
+PLATFORMS = (INTEL_H100, AMD_A100, GH200)
+BATCHES = (1, 16, 128)
+SEQ = 512
+
+
+def _energy_grid():
+    grid = {}
+    for platform in PLATFORMS:
+        power = get_power_model(platform.name)
+        for batch in BATCHES:
+            result = run(BERT_BASE, platform, batch_size=batch, seq_len=SEQ,
+                         config=BENCH_ENGINE)
+            metrics = compute_metrics(result.trace)
+            grid[(platform.name, batch)] = energy_of(metrics, power)
+    return grid
+
+
+def test_ext_energy_per_token(benchmark):
+    grid = run_once(benchmark, _energy_grid)
+    rows = []
+    for (platform, batch), energy in grid.items():
+        tokens = batch * SEQ
+        rows.append([
+            platform, batch,
+            f"{energy.total_j:.2f}",
+            f"{1e3 * energy.energy_per_token_j(tokens):.3f}",
+            f"{energy.average_power_w:.0f}",
+        ])
+    report(render_table(
+        ["platform", "batch", "energy/inference (J)", "mJ/token",
+         "avg power (W)"],
+        rows, title="Extension: BERT prefill energy (activity-based model)"))
+
+    # Energy per token falls with batch on every platform (fixed CPU cost
+    # amortizes, idle burn shrinks).
+    for platform in PLATFORMS:
+        per_token = [grid[(platform.name, b)].energy_per_token_j(b * SEQ)
+                     for b in BATCHES]
+        assert per_token[0] > per_token[1] > per_token[2]
+    # At BS=1 the GH200 burns the most joules per token: highest power
+    # class *and* longest latency (the Grace bottleneck, in energy terms).
+    bs1 = {p.name: grid[(p.name, 1)].energy_per_token_j(SEQ)
+           for p in PLATFORMS}
+    assert max(bs1, key=bs1.get) == "GH200"
+    # At BS=128 GH200's 2x-faster completion beats its power premium over
+    # the A100 system.
+    bs128 = {p.name: grid[(p.name, 128)].energy_per_token_j(128 * SEQ)
+             for p in PLATFORMS}
+    assert bs128["GH200"] < bs128["AMD+A100"]

@@ -1,0 +1,43 @@
+"""Extension — MI300A tightly-coupled projection (the paper's future work).
+
+The paper plans to extend the study to AMD's MI300A (Section VI). The
+catalog carries a projection: unified physical HBM (no explicit transfers),
+on-package Infinity Fabric (cheapest launch path), a strong x86 CPU, and
+CDNA3-class compute. The projection predicts the TC design combines the LC
+systems' low-batch latency with the CC system's large-batch throughput.
+"""
+
+from _harness import BATCH_LADDER, BENCH_ENGINE, report, run_once
+from repro.analysis import find_crossover, run_batch_sweep
+from repro.hardware import GH200, INTEL_H100, MI300A
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import LLAMA_3_2_1B
+
+
+def _sweep():
+    return run_batch_sweep(LLAMA_3_2_1B, (INTEL_H100, GH200, MI300A),
+                           BATCH_LADDER, seq_len=512,
+                           engine_config=BENCH_ENGINE)
+
+
+def test_ext_mi300a_projection(benchmark):
+    sweep = run_once(benchmark, _sweep)
+    rows = [[platform, *[f"{ns_to_ms(v):.1f}" for v in
+                         sweep.ttft_series(platform)]]
+            for platform in ("Intel+H100", "GH200", "MI300A")]
+    report(render_table(
+        ["platform \\ BS", *[str(b) for b in BATCH_LADDER]], rows,
+        title="Extension: Llama-3.2-1B TTFT (ms) with the MI300A projection"))
+
+    # TC projection: never loses the low-batch race the way GH200 does...
+    bs1 = {p: sweep.point(p, 1).ttft_ns for p in ("Intel+H100", "GH200",
+                                                  "MI300A")}
+    assert bs1["MI300A"] < bs1["GH200"]
+    assert bs1["MI300A"] < 1.3 * bs1["Intel+H100"]
+    # ...while keeping (and extending) the CC system's large-batch win.
+    vs_intel = find_crossover(sweep, "MI300A", "Intel+H100")
+    assert vs_intel.found and vs_intel.batch_size <= 4
+    assert vs_intel.speedup_at(sweep.batch_sizes, 64) > 1.8
+    vs_gh200 = find_crossover(sweep, "MI300A", "GH200")
+    assert vs_gh200.speedup_at(sweep.batch_sizes, 1) > 1.5

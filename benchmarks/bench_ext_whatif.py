@@ -1,0 +1,44 @@
+"""Extension — the Grace bottleneck, quantified.
+
+The paper's key takeaway for Section V-D: "Addressing these bottlenecks
+requires enhancing CPU performance ... in CC/TC designs". This bench
+answers *how much* CPU enhancement: the dispatch speedup GH200 needs to
+match Intel+H100 at latency-critical batch sizes, per model.
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.analysis import required_cpu_speedup
+from repro.hardware import GH200, INTEL_H100
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import BERT_BASE, GPT2, LLAMA_3_2_1B
+
+
+def _requirements():
+    out = {}
+    for model in (BERT_BASE, GPT2, LLAMA_3_2_1B):
+        out[model.name] = required_cpu_speedup(
+            model, GH200, INTEL_H100, batch_size=1,
+            engine_config=BENCH_ENGINE)
+    return out
+
+
+def test_ext_required_grace_speedup(benchmark):
+    requirements = run_once(benchmark, _requirements)
+    rows = []
+    for name, req in requirements.items():
+        rows.append([
+            name,
+            f"{ns_to_ms(req.baseline_latency_ns):.2f}",
+            f"{ns_to_ms(req.reference_latency_ns):.2f}",
+            f"{req.required_speedup:.2f}x",
+        ])
+    report(render_table(
+        ["model", "GH200 BS=1 (ms)", "Intel+H100 BS=1 (ms)",
+         "required Grace CPU speedup"],
+        rows, title="Extension: CPU speedup for GH200 to match Intel+H100"))
+
+    for name, req in requirements.items():
+        # The Grace gap is the dispatch-score ratio (~2.7x) for CPU-bound
+        # models; partially GPU-overlapped models need a bit less.
+        assert 1.5 < req.required_speedup < 3.5, name

@@ -1,0 +1,75 @@
+"""Fig. 10 — prefill TTFT, GPU idle, and CPU idle vs batch size for the
+encoder models on all three platforms.
+
+Paper anchors: crossover at BS=16; at BS=64 GH200 is 1.6x/2.4x faster than
+Intel+H100/AMD+A100; at BS=1 GH200 is 2.8x/1.9x *slower*; GH200 holds
+near-constant TTFT until BS~32.
+"""
+
+import pytest
+
+from _harness import BATCH_LADDER, BENCH_ENGINE, report, run_once
+from repro.analysis import find_balanced_region, find_crossover, run_batch_sweep
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import BERT_BASE, XLM_ROBERTA_BASE
+
+PLATFORMS = ("Intel+H100", "AMD+A100", "GH200")
+
+
+def _sweep(model):
+    return run_batch_sweep(model, (INTEL_H100, AMD_A100, GH200), BATCH_LADDER,
+                           seq_len=512, engine_config=BENCH_ENGINE)
+
+
+def _render(model_name, sweep):
+    blocks = []
+    for panel, series_fn in (
+        ("(a) TTFT (ms)", sweep.ttft_series),
+        ("(b) GPU idle (ms)", sweep.gpu_idle_series),
+        ("(c) CPU idle (ms)", sweep.cpu_idle_series),
+    ):
+        rows = [[platform, *[f"{ns_to_ms(v):.2f}" for v in series_fn(platform)]]
+                for platform in PLATFORMS]
+        blocks.append(render_table(
+            ["platform \\ BS", *[str(b) for b in BATCH_LADDER]], rows,
+            title=f"Fig. 10{panel[1]} {panel[4:]}: {model_name}"))
+    report("\n\n".join(blocks))
+
+
+def _check(sweep):
+    # Crossover point at BS=16 (paper).
+    assert find_crossover(sweep, "GH200", "Intel+H100").batch_size == 16
+    # BS=1 inversion: GH200 slowest.
+    bs1 = {p: sweep.point(p, 1).ttft_ns for p in PLATFORMS}
+    assert bs1["GH200"] > bs1["AMD+A100"] > bs1["Intel+H100"]
+    assert bs1["GH200"] / bs1["Intel+H100"] == pytest.approx(2.8, rel=0.25)
+    assert bs1["GH200"] / bs1["AMD+A100"] == pytest.approx(1.9, rel=0.15)
+    # BS=64: GH200 wins by roughly the paper's factors.
+    cp_amd = find_crossover(sweep, "GH200", "AMD+A100")
+    assert cp_amd.speedup_at(sweep.batch_sizes, 64) == pytest.approx(2.4,
+                                                                     rel=0.2)
+    # Idle-time story: GPU idle falls with batch, CPU idle rises.
+    for platform in PLATFORMS:
+        gpu_idle = sweep.gpu_idle_series(platform)
+        cpu_idle = sweep.cpu_idle_series(platform)
+        assert gpu_idle[0] > gpu_idle[-1]
+        assert cpu_idle[-1] > cpu_idle[0]
+    # Balanced region sits at larger batches on the CC system (paper:
+    # encoders LC BS=4-8 vs CC BS=16-32).
+    lc_region = find_balanced_region(sweep, "Intel+H100")
+    cc_region = find_balanced_region(sweep, "GH200")
+    assert cc_region.low > lc_region.low
+
+
+def test_fig10_bert(benchmark):
+    sweep = run_once(benchmark, _sweep, BERT_BASE)
+    _render("bert-base-uncased", sweep)
+    _check(sweep)
+
+
+def test_fig10_xlmr(benchmark):
+    sweep = run_once(benchmark, _sweep, XLM_ROBERTA_BASE)
+    _render("xlm-roberta-base", sweep)
+    _check(sweep)

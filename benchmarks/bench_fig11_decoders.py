@@ -1,0 +1,74 @@
+"""Fig. 11 — prefill TTFT, GPU idle, and CPU idle vs batch size for the
+decoder models (GPT-2, Llama-3.2-1B) on all three platforms.
+
+Paper anchors: GPT-2 crossover at ~BS=4 (ours lands at BS=8); Llama-3.2-1B
+1.9x/2.7x speedups at BS=16; decoder balanced regions LC BS=2-4 vs CC
+BS=4-8.
+"""
+
+import pytest
+
+from _harness import BATCH_LADDER, BENCH_ENGINE, report, run_once
+from repro.analysis import find_balanced_region, find_crossover, run_batch_sweep
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import GPT2, LLAMA_3_2_1B
+
+PLATFORMS = ("Intel+H100", "AMD+A100", "GH200")
+
+
+def _sweep(model):
+    return run_batch_sweep(model, (INTEL_H100, AMD_A100, GH200), BATCH_LADDER,
+                           seq_len=512, engine_config=BENCH_ENGINE)
+
+
+def _render(model_name, sweep):
+    blocks = []
+    for panel, series_fn in (
+        ("(a) TTFT (ms)", sweep.ttft_series),
+        ("(b) GPU idle (ms)", sweep.gpu_idle_series),
+        ("(c) CPU idle (ms)", sweep.cpu_idle_series),
+    ):
+        rows = [[platform, *[f"{ns_to_ms(v):.2f}" for v in series_fn(platform)]]
+                for platform in PLATFORMS]
+        blocks.append(render_table(
+            ["platform \\ BS", *[str(b) for b in BATCH_LADDER]], rows,
+            title=f"Fig. 11{panel[1]} {panel[4:]}: {model_name}"))
+    report("\n\n".join(blocks))
+
+
+def test_fig11_gpt2(benchmark):
+    sweep = run_once(benchmark, _sweep, GPT2)
+    _render("gpt2", sweep)
+    # Decoder crossovers come earlier than the encoders' BS=16 (paper: BS=4
+    # for GPT-2; our simulator lands one step later at BS=8).
+    cp = find_crossover(sweep, "GH200", "Intel+H100")
+    assert cp.found and cp.batch_size <= 8
+    # GPU-bound region: GH200 wins decisively at large batch.
+    assert cp.speedup_at(sweep.batch_sizes, 128) > 1.5
+
+
+def test_fig11_llama(benchmark):
+    sweep = run_once(benchmark, _sweep, LLAMA_3_2_1B)
+    _render("llama-3.2-1b", sweep)
+    vs_intel = find_crossover(sweep, "GH200", "Intel+H100")
+    vs_amd = find_crossover(sweep, "GH200", "AMD+A100")
+    assert vs_intel.speedup_at(sweep.batch_sizes, 16) == pytest.approx(
+        1.9, rel=0.15)
+    assert vs_amd.speedup_at(sweep.batch_sizes, 16) == pytest.approx(
+        2.7, rel=0.15)
+    # Llama crosses over early (paper: ~BS=1; ours ~BS=8 — see
+    # EXPERIMENTS.md on this deviation).
+    assert vs_intel.found and vs_intel.batch_size <= 8
+
+
+def test_fig11_balanced_regions(benchmark):
+    sweep = run_once(benchmark, _sweep, GPT2)
+    lc_region = find_balanced_region(sweep, "Intel+H100")
+    cc_region = find_balanced_region(sweep, "GH200")
+    report(f"balanced regions (gpt2): LC BS={lc_region.low}-{lc_region.high}, "
+           f"CC BS={cc_region.low}-{cc_region.high} "
+           f"(paper: decoders LC 2-4, CC 4-8)")
+    assert lc_region.found and cc_region.found
+    assert cc_region.low >= lc_region.low

@@ -1,0 +1,43 @@
+"""Fig. 6 — TKLQT vs batch size for the encoder models, with the
+CPU-bound -> GPU-bound transition stars.
+
+Paper: stars at BS~8 for both LC systems and BS~32 for GH200 (a 4x wider
+CPU-bound region on the closely-coupled system).
+"""
+
+from _harness import BATCH_LADDER, BENCH_ENGINE, report, run_once
+from repro.analysis import run_batch_sweep
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.skip import transition_report
+from repro.viz import sparkline
+from repro.workloads import BERT_BASE, XLM_ROBERTA_BASE
+
+PAPER_STARS = {"Intel+H100": 8, "AMD+A100": 8, "GH200": 32}
+
+
+def _sweep(model):
+    return run_batch_sweep(model, (INTEL_H100, AMD_A100, GH200), BATCH_LADDER,
+                           seq_len=512, engine_config=BENCH_ENGINE)
+
+
+def _check(model, sweep):
+    lines = [f"Fig. 6 ({model.name}): TKLQT vs batch size"]
+    for platform, paper_star in PAPER_STARS.items():
+        transition = sweep.transition(platform)
+        lines.append(transition_report(
+            f"{model.name} on {platform} (paper star: BS={paper_star})",
+            transition))
+        lines.append("  shape: " + sparkline(transition.tklqt_ns))
+    report("\n".join(lines))
+    for platform, paper_star in PAPER_STARS.items():
+        assert sweep.transition(platform).batch_size == paper_star, platform
+
+
+def test_fig6_bert_tklqt(benchmark):
+    sweep = run_once(benchmark, _sweep, BERT_BASE)
+    _check(BERT_BASE, sweep)
+
+
+def test_fig6_xlmr_tklqt(benchmark):
+    sweep = run_once(benchmark, _sweep, XLM_ROBERTA_BASE)
+    _check(XLM_ROBERTA_BASE, sweep)

@@ -1,0 +1,67 @@
+"""Fig. 7 — scalable kernel-fusion recommendation metrics from SKIP during
+prefill on Intel+H100 (GPT-2 and XLM-RoBERTa, both CPU-bound at these
+batch sizes).
+
+Four panels: (a) unique fusion chains per (batch, length); (b) total chain
+instances; (c) kernels fused at PS=1; (d) eager kernel launches K_eager.
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import run
+from repro.hardware import INTEL_H100
+from repro.skip import analyze_trace
+from repro.viz import render_table
+from repro.workloads import GPT2, XLM_ROBERTA_BASE
+
+BATCHES = (1, 4, 16, 64)
+LENGTHS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _analyze(model):
+    per_batch = {}
+    for batch in BATCHES:
+        result = run(model, INTEL_H100, batch_size=batch, seq_len=512,
+                     config=BENCH_ENGINE)
+        per_batch[batch] = analyze_trace(result.trace, lengths=LENGTHS)
+    return per_batch
+
+
+def _render(model_name, per_batch):
+    panels = {
+        "(a) unique chains": lambda a: a.unique_candidates,
+        "(b) total instances": lambda a: a.total_instances,
+        "(c) kernels fused (PS=1)": lambda a: int(a.kernels_fused),
+        "(d) K_eager": lambda a: int(a.k_eager),
+    }
+    blocks = []
+    for title, extract in panels.items():
+        rows = []
+        for batch, analyses in per_batch.items():
+            rows.append([f"BS={batch}", *[extract(a) for a in analyses]])
+        blocks.append(render_table(
+            ["batch \\ L", *[str(length) for length in LENGTHS]], rows,
+            title=f"Fig. 7{title[1]} {title[4:]}: {model_name}"))
+    report("\n\n".join(blocks))
+
+
+def _check(per_batch):
+    for batch, analyses in per_batch.items():
+        totals = [a.total_instances for a in analyses]
+        # (b): total instances shrink as the chain length grows.
+        assert totals == sorted(totals, reverse=True)
+        # (d): K_eager is batch-invariant for prefill.
+        assert analyses[0].k_eager == per_batch[BATCHES[0]][0].k_eager
+        # (c): long chains fuse only a few non-overlapping candidates.
+        assert analyses[-1].fused_chain_count <= 3
+
+
+def test_fig7_gpt2_candidates(benchmark):
+    per_batch = run_once(benchmark, _analyze, GPT2)
+    _render("gpt2", per_batch)
+    _check(per_batch)
+
+
+def test_fig7_xlmr_candidates(benchmark):
+    per_batch = run_once(benchmark, _analyze, XLM_ROBERTA_BASE)
+    _render("xlm-roberta-base", per_batch)
+    _check(per_batch)

@@ -1,0 +1,43 @@
+"""Fig. 8 — idealized speedup from pure launch savings vs chain length,
+GPT-2 and XLM-RoBERTa prefill on Intel+H100.
+
+Paper: modest (1.05x-1.09x) at short chains, up to 2.7x (GPT-2) and 6.8x
+(XLM-R) at L=256.
+"""
+
+import pytest
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import run
+from repro.hardware import INTEL_H100
+from repro.skip import analyze_trace
+from repro.viz import render_series
+from repro.workloads import GPT2, XLM_ROBERTA_BASE
+
+LENGTHS = (2, 4, 8, 16, 32, 64, 128, 256)
+PAPER_MAX = {"gpt2": 2.7, "xlm-roberta-base": 6.8}
+
+
+def _speedups(model):
+    result = run(model, INTEL_H100, batch_size=1, seq_len=512,
+                 config=BENCH_ENGINE)
+    analyses = analyze_trace(result.trace, lengths=LENGTHS)
+    return {a.length: a.ideal_speedup for a in analyses}
+
+
+def _check(model, speedups):
+    series = [speedups[length] for length in LENGTHS]
+    report(render_series(
+        f"Fig. 8 {model.name} ideal speedup (paper max {PAPER_MAX[model.name]}x)",
+        LENGTHS, series, y_format="{:.2f}x"))
+    assert 1.0 < speedups[2] < 1.15          # short chains are modest
+    assert max(series) == speedups[256]       # best at the longest chain
+    assert speedups[256] == pytest.approx(PAPER_MAX[model.name], rel=0.15)
+
+
+def test_fig8_gpt2_ideal_speedup(benchmark):
+    _check(GPT2, run_once(benchmark, _speedups, GPT2))
+
+
+def test_fig8_xlmr_ideal_speedup(benchmark):
+    _check(XLM_ROBERTA_BASE, run_once(benchmark, _speedups, XLM_ROBERTA_BASE))

@@ -1,0 +1,50 @@
+"""Fig. 9 — idealized proximity-score fusion speedups (blue bars) vs the
+measured torch.compile reduce-overhead speedup (orange bar), GPT-2 prefill
+BS=1 on Intel+H100.
+
+Paper: PS at L=256 reaches ~1.3x the torch.compile bar (TC ~2.1x). Our
+simulated torch.compile removes effectively all framework dispatch, so its
+bar lands higher (~3.5x) and the PS/TC ratio inverts — a documented
+deviation (see EXPERIMENTS.md): Eq. 8 is a launch-count ratio while the TC
+bar is an end-to-end latency ratio.
+"""
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import ExecutionMode, run
+from repro.hardware import INTEL_H100
+from repro.skip import analyze_trace, compute_metrics
+from repro.viz import render_table
+from repro.workloads import GPT2
+
+LENGTHS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _collect():
+    eager = run(GPT2, INTEL_H100, batch_size=1, seq_len=512,
+                config=BENCH_ENGINE)
+    eager_il = compute_metrics(eager.trace).inference_latency_ns
+    ps_speedups = {a.length: a.ideal_speedup
+                   for a in analyze_trace(eager.trace, lengths=LENGTHS)}
+    compiled = run(GPT2, INTEL_H100, batch_size=1, seq_len=512,
+                   mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+                   config=BENCH_ENGINE)
+    tc_speedup = eager_il / compute_metrics(compiled.trace).inference_latency_ns
+    return ps_speedups, tc_speedup
+
+
+def test_fig9_ps_vs_torch_compile(benchmark):
+    ps_speedups, tc_speedup = run_once(benchmark, _collect)
+    rows = [[f"PS L={length}", f"{ps_speedups[length]:.2f}x"]
+            for length in LENGTHS]
+    rows.append(["torch.compile (reduce-overhead)", f"{tc_speedup:.2f}x"])
+    rows.append(["paper: PS L=256 / TC", "2.7x / ~2.1x"])
+    report(render_table(["bar", "speedup over eager"], rows,
+                        title="Fig. 9: GPT-2 prefill BS=1 on Intel+H100"))
+
+    # Shape checks that do hold: PS grows with L; both optimizations give
+    # large speedups over eager for this CPU-bound model; the best PS bar is
+    # the L=256 one, in the same band as torch.compile.
+    assert ps_speedups[256] == max(ps_speedups.values())
+    assert ps_speedups[256] > 2.0
+    assert tc_speedup > 2.0
+    assert 0.5 < ps_speedups[256] / tc_speedup < 1.5

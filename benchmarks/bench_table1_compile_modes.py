@@ -1,0 +1,63 @@
+"""Table I — torch.compile mode compile times and TTFT speedups.
+
+Gemma-2B, batch size 1, 1024-token input, Intel+H100.
+"""
+
+import pytest
+
+from _harness import BENCH_ENGINE, report, run_once
+from repro.engine import ExecutionMode, run
+from repro.hardware import INTEL_H100
+from repro.skip import compute_metrics
+from repro.viz import render_table
+from repro.workloads import GEMMA_2B
+
+PAPER = {
+    ExecutionMode.EAGER: (0.40644, 1.0),
+    ExecutionMode.COMPILE_DEFAULT: (6.2844, 1.203),
+    ExecutionMode.COMPILE_REDUCE_OVERHEAD: (12.7469, 1.2394),
+    ExecutionMode.COMPILE_MAX_AUTOTUNE: (387.3, 1.317),
+}
+
+MODES = tuple(PAPER)
+
+
+def _run_all_modes():
+    out = {}
+    for mode in MODES:
+        result = run(GEMMA_2B, INTEL_H100, batch_size=1, seq_len=1024,
+                     mode=mode, config=BENCH_ENGINE)
+        metrics = compute_metrics(result.trace)
+        out[mode] = (result.compile_report.total_s,
+                     metrics.inference_latency_ns)
+    return out
+
+
+def test_table1_compile_modes(benchmark):
+    results = run_once(benchmark, _run_all_modes)
+    eager_il = results[ExecutionMode.EAGER][1]
+    rows = []
+    for mode in MODES:
+        compile_s, il = results[mode]
+        speedup = eager_il / il
+        paper_compile, paper_speedup = PAPER[mode]
+        rows.append([mode.value, f"{compile_s:.3f}", f"{paper_compile:.3f}",
+                     f"{speedup:.3f}", f"{paper_speedup:.3f}"])
+    report(render_table(
+        ["mode", "compile (s)", "paper", "TTFT speedup", "paper"], rows,
+        title="Table I: torch.compile modes — Gemma-2B BS=1 seq=1024 on Intel+H100"))
+
+    # Shape checks: compile cost ladder is monotone; speedups ordered
+    # eager < default <= reduce-overhead < max-autotune; magnitudes close.
+    compiles = [results[m][0] for m in MODES]
+    assert compiles == sorted(compiles)
+    speedups = [eager_il / results[m][1] for m in MODES]
+    assert speedups[0] == 1.0
+    assert speedups[1] > 1.1
+    assert speedups[2] >= speedups[1]
+    assert speedups[3] > speedups[2]
+    for mode in MODES[1:]:
+        paper_compile, paper_speedup = PAPER[mode]
+        assert results[mode][0] == pytest.approx(paper_compile, rel=0.15)
+        assert eager_il / results[mode][1] == pytest.approx(paper_speedup,
+                                                            rel=0.1)

@@ -1,0 +1,36 @@
+"""Table V — nullKernel launch overhead and duration per platform."""
+
+import pytest
+
+from _harness import report, run_once
+from repro.hardware import PAPER_PLATFORMS, nullkernel_table
+from repro.viz import render_table
+
+PAPER_ROWS = {
+    "AMD+A100": (2260.5, 1440.0),
+    "Intel+H100": (2374.6, 1235.2),
+    "GH200": (2771.6, 1171.2),
+}
+
+
+def test_table5_nullkernel(benchmark):
+    results = run_once(benchmark, nullkernel_table, PAPER_PLATFORMS,
+                       samples=1000)
+    rows = []
+    for result in results:
+        paper_overhead, paper_duration = PAPER_ROWS[result.platform]
+        rows.append([
+            result.platform,
+            f"{result.launch_overhead_ns:.1f}",
+            f"{paper_overhead:.1f}",
+            f"{result.duration_ns:.1f}",
+            f"{paper_duration:.1f}",
+        ])
+    report(render_table(
+        ["platform", "launch ovh (ns)", "paper", "duration (ns)", "paper"],
+        rows, title="Table V: cudaLaunch nullKernel overhead / duration"))
+
+    for result in results:
+        paper_overhead, paper_duration = PAPER_ROWS[result.platform]
+        assert result.launch_overhead_ns == pytest.approx(paper_overhead)
+        assert result.duration_ns == pytest.approx(paper_duration)

@@ -1,0 +1,24 @@
+"""Benchmark-session configuration."""
+
+import os
+import sys
+
+# Make the sibling _harness module importable regardless of invocation dir.
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every regenerated table/figure after the test summary.
+
+    Written through the terminal reporter so pytest's capture does not
+    swallow the experiment output.
+    """
+    import _harness
+
+    if not _harness.REPORTS:
+        return
+    terminalreporter.section("regenerated paper tables & figures")
+    for block in _harness.REPORTS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,59 @@
+"""Agentic-pipeline latency: how per-stage batching compounds (Section II-A).
+
+Builds a three-stage agent chain — a planner LLM orchestrating a retrieval
+summarizer and a responder — and measures end-to-end latency across batch
+sizes on a loosely-coupled and a closely-coupled platform. The paper's
+motivation: if each stage batches for throughput, the cumulative delay
+becomes user-visible.
+
+Usage:
+    python examples/agentic_pipeline.py
+"""
+
+from repro import GH200, GPT2, INTEL_H100, LLAMA_3_2_1B
+from repro.serving import AgenticPipeline, LatencyModel, PipelineStage
+from repro.units import ns_to_ms
+from repro.viz import render_table
+
+STAGES = [
+    PipelineStage("planner", LLAMA_3_2_1B, prompt_len=384, output_tokens=48),
+    PipelineStage("summarizer", GPT2, prompt_len=256, output_tokens=64),
+    PipelineStage("responder", LLAMA_3_2_1B, prompt_len=192, output_tokens=96),
+]
+
+BATCHES = (1, 4, 16)
+
+
+def main() -> None:
+    rows = []
+    for platform in (INTEL_H100, GH200):
+        pipeline = AgenticPipeline(STAGES, LatencyModel(platform))
+        for batch in BATCHES:
+            result = pipeline.run(batch_size=batch)
+            rows.append([
+                platform.name,
+                batch,
+                f"{ns_to_ms(result.total_ns):.1f}",
+                f"{ns_to_ms(result.total_ttft_ns):.1f}",
+                result.slowest_stage().stage,
+            ])
+    print(render_table(
+        ["platform", "batch", "end-to-end (ms)", "sum of TTFTs (ms)",
+         "slowest stage"],
+        rows, title="Three-stage agent chain: planner -> summarizer -> responder"))
+
+    print("\nPer-stage breakdown at BS=1 on each platform:")
+    for platform in (INTEL_H100, GH200):
+        pipeline = AgenticPipeline(STAGES, LatencyModel(platform))
+        result = pipeline.run(batch_size=1)
+        parts = ", ".join(f"{s.stage}={ns_to_ms(s.total_ns):.1f}ms"
+                          for s in result.stages)
+        print(f"  {platform.name:12s} {parts}")
+
+    print("\nTakeaway: at low batch the LC system's stronger CPU wins every")
+    print("stage; batching for throughput multiplies the delay by the chain")
+    print("depth, which is exactly the paper's latency-sensitivity argument.")
+
+
+if __name__ == "__main__":
+    main()

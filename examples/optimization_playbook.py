@@ -1,0 +1,83 @@
+"""The optimization playbook: climb the latency ladder for one workload.
+
+Walks every optimization the paper discusses (plus the extensions) for one
+model on one platform, in the order a practitioner would apply them:
+
+1. eager baseline;
+2. proximity-score kernel fusion (the paper's contribution, applied);
+3. FlashAttention (domain-specific fusion);
+4. torch.compile reduce-overhead (CUDA graphs);
+5. max-autotune (graphs + Triton GEMMs) — with its compile-time price;
+6. speculative decoding on top of graphs, for generation workloads.
+
+Usage:
+    python examples/optimization_playbook.py [model] [platform] [batch]
+"""
+
+import sys
+
+from repro import ExecutionMode, get_model, get_platform, SkipProfiler
+from repro.engine import EngineConfig
+from repro.serving import LatencyModel, SpeculativeConfig, speculative_generation_ns
+from repro.skip import analyze_trace, combined_plan
+from repro.units import ns_to_ms
+from repro.viz import render_table
+from repro.workloads import GPT2
+
+FAST = EngineConfig(iterations=1)
+
+
+def main() -> None:
+    model = get_model(sys.argv[1] if len(sys.argv) > 1 else "llama-3.2-1b")
+    platform = get_platform(sys.argv[2] if len(sys.argv) > 2 else "GH200")
+    batch = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    profiler = SkipProfiler(platform, FAST)
+    baseline = profiler.profile(model, batch_size=batch, seq_len=512)
+    eager_ns = baseline.metrics.inference_latency_ns
+
+    rows = [["eager (baseline)", f"{ns_to_ms(eager_ns):.2f}", "1.00x", "-"]]
+
+    plan = combined_plan(analyze_trace(baseline.trace, threshold=0.99))
+    if plan is not None:
+        fused = profiler.profile(model, batch_size=batch, seq_len=512,
+                                 mode=ExecutionMode.PROXIMITY_FUSED,
+                                 fusion_plan=plan)
+        rows.append(["proximity fusion (paper)",
+                     f"{ns_to_ms(fused.metrics.inference_latency_ns):.2f}",
+                     f"{eager_ns / fused.metrics.inference_latency_ns:.2f}x",
+                     "-"])
+
+    for label, mode in (("FlashAttention-2", ExecutionMode.FLASH_ATTENTION),
+                        ("torch.compile reduce-overhead",
+                         ExecutionMode.COMPILE_REDUCE_OVERHEAD),
+                        ("torch.compile max-autotune",
+                         ExecutionMode.COMPILE_MAX_AUTOTUNE)):
+        result = profiler.profile(model, batch_size=batch, seq_len=512,
+                                  mode=mode)
+        compile_s = result.run_result.compile_report.total_s
+        rows.append([label,
+                     f"{ns_to_ms(result.metrics.inference_latency_ns):.2f}",
+                     f"{eager_ns / result.metrics.inference_latency_ns:.2f}x",
+                     f"{compile_s:.1f}s" if compile_s > 1 else "-"])
+
+    print(render_table(
+        ["optimization", "TTFT (ms)", "speedup", "compile cost"],
+        rows,
+        title=f"Optimization ladder: {model.name} BS={batch} on {platform.name}"))
+
+    print("\nGeneration (128 tokens) with speculative decoding on top of "
+          "CUDA graphs:")
+    graph_latency = LatencyModel(platform,
+                                 mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD)
+    speculative = speculative_generation_ns(
+        model, GPT2, graph_latency,
+        SpeculativeConfig(draft_tokens=5, acceptance_rate=0.8),
+        prompt_len=512, output_tokens=128, batch_size=batch)
+    print(f"  graph decode        : {ns_to_ms(speculative.baseline_ns):.1f} ms")
+    print(f"  + speculation (gpt2): {ns_to_ms(speculative.speculative_ns):.1f} ms"
+          f"  ({speculative.speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

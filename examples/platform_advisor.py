@@ -1,0 +1,65 @@
+"""Platform advisor: which coupled system serves a workload best, per batch?
+
+Reproduces the paper's Section V-D analysis for any cataloged model: sweeps
+batch sizes on all three platforms, locates the TKLQT transition stars, the
+cross-platform crossover points, and each platform's balanced-utilization
+region, then prints a per-batch recommendation.
+
+Usage:
+    python examples/platform_advisor.py [model-name]   # default: gpt2
+"""
+
+import sys
+
+from repro import PAPER_PLATFORMS, get_model, run_batch_sweep
+from repro.analysis import find_balanced_region, find_crossover
+from repro.engine import EngineConfig
+from repro.units import ns_to_ms
+from repro.viz import render_table
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    model = get_model(sys.argv[1] if len(sys.argv) > 1 else "gpt2")
+    print(f"Sweeping {model.summary()} on "
+          f"{', '.join(p.name for p in PAPER_PLATFORMS)} ...")
+    sweep = run_batch_sweep(model, PAPER_PLATFORMS, BATCHES,
+                            engine_config=EngineConfig(iterations=1))
+
+    rows = []
+    for batch in BATCHES:
+        ttfts = {p.name: sweep.point(p.name, batch).ttft_ns
+                 for p in PAPER_PLATFORMS}
+        winner = min(ttfts, key=ttfts.get)
+        rows.append([batch,
+                     *[f"{ns_to_ms(ttfts[p.name]):.2f}" for p in PAPER_PLATFORMS],
+                     winner])
+    print(render_table(
+        ["BS", *[f"{p.name} (ms)" for p in PAPER_PLATFORMS], "best"],
+        rows, title=f"\nTTFT by batch size — {model.name}"))
+
+    print("\nTKLQT transition stars (CPU-bound -> GPU-bound):")
+    for platform in PAPER_PLATFORMS:
+        star = sweep.transition(platform.name).batch_size
+        print(f"  {platform.name:12s} BS={star}")
+
+    cp = find_crossover(sweep, "GH200", "Intel+H100")
+    if cp.found:
+        print(f"\nGH200 overtakes Intel+H100 at BS={cp.batch_size} "
+              f"(speedup at BS=128: "
+              f"{cp.speedup_at(sweep.batch_sizes, 128):.2f}x)")
+    else:
+        print("\nGH200 never overtakes Intel+H100 in this sweep.")
+
+    print("\nBalanced-utilization regions (both PUs busy):")
+    for platform in PAPER_PLATFORMS:
+        region = find_balanced_region(sweep, platform.name)
+        if region.found:
+            print(f"  {platform.name:12s} BS={region.low}..{region.high}")
+        else:
+            print(f"  {platform.name:12s} (none within swept range)")
+
+
+if __name__ == "__main__":
+    main()

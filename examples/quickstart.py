@@ -1,0 +1,32 @@
+"""Quickstart: profile an LLM on a coupled platform with SKIP.
+
+Runs Llama-3.2-1B prefill on the GH200 model, prints the SKIP metric report,
+classifies the run as CPU- or GPU-bound, and prints the proximity-score
+fusion recommendations.
+
+Usage:
+    python examples/quickstart.py [batch_size]
+"""
+
+import sys
+
+from repro import GH200, LLAMA_3_2_1B, SkipProfiler
+from repro.skip import fusion_report, profile_report
+
+
+def main() -> None:
+    batch_size = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+    profiler = SkipProfiler(GH200)
+    result = profiler.profile(LLAMA_3_2_1B, batch_size=batch_size, seq_len=512)
+
+    print(profile_report(result))
+    print()
+    print(f"This run is {result.boundedness.value}.")
+    print()
+    print("Proximity-score fusion recommendations (Eqs. 6-8):")
+    print(fusion_report(result.recommend_fusions()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""RAG serving: retrieval + generation TTFT vs batch size (Section II-A).
+
+Builds a synthetic document corpus, indexes it with the brute-force and IVF
+vector indexes, and measures the user-visible time-to-first-token of the
+full RAG flow (retrieve top-k chunks, prefill question + context) across
+generation batch sizes on two platforms.
+
+Usage:
+    python examples/rag_serving.py
+"""
+
+import numpy as np
+
+from repro import GH200, INTEL_H100, LLAMA_3_2_1B
+from repro.retrieval import BruteForceIndex, IVFIndex
+from repro.serving import LatencyModel, RagPipeline
+from repro.units import ns_to_ms
+from repro.viz import render_table
+
+DIM = 96
+CORPUS_SIZE = 4096
+BATCHES = (1, 4, 16, 64)
+
+
+def build_indexes(rng: np.random.Generator):
+    corpus = rng.normal(size=(CORPUS_SIZE, DIM)).astype(np.float32)
+    brute = BruteForceIndex(DIM)
+    brute.add(corpus)
+    ivf = IVFIndex(DIM, n_cells=32, nprobe=4, seed=0)
+    ivf.train(corpus)
+    ivf.add(corpus)
+    return brute, ivf
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    brute, ivf = build_indexes(rng)
+
+    rows = []
+    for platform in (INTEL_H100, GH200):
+        latency = LatencyModel(platform)
+        for index_name, index in (("brute-force", brute), ("IVF", ivf)):
+            pipeline = RagPipeline(index, LLAMA_3_2_1B, latency,
+                                   tokens_per_chunk=128, top_k=4)
+            for batch in BATCHES:
+                queries = rng.normal(size=(batch, DIM)).astype(np.float32)
+                result = pipeline.query(queries, question_tokens=64,
+                                        output_tokens=128)
+                rows.append([
+                    platform.name, index_name, batch,
+                    f"{result.retrieval_ns / 1e6:.2f}",
+                    f"{ns_to_ms(result.ttft_ns):.1f}",
+                    f"{ns_to_ms(result.user_ttft_ns):.1f}",
+                ])
+    print(render_table(
+        ["platform", "index", "batch", "retrieval (ms)", "gen TTFT (ms)",
+         "user TTFT (ms)"],
+        rows, title="RAG flow: retrieve 4x128-token chunks, then generate"))
+
+    print("\nTakeaway: generation prefill dominates user TTFT and grows with")
+    print("the batch size the server chooses — large batches boost")
+    print("throughput but directly tax each user's time-to-first-token,")
+    print("and below the crossover batch the LC system answers faster.")
+
+
+if __name__ == "__main__":
+    main()

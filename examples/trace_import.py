@@ -1,0 +1,36 @@
+"""Trace round-trip: SKIP analyses on Chrome-trace files.
+
+The real SKIP consumes PyTorch Profiler traces; this library's analyses run
+on the same Chrome-trace JSON format. The example simulates a run, exports
+the trace, re-imports it as if it came from PyTorch Profiler, and shows that
+every metric survives the round trip.
+
+Usage:
+    python examples/trace_import.py [output.json]
+"""
+
+import sys
+
+from repro import BERT_BASE, INTEL_H100, SkipProfiler
+from repro.skip import profile_report
+from repro.trace import chrome
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "/tmp/skip_trace.json"
+
+    profiler = SkipProfiler(INTEL_H100)
+    original = profiler.profile(BERT_BASE, batch_size=8, seq_len=512)
+    chrome.dump(original.trace, path)
+    print(f"Exported {len(original.trace.kernels)} kernel events to {path}\n")
+
+    imported = SkipProfiler.analyze(chrome.load(path))
+    print(profile_report(imported, title=f"re-analyzed from {path}"))
+
+    drift = abs(imported.metrics.tklqt_ns - original.metrics.tklqt_ns)
+    print(f"\nTKLQT drift across the round trip: {drift:.3f} ns")
+    assert drift < 1.0, "round trip must preserve metrics"
+
+
+if __name__ == "__main__":
+    main()

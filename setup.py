@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The sandboxed environment has no network and an older setuptools that cannot
+build PEP 660 editable wheels, so `pip install -e .` falls back to the legacy
+`setup.py develop` path through this file. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

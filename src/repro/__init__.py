@@ -1,0 +1,100 @@
+"""repro — SKIP profiler and CPU-GPU coupled-architecture characterization.
+
+Reproduction of "Characterizing and Optimizing LLM Inference Workloads on
+CPU-GPU Coupled Architectures" (ISPASS 2025). Physical testbeds are replaced
+by a calibrated discrete-event simulator (see DESIGN.md); everything above
+the trace layer — SKIP's dependency graphs, TKLQT/AKD metrics, boundedness
+classification, and proximity-score fusion recommendation — is implemented
+as described in the paper and also runs on imported PyTorch Profiler Chrome
+traces.
+
+Quickstart:
+    >>> from repro import SkipProfiler, GH200, LLAMA_3_2_1B
+    >>> profiler = SkipProfiler(GH200)
+    >>> result = profiler.profile(LLAMA_3_2_1B, batch_size=8, seq_len=512)
+    >>> result.boundedness.value
+    'cpu-bound'
+"""
+
+from repro.analysis import (
+    find_balanced_region,
+    find_crossover,
+    run_batch_sweep,
+)
+from repro.engine import EngineConfig, ExecutionMode, FusionPlan, RunResult, run
+from repro.hardware import (
+    ALL_PLATFORMS,
+    AMD_A100,
+    Coupling,
+    CpuSpec,
+    GH200,
+    GpuSpec,
+    INTEL_H100,
+    InterconnectSpec,
+    MI300A,
+    PAPER_PLATFORMS,
+    Platform,
+    get_platform,
+)
+from repro.skip import (
+    Boundedness,
+    ProfileResult,
+    SkipMetrics,
+    SkipProfiler,
+    find_transition,
+)
+from repro.workloads import (
+    ALL_MODELS,
+    BERT_BASE,
+    GEMMA_2B,
+    GPT2,
+    LLAMA_3_2_1B,
+    ModelConfig,
+    PAPER_MODELS,
+    Phase,
+    XLM_ROBERTA_BASE,
+    build_graph,
+    get_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS",
+    "ALL_PLATFORMS",
+    "AMD_A100",
+    "BERT_BASE",
+    "Boundedness",
+    "Coupling",
+    "CpuSpec",
+    "EngineConfig",
+    "ExecutionMode",
+    "FusionPlan",
+    "GEMMA_2B",
+    "GH200",
+    "GPT2",
+    "GpuSpec",
+    "INTEL_H100",
+    "InterconnectSpec",
+    "LLAMA_3_2_1B",
+    "MI300A",
+    "ModelConfig",
+    "PAPER_MODELS",
+    "PAPER_PLATFORMS",
+    "Phase",
+    "Platform",
+    "ProfileResult",
+    "RunResult",
+    "SkipMetrics",
+    "SkipProfiler",
+    "XLM_ROBERTA_BASE",
+    "build_graph",
+    "find_balanced_region",
+    "find_crossover",
+    "find_transition",
+    "get_model",
+    "get_platform",
+    "run",
+    "run_batch_sweep",
+    "__version__",
+]

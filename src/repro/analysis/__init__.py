@@ -1,0 +1,85 @@
+"""Analyses built on SKIP: sweeps, crossovers, balanced regions, baselines."""
+
+from repro.analysis.balanced import (
+    BalancedRegion,
+    DEFAULT_IDLE_THRESHOLD,
+    find_balanced_region,
+)
+from repro.analysis.crossover import CrossoverPoint, find_crossover
+from repro.analysis.export import (
+    load_sweep_json,
+    metrics_to_dict,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_records,
+)
+from repro.analysis.pareto import (
+    OperatingPoint,
+    cross_platform_frontier,
+    operating_points,
+    pareto_frontier,
+)
+from repro.analysis.sensitivity import (
+    Knob,
+    Sensitivity,
+    metric_sensitivity,
+    sensitivity_sweep,
+)
+from repro.analysis.slo import DEFAULT_SLO_MS, SloPoint, SloReport, advise
+from repro.analysis.whatif import (
+    CpuSpeedupRequirement,
+    latency_at,
+    latency_vs_cpu_scale,
+    required_cpu_speedup,
+    scaled_platform,
+)
+from repro.analysis.frameworktax import (
+    DEFAULT_FLATNESS_THRESHOLD,
+    FrameworkTaxResult,
+    LatencyBound,
+    classify_latency_curve,
+)
+from repro.analysis.sweep import (
+    DEFAULT_BATCH_SIZES,
+    SweepPoint,
+    SweepResult,
+    run_batch_sweep,
+)
+
+__all__ = [
+    "BalancedRegion",
+    "CpuSpeedupRequirement",
+    "DEFAULT_SLO_MS",
+    "Knob",
+    "OperatingPoint",
+    "cross_platform_frontier",
+    "operating_points",
+    "pareto_frontier",
+    "Sensitivity",
+    "load_sweep_json",
+    "metric_sensitivity",
+    "metrics_to_dict",
+    "sensitivity_sweep",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "sweep_to_records",
+    "SloPoint",
+    "SloReport",
+    "advise",
+    "latency_at",
+    "latency_vs_cpu_scale",
+    "required_cpu_speedup",
+    "scaled_platform",
+    "CrossoverPoint",
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_FLATNESS_THRESHOLD",
+    "DEFAULT_IDLE_THRESHOLD",
+    "FrameworkTaxResult",
+    "LatencyBound",
+    "SweepPoint",
+    "SweepResult",
+    "classify_latency_curve",
+    "find_balanced_region",
+    "find_crossover",
+    "run_batch_sweep",
+]

@@ -1,0 +1,76 @@
+"""Balanced-utilization ("sweet spot") regions (Section V-D).
+
+The paper's contribution 5: each application-system pair has a batch-size
+region where neither PU sits idle — below it the GPU idles (CPU-bound), above
+it the CPU idles (GPU-bound). Operating in this region maximizes system
+efficiency. The paper reads these regions off the idle-time curves:
+encoders LC BS=4-8 / CC BS=16-32; decoders LC BS=2-4 / CC BS=4-8.
+
+We define the region as the batch sizes where both idle fractions
+(idle time / inference latency) stay below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import AnalysisError
+
+#: Default ceiling on either PU's idle share inside the balanced region.
+DEFAULT_IDLE_THRESHOLD = 0.55
+
+
+@dataclass(frozen=True)
+class BalancedRegion:
+    """The contiguous batch-size range where both PUs are well utilized."""
+
+    platform: str
+    low: int | None
+    high: int | None
+    gpu_idle_fraction: tuple[float, ...]
+    cpu_idle_fraction: tuple[float, ...]
+
+    @property
+    def found(self) -> bool:
+        return self.low is not None
+
+    def __contains__(self, batch_size: int) -> bool:
+        if self.low is None or self.high is None:
+            return False
+        return self.low <= batch_size <= self.high
+
+
+def find_balanced_region(sweep: SweepResult, platform: str,
+                         idle_threshold: float = DEFAULT_IDLE_THRESHOLD
+                         ) -> BalancedRegion:
+    """Locate the balanced batch-size region for one platform.
+
+    Args:
+        sweep: A completed batch sweep.
+        platform: Platform name in the sweep.
+        idle_threshold: Maximum allowed idle fraction for either PU.
+    """
+    if not (0 < idle_threshold < 1):
+        raise AnalysisError("idle_threshold must be in (0, 1)")
+
+    il = sweep.ttft_series(platform)
+    gpu_idle = [g / total for g, total in zip(sweep.gpu_idle_series(platform), il)]
+    cpu_idle = [c / total for c, total in zip(sweep.cpu_idle_series(platform), il)]
+
+    balanced = [
+        batch
+        for batch, g, c in zip(sweep.batch_sizes, gpu_idle, cpu_idle)
+        if g <= idle_threshold and c <= idle_threshold
+    ]
+    if balanced:
+        low, high = min(balanced), max(balanced)
+    else:
+        low = high = None
+    return BalancedRegion(
+        platform=platform,
+        low=low,
+        high=high,
+        gpu_idle_fraction=tuple(gpu_idle),
+        cpu_idle_fraction=tuple(cpu_idle),
+    )

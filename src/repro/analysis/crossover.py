@@ -1,0 +1,63 @@
+"""Platform crossover points (Section V-D, Figs. 10a/11a).
+
+A crossover point (CP) is the batch size at which one platform's TTFT drops
+below another's. The paper reads CPs off the latency curves: BS=16 for
+encoders, BS=4 for GPT-2, ~BS=1 for Llama-3.2-1B (GH200 vs the LC systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Where ``challenger`` starts beating ``baseline`` on TTFT."""
+
+    challenger: str
+    baseline: str
+    batch_size: int | None     # None when the challenger never wins
+    speedups: tuple[float, ...]  # baseline TTFT / challenger TTFT per batch
+
+    @property
+    def found(self) -> bool:
+        return self.batch_size is not None
+
+    def speedup_at(self, sweep_batch_sizes: tuple[int, ...],
+                   batch_size: int) -> float:
+        """Challenger speedup over baseline at one swept batch size."""
+        try:
+            index = sweep_batch_sizes.index(batch_size)
+        except ValueError:
+            raise AnalysisError(f"batch size {batch_size} was not swept") from None
+        return self.speedups[index]
+
+
+def find_crossover(sweep: SweepResult, challenger: str,
+                   baseline: str) -> CrossoverPoint:
+    """Locate the first swept batch size where ``challenger`` wins.
+
+    Args:
+        sweep: A completed batch sweep containing both platforms.
+        challenger: Platform expected to win at scale (e.g. "GH200").
+        baseline: Platform to compare against (e.g. "Intel+H100").
+    """
+    if challenger == baseline:
+        raise AnalysisError("challenger and baseline must differ")
+    challenger_ttft = sweep.ttft_series(challenger)
+    baseline_ttft = sweep.ttft_series(baseline)
+    speedups = tuple(b / c for b, c in zip(baseline_ttft, challenger_ttft))
+    crossover = None
+    for batch_size, speedup in zip(sweep.batch_sizes, speedups):
+        if speedup > 1.0:
+            crossover = batch_size
+            break
+    return CrossoverPoint(
+        challenger=challenger,
+        baseline=baseline,
+        batch_size=crossover,
+        speedups=speedups,
+    )

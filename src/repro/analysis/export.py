@@ -1,0 +1,81 @@
+"""Result export: sweeps and profiles to JSON / CSV for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import AnalysisError
+from repro.skip.metrics import SkipMetrics
+
+#: Metric fields exported per sweep point.
+_METRIC_FIELDS = (
+    "inference_latency_ns",
+    "tklqt_ns",
+    "akd_ns",
+    "gpu_idle_ns",
+    "cpu_idle_ns",
+    "gpu_busy_ns",
+    "cpu_busy_ns",
+    "kernel_launches",
+)
+
+
+def metrics_to_dict(metrics: SkipMetrics) -> dict[str, float]:
+    """Flatten the averaged metric fields of one profile."""
+    return {field: getattr(metrics, field) for field in _METRIC_FIELDS}
+
+
+def sweep_to_records(sweep: SweepResult) -> list[dict[str, Any]]:
+    """One flat record per (platform, batch) sweep point."""
+    records = []
+    for point in sweep.points:
+        record: dict[str, Any] = {
+            "model": point.model,
+            "platform": point.platform,
+            "batch_size": point.batch_size,
+        }
+        record.update(metrics_to_dict(point.metrics))
+        records.append(record)
+    return records
+
+
+def sweep_to_json(sweep: SweepResult, path: str | Path | None = None) -> str:
+    """Serialize a sweep to JSON (optionally writing to ``path``)."""
+    payload = {
+        "model": sweep.model,
+        "batch_sizes": list(sweep.batch_sizes),
+        "points": sweep_to_records(sweep),
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | Path | None = None) -> str:
+    """Serialize a sweep to CSV (optionally writing to ``path``)."""
+    records = sweep_to_records(sweep)
+    if not records:
+        raise AnalysisError("sweep has no points")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]),
+                            lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(records)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_sweep_json(path: str | Path) -> dict[str, Any]:
+    """Load a previously exported sweep payload."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"invalid sweep JSON: {exc}") from exc

@@ -1,0 +1,90 @@
+"""Framework-tax baseline classifier (Fernandez et al. [14]).
+
+The paper contrasts its TKLQT-based classification against this prior
+approach, which observes *end-to-end latency scaling with batch size*: a flat
+latency curve implies the framework tax dominates (framework-bound); a
+linearly scaling curve implies GPU compute dominates (compute-bound). The
+flat-curve method cannot say which overhead dominates or by how much —
+exactly the limitation TKLQT addresses (Section III-B).
+
+Implementing the baseline lets the benchmarks compare the two classifiers on
+identical sweeps (the paper's claim is that both find similar transition
+points, but TKLQT attributes them to the launch path directly).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+class LatencyBound(enum.Enum):
+    FRAMEWORK_BOUND = "framework-bound"
+    COMPUTE_BOUND = "compute-bound"
+
+
+#: Latency growth per batch-size doubling below which the curve counts as
+#: flat. Ideal compute-bound scaling doubles latency per doubling (2.0);
+#: a framework-bound curve stays near 1.0.
+DEFAULT_FLATNESS_THRESHOLD = 1.4
+
+
+@dataclass(frozen=True)
+class FrameworkTaxResult:
+    """Latency-curve classification over a batch sweep."""
+
+    batch_sizes: tuple[int, ...]
+    latencies_ns: tuple[float, ...]
+    growth_ratios: tuple[float, ...]   # latency[i+1]/latency[i], len n-1
+    transition_batch_size: int | None  # first batch in the compute-bound region
+
+    def bound_at(self, batch_size: int) -> LatencyBound:
+        """Classification of one swept batch size."""
+        if batch_size not in self.batch_sizes:
+            raise AnalysisError(f"batch size {batch_size} was not swept")
+        if (self.transition_batch_size is None
+                or batch_size < self.transition_batch_size):
+            return LatencyBound.FRAMEWORK_BOUND
+        return LatencyBound.COMPUTE_BOUND
+
+
+def classify_latency_curve(
+    batch_sizes: Sequence[int],
+    latencies_ns: Sequence[float],
+    flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+) -> FrameworkTaxResult:
+    """Classify a latency-vs-batch curve the way [14] does.
+
+    Args:
+        batch_sizes: Ascending, each roughly double the previous (the method
+            reasons about growth per doubling).
+        latencies_ns: End-to-end latency per batch size.
+        flatness_threshold: Growth per step below which the curve is flat.
+    """
+    if len(batch_sizes) != len(latencies_ns):
+        raise AnalysisError("batch_sizes and latencies must align")
+    if len(batch_sizes) < 2:
+        raise AnalysisError("need at least two batch sizes")
+    if list(batch_sizes) != sorted(set(batch_sizes)):
+        raise AnalysisError("batch_sizes must be strictly ascending")
+    if any(lat <= 0 for lat in latencies_ns):
+        raise AnalysisError("latencies must be positive")
+    if flatness_threshold <= 1.0:
+        raise AnalysisError("flatness_threshold must exceed 1.0")
+
+    growth = tuple(latencies_ns[i + 1] / latencies_ns[i]
+                   for i in range(len(latencies_ns) - 1))
+    transition = None
+    for i, ratio in enumerate(growth):
+        if ratio >= flatness_threshold:
+            transition = batch_sizes[i + 1]
+            break
+    return FrameworkTaxResult(
+        batch_sizes=tuple(batch_sizes),
+        latencies_ns=tuple(latencies_ns),
+        growth_ratios=growth,
+        transition_batch_size=transition,
+    )

@@ -1,0 +1,71 @@
+"""Latency-throughput Pareto frontiers from batch sweeps.
+
+Section III-B frames the operator's problem as balancing user-visible
+latency against hardware utilization. For a prefill sweep, each batch size
+is a (TTFT, tokens-per-second) point; the Pareto-efficient subset is the
+menu an operator actually chooses from, and comparing frontiers across
+platforms shows where each coupling paradigm is the right buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (batch, latency, throughput) choice on a platform."""
+
+    platform: str
+    batch_size: int
+    ttft_ns: float
+    tokens_per_second: float
+
+    def dominates(self, other: "OperatingPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        no_worse = (self.ttft_ns <= other.ttft_ns
+                    and self.tokens_per_second >= other.tokens_per_second)
+        better = (self.ttft_ns < other.ttft_ns
+                  or self.tokens_per_second > other.tokens_per_second)
+        return no_worse and better
+
+
+def operating_points(sweep: SweepResult, platform: str,
+                     seq_len: int) -> list[OperatingPoint]:
+    """All swept operating points for one platform."""
+    if seq_len <= 0:
+        raise AnalysisError("seq_len must be positive")
+    points = []
+    for batch in sweep.batch_sizes:
+        ttft = sweep.point(platform, batch).ttft_ns
+        points.append(OperatingPoint(
+            platform=platform,
+            batch_size=batch,
+            ttft_ns=ttft,
+            tokens_per_second=batch * seq_len / (ttft / 1e9),
+        ))
+    return points
+
+
+def pareto_frontier(points: list[OperatingPoint]) -> list[OperatingPoint]:
+    """The non-dominated subset, sorted by latency ascending."""
+    if not points:
+        raise AnalysisError("no operating points given")
+    frontier = [p for p in points
+                if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(frontier, key=lambda p: p.ttft_ns)
+
+
+def cross_platform_frontier(sweep: SweepResult, seq_len: int,
+                            platforms: list[str] | None = None
+                            ) -> list[OperatingPoint]:
+    """The joint frontier across platforms — which system to buy for which
+    latency budget."""
+    names = platforms if platforms is not None else sweep.platforms()
+    combined: list[OperatingPoint] = []
+    for name in names:
+        combined.extend(operating_points(sweep, name, seq_len))
+    return pareto_frontier(combined)

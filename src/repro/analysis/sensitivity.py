@@ -1,0 +1,126 @@
+"""Calibration sensitivity: which anchors move when a knob moves?
+
+The calibration (docs/calibration.md) fixes a handful of constants from the
+paper's measurements. This module quantifies how robust the reproduced
+results are to those choices: perturb one knob by ±X% and measure the
+relative change of a target metric. Anchors with small sensitivities are
+robust conclusions; large ones mark where the simulation leans on the
+calibration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.whatif import scaled_platform
+from repro.engine.executor import EngineConfig, run
+from repro.errors import AnalysisError
+from repro.hardware.platform import Platform
+from repro.skip.metrics import compute_metrics
+from repro.workloads.config import ModelConfig
+
+_FAST = EngineConfig(iterations=1)
+
+
+class Knob(enum.Enum):
+    """Perturbable calibration constants."""
+
+    CPU_DISPATCH = "cpu-dispatch"
+    CPU_RUNTIME_CALL = "cpu-runtime-call"
+    GPU_COMPUTE = "gpu-compute"
+    GPU_BANDWIDTH = "gpu-bandwidth"
+
+
+def _perturbed(platform: Platform, knob: Knob, factor: float) -> Platform:
+    kwargs = {
+        Knob.CPU_DISPATCH: {"cpu_dispatch_scale": factor},
+        Knob.CPU_RUNTIME_CALL: {"cpu_runtime_call_scale": factor},
+        Knob.GPU_COMPUTE: {"gpu_compute_scale": factor},
+        Knob.GPU_BANDWIDTH: {"gpu_bandwidth_scale": factor},
+    }[knob]
+    return scaled_platform(platform, **kwargs)
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of one metric to one knob on one workload point."""
+
+    knob: Knob
+    platform: str
+    metric: str
+    baseline: float
+    perturbed_up: float      # metric with the knob scaled up
+    perturbed_down: float    # metric with the knob scaled down
+    perturbation: float      # relative knob change (e.g. 0.1 = +/-10%)
+
+    @property
+    def elasticity(self) -> float:
+        """d(metric)/metric per d(knob)/knob (central difference)."""
+        if self.baseline == 0:
+            return 0.0
+        return ((self.perturbed_up - self.perturbed_down)
+                / (2 * self.perturbation * self.baseline))
+
+
+def metric_sensitivity(
+    model: ModelConfig,
+    platform: Platform,
+    knob: Knob,
+    metric: Callable[..., float] | None = None,
+    metric_name: str = "inference_latency_ns",
+    batch_size: int = 1,
+    seq_len: int = 512,
+    perturbation: float = 0.1,
+    engine_config: EngineConfig = _FAST,
+) -> Sensitivity:
+    """Central-difference elasticity of one metric to one knob.
+
+    Args:
+        metric: Optional custom extractor taking SkipMetrics; by default
+            reads ``metric_name`` off the metrics object.
+        perturbation: Relative knob change (0.1 = scale the component's
+            *speed* by 1.1x and 1/1.1x).
+    """
+    if not (0 < perturbation < 1):
+        raise AnalysisError("perturbation must be in (0, 1)")
+
+    def measure(p: Platform) -> float:
+        result = run(model, p, batch_size=batch_size, seq_len=seq_len,
+                     config=engine_config)
+        metrics = compute_metrics(result.trace)
+        if metric is not None:
+            return metric(metrics)
+        return getattr(metrics, metric_name)
+
+    baseline = measure(platform)
+    up = measure(_perturbed(platform, knob, 1 + perturbation))
+    down = measure(_perturbed(platform, knob, 1 / (1 + perturbation)))
+    return Sensitivity(
+        knob=knob,
+        platform=platform.name,
+        metric=metric_name,
+        baseline=baseline,
+        perturbed_up=up,
+        perturbed_down=down,
+        perturbation=perturbation,
+    )
+
+
+def sensitivity_sweep(
+    model: ModelConfig,
+    platform: Platform,
+    knobs: Sequence[Knob] = tuple(Knob),
+    batch_size: int = 1,
+    seq_len: int = 512,
+    perturbation: float = 0.1,
+    engine_config: EngineConfig = _FAST,
+) -> list[Sensitivity]:
+    """Elasticities of inference latency to every knob."""
+    return [
+        metric_sensitivity(model, platform, knob, batch_size=batch_size,
+                           seq_len=seq_len, perturbation=perturbation,
+                           engine_config=engine_config)
+        for knob in knobs
+    ]

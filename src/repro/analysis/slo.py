@@ -1,0 +1,83 @@
+"""SLO-aware batch/platform advisor.
+
+Section II-A: system-level objectives constrain latency to ~200 ms for a
+good user experience, while larger batches buy throughput. The advisor
+finds, per platform, the largest batch whose TTFT stays within the SLO, and
+ranks platforms by the throughput they achieve inside it — the paper's
+"operate in the balanced region" recommendation made actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import AnalysisError
+from repro.units import ms_to_ns
+
+#: The paper's quoted interactive-serving latency budget.
+DEFAULT_SLO_MS = 200.0
+
+
+@dataclass(frozen=True)
+class SloPoint:
+    """Best SLO-compliant operating point for one platform."""
+
+    platform: str
+    batch_size: int | None        # None when even BS=1 misses the SLO
+    ttft_ns: float | None
+    tokens_per_second: float      # prefill tokens/s at the chosen batch
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.batch_size is not None
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """SLO analysis across platforms for one sweep."""
+
+    slo_ns: float
+    seq_len: int
+    points: tuple[SloPoint, ...]
+
+    def best(self) -> SloPoint:
+        """The platform with the highest SLO-compliant throughput."""
+        compliant = [p for p in self.points if p.meets_slo]
+        if not compliant:
+            raise AnalysisError("no platform meets the SLO at any swept batch")
+        return max(compliant, key=lambda p: p.tokens_per_second)
+
+
+def advise(sweep: SweepResult, seq_len: int,
+           slo_ms: float = DEFAULT_SLO_MS,
+           platforms: Sequence[str] | None = None) -> SloReport:
+    """Pick the largest SLO-compliant batch per platform from a sweep.
+
+    Args:
+        sweep: A completed prefill batch sweep.
+        seq_len: Sequence length the sweep used (for token accounting).
+        slo_ms: TTFT budget in milliseconds.
+        platforms: Platforms to rank (default: all in the sweep).
+    """
+    if slo_ms <= 0:
+        raise AnalysisError("slo_ms must be positive")
+    if seq_len <= 0:
+        raise AnalysisError("seq_len must be positive")
+    slo_ns = ms_to_ns(slo_ms)
+    names = list(platforms) if platforms is not None else sweep.platforms()
+    points = []
+    for name in names:
+        best_batch = None
+        best_ttft = None
+        for batch in sweep.batch_sizes:
+            ttft = sweep.point(name, batch).ttft_ns
+            if ttft <= slo_ns:
+                best_batch, best_ttft = batch, ttft
+        if best_batch is None:
+            points.append(SloPoint(name, None, None, 0.0))
+        else:
+            throughput = best_batch * seq_len / (best_ttft / 1e9)
+            points.append(SloPoint(name, best_batch, best_ttft, throughput))
+    return SloReport(slo_ns=slo_ns, seq_len=seq_len, points=tuple(points))

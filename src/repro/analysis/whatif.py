@@ -1,0 +1,154 @@
+"""Architectural what-if analysis (design-space exploration).
+
+The paper's conclusion calls for "enhancing CPU performance or employing
+intelligent scheduling in CC/TC designs". This module makes the first
+quantitative: derive modified platforms (faster CPU dispatch, scaled GPU
+rates or bandwidth) and re-simulate, e.g. *how much faster would the Grace
+CPU need to be for GH200 to match Intel+H100 at batch size 1?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, run
+from repro.engine.modes import ExecutionMode
+from repro.errors import AnalysisError
+from repro.hardware.platform import Platform
+from repro.skip.metrics import compute_metrics
+from repro.workloads.config import ModelConfig
+
+
+def scaled_platform(
+    platform: Platform,
+    name: str | None = None,
+    cpu_dispatch_scale: float = 1.0,
+    cpu_runtime_call_scale: float = 1.0,
+    gpu_compute_scale: float = 1.0,
+    gpu_bandwidth_scale: float = 1.0,
+) -> Platform:
+    """Derive a hypothetical platform with scaled component performance.
+
+    Scales are multiplicative speedups (2.0 = twice as fast).
+    """
+    for label, value in (("cpu_dispatch_scale", cpu_dispatch_scale),
+                         ("cpu_runtime_call_scale", cpu_runtime_call_scale),
+                         ("gpu_compute_scale", gpu_compute_scale),
+                         ("gpu_bandwidth_scale", gpu_bandwidth_scale)):
+        if value <= 0:
+            raise AnalysisError(f"{label} must be positive")
+    cpu = replace(
+        platform.cpu,
+        dispatch_score=platform.cpu.dispatch_score * cpu_dispatch_scale,
+        runtime_call_score=(platform.cpu.runtime_call_score
+                            * cpu_runtime_call_scale),
+    )
+    gpu = replace(
+        platform.gpu,
+        fp16_tflops=platform.gpu.fp16_tflops * gpu_compute_scale,
+        hbm_bandwidth_gbs=platform.gpu.hbm_bandwidth_gbs * gpu_bandwidth_scale,
+    )
+    return replace(platform, name=name or f"{platform.name}*", cpu=cpu, gpu=gpu)
+
+
+def latency_at(model: ModelConfig, platform: Platform, batch_size: int,
+               seq_len: int = 512,
+               mode: ExecutionMode = ExecutionMode.EAGER,
+               engine_config: EngineConfig = DEFAULT_CONFIG) -> float:
+    """Inference latency (ns) of one configuration."""
+    result = run(model, platform, batch_size=batch_size, seq_len=seq_len,
+                 mode=mode, config=engine_config)
+    return compute_metrics(result.trace).inference_latency_ns
+
+
+@dataclass(frozen=True)
+class CpuSpeedupRequirement:
+    """Result of :func:`required_cpu_speedup`."""
+
+    platform: str
+    reference: str
+    batch_size: int
+    required_speedup: float       # dispatch+launch speedup to match reference
+    baseline_latency_ns: float
+    reference_latency_ns: float
+    achieved_latency_ns: float
+
+
+def required_cpu_speedup(
+    model: ModelConfig,
+    platform: Platform,
+    reference: Platform,
+    batch_size: int = 1,
+    seq_len: int = 512,
+    tolerance: float = 0.02,
+    max_speedup: float = 16.0,
+    engine_config: EngineConfig = DEFAULT_CONFIG,
+) -> CpuSpeedupRequirement:
+    """CPU speedup needed for ``platform`` to match ``reference`` latency.
+
+    Binary-searches a joint dispatch + runtime-call speedup factor. Raises
+    :class:`AnalysisError` when even ``max_speedup`` cannot close the gap
+    (the workload is GPU-bound on the slower platform).
+    """
+    if tolerance <= 0:
+        raise AnalysisError("tolerance must be positive")
+    target = latency_at(model, reference, batch_size, seq_len,
+                        engine_config=engine_config)
+    baseline = latency_at(model, platform, batch_size, seq_len,
+                          engine_config=engine_config)
+    if baseline <= target:
+        return CpuSpeedupRequirement(platform.name, reference.name, batch_size,
+                                     1.0, baseline, target, baseline)
+
+    def evaluate(speedup: float) -> float:
+        candidate = scaled_platform(platform, cpu_dispatch_scale=speedup,
+                                    cpu_runtime_call_scale=speedup)
+        return latency_at(model, candidate, batch_size, seq_len,
+                          engine_config=engine_config)
+
+    if evaluate(max_speedup) > target * (1 + tolerance):
+        raise AnalysisError(
+            f"{platform.name} cannot match {reference.name} at BS={batch_size} "
+            f"even with a {max_speedup:.0f}x CPU (GPU-bound residual)")
+
+    low, high = 1.0, max_speedup
+    achieved = baseline
+    for _ in range(40):
+        mid = (low + high) / 2
+        achieved = evaluate(mid)
+        if achieved > target:
+            low = mid
+        else:
+            high = mid
+        if abs(achieved - target) <= tolerance * target:
+            break
+    return CpuSpeedupRequirement(
+        platform=platform.name,
+        reference=reference.name,
+        batch_size=batch_size,
+        required_speedup=(low + high) / 2,
+        baseline_latency_ns=baseline,
+        reference_latency_ns=target,
+        achieved_latency_ns=achieved,
+    )
+
+
+def latency_vs_cpu_scale(
+    model: ModelConfig,
+    platform: Platform,
+    scales: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 4.0),
+    batch_size: int = 1,
+    seq_len: int = 512,
+    engine_config: EngineConfig = DEFAULT_CONFIG,
+) -> list[tuple[float, float]]:
+    """(cpu speedup, latency ns) curve for a platform — the paper's
+    'enhance CPU performance' lever."""
+    if not scales:
+        raise AnalysisError("scales must be non-empty")
+    curve = []
+    for scale in scales:
+        candidate = scaled_platform(platform, cpu_dispatch_scale=scale,
+                                    cpu_runtime_call_scale=scale)
+        curve.append((scale, latency_at(model, candidate, batch_size, seq_len,
+                                        engine_config=engine_config)))
+    return curve

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``profile``   — SKIP metrics + classification for one run
+* ``sweep``     — batch-size sweep with transition stars (Fig. 6 / 10 / 11)
+* ``fusion``    — proximity-score fusion recommendations (Figs. 7-8)
+* ``nullkernel``— the Table V micro-benchmark
+* ``whatif``    — required CPU speedup to match a reference platform
+* ``memory``    — HBM footprint check for a workload shape
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import run_batch_sweep
+from repro.analysis.whatif import required_cpu_speedup
+from repro.engine import EngineConfig, ExecutionMode
+from repro.hardware import PAPER_PLATFORMS, get_platform, nullkernel_table
+from repro.skip import SkipProfiler, fusion_report, profile_report, transition_report
+from repro.units import format_bytes, format_ns
+from repro.viz import render_table
+from repro.workloads import get_model
+from repro.workloads.memory import memory_report
+
+_FAST = EngineConfig(iterations=1)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="gpt2", help="model name (catalog)")
+    parser.add_argument("--platform", default="Intel+H100",
+                        help="platform name (catalog)")
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--seq-len", type=int, default=512)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profiler = SkipProfiler(get_platform(args.platform))
+    result = profiler.profile(get_model(args.model),
+                              batch_size=args.batch_size,
+                              seq_len=args.seq_len,
+                              mode=ExecutionMode(args.mode))
+    print(profile_report(result))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    platforms = ([get_platform(args.platform)] if args.platform != "all"
+                 else list(PAPER_PLATFORMS))
+    batches = tuple(int(b) for b in args.batches.split(","))
+    sweep = run_batch_sweep(model, platforms, batches, seq_len=args.seq_len,
+                            engine_config=_FAST)
+    for platform in platforms:
+        print(transition_report(f"{model.name} on {platform.name}",
+                                sweep.transition(platform.name)))
+        print()
+    return 0
+
+
+def _cmd_fusion(args: argparse.Namespace) -> int:
+    profiler = SkipProfiler(get_platform(args.platform), _FAST)
+    result = profiler.profile(get_model(args.model),
+                              batch_size=args.batch_size,
+                              seq_len=args.seq_len)
+    print(fusion_report(result.recommend_fusions(threshold=args.threshold)))
+    return 0
+
+
+def _cmd_nullkernel(_args: argparse.Namespace) -> int:
+    rows = [[r.platform, f"{r.launch_overhead_ns:.1f}", f"{r.duration_ns:.1f}"]
+            for r in nullkernel_table(PAPER_PLATFORMS)]
+    print(render_table(["platform", "launch overhead (ns)", "duration (ns)"],
+                       rows, title="nullKernel micro-benchmark (Table V)"))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    requirement = required_cpu_speedup(
+        get_model(args.model),
+        get_platform(args.platform),
+        get_platform(args.reference),
+        batch_size=args.batch_size,
+        seq_len=args.seq_len,
+        engine_config=_FAST,
+    )
+    print(f"{requirement.platform} needs a {requirement.required_speedup:.2f}x "
+          f"CPU speedup to match {requirement.reference} at "
+          f"BS={requirement.batch_size}")
+    print(f"  baseline : {format_ns(requirement.baseline_latency_ns)}")
+    print(f"  target   : {format_ns(requirement.reference_latency_ns)}")
+    print(f"  achieved : {format_ns(requirement.achieved_latency_ns)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis import run_batch_sweep, sweep_to_csv, sweep_to_json
+
+    model = get_model(args.model)
+    platforms = ([get_platform(args.platform)] if args.platform != "all"
+                 else list(PAPER_PLATFORMS))
+    batches = tuple(int(b) for b in args.batches.split(","))
+    sweep = run_batch_sweep(model, platforms, batches, seq_len=args.seq_len,
+                            engine_config=_FAST)
+    if args.out.endswith(".csv"):
+        sweep_to_csv(sweep, args.out)
+    else:
+        sweep_to_json(sweep, args.out)
+    print(f"wrote {len(sweep.points)} sweep points to {args.out}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.viz import TimelineOptions, render_timeline
+
+    profiler = SkipProfiler(get_platform(args.platform), _FAST)
+    result = profiler.profile(get_model(args.model),
+                              batch_size=args.batch_size,
+                              seq_len=args.seq_len)
+    begin, end = result.trace.span
+    window_end = begin + (end - begin) * args.window_fraction
+    print(render_timeline(result.trace, TimelineOptions(
+        width=args.width, begin_ns=begin, end_ns=window_end)))
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    from repro.reproduction import run_scorecard
+
+    scorecard = run_scorecard(progress=lambda msg: print(f"... {msg}"))
+    print()
+    print(scorecard.render())
+    return 0 if not scorecard.failures() else 1
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    report = memory_report(get_model(args.model), platform.gpu,
+                           args.batch_size, args.seq_len)
+    print(f"{report.model} @ BS={args.batch_size} seq={args.seq_len} "
+          f"on {report.gpu}")
+    print(f"  weights     : {format_bytes(report.weights_bytes)}")
+    print(f"  activations : {format_bytes(report.activation_bytes)}")
+    print(f"  kv cache    : {format_bytes(report.kv_cache_bytes)}")
+    print(f"  reserve     : {format_bytes(report.reserve_bytes)}")
+    print(f"  total       : {format_bytes(report.total_bytes)} "
+          f"of {format_bytes(report.capacity_bytes)} "
+          f"({100 * report.utilization:.1f}%)")
+    print(f"  fits        : {'yes' if report.fits else 'NO'}")
+    return 0 if report.fits else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SKIP profiler & CPU-GPU coupling characterization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="profile one run with SKIP")
+    _add_workload_args(profile)
+    profile.add_argument("--mode", default="eager",
+                         choices=[m.value for m in ExecutionMode
+                                  if m is not ExecutionMode.PROXIMITY_FUSED])
+    profile.set_defaults(func=_cmd_profile)
+
+    sweep = sub.add_parser("sweep", help="batch sweep with transition stars")
+    sweep.add_argument("--model", default="bert-base-uncased")
+    sweep.add_argument("--platform", default="all",
+                       help="platform name or 'all'")
+    sweep.add_argument("--seq-len", type=int, default=512)
+    sweep.add_argument("--batches", default="1,2,4,8,16,32,64,128")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    fusion = sub.add_parser("fusion", help="fusion recommendations")
+    _add_workload_args(fusion)
+    fusion.add_argument("--threshold", type=float, default=1.0,
+                        help="minimum proximity score")
+    fusion.set_defaults(func=_cmd_fusion)
+
+    nullk = sub.add_parser("nullkernel", help="Table V micro-benchmark")
+    nullk.set_defaults(func=_cmd_nullkernel)
+
+    whatif = sub.add_parser("whatif", help="required CPU speedup analysis")
+    _add_workload_args(whatif)
+    whatif.add_argument("--reference", default="Intel+H100")
+    whatif.set_defaults(func=_cmd_whatif)
+
+    memory = sub.add_parser("memory", help="HBM footprint check")
+    _add_workload_args(memory)
+    memory.set_defaults(func=_cmd_memory)
+
+    validate = sub.add_parser(
+        "validate", help="recompute every paper anchor (scorecard)")
+    validate.set_defaults(func=_cmd_validate)
+
+    export = sub.add_parser("export", help="sweep to JSON/CSV for plotting")
+    export.add_argument("--model", default="bert-base-uncased")
+    export.add_argument("--platform", default="all")
+    export.add_argument("--seq-len", type=int, default=512)
+    export.add_argument("--batches", default="1,2,4,8,16,32,64,128")
+    export.add_argument("--out", required=True,
+                        help="output path (.json or .csv)")
+    export.set_defaults(func=_cmd_export)
+
+    timeline = sub.add_parser("timeline", help="ASCII trace timeline")
+    _add_workload_args(timeline)
+    timeline.add_argument("--width", type=int, default=100)
+    timeline.add_argument("--window-fraction", type=float, default=0.34,
+                          help="fraction of the trace to show (default: "
+                               "roughly the first iteration)")
+    timeline.set_defaults(func=_cmd_timeline)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

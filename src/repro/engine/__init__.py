@@ -1,0 +1,34 @@
+"""Execution engine: lowering, cost model, and discrete-event simulation."""
+
+from repro.engine.compiler import CompileReport, compile_time, unique_gemm_classes
+from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, RunResult, run
+from repro.engine.fusion_apply import FusionPlan, apply_fusion_plan, launches_saved
+from repro.engine.gpu_stream import GpuStream
+from repro.engine.lowering import (
+    KernelTask,
+    LoweredOp,
+    kernel_count,
+    lower_graph,
+    lower_op,
+)
+from repro.engine.modes import ExecutionMode
+
+__all__ = [
+    "CompileReport",
+    "DEFAULT_CONFIG",
+    "EngineConfig",
+    "ExecutionMode",
+    "FusionPlan",
+    "GpuStream",
+    "KernelTask",
+    "LoweredOp",
+    "RunResult",
+    "apply_fusion_plan",
+    "compile_time",
+    "kernel_count",
+    "launches_saved",
+    "lower_graph",
+    "lower_op",
+    "run",
+    "unique_gemm_classes",
+]

@@ -1,0 +1,375 @@
+"""Discrete-event execution engine.
+
+Simulates eager (and compiled) LLM inference on a coupled platform: one CPU
+thread dispatches operators in program order and launches kernels
+asynchronously; one in-order GPU stream executes them. The engine emits a
+PyTorch-Profiler-style trace that SKIP consumes — the same contract the paper
+has between PyTorch Profiler and SKIP.
+
+Timing rules (all per the platform model):
+
+* operator dispatch occupies the CPU for the op's reference cost scaled by
+  the CPU's dispatch score (compiled modes pay a small guard cost instead);
+* each ``cudaLaunchKernel`` occupies the CPU for the platform's runtime-call
+  time, and the kernel reaches the GPU a launch latency later;
+* a kernel starts at ``max(arrival, stream free)`` — the gap from launch-call
+  begin to kernel begin is the paper's ``t_l`` (Eq. 1);
+* the CUDA runtime's bounded launch queue blocks the CPU when it runs too
+  far ahead of the GPU;
+* every iteration ends with a ``cudaDeviceSynchronize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.compiler import CompileReport, apply_inductor_fusion, compile_time
+from repro.engine.fusion_apply import FusionPlan, fused_kernel_name
+from repro.engine.gpu_stream import GpuStream
+from repro.engine.lowering import KernelTask, LoweredOp, lower_graph
+from repro.engine.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.hardware.platform import Platform
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import DEVICE_SYNCHRONIZE, GRAPH_LAUNCH
+from repro.trace.trace import Trace
+from repro.workloads.builder import AttentionImpl, build_graph
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import OperatorGraph, Phase
+from repro.workloads.ops import OpKind
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable engine constants (all nanoseconds unless noted)."""
+
+    iterations: int = 3
+    #: Iterations simulated before measurement starts. Warm-up runs execute
+    #: fully (they advance the clock) but get no iteration marks, so SKIP
+    #: metrics exclude them — mirroring profiler practice on real hardware.
+    warmup_iterations: int = 0
+    launch_queue_depth: int = 1024
+    inter_iteration_gap_ns: float = 2_000.0
+    #: Share of an op's dispatch cost paid after its launches (return path).
+    dispatch_epilogue_fraction: float = 0.1
+    #: Share of the pre-launch dispatch spent inside the child ATen op.
+    child_dispatch_fraction: float = 0.3
+    #: Per-op CPU guard cost in compiled (non-graph) execution.
+    compiled_guard_ns: float = 1_500.0
+    #: CPU cost to invoke a CUDA-graph replay (reference CPU).
+    graph_replay_dispatch_ns: float = 12_000.0
+    #: GPU front-end gap between consecutive graph-replayed kernels (graphs
+    #: pre-encode dependencies, so back-to-back kernels chain with no gap).
+    graph_replay_kernel_gap_ns: float = 0.0
+    #: Scale on the per-kernel scheduling floor inside a CUDA graph (graphs
+    #: pre-encode launch descriptors, cutting most of the front-end cost).
+    graph_kernel_floor_scale: float = 0.35
+    #: Stream front-end gap between back-to-back individually launched
+    #: kernels (avoided entirely by CUDA-graph replay).
+    stream_kernel_gap_ns: float = 700.0
+    #: CPU cost of a cudaDeviceSynchronize call itself (excluding the wait).
+    sync_call_ns: float = 1_500.0
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if self.warmup_iterations < 0:
+            raise ConfigurationError("warmup_iterations must be non-negative")
+        if self.launch_queue_depth <= 0:
+            raise ConfigurationError("launch_queue_depth must be positive")
+        if not (0 <= self.dispatch_epilogue_fraction < 1):
+            raise ConfigurationError("dispatch_epilogue_fraction must be in [0, 1)")
+        if not (0 <= self.child_dispatch_fraction < 1):
+            raise ConfigurationError("child_dispatch_fraction must be in [0, 1)")
+
+
+DEFAULT_CONFIG = EngineConfig()
+
+_CHILD_OP_NAMES = {
+    OpKind.LINEAR: "aten::addmm",
+    OpKind.MATMUL: "aten::bmm",
+}
+
+
+@dataclass
+class RunResult:
+    """Everything one engine run produced."""
+
+    trace: Trace
+    graph: OperatorGraph
+    lowered: list[LoweredOp]
+    platform: Platform
+    mode: ExecutionMode
+    compile_report: CompileReport
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    @property
+    def kernels_per_iteration(self) -> int:
+        """Kernel launches one iteration performs."""
+        return sum(len(lo.kernels) for lo in self.lowered)
+
+    def flat_kernels(self) -> list[KernelTask]:
+        """The per-iteration kernel stream, in launch order."""
+        return [k for lo in self.lowered for k in lo.kernels]
+
+
+def run(
+    model: ModelConfig | OperatorGraph,
+    platform: Platform,
+    batch_size: int = 1,
+    seq_len: int = 512,
+    mode: ExecutionMode = ExecutionMode.EAGER,
+    phase: Phase = Phase.PREFILL,
+    context_len: int | None = None,
+    config: EngineConfig = DEFAULT_CONFIG,
+    fusion_plan: FusionPlan | None = None,
+) -> RunResult:
+    """Simulate inference and return the trace plus run context.
+
+    Args:
+        model: A model config (a graph is built) or a prebuilt operator graph.
+        platform: Platform to simulate.
+        batch_size / seq_len / phase / context_len: Workload shape (ignored
+            when a prebuilt graph is passed).
+        mode: Execution mode; FLASH/compile modes transform the lowering.
+        config: Engine constants.
+        fusion_plan: Required for ``PROXIMITY_FUSED`` mode — the chains to
+            fuse (from SKIP's recommender).
+    """
+    if isinstance(model, OperatorGraph):
+        graph = model
+    else:
+        attention = (AttentionImpl.FLASH if mode.uses_flash_attention
+                     else AttentionImpl.EAGER)
+        graph = build_graph(model, batch_size, seq_len, phase=phase,
+                            attention=attention, context_len=context_len)
+
+    lowered = lower_graph(graph)
+    lowered = apply_inductor_fusion(lowered, mode)
+
+    if mode is ExecutionMode.PROXIMITY_FUSED:
+        if fusion_plan is None:
+            raise ConfigurationError("PROXIMITY_FUSED mode requires a fusion_plan")
+        lowered = _apply_plan_to_lowered(lowered, fusion_plan)
+    elif fusion_plan is not None:
+        raise ConfigurationError(f"fusion_plan is only valid in PROXIMITY_FUSED mode, not {mode}")
+
+    kernel_count = sum(len(lo.kernels) for lo in lowered)
+    report = compile_time(graph, mode, kernel_count)
+
+    builder = TraceBuilder(metadata={
+        "platform": platform.name,
+        "model": graph.model_name,
+        "mode": mode.value,
+        "phase": graph.phase.value,
+        "batch_size": graph.batch_size,
+        "seq_len": graph.seq_len,
+    })
+    if mode.uses_cuda_graph:
+        _simulate_graph_mode(builder, lowered, platform, config)
+    else:
+        _simulate_launch_mode(builder, lowered, platform, mode, config)
+
+    return RunResult(
+        trace=builder.finish(),
+        graph=graph,
+        lowered=lowered,
+        platform=platform,
+        mode=mode,
+        compile_report=report,
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Launch-per-kernel execution (eager / flash / compile-default / fused)
+# ---------------------------------------------------------------------------
+
+def _simulate_launch_mode(
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    mode: ExecutionMode,
+    config: EngineConfig,
+) -> None:
+    stream = GpuStream()
+    cpu = 0.0
+    launched = 0
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        for lowered_op in lowered:
+            op = lowered_op.op
+            if mode.fuses_elementwise:
+                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
+            else:
+                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
+            epilogue = dispatch * config.dispatch_epilogue_fraction
+            pre = dispatch - epilogue
+
+            parent = builder.begin_operator(op.aten_name, cpu)
+            child = None
+            child_name = _CHILD_OP_NAMES.get(op.kind)
+            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
+                cpu += pre * (1.0 - config.child_dispatch_fraction)
+                child = builder.begin_operator(child_name, cpu)
+                cpu += pre * config.child_dispatch_fraction
+            else:
+                cpu += pre
+
+            for kernel in lowered_op.kernels:
+                # Bounded launch queue: the CPU cannot run more than
+                # `launch_queue_depth` launches ahead of kernel starts.
+                backlog_index = launched - config.launch_queue_depth
+                if backlog_index >= 0:
+                    cpu = max(cpu, stream.nth_start(backlog_index))
+                call_ts = cpu
+                duration = _kernel_duration(platform, kernel)
+                arrival = call_ts + platform.launch_latency_ns
+                start, _end = stream.submit(arrival, duration,
+                                            gap_ns=config.stream_kernel_gap_ns)
+                builder.launch_kernel(
+                    call_ts,
+                    platform.launch_call_cpu_ns,
+                    kernel.name,
+                    start,
+                    duration,
+                    stream=stream.stream_id,
+                    flops=kernel.flops,
+                    bytes_moved=kernel.bytes_moved,
+                )
+                cpu += platform.launch_call_cpu_ns
+                launched += 1
+
+            if child is not None:
+                builder.end_operator(child, cpu)
+            cpu += epilogue
+            builder.end_operator(parent, cpu)
+
+        cpu = _end_iteration_sync(builder, stream, cpu, config,
+                                  measured=measured)
+
+
+# ---------------------------------------------------------------------------
+# CUDA-graph execution (reduce-overhead / max-autotune)
+# ---------------------------------------------------------------------------
+
+def _simulate_graph_mode(
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    config: EngineConfig,
+) -> None:
+    stream = GpuStream()
+    cpu = 0.0
+    kernels = [k for lo in lowered for k in lo.kernels]
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        parent = builder.begin_operator("cuda_graph::replay", cpu)
+        cpu += platform.dispatch_ns(config.graph_replay_dispatch_ns)
+        call_ts = cpu
+        builder.runtime_call(GRAPH_LAUNCH, call_ts, platform.launch_call_cpu_ns)
+        cpu += platform.launch_call_cpu_ns
+        arrival = call_ts + platform.launch_latency_ns
+        for kernel in kernels:
+            duration = _kernel_duration(
+                platform, kernel, floor_scale=config.graph_kernel_floor_scale)
+            start, end = stream.submit(arrival, duration)
+            builder.enqueue_graph_kernel(
+                kernel.name, start, duration,
+                stream=stream.stream_id,
+                flops=kernel.flops,
+                bytes_moved=kernel.bytes_moved,
+            )
+            arrival = end + config.graph_replay_kernel_gap_ns
+        builder.end_operator(parent, cpu)
+        cpu = _end_iteration_sync(builder, stream, cpu, config,
+                                  measured=measured)
+
+
+def _kernel_duration(platform: Platform, kernel: KernelTask,
+                     floor_scale: float = 1.0) -> float:
+    """Duration of one kernel task on a platform.
+
+    Proximity-fused kernels (``members`` set) execute as the sum of their
+    members' durations — the paper's assumption that fusion changes launch
+    counts, not kernel work.
+    """
+    if kernel.members:
+        return sum(_kernel_duration(platform, member, floor_scale)
+                   for member in kernel.members)
+    return (platform.kernel_duration_ns(kernel.flops, kernel.bytes_moved,
+                                        floor_scale=floor_scale)
+            * kernel.duration_scale)
+
+
+def _end_iteration_sync(builder: TraceBuilder, stream: GpuStream, cpu: float,
+                        config: EngineConfig, measured: bool = True) -> float:
+    """Emit the end-of-iteration synchronize and advance the CPU clock.
+
+    Warm-up iterations (``measured=False``) synchronize like real ones but
+    leave no iteration mark, so analyses skip them.
+    """
+    wait = max(0.0, stream.free_at - cpu)
+    builder.runtime_call(DEVICE_SYNCHRONIZE, cpu, config.sync_call_ns + wait)
+    cpu += config.sync_call_ns + wait
+    if measured:
+        builder.end_iteration(cpu)
+    return cpu + config.inter_iteration_gap_ns
+
+
+# ---------------------------------------------------------------------------
+# Proximity-fusion plan application at op granularity
+# ---------------------------------------------------------------------------
+
+def _apply_plan_to_lowered(lowered: list[LoweredOp],
+                           plan: FusionPlan) -> list[LoweredOp]:
+    """Rewrite the lowering so recommended chains launch once.
+
+    Matching runs over the flat kernel stream (chains cross operator
+    boundaries); a fused kernel is attributed to the operator contributing
+    its first member, and later members' operators keep their dispatch but
+    lose the launches — exactly the paper's "fusion saves launches only"
+    accounting.
+    """
+    flat: list[tuple[int, KernelTask]] = []
+    for op_index, lowered_op in enumerate(lowered):
+        for kernel in lowered_op.kernels:
+            flat.append((op_index, kernel))
+
+    by_length = sorted(plan.chains, key=len, reverse=True)
+    names = [k.name for _, k in flat]
+    new_kernels: dict[int, list[KernelTask]] = {i: [] for i in range(len(lowered))}
+    fused_id = 0
+    i = 0
+    while i < len(flat):
+        matched = None
+        for chain in by_length:
+            length = len(chain)
+            if i + length <= len(names) and tuple(names[i:i + length]) == chain:
+                matched = chain
+                break
+        if matched is None:
+            owner, kernel = flat[i]
+            new_kernels[owner].append(kernel)
+            i += 1
+            continue
+        members = flat[i:i + len(matched)]
+        owner = members[0][0]
+        new_kernels[owner].append(KernelTask(
+            name=fused_kernel_name(len(matched), fused_id),
+            flops=sum(k.flops for _, k in members),
+            bytes_read=sum(k.bytes_read for _, k in members),
+            bytes_written=sum(k.bytes_written for _, k in members),
+            members=tuple(k for _, k in members),
+        ))
+        fused_id += 1
+        i += len(matched)
+
+    return [LoweredOp(lo.op, tuple(new_kernels[idx]))
+            for idx, lo in enumerate(lowered)]

@@ -1,0 +1,79 @@
+"""Applying a kernel-fusion plan to a lowered kernel stream.
+
+The paper's proximity-score method *recommends* deterministic chains; this
+module actually rewrites the per-iteration kernel stream so each recommended
+chain launches once. Per the paper's assumption (Section V-C), fusion saves
+launches only: the fused kernel performs the sum of the member kernels' work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.lowering import KernelTask
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """An ordered set of kernel-name chains to fuse.
+
+    Chains are applied greedily left-to-right over the kernel stream; longer
+    chains are tried first at each position.
+    """
+
+    chains: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        for chain in self.chains:
+            if len(chain) < 2:
+                raise AnalysisError(f"fusion chain must have length >= 2: {chain}")
+
+    @property
+    def max_length(self) -> int:
+        return max((len(c) for c in self.chains), default=0)
+
+
+def fused_kernel_name(chain_length: int, index: int) -> str:
+    """Name for a fused kernel covering ``chain_length`` originals."""
+    return f"fused_chain_L{chain_length}_id{index}"
+
+
+def apply_fusion_plan(kernels: list[KernelTask], plan: FusionPlan) -> list[KernelTask]:
+    """Rewrite a kernel stream so each matched chain becomes one kernel.
+
+    Matching is greedy and non-overlapping: at each position the longest
+    matching chain wins; unmatched kernels pass through unchanged.
+    """
+    by_length = sorted(plan.chains, key=len, reverse=True)
+    names = [k.name for k in kernels]
+    out: list[KernelTask] = []
+    fused_id = 0
+    i = 0
+    while i < len(kernels):
+        matched = None
+        for chain in by_length:
+            length = len(chain)
+            if i + length <= len(names) and tuple(names[i:i + length]) == chain:
+                matched = chain
+                break
+        if matched is None:
+            out.append(kernels[i])
+            i += 1
+            continue
+        members = kernels[i:i + len(matched)]
+        out.append(KernelTask(
+            name=fused_kernel_name(len(matched), fused_id),
+            flops=sum(k.flops for k in members),
+            bytes_read=sum(k.bytes_read for k in members),
+            bytes_written=sum(k.bytes_written for k in members),
+            members=tuple(members),
+        ))
+        fused_id += 1
+        i += len(matched)
+    return out
+
+
+def launches_saved(kernels: list[KernelTask], plan: FusionPlan) -> int:
+    """Launches removed by applying ``plan`` to ``kernels``."""
+    return len(kernels) - len(apply_fusion_plan(kernels, plan))

@@ -1,0 +1,82 @@
+"""In-order GPU stream simulation.
+
+A CUDA stream executes kernels strictly in submission order. A kernel starts
+at ``max(arrival, previous kernel's end)`` — the difference between its start
+and its launch-call begin is exactly the paper's per-kernel launch-and-queuing
+time ``t_l`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class GpuStream:
+    """One in-order CUDA stream.
+
+    Attributes:
+        stream_id: CUDA stream number reported in traces.
+        free_at: Time the stream finishes its last submitted kernel.
+        busy_ns: Accumulated kernel execution time.
+        kernel_count: Number of kernels submitted.
+        start_times: Start time of every submitted kernel, in order (used by
+            the executor to model the bounded launch queue).
+    """
+
+    stream_id: int = 7
+    free_at: float = 0.0
+    busy_ns: float = 0.0
+    kernel_count: int = 0
+    start_times: list[float] = field(default_factory=list)
+
+    def submit(self, arrival_ns: float, duration_ns: float,
+               gap_ns: float = 0.0) -> tuple[float, float]:
+        """Submit a kernel; returns (start, end) timestamps.
+
+        Args:
+            arrival_ns: When the kernel reaches the GPU front-end (launch-call
+                begin + launch latency).
+            duration_ns: Execution duration.
+            gap_ns: Stream front-end gap between back-to-back kernels
+                (individually launched kernels pay a small teardown/setup
+                cost that CUDA-graph replay avoids).
+        """
+        if duration_ns < 0:
+            raise SimulationError("kernel duration must be non-negative")
+        if arrival_ns < 0:
+            raise SimulationError("kernel arrival must be non-negative")
+        if gap_ns < 0:
+            raise SimulationError("gap must be non-negative")
+        back_to_back = self.kernel_count > 0
+        start = max(arrival_ns, self.free_at + (gap_ns if back_to_back else 0.0))
+        end = start + duration_ns
+        self.free_at = end
+        self.busy_ns += duration_ns
+        self.kernel_count += 1
+        self.start_times.append(start)
+        return start, end
+
+    def started_before(self, ts: float) -> int:
+        """Number of submitted kernels that have started by ``ts``.
+
+        ``start_times`` is non-decreasing for an in-order stream, so a binary
+        search would do; the executor only calls this through
+        :meth:`pending_at`, which indexes directly instead.
+        """
+        count = 0
+        for start in self.start_times:
+            if start <= ts:
+                count += 1
+            else:
+                break
+        return count
+
+    def nth_start(self, index: int) -> float:
+        """Start time of the ``index``-th submitted kernel (0-based)."""
+        try:
+            return self.start_times[index]
+        except IndexError:
+            raise SimulationError(f"no kernel {index} submitted yet") from None

@@ -1,0 +1,66 @@
+"""Execution modes (Fig. 2 of the paper).
+
+From left to right in the paper's figure:
+
+* ``EAGER`` — kernel-by-kernel offload, no fusion, no compile cost.
+* ``FLASH_ATTENTION`` — domain-specific operator fusion: the attention core
+  collapses into one FlashAttention-2 kernel; everything else stays eager.
+* ``COMPILE_DEFAULT`` — torch.compile default: Inductor fuses elementwise
+  chains into Triton kernels and removes Python dispatch, but kernels are
+  still launched individually.
+* ``COMPILE_REDUCE_OVERHEAD`` — adds CUDA-graph capture: the whole iteration
+  becomes one ``cudaGraphLaunch``.
+* ``COMPILE_MAX_AUTOTUNE`` — adds Triton GEMM autotuning on top, buying
+  faster matmul kernels for a much larger compile time (Table I).
+* ``PROXIMITY_FUSED`` — the paper's proposed proximity-score fusion applied
+  as an actual execution mode (the paper leaves this to future work): the
+  recommended deterministic kernel chains each launch once.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionMode(enum.Enum):
+    EAGER = "eager"
+    FLASH_ATTENTION = "flash_attention"
+    COMPILE_DEFAULT = "compile_default"
+    COMPILE_REDUCE_OVERHEAD = "compile_reduce_overhead"
+    COMPILE_MAX_AUTOTUNE = "compile_max_autotune"
+    PROXIMITY_FUSED = "proximity_fused"
+
+    @property
+    def uses_flash_attention(self) -> bool:
+        """FlashAttention lowering of the attention core."""
+        return self in (
+            ExecutionMode.FLASH_ATTENTION,
+            ExecutionMode.COMPILE_MAX_AUTOTUNE,
+        )
+
+    @property
+    def is_compiled(self) -> bool:
+        """Pays a compile cost before the first iteration."""
+        return self in (
+            ExecutionMode.COMPILE_DEFAULT,
+            ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+            ExecutionMode.COMPILE_MAX_AUTOTUNE,
+        )
+
+    @property
+    def fuses_elementwise(self) -> bool:
+        """Inductor-style pointwise fusion is applied."""
+        return self.is_compiled
+
+    @property
+    def uses_cuda_graph(self) -> bool:
+        """The iteration executes as a single cudaGraphLaunch."""
+        return self in (
+            ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+            ExecutionMode.COMPILE_MAX_AUTOTUNE,
+        )
+
+    @property
+    def gemm_duration_scale(self) -> float:
+        """Relative GEMM kernel duration (autotuned kernels are faster)."""
+        return 0.92 if self is ExecutionMode.COMPILE_MAX_AUTOTUNE else 1.0

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A model, platform, or engine configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or cannot be parsed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis (metrics, classification, mining) received invalid input."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine entered an inconsistent state."""

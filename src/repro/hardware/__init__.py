@@ -1,0 +1,57 @@
+"""Hardware models: CPUs, GPUs, interconnects, coupled platforms."""
+
+from repro.hardware.catalog import (
+    ALL_PLATFORMS,
+    AMD_A100,
+    GH200,
+    INTEL_H100,
+    MI300A,
+    PAPER_PLATFORMS,
+    get_platform,
+)
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.interconnect import (
+    Coupling,
+    INFINITY_FABRIC,
+    InterconnectSpec,
+    NVLINK_C2C,
+    PCIE_GEN4_X16,
+    PCIE_GEN5_X16,
+)
+from repro.hardware.nullkernel import NullKernelResult, measure_nullkernel, nullkernel_table
+from repro.hardware.platform import Platform
+from repro.hardware.power import (
+    EnergyReport,
+    POWER_MODELS,
+    PowerModel,
+    energy_of,
+    get_power_model,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "AMD_A100",
+    "Coupling",
+    "CpuSpec",
+    "GH200",
+    "GpuSpec",
+    "INFINITY_FABRIC",
+    "INTEL_H100",
+    "InterconnectSpec",
+    "MI300A",
+    "NVLINK_C2C",
+    "EnergyReport",
+    "NullKernelResult",
+    "PAPER_PLATFORMS",
+    "POWER_MODELS",
+    "PowerModel",
+    "energy_of",
+    "get_power_model",
+    "PCIE_GEN4_X16",
+    "PCIE_GEN5_X16",
+    "Platform",
+    "get_platform",
+    "measure_nullkernel",
+    "nullkernel_table",
+]

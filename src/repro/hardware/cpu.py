@@ -1,0 +1,78 @@
+"""CPU model.
+
+The paper attributes low-batch inference latency to two CPU-side costs:
+
+* **framework dispatch** — the CPU time to run each framework operator
+  (Python/ATen dispatch, shape checks, allocator work). This dominates
+  CPU-bound latency and is where the Grace CPU's "relatively lower CPU
+  performance and/or less advanced software stack" (Section V-D) shows up.
+* **runtime-call cost** — the CPU portion of ``cudaLaunchKernel``, part of the
+  nullKernel launch overhead of Table V.
+
+Both are modeled as reference costs divided by per-CPU performance scores.
+The two scores are deliberately separate: the launch path exercises the
+driver/uncore, while dispatch exercises the core plus the software stack, and
+the paper's own data shows they rank platforms differently (AMD has the
+*lowest* launch overhead but not the lowest dispatch latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: CPU-side cost of one cudaLaunchKernel call on the reference CPU
+#: (Intel Xeon Platinum 8468V), in nanoseconds.
+REFERENCE_RUNTIME_CALL_NS = 1254.6
+
+# Per-operator reference dispatch costs live in
+# repro.workloads.ops.DISPATCH_COST_NS (10-25 us per ATen op on the reference
+# CPU: Python bindings, dispatcher, shape checks, allocator). They are
+# calibrated so BS=1 BERT prefill latency and the Fig. 6 transition batch
+# sizes land in the paper's range.
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU package participating in a coupled platform.
+
+    Attributes:
+        name: Marketing name.
+        isa: Instruction set ("x86_64" or "aarch64").
+        cores: Physical core count (informational; the inference driver thread
+            is single-threaded, as in eager PyTorch).
+        base_clock_ghz / boost_clock_ghz: Clocks (informational).
+        runtime_call_score: Relative speed of CUDA runtime calls
+            (reference = 1.0; higher is faster).
+        dispatch_score: Relative speed of framework operator dispatch,
+            folding in single-thread performance *and* software-stack maturity
+            (reference = 1.0; higher is faster).
+        memory: Capacity in GiB (informational).
+    """
+
+    name: str
+    isa: str
+    cores: int
+    base_clock_ghz: float
+    boost_clock_ghz: float
+    runtime_call_score: float
+    dispatch_score: float
+    memory_gib: int = 512
+
+    def __post_init__(self) -> None:
+        if self.runtime_call_score <= 0 or self.dispatch_score <= 0:
+            raise ConfigurationError(f"{self.name}: performance scores must be positive")
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be positive")
+
+    @property
+    def runtime_call_ns(self) -> float:
+        """CPU-side duration of one ``cudaLaunchKernel`` call."""
+        return REFERENCE_RUNTIME_CALL_NS / self.runtime_call_score
+
+    def dispatch_ns(self, reference_cost_ns: float) -> float:
+        """CPU time to dispatch an operator with the given reference cost."""
+        if reference_cost_ns < 0:
+            raise ConfigurationError("reference dispatch cost must be non-negative")
+        return reference_cost_ns / self.dispatch_score

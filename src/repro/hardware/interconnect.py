@@ -1,0 +1,97 @@
+"""Interconnect model and coupling taxonomy.
+
+The paper's Figure 1 taxonomy:
+
+* **LC** (loosely-coupled): discrete CPU/GPU over PCIe, separate memories.
+* **CC** (closely-coupled): same board, high-speed chip-to-chip link
+  (NVLink-C2C on GH200), unified *virtual* memory.
+* **TC** (tightly-coupled): same package, physically unified memory
+  (AMD MI300A).
+
+For kernel-launch behavior the relevant interconnect property is the
+submission (doorbell) latency the launch path pays; for data movement it is
+link bandwidth and base latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Coupling(enum.Enum):
+    """Degree of CPU-GPU integration (Fig. 1 of the paper)."""
+
+    LOOSELY_COUPLED = "LC"
+    CLOSELY_COUPLED = "CC"
+    TIGHTLY_COUPLED = "TC"
+
+    @property
+    def shares_board(self) -> bool:
+        return self is not Coupling.LOOSELY_COUPLED
+
+    @property
+    def shares_physical_memory(self) -> bool:
+        return self is Coupling.TIGHTLY_COUPLED
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A CPU<->GPU link.
+
+    Attributes:
+        name: Link name ("PCIe Gen5 x16", "NVLink-C2C", ...).
+        bandwidth_gbs: Unidirectional bandwidth in GB/s.
+        base_latency_ns: One-way small-message latency.
+        submission_ns: Extra launch-path cost (doorbell write + fetch) a
+            kernel launch pays crossing this link.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    base_latency_ns: float
+    submission_ns: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.base_latency_ns < 0 or self.submission_ns < 0:
+            raise ConfigurationError(f"{self.name}: latencies must be non-negative")
+
+    def transfer_ns(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` across the link (one direction)."""
+        if num_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        # bandwidth_gbs GB/s is numerically equal to bytes per nanosecond.
+        return self.base_latency_ns + num_bytes / self.bandwidth_gbs
+
+
+PCIE_GEN4_X16 = InterconnectSpec(
+    name="PCIe Gen4 x16",
+    bandwidth_gbs=32.0,
+    base_latency_ns=800.0,
+    submission_ns=260.0,
+)
+
+PCIE_GEN5_X16 = InterconnectSpec(
+    name="PCIe Gen5 x16",
+    bandwidth_gbs=64.0,
+    base_latency_ns=700.0,
+    submission_ns=220.0,
+)
+
+NVLINK_C2C = InterconnectSpec(
+    name="NVLink-C2C",
+    bandwidth_gbs=450.0,  # 900 GB/s bidirectional
+    base_latency_ns=120.0,
+    submission_ns=90.0,
+)
+
+INFINITY_FABRIC = InterconnectSpec(
+    name="Infinity Fabric (on-package)",
+    bandwidth_gbs=512.0,
+    base_latency_ns=60.0,
+    submission_ns=40.0,
+)

@@ -1,0 +1,90 @@
+"""Platform: a CPU + GPU pair joined by an interconnect.
+
+The platform derives the launch-path costs that feed both the nullKernel
+micro-benchmark (Table V) and the execution engine:
+
+* ``launch_call_cpu_ns`` — how long the CPU thread is occupied by one
+  ``cudaLaunchKernel`` call;
+* ``launch_latency_ns`` — launch-call begin to kernel begin when the GPU is
+  idle (the paper's unqueued ``t_l``): CPU call + driver + link submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.interconnect import Coupling, InterconnectSpec
+
+#: Driver-side share of the launch path (queue bookkeeping, command encode),
+#: common to all NVIDIA-driver platforms in the study.
+DRIVER_LAUNCH_NS = 900.0
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A CPU-GPU coupled platform.
+
+    Attributes:
+        name: Short platform id used in tables ("Intel+H100", "GH200", ...).
+        cpu: CPU model.
+        gpu: GPU model.
+        interconnect: CPU<->GPU link.
+        coupling: LC / CC / TC taxonomy bucket.
+        driver_launch_ns: Driver share of the launch path.
+    """
+
+    name: str
+    cpu: CpuSpec
+    gpu: GpuSpec
+    interconnect: InterconnectSpec
+    coupling: Coupling
+    driver_launch_ns: float = DRIVER_LAUNCH_NS
+    description: str = ""
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.driver_launch_ns < 0:
+            raise ConfigurationError(f"{self.name}: driver_launch_ns must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Launch-path costs
+    # ------------------------------------------------------------------
+    @property
+    def launch_call_cpu_ns(self) -> float:
+        """CPU-thread occupancy of one ``cudaLaunchKernel`` call."""
+        return self.cpu.runtime_call_ns
+
+    @property
+    def launch_latency_ns(self) -> float:
+        """Unqueued launch-call begin to kernel begin (Table V's overhead)."""
+        return self.cpu.runtime_call_ns + self.driver_launch_ns + self.interconnect.submission_ns
+
+    def dispatch_ns(self, reference_cost_ns: float) -> float:
+        """CPU time to dispatch an operator with the given reference cost."""
+        return self.cpu.dispatch_ns(reference_cost_ns)
+
+    def kernel_duration_ns(self, flops: float, bytes_moved: float,
+                           floor_scale: float = 1.0) -> float:
+        """Roofline kernel duration on this platform's GPU."""
+        return self.gpu.kernel_duration_ns(flops, bytes_moved, floor_scale)
+
+    def transfer_ns(self, num_bytes: float) -> float:
+        """Host<->device transfer time across the platform's link.
+
+        Tightly-coupled platforms share physical memory, so explicit transfer
+        degenerates to the link's base latency (a cache-coherent access).
+        """
+        if self.coupling.shares_physical_memory:
+            return self.interconnect.base_latency_ns
+        return self.interconnect.transfer_ns(num_bytes)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name} [{self.coupling.value}] — {self.cpu.name} + {self.gpu.name} "
+            f"over {self.interconnect.name}; launch latency "
+            f"{self.launch_latency_ns:.0f} ns"
+        )

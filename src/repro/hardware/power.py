@@ -1,0 +1,111 @@
+"""Power and energy accounting.
+
+Table IV lists the paper's accelerators with their power classes (A100
+500 W, H100 PCIe 350 W, GH200 module 900 W), and the kernel-fusion
+literature it builds on ([47]) motivates fusion by energy savings. This
+module attaches a simple activity-based power model to a profiled run:
+
+``energy = P_busy * busy_time + P_idle * idle_time`` per processing unit,
+
+which is enough to compare energy-per-inference and energy-per-token across
+coupling paradigms and execution modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.units import SEC
+
+if TYPE_CHECKING:  # avoid a hardware -> skip -> engine -> hardware cycle
+    from repro.skip.metrics import SkipMetrics
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Busy/idle power draw for one platform's PUs (watts)."""
+
+    name: str
+    gpu_busy_w: float
+    gpu_idle_w: float
+    cpu_busy_w: float
+    cpu_idle_w: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("gpu_busy_w", "gpu_idle_w", "cpu_busy_w",
+                           "cpu_idle_w"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+        if self.gpu_idle_w > self.gpu_busy_w:
+            raise ConfigurationError("gpu idle power exceeds busy power")
+        if self.cpu_idle_w > self.cpu_busy_w:
+            raise ConfigurationError("cpu idle power exceeds busy power")
+
+
+#: Power classes from Table IV plus typical idle floors.
+AMD_A100_POWER = PowerModel("AMD+A100", gpu_busy_w=500.0, gpu_idle_w=80.0,
+                            cpu_busy_w=155.0, cpu_idle_w=65.0)
+INTEL_H100_POWER = PowerModel("Intel+H100", gpu_busy_w=350.0, gpu_idle_w=70.0,
+                              cpu_busy_w=330.0, cpu_idle_w=120.0)
+GH200_POWER = PowerModel("GH200", gpu_busy_w=700.0, gpu_idle_w=90.0,
+                         cpu_busy_w=200.0, cpu_idle_w=80.0)
+MI300A_POWER = PowerModel("MI300A", gpu_busy_w=550.0, gpu_idle_w=90.0,
+                          cpu_busy_w=0.0, cpu_idle_w=0.0)  # shared package
+
+POWER_MODELS: dict[str, PowerModel] = {
+    model.name: model
+    for model in (AMD_A100_POWER, INTEL_H100_POWER, GH200_POWER, MI300A_POWER)
+}
+
+
+def get_power_model(platform_name: str) -> PowerModel:
+    """Power model for a cataloged platform name."""
+    try:
+        return POWER_MODELS[platform_name]
+    except KeyError:
+        known = ", ".join(sorted(POWER_MODELS))
+        raise ConfigurationError(
+            f"no power model for {platform_name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy for one profiled iteration (averaged across iterations)."""
+
+    platform: str
+    gpu_energy_j: float
+    cpu_energy_j: float
+    inference_latency_ns: float
+
+    @property
+    def total_j(self) -> float:
+        return self.gpu_energy_j + self.cpu_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / (self.inference_latency_ns / SEC)
+
+    def energy_per_token_j(self, tokens: int) -> float:
+        """Joules per processed token (prefill) or generated token (decode)."""
+        if tokens <= 0:
+            raise AnalysisError("tokens must be positive")
+        return self.total_j / tokens
+
+
+def energy_of(metrics: "SkipMetrics", power: PowerModel) -> EnergyReport:
+    """Activity-based energy for one profiled run."""
+    il_s = metrics.inference_latency_ns / SEC
+    gpu_busy_s = metrics.gpu_busy_ns / SEC
+    cpu_busy_s = min(metrics.cpu_busy_ns, metrics.inference_latency_ns) / SEC
+    gpu_idle_s = max(0.0, il_s - gpu_busy_s)
+    cpu_idle_s = max(0.0, il_s - cpu_busy_s)
+    return EnergyReport(
+        platform=power.name,
+        gpu_energy_j=(power.gpu_busy_w * gpu_busy_s
+                      + power.gpu_idle_w * gpu_idle_s),
+        cpu_energy_j=(power.cpu_busy_w * cpu_busy_s
+                      + power.cpu_idle_w * cpu_idle_s),
+        inference_latency_ns=metrics.inference_latency_ns,
+    )

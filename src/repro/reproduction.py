@@ -1,0 +1,149 @@
+"""Reproduction scorecard: every paper anchor, checked programmatically.
+
+``python -m repro validate`` (or :func:`run_scorecard`) re-derives the
+paper's headline numbers from the simulator and reports paper-vs-measured
+with a tolerance verdict per anchor. The benchmark suite asserts the same
+facts; this module is the one-shot, human-readable version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import find_crossover, run_batch_sweep
+from repro.engine import EngineConfig, ExecutionMode, run
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.skip import analyze_trace, best_speedup, compute_metrics
+from repro.workloads import BERT_BASE, GEMMA_2B, GPT2, LLAMA_3_2_1B, XLM_ROBERTA_BASE
+
+_FAST = EngineConfig(iterations=1)
+_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One paper-vs-measured check."""
+
+    experiment: str
+    description: str
+    paper_value: float
+    measured_value: float
+    tolerance: float  # relative
+
+    @property
+    def passed(self) -> bool:
+        if self.paper_value == 0:
+            return self.measured_value == 0
+        return (abs(self.measured_value - self.paper_value)
+                <= self.tolerance * abs(self.paper_value))
+
+    @property
+    def deviation(self) -> float:
+        if self.paper_value == 0:
+            return 0.0
+        return self.measured_value / self.paper_value - 1.0
+
+
+@dataclass
+class Scorecard:
+    """All anchors plus a summary."""
+
+    anchors: list[Anchor]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for a in self.anchors if a.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.anchors)
+
+    def failures(self) -> list[Anchor]:
+        return [a for a in self.anchors if not a.passed]
+
+    def render(self) -> str:
+        lines = [
+            f"reproduction scorecard: {self.passed}/{self.total} anchors "
+            "within tolerance",
+            f"{'experiment':10s} {'anchor':48s} {'paper':>9} {'ours':>9} "
+            f"{'dev':>7}  verdict",
+        ]
+        lines.append("-" * len(lines[1]))
+        for anchor in self.anchors:
+            verdict = "ok" if anchor.passed else "DEVIATES"
+            lines.append(
+                f"{anchor.experiment:10s} {anchor.description:48s} "
+                f"{anchor.paper_value:>9.3f} {anchor.measured_value:>9.3f} "
+                f"{100 * anchor.deviation:>+6.1f}%  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def run_scorecard(progress: Callable[[str], None] | None = None) -> Scorecard:
+    """Recompute every anchor (takes a few seconds of simulation)."""
+    say = progress or (lambda _msg: None)
+    anchors: list[Anchor] = []
+
+    say("Table V: nullKernel launch path")
+    for platform, paper in ((AMD_A100, 2260.5), (INTEL_H100, 2374.6),
+                            (GH200, 2771.6)):
+        anchors.append(Anchor("Table V", f"{platform.name} launch overhead (ns)",
+                              paper, platform.launch_latency_ns, 0.001))
+
+    say("Fig. 6 / Fig. 10: encoder sweep")
+    bert = run_batch_sweep(BERT_BASE, (INTEL_H100, AMD_A100, GH200), _BATCHES,
+                           engine_config=_FAST)
+    anchors.append(Anchor("Fig. 6", "encoder star, Intel+H100 (BS)", 8,
+                          bert.transition("Intel+H100").batch_size or -1, 0.0))
+    anchors.append(Anchor("Fig. 6", "encoder star, GH200 (BS)", 32,
+                          bert.transition("GH200").batch_size or -1, 0.0))
+    bs1 = {p: bert.point(p, 1).ttft_ns for p in ("Intel+H100", "AMD+A100",
+                                                 "GH200")}
+    anchors.append(Anchor("Fig. 10a", "BERT BS=1 GH200/Intel slowdown", 2.8,
+                          bs1["GH200"] / bs1["Intel+H100"], 0.25))
+    anchors.append(Anchor("Fig. 10a", "BERT BS=1 GH200/AMD slowdown", 1.9,
+                          bs1["GH200"] / bs1["AMD+A100"], 0.15))
+    cp = find_crossover(bert, "GH200", "Intel+H100")
+    anchors.append(Anchor("Fig. 10a", "BERT crossover point (BS)", 16,
+                          cp.batch_size or -1, 0.0))
+    anchors.append(Anchor("Fig. 10a", "BERT BS=64 speedup vs Intel", 1.6,
+                          cp.speedup_at(bert.batch_sizes, 64), 0.3))
+    cp_amd = find_crossover(bert, "GH200", "AMD+A100")
+    anchors.append(Anchor("Fig. 10a", "BERT BS=64 speedup vs AMD", 2.4,
+                          cp_amd.speedup_at(bert.batch_sizes, 64), 0.15))
+
+    say("Fig. 11: Llama sweep")
+    llama = run_batch_sweep(LLAMA_3_2_1B, (INTEL_H100, AMD_A100, GH200),
+                            _BATCHES, engine_config=_FAST)
+    cp = find_crossover(llama, "GH200", "Intel+H100")
+    cp_amd = find_crossover(llama, "GH200", "AMD+A100")
+    anchors.append(Anchor("Fig. 11a", "Llama BS=16 speedup vs Intel", 1.9,
+                          cp.speedup_at(llama.batch_sizes, 16), 0.15))
+    anchors.append(Anchor("Fig. 11a", "Llama BS=16 speedup vs AMD", 2.7,
+                          cp_amd.speedup_at(llama.batch_sizes, 16), 0.15))
+
+    say("Fig. 8: fusion speedups")
+    for model, paper in ((GPT2, 2.7), (XLM_ROBERTA_BASE, 6.8)):
+        result = run(model, INTEL_H100, batch_size=1, seq_len=512, config=_FAST)
+        best = best_speedup(analyze_trace(result.trace))
+        anchors.append(Anchor("Fig. 8", f"{model.name} ideal speedup @L=256",
+                              paper, best.ideal_speedup, 0.15))
+
+    say("Table I: torch.compile ladder")
+    eager_il = compute_metrics(run(GEMMA_2B, INTEL_H100, 1, 1024,
+                                   config=_FAST).trace).inference_latency_ns
+    for mode, paper_compile, paper_speedup in (
+        (ExecutionMode.COMPILE_DEFAULT, 6.2844, 1.203),
+        (ExecutionMode.COMPILE_REDUCE_OVERHEAD, 12.7469, 1.2394),
+        (ExecutionMode.COMPILE_MAX_AUTOTUNE, 387.3, 1.317),
+    ):
+        result = run(GEMMA_2B, INTEL_H100, 1, 1024, mode=mode, config=_FAST)
+        il = compute_metrics(result.trace).inference_latency_ns
+        anchors.append(Anchor("Table I", f"{mode.value} compile time (s)",
+                              paper_compile, result.compile_report.total_s,
+                              0.15))
+        anchors.append(Anchor("Table I", f"{mode.value} speedup",
+                              paper_speedup, eager_il / il, 0.1))
+
+    return Scorecard(anchors=anchors)

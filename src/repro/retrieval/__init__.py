@@ -1,0 +1,5 @@
+"""Retrieval substrate: vector indexes for the RAG pipeline."""
+
+from repro.retrieval.index import BruteForceIndex, IVFIndex, SearchResult
+
+__all__ = ["BruteForceIndex", "IVFIndex", "SearchResult"]

@@ -1,0 +1,58 @@
+"""Serving-scenario composition: batching, agentic chains, RAG."""
+
+from repro.serving.batcher import (
+    ServingReport,
+    StaticBatchPolicy,
+    simulate_static_batching,
+)
+from repro.serving.continuous import (
+    ContinuousBatchPolicy,
+    simulate_continuous_batching,
+)
+from repro.serving.latency import LatencyModel
+from repro.serving.pipeline import (
+    AgenticPipeline,
+    PipelineResult,
+    PipelineStage,
+    StageLatency,
+)
+from repro.serving.rag import RagLatency, RagPipeline
+from repro.serving.scheduler import (
+    ClassifiedRequest,
+    PriorityPolicy,
+    PriorityReport,
+    RequestClass,
+    simulate_priority_scheduling,
+)
+from repro.serving.requests import Request, RequestOutcome, poisson_requests
+from repro.serving.speculative import (
+    SpeculativeConfig,
+    SpeculativeLatency,
+    speculative_generation_ns,
+)
+
+__all__ = [
+    "AgenticPipeline",
+    "ContinuousBatchPolicy",
+    "simulate_continuous_batching",
+    "LatencyModel",
+    "PipelineResult",
+    "PipelineStage",
+    "ClassifiedRequest",
+    "PriorityPolicy",
+    "PriorityReport",
+    "RagLatency",
+    "RagPipeline",
+    "RequestClass",
+    "simulate_priority_scheduling",
+    "Request",
+    "RequestOutcome",
+    "ServingReport",
+    "SpeculativeConfig",
+    "SpeculativeLatency",
+    "speculative_generation_ns",
+    "StageLatency",
+    "StaticBatchPolicy",
+    "poisson_requests",
+    "simulate_static_batching",
+]

@@ -1,0 +1,122 @@
+"""Batching policies and the serving-loop simulation.
+
+Section II-A of the paper frames the central serving trade-off: large batches
+maximize throughput but inflate per-user latency (TTFT); BS=1 minimizes
+latency but wastes hardware. This module simulates a single-replica serving
+loop under a static batching policy so the examples and ablation benches can
+quantify that trade-off on each platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import Request, RequestOutcome
+from repro.workloads.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class StaticBatchPolicy:
+    """Collect up to ``max_batch_size`` requests or wait at most ``max_wait_ns``.
+
+    ``max_batch_size=1`` degenerates to latency-critical single-stream
+    serving (MLPerf SingleStream, per Section IV-B).
+    """
+
+    max_batch_size: int = 8
+    max_wait_ns: float = 50e6  # 50 ms
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        if self.max_wait_ns < 0:
+            raise ConfigurationError("max_wait_ns must be non-negative")
+
+
+@dataclass
+class ServingReport:
+    """Aggregate statistics for one simulated serving run."""
+
+    outcomes: list[RequestOutcome]
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ConfigurationError("no outcomes to report")
+
+    def _values(self, attr: str) -> list[float]:
+        return sorted(getattr(o, attr) for o in self.outcomes)
+
+    def mean_ttft_ns(self) -> float:
+        values = self._values("ttft_ns")
+        return sum(values) / len(values)
+
+    def p99_ttft_ns(self) -> float:
+        values = self._values("ttft_ns")
+        return values[min(len(values) - 1, int(0.99 * len(values)))]
+
+    def mean_completion_ns(self) -> float:
+        values = self._values("completion_ns")
+        return sum(values) / len(values)
+
+    def throughput_tokens_per_s(self) -> float:
+        total_tokens = sum(o.request.output_tokens for o in self.outcomes)
+        makespan_ns = max(o.request.arrival_ns + o.completion_ns
+                          for o in self.outcomes)
+        return total_tokens / (makespan_ns / 1e9)
+
+    def mean_batch_size(self) -> float:
+        return sum(o.batch_size for o in self.outcomes) / len(self.outcomes)
+
+
+def simulate_static_batching(
+    requests: Sequence[Request],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: StaticBatchPolicy = StaticBatchPolicy(),
+) -> ServingReport:
+    """Run a static-batching serving loop over an arrival stream.
+
+    The server collects requests until the batch is full or the oldest
+    request has waited ``max_wait_ns``, then runs prefill + decode for the
+    whole batch (padded to the longest prompt/output in the batch — the
+    classic static-batching inefficiency).
+    """
+    if not requests:
+        raise ConfigurationError("no requests to serve")
+    pending = sorted(requests, key=lambda r: r.arrival_ns)
+    outcomes: list[RequestOutcome] = []
+    server_free_ns = 0.0
+    i = 0
+    while i < len(pending):
+        first = pending[i]
+        batch_start = max(first.arrival_ns, server_free_ns)
+        batch = [first]
+        j = i + 1
+        deadline = first.arrival_ns + policy.max_wait_ns
+        while (j < len(pending) and len(batch) < policy.max_batch_size
+               and pending[j].arrival_ns <= max(deadline, batch_start)):
+            batch.append(pending[j])
+            j += 1
+        launch_ns = max(batch_start, batch[-1].arrival_ns)
+
+        batch_size = len(batch)
+        prompt_len = max(r.prompt_len for r in batch)
+        output_tokens = max(r.output_tokens for r in batch)
+        ttft = latency.ttft_ns(model, batch_size, prompt_len)
+        total = latency.generation_ns(model, batch_size, prompt_len,
+                                      output_tokens)
+        for request in batch:
+            queued = launch_ns - request.arrival_ns
+            outcomes.append(RequestOutcome(
+                request=request,
+                ttft_ns=queued + ttft,
+                completion_ns=queued + total,
+                batch_size=batch_size,
+                queue_ns=queued,
+            ))
+        server_free_ns = launch_ns + total
+        i = j
+    return ServingReport(outcomes=outcomes)

@@ -1,0 +1,81 @@
+"""LatencyModel — cached engine-backed latencies for serving simulations.
+
+Serving simulations need many latency lookups for the same (model, batch,
+length) shapes; this wrapper memoizes engine runs and interpolates decode
+steps across context lengths so a K-token generation does not need K engine
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import EngineConfig, run
+from repro.engine.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.hardware.platform import Platform
+from repro.skip.metrics import compute_metrics
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import Phase
+
+#: One engine iteration is enough for latency lookups (the engine is
+#: deterministic), which keeps sweeps cheap.
+_FAST_CONFIG = EngineConfig(iterations=1)
+
+
+@dataclass
+class LatencyModel:
+    """Memoized TTFT / decode-step latencies on one platform."""
+
+    platform: Platform
+    mode: ExecutionMode = ExecutionMode.EAGER
+    engine_config: EngineConfig = field(default=_FAST_CONFIG)
+    _ttft_cache: dict = field(default_factory=dict, repr=False)
+    _decode_cache: dict = field(default_factory=dict, repr=False)
+
+    def ttft_ns(self, model: ModelConfig, batch_size: int, prompt_len: int) -> float:
+        """Prefill latency (time-to-first-token)."""
+        key = (model.name, batch_size, prompt_len)
+        if key not in self._ttft_cache:
+            result = run(model, self.platform, batch_size=batch_size,
+                         seq_len=prompt_len, mode=self.mode,
+                         config=self.engine_config)
+            metrics = compute_metrics(result.trace)
+            self._ttft_cache[key] = metrics.inference_latency_ns
+        return self._ttft_cache[key]
+
+    def decode_step_ns(self, model: ModelConfig, batch_size: int,
+                       context_len: int) -> float:
+        """Latency of one decode step at a given KV-cache length."""
+        key = (model.name, batch_size, context_len)
+        if key not in self._decode_cache:
+            result = run(model, self.platform, batch_size=batch_size,
+                         seq_len=1, phase=Phase.DECODE, context_len=context_len,
+                         mode=self.mode, config=self.engine_config)
+            metrics = compute_metrics(result.trace)
+            self._decode_cache[key] = metrics.inference_latency_ns
+        return self._decode_cache[key]
+
+    def generation_ns(self, model: ModelConfig, batch_size: int,
+                      prompt_len: int, output_tokens: int) -> float:
+        """End-to-end latency: prefill plus ``output_tokens`` decode steps.
+
+        Decode cost is integrated with a two-point trapezoid over the context
+        growth (decode latency is near-affine in context length).
+        """
+        if output_tokens < 0:
+            raise ConfigurationError("output_tokens must be non-negative")
+        total = self.ttft_ns(model, batch_size, prompt_len)
+        if output_tokens == 0:
+            return total
+        first = self.decode_step_ns(model, batch_size, prompt_len + 1)
+        last = self.decode_step_ns(model, batch_size, prompt_len + output_tokens)
+        return total + output_tokens * (first + last) / 2.0
+
+    def tokens_per_second(self, model: ModelConfig, batch_size: int,
+                          prompt_len: int, output_tokens: int) -> float:
+        """Aggregate generated-token throughput for a full batch."""
+        total_ns = self.generation_ns(model, batch_size, prompt_len, output_tokens)
+        if total_ns <= 0:
+            raise ConfigurationError("generation latency must be positive")
+        return batch_size * output_tokens / (total_ns / 1e9)

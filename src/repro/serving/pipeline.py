@@ -1,0 +1,95 @@
+"""Agentic pipelines: chained model invocations (Section II-A).
+
+In agentic systems an orchestrator LLM's output feeds downstream models; the
+paper's point is that per-stage latency *compounds*, so batching-induced
+latency anywhere in the chain degrades end-to-end responsiveness. This module
+composes per-stage generation latencies from the engine-backed LatencyModel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.serving.latency import LatencyModel
+from repro.workloads.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One model invocation in an agentic chain.
+
+    ``consumes_upstream`` adds the previous stage's generated tokens to this
+    stage's prompt (output chaining).
+    """
+
+    name: str
+    model: ModelConfig
+    prompt_len: int
+    output_tokens: int
+    consumes_upstream: bool = True
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0 or self.output_tokens <= 0:
+            raise ConfigurationError(
+                f"stage {self.name}: lengths must be positive")
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Latency of one executed stage."""
+
+    stage: str
+    prompt_len: int
+    ttft_ns: float
+    total_ns: float
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """End-to-end latency of a pipeline execution."""
+
+    stages: tuple[StageLatency, ...]
+
+    @property
+    def total_ns(self) -> float:
+        return sum(s.total_ns for s in self.stages)
+
+    @property
+    def total_ttft_ns(self) -> float:
+        """Sum of per-stage TTFTs — the 'first signs of progress' latency."""
+        return sum(s.ttft_ns for s in self.stages)
+
+    def slowest_stage(self) -> StageLatency:
+        return max(self.stages, key=lambda s: s.total_ns)
+
+
+class AgenticPipeline:
+    """A chain of model invocations evaluated on one platform."""
+
+    def __init__(self, stages: list[PipelineStage], latency: LatencyModel) -> None:
+        if not stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+        self.stages = list(stages)
+        self.latency = latency
+
+    def run(self, batch_size: int = 1) -> PipelineResult:
+        """Evaluate end-to-end latency when every stage runs at ``batch_size``.
+
+        Larger batch sizes model a deployment that batches concurrent
+        pipeline executions at each stage; latency compounds per stage.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        results: list[StageLatency] = []
+        upstream_tokens = 0
+        for stage in self.stages:
+            prompt = stage.prompt_len + (upstream_tokens
+                                         if stage.consumes_upstream else 0)
+            ttft = self.latency.ttft_ns(stage.model, batch_size, prompt)
+            total = self.latency.generation_ns(stage.model, batch_size, prompt,
+                                               stage.output_tokens)
+            results.append(StageLatency(stage=stage.name, prompt_len=prompt,
+                                        ttft_ns=ttft, total_ns=total))
+            upstream_tokens = stage.output_tokens
+        return PipelineResult(stages=tuple(results))

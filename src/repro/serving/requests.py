@@ -1,0 +1,77 @@
+"""Request model and workload generators for serving simulations."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival_ns: float
+    prompt_len: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_ns < 0:
+            raise ConfigurationError("arrival must be non-negative")
+        if self.prompt_len <= 0 or self.output_tokens <= 0:
+            raise ConfigurationError("prompt_len and output_tokens must be positive")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Measured latencies for one completed request."""
+
+    request: Request
+    ttft_ns: float        # arrival -> first token
+    completion_ns: float  # arrival -> last token
+    batch_size: int       # batch the request was served in
+    queue_ns: float = 0.0  # time waited before its batch started prefill
+
+
+def poisson_requests(
+    rate_per_s: float,
+    duration_s: float,
+    prompt_len: int = 512,
+    prompt_jitter: int = 0,
+    output_tokens: int = 64,
+    output_jitter: int = 0,
+    seed: int = 0,
+) -> list[Request]:
+    """Generate a Poisson arrival stream with optional length jitter.
+
+    Args:
+        rate_per_s: Mean arrival rate.
+        duration_s: Stream duration.
+        prompt_len / prompt_jitter: Prompt length and uniform +/- jitter.
+        output_tokens / output_jitter: Output length and uniform +/- jitter.
+        seed: RNG seed (deterministic streams for tests/benches).
+    """
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ConfigurationError("rate and duration must be positive")
+    rng = random.Random(seed)
+    requests: list[Request] = []
+    clock_s = 0.0
+    index = 0
+    while True:
+        clock_s += rng.expovariate(rate_per_s)
+        if clock_s >= duration_s:
+            break
+        plen = prompt_len + (rng.randint(-prompt_jitter, prompt_jitter)
+                             if prompt_jitter else 0)
+        olen = output_tokens + (rng.randint(-output_jitter, output_jitter)
+                                if output_jitter else 0)
+        requests.append(Request(
+            request_id=index,
+            arrival_ns=clock_s * 1e9,
+            prompt_len=max(1, plen),
+            output_tokens=max(1, olen),
+        ))
+        index += 1
+    return requests

@@ -1,0 +1,108 @@
+"""Speculative decoding: a draft model proposes, the target model verifies.
+
+A latency-optimization technique squarely in the paper's problem space —
+with a regime dependence the simulator makes explicit. Speculation replaces
+K sequential target-model steps with K draft steps plus one verification
+pass. That trade only pays when a decode step's cost scales with model
+*size* (memory-bound weight streaming, e.g. under CUDA-graph execution).
+In the eager dispatch-bound regime the paper characterizes, every forward
+pass costs roughly the same CPU time regardless of model width, so a
+"small" draft model is no cheaper per step and speculation loses — fuse or
+capture graphs first, then speculate.
+
+Latency model per round (draft length K, acceptance rate a):
+
+* K draft-model decode steps;
+* one target-model forward over the K proposed tokens (a small prefill);
+* expected accepted tokens per round: classic geometric acceptance,
+  ``E = (1 - a^(K+1)) / (1 - a)`` (includes the bonus token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.serving.latency import LatencyModel
+from repro.workloads.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig:
+    """Draft/verify configuration.
+
+    Attributes:
+        draft_tokens: Tokens proposed per round (K).
+        acceptance_rate: Probability each proposed token matches the target
+            model's choice (a).
+    """
+
+    draft_tokens: int = 4
+    acceptance_rate: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.draft_tokens <= 0:
+            raise ConfigurationError("draft_tokens must be positive")
+        if not (0.0 < self.acceptance_rate < 1.0):
+            raise ConfigurationError("acceptance_rate must be in (0, 1)")
+
+    @property
+    def expected_tokens_per_round(self) -> float:
+        """Expected accepted tokens per round, including the bonus token."""
+        a = self.acceptance_rate
+        k = self.draft_tokens
+        return (1 - a ** (k + 1)) / (1 - a)
+
+
+@dataclass(frozen=True)
+class SpeculativeLatency:
+    """Latency comparison for one generation request."""
+
+    baseline_ns: float          # target model decoding alone
+    speculative_ns: float       # draft + verify rounds
+    rounds: float
+    tokens: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ns / self.speculative_ns
+
+
+def speculative_generation_ns(
+    target: ModelConfig,
+    draft: ModelConfig,
+    latency: LatencyModel,
+    config: SpeculativeConfig = SpeculativeConfig(),
+    prompt_len: int = 256,
+    output_tokens: int = 128,
+    batch_size: int = 1,
+) -> SpeculativeLatency:
+    """Compare plain decoding against draft-and-verify decoding.
+
+    Both paths pay the target model's prefill; the decode phase differs.
+    Context-length growth is approximated at the mid-generation point (decode
+    latency is near-affine in context).
+    """
+    if output_tokens <= 0:
+        raise ConfigurationError("output_tokens must be positive")
+    mid_context = prompt_len + output_tokens // 2
+
+    prefill = latency.ttft_ns(target, batch_size, prompt_len)
+
+    target_step = latency.decode_step_ns(target, batch_size, mid_context)
+    baseline = prefill + output_tokens * target_step
+
+    draft_step = latency.decode_step_ns(draft, batch_size, mid_context)
+    # Verification: one target forward over K proposed tokens. Modeled as a
+    # K-token prefill continuation (the KV cache covers the context).
+    verify = latency.ttft_ns(target, batch_size, config.draft_tokens)
+    per_round = config.draft_tokens * draft_step + verify
+    rounds = output_tokens / config.expected_tokens_per_round
+    speculative = prefill + rounds * per_round
+
+    return SpeculativeLatency(
+        baseline_ns=baseline,
+        speculative_ns=speculative,
+        rounds=rounds,
+        tokens=output_tokens,
+    )

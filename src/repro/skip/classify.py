@@ -1,0 +1,118 @@
+"""PU-boundedness classification (Section III-B / V-B of the paper).
+
+Two classifiers are provided:
+
+* :func:`classify_metrics` — trace-only: compares the queuing share of TKLQT
+  against the unqueued launch floor. Little queuing = the GPU drains launches
+  as they arrive = CPU-bound; heavy queuing = GPU-bound.
+* :func:`find_transition` — sweep-based, the paper's Fig. 6 method: TKLQT is
+  flat in the CPU-bound region (pure launch overhead, kernel count does not
+  change with batch size) and inflects upward when queuing starts. The first
+  batch size whose TKLQT exceeds the low-batch plateau by a threshold factor
+  is the star marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.skip.metrics import SkipMetrics
+
+
+class Boundedness(enum.Enum):
+    CPU_BOUND = "cpu-bound"
+    GPU_BOUND = "gpu-bound"
+
+
+#: Queuing contribution above which a single run counts as GPU-bound. Set so
+#: that a single-trace classification agrees with the sweep-based inflection
+#: rule: queuing share >= 0.9 is equivalent to TKLQT exceeding the launch
+#: floor by the same order of magnitude as TKLQT_INFLECTION_FACTOR.
+QUEUING_SHARE_THRESHOLD = 0.9
+
+#: TKLQT growth over the low-batch plateau that marks the inflection point.
+#: In the CPU-bound region TKLQT is the per-kernel launch overhead times the
+#: (batch-independent) kernel count, with at most mild local queuing behind
+#: the odd long kernel; once the stream backs up, TKLQT jumps by orders of
+#: magnitude per batch-size step. An order of magnitude above the plateau is
+#: therefore a robust queue-dominance marker.
+TKLQT_INFLECTION_FACTOR = 10.0
+
+
+def classify_metrics(metrics: SkipMetrics,
+                     queuing_share_threshold: float = QUEUING_SHARE_THRESHOLD
+                     ) -> Boundedness:
+    """Classify one profiled run as CPU- or GPU-bound from its own trace."""
+    tklqt = metrics.tklqt_ns
+    if tklqt <= 0:
+        return Boundedness.CPU_BOUND
+    queuing_share = metrics.queuing_ns / tklqt
+    if queuing_share >= queuing_share_threshold:
+        return Boundedness.GPU_BOUND
+    return Boundedness.CPU_BOUND
+
+
+@dataclass(frozen=True)
+class TransitionPoint:
+    """The CPU-bound -> GPU-bound inflection of a batch sweep (Fig. 6 star)."""
+
+    batch_size: int | None
+    plateau_tklqt_ns: float
+    batch_sizes: tuple[int, ...]
+    tklqt_ns: tuple[float, ...]
+
+    @property
+    def found(self) -> bool:
+        return self.batch_size is not None
+
+    def boundedness_at(self, batch_size: int) -> Boundedness:
+        """Classification for one of the swept batch sizes."""
+        if batch_size not in self.batch_sizes:
+            raise AnalysisError(f"batch size {batch_size} was not swept")
+        if self.batch_size is None or batch_size < self.batch_size:
+            return Boundedness.CPU_BOUND
+        return Boundedness.GPU_BOUND
+
+
+def find_transition(batch_sizes: Sequence[int], tklqt_values: Sequence[float],
+                    factor: float = TKLQT_INFLECTION_FACTOR) -> TransitionPoint:
+    """Locate the batch size where TKLQT leaves its low-batch plateau.
+
+    Args:
+        batch_sizes: Swept batch sizes, ascending.
+        tklqt_values: TKLQT per batch size (same order).
+        factor: Growth over the plateau that counts as the inflection.
+
+    Returns:
+        The transition point; ``batch_size`` is None when the sweep never
+        leaves the CPU-bound region.
+    """
+    if len(batch_sizes) != len(tklqt_values):
+        raise AnalysisError("batch_sizes and tklqt_values must align")
+    if len(batch_sizes) < 2:
+        raise AnalysisError("need at least two batch sizes to find a transition")
+    if list(batch_sizes) != sorted(batch_sizes):
+        raise AnalysisError("batch_sizes must be ascending")
+    if len(set(batch_sizes)) != len(batch_sizes):
+        raise AnalysisError("batch_sizes must be unique")
+    if factor <= 1.0:
+        raise AnalysisError("inflection factor must exceed 1.0")
+
+    plateau = tklqt_values[0]
+    transition = None
+    for batch, tklqt in zip(batch_sizes, tklqt_values):
+        if tklqt > plateau * factor:
+            transition = batch
+            break
+        # While still flat, refine the plateau estimate with a running min so
+        # a slightly elevated first point does not hide the inflection.
+        plateau = min(plateau, tklqt)
+    return TransitionPoint(
+        batch_size=transition,
+        plateau_tklqt_ns=plateau,
+        batch_sizes=tuple(batch_sizes),
+        tklqt_ns=tuple(tklqt_values),
+    )

@@ -1,0 +1,193 @@
+"""SKIP's fine-grained kernel metrics (Section III-A of the paper).
+
+All metrics are computed per profiled iteration and averaged:
+
+* **TKLQT** (Eq. 2) — sum over kernels of launch-call begin to kernel begin.
+* **AKD** (Eq. 3) — mean kernel duration.
+* **IL** (Eq. 4) — end of last kernel minus begin of first parent operator.
+* **GPU idle** (Eq. 5) — IL minus total kernel execution time.
+* **CPU idle** — IL minus CPU busy time (top-level operator durations).
+* **Top-k kernels** — the most frequently launched kernels with their
+  aggregate duration and offload tax.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.skip.depgraph import DependencyGraph, LaunchRecord
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class KernelAggregate:
+    """Per-kernel-name aggregate used for top-k tracking."""
+
+    name: str
+    count: int
+    total_duration_ns: float
+    total_launch_queue_ns: float
+
+    @property
+    def mean_duration_ns(self) -> float:
+        return self.total_duration_ns / self.count
+
+    @property
+    def mean_launch_queue_ns(self) -> float:
+        return self.total_launch_queue_ns / self.count
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """Metrics for one profiled iteration."""
+
+    index: int
+    tklqt_ns: float
+    akd_ns: float
+    inference_latency_ns: float
+    gpu_idle_ns: float
+    cpu_idle_ns: float
+    cpu_busy_ns: float
+    gpu_busy_ns: float
+    kernel_launches: int
+    min_launch_overhead_ns: float
+
+    @property
+    def queuing_ns(self) -> float:
+        """TKLQT in excess of the unqueued launch floor."""
+        return self.tklqt_ns - self.kernel_launches * self.min_launch_overhead_ns
+
+
+@dataclass
+class SkipMetrics:
+    """Averaged SKIP metrics for a trace, plus per-iteration detail."""
+
+    iterations: list[IterationMetrics]
+    top_kernels: list[KernelAggregate] = field(default_factory=list)
+
+    def _mean(self, attr: str) -> float:
+        values = [getattr(it, attr) for it in self.iterations]
+        return sum(values) / len(values)
+
+    @property
+    def tklqt_ns(self) -> float:
+        return self._mean("tklqt_ns")
+
+    @property
+    def akd_ns(self) -> float:
+        return self._mean("akd_ns")
+
+    @property
+    def inference_latency_ns(self) -> float:
+        return self._mean("inference_latency_ns")
+
+    @property
+    def gpu_idle_ns(self) -> float:
+        return self._mean("gpu_idle_ns")
+
+    @property
+    def cpu_idle_ns(self) -> float:
+        return self._mean("cpu_idle_ns")
+
+    @property
+    def cpu_busy_ns(self) -> float:
+        return self._mean("cpu_busy_ns")
+
+    @property
+    def gpu_busy_ns(self) -> float:
+        return self._mean("gpu_busy_ns")
+
+    @property
+    def kernel_launches(self) -> float:
+        return self._mean("kernel_launches")
+
+    @property
+    def queuing_ns(self) -> float:
+        return self._mean("queuing_ns")
+
+    @property
+    def mean_launch_queue_ns(self) -> float:
+        """Average per-kernel ``t_l``."""
+        launches = self.kernel_launches
+        return self.tklqt_ns / launches if launches else 0.0
+
+    def top_k(self, k: int = 10) -> list[KernelAggregate]:
+        """The k most frequently launched kernels."""
+        return self.top_kernels[:k]
+
+
+def compute_metrics(trace: Trace,
+                    graph: DependencyGraph | None = None) -> SkipMetrics:
+    """Compute SKIP metrics from a trace.
+
+    The trace must contain at least one iteration mark; the engine always
+    emits them, and imported Chrome traces carry ``ProfilerStep`` annotations.
+
+    Raises:
+        AnalysisError: when the trace has no iterations or an iteration has
+            no kernels.
+    """
+    if graph is None:
+        graph = DependencyGraph.from_trace(trace)
+    if not trace.iterations:
+        raise AnalysisError("trace has no iteration marks; cannot compute metrics")
+
+    per_iteration: list[IterationMetrics] = []
+    name_stats: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+
+    for mark in trace.iterations:
+        launches = graph.launches_in(mark.ts, mark.ts_end)
+        graph_kernels = [k for k in graph.graph_kernels
+                         if mark.ts <= k.ts < mark.ts_end]
+        kernels = [r.kernel for r in launches] + graph_kernels
+        if not kernels:
+            raise AnalysisError(f"iteration {mark.index} launched no kernels")
+
+        tklqt = sum(r.launch_and_queue_ns for r in launches)
+        gpu_busy = sum(k.dur for k in kernels)
+        akd = gpu_busy / len(kernels)
+
+        roots = graph.roots_in(mark.ts, mark.ts_end)
+        if not roots:
+            raise AnalysisError(f"iteration {mark.index} has no operators")
+        first_parent_ts = min(r.event.ts for r in roots)
+        last_kernel_end = max(k.ts_end for k in kernels)
+        il = last_kernel_end - first_parent_ts
+
+        cpu_busy = sum(r.event.dur for r in roots)
+        min_overhead = (min(r.launch_and_queue_ns for r in launches)
+                        if launches else 0.0)
+
+        per_iteration.append(IterationMetrics(
+            index=mark.index,
+            tklqt_ns=tklqt,
+            akd_ns=akd,
+            inference_latency_ns=il,
+            gpu_idle_ns=il - gpu_busy,
+            cpu_idle_ns=max(0.0, il - cpu_busy),
+            cpu_busy_ns=cpu_busy,
+            gpu_busy_ns=gpu_busy,
+            kernel_launches=len(kernels),
+            min_launch_overhead_ns=min_overhead,
+        ))
+
+        for record in launches:
+            stats = name_stats[record.kernel.name]
+            stats[0] += 1
+            stats[1] += record.kernel.dur
+            stats[2] += record.launch_and_queue_ns
+        for kernel in graph_kernels:
+            stats = name_stats[kernel.name]
+            stats[0] += 1
+            stats[1] += kernel.dur
+
+    aggregates = [
+        KernelAggregate(name, int(count), total_dur, total_lq)
+        for name, (count, total_dur, total_lq) in name_stats.items()
+    ]
+    aggregates.sort(key=lambda a: (-a.count, -a.total_duration_ns, a.name))
+    # The full per-name population is kept (it is small — tens of distinct
+    # names); top_k() slices on demand and diffing needs all of it.
+    return SkipMetrics(iterations=per_iteration, top_kernels=aggregates)

@@ -1,0 +1,123 @@
+"""SkipProfiler — the library's front door.
+
+Mirrors the paper's workflow: run inference under a profiler, build the
+operator-kernel dependency graph, compute the kernel metrics, classify
+boundedness, and recommend fusions. The profiler accepts either a (model,
+platform) pair — in which case the engine simulates the run — or an existing
+trace (e.g. imported from a real PyTorch Profiler Chrome trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, RunResult, run
+from repro.engine.fusion_apply import FusionPlan
+from repro.engine.modes import ExecutionMode
+from repro.hardware.platform import Platform
+from repro.skip.classify import Boundedness, classify_metrics
+from repro.skip.depgraph import DependencyGraph
+from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS, FusionAnalysis, analyze_trace
+from repro.skip.metrics import SkipMetrics, compute_metrics
+from repro.trace.trace import Trace
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import Phase
+
+
+@dataclass
+class ProfileResult:
+    """Everything SKIP derives from one profiled run."""
+
+    trace: Trace
+    depgraph: DependencyGraph
+    metrics: SkipMetrics
+    run_result: RunResult | None = None
+
+    @property
+    def boundedness(self) -> Boundedness:
+        """Trace-only CPU/GPU-bound classification."""
+        return classify_metrics(self.metrics)
+
+    def recommend_fusions(
+        self,
+        lengths: Sequence[int] = DEFAULT_CHAIN_LENGTHS,
+        threshold: float = 1.0,
+    ) -> list[FusionAnalysis]:
+        """Proximity-score fusion recommendations for this trace."""
+        return analyze_trace(self.trace, lengths, threshold)
+
+    def fusion_plan(
+        self,
+        lengths: Sequence[int] = DEFAULT_CHAIN_LENGTHS,
+        threshold: float = 1.0,
+    ) -> FusionPlan | None:
+        """The best single-length plan (highest idealized speedup)."""
+        analyses = self.recommend_fusions(lengths, threshold)
+        best = max(analyses, key=lambda a: a.ideal_speedup)
+        return best.plan()
+
+
+class SkipProfiler:
+    """System-aware Kernel Inference Profiler (simulation-backed).
+
+    Example:
+        >>> from repro.hardware import GH200
+        >>> from repro.workloads import LLAMA_3_2_1B
+        >>> profiler = SkipProfiler(GH200)
+        >>> result = profiler.profile(LLAMA_3_2_1B, batch_size=8)
+        >>> result.metrics.tklqt_ns > 0
+        True
+    """
+
+    def __init__(self, platform: Platform,
+                 engine_config: EngineConfig = DEFAULT_CONFIG) -> None:
+        self.platform = platform
+        self.engine_config = engine_config
+
+    def profile(
+        self,
+        model: ModelConfig,
+        batch_size: int = 1,
+        seq_len: int = 512,
+        mode: ExecutionMode = ExecutionMode.EAGER,
+        phase: Phase = Phase.PREFILL,
+        context_len: int | None = None,
+        fusion_plan: FusionPlan | None = None,
+    ) -> ProfileResult:
+        """Simulate a run on this profiler's platform and analyze its trace."""
+        run_result = run(
+            model,
+            self.platform,
+            batch_size=batch_size,
+            seq_len=seq_len,
+            mode=mode,
+            phase=phase,
+            context_len=context_len,
+            config=self.engine_config,
+            fusion_plan=fusion_plan,
+        )
+        return self.analyze(run_result.trace, run_result)
+
+    def profile_graph(
+        self,
+        graph,
+        mode: ExecutionMode = ExecutionMode.EAGER,
+        fusion_plan: FusionPlan | None = None,
+    ) -> ProfileResult:
+        """Simulate and analyze a prebuilt operator graph.
+
+        Lets non-Transformer workloads (DLRM, GCN, hand-built streams) go
+        through the same profiling pipeline as the cataloged models.
+        """
+        run_result = run(graph, self.platform, mode=mode,
+                         config=self.engine_config, fusion_plan=fusion_plan)
+        return self.analyze(run_result.trace, run_result)
+
+    @staticmethod
+    def analyze(trace: Trace, run_result: RunResult | None = None) -> ProfileResult:
+        """Analyze an existing trace (simulated or imported)."""
+        depgraph = DependencyGraph.from_trace(trace)
+        metrics = compute_metrics(trace, depgraph)
+        return ProfileResult(trace=trace, depgraph=depgraph, metrics=metrics,
+                             run_result=run_result)

@@ -1,0 +1,28 @@
+"""Trace data model: events, containers, builders, Chrome-trace I/O."""
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import (
+    DEVICE_SYNCHRONIZE,
+    GRAPH_LAUNCH,
+    KernelEvent,
+    LAUNCH_KERNEL,
+    OperatorEvent,
+    RuntimeEvent,
+    SYNC_CALLS,
+    TraceEvent,
+)
+from repro.trace.trace import IterationMark, Trace
+
+__all__ = [
+    "DEVICE_SYNCHRONIZE",
+    "GRAPH_LAUNCH",
+    "IterationMark",
+    "KernelEvent",
+    "LAUNCH_KERNEL",
+    "OperatorEvent",
+    "RuntimeEvent",
+    "SYNC_CALLS",
+    "Trace",
+    "TraceBuilder",
+    "TraceEvent",
+]

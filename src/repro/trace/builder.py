@@ -1,0 +1,176 @@
+"""TraceBuilder — the engine's write interface for producing traces.
+
+The builder enforces the structural invariants SKIP relies on:
+
+* every kernel launch gets a fresh correlation id shared by exactly one
+  launch call and one kernel event;
+* operators form a properly nested stack per thread (parents strictly
+  contain children in time);
+* iteration marks do not overlap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    KernelEvent,
+    LAUNCH_KERNEL,
+    OperatorEvent,
+    RuntimeEvent,
+)
+from repro.trace.trace import Trace
+
+
+@dataclass
+class _OpenOperator:
+    event: OperatorEvent
+
+
+class TraceBuilder:
+    """Incrementally builds a :class:`Trace` with validated nesting."""
+
+    def __init__(self, metadata: dict | None = None, tid: int = 1) -> None:
+        self._trace = Trace(metadata=dict(metadata or {}))
+        self._tid = tid
+        self._correlation = itertools.count(1)
+        self._seq = itertools.count(0)
+        self._stack: list[_OpenOperator] = []
+        self._iteration_start: float | None = None
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def begin_operator(self, name: str, ts: float) -> OperatorEvent:
+        """Open an operator scope; duration is set on :meth:`end_operator`."""
+        if self._stack and ts < self._stack[-1].event.ts:
+            raise TraceError(
+                f"operator {name!r} begins at {ts} before its parent "
+                f"{self._stack[-1].event.name!r} at {self._stack[-1].event.ts}"
+            )
+        event = OperatorEvent(name=name, ts=ts, dur=0.0, tid=self._tid, seq=next(self._seq))
+        self._stack.append(_OpenOperator(event))
+        self._trace.add(event)
+        return event
+
+    def end_operator(self, event: OperatorEvent, ts_end: float) -> None:
+        """Close the innermost operator scope."""
+        if not self._stack or self._stack[-1].event is not event:
+            raise TraceError(f"operator {event.name!r} is not the innermost open scope")
+        if ts_end < event.ts:
+            raise TraceError(f"operator {event.name!r} ends at {ts_end} before start {event.ts}")
+        event.dur = ts_end - event.ts
+        self._stack.pop()
+        if self._stack:
+            parent = self._stack[-1].event
+            # A child may not outlive its parent; the engine guarantees this,
+            # but a builder bug would silently corrupt SKIP's dependency graph.
+            if ts_end < parent.ts:
+                raise TraceError("child ends before parent begins")
+
+    # ------------------------------------------------------------------
+    # Runtime calls & kernels
+    # ------------------------------------------------------------------
+    def launch_kernel(
+        self,
+        call_ts: float,
+        call_dur: float,
+        kernel_name: str,
+        kernel_ts: float,
+        kernel_dur: float,
+        stream: int = 7,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        call_name: str = LAUNCH_KERNEL,
+    ) -> tuple[RuntimeEvent, KernelEvent]:
+        """Record a launch call and its kernel under one correlation id."""
+        if kernel_ts < call_ts:
+            raise TraceError(
+                f"kernel {kernel_name!r} starts at {kernel_ts} before its "
+                f"launch call at {call_ts}"
+            )
+        correlation = next(self._correlation)
+        call = RuntimeEvent(
+            name=call_name,
+            ts=call_ts,
+            dur=call_dur,
+            tid=self._tid,
+            correlation_id=correlation,
+        )
+        kernel = KernelEvent(
+            name=kernel_name,
+            ts=kernel_ts,
+            dur=kernel_dur,
+            tid=0,
+            correlation_id=correlation,
+            stream=stream,
+            flops=flops,
+            bytes_moved=bytes_moved,
+        )
+        self._trace.add(call)
+        self._trace.add(kernel)
+        return call, kernel
+
+    def runtime_call(self, name: str, ts: float, dur: float) -> RuntimeEvent:
+        """Record a non-launching runtime call (e.g. a synchronize)."""
+        event = RuntimeEvent(name=name, ts=ts, dur=dur, tid=self._tid)
+        self._trace.add(event)
+        return event
+
+    def enqueue_graph_kernel(
+        self,
+        kernel_name: str,
+        kernel_ts: float,
+        kernel_dur: float,
+        stream: int = 7,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+    ) -> KernelEvent:
+        """Record a kernel enqueued by a CUDA-graph replay.
+
+        Graph-replayed kernels have no individual launch call; they carry a
+        unique *negative* correlation id so analyses can tell them apart.
+        """
+        correlation = -next(self._correlation)
+        kernel = KernelEvent(
+            name=kernel_name,
+            ts=kernel_ts,
+            dur=kernel_dur,
+            tid=0,
+            correlation_id=correlation,
+            stream=stream,
+            flops=flops,
+            bytes_moved=bytes_moved,
+        )
+        self._trace.add(kernel)
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Iterations
+    # ------------------------------------------------------------------
+    def begin_iteration(self, ts: float) -> None:
+        if self._iteration_start is not None:
+            raise TraceError("iteration already open")
+        self._iteration_start = ts
+
+    def end_iteration(self, ts_end: float) -> None:
+        if self._iteration_start is None:
+            raise TraceError("no open iteration")
+        self._trace.mark_iteration(self._iteration_start, ts_end)
+        self._iteration_start = None
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finish(self) -> Trace:
+        """Close the builder and return the validated trace."""
+        if self._stack:
+            names = [open_op.event.name for open_op in self._stack]
+            raise TraceError(f"unclosed operator scopes: {names}")
+        if self._iteration_start is not None:
+            raise TraceError("unclosed iteration")
+        self._trace.sort()
+        self._trace.validate()
+        return self._trace

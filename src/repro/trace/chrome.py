@@ -1,0 +1,175 @@
+"""Chrome-trace (``chrome://tracing`` JSON) import and export.
+
+PyTorch Profiler emits Chrome traces; exporting our simulated traces in the
+same format means SKIP analyses (and external viewers like Perfetto) work
+identically on simulated and real traces. Import supports the subset of the
+format PyTorch Profiler produces: complete events (``ph: "X"``) with
+``cat`` values of ``cpu_op``, ``cuda_runtime`` and ``kernel``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TraceError
+from repro.trace.events import KernelEvent, OperatorEvent, RuntimeEvent
+from repro.trace.trace import Trace
+from repro.units import NS, US
+
+CAT_OPERATOR = "cpu_op"
+CAT_RUNTIME = "cuda_runtime"
+CAT_KERNEL = "kernel"
+CAT_ITERATION = "user_annotation"
+ITERATION_NAME = "ProfilerStep"
+
+#: GPU-side categories PyTorch Profiler emits besides compute kernels; they
+#: occupy the stream exactly like kernels and are imported as such.
+_GPU_WORK_CATEGORIES = frozenset({CAT_KERNEL, "gpu_memcpy", "gpu_memset"})
+
+
+def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
+    """Convert a trace to a list of Chrome-trace event dicts.
+
+    Timestamps are emitted in microseconds (the Chrome trace unit).
+    """
+    events: list[dict[str, Any]] = []
+    for op in trace.operators:
+        events.append(
+            {
+                "name": op.name,
+                "cat": CAT_OPERATOR,
+                "ph": "X",
+                "ts": op.ts / US,
+                "dur": op.dur / US,
+                "pid": 0,
+                "tid": op.tid,
+                "args": {"Sequence number": op.seq},
+            }
+        )
+    for call in trace.runtime_calls:
+        events.append(
+            {
+                "name": call.name,
+                "cat": CAT_RUNTIME,
+                "ph": "X",
+                "ts": call.ts / US,
+                "dur": call.dur / US,
+                "pid": 0,
+                "tid": call.tid,
+                "args": {"correlation": call.correlation_id},
+            }
+        )
+    for kernel in trace.kernels:
+        events.append(
+            {
+                "name": kernel.name,
+                "cat": CAT_KERNEL,
+                "ph": "X",
+                "ts": kernel.ts / US,
+                "dur": kernel.dur / US,
+                "pid": 1,
+                "tid": kernel.stream,
+                "args": {
+                    "correlation": kernel.correlation_id,
+                    "stream": kernel.stream,
+                    "device": kernel.device,
+                },
+            }
+        )
+    for mark in trace.iterations:
+        events.append(
+            {
+                "name": f"{ITERATION_NAME}#{mark.index}",
+                "cat": CAT_ITERATION,
+                "ph": "X",
+                "ts": mark.ts / US,
+                "dur": (mark.ts_end - mark.ts) / US,
+                "pid": 0,
+                "tid": 0,
+                "args": {},
+            }
+        )
+    return events
+
+
+def dump(trace: Trace, path: str | Path) -> None:
+    """Write a trace as Chrome-trace JSON to ``path``."""
+    payload = {
+        "traceEvents": to_chrome_events(trace),
+        "metadata": dict(trace.metadata),
+        "displayTimeUnit": "ms",
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to a Chrome-trace JSON string."""
+    payload = {
+        "traceEvents": to_chrome_events(trace),
+        "metadata": dict(trace.metadata),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(payload)
+
+
+def _parse_event(raw: dict[str, Any], trace: Trace) -> None:
+    if raw.get("ph") != "X":
+        return
+    cat = raw.get("cat", "")
+    name = raw.get("name", "")
+    ts = float(raw.get("ts", 0.0)) * US / NS
+    dur = float(raw.get("dur", 0.0)) * US / NS
+    tid = int(raw.get("tid", 0))
+    args = raw.get("args", {}) or {}
+    if cat == CAT_OPERATOR:
+        trace.add(OperatorEvent(name=name, ts=ts, dur=dur, tid=tid,
+                                seq=int(args.get("Sequence number", -1))))
+    elif cat == CAT_RUNTIME:
+        trace.add(RuntimeEvent(name=name, ts=ts, dur=dur, tid=tid,
+                               correlation_id=int(args.get("correlation", -1))))
+    elif cat in _GPU_WORK_CATEGORIES:
+        trace.add(
+            KernelEvent(
+                name=name,
+                ts=ts,
+                dur=dur,
+                tid=0,
+                correlation_id=int(args.get("correlation", -1)),
+                stream=int(args.get("stream", tid)),
+                device=int(args.get("device", 0)),
+            )
+        )
+    elif cat == CAT_ITERATION and name.startswith(ITERATION_NAME):
+        trace.mark_iteration(ts, ts + dur)
+
+
+def loads(text: str) -> Trace:
+    """Parse a Chrome-trace JSON string into a :class:`Trace`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid chrome trace JSON: {exc}") from exc
+    if isinstance(payload, list):
+        raw_events = payload
+        metadata: dict[str, Any] = {}
+    elif isinstance(payload, dict):
+        raw_events = payload.get("traceEvents", [])
+        metadata = payload.get("metadata", {}) or {}
+    else:
+        raise TraceError("chrome trace must be a JSON list or object")
+    trace = Trace(metadata=metadata)
+    for raw in raw_events:
+        if isinstance(raw, dict):
+            _parse_event(raw, trace)
+    trace.sort()
+    # Re-number iterations after sorting to keep indices monotonic in time.
+    for index, mark in enumerate(trace.iterations):
+        mark.index = index
+    return trace
+
+
+def load(path: str | Path) -> Trace:
+    """Read a Chrome-trace JSON file into a :class:`Trace`."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,127 @@
+"""Trace event model.
+
+Mirrors the event vocabulary of PyTorch Profiler / CUPTI traces that SKIP
+consumes in the paper (Section IV-A):
+
+* :class:`OperatorEvent` — a CPU-side ATen operator (``aten::linear`` etc.).
+  Parent/child relationships are *not* stored on the event; SKIP derives them
+  from time containment, exactly as the paper describes.
+* :class:`RuntimeEvent` — a CUDA runtime call on the CPU
+  (``cudaLaunchKernel``, ``cudaDeviceSynchronize``, ...). Launch calls carry a
+  correlation id that links them to the kernel they trigger.
+* :class:`KernelEvent` — a GPU kernel execution on a stream, carrying the same
+  correlation id as its launch call.
+
+All timestamps are nanoseconds on a single monotonic clock shared by CPU and
+GPU events (CUPTI aligns clocks for real traces; the simulator is trivially
+aligned).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+LAUNCH_KERNEL = "cudaLaunchKernel"
+DEVICE_SYNCHRONIZE = "cudaDeviceSynchronize"
+MEMCPY_ASYNC = "cudaMemcpyAsync"
+GRAPH_LAUNCH = "cudaGraphLaunch"
+
+#: Runtime call names that act as CPU/GPU synchronization points. Kernel-chain
+#: mining treats these as sequence separators (Section III-C).
+SYNC_CALLS = frozenset({DEVICE_SYNCHRONIZE, "cudaStreamSynchronize", "cudaMemcpy"})
+
+_event_ids = itertools.count(1)
+
+
+def _next_event_id() -> int:
+    return next(_event_ids)
+
+
+@dataclass
+class TraceEvent:
+    """Base class for all trace events.
+
+    Attributes:
+        name: Event name (operator name, runtime call, or kernel symbol).
+        ts: Begin timestamp in nanoseconds (``ts_b`` in the paper).
+        dur: Duration in nanoseconds.
+        tid: CPU thread id (0 for GPU events).
+        event_id: Unique id within the process, stable across sorting.
+    """
+
+    name: str
+    ts: float
+    dur: float
+    tid: int = 0
+    event_id: int = field(default_factory=_next_event_id)
+
+    def __post_init__(self) -> None:
+        if self.dur < 0:
+            raise TraceError(f"event {self.name!r} has negative duration {self.dur}")
+
+    @property
+    def ts_end(self) -> float:
+        """End timestamp (``ts_e`` in the paper)."""
+        return self.ts + self.dur
+
+    def contains(self, other: "TraceEvent") -> bool:
+        """True when ``other`` begins within this event's duration.
+
+        This is the paper's parent/child criterion: an ATen operator ``p`` is
+        the parent of ``c`` if ``ts_b(c)`` falls within ``[ts_b(p), ts_e(p))``.
+        """
+        return self.ts <= other.ts < self.ts_end
+
+
+@dataclass
+class OperatorEvent(TraceEvent):
+    """A CPU-side framework operator (ATen op in PyTorch terms)."""
+
+    #: Monotonic index in program order; lets consumers recover issue order
+    #: even when two events share a timestamp.
+    seq: int = -1
+
+
+@dataclass
+class RuntimeEvent(TraceEvent):
+    """A CUDA runtime API call executed on a CPU thread."""
+
+    correlation_id: int = -1
+
+    @property
+    def is_launch(self) -> bool:
+        """True when this call launches GPU work."""
+        return self.name in (LAUNCH_KERNEL, GRAPH_LAUNCH)
+
+    @property
+    def is_sync(self) -> bool:
+        """True when this call synchronizes the CPU with the GPU."""
+        return self.name in SYNC_CALLS
+
+
+@dataclass
+class KernelEvent(TraceEvent):
+    """A GPU kernel execution.
+
+    Attributes:
+        correlation_id: Links the kernel back to its launch call.
+        stream: CUDA stream id.
+        device: GPU ordinal.
+        flops: Floating point operations modeled for the kernel (simulator
+            only; 0 for imported real traces).
+        bytes_moved: DRAM traffic modeled for the kernel (simulator only).
+    """
+
+    correlation_id: int = -1
+    stream: int = 7
+    device: int = 0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+
+    @property
+    def queue_delay_unknown(self) -> bool:
+        """Imported kernels do not know their own queue delay; SKIP derives it."""
+        return self.correlation_id < 0

@@ -1,0 +1,12 @@
+"""Text rendering helpers for benchmark output and trace inspection."""
+
+from repro.viz.tables import render_series, render_table, sparkline
+from repro.viz.timeline import TimelineOptions, render_timeline
+
+__all__ = [
+    "TimelineOptions",
+    "render_series",
+    "render_table",
+    "render_timeline",
+    "sparkline",
+]

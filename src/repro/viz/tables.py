@@ -1,0 +1,63 @@
+"""ASCII tables and series renderers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a simple aligned ASCII table."""
+    if not headers:
+        raise ConfigurationError("headers must be non-empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(label: str, xs: Sequence[object], ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """Render an (x, y) series as one labeled row pair."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must align")
+    x_cells = [_fmt(x) for x in xs]
+    y_cells = [y_format.format(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    x_line = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    y_line = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    pad = max(len(label), len("value"))
+    return f"{label.ljust(pad)}  {x_line}\n{'value'.ljust(pad)}  {y_line}"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline for a quick shape check in terminal output."""
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    scale = (len(blocks) - 1) / (hi - lo)
+    return "".join(blocks[int((v - lo) * scale)] for v in values)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,81 @@
+"""ASCII timeline rendering for traces.
+
+A terminal-friendly version of the Chrome-trace view: CPU operators,
+runtime calls, and GPU kernels on parallel lanes over a time window. Useful
+for eyeballing the launch-ahead / queuing behavior the paper's Fig. 4-5
+illustrate, without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.trace.trace import Trace
+from repro.units import format_ns
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering knobs."""
+
+    width: int = 100
+    begin_ns: float | None = None
+    end_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 20:
+            raise AnalysisError("timeline width must be at least 20 columns")
+
+
+def _paint(lane: list[str], ts: float, ts_end: float, begin: float,
+           scale: float, char: str, width: int) -> None:
+    start_col = int((ts - begin) * scale)
+    end_col = int((ts_end - begin) * scale)
+    start_col = max(0, min(width - 1, start_col))
+    end_col = max(start_col, min(width - 1, end_col))
+    for col in range(start_col, end_col + 1):
+        lane[col] = char
+
+
+def render_timeline(trace: Trace, options: TimelineOptions = TimelineOptions()
+                    ) -> str:
+    """Render three lanes (ops, launches, kernels) over a time window.
+
+    Lane legend: ``=`` operator on CPU, ``|`` launch call, ``#`` kernel
+    executing, ``.`` idle.
+    """
+    events = trace.all_events()
+    if not events:
+        raise AnalysisError("trace is empty")
+    span_begin, span_end = trace.span
+    begin = options.begin_ns if options.begin_ns is not None else span_begin
+    end = options.end_ns if options.end_ns is not None else span_end
+    if end <= begin:
+        raise AnalysisError("window end must exceed begin")
+    width = options.width
+    scale = width / (end - begin)
+
+    op_lane = ["."] * width
+    call_lane = ["."] * width
+    kernel_lane = ["."] * width
+    for op in trace.operators:
+        if op.ts_end >= begin and op.ts <= end:
+            _paint(op_lane, op.ts, op.ts_end, begin, scale, "=", width)
+    for call in trace.runtime_calls:
+        if call.ts_end >= begin and call.ts <= end:
+            char = "|" if call.is_launch else "s"
+            _paint(call_lane, call.ts, call.ts_end, begin, scale, char, width)
+    for kernel in trace.kernels:
+        if kernel.ts_end >= begin and kernel.ts <= end:
+            _paint(kernel_lane, kernel.ts, kernel.ts_end, begin, scale, "#",
+                   width)
+
+    return "\n".join([
+        f"timeline {format_ns(begin)} .. {format_ns(end)} "
+        f"({format_ns(end - begin)} window)",
+        "cpu ops  " + "".join(op_lane),
+        "launches " + "".join(call_lane),
+        "gpu      " + "".join(kernel_lane),
+        "legend: = op   | launch   s sync   # kernel   . idle",
+    ])

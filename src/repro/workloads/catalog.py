@@ -1,0 +1,291 @@
+"""Model catalog: the paper's four benchmark LLMs plus context models.
+
+Table III of the paper benchmarks BERT-base, XLM-RoBERTa-base, GPT-2 and
+Llama-3.2-1B. Table I uses Gemma-2B and Fig. 3 uses "popular 7B decoder
+models"; we include representative 7B configs for that experiment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.config import Activation, Arch, ModelConfig, Norm, Positional
+
+# ---------------------------------------------------------------------------
+# Table III workloads
+# ---------------------------------------------------------------------------
+
+BERT_BASE = ModelConfig(
+    name="bert-base-uncased",
+    arch=Arch.ENCODER_ONLY,
+    hidden=768,
+    layers=12,
+    heads=12,
+    intermediate=3072,
+    vocab=30522,
+    max_positions=512,
+    has_pooler=True,
+)
+
+XLM_ROBERTA_BASE = ModelConfig(
+    name="xlm-roberta-base",
+    arch=Arch.ENCODER_ONLY,
+    hidden=768,
+    layers=12,
+    heads=12,
+    intermediate=3072,
+    vocab=250002,  # the large multilingual vocabulary is why XLM-R is 279M
+    max_positions=512,
+    has_pooler=True,
+)
+
+GPT2 = ModelConfig(
+    name="gpt2",
+    arch=Arch.DECODER_ONLY,
+    hidden=768,
+    layers=12,
+    heads=12,
+    intermediate=3072,
+    vocab=50257,
+    max_positions=1024,
+    fused_qkv=True,  # GPT-2's Conv1D c_attn: one GEMM + split
+)
+
+LLAMA_3_2_1B = ModelConfig(
+    name="llama-3.2-1b",
+    arch=Arch.DECODER_ONLY,
+    hidden=2048,
+    layers=16,
+    heads=32,
+    kv_heads=8,
+    intermediate=8192,
+    vocab=128256,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+)
+
+# ---------------------------------------------------------------------------
+# Catalog breadth beyond the paper's benchmark set
+# ---------------------------------------------------------------------------
+
+BERT_LARGE = ModelConfig(
+    name="bert-large-uncased",
+    arch=Arch.ENCODER_ONLY,
+    hidden=1024,
+    layers=24,
+    heads=16,
+    intermediate=4096,
+    vocab=30522,
+    max_positions=512,
+    has_pooler=True,
+)
+
+GPT2_MEDIUM = ModelConfig(
+    name="gpt2-medium",
+    arch=Arch.DECODER_ONLY,
+    hidden=1024,
+    layers=24,
+    heads=16,
+    intermediate=4096,
+    vocab=50257,
+    max_positions=1024,
+    fused_qkv=True,
+)
+
+LLAMA_3_2_3B = ModelConfig(
+    name="llama-3.2-3b",
+    arch=Arch.DECODER_ONLY,
+    hidden=3072,
+    layers=28,
+    heads=24,
+    kv_heads=8,
+    intermediate=8192,
+    vocab=128256,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+)
+
+QWEN2_0_5B = ModelConfig(
+    name="qwen2-0.5b",
+    arch=Arch.DECODER_ONLY,
+    hidden=896,
+    layers=24,
+    heads=14,
+    kv_heads=2,
+    intermediate=4864,
+    vocab=151936,
+    max_positions=32768,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=True,
+    mlp_bias=False,
+)
+
+PHI_2 = ModelConfig(
+    name="phi-2",
+    arch=Arch.DECODER_ONLY,
+    hidden=2560,
+    layers=32,
+    heads=32,
+    intermediate=10240,
+    vocab=51200,
+    max_positions=2048,
+    positional=Positional.ROPE,
+    tie_embeddings=False,
+)
+
+# ---------------------------------------------------------------------------
+# Context-experiment models (Table I, Fig. 3)
+# ---------------------------------------------------------------------------
+
+GEMMA_2B = ModelConfig(
+    name="gemma-2b",
+    arch=Arch.DECODER_ONLY,
+    hidden=2048,
+    layers=18,
+    heads=8,
+    kv_heads=1,
+    head_dim=256,
+    intermediate=16384,
+    vocab=256000,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.GEGLU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+)
+
+LLAMA_2_7B = ModelConfig(
+    name="llama-2-7b",
+    arch=Arch.DECODER_ONLY,
+    hidden=4096,
+    layers=32,
+    heads=32,
+    intermediate=11008,
+    vocab=32000,
+    max_positions=4096,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+    tie_embeddings=False,
+)
+
+MISTRAL_7B = ModelConfig(
+    name="mistral-7b",
+    arch=Arch.DECODER_ONLY,
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=8,
+    intermediate=14336,
+    vocab=32000,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+    tie_embeddings=False,
+)
+
+QWEN_7B = ModelConfig(
+    name="qwen1.5-7b",
+    arch=Arch.DECODER_ONLY,
+    hidden=4096,
+    layers=32,
+    heads=32,
+    intermediate=11008,
+    vocab=151936,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=True,  # Qwen keeps QKV bias
+    mlp_bias=False,
+    tie_embeddings=False,
+)
+
+GEMMA_7B = ModelConfig(
+    name="gemma-7b",
+    arch=Arch.DECODER_ONLY,
+    hidden=3072,
+    layers=28,
+    heads=16,
+    head_dim=256,
+    intermediate=24576,
+    vocab=256000,
+    max_positions=8192,
+    norm=Norm.RMSNORM,
+    activation=Activation.GEGLU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+)
+
+#: The paper's Table III benchmark set.
+PAPER_MODELS: tuple[ModelConfig, ...] = (BERT_BASE, XLM_ROBERTA_BASE, GPT2, LLAMA_3_2_1B)
+
+#: Encoder / decoder groupings used by the figure benches.
+ENCODER_MODELS: tuple[ModelConfig, ...] = (BERT_BASE, XLM_ROBERTA_BASE)
+DECODER_MODELS: tuple[ModelConfig, ...] = (GPT2, LLAMA_3_2_1B)
+
+#: Fig. 3's "popular 7B decoder models".
+SEVEN_B_MODELS: tuple[ModelConfig, ...] = (LLAMA_2_7B, MISTRAL_7B, QWEN_7B, GEMMA_7B)
+
+MIXTRAL_8X7B = ModelConfig(
+    name="mixtral-8x7b",
+    arch=Arch.DECODER_ONLY,
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=8,
+    intermediate=14336,
+    vocab=32000,
+    max_positions=32768,
+    norm=Norm.RMSNORM,
+    activation=Activation.SILU,
+    positional=Positional.ROPE,
+    attention_bias=False,
+    mlp_bias=False,
+    tie_embeddings=False,
+    moe_experts=8,
+    moe_top_k=2,
+)
+
+#: Catalog entries beyond the paper's experiments.
+EXTRA_MODELS: tuple[ModelConfig, ...] = (
+    BERT_LARGE, GPT2_MEDIUM, LLAMA_3_2_3B, QWEN2_0_5B, PHI_2, MIXTRAL_8X7B,
+)
+
+ALL_MODELS: tuple[ModelConfig, ...] = (
+    *PAPER_MODELS,
+    GEMMA_2B,
+    *SEVEN_B_MODELS,
+    *EXTRA_MODELS,
+)
+
+_BY_NAME = {m.name.lower(): m for m in ALL_MODELS}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by name (case-insensitive).
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(m.name for m in ALL_MODELS))
+        raise ConfigurationError(f"unknown model {name!r}; known: {known}") from None

@@ -1,0 +1,171 @@
+"""Model configurations.
+
+:class:`ModelConfig` describes a Transformer at the granularity the paper
+cares about: architecture family (encoder-only vs decoder-only), dimensions,
+and the structural choices that change the eager operator stream (fused QKV
+projection, norm type, activation, positional scheme).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Arch(enum.Enum):
+    """Transformer architecture family (Table III of the paper)."""
+
+    ENCODER_ONLY = "encoder-only"
+    DECODER_ONLY = "decoder-only"
+
+
+class Norm(enum.Enum):
+    LAYERNORM = "layernorm"
+    RMSNORM = "rmsnorm"
+
+
+class Activation(enum.Enum):
+    GELU = "gelu"
+    SILU = "silu"          # SwiGLU MLP (gate/up/down)
+    GEGLU = "geglu"        # Gemma-style gated GELU
+
+
+class Positional(enum.Enum):
+    LEARNED = "learned"
+    ROPE = "rope"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Structural description of a Transformer LLM.
+
+    Attributes:
+        name: HuggingFace-style model id.
+        arch: Encoder-only or decoder-only.
+        hidden: Model (embedding) dimension.
+        layers: Number of Transformer blocks.
+        heads: Attention heads.
+        kv_heads: KV heads (``< heads`` means grouped-query attention).
+        head_dim: Per-head dimension (usually ``hidden // heads``; Gemma
+            deviates).
+        intermediate: MLP inner dimension.
+        vocab: Vocabulary size.
+        max_positions: Maximum sequence length.
+        norm: LayerNorm or RMSNorm.
+        activation: MLP activation family.
+        positional: Learned absolute embeddings or rotary.
+        fused_qkv: True when Q/K/V come from one projection (GPT-2's Conv1D),
+            which changes the eager op stream (one GEMM + split vs three
+            GEMMs).
+        moe_experts: Number of MLP experts (0 = dense MLP). Eager
+            mixture-of-experts iterates over experts with gather/scatter,
+            multiplying the per-layer operator count.
+        moe_top_k: Experts activated per token.
+        attention_bias: Whether attention projections carry bias terms.
+        has_pooler: Encoder pooler head (BERT-style).
+        tie_embeddings: LM head shares the embedding matrix.
+    """
+
+    name: str
+    arch: Arch
+    hidden: int
+    layers: int
+    heads: int
+    intermediate: int
+    vocab: int
+    max_positions: int = 2048
+    kv_heads: int | None = None
+    head_dim: int | None = None
+    norm: Norm = Norm.LAYERNORM
+    activation: Activation = Activation.GELU
+    positional: Positional = Positional.LEARNED
+    fused_qkv: bool = False
+    attention_bias: bool = True
+    mlp_bias: bool = True
+    has_pooler: bool = False
+    tie_embeddings: bool = True
+    moe_experts: int = 0
+    moe_top_k: int = 2
+
+    def __post_init__(self) -> None:
+        for field_name in ("hidden", "layers", "heads", "intermediate", "vocab"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{self.name}: {field_name} must be positive")
+        if self.hidden % self.heads != 0 and self.head_dim is None:
+            raise ConfigurationError(
+                f"{self.name}: hidden {self.hidden} not divisible by heads "
+                f"{self.heads} and no explicit head_dim"
+            )
+        if self.effective_kv_heads > self.heads:
+            raise ConfigurationError(f"{self.name}: kv_heads exceeds heads")
+        if self.heads % self.effective_kv_heads != 0:
+            raise ConfigurationError(f"{self.name}: heads not divisible by kv_heads")
+        if self.moe_experts < 0:
+            raise ConfigurationError(f"{self.name}: moe_experts must be >= 0")
+        if self.moe_experts and not (0 < self.moe_top_k <= self.moe_experts):
+            raise ConfigurationError(
+                f"{self.name}: moe_top_k must be in [1, moe_experts]")
+
+    # ------------------------------------------------------------------
+    # Derived dimensions
+    # ------------------------------------------------------------------
+    @property
+    def effective_head_dim(self) -> int:
+        return self.head_dim if self.head_dim is not None else self.hidden // self.heads
+
+    @property
+    def effective_kv_heads(self) -> int:
+        return self.kv_heads if self.kv_heads is not None else self.heads
+
+    @property
+    def q_dim(self) -> int:
+        return self.heads * self.effective_head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        return self.effective_kv_heads * self.effective_head_dim
+
+    @property
+    def is_gated_mlp(self) -> bool:
+        """SwiGLU/GeGLU MLPs have three projections instead of two."""
+        return self.activation in (Activation.SILU, Activation.GEGLU)
+
+    @property
+    def is_moe(self) -> bool:
+        """Mixture-of-experts MLP."""
+        return self.moe_experts > 0
+
+    def param_count(self) -> int:
+        """Approximate parameter count (embeddings + blocks + head)."""
+        embed = self.vocab * self.hidden
+        if self.positional is Positional.LEARNED:
+            embed += self.max_positions * self.hidden
+        per_layer = (
+            self.hidden * self.q_dim          # Q
+            + 2 * self.hidden * self.kv_dim   # K, V
+            + self.q_dim * self.hidden        # O
+        )
+        mlp_copies = max(1, self.moe_experts)
+        if self.is_gated_mlp:
+            per_layer += mlp_copies * 3 * self.hidden * self.intermediate
+        else:
+            per_layer += mlp_copies * 2 * self.hidden * self.intermediate
+        if self.is_moe:
+            per_layer += self.hidden * self.moe_experts  # router
+        per_layer += 4 * self.hidden  # norm parameters (two norms, scale+shift)
+        total = embed + self.layers * per_layer
+        if not self.tie_embeddings and self.arch is Arch.DECODER_ONLY:
+            total += self.vocab * self.hidden
+        if self.has_pooler:
+            total += self.hidden * self.hidden
+        return int(total)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        millions = self.param_count() / 1e6
+        return (
+            f"{self.name} ({self.arch.value}, {self.layers}L x {self.hidden}d, "
+            f"{self.heads}h, ~{millions:.0f}M params)"
+        )

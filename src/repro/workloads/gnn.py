@@ -1,0 +1,96 @@
+"""Graph-neural-network workload (GCN-style).
+
+The paper's future work (Section VI) also names GNNs. A GCN layer is a
+sparse aggregation (SpMM over the adjacency) followed by a dense projection:
+the SpMM is bandwidth-bound gather traffic, the projection a modest GEMM —
+a different balance point from both Transformers and DLRM, useful for
+exercising the classifier across workload families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads import ops
+from repro.workloads.graph import OperatorGraph, Phase
+from repro.workloads.ops import FP16_BYTES, Op, OpKind
+
+
+@dataclass(frozen=True)
+class GcnConfig:
+    """A GCN over a node-classification graph.
+
+    Attributes:
+        name: Model id.
+        num_nodes: Nodes in the input graph.
+        avg_degree: Mean edges per node (drives SpMM traffic).
+        in_features: Input feature width.
+        hidden: Hidden width of intermediate layers.
+        num_classes: Output classes.
+        layers: GCN layer count.
+    """
+
+    name: str = "gcn-medium"
+    num_nodes: int = 100_000
+    avg_degree: int = 16
+    in_features: int = 128
+    hidden: int = 256
+    num_classes: int = 32
+    layers: int = 3
+
+    def __post_init__(self) -> None:
+        for field_name in ("num_nodes", "avg_degree", "in_features", "hidden",
+                           "num_classes", "layers"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_nodes * self.avg_degree
+
+    def layer_widths(self) -> list[tuple[int, int]]:
+        widths = [self.in_features] + [self.hidden] * (self.layers - 1) \
+            + [self.num_classes]
+        return list(zip(widths, widths[1:]))
+
+
+GCN_MEDIUM = GcnConfig()
+
+GCN_LARGE = GcnConfig(name="gcn-large", num_nodes=1_000_000, avg_degree=32,
+                      in_features=256, hidden=512, num_classes=64, layers=4)
+
+
+def _spmm(label: str, nodes: int, edges: int, features: int) -> Op:
+    """Sparse-dense matmul: aggregate neighbor features over the adjacency.
+
+    FLOPs: one multiply-add per (edge, feature). Traffic: gather one feature
+    row per edge plus indices, write one row per node — heavily
+    bandwidth-bound.
+    """
+    flops = 2.0 * edges * features
+    bytes_read = FP16_BYTES * edges * features + 8.0 * edges
+    bytes_written = FP16_BYTES * nodes * features
+    return Op(OpKind.MATMUL, label, flops, bytes_read, bytes_written,
+              dims=(nodes, features, edges))
+
+
+def build_gcn_graph(config: GcnConfig, batch_graphs: int = 1) -> OperatorGraph:
+    """One GCN forward pass over ``batch_graphs`` input graphs."""
+    if batch_graphs <= 0:
+        raise ConfigurationError("batch_graphs must be positive")
+    graph = OperatorGraph(model_name=config.name, phase=Phase.PREFILL,
+                          batch_size=batch_graphs, seq_len=config.num_nodes)
+    nodes = config.num_nodes * batch_graphs
+    edges = config.num_edges * batch_graphs
+    last = config.layers - 1
+    for i, (in_f, out_f) in enumerate(config.layer_widths()):
+        graph.append(_spmm(f"gcn.{i}.aggregate", nodes, edges, in_f))
+        graph.append(ops.linear(f"gcn.{i}.project", nodes, in_f, out_f,
+                                bias=True))
+        if i < last:
+            graph.append(ops.elementwise(OpKind.GELU, f"gcn.{i}.relu",
+                                         nodes * out_f, flops_per_element=1.0))
+            graph.append(ops.layernorm(f"gcn.{i}.norm", nodes, out_f))
+    graph.append(ops.softmax("predict.softmax", nodes, config.num_classes))
+    return graph

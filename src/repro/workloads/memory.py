@@ -1,0 +1,121 @@
+"""Memory-footprint estimation: does a workload fit the GPU?
+
+Batch sweeps only make sense inside HBM capacity: weights (FP16), peak
+activations (including eager attention's materialized score matrices — the
+dominant term at large batch x sequence), and the KV cache for decode. The
+estimator mirrors the operator shapes the graph builder emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GpuSpec
+from repro.units import GB
+from repro.workloads.config import Arch, ModelConfig
+from repro.workloads.ops import FP16_BYTES
+
+#: CUDA context, allocator reserves, workspace (rough, in bytes).
+RUNTIME_RESERVE_BYTES = 1.5 * GB
+
+
+def weights_bytes(config: ModelConfig) -> float:
+    """FP16 parameter storage."""
+    return FP16_BYTES * config.param_count()
+
+
+def kv_cache_bytes(config: ModelConfig, batch_size: int,
+                   context_len: int) -> float:
+    """K and V caches across all layers."""
+    _check_positive(batch_size=batch_size, context_len=context_len)
+    if config.arch is Arch.ENCODER_ONLY:
+        return 0.0
+    per_token = 2 * config.layers * config.kv_dim * FP16_BYTES
+    return float(batch_size * context_len * per_token)
+
+
+def activation_bytes(config: ModelConfig, batch_size: int, seq_len: int,
+                     eager_attention: bool = True) -> float:
+    """Peak live activations for one forward pass.
+
+    Eager attention materializes a (batch, heads, seq, seq) score matrix per
+    layer (a few tensors live simultaneously: scores, probabilities, and a
+    workspace copy); FlashAttention avoids it entirely.
+    """
+    _check_positive(batch_size=batch_size, seq_len=seq_len)
+    tokens = batch_size * seq_len
+    # Hidden-state working set: residual + block output + MLP intermediate.
+    hidden_live = tokens * (2 * config.hidden + config.intermediate)
+    score_live = 0.0
+    if eager_attention:
+        score_live = 3.0 * batch_size * config.heads * seq_len * seq_len
+    logits = 0.0
+    if config.arch is Arch.DECODER_ONLY:
+        logits = float(tokens * config.vocab)
+    return FP16_BYTES * (hidden_live + score_live + logits)
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Footprint breakdown for one workload shape."""
+
+    model: str
+    gpu: str
+    weights_bytes: float
+    activation_bytes: float
+    kv_cache_bytes: float
+    reserve_bytes: float
+    capacity_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.weights_bytes + self.activation_bytes
+                + self.kv_cache_bytes + self.reserve_bytes)
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.capacity_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.total_bytes / self.capacity_bytes
+
+
+def memory_report(config: ModelConfig, gpu: GpuSpec, batch_size: int,
+                  seq_len: int, context_len: int | None = None,
+                  eager_attention: bool = True) -> MemoryReport:
+    """Estimate the footprint of a (model, shape) pair on one GPU."""
+    context = context_len if context_len is not None else seq_len
+    return MemoryReport(
+        model=config.name,
+        gpu=gpu.name,
+        weights_bytes=weights_bytes(config),
+        activation_bytes=activation_bytes(config, batch_size, seq_len,
+                                          eager_attention),
+        kv_cache_bytes=kv_cache_bytes(config, batch_size, context),
+        reserve_bytes=RUNTIME_RESERVE_BYTES,
+        capacity_bytes=gpu.memory_gib * GB,
+    )
+
+
+def max_batch_size(config: ModelConfig, gpu: GpuSpec, seq_len: int,
+                   limit: int = 4096, eager_attention: bool = True) -> int:
+    """Largest power-of-two batch that fits in HBM (0 if none fits)."""
+    _check_positive(seq_len=seq_len, limit=limit)
+    best = 0
+    batch = 1
+    while batch <= limit:
+        if memory_report(config, gpu, batch, seq_len,
+                         eager_attention=eager_attention).fits:
+            best = batch
+        else:
+            break
+        batch *= 2
+    return best
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")

@@ -1,0 +1,349 @@
+"""Framework operators and their arithmetic/memory work.
+
+An :class:`Op` is one framework-level operator at ATen granularity — the unit
+the CPU dispatches in eager mode. Each op carries:
+
+* its FLOP count and DRAM traffic (FP16 tensors), which the engine's roofline
+  turns into kernel durations;
+* ``dims``, a kind-specific shape signature used by the lowering to choose a
+  kernel *variant name* (real cuBLAS picks different tiled kernels for
+  different problem shapes, which is why the paper's unique-chain counts vary
+  with batch size);
+* a reference CPU dispatch cost, scaled by the platform's CPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Bytes per element for the FP16 models used throughout the paper.
+FP16_BYTES = 2
+
+
+class OpKind(enum.Enum):
+    """ATen-level operator kinds the graph builder emits."""
+
+    EMBEDDING = "embedding"
+    LINEAR = "linear"
+    MATMUL = "matmul"
+    SOFTMAX = "softmax"
+    LAYERNORM = "layernorm"
+    RMSNORM = "rmsnorm"
+    GELU = "gelu"
+    SILU = "silu"
+    TANH = "tanh"
+    ADD = "add"
+    MUL = "mul"
+    SCALE = "scale"
+    MASKED_FILL = "masked_fill"
+    FILL = "fill"
+    TRANSPOSE = "transpose"
+    RESHAPE_COPY = "reshape_copy"
+    SPLIT = "split"
+    ROPE = "rope"
+    CAST = "cast"
+    KV_APPEND = "kv_append"
+    TOPK = "topk"
+    INDEX_SELECT = "index_select"
+    SCATTER_ADD = "scatter_add"
+    SDPA_FLASH = "sdpa_flash"
+    GRAPH_REPLAY = "graph_replay"
+
+
+#: ATen operator name for each kind (what appears in traces).
+ATEN_NAMES: dict[OpKind, str] = {
+    OpKind.EMBEDDING: "aten::embedding",
+    OpKind.LINEAR: "aten::linear",
+    OpKind.MATMUL: "aten::matmul",
+    OpKind.SOFTMAX: "aten::softmax",
+    OpKind.LAYERNORM: "aten::layer_norm",
+    OpKind.RMSNORM: "aten::rms_norm",
+    OpKind.GELU: "aten::gelu",
+    OpKind.SILU: "aten::silu",
+    OpKind.TANH: "aten::tanh",
+    OpKind.ADD: "aten::add",
+    OpKind.MUL: "aten::mul",
+    OpKind.SCALE: "aten::div",
+    OpKind.MASKED_FILL: "aten::masked_fill",
+    OpKind.FILL: "aten::full",
+    OpKind.TRANSPOSE: "aten::transpose",
+    OpKind.RESHAPE_COPY: "aten::contiguous",
+    OpKind.SPLIT: "aten::split",
+    OpKind.ROPE: "aten::mul_rope",
+    OpKind.CAST: "aten::to",
+    OpKind.KV_APPEND: "aten::index_copy_",
+    OpKind.TOPK: "aten::topk",
+    OpKind.INDEX_SELECT: "aten::index_select",
+    OpKind.SCATTER_ADD: "aten::index_add_",
+    OpKind.SDPA_FLASH: "aten::scaled_dot_product_attention",
+    OpKind.GRAPH_REPLAY: "cuda_graph::replay",
+}
+
+#: Reference CPU dispatch cost per operator kind, in nanoseconds on the
+#: reference CPU (Intel Xeon 8468V). Values reflect relative eager-PyTorch
+#: per-op overheads: ops that hit cuBLAS heuristics or build metadata cost
+#: more than simple elementwise dispatches.
+DISPATCH_COST_NS: dict[OpKind, float] = {
+    OpKind.EMBEDDING: 17000.0,
+    OpKind.LINEAR: 23000.0,
+    OpKind.MATMUL: 21000.0,
+    OpKind.SOFTMAX: 14500.0,
+    OpKind.LAYERNORM: 17000.0,
+    OpKind.RMSNORM: 16000.0,
+    OpKind.GELU: 11000.0,
+    OpKind.SILU: 11000.0,
+    OpKind.TANH: 10000.0,
+    OpKind.ADD: 11000.0,
+    OpKind.MUL: 11000.0,
+    OpKind.SCALE: 11000.0,
+    OpKind.MASKED_FILL: 12000.0,
+    OpKind.FILL: 7500.0,
+    OpKind.TRANSPOSE: 6000.0,
+    OpKind.RESHAPE_COPY: 8500.0,
+    OpKind.SPLIT: 12000.0,
+    OpKind.ROPE: 13500.0,
+    OpKind.CAST: 8500.0,
+    OpKind.KV_APPEND: 14500.0,
+    OpKind.TOPK: 18000.0,
+    OpKind.INDEX_SELECT: 13000.0,
+    OpKind.SCATTER_ADD: 15000.0,
+    OpKind.SDPA_FLASH: 27000.0,
+    OpKind.GRAPH_REPLAY: 15000.0,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One framework operator in program order.
+
+    Attributes:
+        kind: Operator kind.
+        label: Module path ("layer3.attn.query") for reports.
+        flops: Floating-point operations performed on the GPU.
+        bytes_read / bytes_written: DRAM traffic in bytes (FP16).
+        dims: Kind-specific shape signature (used for kernel variant naming).
+        launches_kernel: False for metadata-only ops (pure views), which cost
+            CPU dispatch but launch nothing.
+        kernel_fanout: Number of elementwise kernels the eager lowering emits
+            for this op. Composite activations (GPT-2's tanh-approximated
+            ``gelu_new``) and rotary embeddings expand to several elementwise
+            kernels in eager mode; each emitted kernel re-reads/re-writes the
+            tensor, so traffic accounting multiplies by the fanout.
+    """
+
+    kind: OpKind
+    label: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    dims: tuple[int, ...]
+    launches_kernel: bool = True
+    kernel_fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ConfigurationError(f"{self.label}: work must be non-negative")
+        if self.kernel_fanout < 1:
+            raise ConfigurationError(f"{self.label}: kernel_fanout must be >= 1")
+        if not self.launches_kernel and self.kernel_fanout != 1:
+            raise ConfigurationError(f"{self.label}: fanout on a no-kernel op")
+
+    @property
+    def aten_name(self) -> str:
+        """The operator name as it appears in the trace."""
+        return ATEN_NAMES[self.kind]
+
+    @property
+    def dispatch_cost_ns(self) -> float:
+        """Reference CPU dispatch cost for this operator."""
+        return DISPATCH_COST_NS[self.kind]
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total DRAM traffic."""
+        return self.bytes_read + self.bytes_written
+
+
+# ---------------------------------------------------------------------------
+# Op factories (shape -> work accounting)
+# ---------------------------------------------------------------------------
+
+def linear(label: str, tokens: int, in_features: int, out_features: int,
+           bias: bool = True) -> Op:
+    """A dense projection over ``tokens`` rows."""
+    _check_positive(tokens=tokens, in_features=in_features, out_features=out_features)
+    flops = 2.0 * tokens * in_features * out_features
+    if bias:
+        flops += float(tokens * out_features)
+    bytes_read = FP16_BYTES * (tokens * in_features + in_features * out_features
+                               + (out_features if bias else 0))
+    bytes_written = FP16_BYTES * tokens * out_features
+    return Op(OpKind.LINEAR, label, flops, bytes_read, bytes_written,
+              dims=(in_features, out_features, 1 if bias else 0, tokens))
+
+
+def matmul(label: str, batch: int, m: int, n: int, k: int) -> Op:
+    """A batched matrix multiply (attention scores / context)."""
+    _check_positive(batch=batch, m=m, n=n, k=k)
+    flops = 2.0 * batch * m * n * k
+    bytes_read = FP16_BYTES * batch * (m * k + k * n)
+    bytes_written = FP16_BYTES * batch * m * n
+    return Op(OpKind.MATMUL, label, flops, bytes_read, bytes_written, dims=(m, n, k))
+
+
+def softmax(label: str, rows: int, cols: int) -> Op:
+    """Row-wise softmax (attention probabilities)."""
+    _check_positive(rows=rows, cols=cols)
+    elements = rows * cols
+    return Op(OpKind.SOFTMAX, label, 5.0 * elements,
+              FP16_BYTES * elements, FP16_BYTES * elements, dims=(cols,))
+
+
+def layernorm(label: str, tokens: int, hidden: int) -> Op:
+    """LayerNorm over the hidden dimension."""
+    _check_positive(tokens=tokens, hidden=hidden)
+    elements = tokens * hidden
+    return Op(OpKind.LAYERNORM, label, 8.0 * elements,
+              FP16_BYTES * (elements + 2 * hidden), FP16_BYTES * elements,
+              dims=(hidden,))
+
+
+def rmsnorm(label: str, tokens: int, hidden: int) -> Op:
+    """RMSNorm over the hidden dimension (Llama-family)."""
+    _check_positive(tokens=tokens, hidden=hidden)
+    elements = tokens * hidden
+    return Op(OpKind.RMSNORM, label, 6.0 * elements,
+              FP16_BYTES * (elements + hidden), FP16_BYTES * elements,
+              dims=(hidden,))
+
+
+def elementwise(kind: OpKind, label: str, elements: int, inputs: int = 1,
+                flops_per_element: float = 1.0, fanout: int = 1) -> Op:
+    """A generic elementwise/unary/binary operator over ``elements``.
+
+    ``fanout > 1`` models composite eager activations that expand to several
+    elementwise kernels (each re-touching the tensor).
+    """
+    _check_positive(elements=elements, fanout=fanout)
+    if kind not in (OpKind.GELU, OpKind.SILU, OpKind.TANH, OpKind.ADD, OpKind.MUL,
+                    OpKind.SCALE, OpKind.MASKED_FILL, OpKind.CAST):
+        raise ConfigurationError(f"{kind} is not an elementwise kind")
+    return Op(kind, label, flops_per_element * elements * fanout,
+              FP16_BYTES * elements * inputs * fanout,
+              FP16_BYTES * elements * fanout,
+              dims=(inputs,), kernel_fanout=fanout)
+
+
+def fill(label: str, elements: int) -> Op:
+    """Materialize a constant tensor (``aten::full``)."""
+    _check_positive(elements=elements)
+    return Op(OpKind.FILL, label, 0.0, 0.0, FP16_BYTES * elements, dims=())
+
+
+def embedding(label: str, tokens: int, hidden: int,
+              num_embeddings: int = 32768) -> Op:
+    """Embedding-table gather.
+
+    ``num_embeddings`` selects the CUDA index-select kernel variant (large
+    vocabularies use a different kernel than small position/type tables).
+    """
+    _check_positive(tokens=tokens, hidden=hidden, num_embeddings=num_embeddings)
+    elements = tokens * hidden
+    return Op(OpKind.EMBEDDING, label, 0.0,
+              FP16_BYTES * elements + 8.0 * tokens, FP16_BYTES * elements,
+              dims=(hidden, num_embeddings))
+
+
+def transpose_view(label: str, elements: int) -> Op:
+    """A metadata-only view change (no kernel)."""
+    _check_positive(elements=elements)
+    return Op(OpKind.TRANSPOSE, label, 0.0, 0.0, 0.0, dims=(),
+              launches_kernel=False)
+
+
+def reshape_copy(label: str, elements: int) -> Op:
+    """A layout change that materializes a copy kernel."""
+    _check_positive(elements=elements)
+    return Op(OpKind.RESHAPE_COPY, label, 0.0,
+              FP16_BYTES * elements, FP16_BYTES * elements, dims=())
+
+
+def split(label: str, elements: int, parts: int) -> Op:
+    """Slice a fused projection into parts (one copy kernel per part)."""
+    _check_positive(elements=elements, parts=parts)
+    return Op(OpKind.SPLIT, label, 0.0,
+              FP16_BYTES * elements, FP16_BYTES * elements, dims=(parts,))
+
+
+def rope(label: str, tokens: int, dim: int, fanout: int = 3) -> Op:
+    """Rotary position embedding applied to one projection.
+
+    Eager HF rotary is ``q*cos + rotate_half(q)*sin`` — several elementwise
+    kernels (``fanout``), each touching the tensor.
+    """
+    _check_positive(tokens=tokens, dim=dim, fanout=fanout)
+    elements = tokens * dim
+    return Op(OpKind.ROPE, label, 4.0 * elements,
+              FP16_BYTES * 2 * elements * fanout, FP16_BYTES * elements * fanout,
+              dims=(dim,), kernel_fanout=fanout)
+
+
+def kv_append(label: str, tokens: int, dim: int) -> Op:
+    """Append keys/values into the KV cache (decode phase)."""
+    _check_positive(tokens=tokens, dim=dim)
+    elements = tokens * dim
+    return Op(OpKind.KV_APPEND, label, 0.0,
+              FP16_BYTES * elements, FP16_BYTES * elements, dims=(dim,))
+
+
+def sdpa_flash(label: str, batch_heads: int, q_len: int, kv_len: int,
+               head_dim: int) -> Op:
+    """Fused scaled-dot-product attention (FlashAttention-2 lowering).
+
+    FLOPs equal the unfused attention; DRAM traffic drops to the Q/K/V/O
+    tensors because the score matrix stays in SRAM (the paper's IO-awareness
+    point in Section II-C).
+    """
+    _check_positive(batch_heads=batch_heads, q_len=q_len, kv_len=kv_len,
+                    head_dim=head_dim)
+    flops = 4.0 * batch_heads * q_len * kv_len * head_dim
+    io_elements = batch_heads * (q_len + 2 * kv_len + q_len) * head_dim
+    return Op(OpKind.SDPA_FLASH, label, flops,
+              FP16_BYTES * io_elements * 0.75, FP16_BYTES * io_elements * 0.25,
+              dims=(head_dim, kv_len))
+
+
+def topk(label: str, rows: int, candidates: int, k: int) -> Op:
+    """Row-wise top-k selection (MoE routing)."""
+    _check_positive(rows=rows, candidates=candidates, k=k)
+    elements = rows * candidates
+    return Op(OpKind.TOPK, label, 3.0 * elements,
+              FP16_BYTES * elements, FP16_BYTES * rows * k + 8.0 * rows * k,
+              dims=(candidates, k))
+
+
+def index_select(label: str, rows: int, dim: int) -> Op:
+    """Gather ``rows`` vectors of width ``dim`` by index."""
+    _check_positive(rows=rows, dim=dim)
+    elements = rows * dim
+    return Op(OpKind.INDEX_SELECT, label, 0.0,
+              FP16_BYTES * elements + 8.0 * rows, FP16_BYTES * elements,
+              dims=(dim,))
+
+
+def scatter_add(label: str, rows: int, dim: int) -> Op:
+    """Scatter-accumulate ``rows`` vectors back by index (MoE combine)."""
+    _check_positive(rows=rows, dim=dim)
+    elements = rows * dim
+    return Op(OpKind.SCATTER_ADD, label, float(elements),
+              FP16_BYTES * 2 * elements + 8.0 * rows, FP16_BYTES * elements,
+              dims=(dim,))
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")

@@ -1,0 +1,126 @@
+"""Recommendation-model workload (DLRM-style).
+
+The paper's future work (Section VI) plans to broaden the workload scope to
+recommendation models. A DLRM forward pass is the extreme case of the
+paper's thesis: dozens of tiny embedding-bag gathers plus small MLP GEMMs
+mean the launch tax dominates far beyond Transformer batch sizes — exactly
+the population proximity-score fusion targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.workloads import ops
+from repro.workloads.graph import OperatorGraph, Phase
+from repro.workloads.ops import OpKind
+
+
+@dataclass(frozen=True)
+class DlrmConfig:
+    """DLRM-style recommendation model.
+
+    Attributes:
+        name: Model id.
+        num_tables: Sparse embedding tables (one gather each per sample).
+        embedding_dim: Embedding vector width (shared by all tables).
+        rows_per_table: Rows per embedding table.
+        dense_features: Dense input feature count.
+        bottom_mlp: Layer widths of the dense-feature MLP (last must equal
+            ``embedding_dim`` so the interaction is square).
+        top_mlp: Layer widths of the post-interaction MLP (last is 1 — the
+            click-probability logit).
+    """
+
+    name: str = "dlrm-small"
+    num_tables: int = 26
+    embedding_dim: int = 64
+    rows_per_table: int = 1_000_000
+    dense_features: int = 13
+    bottom_mlp: tuple[int, ...] = (512, 256, 64)
+    top_mlp: tuple[int, ...] = (512, 256, 1)
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0 or self.embedding_dim <= 0:
+            raise ConfigurationError("tables and embedding_dim must be positive")
+        if not self.bottom_mlp or not self.top_mlp:
+            raise ConfigurationError("MLP stacks must be non-empty")
+        if self.bottom_mlp[-1] != self.embedding_dim:
+            raise ConfigurationError(
+                "bottom MLP must project dense features to embedding_dim")
+
+    @property
+    def interaction_inputs(self) -> int:
+        """Vectors entering the pairwise interaction (tables + dense)."""
+        return self.num_tables + 1
+
+    @property
+    def interaction_features(self) -> int:
+        """Size of the flattened pairwise-interaction output."""
+        pairs = self.interaction_inputs * (self.interaction_inputs - 1) // 2
+        return pairs + self.embedding_dim
+
+    def param_count(self) -> int:
+        total = self.num_tables * self.rows_per_table * self.embedding_dim
+        widths = [self.dense_features, *self.bottom_mlp]
+        for a, b in zip(widths, widths[1:]):
+            total += a * b + b
+        widths = [self.interaction_features, *self.top_mlp]
+        for a, b in zip(widths, widths[1:]):
+            total += a * b + b
+        return total
+
+
+DLRM_SMALL = DlrmConfig()
+
+DLRM_LARGE = DlrmConfig(
+    name="dlrm-large",
+    num_tables=64,
+    embedding_dim=128,
+    rows_per_table=4_000_000,
+    bottom_mlp=(1024, 512, 128),
+    top_mlp=(1024, 512, 256, 1),
+)
+
+
+def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> OperatorGraph:
+    """One DLRM inference pass as an operator stream."""
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    graph = OperatorGraph(model_name=config.name, phase=Phase.PREFILL,
+                          batch_size=batch_size, seq_len=1)
+
+    # Bottom MLP over dense features.
+    widths = [config.dense_features, *config.bottom_mlp]
+    for i, (in_f, out_f) in enumerate(zip(widths, widths[1:])):
+        graph.append(ops.linear(f"bottom_mlp.{i}", batch_size, in_f, out_f))
+        graph.append(ops.elementwise(OpKind.GELU, f"bottom_mlp.{i}.relu",
+                                     batch_size * out_f, flops_per_element=1.0))
+
+    # One embedding-bag gather per sparse table — the launch-tax hot spot.
+    for table in range(config.num_tables):
+        graph.append(ops.embedding(f"emb_table.{table}", batch_size,
+                                   config.embedding_dim,
+                                   config.rows_per_table))
+
+    # Pairwise feature interaction: stack + batched dot products + flatten.
+    vectors = config.interaction_inputs
+    graph.append(ops.reshape_copy("interaction.stack",
+                                  batch_size * vectors * config.embedding_dim))
+    graph.append(ops.matmul("interaction.pairwise", batch_size, vectors,
+                            vectors, config.embedding_dim))
+    graph.append(ops.reshape_copy("interaction.flatten",
+                                  batch_size * config.interaction_features))
+
+    # Top MLP down to the click logit.
+    widths = [config.interaction_features, *config.top_mlp]
+    last = len(widths) - 2
+    for i, (in_f, out_f) in enumerate(zip(widths, widths[1:])):
+        graph.append(ops.linear(f"top_mlp.{i}", batch_size, in_f, out_f))
+        if i < last:
+            graph.append(ops.elementwise(OpKind.GELU, f"top_mlp.{i}.relu",
+                                         batch_size * out_f,
+                                         flops_per_element=1.0))
+    graph.append(ops.elementwise(OpKind.TANH, "predict.sigmoid", batch_size))
+    return graph

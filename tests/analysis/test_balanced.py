@@ -1,0 +1,51 @@
+"""Balanced-utilization regions (Section V-D)."""
+
+import pytest
+
+from repro.analysis import find_balanced_region
+from repro.errors import AnalysisError
+
+
+def test_bert_balanced_regions_shift_with_coupling(bert_sweep):
+    """Paper: encoders balance at LC BS=4-8 vs CC BS=16-32 — the CC region
+    sits at strictly larger batch sizes."""
+    intel = find_balanced_region(bert_sweep, "Intel+H100")
+    gh200 = find_balanced_region(bert_sweep, "GH200")
+    assert intel.found and gh200.found
+    assert gh200.low > intel.low
+    assert gh200.high >= intel.high
+
+
+def test_idle_fractions_are_fractions(bert_sweep):
+    region = find_balanced_region(bert_sweep, "GH200")
+    for series in (region.gpu_idle_fraction, region.cpu_idle_fraction):
+        assert all(0.0 <= v <= 1.0 for v in series)
+
+
+def test_gpu_idle_falls_cpu_idle_rises_with_batch(bert_sweep):
+    region = find_balanced_region(bert_sweep, "Intel+H100")
+    gpu = region.gpu_idle_fraction
+    cpu = region.cpu_idle_fraction
+    assert gpu[0] > gpu[-1]   # GPU idles at BS=1, saturates at BS=128
+    assert cpu[0] < cpu[-1]   # CPU idles once the GPU dominates
+
+
+def test_region_membership(bert_sweep):
+    region = find_balanced_region(bert_sweep, "Intel+H100")
+    assert region.low in region
+    assert region.high in region
+    assert 1024 not in region
+
+
+def test_tight_threshold_may_find_nothing(bert_sweep):
+    region = find_balanced_region(bert_sweep, "Intel+H100",
+                                  idle_threshold=0.01)
+    assert not region.found
+    assert 8 not in region
+
+
+def test_threshold_validation(bert_sweep):
+    with pytest.raises(AnalysisError):
+        find_balanced_region(bert_sweep, "Intel+H100", idle_threshold=0.0)
+    with pytest.raises(AnalysisError):
+        find_balanced_region(bert_sweep, "Intel+H100", idle_threshold=1.0)

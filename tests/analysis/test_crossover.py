@@ -1,0 +1,66 @@
+"""Crossover-point detection (Figs. 10a/11a)."""
+
+import pytest
+
+from repro.analysis import find_crossover
+from repro.errors import AnalysisError
+
+
+def test_bert_crossover_at_paper_batch_size(bert_sweep):
+    """Paper: encoder CP at BS=16 for GH200 vs the LC systems."""
+    cp = find_crossover(bert_sweep, "GH200", "Intel+H100")
+    assert cp.batch_size == 16
+
+
+def test_gh200_loses_below_crossover(bert_sweep):
+    cp = find_crossover(bert_sweep, "GH200", "Intel+H100")
+    index = bert_sweep.batch_sizes.index(cp.batch_size)
+    assert all(s < 1.0 for s in cp.speedups[:index])
+    assert all(s > 1.0 for s in cp.speedups[index:])
+
+
+def test_bert_bs64_speedups_match_paper_band(bert_sweep):
+    """Paper: 1.6x / 2.4x at BS=64 over Intel+H100 / AMD+A100."""
+    vs_intel = find_crossover(bert_sweep, "GH200", "Intel+H100")
+    vs_amd = find_crossover(bert_sweep, "GH200", "AMD+A100")
+    assert vs_intel.speedup_at(bert_sweep.batch_sizes, 64) == pytest.approx(
+        2.0, rel=0.25)
+    assert vs_amd.speedup_at(bert_sweep.batch_sizes, 64) == pytest.approx(
+        2.4, rel=0.25)
+
+
+def test_llama_bs16_speedups_match_paper(llama_sweep):
+    """Paper: Llama-3.2-1B 1.9x / 2.7x at BS=16."""
+    vs_intel = find_crossover(llama_sweep, "GH200", "Intel+H100")
+    vs_amd = find_crossover(llama_sweep, "GH200", "AMD+A100")
+    assert vs_intel.speedup_at(llama_sweep.batch_sizes, 16) == pytest.approx(
+        1.9, rel=0.15)
+    assert vs_amd.speedup_at(llama_sweep.batch_sizes, 16) == pytest.approx(
+        2.7, rel=0.15)
+
+
+def test_unswept_batch_rejected(bert_sweep):
+    cp = find_crossover(bert_sweep, "GH200", "Intel+H100")
+    with pytest.raises(AnalysisError):
+        cp.speedup_at(bert_sweep.batch_sizes, 3)
+
+
+def test_same_platform_rejected(bert_sweep):
+    with pytest.raises(AnalysisError):
+        find_crossover(bert_sweep, "GH200", "GH200")
+
+
+def test_crossover_never_found():
+    from repro.analysis.sweep import SweepPoint, SweepResult
+    from repro.skip.metrics import IterationMetrics, SkipMetrics
+
+    def metrics(il):
+        return SkipMetrics(iterations=[IterationMetrics(
+            0, 1.0, 1.0, il, 0.0, 0.0, il, il, 1, 1.0)])
+
+    sweep = SweepResult(model="toy", batch_sizes=(1, 2))
+    for bs, slow, fast in ((1, 10.0, 5.0), (2, 20.0, 10.0)):
+        sweep.points.append(SweepPoint("slow", "toy", bs, metrics(slow)))
+        sweep.points.append(SweepPoint("fast", "toy", bs, metrics(fast)))
+    cp = find_crossover(sweep, "slow", "fast")
+    assert not cp.found

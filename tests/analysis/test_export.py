@@ -1,0 +1,67 @@
+"""Sweep export (JSON / CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    load_sweep_json,
+    metrics_to_dict,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_records,
+)
+from repro.errors import AnalysisError
+
+
+def test_records_cover_every_point(bert_sweep):
+    records = sweep_to_records(bert_sweep)
+    assert len(records) == len(bert_sweep.points)
+    keys = set(records[0])
+    assert {"model", "platform", "batch_size", "inference_latency_ns",
+            "tklqt_ns"} <= keys
+
+
+def test_metrics_dict_values_match(bert_sweep):
+    point = bert_sweep.points[0]
+    flat = metrics_to_dict(point.metrics)
+    assert flat["inference_latency_ns"] == pytest.approx(
+        point.metrics.inference_latency_ns)
+    assert flat["kernel_launches"] == point.metrics.kernel_launches
+
+
+def test_json_round_trip(tmp_path, bert_sweep):
+    path = tmp_path / "sweep.json"
+    text = sweep_to_json(bert_sweep, path)
+    assert json.loads(text)["model"] == bert_sweep.model
+    loaded = load_sweep_json(path)
+    assert loaded["batch_sizes"] == list(bert_sweep.batch_sizes)
+    assert len(loaded["points"]) == len(bert_sweep.points)
+
+
+def test_csv_is_parseable(bert_sweep):
+    text = sweep_to_csv(bert_sweep)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == len(bert_sweep.points)
+    assert float(rows[0]["inference_latency_ns"]) > 0
+
+
+def test_csv_write_to_file(tmp_path, bert_sweep):
+    path = tmp_path / "sweep.csv"
+    sweep_to_csv(bert_sweep, path)
+    assert path.read_text().startswith("model,platform,batch_size")
+
+
+def test_invalid_json_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(AnalysisError):
+        load_sweep_json(bad)
+
+
+def test_empty_sweep_rejected():
+    from repro.analysis.sweep import SweepResult
+    with pytest.raises(AnalysisError):
+        sweep_to_csv(SweepResult(model="x", batch_sizes=(1,)))

@@ -1,0 +1,65 @@
+"""Framework-tax baseline classifier (Fernandez et al. [14])."""
+
+import pytest
+
+from repro.analysis import LatencyBound, classify_latency_curve
+from repro.errors import AnalysisError
+
+
+def test_flat_then_scaling_curve():
+    result = classify_latency_curve([1, 2, 4, 8], [10.0, 10.5, 11.0, 20.0])
+    assert result.transition_batch_size == 8
+    assert result.bound_at(1) is LatencyBound.FRAMEWORK_BOUND
+    assert result.bound_at(4) is LatencyBound.FRAMEWORK_BOUND
+    assert result.bound_at(8) is LatencyBound.COMPUTE_BOUND
+
+
+def test_always_flat_curve():
+    result = classify_latency_curve([1, 2, 4], [10.0, 10.0, 10.1])
+    assert result.transition_batch_size is None
+    assert result.bound_at(4) is LatencyBound.FRAMEWORK_BOUND
+
+
+def test_always_scaling_curve():
+    result = classify_latency_curve([1, 2, 4], [10.0, 19.0, 38.0])
+    assert result.transition_batch_size == 2
+
+
+def test_growth_ratios_exposed():
+    result = classify_latency_curve([1, 2], [10.0, 15.0])
+    assert result.growth_ratios == (1.5,)
+
+
+def test_agrees_with_tklqt_transition_on_real_sweep(bert_sweep):
+    """The paper's claim: both methods find a similar transition point, but
+    TKLQT attributes it to the launch path. On our BERT sweep the latency
+    curve flattens until the same neighborhood as the TKLQT star."""
+    latency = bert_sweep.ttft_series("GH200")
+    framework = classify_latency_curve(list(bert_sweep.batch_sizes), latency)
+    tklqt_star = bert_sweep.transition("GH200").batch_size
+    assert framework.transition_batch_size is not None
+    # Same order of magnitude: within one doubling of the TKLQT star.
+    ratio = framework.transition_batch_size / tklqt_star
+    assert 0.5 <= ratio <= 2.0
+
+
+@pytest.mark.parametrize("batches,latencies", [
+    ([1], [1.0]),
+    ([1, 2], [1.0]),
+    ([2, 1], [1.0, 2.0]),
+    ([1, 2], [1.0, -2.0]),
+])
+def test_invalid_inputs(batches, latencies):
+    with pytest.raises(AnalysisError):
+        classify_latency_curve(batches, latencies)
+
+
+def test_threshold_validation():
+    with pytest.raises(AnalysisError):
+        classify_latency_curve([1, 2], [1.0, 2.0], flatness_threshold=1.0)
+
+
+def test_unswept_batch_rejected():
+    result = classify_latency_curve([1, 2], [1.0, 2.0])
+    with pytest.raises(AnalysisError):
+        result.bound_at(4)

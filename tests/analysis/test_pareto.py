@@ -1,0 +1,58 @@
+"""Pareto frontier analysis."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    OperatingPoint,
+    cross_platform_frontier,
+    operating_points,
+    pareto_frontier,
+)
+from repro.errors import AnalysisError
+
+
+def test_dominance_logic():
+    fast_cheap = OperatingPoint("a", 1, 10.0, 100.0)
+    slow_cheap = OperatingPoint("a", 2, 20.0, 100.0)
+    slow_rich = OperatingPoint("a", 4, 20.0, 300.0)
+    assert fast_cheap.dominates(slow_cheap)
+    assert not fast_cheap.dominates(slow_rich)
+    assert not fast_cheap.dominates(fast_cheap)
+
+
+def test_every_swept_batch_becomes_a_point(bert_sweep):
+    points = operating_points(bert_sweep, "GH200", 512)
+    assert len(points) == len(bert_sweep.batch_sizes)
+    assert all(p.tokens_per_second > 0 for p in points)
+
+
+def test_single_platform_frontier_is_monotone(bert_sweep):
+    points = operating_points(bert_sweep, "Intel+H100", 512)
+    frontier = pareto_frontier(points)
+    latencies = [p.ttft_ns for p in frontier]
+    throughputs = [p.tokens_per_second for p in frontier]
+    assert latencies == sorted(latencies)
+    assert throughputs == sorted(throughputs)  # the frontier trades, never loses
+
+
+def test_frontier_contains_no_dominated_points(bert_sweep):
+    points = operating_points(bert_sweep, "AMD+A100", 512)
+    frontier = pareto_frontier(points)
+    for point in frontier:
+        assert not any(q.dominates(point) for q in points)
+
+
+def test_cross_platform_frontier_splits_by_regime(bert_sweep):
+    """The paper's buy-guide: low-latency end of the joint frontier belongs
+    to the LC system, the high-throughput end to GH200."""
+    frontier = cross_platform_frontier(bert_sweep, 512)
+    assert frontier[0].platform == "Intel+H100"   # lowest-latency point
+    assert frontier[-1].platform == "GH200"       # highest-throughput point
+    assert {p.platform for p in frontier} >= {"Intel+H100", "GH200"}
+
+
+def test_validation(bert_sweep):
+    with pytest.raises(AnalysisError):
+        operating_points(bert_sweep, "GH200", 0)
+    with pytest.raises(AnalysisError):
+        pareto_frontier([])

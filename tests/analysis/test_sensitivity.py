@@ -1,0 +1,64 @@
+"""Calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import Knob, metric_sensitivity, sensitivity_sweep
+from repro.errors import AnalysisError
+from repro.hardware import GH200, INTEL_H100
+from repro.workloads import BERT_BASE
+
+
+def test_cpu_bound_latency_is_cpu_elastic():
+    """At BS=1 (CPU-bound), latency tracks the CPU dispatch knob almost 1:1
+    and barely reacts to GPU knobs."""
+    dispatch = metric_sensitivity(BERT_BASE, GH200, Knob.CPU_DISPATCH,
+                                  batch_size=1)
+    gpu = metric_sensitivity(BERT_BASE, GH200, Knob.GPU_COMPUTE, batch_size=1)
+    assert dispatch.elasticity < -0.5      # faster CPU -> lower latency
+    assert abs(gpu.elasticity) < 0.15
+
+
+def test_gpu_bound_latency_is_gpu_elastic():
+    """At BS=128 the same model flips: GPU knobs dominate."""
+    dispatch = metric_sensitivity(BERT_BASE, INTEL_H100, Knob.CPU_DISPATCH,
+                                  batch_size=128)
+    compute = metric_sensitivity(BERT_BASE, INTEL_H100, Knob.GPU_COMPUTE,
+                                 batch_size=128)
+    bandwidth = metric_sensitivity(BERT_BASE, INTEL_H100, Knob.GPU_BANDWIDTH,
+                                   batch_size=128)
+    assert abs(dispatch.elasticity) < 0.1
+    # BERT's eager attention traffic makes the BS=128 point mostly
+    # bandwidth-elastic, with a smaller compute share.
+    assert compute.elasticity < -0.1
+    assert bandwidth.elasticity < -0.4
+    # Compute and bandwidth elasticities roughly partition the roofline.
+    assert -1.3 < compute.elasticity + bandwidth.elasticity < -0.7
+
+
+def test_runtime_call_knob_is_minor():
+    """The launch-call share of CPU time is small, so the Table V knob has
+    low elasticity — the headline results don't hinge on it."""
+    sensitivity = metric_sensitivity(BERT_BASE, INTEL_H100,
+                                     Knob.CPU_RUNTIME_CALL, batch_size=1)
+    assert -0.25 < sensitivity.elasticity <= 0.0
+
+
+def test_sweep_covers_all_knobs():
+    results = sensitivity_sweep(BERT_BASE, GH200, batch_size=1)
+    assert {s.knob for s in results} == set(Knob)
+    assert all(s.platform == "GH200" for s in results)
+
+
+def test_elasticity_direction_consistency():
+    sensitivity = metric_sensitivity(BERT_BASE, GH200, Knob.CPU_DISPATCH,
+                                     batch_size=1)
+    # Speeding the CPU up must not increase latency, slowing it must not
+    # decrease it.
+    assert sensitivity.perturbed_up <= sensitivity.baseline + 1e-6
+    assert sensitivity.perturbed_down >= sensitivity.baseline - 1e-6
+
+
+def test_perturbation_validation():
+    with pytest.raises(AnalysisError):
+        metric_sensitivity(BERT_BASE, GH200, Knob.CPU_DISPATCH,
+                           perturbation=0.0)

@@ -1,0 +1,58 @@
+"""SLO-aware batch/platform advisor."""
+
+import pytest
+
+from repro.analysis import advise
+from repro.errors import AnalysisError
+from repro.units import ms_to_ns
+
+
+def test_slo_points_are_compliant(bert_sweep):
+    report = advise(bert_sweep, seq_len=512, slo_ms=50.0)
+    for point in report.points:
+        if point.meets_slo:
+            assert point.ttft_ns <= ms_to_ns(50.0)
+            assert point.tokens_per_second > 0
+
+
+def test_largest_compliant_batch_chosen(bert_sweep):
+    report = advise(bert_sweep, seq_len=512, slo_ms=50.0)
+    by_name = {p.platform: p for p in report.points}
+    for name, point in by_name.items():
+        if not point.meets_slo:
+            continue
+        # The next swept batch (if any) must violate the SLO.
+        batches = bert_sweep.batch_sizes
+        index = batches.index(point.batch_size)
+        if index + 1 < len(batches):
+            next_ttft = bert_sweep.point(name, batches[index + 1]).ttft_ns
+            assert next_ttft > ms_to_ns(50.0)
+
+
+def test_tight_slo_favors_lc_loose_favors_cc(bert_sweep):
+    """The paper's trade-off: at tight latency budgets the LC system's fast
+    CPU wins; with a generous budget the CC system's throughput wins."""
+    tight = advise(bert_sweep, seq_len=512, slo_ms=6.0)
+    generous = advise(bert_sweep, seq_len=512, slo_ms=300.0)
+    assert tight.best().platform == "Intel+H100"
+    assert generous.best().platform == "GH200"
+
+
+def test_impossible_slo(bert_sweep):
+    report = advise(bert_sweep, seq_len=512, slo_ms=0.001)
+    assert all(not p.meets_slo for p in report.points)
+    with pytest.raises(AnalysisError):
+        report.best()
+
+
+def test_platform_filter(bert_sweep):
+    report = advise(bert_sweep, seq_len=512, slo_ms=100.0,
+                    platforms=["GH200"])
+    assert [p.platform for p in report.points] == ["GH200"]
+
+
+def test_validation(bert_sweep):
+    with pytest.raises(AnalysisError):
+        advise(bert_sweep, seq_len=512, slo_ms=0)
+    with pytest.raises(AnalysisError):
+        advise(bert_sweep, seq_len=0)

@@ -1,0 +1,64 @@
+"""Batch-sweep harness."""
+
+import pytest
+
+from repro.analysis import run_batch_sweep
+from repro.engine import EngineConfig
+from repro.errors import AnalysisError
+from repro.hardware import INTEL_H100
+from repro.workloads import GPT2
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_batch_sweep(GPT2, (INTEL_H100,), (1, 2, 4), seq_len=128,
+                           engine_config=EngineConfig(iterations=1))
+
+
+def test_sweep_has_all_points(small_sweep):
+    assert len(small_sweep.points) == 3
+    assert small_sweep.platforms() == ["Intel+H100"]
+
+
+def test_point_lookup(small_sweep):
+    point = small_sweep.point("Intel+H100", 2)
+    assert point.batch_size == 2
+    assert point.ttft_ns > 0
+
+
+def test_missing_point_raises(small_sweep):
+    with pytest.raises(AnalysisError):
+        small_sweep.point("Intel+H100", 99)
+    with pytest.raises(AnalysisError):
+        small_sweep.point("GH200", 1)
+
+
+def test_series_extraction(small_sweep):
+    ttft = small_sweep.ttft_series("Intel+H100")
+    tklqt = small_sweep.tklqt_series("Intel+H100")
+    assert len(ttft) == len(tklqt) == 3
+    assert all(v > 0 for v in ttft)
+
+
+def test_ttft_nondecreasing_in_batch(small_sweep):
+    ttft = small_sweep.ttft_series("Intel+H100")
+    assert ttft == sorted(ttft)
+
+
+def test_idle_series_bounded_by_latency(small_sweep):
+    il = small_sweep.ttft_series("Intel+H100")
+    for idle in (small_sweep.gpu_idle_series("Intel+H100"),
+                 small_sweep.cpu_idle_series("Intel+H100")):
+        assert all(0 <= v <= total for v, total in zip(idle, il))
+
+
+def test_transition_from_sweep(bert_sweep):
+    assert bert_sweep.transition("Intel+H100").batch_size == 8
+    assert bert_sweep.transition("GH200").batch_size == 32
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(AnalysisError):
+        run_batch_sweep(GPT2, (), (1,))
+    with pytest.raises(AnalysisError):
+        run_batch_sweep(GPT2, (INTEL_H100,), ())

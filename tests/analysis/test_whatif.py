@@ -1,0 +1,80 @@
+"""Architectural what-if analysis."""
+
+import pytest
+
+from repro.analysis import (
+    latency_at,
+    latency_vs_cpu_scale,
+    required_cpu_speedup,
+    scaled_platform,
+)
+from repro.engine import EngineConfig
+from repro.errors import AnalysisError
+from repro.hardware import GH200, INTEL_H100
+from repro.workloads import BERT_BASE, GPT2
+
+FAST = EngineConfig(iterations=1)
+
+
+def test_scaled_platform_speeds_up_cpu():
+    doubled = scaled_platform(GH200, cpu_dispatch_scale=2.0)
+    assert doubled.cpu.dispatch_score == pytest.approx(
+        2 * GH200.cpu.dispatch_score)
+    assert doubled.name == "GH200*"
+    # original untouched (frozen dataclasses)
+    assert GH200.cpu.dispatch_score < doubled.cpu.dispatch_score
+
+
+def test_scaled_platform_launch_latency_shrinks():
+    faster = scaled_platform(GH200, cpu_runtime_call_scale=2.0)
+    assert faster.launch_latency_ns < GH200.launch_latency_ns
+
+
+def test_scaled_platform_validation():
+    with pytest.raises(AnalysisError):
+        scaled_platform(GH200, cpu_dispatch_scale=0.0)
+
+
+def test_cpu_scale_reduces_cpu_bound_latency():
+    curve = latency_vs_cpu_scale(BERT_BASE, GH200, scales=(1.0, 2.0, 4.0),
+                                 batch_size=1, engine_config=FAST)
+    latencies = [latency for _, latency in curve]
+    assert latencies[0] > latencies[1] > latencies[2]
+
+
+def test_cpu_scale_has_no_effect_when_gpu_bound():
+    curve = latency_vs_cpu_scale(BERT_BASE, INTEL_H100, scales=(1.0, 4.0),
+                                 batch_size=128, engine_config=FAST)
+    assert curve[1][1] == pytest.approx(curve[0][1], rel=0.05)
+
+
+def test_required_speedup_for_gh200_to_match_intel():
+    """The paper's Grace bottleneck, quantified: GH200 needs roughly the
+    dispatch-score gap (~2.7x) to match Intel+H100 at BS=1 for BERT."""
+    requirement = required_cpu_speedup(BERT_BASE, GH200, INTEL_H100,
+                                       batch_size=1, engine_config=FAST)
+    assert 2.0 < requirement.required_speedup < 3.5
+    assert requirement.achieved_latency_ns == pytest.approx(
+        requirement.reference_latency_ns, rel=0.05)
+
+
+def test_already_faster_platform_needs_no_speedup():
+    requirement = required_cpu_speedup(BERT_BASE, INTEL_H100, GH200,
+                                       batch_size=1, engine_config=FAST)
+    assert requirement.required_speedup == 1.0
+
+
+def test_gpu_bound_gap_cannot_be_closed_by_cpu():
+    # At BS=128 the A100's GPU is the gap; no CPU speedup closes it.
+    from repro.hardware import AMD_A100
+    with pytest.raises(AnalysisError, match="cannot match"):
+        required_cpu_speedup(BERT_BASE, AMD_A100, INTEL_H100, batch_size=128,
+                             engine_config=FAST)
+
+
+def test_latency_at_matches_profiler(intel_profiler):
+    direct = latency_at(GPT2, INTEL_H100, batch_size=2, seq_len=256,
+                        engine_config=FAST)
+    profiled = intel_profiler.profile(GPT2, batch_size=2, seq_len=256)
+    assert direct == pytest.approx(profiled.metrics.inference_latency_ns,
+                                   rel=1e-6)

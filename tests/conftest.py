@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Engine runs are deterministic and cheap, but sweeps over many batch sizes add
+up; session-scoped fixtures cache the expensive sweeps used by several test
+modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_batch_sweep
+from repro.engine import EngineConfig
+from repro.hardware import AMD_A100, GH200, INTEL_H100
+from repro.skip import SkipProfiler
+from repro.workloads import BERT_BASE, GPT2, LLAMA_3_2_1B, XLM_ROBERTA_BASE
+
+#: Batch ladder used by the calibration-anchor tests.
+SWEEP_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="session")
+def fast_engine_config() -> EngineConfig:
+    """Single-iteration engine config for tests that don't mine chains."""
+    return EngineConfig(iterations=1)
+
+
+@pytest.fixture(scope="session")
+def intel_profiler() -> SkipProfiler:
+    return SkipProfiler(INTEL_H100)
+
+
+@pytest.fixture(scope="session")
+def gh200_profiler() -> SkipProfiler:
+    return SkipProfiler(GH200)
+
+
+@pytest.fixture(scope="session")
+def bert_sweep():
+    """BERT prefill sweep on all three paper platforms."""
+    return run_batch_sweep(BERT_BASE, (INTEL_H100, AMD_A100, GH200),
+                           SWEEP_BATCHES,
+                           engine_config=EngineConfig(iterations=1))
+
+
+@pytest.fixture(scope="session")
+def llama_sweep():
+    """Llama-3.2-1B prefill sweep on all three paper platforms."""
+    return run_batch_sweep(LLAMA_3_2_1B, (INTEL_H100, AMD_A100, GH200),
+                           SWEEP_BATCHES,
+                           engine_config=EngineConfig(iterations=1))
+
+
+@pytest.fixture(scope="session")
+def gpt2_profile(intel_profiler):
+    """GPT-2 BS=1 eager profile on Intel+H100 (fusion-analysis workhorse)."""
+    return intel_profiler.profile(GPT2, batch_size=1, seq_len=512)
+
+
+@pytest.fixture(scope="session")
+def xlmr_profile(intel_profiler):
+    """XLM-R BS=1 eager profile on Intel+H100."""
+    return intel_profiler.profile(XLM_ROBERTA_BASE, batch_size=1, seq_len=512)

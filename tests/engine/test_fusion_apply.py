@@ -1,0 +1,75 @@
+"""Fusion-plan application to kernel streams."""
+
+import pytest
+
+from repro.engine import FusionPlan, apply_fusion_plan, launches_saved
+from repro.engine.lowering import KernelTask
+from repro.errors import AnalysisError
+
+
+def kernels(*names: str) -> list[KernelTask]:
+    return [KernelTask(name=n, flops=1.0, bytes_read=2.0, bytes_written=3.0)
+            for n in names]
+
+
+def test_simple_chain_replacement():
+    stream = kernels("a", "b", "c", "d")
+    plan = FusionPlan(chains=(("b", "c"),))
+    out = apply_fusion_plan(stream, plan)
+    assert [k.name for k in out][0] == "a"
+    assert out[1].name.startswith("fused_chain_L2")
+    assert out[2].name == "d"
+
+
+def test_fused_kernel_sums_work():
+    stream = kernels("a", "b")
+    out = apply_fusion_plan(stream, FusionPlan(chains=(("a", "b"),)))
+    assert len(out) == 1
+    assert out[0].flops == 2.0
+    assert out[0].bytes_read == 4.0
+    assert out[0].bytes_written == 6.0
+
+
+def test_repeated_instances_all_fused():
+    stream = kernels("a", "b", "a", "b", "a", "b")
+    out = apply_fusion_plan(stream, FusionPlan(chains=(("a", "b"),)))
+    assert len(out) == 3
+    assert all(k.name.startswith("fused_chain") for k in out)
+
+
+def test_longest_chain_wins():
+    stream = kernels("a", "b", "c")
+    plan = FusionPlan(chains=(("a", "b"), ("a", "b", "c")))
+    out = apply_fusion_plan(stream, plan)
+    assert len(out) == 1
+    assert out[0].name.startswith("fused_chain_L3")
+
+
+def test_overlapping_instances_do_not_double_fuse():
+    stream = kernels("a", "a", "a")
+    out = apply_fusion_plan(stream, FusionPlan(chains=(("a", "a"),)))
+    # greedy: (a,a) fused, trailing 'a' left alone
+    assert len(out) == 2
+    assert out[1].name == "a"
+
+
+def test_no_match_passes_through():
+    stream = kernels("x", "y")
+    out = apply_fusion_plan(stream, FusionPlan(chains=(("a", "b"),)))
+    assert [k.name for k in out] == ["x", "y"]
+
+
+def test_launches_saved():
+    stream = kernels("a", "b", "a", "b")
+    assert launches_saved(stream, FusionPlan(chains=(("a", "b"),))) == 2
+
+
+def test_chain_length_one_rejected():
+    with pytest.raises(AnalysisError):
+        FusionPlan(chains=(("a",),))
+
+
+def test_plan_max_length():
+    plan = FusionPlan(chains=(("a", "b"), ("a", "b", "c", "d")))
+    assert plan.max_length == 4
+    assert FusionPlan(chains=()).max_length == 0

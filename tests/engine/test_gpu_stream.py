@@ -1,0 +1,77 @@
+"""In-order GPU stream semantics."""
+
+import pytest
+
+from repro.engine import GpuStream
+from repro.errors import SimulationError
+
+
+def test_idle_stream_starts_at_arrival():
+    stream = GpuStream()
+    start, end = stream.submit(100.0, 50.0)
+    assert (start, end) == (100.0, 150.0)
+
+
+def test_busy_stream_queues():
+    stream = GpuStream()
+    stream.submit(0.0, 100.0)
+    start, end = stream.submit(10.0, 5.0)
+    assert start == 100.0
+    assert end == 105.0
+
+
+def test_in_order_even_when_later_kernel_is_short():
+    stream = GpuStream()
+    stream.submit(0.0, 1000.0)
+    s2, _ = stream.submit(1.0, 1.0)
+    s3, _ = stream.submit(2.0, 1.0)
+    assert s2 < s3
+
+
+def test_gap_applies_only_back_to_back():
+    stream = GpuStream()
+    s1, e1 = stream.submit(0.0, 10.0, gap_ns=5.0)
+    assert s1 == 0.0  # first kernel pays no gap
+    s2, _ = stream.submit(0.0, 10.0, gap_ns=5.0)
+    assert s2 == e1 + 5.0
+
+
+def test_gap_hidden_when_arrival_is_late():
+    stream = GpuStream()
+    _, e1 = stream.submit(0.0, 10.0, gap_ns=5.0)
+    s2, _ = stream.submit(100.0, 1.0, gap_ns=5.0)
+    assert s2 == 100.0
+
+
+def test_busy_time_accumulates():
+    stream = GpuStream()
+    stream.submit(0.0, 10.0)
+    stream.submit(0.0, 15.0)
+    assert stream.busy_ns == 25.0
+    assert stream.kernel_count == 2
+
+
+def test_start_times_monotonic():
+    stream = GpuStream()
+    for i in range(20):
+        stream.submit(float(i), 3.0)
+    assert stream.start_times == sorted(stream.start_times)
+
+
+def test_nth_start():
+    stream = GpuStream()
+    stream.submit(0.0, 10.0)
+    stream.submit(0.0, 10.0)
+    assert stream.nth_start(1) == 10.0
+    with pytest.raises(SimulationError):
+        stream.nth_start(5)
+
+
+@pytest.mark.parametrize("arrival,duration,gap", [
+    (-1.0, 1.0, 0.0),
+    (0.0, -1.0, 0.0),
+    (0.0, 1.0, -1.0),
+])
+def test_invalid_submissions_rejected(arrival, duration, gap):
+    with pytest.raises(SimulationError):
+        GpuStream().submit(arrival, duration, gap_ns=gap)

@@ -1,0 +1,110 @@
+"""Operator -> kernel lowering rules."""
+
+import pytest
+
+from repro.engine.lowering import (
+    gemm_kernel_name,
+    kernel_count,
+    lower_graph,
+    lower_op,
+)
+from repro.workloads import BERT_BASE, GPT2, LLAMA_3_2_1B, OpKind, build_graph
+from repro.workloads import ops
+
+
+def test_bias_linear_lowers_to_gemm_plus_epilogue():
+    lowered = lower_op(ops.linear("fc", 16, 32, 64, bias=True))
+    names = [k.name for k in lowered.kernels]
+    assert len(names) == 2
+    assert "gemm" in names[0]
+    assert "splitKreduce" in names[1]
+
+
+def test_unbiased_linear_is_single_gemm():
+    lowered = lower_op(ops.linear("fc", 16, 32, 64, bias=False))
+    assert len(lowered.kernels) == 1
+
+
+def test_linear_work_is_conserved():
+    op = ops.linear("fc", 16, 32, 64, bias=True)
+    lowered = lower_op(op)
+    assert sum(k.flops for k in lowered.kernels) == pytest.approx(op.flops)
+
+
+def test_view_op_lowers_to_nothing():
+    lowered = lower_op(ops.transpose_view("t", 100))
+    assert lowered.kernels == ()
+
+
+def test_gelu_fanout_produces_distinct_stage_kernels():
+    op = ops.elementwise(OpKind.GELU, "g", elements=1000, fanout=8)
+    lowered = lower_op(op)
+    assert len(lowered.kernels) == 8
+    assert len({k.name for k in lowered.kernels}) >= 4
+    assert sum(k.flops for k in lowered.kernels) == pytest.approx(op.flops)
+
+
+def test_rope_lowers_to_three_stages():
+    lowered = lower_op(ops.rope("r", 16, 64))
+    assert len(lowered.kernels) == 3
+
+
+def test_embedding_variant_by_table_size():
+    large = lower_op(ops.embedding("w", 16, 64, num_embeddings=50_000))
+    small = lower_op(ops.embedding("p", 16, 64, num_embeddings=512))
+    assert "Large" in large.kernels[0].name
+    assert "Small" in small.kernels[0].name
+
+
+def test_gemm_name_buckets_by_shape():
+    assert gemm_kernel_name(32, 768, 768) != gemm_kernel_name(512, 768, 768)
+    assert gemm_kernel_name(512, 768, 768) == gemm_kernel_name(600, 768, 768)
+
+
+def test_gemm_name_batched_variant():
+    assert "bmm" in gemm_kernel_name(64, 64, 64, batched=True)
+    assert "bmm" not in gemm_kernel_name(64, 64, 64)
+
+
+def test_flash_kernel_name_includes_head_dim():
+    lowered = lower_op(ops.sdpa_flash("f", 12, 128, 128, 64))
+    assert "hdim64" in lowered.kernels[0].name
+
+
+def test_kernel_counts_for_paper_models():
+    """Fusion results depend on these counts; pin them.
+
+    XLM-R's K_eager ~= 300 yields the paper's ~6.8x ideal speedup at L=256
+    (300/45); GPT-2's ~413 yields ~2.7x (413/158).
+    """
+    assert kernel_count(build_graph(BERT_BASE, 1, 512)) == 300
+    assert kernel_count(build_graph(GPT2, 1, 512)) == 413
+    assert kernel_count(build_graph(LLAMA_3_2_1B, 1, 512)) == 421
+
+
+def test_kernel_count_is_batch_invariant():
+    """Prefill kernel count does not change with batch size — the reason
+    TKLQT is flat in the CPU-bound region (Section V-B)."""
+    for batch in (1, 4, 32):
+        assert kernel_count(build_graph(BERT_BASE, batch, 512)) == 300
+
+
+def test_lower_graph_covers_every_op():
+    graph = build_graph(GPT2, 1, 128)
+    lowered = lower_graph(graph)
+    assert len(lowered) == len(graph.ops)
+    for entry in lowered:
+        if entry.op.launches_kernel:
+            assert len(entry.kernels) >= 1
+        else:
+            assert entry.kernels == ()
+
+
+def test_gemm_variant_names_change_with_batch():
+    """cuBLAS picks different tiles for different problem sizes — the reason
+    Fig. 7a's unique-chain counts vary with batch size."""
+    small = {k.name for lo in lower_graph(build_graph(BERT_BASE, 1, 32))
+             for k in lo.kernels}
+    large = {k.name for lo in lower_graph(build_graph(BERT_BASE, 16, 512))
+             for k in lo.kernels}
+    assert small != large

@@ -1,0 +1,35 @@
+"""Execution-mode properties."""
+
+from repro.engine import ExecutionMode
+
+
+def test_eager_has_no_transformations():
+    mode = ExecutionMode.EAGER
+    assert not mode.uses_flash_attention
+    assert not mode.is_compiled
+    assert not mode.fuses_elementwise
+    assert not mode.uses_cuda_graph
+    assert mode.gemm_duration_scale == 1.0
+
+
+def test_flash_attention_only_changes_attention():
+    mode = ExecutionMode.FLASH_ATTENTION
+    assert mode.uses_flash_attention
+    assert not mode.is_compiled
+
+
+def test_compile_ladder_is_monotone():
+    default = ExecutionMode.COMPILE_DEFAULT
+    reduce_overhead = ExecutionMode.COMPILE_REDUCE_OVERHEAD
+    autotune = ExecutionMode.COMPILE_MAX_AUTOTUNE
+    assert default.is_compiled and not default.uses_cuda_graph
+    assert reduce_overhead.uses_cuda_graph
+    assert autotune.uses_cuda_graph and autotune.uses_flash_attention
+    assert autotune.gemm_duration_scale < 1.0
+    assert reduce_overhead.gemm_duration_scale == 1.0
+
+
+def test_proximity_fused_is_not_compiled():
+    mode = ExecutionMode.PROXIMITY_FUSED
+    assert not mode.is_compiled
+    assert not mode.uses_cuda_graph

@@ -1,0 +1,73 @@
+"""Platform catalog invariants and paper-derived constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    ALL_PLATFORMS,
+    AMD_A100,
+    Coupling,
+    GH200,
+    INTEL_H100,
+    MI300A,
+    PAPER_PLATFORMS,
+    get_platform,
+)
+
+
+def test_paper_platforms_are_the_three_evaluated():
+    names = {p.name for p in PAPER_PLATFORMS}
+    assert names == {"AMD+A100", "Intel+H100", "GH200"}
+
+
+def test_coupling_assignment():
+    assert AMD_A100.coupling is Coupling.LOOSELY_COUPLED
+    assert INTEL_H100.coupling is Coupling.LOOSELY_COUPLED
+    assert GH200.coupling is Coupling.CLOSELY_COUPLED
+    assert MI300A.coupling is Coupling.TIGHTLY_COUPLED
+
+
+def test_table5_launch_overheads_are_reproduced_exactly():
+    assert AMD_A100.launch_latency_ns == pytest.approx(2260.5)
+    assert INTEL_H100.launch_latency_ns == pytest.approx(2374.6)
+    assert GH200.launch_latency_ns == pytest.approx(2771.6)
+
+
+def test_table5_null_kernel_durations():
+    assert AMD_A100.gpu.min_kernel_ns == pytest.approx(1440.0)
+    assert INTEL_H100.gpu.min_kernel_ns == pytest.approx(1235.2)
+    assert GH200.gpu.min_kernel_ns == pytest.approx(1171.2)
+
+
+def test_gh200_has_highest_launch_overhead_but_fastest_kernels():
+    overheads = {p.name: p.launch_latency_ns for p in PAPER_PLATFORMS}
+    durations = {p.name: p.gpu.min_kernel_ns for p in PAPER_PLATFORMS}
+    assert max(overheads, key=overheads.get) == "GH200"
+    assert min(durations, key=durations.get) == "GH200"
+
+
+def test_grace_is_slowest_dispatcher():
+    scores = {p.name: p.cpu.dispatch_score for p in PAPER_PLATFORMS}
+    assert min(scores, key=scores.get) == "GH200"
+    assert max(scores, key=scores.get) == "Intel+H100"
+
+
+def test_gh200_memory_bandwidth_advantage():
+    # The paper attributes GH200's delayed GPU-bound transition to its
+    # higher-bandwidth HBM3.
+    assert GH200.gpu.hbm_bandwidth_gbs > 1.8 * INTEL_H100.gpu.hbm_bandwidth_gbs
+
+
+def test_get_platform_case_insensitive():
+    assert get_platform("gh200") is GH200
+    assert get_platform("Intel+H100") is INTEL_H100
+
+
+def test_get_platform_unknown_raises_with_known_names():
+    with pytest.raises(ConfigurationError, match="GH200"):
+        get_platform("tpu-v5")
+
+
+def test_all_platform_names_unique():
+    names = [p.name for p in ALL_PLATFORMS]
+    assert len(names) == len(set(names))

@@ -1,0 +1,44 @@
+"""CPU model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import REFERENCE_RUNTIME_CALL_NS, CpuSpec
+
+
+def make_cpu(**overrides) -> CpuSpec:
+    params = dict(name="test", isa="x86_64", cores=8, base_clock_ghz=2.0,
+                  boost_clock_ghz=3.0, runtime_call_score=1.0,
+                  dispatch_score=1.0)
+    params.update(overrides)
+    return CpuSpec(**params)
+
+
+def test_reference_cpu_runtime_call():
+    assert make_cpu().runtime_call_ns == pytest.approx(REFERENCE_RUNTIME_CALL_NS)
+
+
+def test_faster_cpu_has_lower_call_cost():
+    fast = make_cpu(runtime_call_score=2.0)
+    assert fast.runtime_call_ns == pytest.approx(REFERENCE_RUNTIME_CALL_NS / 2)
+
+
+def test_dispatch_scales_inversely_with_score():
+    slow = make_cpu(dispatch_score=0.5)
+    assert slow.dispatch_ns(10_000) == pytest.approx(20_000)
+
+
+def test_dispatch_rejects_negative_cost():
+    with pytest.raises(ConfigurationError):
+        make_cpu().dispatch_ns(-1.0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("runtime_call_score", 0.0),
+    ("runtime_call_score", -1.0),
+    ("dispatch_score", 0.0),
+    ("cores", 0),
+])
+def test_invalid_specs_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        make_cpu(**{field: value})

@@ -1,0 +1,108 @@
+"""GPU roofline model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GpuSpec
+
+
+def make_gpu(**overrides) -> GpuSpec:
+    params = dict(name="test-gpu", fp16_tflops=100.0, sustain=1.0,
+                  hbm_bandwidth_gbs=1000.0, bandwidth_sustain=1.0,
+                  min_kernel_ns=1000.0, ramp_flops=1e9, ramp_bytes=1e6)
+    params.update(overrides)
+    return GpuSpec(**params)
+
+
+def test_tiny_kernel_duration_is_ramp_offset():
+    # The saturating-efficiency model reduces to (flops + ramp) / peak_rate,
+    # so a near-zero-flop kernel costs ramp/peak (the launch ramp-up), not
+    # the floor.
+    gpu = make_gpu()
+    expected_ns = (1.0 + gpu.ramp_flops) / (100e12) * 1e9
+    assert gpu.kernel_duration_ns(flops=1.0, bytes_moved=1.0) == pytest.approx(
+        expected_ns)
+
+
+def test_null_kernel_duration_is_floor():
+    gpu = make_gpu(min_kernel_ns=1440.0)
+    assert gpu.kernel_duration_ns(0.0, 0.0) == 1440.0
+
+
+def test_compute_bound_kernel():
+    gpu = make_gpu()
+    flops = 1e12  # efficiency ~ 1/(1+1e-3) ~ 1.0
+    expected = flops / (100e12 * gpu.compute_efficiency(flops)) * 1e9
+    assert gpu.kernel_duration_ns(flops, 0.0) == pytest.approx(expected)
+
+
+def test_memory_bound_kernel():
+    gpu = make_gpu()
+    nbytes = 1e9
+    duration = gpu.kernel_duration_ns(0.0, nbytes)
+    # ~1 GB at ~1 TB/s => ~1 ms
+    assert duration == pytest.approx(1e6 / gpu.bandwidth_efficiency(nbytes),
+                                     rel=1e-6)
+
+
+def test_roofline_takes_max_of_terms():
+    gpu = make_gpu()
+    compute_only = gpu.kernel_duration_ns(1e12, 0.0)
+    memory_only = gpu.kernel_duration_ns(0.0, 1e9)
+    both = gpu.kernel_duration_ns(1e12, 1e9)
+    assert both == pytest.approx(max(compute_only, memory_only))
+
+
+def test_efficiency_ramps_with_size():
+    gpu = make_gpu()
+    assert gpu.compute_efficiency(1e9) == pytest.approx(0.5)
+    assert gpu.compute_efficiency(9e9) == pytest.approx(0.9)
+    assert gpu.bandwidth_efficiency(1e6) == pytest.approx(0.5)
+
+
+def test_efficiency_zero_for_no_work():
+    gpu = make_gpu()
+    assert gpu.compute_efficiency(0.0) == 0.0
+    assert gpu.bandwidth_efficiency(0.0) == 0.0
+
+
+def test_duration_monotonic_in_flops():
+    gpu = make_gpu()
+    values = [gpu.kernel_duration_ns(f, 0.0) for f in (1e9, 1e10, 1e11, 1e12)]
+    assert values == sorted(values)
+
+
+def test_sustain_scales_throughput():
+    fast = make_gpu(sustain=1.0)
+    slow = make_gpu(sustain=0.5)
+    flops = 1e13
+    assert slow.kernel_duration_ns(flops, 0) == pytest.approx(
+        2 * fast.kernel_duration_ns(flops, 0))
+
+
+def test_floor_scale_reduces_floor():
+    gpu = make_gpu()
+    assert gpu.kernel_duration_ns(0, 0, floor_scale=0.5) == 500.0
+
+
+def test_floor_scale_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        make_gpu().kernel_duration_ns(0, 0, floor_scale=0.0)
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ConfigurationError):
+        make_gpu().kernel_duration_ns(-1.0, 0.0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("fp16_tflops", 0.0),
+    ("hbm_bandwidth_gbs", -1.0),
+    ("sustain", 0.0),
+    ("sustain", 1.5),
+    ("bandwidth_sustain", 0.0),
+    ("min_kernel_ns", 0.0),
+])
+def test_invalid_specs_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        make_gpu(**{field: value})

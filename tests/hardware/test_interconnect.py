@@ -1,0 +1,58 @@
+"""Interconnect model and coupling taxonomy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    Coupling,
+    INFINITY_FABRIC,
+    InterconnectSpec,
+    NVLINK_C2C,
+    PCIE_GEN4_X16,
+    PCIE_GEN5_X16,
+)
+
+
+def test_coupling_taxonomy():
+    assert not Coupling.LOOSELY_COUPLED.shares_board
+    assert Coupling.CLOSELY_COUPLED.shares_board
+    assert Coupling.TIGHTLY_COUPLED.shares_board
+    assert not Coupling.CLOSELY_COUPLED.shares_physical_memory
+    assert Coupling.TIGHTLY_COUPLED.shares_physical_memory
+
+
+def test_nvlink_is_much_faster_than_pcie():
+    # The paper: NVLink-C2C is ~7x faster than PCIe Gen5.
+    assert NVLINK_C2C.bandwidth_gbs / PCIE_GEN5_X16.bandwidth_gbs >= 7.0
+
+
+def test_submission_cost_ordering():
+    # Tighter coupling -> cheaper doorbell.
+    assert (INFINITY_FABRIC.submission_ns < NVLINK_C2C.submission_ns
+            < PCIE_GEN5_X16.submission_ns < PCIE_GEN4_X16.submission_ns)
+
+
+def test_transfer_time_includes_base_latency():
+    assert PCIE_GEN5_X16.transfer_ns(0) == PCIE_GEN5_X16.base_latency_ns
+
+
+def test_transfer_time_scales_with_bytes():
+    one_mb = PCIE_GEN5_X16.transfer_ns(1 << 20)
+    two_mb = PCIE_GEN5_X16.transfer_ns(2 << 20)
+    delta = two_mb - one_mb
+    assert delta == pytest.approx((1 << 20) / PCIE_GEN5_X16.bandwidth_gbs)
+
+
+def test_transfer_rejects_negative_size():
+    with pytest.raises(ConfigurationError):
+        NVLINK_C2C.transfer_ns(-1)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(name="x", bandwidth_gbs=0, base_latency_ns=1, submission_ns=1),
+    dict(name="x", bandwidth_gbs=1, base_latency_ns=-1, submission_ns=1),
+    dict(name="x", bandwidth_gbs=1, base_latency_ns=1, submission_ns=-1),
+])
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        InterconnectSpec(**kwargs)

@@ -1,0 +1,51 @@
+"""nullKernel micro-benchmark (Table V)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    GH200,
+    INTEL_H100,
+    PAPER_PLATFORMS,
+    measure_nullkernel,
+    nullkernel_table,
+)
+
+
+def test_exact_values_without_jitter():
+    result = measure_nullkernel(INTEL_H100)
+    assert result.launch_overhead_ns == pytest.approx(2374.6)
+    assert result.duration_ns == pytest.approx(1235.2)
+
+
+def test_table_matches_paper_rows():
+    rows = {r.platform: r for r in nullkernel_table(PAPER_PLATFORMS)}
+    assert rows["AMD+A100"].launch_overhead_ns == pytest.approx(2260.5)
+    assert rows["Intel+H100"].launch_overhead_ns == pytest.approx(2374.6)
+    assert rows["GH200"].launch_overhead_ns == pytest.approx(2771.6)
+    assert rows["GH200"].duration_ns == pytest.approx(1171.2)
+
+
+def test_jitter_is_deterministic_per_seed():
+    a = measure_nullkernel(GH200, samples=100, jitter_fraction=0.05, seed=7)
+    b = measure_nullkernel(GH200, samples=100, jitter_fraction=0.05, seed=7)
+    assert a.launch_overhead_ns == b.launch_overhead_ns
+
+
+def test_jitter_averages_near_model_value():
+    result = measure_nullkernel(GH200, samples=5000, jitter_fraction=0.05,
+                                seed=3)
+    assert result.launch_overhead_ns == pytest.approx(2771.6, rel=0.01)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ConfigurationError):
+        measure_nullkernel(GH200, samples=0)
+    with pytest.raises(ConfigurationError):
+        measure_nullkernel(GH200, jitter_fraction=-0.1)
+
+
+def test_as_row_shape():
+    row = measure_nullkernel(INTEL_H100).as_row()
+    assert row[0] == "Intel+H100"
+    assert len(row) == 3

@@ -1,0 +1,39 @@
+"""Platform composition and derived launch costs."""
+
+import pytest
+
+from repro.hardware import AMD_A100, GH200, INTEL_H100, MI300A
+from repro.hardware.platform import DRIVER_LAUNCH_NS
+
+
+def test_launch_latency_decomposition():
+    for platform in (AMD_A100, INTEL_H100, GH200):
+        expected = (platform.cpu.runtime_call_ns + DRIVER_LAUNCH_NS
+                    + platform.interconnect.submission_ns)
+        assert platform.launch_latency_ns == pytest.approx(expected)
+
+
+def test_launch_call_cpu_share():
+    assert INTEL_H100.launch_call_cpu_ns == pytest.approx(
+        INTEL_H100.cpu.runtime_call_ns)
+
+
+def test_dispatch_delegates_to_cpu():
+    assert GH200.dispatch_ns(10_000) == pytest.approx(
+        GH200.cpu.dispatch_ns(10_000))
+
+
+def test_kernel_duration_delegates_to_gpu():
+    assert INTEL_H100.kernel_duration_ns(1e9, 1e6) == pytest.approx(
+        INTEL_H100.gpu.kernel_duration_ns(1e9, 1e6))
+
+
+def test_tightly_coupled_transfer_is_base_latency_only():
+    big = 1 << 30
+    assert MI300A.transfer_ns(big) == MI300A.interconnect.base_latency_ns
+    assert INTEL_H100.transfer_ns(big) > INTEL_H100.interconnect.base_latency_ns
+
+
+def test_summary_mentions_coupling_and_parts():
+    text = GH200.summary()
+    assert "CC" in text and "Grace" in text and "NVLink" in text

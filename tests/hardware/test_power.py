@@ -1,0 +1,86 @@
+"""Power and energy accounting."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.hardware import (
+    GH200,
+    INTEL_H100,
+    PowerModel,
+    energy_of,
+    get_power_model,
+)
+from repro.skip import SkipProfiler
+from repro.units import SEC
+from repro.workloads import BERT_BASE
+
+
+def test_power_models_exist_for_all_platforms():
+    for name in ("AMD+A100", "Intel+H100", "GH200", "MI300A"):
+        model = get_power_model(name)
+        assert model.gpu_busy_w > 0
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(ConfigurationError):
+        get_power_model("TPU")
+
+
+def test_power_model_validation():
+    with pytest.raises(ConfigurationError):
+        PowerModel("x", gpu_busy_w=100, gpu_idle_w=200, cpu_busy_w=1,
+                   cpu_idle_w=0)
+    with pytest.raises(ConfigurationError):
+        PowerModel("x", gpu_busy_w=-1, gpu_idle_w=0, cpu_busy_w=1,
+                   cpu_idle_w=0)
+
+
+@pytest.fixture(scope="module")
+def bert_energy():
+    metrics = SkipProfiler(INTEL_H100).profile(BERT_BASE, batch_size=8).metrics
+    return metrics, energy_of(metrics, get_power_model("Intel+H100"))
+
+
+def test_energy_components_positive(bert_energy):
+    _, report = bert_energy
+    assert report.gpu_energy_j > 0
+    assert report.cpu_energy_j > 0
+    assert report.total_j == report.gpu_energy_j + report.cpu_energy_j
+
+
+def test_average_power_bounded_by_busy_draw(bert_energy):
+    _, report = bert_energy
+    power_model = get_power_model("Intel+H100")
+    ceiling = power_model.gpu_busy_w + power_model.cpu_busy_w
+    floor = min(power_model.gpu_idle_w, power_model.cpu_idle_w)
+    assert floor < report.average_power_w < ceiling
+
+
+def test_energy_identity(bert_energy):
+    metrics, report = bert_energy
+    power_model = get_power_model("Intel+H100")
+    il_s = metrics.inference_latency_ns / SEC
+    busy_s = metrics.gpu_busy_ns / SEC
+    expected_gpu = (power_model.gpu_busy_w * busy_s
+                    + power_model.gpu_idle_w * (il_s - busy_s))
+    assert report.gpu_energy_j == pytest.approx(expected_gpu)
+
+
+def test_energy_per_token(bert_energy):
+    _, report = bert_energy
+    per_token = report.energy_per_token_j(8 * 512)
+    assert per_token == pytest.approx(report.total_j / 4096)
+    with pytest.raises(AnalysisError):
+        report.energy_per_token_j(0)
+
+
+def test_gpu_bound_gh200_beats_lc_on_energy_per_token():
+    """At large batch the GH200 finishes ~2x sooner; even at a 2x power
+    class its energy/token is competitive."""
+    intel = SkipProfiler(INTEL_H100).profile(BERT_BASE, batch_size=128)
+    gh200 = SkipProfiler(GH200).profile(BERT_BASE, batch_size=128)
+    tokens = 128 * 512
+    intel_energy = energy_of(intel.metrics, get_power_model("Intel+H100"))
+    gh_energy = energy_of(gh200.metrics, get_power_model("GH200"))
+    assert gh_energy.energy_per_token_j(tokens) < 1.5 * (
+        intel_energy.energy_per_token_j(tokens))

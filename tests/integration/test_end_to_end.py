@@ -1,0 +1,120 @@
+"""End-to-end flows across the whole stack."""
+
+import pytest
+
+from repro import (
+    ExecutionMode,
+    GH200,
+    GPT2,
+    INTEL_H100,
+    LLAMA_3_2_1B,
+    SkipProfiler,
+)
+from repro.engine import EngineConfig
+from repro.skip import analyze_trace, best_speedup
+from repro.trace import chrome
+
+
+def test_profile_export_reimport_recommend(tmp_path, gpt2_profile):
+    """Full SKIP workflow over a Chrome-trace file, as with a real trace."""
+    path = tmp_path / "gpt2.json"
+    chrome.dump(gpt2_profile.trace, path)
+    reloaded = chrome.load(path)
+    result = SkipProfiler.analyze(reloaded)
+    assert result.metrics.kernel_launches == 413
+    best = best_speedup(analyze_trace(result.trace))
+    assert best.ideal_speedup > 2.0
+
+
+def test_recommend_then_simulate_fused_speedup(intel_profiler):
+    """The paper's future-work loop: recommend chains, actually fuse them,
+    and compare the simulated speedup to the idealized one.
+
+    The idealized number (launch-count ratio) must upper-bound the simulated
+    latency gain in the CPU-bound region, because dispatch cost remains.
+    """
+    baseline = intel_profiler.profile(GPT2, batch_size=1, seq_len=512)
+    analyses = baseline.recommend_fusions(lengths=[256])
+    plan = analyses[0].plan()
+    assert plan is not None
+    fused = intel_profiler.profile(GPT2, batch_size=1, seq_len=512,
+                                   mode=ExecutionMode.PROXIMITY_FUSED,
+                                   fusion_plan=plan)
+    simulated = (baseline.metrics.inference_latency_ns
+                 / fused.metrics.inference_latency_ns)
+    idealized = analyses[0].instance_speedup
+    assert 1.0 < simulated < idealized
+
+
+def test_fusion_gains_vanish_in_gpu_bound_region(intel_profiler):
+    """Paper Section V-C: launch-count fusion helps CPU-bound runs, not
+    GPU-bound ones. The simulated gain is far below Eq. 8's idealized ratio
+    because operator dispatch survives fusion — only the launch tax goes."""
+    from repro.skip import analyze_trace, combined_plan
+
+    cpu_bound = intel_profiler.profile(GPT2, batch_size=1, seq_len=512)
+    plan = combined_plan(analyze_trace(cpu_bound.trace))
+    fused_small = intel_profiler.profile(
+        GPT2, batch_size=1, seq_len=512,
+        mode=ExecutionMode.PROXIMITY_FUSED, fusion_plan=plan)
+    gain_small = (cpu_bound.metrics.inference_latency_ns
+                  / fused_small.metrics.inference_latency_ns)
+
+    gpu_bound = intel_profiler.profile(GPT2, batch_size=64, seq_len=512)
+    plan_large = combined_plan(analyze_trace(gpu_bound.trace))
+    fused_large = intel_profiler.profile(
+        GPT2, batch_size=64, seq_len=512,
+        mode=ExecutionMode.PROXIMITY_FUSED, fusion_plan=plan_large)
+    gain_large = (gpu_bound.metrics.inference_latency_ns
+                  / fused_large.metrics.inference_latency_ns)
+
+    assert gain_small > 1.02
+    assert gain_large < 1.02
+    assert gain_small > gain_large
+
+
+def test_flash_attention_beats_eager_at_long_seq(intel_profiler):
+    eager = intel_profiler.profile(LLAMA_3_2_1B, batch_size=4, seq_len=1024)
+    flash = intel_profiler.profile(LLAMA_3_2_1B, batch_size=4, seq_len=1024,
+                                   mode=ExecutionMode.FLASH_ATTENTION)
+    assert (flash.metrics.inference_latency_ns
+            < eager.metrics.inference_latency_ns)
+
+
+def test_cuda_graph_mode_dominates_eager_for_cpu_bound(intel_profiler):
+    eager = intel_profiler.profile(GPT2, batch_size=1, seq_len=512)
+    graphed = intel_profiler.profile(GPT2, batch_size=1, seq_len=512,
+                                     mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD)
+    assert (graphed.metrics.inference_latency_ns
+            < eager.metrics.inference_latency_ns / 1.5)
+
+
+def test_same_model_same_platform_is_deterministic():
+    a = SkipProfiler(GH200).profile(GPT2, batch_size=2, seq_len=256)
+    b = SkipProfiler(GH200).profile(GPT2, batch_size=2, seq_len=256)
+    assert a.metrics.inference_latency_ns == pytest.approx(
+        b.metrics.inference_latency_ns)
+    assert a.metrics.tklqt_ns == pytest.approx(b.metrics.tklqt_ns)
+
+
+def test_decode_loop_composition(intel_profiler):
+    """Prefill + decode phases compose into a full generation simulation."""
+    from repro.serving import LatencyModel
+    latency = LatencyModel(INTEL_H100)
+    total = latency.generation_ns(LLAMA_3_2_1B, batch_size=1, prompt_len=256,
+                                  output_tokens=32)
+    prefill = latency.ttft_ns(LLAMA_3_2_1B, 1, 256)
+    assert total > prefill
+    # Each BS=1 decode step is CPU-bound and roughly one prefill's worth of
+    # dispatch; bound the composition loosely.
+    assert total < prefill + 32 * 2 * prefill
+
+
+def test_iterations_scale_trace_linearly():
+    one = SkipProfiler(INTEL_H100, EngineConfig(iterations=1)).profile(
+        GPT2, batch_size=1, seq_len=128)
+    three = SkipProfiler(INTEL_H100, EngineConfig(iterations=3)).profile(
+        GPT2, batch_size=1, seq_len=128)
+    assert len(three.trace.kernels) == 3 * len(one.trace.kernels)
+    assert three.metrics.inference_latency_ns == pytest.approx(
+        one.metrics.inference_latency_ns, rel=1e-6)

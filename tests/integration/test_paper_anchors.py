@@ -1,0 +1,145 @@
+"""Calibration anchors: the paper's headline numbers within tolerance.
+
+These tests pin the reproduction to the paper's reported results. If a model
+change moves one of them, EXPERIMENTS.md must be updated alongside.
+"""
+
+import pytest
+
+from repro.analysis import find_crossover
+from repro.hardware import AMD_A100, GH200, INTEL_H100, nullkernel_table
+from repro.skip import analyze_trace, best_speedup
+from repro.workloads import BERT_BASE
+
+
+class TestTable5:
+    def test_launch_overheads(self):
+        rows = {r.platform: r for r in nullkernel_table(
+            (AMD_A100, INTEL_H100, GH200))}
+        assert rows["AMD+A100"].launch_overhead_ns == pytest.approx(2260.5)
+        assert rows["Intel+H100"].launch_overhead_ns == pytest.approx(2374.6)
+        assert rows["GH200"].launch_overhead_ns == pytest.approx(2771.6)
+
+    def test_durations(self):
+        rows = {r.platform: r for r in nullkernel_table(
+            (AMD_A100, INTEL_H100, GH200))}
+        assert rows["AMD+A100"].duration_ns == pytest.approx(1440.0)
+        assert rows["Intel+H100"].duration_ns == pytest.approx(1235.2)
+        assert rows["GH200"].duration_ns == pytest.approx(1171.2)
+
+
+class TestFig6Transitions:
+    """Encoder CPU->GPU-bound stars: LC ~8, GH200 ~32 (4x wider region)."""
+
+    def test_lc_stars_at_8(self, bert_sweep):
+        assert bert_sweep.transition("Intel+H100").batch_size == 8
+        assert bert_sweep.transition("AMD+A100").batch_size == 8
+
+    def test_gh200_stars_at_32(self, bert_sweep):
+        assert bert_sweep.transition("GH200").batch_size == 32
+
+    def test_four_x_wider_cpu_bound_region(self, bert_sweep):
+        lc = bert_sweep.transition("Intel+H100").batch_size
+        cc = bert_sweep.transition("GH200").batch_size
+        assert cc == 4 * lc
+
+    def test_tklqt_flat_in_cpu_bound_region(self, bert_sweep):
+        tklqt = bert_sweep.tklqt_series("GH200")
+        batches = bert_sweep.batch_sizes
+        plateau = tklqt[0]
+        for batch, value in zip(batches, tklqt):
+            if batch < 16:
+                assert value < 3 * plateau, f"not flat at BS={batch}"
+
+
+class TestFig10Encoders:
+    def test_bs1_gh200_slowest(self, bert_sweep):
+        """Paper: GH200 2.8x/1.9x slower than Intel/AMD at BS=1."""
+        gh = bert_sweep.point("GH200", 1).ttft_ns
+        intel = bert_sweep.point("Intel+H100", 1).ttft_ns
+        amd = bert_sweep.point("AMD+A100", 1).ttft_ns
+        assert gh / intel == pytest.approx(2.8, rel=0.25)
+        assert gh / amd == pytest.approx(1.9, rel=0.15)
+
+    def test_bs8_ratios(self, bert_sweep):
+        """Paper: 1.7x / 1.5x at BS=8."""
+        gh = bert_sweep.point("GH200", 8).ttft_ns
+        intel = bert_sweep.point("Intel+H100", 8).ttft_ns
+        amd = bert_sweep.point("AMD+A100", 8).ttft_ns
+        assert gh / intel == pytest.approx(1.7, rel=0.15)
+        assert gh / amd == pytest.approx(1.5, rel=0.15)
+
+    def test_crossover_at_16(self, bert_sweep):
+        assert find_crossover(bert_sweep, "GH200", "Intel+H100").batch_size == 16
+
+    def test_bs64_speedups(self, bert_sweep):
+        """Paper: 1.6x / 2.4x at BS=64 (our Intel ratio runs ~2.0; the
+        memory-bandwidth roofline overestimates GH200's edge on the
+        encoder's traffic-heavy eager attention — see EXPERIMENTS.md)."""
+        cp_intel = find_crossover(bert_sweep, "GH200", "Intel+H100")
+        cp_amd = find_crossover(bert_sweep, "GH200", "AMD+A100")
+        assert 1.5 <= cp_intel.speedup_at(bert_sweep.batch_sizes, 64) <= 2.3
+        assert cp_amd.speedup_at(bert_sweep.batch_sizes, 64) == pytest.approx(
+            2.4, rel=0.15)
+
+    def test_gh200_flat_until_32(self, bert_sweep):
+        """Paper: GH200 sustains near-constant TTFT until BS=32."""
+        ttft = bert_sweep.ttft_series("GH200")
+        batches = bert_sweep.batch_sizes
+        bs1 = ttft[0]
+        bs16 = ttft[batches.index(16)]
+        assert bs16 < 1.3 * bs1
+
+
+class TestFig11Decoders:
+    def test_llama_bs16_speedups(self, llama_sweep):
+        """Paper: 1.9x / 2.7x at BS=16."""
+        vs_intel = find_crossover(llama_sweep, "GH200", "Intel+H100")
+        vs_amd = find_crossover(llama_sweep, "GH200", "AMD+A100")
+        assert vs_intel.speedup_at(llama_sweep.batch_sizes, 16) == pytest.approx(
+            1.9, rel=0.15)
+        assert vs_amd.speedup_at(llama_sweep.batch_sizes, 16) == pytest.approx(
+            2.7, rel=0.15)
+
+    def test_llama_crossover_low(self, llama_sweep):
+        """Paper reads the Llama CP at ~BS=1 (latency similar at BS=1); our
+        simulator places it at BS=8 because its BS=1 run is still
+        CPU-dominated — documented deviation in EXPERIMENTS.md."""
+        cp = find_crossover(llama_sweep, "GH200", "Intel+H100")
+        assert cp.found and cp.batch_size <= 8
+
+
+class TestFig8FusionSpeedups:
+    def test_gpt2_max_speedup(self, gpt2_profile):
+        """Paper: up to 2.7x for GPT-2 at L=256."""
+        best = best_speedup(analyze_trace(gpt2_profile.trace))
+        assert best.length == 256
+        assert best.ideal_speedup == pytest.approx(2.7, rel=0.15)
+
+    def test_xlmr_max_speedup(self, xlmr_profile):
+        """Paper: up to 6.8x for XLM-RoBERTa at L=256."""
+        best = best_speedup(analyze_trace(xlmr_profile.trace))
+        assert best.ideal_speedup == pytest.approx(6.8, rel=0.15)
+
+    def test_short_chains_modest(self, gpt2_profile, xlmr_profile):
+        """Paper: 1.05x-1.09x for short chains."""
+        for profile in (gpt2_profile, xlmr_profile):
+            analyses = {a.length: a for a in analyze_trace(profile.trace,
+                                                           lengths=[2, 4])}
+            assert 1.0 < analyses[2].ideal_speedup < 1.15
+            assert 1.0 < analyses[4].ideal_speedup < 1.25
+
+
+class TestKeyTakeaways:
+    def test_gh200_bs1_encoder_latency_is_cpu_dominated(self, bert_sweep):
+        """GH200's BS=1 encoder latency is dominated by CPU time (the
+        Grace bottleneck, paper Section V-D)."""
+        point = bert_sweep.point("GH200", 1)
+        assert point.metrics.cpu_busy_ns > 0.8 * point.metrics.inference_latency_ns
+
+    def test_gpu_idle_high_at_bs1_low_at_bs128(self, bert_sweep):
+        for platform in ("Intel+H100", "GH200"):
+            m1 = bert_sweep.point(platform, 1).metrics
+            m128 = bert_sweep.point(platform, 128).metrics
+            assert m1.gpu_idle_ns / m1.inference_latency_ns > 0.5
+            assert m128.gpu_idle_ns / m128.inference_latency_ns < 0.3

@@ -1,0 +1,48 @@
+"""Reproduction scorecard."""
+
+import pytest
+
+from repro.reproduction import Anchor, Scorecard, run_scorecard
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return run_scorecard()
+
+
+def test_all_anchors_pass(scorecard):
+    assert scorecard.failures() == []
+    assert scorecard.passed == scorecard.total
+
+
+def test_scorecard_covers_every_experiment(scorecard):
+    experiments = {a.experiment for a in scorecard.anchors}
+    assert {"Table V", "Table I", "Fig. 6", "Fig. 8", "Fig. 10a",
+            "Fig. 11a"} <= experiments
+    assert scorecard.total >= 18
+
+
+def test_render_contains_verdicts(scorecard):
+    text = scorecard.render()
+    assert "ok" in text
+    assert f"{scorecard.passed}/{scorecard.total}" in text
+
+
+def test_anchor_verdict_logic():
+    good = Anchor("x", "d", 2.0, 2.1, tolerance=0.1)
+    bad = Anchor("x", "d", 2.0, 2.5, tolerance=0.1)
+    exact = Anchor("x", "d", 8.0, 8.0, tolerance=0.0)
+    assert good.passed and not bad.passed and exact.passed
+    assert bad.deviation == pytest.approx(0.25)
+
+
+def test_zero_paper_value_edge():
+    assert Anchor("x", "d", 0.0, 0.0, 0.1).passed
+    assert not Anchor("x", "d", 0.0, 1.0, 0.1).passed
+    assert Anchor("x", "d", 0.0, 0.0, 0.1).deviation == 0.0
+
+
+def test_progress_callback_invoked():
+    messages = []
+    run_scorecard(progress=messages.append)
+    assert any("Table V" in m for m in messages)

@@ -1,0 +1,67 @@
+"""Property-based tests for transition detection and the latency-curve
+baseline on synthetic sweeps."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import classify_latency_curve
+from repro.skip import Boundedness, find_transition
+
+
+@st.composite
+def flat_then_exploding(draw):
+    """A TKLQT curve that is flat for a prefix, then multiplies per step."""
+    n = draw(st.integers(3, 8))
+    batches = [2 ** i for i in range(n)]
+    plateau = draw(st.floats(1e3, 1e6))
+    knee = draw(st.integers(1, n - 1))
+    values = []
+    level = plateau
+    for i in range(n):
+        if i < knee:
+            # Jitter and the per-step multiplier must keep the knee
+            # unambiguous under the 10x rule: the knee jumps >= 13x the true
+            # plateau while pre-knee points stay within 1.15x of it, so
+            # knee > 10 * observed_plateau always holds.
+            jitter = draw(st.floats(0.9, 1.15))
+            values.append(plateau * jitter)
+        else:
+            level = max(level, plateau) * draw(st.floats(13.0, 40.0))
+            values.append(level)
+    return batches, values, batches[knee]
+
+
+@given(curve=flat_then_exploding())
+@settings(max_examples=120, deadline=None)
+def test_transition_found_at_the_knee(curve):
+    batches, values, knee_batch = curve
+    transition = find_transition(batches, values)
+    assert transition.found
+    assert transition.batch_size == knee_batch
+    # Classification is consistent with the found point.
+    for batch in batches:
+        expected = (Boundedness.CPU_BOUND if batch < knee_batch
+                    else Boundedness.GPU_BOUND)
+        assert transition.boundedness_at(batch) is expected
+
+
+@given(values=st.lists(st.floats(1e3, 1e4), min_size=2, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_bounded_jitter_never_triggers(values):
+    """Any curve whose values stay within a 10x band has no transition."""
+    batches = [2 ** i for i in range(len(values))]
+    lo = min(values)
+    clipped = [min(v, lo * 9.99) for v in values]
+    transition = find_transition(batches, clipped)
+    assert not transition.found
+
+
+@given(curve=flat_then_exploding())
+@settings(max_examples=60, deadline=None)
+def test_framework_tax_agrees_on_synthetic_curves(curve):
+    """On a flat-then-exploding latency curve the baseline classifier also
+    fires at or before the knee (it is more sensitive: 1.4x growth)."""
+    batches, values, knee_batch = curve
+    result = classify_latency_curve(batches, values)
+    assert result.transition_batch_size is not None
+    assert result.transition_batch_size <= knee_batch

@@ -1,0 +1,42 @@
+"""Property-based tests for the vector-index substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+vectors_strategy = arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(5, 40), st.just(8)),
+    elements=st.floats(-10, 10, width=32),
+)
+
+
+@given(vectors=vectors_strategy, k=st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_brute_force_topk_invariants(vectors, k):
+    from repro.retrieval import BruteForceIndex
+    # Skip degenerate all-zero corpora (normalization keeps them at 0).
+    index = BruteForceIndex(8)
+    index.add(vectors)
+    result = index.search(vectors[0], k=k)
+    assert len(result) == min(k, len(vectors))
+    assert list(result.scores) == sorted(result.scores, reverse=True)
+    assert all(-1.0001 <= s <= 1.0001 for s in result.scores)
+    assert len(set(result.ids.tolist())) == len(result.ids)
+
+
+@given(vectors=vectors_strategy)
+@settings(max_examples=40, deadline=None)
+def test_self_query_is_top1_for_nondegenerate_vectors(vectors):
+    from repro.retrieval import BruteForceIndex
+    query = vectors[0]
+    if np.linalg.norm(query) < 1e-3:
+        return  # zero vector has no meaningful direction
+    index = BruteForceIndex(8)
+    index.add(vectors)
+    result = index.search(query, k=1)
+    best_score = result.scores[0]
+    # The stored copy of the query itself scores 1.0, so top-1 must too
+    # (ties with duplicates are allowed).
+    assert best_score >= 1.0 - 1e-4

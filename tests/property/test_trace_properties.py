@@ -1,0 +1,83 @@
+"""Property-based tests for trace construction, metrics, and the roofline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.gpu import GpuSpec
+from repro.skip import compute_metrics
+from repro.trace import TraceBuilder
+from repro.trace import chrome
+
+
+@st.composite
+def launch_schedules(draw):
+    """A monotone schedule of (call_ts, t_l, duration) launches."""
+    count = draw(st.integers(1, 20))
+    schedule = []
+    cpu = 0.0
+    gpu_free = 0.0
+    for _ in range(count):
+        cpu += draw(st.floats(1.0, 1000.0))
+        latency = draw(st.floats(0.5, 500.0))
+        duration = draw(st.floats(0.5, 2000.0))
+        start = max(cpu + latency, gpu_free)
+        gpu_free = start + duration
+        schedule.append((cpu, start, duration))
+        cpu += 1.0
+    return schedule
+
+
+def build_trace(schedule):
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    op = builder.begin_operator("aten::op", 0.0)
+    for call_ts, start, duration in schedule:
+        builder.launch_kernel(call_ts, 0.5, "k", start, duration)
+    last_cpu = schedule[-1][0] + 2.0
+    builder.end_operator(op, last_cpu)
+    end = max(last_cpu, max(s + d for _, s, d in schedule)) + 1.0
+    builder.end_iteration(end)
+    return builder.finish()
+
+
+@given(schedule=launch_schedules())
+@settings(max_examples=100, deadline=None)
+def test_metric_invariants_hold_for_any_schedule(schedule):
+    metrics = compute_metrics(build_trace(schedule))
+    total_duration = sum(d for _, _, d in schedule)
+    assert metrics.tklqt_ns >= 0
+    assert metrics.akd_ns == pytest.approx(total_duration / len(schedule))
+    assert metrics.gpu_busy_ns == pytest.approx(total_duration)
+    assert metrics.inference_latency_ns >= metrics.gpu_busy_ns or (
+        metrics.gpu_idle_ns <= 0
+    )
+    # Eq. 5 identity.
+    assert metrics.gpu_idle_ns == pytest.approx(
+        metrics.inference_latency_ns - metrics.gpu_busy_ns)
+    assert metrics.queuing_ns >= -1e-9
+
+
+@given(schedule=launch_schedules())
+@settings(max_examples=50, deadline=None)
+def test_chrome_round_trip_preserves_metrics(schedule):
+    trace = build_trace(schedule)
+    reloaded = chrome.loads(chrome.dumps(trace))
+    original = compute_metrics(trace)
+    recovered = compute_metrics(reloaded)
+    assert recovered.tklqt_ns == pytest.approx(original.tklqt_ns, rel=1e-9)
+    assert recovered.inference_latency_ns == pytest.approx(
+        original.inference_latency_ns, rel=1e-9)
+
+
+@given(flops=st.floats(0, 1e15), nbytes=st.floats(0, 1e12),
+       more_flops=st.floats(1.0, 1e12))
+@settings(max_examples=200, deadline=None)
+def test_roofline_monotonicity(flops, nbytes, more_flops):
+    gpu = GpuSpec(name="g", fp16_tflops=100.0, sustain=0.9,
+                  hbm_bandwidth_gbs=1000.0, bandwidth_sustain=0.9,
+                  min_kernel_ns=1000.0)
+    base = gpu.kernel_duration_ns(flops, nbytes)
+    assert base >= 1000.0  # never below the floor
+    assert gpu.kernel_duration_ns(flops + more_flops, nbytes) >= base
+    assert gpu.kernel_duration_ns(flops, nbytes + 1e6) >= base

@@ -1,0 +1,109 @@
+"""Vector index substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.retrieval import BruteForceIndex, IVFIndex
+
+
+@pytest.fixture()
+def corpus():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(300, 16)).astype(np.float32)
+
+
+def test_brute_force_finds_exact_vector(corpus):
+    index = BruteForceIndex(16)
+    index.add(corpus)
+    result = index.search(corpus[42], k=1)
+    assert result.ids[0] == 42
+    assert result.scores[0] == pytest.approx(1.0, abs=1e-5)
+
+
+def test_brute_force_scores_sorted(corpus):
+    index = BruteForceIndex(16)
+    index.add(corpus)
+    result = index.search(corpus[0], k=10)
+    assert list(result.scores) == sorted(result.scores, reverse=True)
+    assert len(result) == 10
+
+
+def test_brute_force_k_larger_than_corpus(corpus):
+    index = BruteForceIndex(16)
+    index.add(corpus[:5])
+    assert len(index.search(corpus[0], k=50)) == 5
+
+
+def test_explicit_ids(corpus):
+    index = BruteForceIndex(16)
+    index.add(corpus[:3], ids=np.array([100, 200, 300]))
+    result = index.search(corpus[1], k=1)
+    assert result.ids[0] == 200
+
+
+def test_mismatched_ids_rejected(corpus):
+    index = BruteForceIndex(16)
+    with pytest.raises(ConfigurationError):
+        index.add(corpus[:3], ids=np.array([1, 2]))
+
+
+def test_empty_index_search_rejected():
+    with pytest.raises(ConfigurationError):
+        BruteForceIndex(8).search(np.zeros(8), k=1)
+
+
+def test_dim_mismatch_rejected(corpus):
+    index = BruteForceIndex(16)
+    with pytest.raises(ConfigurationError):
+        index.add(np.zeros((2, 8)))
+
+
+def test_ivf_requires_training(corpus):
+    index = IVFIndex(16, n_cells=4)
+    with pytest.raises(ConfigurationError):
+        index.add(corpus)
+
+
+def test_ivf_recall_against_brute_force(corpus):
+    brute = BruteForceIndex(16)
+    brute.add(corpus)
+    ivf = IVFIndex(16, n_cells=8, nprobe=8, seed=1)  # full probe = exact
+    ivf.train(corpus)
+    ivf.add(corpus)
+    query = corpus[7]
+    exact = set(brute.search(query, k=5).ids)
+    approx = set(ivf.search(query, k=5).ids)
+    assert exact == approx
+
+
+def test_ivf_partial_probe_has_reasonable_recall(corpus):
+    brute = BruteForceIndex(16)
+    brute.add(corpus)
+    ivf = IVFIndex(16, n_cells=8, nprobe=3, seed=1)
+    ivf.train(corpus)
+    ivf.add(corpus)
+    hits = 0
+    for i in range(0, 100, 10):
+        exact = set(brute.search(corpus[i], k=5).ids)
+        approx = set(ivf.search(corpus[i], k=5).ids)
+        hits += len(exact & approx)
+    assert hits >= 30  # >=60% recall on self-queries
+
+
+def test_ivf_size_tracking(corpus):
+    ivf = IVFIndex(16, n_cells=4, seed=0)
+    ivf.train(corpus)
+    ivf.add(corpus[:100])
+    ivf.add(corpus[100:150])
+    assert len(ivf) == 150
+
+
+def test_ivf_validation(corpus):
+    with pytest.raises(ConfigurationError):
+        IVFIndex(16, n_cells=4, nprobe=5)
+    with pytest.raises(ConfigurationError):
+        IVFIndex(0)
+    ivf = IVFIndex(16, n_cells=64)
+    with pytest.raises(ConfigurationError):
+        ivf.train(corpus[:10])  # fewer vectors than cells

@@ -1,0 +1,83 @@
+"""Agentic pipeline latency composition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import GH200, INTEL_H100
+from repro.serving import AgenticPipeline, LatencyModel, PipelineStage
+from repro.workloads import GPT2, LLAMA_3_2_1B
+
+
+@pytest.fixture(scope="module")
+def two_stage_intel():
+    latency = LatencyModel(INTEL_H100)
+    return AgenticPipeline([
+        PipelineStage("planner", LLAMA_3_2_1B, prompt_len=256, output_tokens=32),
+        PipelineStage("worker", GPT2, prompt_len=128, output_tokens=32),
+    ], latency)
+
+
+def test_total_is_sum_of_stages(two_stage_intel):
+    result = two_stage_intel.run()
+    assert result.total_ns == pytest.approx(
+        sum(s.total_ns for s in result.stages))
+    assert len(result.stages) == 2
+
+
+def test_output_chaining_extends_downstream_prompt(two_stage_intel):
+    result = two_stage_intel.run()
+    worker = result.stages[1]
+    assert worker.prompt_len == 128 + 32  # upstream output appended
+
+
+def test_chaining_can_be_disabled():
+    latency = LatencyModel(INTEL_H100)
+    pipeline = AgenticPipeline([
+        PipelineStage("a", GPT2, 128, 16),
+        PipelineStage("b", GPT2, 128, 16, consumes_upstream=False),
+    ], latency)
+    result = pipeline.run()
+    assert result.stages[1].prompt_len == 128
+
+
+def test_latency_compounds_with_batching(two_stage_intel):
+    """The paper's agentic argument: batching delay accumulates per stage."""
+    bs1 = two_stage_intel.run(batch_size=1)
+    bs16 = two_stage_intel.run(batch_size=16)
+    assert bs16.total_ns > bs1.total_ns
+    assert all(b16.total_ns >= b1.total_ns for b1, b16
+               in zip(bs1.stages, bs16.stages))
+
+
+def test_slowest_stage(two_stage_intel):
+    result = two_stage_intel.run()
+    assert result.slowest_stage().total_ns == max(
+        s.total_ns for s in result.stages)
+
+
+def test_low_batch_chain_is_faster_on_lc_than_cc():
+    """Per-paper: latency-sensitive, low-batch chains favor the LC system's
+    stronger CPU."""
+    stages = [PipelineStage("a", GPT2, 128, 8),
+              PipelineStage("b", GPT2, 128, 8)]
+    intel = AgenticPipeline(stages, LatencyModel(INTEL_H100)).run(1)
+    gh200 = AgenticPipeline(stages, LatencyModel(GH200)).run(1)
+    assert intel.total_ns < gh200.total_ns
+
+
+def test_validation():
+    latency = LatencyModel(INTEL_H100)
+    with pytest.raises(ConfigurationError):
+        AgenticPipeline([], latency)
+    with pytest.raises(ConfigurationError):
+        PipelineStage("x", GPT2, 0, 8)
+    pipeline = AgenticPipeline([PipelineStage("a", GPT2, 64, 8)], latency)
+    with pytest.raises(ConfigurationError):
+        pipeline.run(batch_size=0)
+
+
+def test_ttft_sum(two_stage_intel):
+    result = two_stage_intel.run()
+    assert result.total_ttft_ns == pytest.approx(
+        sum(s.ttft_ns for s in result.stages))
+    assert result.total_ttft_ns < result.total_ns

@@ -1,0 +1,58 @@
+"""RAG pipeline composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import INTEL_H100
+from repro.retrieval import BruteForceIndex
+from repro.serving import LatencyModel, RagPipeline
+from repro.workloads import LLAMA_3_2_1B
+
+
+@pytest.fixture(scope="module")
+def rag():
+    rng = np.random.default_rng(0)
+    index = BruteForceIndex(dim=32)
+    index.add(rng.normal(size=(256, 32)))
+    return RagPipeline(index, LLAMA_3_2_1B, LatencyModel(INTEL_H100),
+                       tokens_per_chunk=128, top_k=4)
+
+
+def test_query_latency_components(rag):
+    rng = np.random.default_rng(1)
+    result = rag.query(rng.normal(size=32))
+    assert result.retrieval_ns > 0
+    assert result.ttft_ns > 0
+    assert result.generation_ns > result.ttft_ns
+    assert result.user_ttft_ns == pytest.approx(
+        result.retrieval_ns + result.ttft_ns)
+    assert result.total_ns == pytest.approx(
+        result.retrieval_ns + result.generation_ns)
+
+
+def test_context_token_accounting(rag):
+    rng = np.random.default_rng(2)
+    result = rag.query(rng.normal(size=32))
+    assert result.context_tokens == 4 * 128
+
+
+def test_batching_raises_user_ttft(rag):
+    rng = np.random.default_rng(3)
+    single = rag.query(rng.normal(size=32), batch_size=1)
+    batched = rag.query(rng.normal(size=(16, 32)), batch_size=16)
+    assert batched.ttft_ns > single.ttft_ns
+
+
+def test_default_batch_is_query_count(rag):
+    rng = np.random.default_rng(4)
+    result = rag.query(rng.normal(size=(8, 32)))
+    assert result.batch_size == 8
+
+
+def test_validation(rag):
+    rng = np.random.default_rng(5)
+    with pytest.raises(ConfigurationError):
+        rag.query(rng.normal(size=32), batch_size=0)
+    with pytest.raises(ConfigurationError):
+        RagPipeline(rag.index, LLAMA_3_2_1B, rag.latency, tokens_per_chunk=0)

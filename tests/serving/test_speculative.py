@@ -1,0 +1,84 @@
+"""Speculative decoding latency model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import GH200, INTEL_H100
+from repro.serving import LatencyModel
+from repro.serving.speculative import (
+    SpeculativeConfig,
+    speculative_generation_ns,
+)
+from repro.workloads import GPT2, LLAMA_3_2_1B, QWEN2_0_5B
+
+
+def test_expected_tokens_formula():
+    config = SpeculativeConfig(draft_tokens=4, acceptance_rate=0.7)
+    expected = (1 - 0.7 ** 5) / (1 - 0.7)
+    assert config.expected_tokens_per_round == pytest.approx(expected)
+    assert 1.0 < config.expected_tokens_per_round <= 5.0
+
+
+def test_higher_acceptance_means_more_tokens_per_round():
+    low = SpeculativeConfig(draft_tokens=4, acceptance_rate=0.3)
+    high = SpeculativeConfig(draft_tokens=4, acceptance_rate=0.9)
+    assert high.expected_tokens_per_round > low.expected_tokens_per_round
+
+
+def test_speculation_loses_in_dispatch_bound_regime():
+    """Eager BS=1 decode is dispatch-bound: a draft pass costs about as much
+    CPU as a target pass (it even has more layers here), so speculation
+    cannot win — the regime insight the module documents."""
+    latency = LatencyModel(GH200)
+    result = speculative_generation_ns(
+        LLAMA_3_2_1B, QWEN2_0_5B, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.75),
+        prompt_len=256, output_tokens=64)
+    assert result.speedup < 1.0
+    assert result.rounds < 64
+
+
+def test_speculation_wins_under_cuda_graph_decode():
+    """With decode captured in CUDA graphs the step cost becomes
+    weight-streaming (memory-bound), and a 10x-smaller draft model pays."""
+    from repro.engine import ExecutionMode
+    latency = LatencyModel(GH200, mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD)
+    result = speculative_generation_ns(
+        LLAMA_3_2_1B, GPT2, latency,
+        SpeculativeConfig(draft_tokens=5, acceptance_rate=0.85),
+        prompt_len=256, output_tokens=64)
+    assert result.speedup > 1.2
+
+
+def test_draft_equals_target_is_not_worth_it():
+    """Drafting with the target model itself can't win: same step cost plus
+    verification overhead."""
+    latency = LatencyModel(INTEL_H100)
+    result = speculative_generation_ns(
+        LLAMA_3_2_1B, LLAMA_3_2_1B, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.7))
+    assert result.speedup < 1.1
+
+
+def test_low_acceptance_hurts():
+    latency = LatencyModel(GH200)
+    good = speculative_generation_ns(
+        LLAMA_3_2_1B, GPT2, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.8),
+        output_tokens=32)
+    bad = speculative_generation_ns(
+        LLAMA_3_2_1B, GPT2, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.1),
+        output_tokens=32)
+    assert good.speedup > bad.speedup
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SpeculativeConfig(draft_tokens=0)
+    with pytest.raises(ConfigurationError):
+        SpeculativeConfig(acceptance_rate=1.0)
+    latency = LatencyModel(INTEL_H100)
+    with pytest.raises(ConfigurationError):
+        speculative_generation_ns(LLAMA_3_2_1B, GPT2, latency,
+                                  output_tokens=0)

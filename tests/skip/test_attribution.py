@@ -1,0 +1,80 @@
+"""Per-operator cost attribution."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.skip import (
+    DependencyGraph,
+    attribute_costs,
+    attribution_table,
+)
+
+
+@pytest.fixture(scope="module")
+def report(gpt2_profile):
+    return attribute_costs(gpt2_profile.depgraph)
+
+
+def test_totals_match_metrics(gpt2_profile, report):
+    metrics = gpt2_profile.metrics
+    iterations = len(metrics.iterations)
+    assert report.total_tklqt_ns == pytest.approx(
+        metrics.tklqt_ns * iterations, rel=1e-6)
+    assert report.total_kernel_ns == pytest.approx(
+        metrics.gpu_busy_ns * iterations, rel=1e-6)
+
+
+def test_launch_counts_sum(gpt2_profile, report):
+    assert sum(op.launches for op in report.operators) == len(
+        gpt2_profile.depgraph.launches)
+
+
+def test_linear_owns_most_launch_tax(report):
+    """GEMM-heavy aten::linear should dominate GPT-2's launch accounting
+    (one GEMM + one bias epilogue per projection)."""
+    top = report.top_by("launches", 3)
+    assert any(op.name == "aten::linear" for op in top)
+
+
+def test_gelu_sub_kernels_attributed_to_gelu(report):
+    gelu = next(op for op in report.operators if op.name == "aten::gelu")
+    # gelu_new fans out into 8 kernels per invocation.
+    assert gelu.launches_per_invocation == pytest.approx(8.0)
+
+
+def test_view_ops_launch_nothing(report):
+    transpose = next(op for op in report.operators
+                     if op.name == "aten::transpose")
+    assert transpose.launches == 0
+    assert transpose.cpu_time_ns > 0  # but they still cost dispatch
+
+
+def test_tklqt_share_sums_to_one(report):
+    total = sum(report.tklqt_share(op.name) for op in report.operators
+                if op.launches)
+    assert total == pytest.approx(1.0)
+
+
+def test_unknown_operator_rejected(report):
+    with pytest.raises(AnalysisError):
+        report.tklqt_share("aten::nonexistent")
+
+
+def test_unknown_sort_key_rejected(report):
+    with pytest.raises(AnalysisError):
+        report.top_by("bogus_key")
+
+
+def test_table_renders(report):
+    text = attribution_table(report, k=5)
+    assert "aten::" in text
+    assert "TKLQT%" in text
+    assert len(text.splitlines()) == 2 + 5
+
+
+def test_empty_graph_rejected():
+    from repro.trace import Trace
+    graph = DependencyGraph(roots=[], launches=[], graph_kernels=[],
+                            trace=Trace())
+    with pytest.raises(AnalysisError):
+        attribute_costs(graph)

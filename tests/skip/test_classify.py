@@ -1,0 +1,85 @@
+"""PU-boundedness classification and transition detection."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.hardware import GH200, INTEL_H100
+from repro.skip import (
+    Boundedness,
+    SkipProfiler,
+    classify_metrics,
+    find_transition,
+)
+from repro.workloads import BERT_BASE
+
+
+def test_small_batch_is_cpu_bound(intel_profiler):
+    result = intel_profiler.profile(BERT_BASE, batch_size=1)
+    assert classify_metrics(result.metrics) is Boundedness.CPU_BOUND
+
+
+def test_large_batch_is_gpu_bound(intel_profiler):
+    result = intel_profiler.profile(BERT_BASE, batch_size=64)
+    assert classify_metrics(result.metrics) is Boundedness.GPU_BOUND
+
+
+def test_gh200_stays_cpu_bound_longer(gh200_profiler, intel_profiler):
+    """Paper contribution 4: encoders are ~4x more CPU-bound on GH200."""
+    bs = 16
+    intel = intel_profiler.profile(BERT_BASE, batch_size=bs)
+    gh200 = gh200_profiler.profile(BERT_BASE, batch_size=bs)
+    assert classify_metrics(intel.metrics) is Boundedness.GPU_BOUND
+    assert classify_metrics(gh200.metrics) is Boundedness.CPU_BOUND
+
+
+def test_find_transition_simple_curve():
+    batches = [1, 2, 4, 8, 16]
+    tklqt = [100.0, 102.0, 110.0, 1500.0, 9000.0]
+    result = find_transition(batches, tklqt)
+    assert result.batch_size == 8
+    assert result.boundedness_at(4) is Boundedness.CPU_BOUND
+    assert result.boundedness_at(8) is Boundedness.GPU_BOUND
+    assert result.boundedness_at(16) is Boundedness.GPU_BOUND
+
+
+def test_find_transition_flat_curve_returns_none():
+    result = find_transition([1, 2, 4, 8], [100.0, 101.0, 99.0, 103.0])
+    assert result.batch_size is None
+    assert not result.found
+    assert result.boundedness_at(8) is Boundedness.CPU_BOUND
+
+
+def test_plateau_refined_by_running_min():
+    # First point slightly elevated (local queuing noise); the running-min
+    # plateau should still catch the real inflection.
+    result = find_transition([1, 2, 4, 8], [150.0, 100.0, 102.0, 1200.0])
+    assert result.batch_size == 8
+    assert result.plateau_tklqt_ns == pytest.approx(100.0)
+
+
+def test_unswept_batch_size_rejected():
+    result = find_transition([1, 2], [1.0, 2.0])
+    with pytest.raises(AnalysisError):
+        result.boundedness_at(7)
+
+
+@pytest.mark.parametrize("batches,tklqt", [
+    ([1], [1.0]),
+    ([1, 2, 2], [1.0, 2.0, 3.0]),
+    ([2, 1], [1.0, 2.0]),
+    ([1, 2], [1.0]),
+])
+def test_invalid_sweeps_rejected(batches, tklqt):
+    with pytest.raises(AnalysisError):
+        find_transition(batches, tklqt)
+
+
+def test_factor_must_exceed_one():
+    with pytest.raises(AnalysisError):
+        find_transition([1, 2], [1.0, 2.0], factor=1.0)
+
+
+def test_transition_serialization_fields():
+    result = find_transition([1, 2, 4], [10.0, 11.0, 500.0])
+    assert result.batch_sizes == (1, 2, 4)
+    assert result.tklqt_ns == (10.0, 11.0, 500.0)

@@ -1,0 +1,63 @@
+"""Profile A/B diffing."""
+
+import pytest
+
+from repro.engine import ExecutionMode
+from repro.errors import AnalysisError
+from repro.skip import SkipMetrics, diff_metrics, diff_report
+
+
+@pytest.fixture(scope="module")
+def flash_profile(intel_profiler):
+    from repro.workloads import GPT2
+    return intel_profiler.profile(GPT2, batch_size=1, seq_len=512,
+                                  mode=ExecutionMode.FLASH_ATTENTION)
+
+
+def test_diff_against_self_is_neutral(gpt2_profile):
+    diff = diff_metrics(gpt2_profile.metrics, gpt2_profile.metrics)
+    assert diff.speedup == pytest.approx(1.0)
+    assert diff.launches_saved == 0
+    assert not diff.added() and not diff.removed()
+
+
+def test_flash_diff_shows_removed_attention_kernels(gpt2_profile,
+                                                    flash_profile):
+    diff = diff_metrics(gpt2_profile.metrics, flash_profile.metrics,
+                        "eager", "flash")
+    removed = {d.name for d in diff.removed()}
+    added = {d.name for d in diff.added()}
+    assert any("softmax" in name for name in removed)
+    assert any("flash_fwd" in name for name in added)
+    assert diff.launches_saved > 0
+    assert diff.speedup > 1.0
+
+
+def test_per_iteration_normalization(gpt2_profile, flash_profile):
+    """Counts are per-iteration even when profiles ran different iteration
+    counts."""
+    diff = diff_metrics(gpt2_profile.metrics, flash_profile.metrics)
+    gemm = next(d for d in diff.kernels if "gemm" in d.name and d.count_a)
+    assert gemm.count_a < 200  # per-iteration, not 3x that
+
+
+def test_kept_kernels_status(gpt2_profile, flash_profile):
+    diff = diff_metrics(gpt2_profile.metrics, flash_profile.metrics)
+    layer_norm = next(d for d in diff.kernels if "layer_norm" in d.name)
+    assert layer_norm.status in ("kept", "changed")
+    assert layer_norm.count_a == layer_norm.count_b
+
+
+def test_report_rendering(gpt2_profile, flash_profile):
+    diff = diff_metrics(gpt2_profile.metrics, flash_profile.metrics,
+                        "eager", "flash")
+    text = diff_report(diff)
+    assert "eager -> flash" in text
+    assert "launches" in text
+    assert "+ flash_fwd" in text or "added kernels" in text
+
+
+def test_empty_metrics_rejected():
+    empty = SkipMetrics(iterations=[], top_kernels=[])
+    with pytest.raises(AnalysisError):
+        diff_metrics(empty, empty)

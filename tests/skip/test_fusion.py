@@ -1,0 +1,121 @@
+"""Fusion recommendation and idealized speedups (Eqs. 7-8)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.skip import analyze_segments, analyze_trace, best_speedup, combined_plan
+from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS, FusionAnalysis
+
+
+def test_eq7_eq8_hand_check():
+    # One deterministic pair occurring 3x in a 10-kernel segment.
+    segment = ["x0", "a", "b", "x1", "a", "b", "x2", "a", "b", "x3"]
+    analyses = analyze_segments([segment], lengths=[2])
+    a = analyses[0]
+    assert a.k_eager == 10
+    assert a.fused_chain_count >= 1
+    # Eq. 7 counts distinct chains: K_fused = 10 - C * (2-1).
+    assert a.k_fused == a.k_eager - a.fused_chain_count
+    assert a.ideal_speedup == pytest.approx(a.k_eager / a.k_fused)
+
+
+def test_instance_accounting_extension():
+    # (a, b) is deterministic and occurs twice; Eq. 7 counts it once
+    # (distinct chains) while the instance extension counts both.
+    segment = ["a", "b", "a", "b"]
+    a = analyze_segments([segment], lengths=[2])[0]
+    assert a.fused_chain_count == 1.0
+    assert a.fused_instances == 2.0
+    assert a.k_fused == 3
+    assert a.instance_k_fused == 2
+    assert a.instance_speedup > a.ideal_speedup
+
+
+def test_gpt2_speedup_curve_matches_paper_shape(gpt2_profile):
+    """Paper Fig. 8: modest speedups at short chains, up to ~2.7x at L=256."""
+    analyses = analyze_trace(gpt2_profile.trace)
+    speedups = {a.length: a.ideal_speedup for a in analyses}
+    assert 1.0 < speedups[2] < 1.15
+    assert speedups[256] == pytest.approx(2.7, rel=0.15)
+    assert speedups[256] > speedups[2]
+
+
+def test_xlmr_speedup_matches_paper(xlmr_profile):
+    """Paper: up to ~6.8x for XLM-RoBERTa at L=256."""
+    analyses = analyze_trace(xlmr_profile.trace)
+    best = best_speedup(analyses)
+    assert best.length == 256
+    assert best.ideal_speedup == pytest.approx(6.8, rel=0.15)
+
+
+def test_unique_candidates_stabilize_with_length(gpt2_profile):
+    """Paper Fig. 7a: short lengths show more unique candidates; counts
+    stabilize as L grows."""
+    analyses = analyze_trace(gpt2_profile.trace)
+    unique = [a.unique_candidates for a in analyses]
+    assert unique[0] < unique[-1] or unique[-2] == unique[-1]
+
+
+def test_total_instances_decrease_with_length(gpt2_profile):
+    """Paper Fig. 7b: total instances shrink as chains lengthen."""
+    analyses = analyze_trace(gpt2_profile.trace)
+    totals = [a.total_instances for a in analyses]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_long_chain_fusions_are_few(gpt2_profile):
+    """Paper Fig. 7c: at long lengths only a few non-overlapping chains."""
+    analyses = {a.length: a for a in analyze_trace(gpt2_profile.trace)}
+    assert analyses[256].fused_chain_count <= 3
+    assert analyses[2].fused_chain_count > analyses[256].fused_chain_count
+
+
+def test_kernels_fused_is_c_times_l(gpt2_profile):
+    for a in analyze_trace(gpt2_profile.trace):
+        assert a.kernels_fused == pytest.approx(a.fused_chain_count * a.length)
+
+
+def test_plan_export(gpt2_profile):
+    analyses = analyze_trace(gpt2_profile.trace, lengths=[8])
+    plan = analyses[0].plan()
+    assert plan is not None
+    assert all(len(chain) == 8 for chain in plan.chains)
+
+
+def test_plan_none_when_no_deterministic_chains():
+    # Both length-3 windows of "a b a b" have PS = 0.5.
+    a = analyze_segments([["a", "b", "a", "b"]], lengths=[3])[0]
+    assert a.plan() is None
+
+
+def test_combined_plan_dedupes_and_prefers_long(gpt2_profile):
+    analyses = analyze_trace(gpt2_profile.trace, lengths=[2, 8])
+    plan = combined_plan(analyses)
+    assert plan is not None
+    lengths = [len(c) for c in plan.chains]
+    assert lengths[0] == 8  # longest first
+    assert len(set(plan.chains)) == len(plan.chains)
+
+
+def test_combined_plan_respects_max_chains(gpt2_profile):
+    analyses = analyze_trace(gpt2_profile.trace, lengths=[2, 4, 8])
+    plan = combined_plan(analyses, max_chains=3)
+    assert plan is not None and len(plan.chains) <= 3
+
+
+def test_default_lengths_are_the_paper_ladder():
+    assert DEFAULT_CHAIN_LENGTHS == (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(AnalysisError):
+        analyze_segments([])
+    with pytest.raises(AnalysisError):
+        best_speedup([])
+
+
+def test_k_fused_positive_invariant(gpt2_profile, xlmr_profile):
+    for profile in (gpt2_profile, xlmr_profile):
+        for a in analyze_trace(profile.trace):
+            assert a.k_fused > 0
+            assert a.instance_k_fused > 0

@@ -1,0 +1,49 @@
+"""Textual report rendering."""
+
+from repro.skip import (
+    analyze_trace,
+    find_transition,
+    fusion_report,
+    metrics_report,
+    profile_report,
+    top_kernels_report,
+    transition_report,
+)
+
+
+def test_metrics_report_contains_all_metrics(gpt2_profile):
+    text = metrics_report(gpt2_profile.metrics)
+    for token in ("TKLQT", "AKD", "inference latency", "GPU busy", "CPU busy"):
+        assert token in text
+
+
+def test_top_kernels_report_row_count(gpt2_profile):
+    text = top_kernels_report(gpt2_profile.metrics, k=3)
+    assert len(text.splitlines()) == 2 + 3
+
+
+def test_profile_report_headline(gpt2_profile):
+    text = profile_report(gpt2_profile)
+    assert "gpt2" in text
+    assert "Intel+H100" in text
+    assert "classification" in text
+
+
+def test_fusion_report_has_row_per_length(gpt2_profile):
+    analyses = analyze_trace(gpt2_profile.trace, lengths=[2, 4, 8])
+    text = fusion_report(analyses)
+    assert len(text.splitlines()) == 2 + 3
+    assert "speedup" in text
+
+
+def test_transition_report_marks_star():
+    transition = find_transition([1, 2, 4], [10.0, 11.0, 900.0])
+    text = transition_report("bert/Intel", transition)
+    assert "star" in text
+    assert "BS=4" in text
+
+
+def test_transition_report_flat_curve():
+    transition = find_transition([1, 2], [10.0, 10.5])
+    text = transition_report("x", transition)
+    assert "CPU-bound throughout" in text

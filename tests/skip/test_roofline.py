@@ -1,0 +1,79 @@
+"""Per-kernel roofline classification."""
+
+import pytest
+
+from repro.engine import ExecutionMode
+from repro.errors import AnalysisError
+from repro.hardware import INTEL_H100
+from repro.skip import KernelRegime, classify_kernels
+from repro.trace import Trace, chrome
+from repro.workloads import BERT_BASE
+
+
+@pytest.fixture(scope="module")
+def small_batch_report(intel_profiler):
+    result = intel_profiler.profile(BERT_BASE, batch_size=1, seq_len=512)
+    return classify_kernels(result.trace, INTEL_H100.gpu)
+
+
+@pytest.fixture(scope="module")
+def large_batch_report(intel_profiler):
+    result = intel_profiler.profile(BERT_BASE, batch_size=64, seq_len=512)
+    return classify_kernels(result.trace, INTEL_H100.gpu)
+
+
+def test_every_kernel_classified(small_batch_report):
+    assert len(small_batch_report.points) == 3 * 300  # 3 iterations
+    counts = small_batch_report.regime_counts()
+    assert sum(counts.values()) == len(small_batch_report.points)
+
+
+def test_ridge_intensity_reasonable(small_batch_report):
+    # H100-class ridge point sits at a few hundred FLOPs/byte.
+    assert 100 < small_batch_report.ridge_intensity < 1000
+
+
+def test_gemms_are_compute_bound_at_large_batch(large_batch_report):
+    gemm_points = [p for p in large_batch_report.points
+                   if "gemm" in p.name and "bmm" not in p.name]
+    compute = sum(1 for p in gemm_points
+                  if p.regime is KernelRegime.COMPUTE_BOUND)
+    assert compute > 0.8 * len(gemm_points)
+
+
+def test_elementwise_memory_bound_at_large_batch(large_batch_report):
+    elementwise = [p for p in large_batch_report.points
+                   if "elementwise" in p.name]
+    memory = sum(1 for p in elementwise
+                 if p.regime is KernelRegime.MEMORY_BOUND)
+    assert memory > 0.8 * len(elementwise)
+
+
+def test_floor_population_shrinks_with_batch(small_batch_report,
+                                             large_batch_report):
+    assert (large_batch_report.floor_fraction()
+            <= small_batch_report.floor_fraction())
+
+
+def test_time_shares_sum_to_one(large_batch_report):
+    shares = large_batch_report.regime_time_share()
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_arithmetic_intensity_sane(large_batch_report):
+    for point in large_batch_report.points:
+        if point.flops and point.bytes_moved:
+            assert point.arithmetic_intensity > 0
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(AnalysisError):
+        classify_kernels(Trace(), INTEL_H100.gpu)
+
+
+def test_imported_trace_without_work_terms_rejected(intel_profiler):
+    result = intel_profiler.profile(BERT_BASE, batch_size=1, seq_len=128)
+    # Chrome traces drop the simulator's work terms.
+    imported = chrome.loads(chrome.dumps(result.trace))
+    with pytest.raises(AnalysisError, match="work terms"):
+        classify_kernels(imported, INTEL_H100.gpu)

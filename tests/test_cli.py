@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_nullkernel_command(capsys):
+    code, out = run_cli(capsys, "nullkernel")
+    assert code == 0
+    assert "2771.6" in out and "GH200" in out
+
+
+def test_profile_command(capsys):
+    code, out = run_cli(capsys, "profile", "--model", "gpt2",
+                        "--platform", "Intel+H100", "--batch-size", "1")
+    assert code == 0
+    assert "TKLQT" in out
+    assert "classification" in out
+
+
+def test_profile_with_mode(capsys):
+    code, out = run_cli(capsys, "profile", "--model", "gpt2",
+                        "--mode", "flash_attention")
+    assert code == 0
+    assert "gpt2" in out
+
+
+def test_sweep_command(capsys):
+    code, out = run_cli(capsys, "sweep", "--model", "bert-base-uncased",
+                        "--platform", "GH200",
+                        "--batches", "1,2,4,8,16,32,64")
+    assert code == 0
+    assert "star" in out
+
+
+def test_fusion_command(capsys):
+    code, out = run_cli(capsys, "fusion", "--model", "xlm-roberta-base")
+    assert code == 0
+    assert "speedup" in out
+
+
+def test_whatif_command(capsys):
+    code, out = run_cli(capsys, "whatif", "--model", "bert-base-uncased",
+                        "--platform", "GH200", "--reference", "Intel+H100")
+    assert code == 0
+    assert "CPU speedup" in out
+
+
+def test_memory_command_fits(capsys):
+    code, out = run_cli(capsys, "memory", "--model", "gpt2",
+                        "--platform", "Intel+H100", "--batch-size", "8")
+    assert code == 0
+    assert "fits        : yes" in out
+
+
+def test_memory_command_overflow(capsys):
+    code, out = run_cli(capsys, "memory", "--model", "llama-2-7b",
+                        "--platform", "Intel+H100",
+                        "--batch-size", "512", "--seq-len", "2048")
+    assert code == 1
+    assert "NO" in out
+
+
+def test_export_json(capsys, tmp_path):
+    out = tmp_path / "sweep.json"
+    code, text = run_cli(capsys, "export", "--model", "gpt2",
+                         "--platform", "Intel+H100", "--batches", "1,2",
+                         "--out", str(out))
+    assert code == 0
+    assert "2 sweep points" in text
+    assert out.exists()
+
+
+def test_export_csv(capsys, tmp_path):
+    out = tmp_path / "sweep.csv"
+    code, _ = run_cli(capsys, "export", "--model", "gpt2",
+                      "--platform", "GH200", "--batches", "1,4",
+                      "--out", str(out))
+    assert code == 0
+    assert out.read_text().startswith("model,platform")
+
+
+def test_timeline_command(capsys):
+    code, out = run_cli(capsys, "timeline", "--model", "gpt2",
+                        "--batch-size", "1", "--seq-len", "128")
+    assert code == 0
+    assert "cpu ops" in out and "gpu" in out and "#" in out
+
+
+def test_unknown_model_raises():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        main(["profile", "--model", "not-a-model"])
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

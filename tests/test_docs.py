@@ -1,0 +1,54 @@
+"""Documentation stays consistent with the code it describes."""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+def test_design_lists_existing_benchmarks():
+    text = _read("DESIGN.md")
+    for match in re.findall(r"`(benchmarks/bench_\w+\.py)`", text):
+        assert (ROOT / match).exists(), match
+
+
+def test_every_benchmark_is_listed_in_design():
+    text = _read("DESIGN.md")
+    for path in (ROOT / "benchmarks").glob("bench_*.py"):
+        assert f"benchmarks/{path.name}" in text, (
+            f"{path.name} missing from DESIGN.md's experiment index")
+
+
+def test_readme_examples_exist():
+    text = _read("README.md")
+    for match in re.findall(r"python (examples/\w+\.py)", text):
+        assert (ROOT / match).exists(), match
+
+
+def test_experiments_references_existing_benches():
+    text = _read("EXPERIMENTS.md")
+    for match in re.findall(r"`(benchmarks/bench_\w+\.py)`", text):
+        assert (ROOT / match).exists(), match
+
+
+def test_design_module_map_matches_source_tree():
+    text = _read("DESIGN.md")
+    for match in re.findall(r"^\s{4}(\w+\.py)\s", text, flags=re.M):
+        hits = list((ROOT / "src" / "repro").rglob(match))
+        assert hits, f"DESIGN.md lists {match} but no such module exists"
+
+
+def test_paper_check_is_documented():
+    # The task requires confirming the paper text matched; DESIGN.md records
+    # that check.
+    assert "matches the stated title" in _read("DESIGN.md")
+
+
+def test_calibration_doc_mentions_all_knobs():
+    text = _read("docs/calibration.md")
+    for token in ("dispatch score", "sustain", "ramp_flops", "Table V"):
+        assert token in text

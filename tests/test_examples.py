@@ -1,0 +1,39 @@
+"""Every example script must run clean — they are part of the public API."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Minimum substrings expected in each example's stdout.
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["TKLQT", "fusion"],
+    "platform_advisor.py": ["transition stars", "Balanced"],
+    "agentic_pipeline.py": ["planner", "Takeaway"],
+    "rag_serving.py": ["retrieval", "user TTFT"],
+    "fusion_advisor.py": ["speedup", "launches/iteration"],
+    "trace_import.py": ["TKLQT drift"],
+    "beyond_llm.py": ["dlrm", "gcn"],
+    "optimization_playbook.py": ["Optimization ladder", "speculation"],
+}
+
+
+def test_every_example_is_covered():
+    names = {p.name for p in EXAMPLES}
+    assert names == set(EXPECTED_OUTPUT), (
+        "add new examples to EXPECTED_OUTPUT so they stay tested")
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example, tmp_path):
+    args = [sys.executable, str(example)]
+    if example.name == "trace_import.py":
+        args.append(str(tmp_path / "trace.json"))
+    result = subprocess.run(args, capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for token in EXPECTED_OUTPUT[example.name]:
+        assert token in result.stdout, (example.name, token)

@@ -1,0 +1,54 @@
+"""Public API surface: every advertised name resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.engine",
+    "repro.hardware",
+    "repro.retrieval",
+    "repro.serving",
+    "repro.skip",
+    "repro.trace",
+    "repro.viz",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+
+def test_version_is_exposed():
+    import repro
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_lists_are_sorted_unique():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        names = [n for n in module.__all__ if n != "__version__"]
+        assert len(names) == len(set(names)), package
+
+
+def test_top_level_reexports_cover_the_quickstart():
+    # The README quickstart must keep working from the top-level namespace.
+    from repro import (
+        ExecutionMode,
+        GH200,
+        LLAMA_3_2_1B,
+        SkipProfiler,
+        run_batch_sweep,
+    )
+    assert ExecutionMode.EAGER.value == "eager"
+    assert GH200.name == "GH200"
+    assert LLAMA_3_2_1B.name == "llama-3.2-1b"
+    assert callable(run_batch_sweep)
+    assert SkipProfiler is not None

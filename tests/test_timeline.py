@@ -1,0 +1,73 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.trace import Trace, TraceBuilder
+from repro.viz.timeline import TimelineOptions, render_timeline
+
+
+@pytest.fixture()
+def simple_trace():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    op = builder.begin_operator("aten::linear", 0.0)
+    builder.launch_kernel(10.0, 5.0, "gemm", 50.0, 30.0)
+    builder.end_operator(op, 20.0)
+    builder.runtime_call("cudaDeviceSynchronize", 20.0, 60.0)
+    builder.end_iteration(80.0)
+    return builder.finish()
+
+
+def test_lanes_present(simple_trace):
+    text = render_timeline(simple_trace)
+    lines = text.splitlines()
+    assert lines[1].startswith("cpu ops")
+    assert lines[2].startswith("launches")
+    assert lines[3].startswith("gpu")
+    assert "legend" in lines[4]
+
+
+def test_marks_appear_in_expected_positions(simple_trace):
+    text = render_timeline(simple_trace, TimelineOptions(width=80))
+    lines = text.splitlines()
+    op_lane = lines[1][9:]       # lanes start after the 9-char label column
+    kernel_lane = lines[3][9:]
+    assert "=" in op_lane
+    assert "#" in kernel_lane
+    # Operator occupies the first quarter (0..20 of 0..80), kernel the
+    # second half (50..80).
+    assert op_lane[0] == "="
+    assert kernel_lane[-2] == "#"
+    assert kernel_lane[10] == "."
+
+
+def test_sync_rendered_differently(simple_trace):
+    text = render_timeline(simple_trace)
+    launch_lane = text.splitlines()[2]
+    assert "|" in launch_lane
+    assert "s" in launch_lane
+
+
+def test_window_selection(simple_trace):
+    text = render_timeline(simple_trace,
+                           TimelineOptions(width=40, begin_ns=40.0,
+                                           end_ns=90.0))
+    kernel_lane = text.splitlines()[3]
+    assert "#" in kernel_lane
+    op_lane = text.splitlines()[1][9:]
+    assert "=" not in op_lane  # the op ends at 20, before the window
+
+
+def test_engine_trace_renders(gpt2_profile):
+    text = render_timeline(gpt2_profile.trace, TimelineOptions(width=120))
+    assert text.count("\n") == 4
+
+
+def test_validation(simple_trace):
+    with pytest.raises(AnalysisError):
+        render_timeline(Trace())
+    with pytest.raises(AnalysisError):
+        TimelineOptions(width=5)
+    with pytest.raises(AnalysisError):
+        render_timeline(simple_trace, TimelineOptions(begin_ns=10, end_ns=5))

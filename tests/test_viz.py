@@ -1,0 +1,52 @@
+"""Table/series renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz import render_series, render_table, sparkline
+
+
+def test_table_alignment_and_title():
+    text = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1]
+    assert len({len(line) for line in lines[1:]}) <= 2  # header/sep/rows align
+
+
+def test_table_width_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_table_empty_headers_rejected():
+    with pytest.raises(ConfigurationError):
+        render_table([], [])
+
+
+def test_series_renders_pairs():
+    text = render_series("BS", [1, 2, 4], [0.1, 0.2, 0.4])
+    assert "BS" in text and "value" in text
+    assert "0.400" in text
+
+
+def test_series_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        render_series("x", [1, 2], [1.0])
+
+
+def test_sparkline_shape():
+    line = sparkline([1.0, 2.0, 3.0, 2.0, 1.0])
+    assert len(line) == 5
+    assert line[2] == "█"
+    assert line[0] == "▁"
+
+
+def test_sparkline_constant_series():
+    assert sparkline([5.0, 5.0]) == "▁▁"
+
+
+def test_sparkline_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        sparkline([])

@@ -1,0 +1,112 @@
+"""TraceBuilder invariants."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import TraceBuilder
+
+
+def test_basic_build_produces_valid_trace():
+    builder = TraceBuilder(metadata={"model": "toy"})
+    builder.begin_iteration(0.0)
+    op = builder.begin_operator("aten::linear", 0.0)
+    builder.launch_kernel(1.0, 1.0, "gemm", 5.0, 3.0)
+    builder.end_operator(op, 10.0)
+    builder.end_iteration(12.0)
+    trace = builder.finish()
+    assert trace.metadata["model"] == "toy"
+    assert len(trace.kernels) == 1
+    assert trace.kernels[0].correlation_id == trace.launches[0].correlation_id
+
+
+def test_correlation_ids_are_unique():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    op = builder.begin_operator("op", 0.0)
+    _, k1 = builder.launch_kernel(1.0, 1.0, "a", 2.0, 1.0)
+    _, k2 = builder.launch_kernel(3.0, 1.0, "b", 4.0, 1.0)
+    builder.end_operator(op, 5.0)
+    builder.end_iteration(6.0)
+    assert k1.correlation_id != k2.correlation_id
+
+
+def test_nested_operator_scopes():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    parent = builder.begin_operator("aten::linear", 0.0)
+    child = builder.begin_operator("aten::addmm", 1.0)
+    builder.launch_kernel(2.0, 1.0, "gemm", 4.0, 1.0)
+    builder.end_operator(child, 5.0)
+    builder.end_operator(parent, 6.0)
+    builder.end_iteration(7.0)
+    trace = builder.finish()
+    assert len(trace.operators) == 2
+
+
+def test_end_wrong_operator_raises():
+    builder = TraceBuilder()
+    parent = builder.begin_operator("p", 0.0)
+    builder.begin_operator("c", 1.0)
+    with pytest.raises(TraceError):
+        builder.end_operator(parent, 5.0)
+
+
+def test_operator_cannot_end_before_start():
+    builder = TraceBuilder()
+    op = builder.begin_operator("p", 10.0)
+    with pytest.raises(TraceError):
+        builder.end_operator(op, 5.0)
+
+
+def test_kernel_cannot_start_before_launch():
+    builder = TraceBuilder()
+    with pytest.raises(TraceError):
+        builder.launch_kernel(10.0, 1.0, "k", 5.0, 1.0)
+
+
+def test_unclosed_scope_fails_finish():
+    builder = TraceBuilder()
+    builder.begin_operator("p", 0.0)
+    with pytest.raises(TraceError):
+        builder.finish()
+
+
+def test_unclosed_iteration_fails_finish():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    with pytest.raises(TraceError):
+        builder.finish()
+
+
+def test_double_iteration_open_raises():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    with pytest.raises(TraceError):
+        builder.begin_iteration(1.0)
+
+
+def test_end_iteration_without_open_raises():
+    builder = TraceBuilder()
+    with pytest.raises(TraceError):
+        builder.end_iteration(1.0)
+
+
+def test_graph_kernels_get_negative_unique_correlations():
+    builder = TraceBuilder()
+    builder.begin_iteration(0.0)
+    op = builder.begin_operator("cuda_graph::replay", 0.0)
+    k1 = builder.enqueue_graph_kernel("a", 1.0, 1.0)
+    k2 = builder.enqueue_graph_kernel("b", 2.0, 1.0)
+    builder.end_operator(op, 3.0)
+    builder.end_iteration(4.0)
+    trace = builder.finish()
+    assert k1.correlation_id < 0 and k2.correlation_id < 0
+    assert k1.correlation_id != k2.correlation_id
+    assert len(trace.kernels) == 2
+
+
+def test_child_beginning_before_parent_rejected():
+    builder = TraceBuilder()
+    builder.begin_operator("p", 10.0)
+    with pytest.raises(TraceError):
+        builder.begin_operator("c", 5.0)

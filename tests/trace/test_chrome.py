@@ -1,0 +1,105 @@
+"""Chrome-trace export / import round trips."""
+
+import json
+
+import pytest
+
+from repro.engine import run
+from repro.errors import TraceError
+from repro.hardware import INTEL_H100
+from repro.trace import chrome
+from repro.workloads import BERT_BASE
+
+
+@pytest.fixture(scope="module")
+def run_trace():
+    from repro.engine import EngineConfig
+    return run(BERT_BASE, INTEL_H100, batch_size=1,
+               config=EngineConfig(iterations=2)).trace
+
+
+def test_round_trip_preserves_event_counts(run_trace):
+    text = chrome.dumps(run_trace)
+    loaded = chrome.loads(text)
+    assert len(loaded.operators) == len(run_trace.operators)
+    assert len(loaded.runtime_calls) == len(run_trace.runtime_calls)
+    assert len(loaded.kernels) == len(run_trace.kernels)
+    assert len(loaded.iterations) == len(run_trace.iterations)
+
+
+def test_round_trip_preserves_correlations(run_trace):
+    loaded = chrome.loads(chrome.dumps(run_trace))
+    original = {k.correlation_id for k in run_trace.kernels}
+    recovered = {k.correlation_id for k in loaded.kernels}
+    assert original == recovered
+
+
+def test_round_trip_timestamps_close(run_trace):
+    loaded = chrome.loads(chrome.dumps(run_trace))
+    first_orig = min(k.ts for k in run_trace.kernels)
+    first_loaded = min(k.ts for k in loaded.kernels)
+    assert first_loaded == pytest.approx(first_orig, abs=1.0)
+
+
+def test_dump_and_load_file(tmp_path, run_trace):
+    path = tmp_path / "trace.json"
+    chrome.dump(run_trace, path)
+    loaded = chrome.load(path)
+    assert len(loaded.kernels) == len(run_trace.kernels)
+
+
+def test_metadata_round_trip(run_trace):
+    loaded = chrome.loads(chrome.dumps(run_trace))
+    assert loaded.metadata["platform"] == "Intel+H100"
+
+
+def test_loads_accepts_bare_event_list():
+    events = [{
+        "name": "aten::add", "cat": "cpu_op", "ph": "X",
+        "ts": 1.0, "dur": 2.0, "pid": 0, "tid": 1, "args": {},
+    }]
+    trace = chrome.loads(json.dumps(events))
+    assert len(trace.operators) == 1
+
+
+def test_loads_rejects_invalid_json():
+    with pytest.raises(TraceError):
+        chrome.loads("{not json")
+
+
+def test_loads_rejects_wrong_top_level():
+    with pytest.raises(TraceError):
+        chrome.loads('"a string"')
+
+
+def test_loads_gpu_memcpy_as_gpu_work():
+    """PyTorch Profiler emits gpu_memcpy/gpu_memset events; they occupy the
+    stream and import as kernel events."""
+    events = [
+        {"ph": "X", "cat": "gpu_memcpy", "name": "Memcpy HtoD", "ts": 1.0,
+         "dur": 2.0, "tid": 7, "args": {"correlation": 5}},
+        {"ph": "X", "cat": "gpu_memset", "name": "Memset", "ts": 4.0,
+         "dur": 1.0, "tid": 7, "args": {"correlation": 6}},
+    ]
+    trace = chrome.loads(json.dumps(events))
+    assert len(trace.kernels) == 2
+    assert {k.name for k in trace.kernels} == {"Memcpy HtoD", "Memset"}
+
+
+def test_loads_ignores_unknown_categories():
+    events = [{"name": "x", "cat": "python_function", "ph": "X",
+               "ts": 0, "dur": 1, "tid": 0}]
+    trace = chrome.loads(json.dumps(events))
+    assert not trace.operators and not trace.kernels
+
+
+def test_analysis_on_imported_trace(run_trace):
+    """SKIP analyses must work identically on an imported Chrome trace."""
+    from repro.skip import SkipProfiler, compute_metrics
+    loaded = chrome.loads(chrome.dumps(run_trace))
+    original = compute_metrics(run_trace)
+    imported = compute_metrics(loaded)
+    assert imported.tklqt_ns == pytest.approx(original.tklqt_ns, rel=1e-6)
+    assert imported.kernel_launches == original.kernel_launches
+    result = SkipProfiler.analyze(loaded)
+    assert result.boundedness == SkipProfiler.analyze(run_trace).boundedness

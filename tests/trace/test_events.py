@@ -1,0 +1,58 @@
+"""Trace event model."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    KernelEvent,
+    LAUNCH_KERNEL,
+    OperatorEvent,
+    RuntimeEvent,
+    TraceEvent,
+)
+
+
+def test_event_end_timestamp():
+    event = TraceEvent(name="x", ts=100.0, dur=25.0)
+    assert event.ts_end == 125.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(TraceError):
+        TraceEvent(name="x", ts=0.0, dur=-1.0)
+
+
+def test_contains_uses_begin_timestamp():
+    parent = OperatorEvent(name="p", ts=0.0, dur=100.0)
+    inside = OperatorEvent(name="c", ts=50.0, dur=200.0)  # begins inside
+    outside = OperatorEvent(name="c2", ts=100.0, dur=1.0)  # begins at end
+    assert parent.contains(inside)
+    assert not parent.contains(outside)
+
+
+def test_contains_at_exact_start():
+    parent = OperatorEvent(name="p", ts=10.0, dur=5.0)
+    child = OperatorEvent(name="c", ts=10.0, dur=1.0)
+    assert parent.contains(child)
+
+
+def test_event_ids_are_unique_and_monotonic():
+    a = TraceEvent(name="a", ts=0.0, dur=0.0)
+    b = TraceEvent(name="b", ts=0.0, dur=0.0)
+    assert b.event_id > a.event_id
+
+
+def test_runtime_event_launch_and_sync_flags():
+    launch = RuntimeEvent(name=LAUNCH_KERNEL, ts=0, dur=1, correlation_id=7)
+    sync = RuntimeEvent(name="cudaDeviceSynchronize", ts=0, dur=1)
+    other = RuntimeEvent(name="cudaMalloc", ts=0, dur=1)
+    assert launch.is_launch and not launch.is_sync
+    assert sync.is_sync and not sync.is_launch
+    assert not other.is_launch and not other.is_sync
+
+
+def test_kernel_event_graph_replay_marker():
+    normal = KernelEvent(name="k", ts=0, dur=1, correlation_id=3)
+    replayed = KernelEvent(name="k", ts=0, dur=1, correlation_id=-3)
+    assert not normal.queue_delay_unknown
+    assert replayed.queue_delay_unknown

@@ -1,0 +1,95 @@
+"""Model configuration derivations and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    Activation,
+    Arch,
+    BERT_BASE,
+    GEMMA_2B,
+    GPT2,
+    LLAMA_3_2_1B,
+    ModelConfig,
+    Norm,
+    Positional,
+    XLM_ROBERTA_BASE,
+)
+
+
+def test_param_counts_near_published_sizes():
+    # Table III: BERT 110M, XLM-R 279M, GPT-2 137M, Llama-3.2-1B 1.24B.
+    assert BERT_BASE.param_count() == pytest.approx(110e6, rel=0.05)
+    assert XLM_ROBERTA_BASE.param_count() == pytest.approx(279e6, rel=0.05)
+    assert GPT2.param_count() == pytest.approx(137e6, rel=0.12)
+    assert LLAMA_3_2_1B.param_count() == pytest.approx(1.24e9, rel=0.05)
+
+
+def test_gemma_head_dim_override():
+    assert GEMMA_2B.effective_head_dim == 256
+    assert GEMMA_2B.q_dim == 8 * 256
+
+
+def test_gqa_dimensions():
+    assert LLAMA_3_2_1B.effective_kv_heads == 8
+    assert LLAMA_3_2_1B.kv_dim == 8 * 64
+    assert LLAMA_3_2_1B.q_dim == 2048
+
+
+def test_default_kv_heads_equal_heads():
+    assert BERT_BASE.effective_kv_heads == BERT_BASE.heads
+
+
+def test_gated_mlp_detection():
+    assert LLAMA_3_2_1B.is_gated_mlp
+    assert GEMMA_2B.is_gated_mlp
+    assert not BERT_BASE.is_gated_mlp
+    assert not GPT2.is_gated_mlp
+
+
+def _base_config(**overrides):
+    params = dict(name="toy", arch=Arch.DECODER_ONLY, hidden=64, layers=2,
+                  heads=4, intermediate=128, vocab=1000)
+    params.update(overrides)
+    return ModelConfig(**params)
+
+
+def test_indivisible_heads_rejected():
+    with pytest.raises(ConfigurationError):
+        _base_config(hidden=65)
+
+
+def test_explicit_head_dim_allows_indivisible_hidden():
+    config = _base_config(hidden=60, head_dim=32)
+    assert config.q_dim == 4 * 32
+
+
+def test_kv_heads_cannot_exceed_heads():
+    with pytest.raises(ConfigurationError):
+        _base_config(kv_heads=8)
+
+
+def test_heads_must_divide_by_kv_heads():
+    with pytest.raises(ConfigurationError):
+        _base_config(kv_heads=3)
+
+
+@pytest.mark.parametrize("field", ["hidden", "layers", "heads", "intermediate",
+                                   "vocab"])
+def test_nonpositive_dims_rejected(field):
+    with pytest.raises(ConfigurationError):
+        _base_config(**{field: 0})
+
+
+def test_summary_mentions_arch_and_params():
+    text = LLAMA_3_2_1B.summary()
+    assert "decoder-only" in text
+    assert "16L" in text
+
+
+def test_xlmr_larger_than_bert_only_by_vocab():
+    # Same transformer body; the multilingual vocabulary is the difference.
+    body_bert = BERT_BASE.param_count() - BERT_BASE.vocab * BERT_BASE.hidden
+    body_xlmr = (XLM_ROBERTA_BASE.param_count()
+                 - XLM_ROBERTA_BASE.vocab * XLM_ROBERTA_BASE.hidden)
+    assert body_bert == body_xlmr

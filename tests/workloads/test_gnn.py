@@ -1,0 +1,62 @@
+"""GCN workload."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import INTEL_H100
+from repro.skip import KernelRegime, classify_kernels
+from repro.workloads.gnn import GCN_LARGE, GCN_MEDIUM, GcnConfig, build_gcn_graph
+
+
+def test_graph_structure():
+    graph = build_gcn_graph(GCN_MEDIUM)
+    labels = [op.label for op in graph.ops]
+    aggregates = [l for l in labels if l.endswith(".aggregate")]
+    projects = [l for l in labels if l.endswith(".project")]
+    assert len(aggregates) == GCN_MEDIUM.layers
+    assert len(projects) == GCN_MEDIUM.layers
+    assert labels[-1] == "predict.softmax"
+
+
+def test_layer_widths_chain():
+    widths = GCN_MEDIUM.layer_widths()
+    assert widths[0][0] == GCN_MEDIUM.in_features
+    assert widths[-1][1] == GCN_MEDIUM.num_classes
+    for (_, out_prev), (in_next, _) in zip(widths, widths[1:]):
+        assert out_prev == in_next
+
+
+def test_spmm_traffic_scales_with_edges():
+    sparse = GcnConfig(avg_degree=4)
+    dense = GcnConfig(avg_degree=64)
+    sparse_bytes = build_gcn_graph(sparse).total_bytes
+    dense_bytes = build_gcn_graph(dense).total_bytes
+    assert dense_bytes > 3 * sparse_bytes
+
+
+def test_batching_graphs_scales_work():
+    one = build_gcn_graph(GCN_MEDIUM, 1).total_flops
+    four = build_gcn_graph(GCN_MEDIUM, 4).total_flops
+    assert four == pytest.approx(4 * one, rel=1e-6)
+
+
+def test_large_config():
+    assert GCN_LARGE.num_edges == 32_000_000
+    assert len(build_gcn_graph(GCN_LARGE)) > len(build_gcn_graph(GCN_MEDIUM))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        GcnConfig(layers=0)
+    with pytest.raises(ConfigurationError):
+        build_gcn_graph(GCN_MEDIUM, 0)
+
+
+def test_spmm_kernels_are_memory_bound(intel_profiler):
+    """The GCN balance point: aggregation is bandwidth-limited."""
+    result = intel_profiler.profile_graph(build_gcn_graph(GCN_MEDIUM))
+    roofline = classify_kernels(result.trace, INTEL_H100.gpu)
+    spmm_points = [p for p in roofline.points if p.flops and p.bytes_moved
+                   and p.arithmetic_intensity < 4]
+    assert spmm_points
+    assert all(p.regime is KernelRegime.MEMORY_BOUND for p in spmm_points)

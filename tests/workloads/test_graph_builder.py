@@ -1,0 +1,130 @@
+"""Operator-stream construction for every architecture family."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    AttentionImpl,
+    BERT_BASE,
+    GPT2,
+    LLAMA_3_2_1B,
+    OpKind,
+    Phase,
+    XLM_ROBERTA_BASE,
+    build_graph,
+)
+
+
+def test_encoder_has_pooler_and_no_lm_head():
+    graph = build_graph(BERT_BASE, 1, 128)
+    labels = [op.label for op in graph.ops]
+    assert any(label.startswith("pooler") for label in labels)
+    assert "lm_head" not in labels
+
+
+def test_decoder_has_lm_head():
+    graph = build_graph(GPT2, 1, 128)
+    assert graph.ops[-1].label == "lm_head"
+
+
+def test_bert_layer_structure_repeats():
+    graph = build_graph(BERT_BASE, 1, 128)
+    layer0 = [op.kind for op in graph.labels_matching("encoder.layer.0.")]
+    layer7 = [op.kind for op in graph.labels_matching("encoder.layer.7.")]
+    assert layer0 == layer7
+    assert len(layer0) > 15
+
+
+def test_gpt2_uses_fused_qkv_and_composite_gelu():
+    graph = build_graph(GPT2, 1, 128)
+    kinds = graph.count_by_kind()
+    assert kinds["split"] == GPT2.layers
+    gelus = [op for op in graph.ops if op.kind is OpKind.GELU]
+    assert all(op.kernel_fanout == 8 for op in gelus)
+
+
+def test_llama_uses_rmsnorm_rope_and_swiglu():
+    graph = build_graph(LLAMA_3_2_1B, 1, 128)
+    kinds = graph.count_by_kind()
+    assert kinds["rmsnorm"] == 2 * LLAMA_3_2_1B.layers + 1
+    assert kinds["rope"] == 2 * LLAMA_3_2_1B.layers
+    assert kinds["silu"] == LLAMA_3_2_1B.layers
+    assert "layernorm" not in kinds
+
+
+def test_llama_gqa_materializes_repeat_kv():
+    graph = build_graph(LLAMA_3_2_1B, 1, 128)
+    repeats = [op for op in graph.ops if "repeat_kv" in op.label]
+    assert len(repeats) == 2 * LLAMA_3_2_1B.layers
+
+
+def test_flash_attention_removes_softmax():
+    eager = build_graph(BERT_BASE, 1, 128, attention=AttentionImpl.EAGER)
+    flash = build_graph(BERT_BASE, 1, 128, attention=AttentionImpl.FLASH)
+    assert "softmax" in eager.count_by_kind()
+    assert "softmax" not in flash.count_by_kind()
+    assert flash.count_by_kind()["sdpa_flash"] == BERT_BASE.layers
+    assert len(flash) < len(eager)
+
+
+def test_flash_attention_preserves_flops_approximately():
+    eager = build_graph(GPT2, 2, 256)
+    flash = build_graph(GPT2, 2, 256, attention=AttentionImpl.FLASH)
+    # FLOPs differ only by the small scale/mask/softmax elementwise terms.
+    assert flash.total_flops == pytest.approx(eager.total_flops, rel=0.05)
+
+
+def test_flops_scale_linearly_with_batch():
+    one = build_graph(BERT_BASE, 1, 256).total_flops
+    four = build_graph(BERT_BASE, 4, 256).total_flops
+    assert four == pytest.approx(4 * one, rel=1e-6)
+
+
+def test_attention_flops_scale_quadratically_with_seq():
+    short = build_graph(GPT2, 1, 128)
+    long = build_graph(GPT2, 1, 512)
+    short_attn = sum(op.flops for op in short.ops if ".attn.scores" in op.label)
+    long_attn = sum(op.flops for op in long.ops if ".attn.scores" in op.label)
+    assert long_attn == pytest.approx(16 * short_attn, rel=1e-6)
+
+
+def test_decode_phase_shapes():
+    graph = build_graph(LLAMA_3_2_1B, 2, 1, phase=Phase.DECODE, context_len=512)
+    kinds = graph.count_by_kind()
+    assert kinds["kv_append"] == 2 * LLAMA_3_2_1B.layers
+    # Decode lm_head runs over one token per sequence; prefill over all.
+    prefill = build_graph(LLAMA_3_2_1B, 2, 512)
+    decode_head = graph.ops[-1]
+    prefill_head = prefill.ops[-1]
+    assert decode_head.flops < prefill_head.flops / 100
+
+
+def test_decode_requires_context_len():
+    with pytest.raises(ConfigurationError):
+        build_graph(GPT2, 1, 1, phase=Phase.DECODE)
+
+
+def test_encoder_has_no_decode_phase():
+    with pytest.raises(ConfigurationError):
+        build_graph(BERT_BASE, 1, 1, phase=Phase.DECODE, context_len=64)
+
+
+def test_nonpositive_shapes_rejected():
+    with pytest.raises(ConfigurationError):
+        build_graph(BERT_BASE, 0, 128)
+    with pytest.raises(ConfigurationError):
+        build_graph(BERT_BASE, 1, 0)
+
+
+def test_bert_and_xlmr_streams_are_isomorphic():
+    bert = build_graph(BERT_BASE, 1, 128)
+    xlmr = build_graph(XLM_ROBERTA_BASE, 1, 128)
+    assert [op.kind for op in bert.ops] == [op.kind for op in xlmr.ops]
+
+
+def test_graph_metadata():
+    graph = build_graph(GPT2, 4, 256)
+    assert graph.model_name == "gpt2"
+    assert graph.batch_size == 4
+    assert graph.seq_len == 256
+    assert graph.phase is Phase.PREFILL

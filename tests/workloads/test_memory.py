@@ -1,0 +1,84 @@
+"""Memory-footprint estimation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import GH200, INTEL_H100
+from repro.workloads import (
+    BERT_BASE,
+    LLAMA_2_7B,
+    LLAMA_3_2_1B,
+    kv_cache_bytes,
+    max_batch_size,
+    memory_report,
+    weights_bytes,
+)
+from repro.units import GB
+
+
+def test_weights_are_two_bytes_per_param():
+    assert weights_bytes(LLAMA_3_2_1B) == 2 * LLAMA_3_2_1B.param_count()
+    assert weights_bytes(LLAMA_2_7B) == pytest.approx(13.5 * GB, rel=0.1)
+
+
+def test_encoder_has_no_kv_cache():
+    assert kv_cache_bytes(BERT_BASE, 8, 512) == 0.0
+
+
+def test_gqa_shrinks_kv_cache():
+    # Llama-3.2-1B has 8 KV heads vs 32 query heads: the cache is 1/4 of an
+    # MHA model with the same hidden size.
+    per_token = kv_cache_bytes(LLAMA_3_2_1B, 1, 1) \
+        / (2 * LLAMA_3_2_1B.layers * 2)
+    assert per_token == LLAMA_3_2_1B.kv_dim
+    assert LLAMA_3_2_1B.kv_dim == LLAMA_3_2_1B.hidden // 4
+
+
+def test_kv_cache_scales_linearly():
+    one = kv_cache_bytes(LLAMA_3_2_1B, 1, 512)
+    assert kv_cache_bytes(LLAMA_3_2_1B, 4, 512) == 4 * one
+    assert kv_cache_bytes(LLAMA_3_2_1B, 1, 1024) == 2 * one
+
+
+def test_report_breakdown_sums():
+    report = memory_report(LLAMA_3_2_1B, GH200.gpu, 8, 512)
+    assert report.total_bytes == pytest.approx(
+        report.weights_bytes + report.activation_bytes
+        + report.kv_cache_bytes + report.reserve_bytes)
+    assert report.fits
+    assert 0 < report.utilization < 1
+
+
+def test_eager_attention_dominates_at_large_batch():
+    eager = memory_report(BERT_BASE, INTEL_H100.gpu, 128, 512,
+                          eager_attention=True)
+    flash = memory_report(BERT_BASE, INTEL_H100.gpu, 128, 512,
+                          eager_attention=False)
+    assert eager.activation_bytes > 3 * flash.activation_bytes
+
+
+def test_max_batch_size_monotone_in_capacity():
+    small = max_batch_size(LLAMA_2_7B, INTEL_H100.gpu, 2048)
+    large = max_batch_size(LLAMA_2_7B, GH200.gpu, 2048)
+    assert 0 < small <= large
+
+
+def test_max_batch_size_zero_when_weights_do_not_fit():
+    from dataclasses import replace
+    tiny_gpu = replace(INTEL_H100.gpu, memory_gib=8)
+    assert max_batch_size(LLAMA_2_7B, tiny_gpu, 512) == 0
+
+
+def test_flash_extends_max_batch():
+    eager = max_batch_size(BERT_BASE, INTEL_H100.gpu, 512,
+                           eager_attention=True)
+    flash = max_batch_size(BERT_BASE, INTEL_H100.gpu, 512,
+                           eager_attention=False)
+    assert flash > eager
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        kv_cache_bytes(LLAMA_3_2_1B, 0, 512)
+    with pytest.raises(ConfigurationError):
+        memory_report(LLAMA_3_2_1B, GH200.gpu, 1, 0)

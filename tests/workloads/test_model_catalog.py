@@ -1,0 +1,67 @@
+"""Model catalog lookups and groupings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    ALL_MODELS,
+    Arch,
+    DECODER_MODELS,
+    ENCODER_MODELS,
+    PAPER_MODELS,
+    SEVEN_B_MODELS,
+    get_model,
+)
+
+
+def test_paper_models_match_table3():
+    names = [m.name for m in PAPER_MODELS]
+    assert names == ["bert-base-uncased", "xlm-roberta-base", "gpt2",
+                     "llama-3.2-1b"]
+
+
+def test_encoder_decoder_split():
+    assert all(m.arch is Arch.ENCODER_ONLY for m in ENCODER_MODELS)
+    assert all(m.arch is Arch.DECODER_ONLY for m in DECODER_MODELS)
+
+
+def test_seven_b_models_are_roughly_7b():
+    for model in SEVEN_B_MODELS:
+        assert 6e9 < model.param_count() < 10e9, model.name
+
+
+def test_get_model_case_insensitive():
+    assert get_model("GPT2").name == "gpt2"
+    assert get_model("Llama-3.2-1B").name == "llama-3.2-1b"
+
+
+def test_get_model_unknown_raises():
+    with pytest.raises(ConfigurationError, match="gpt2"):
+        get_model("gpt5")
+
+
+def test_all_model_names_unique():
+    names = [m.name for m in ALL_MODELS]
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("name,expected_millions,tolerance", [
+    ("bert-large-uncased", 335, 0.05),
+    ("gpt2-medium", 355, 0.12),
+    ("llama-3.2-3b", 3210, 0.08),
+    ("qwen2-0.5b", 494, 0.08),
+    ("phi-2", 2780, 0.08),
+])
+def test_extra_models_match_published_sizes(name, expected_millions,
+                                            tolerance):
+    model = get_model(name)
+    assert model.param_count() / 1e6 == pytest.approx(expected_millions,
+                                                      rel=tolerance)
+
+
+def test_extra_models_build_and_lower():
+    from repro.engine import kernel_count
+    from repro.workloads import EXTRA_MODELS, build_graph
+    for model in EXTRA_MODELS:
+        graph = build_graph(model, 1, 128)
+        assert kernel_count(graph) > 100, model.name

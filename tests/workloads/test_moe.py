@@ -1,0 +1,101 @@
+"""Mixture-of-experts workload construction."""
+
+import pytest
+
+from repro.engine import kernel_count
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    LLAMA_2_7B,
+    MISTRAL_7B,
+    MIXTRAL_8X7B,
+    ModelConfig,
+    OpKind,
+    build_graph,
+)
+from repro.workloads.config import Activation, Arch, Norm, Positional
+
+
+def test_mixtral_param_count():
+    # Published: 46.7B total parameters.
+    assert MIXTRAL_8X7B.param_count() == pytest.approx(46.7e9, rel=0.03)
+
+
+def test_moe_layer_structure():
+    graph = build_graph(MIXTRAL_8X7B, 1, 128)
+    layer0 = graph.labels_matching("decoder.layer.0.moe")
+    kinds = [op.kind for op in layer0]
+    assert kinds.count(OpKind.TOPK) == 1
+    assert kinds.count(OpKind.SOFTMAX) == 1
+    assert kinds.count(OpKind.INDEX_SELECT) == 8   # one gather per expert
+    assert kinds.count(OpKind.SCATTER_ADD) == 8
+    assert kinds.count(OpKind.LINEAR) == 1 + 8 * 3  # router + 3 per expert
+
+
+def test_eager_moe_multiplies_kernel_count():
+    """The launch-tax story: eager MoE launches ~3.7x more kernels than the
+    dense model it shares attention with (Mistral-7B)."""
+    moe_kernels = kernel_count(build_graph(MIXTRAL_8X7B, 1, 512))
+    dense_kernels = kernel_count(build_graph(MISTRAL_7B, 1, 512))
+    assert moe_kernels > 3 * dense_kernels
+
+
+def test_moe_active_flops_far_below_dense_equivalent():
+    """Top-2-of-8 routing: per-token MLP FLOPs ~2 experts' worth, not 8."""
+    moe = build_graph(MIXTRAL_8X7B, 4, 512)
+    moe_mlp_flops = sum(op.flops for op in moe.ops if ".moe.expert" in op.label)
+    dense = build_graph(MISTRAL_7B, 4, 512)
+    dense_mlp_flops = sum(op.flops for op in dense.ops if ".mlp." in op.label)
+    # Same dims: active MoE compute ~= top_k x dense MLP compute.
+    assert moe_mlp_flops == pytest.approx(2 * dense_mlp_flops, rel=0.2)
+
+
+def test_moe_validation():
+    base = dict(name="toy-moe", arch=Arch.DECODER_ONLY, hidden=64, layers=1,
+                heads=4, intermediate=128, vocab=1000, norm=Norm.RMSNORM,
+                activation=Activation.SILU, positional=Positional.ROPE)
+    with pytest.raises(ConfigurationError):
+        ModelConfig(**base, moe_experts=-1)
+    with pytest.raises(ConfigurationError):
+        ModelConfig(**base, moe_experts=4, moe_top_k=5)
+    config = ModelConfig(**base, moe_experts=4, moe_top_k=1)
+    assert config.is_moe
+
+
+def test_dense_models_unchanged():
+    assert not LLAMA_2_7B.is_moe
+    graph = build_graph(LLAMA_2_7B, 1, 128)
+    assert not any(".moe." in op.label for op in graph.ops)
+
+
+def test_moe_launch_tax_at_low_batch(intel_profiler):
+    """Eager Mixtral at BS=1 carries ~3.4x the dense model's launches and
+    CPU time. On the x86 system the GPU is still the limit — tiny routed
+    token counts make every expert GEMM stream its full 117 MB weight
+    matrix (the classic MoE bandwidth problem, visible on the roofline)."""
+    from repro.hardware import INTEL_H100
+    from repro.skip import KernelRegime, classify_kernels
+    moe = intel_profiler.profile(MIXTRAL_8X7B, batch_size=1, seq_len=128)
+    dense = intel_profiler.profile(MISTRAL_7B, batch_size=1, seq_len=128)
+    assert moe.metrics.kernel_launches > 3 * dense.metrics.kernel_launches
+    assert moe.metrics.cpu_busy_ns > 3 * dense.metrics.cpu_busy_ns
+    roofline = classify_kernels(moe.trace, INTEL_H100.gpu)
+    expert_gemms = [p for p in roofline.points
+                    if "gemm" in p.name and p.bytes_moved > 50e6]
+    assert expert_gemms
+    memory_bound = sum(1 for p in expert_gemms
+                       if p.regime is KernelRegime.MEMORY_BOUND)
+    assert memory_bound > 0.9 * len(expert_gemms)
+
+
+def test_moe_grace_dispatch_is_the_gh200_bottleneck(intel_profiler,
+                                                    gh200_profiler):
+    """~2850 dispatches per pass turn GH200's CPU into the wall: despite 2x
+    the memory bandwidth (which should win a weight-streaming workload),
+    GH200 loses eager Mixtral at BS=1 because Grace cannot issue operators
+    fast enough — the paper's Section V-D argument at its most extreme."""
+    from repro.skip import Boundedness, classify_metrics
+    intel = intel_profiler.profile(MIXTRAL_8X7B, batch_size=1, seq_len=128)
+    gh200 = gh200_profiler.profile(MIXTRAL_8X7B, batch_size=1, seq_len=128)
+    assert classify_metrics(gh200.metrics) is Boundedness.CPU_BOUND
+    assert (gh200.metrics.inference_latency_ns
+            > 1.5 * intel.metrics.inference_latency_ns)

@@ -1,0 +1,129 @@
+"""Operator factories and work accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import ops
+from repro.workloads.ops import FP16_BYTES, OpKind
+
+
+def test_linear_flops_with_bias():
+    op = ops.linear("fc", tokens=4, in_features=8, out_features=16, bias=True)
+    assert op.flops == 2 * 4 * 8 * 16 + 4 * 16
+    assert op.dims == (8, 16, 1, 4)
+
+
+def test_linear_flops_without_bias():
+    op = ops.linear("fc", tokens=4, in_features=8, out_features=16, bias=False)
+    assert op.flops == 2 * 4 * 8 * 16
+    assert op.dims[2] == 0
+
+
+def test_linear_bytes_account_for_weights_and_activations():
+    op = ops.linear("fc", tokens=2, in_features=4, out_features=8, bias=False)
+    assert op.bytes_read == FP16_BYTES * (2 * 4 + 4 * 8)
+    assert op.bytes_written == FP16_BYTES * 2 * 8
+
+
+def test_matmul_accounting():
+    op = ops.matmul("mm", batch=3, m=4, n=5, k=6)
+    assert op.flops == 2 * 3 * 4 * 5 * 6
+    assert op.bytes_written == FP16_BYTES * 3 * 4 * 5
+    assert op.dims == (4, 5, 6)
+
+
+def test_softmax_rows_cols():
+    op = ops.softmax("sm", rows=10, cols=32)
+    assert op.flops == 5 * 10 * 32
+    assert op.dims == (32,)
+
+
+def test_layernorm_and_rmsnorm_costs_differ():
+    ln = ops.layernorm("ln", tokens=8, hidden=16)
+    rms = ops.rmsnorm("rms", tokens=8, hidden=16)
+    assert ln.flops > rms.flops  # RMSNorm skips the mean subtraction
+
+
+def test_elementwise_fanout_multiplies_traffic():
+    single = ops.elementwise(OpKind.GELU, "g", elements=100)
+    fanned = ops.elementwise(OpKind.GELU, "g", elements=100, fanout=8)
+    assert fanned.kernel_fanout == 8
+    assert fanned.bytes_read == 8 * single.bytes_read
+    assert fanned.flops == 8 * single.flops
+
+
+def test_elementwise_rejects_non_elementwise_kind():
+    with pytest.raises(ConfigurationError):
+        ops.elementwise(OpKind.LINEAR, "bad", elements=10)
+
+
+def test_transpose_view_launches_nothing():
+    op = ops.transpose_view("t", elements=10)
+    assert not op.launches_kernel
+    assert op.bytes_moved == 0
+
+
+def test_view_op_with_fanout_rejected():
+    from repro.workloads.ops import Op
+    with pytest.raises(ConfigurationError):
+        Op(OpKind.TRANSPOSE, "t", 0, 0, 0, dims=(), launches_kernel=False,
+           kernel_fanout=2)
+
+
+def test_fill_writes_only():
+    op = ops.fill("f", elements=7)
+    assert op.bytes_read == 0
+    assert op.bytes_written == FP16_BYTES * 7
+
+
+def test_embedding_variant_dimension():
+    op = ops.embedding("emb", tokens=4, hidden=8, num_embeddings=50000)
+    assert op.dims == (8, 50000)
+    assert op.flops == 0
+
+
+def test_rope_fanout():
+    op = ops.rope("r", tokens=4, dim=8)
+    assert op.kernel_fanout == 3
+
+
+def test_sdpa_flash_flops_match_unfused_attention():
+    flash = ops.sdpa_flash("f", batch_heads=12, q_len=128, kv_len=128,
+                           head_dim=64)
+    scores = ops.matmul("s", 12, 128, 128, 64)
+    context = ops.matmul("c", 12, 128, 64, 128)
+    assert flash.flops == pytest.approx(scores.flops + context.flops)
+
+
+def test_sdpa_flash_moves_less_memory_than_unfused():
+    flash = ops.sdpa_flash("f", batch_heads=12, q_len=512, kv_len=512,
+                           head_dim=64)
+    scores = ops.matmul("s", 12, 512, 512, 64)
+    softmax = ops.softmax("sm", 12 * 512, 512)
+    context = ops.matmul("c", 12, 512, 64, 512)
+    unfused = scores.bytes_moved + softmax.bytes_moved + context.bytes_moved
+    assert flash.bytes_moved < unfused / 2
+
+
+def test_negative_work_rejected():
+    from repro.workloads.ops import Op
+    with pytest.raises(ConfigurationError):
+        Op(OpKind.ADD, "bad", -1.0, 0.0, 0.0, dims=())
+
+
+def test_aten_names_and_dispatch_costs_cover_all_kinds():
+    from repro.workloads.ops import ATEN_NAMES, DISPATCH_COST_NS
+    for kind in OpKind:
+        assert kind in ATEN_NAMES
+        assert DISPATCH_COST_NS[kind] > 0
+
+
+@pytest.mark.parametrize("factory,kwargs", [
+    (ops.linear, dict(tokens=0, in_features=1, out_features=1)),
+    (ops.matmul, dict(batch=1, m=0, n=1, k=1)),
+    (ops.softmax, dict(rows=0, cols=1)),
+    (ops.embedding, dict(tokens=1, hidden=0)),
+])
+def test_factories_reject_nonpositive_dims(factory, kwargs):
+    with pytest.raises(ConfigurationError):
+        factory("bad", **kwargs)

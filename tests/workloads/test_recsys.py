@@ -1,0 +1,67 @@
+"""DLRM-style recommendation workload."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.recsys import (
+    DLRM_LARGE,
+    DLRM_SMALL,
+    DlrmConfig,
+    build_dlrm_graph,
+)
+
+
+def test_graph_structure():
+    graph = build_dlrm_graph(DLRM_SMALL, batch_size=4)
+    labels = [op.label for op in graph.ops]
+    assert sum(1 for l in labels if l.startswith("emb_table.")) == 26
+    assert any(l == "interaction.pairwise" for l in labels)
+    assert labels[-1] == "predict.sigmoid"
+
+
+def test_embedding_gathers_dominate_op_count():
+    graph = build_dlrm_graph(DLRM_SMALL, batch_size=1)
+    counts = graph.count_by_kind()
+    assert counts["embedding"] == DLRM_SMALL.num_tables
+    assert counts["embedding"] > counts["linear"]
+
+
+def test_flops_scale_with_batch():
+    one = build_dlrm_graph(DLRM_SMALL, 1).total_flops
+    eight = build_dlrm_graph(DLRM_SMALL, 8).total_flops
+    assert eight == pytest.approx(8 * one, rel=1e-6)
+
+
+def test_param_count_dominated_by_tables():
+    table_params = (DLRM_SMALL.num_tables * DLRM_SMALL.rows_per_table
+                    * DLRM_SMALL.embedding_dim)
+    assert DLRM_SMALL.param_count() > table_params
+    assert DLRM_SMALL.param_count() < 1.05 * table_params
+
+
+def test_interaction_feature_accounting():
+    # 27 vectors -> 27*26/2 pairs + the dense embedding passthrough.
+    assert DLRM_SMALL.interaction_inputs == 27
+    assert DLRM_SMALL.interaction_features == 27 * 26 // 2 + 64
+
+
+def test_large_config_is_bigger():
+    assert DLRM_LARGE.param_count() > 10 * DLRM_SMALL.param_count()
+    assert len(build_dlrm_graph(DLRM_LARGE, 1)) > len(
+        build_dlrm_graph(DLRM_SMALL, 1))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DlrmConfig(num_tables=0)
+    with pytest.raises(ConfigurationError):
+        DlrmConfig(bottom_mlp=(512, 32))  # last width != embedding_dim
+    with pytest.raises(ConfigurationError):
+        build_dlrm_graph(DLRM_SMALL, 0)
+
+
+def test_profiles_through_skip(intel_profiler):
+    result = intel_profiler.profile_graph(build_dlrm_graph(DLRM_SMALL, 4))
+    assert result.metrics.kernel_launches > 30
+    # The launch tax story: tiny gathers leave the GPU starved.
+    assert result.boundedness.value == "cpu-bound"
