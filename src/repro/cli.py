@@ -8,6 +8,9 @@ Subcommands mirror the paper's workflow:
 * ``nullkernel``— the Table V micro-benchmark
 * ``whatif``    — required CPU speedup to match a reference platform
 * ``memory``    — HBM footprint check for a workload shape
+* ``serve``     — serving simulation with recording / Chrome-trace export
+* ``skip``      — SKIP analysis of a Chrome trace file (self-hosting:
+  ``repro serve ... --emit-trace out.json && repro skip analyze out.json``)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -129,6 +132,71 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import RunRecorder, recording_to_trace
+    from repro.serving import (
+        ContinuousBatchPolicy,
+        LatencyModel,
+        StaticBatchPolicy,
+        poisson_requests,
+        simulate_continuous_batching,
+        simulate_static_batching,
+    )
+    from repro.trace import chrome
+    from repro.viz import TimelineOptions, render_serving_timeline
+
+    model = get_model(args.model)
+    latency = LatencyModel(get_platform(args.platform), engine_config=_FAST)
+    requests = poisson_requests(
+        rate_per_s=args.rate, duration_s=args.duration,
+        prompt_len=args.prompt_len, output_tokens=args.output_tokens,
+        seed=args.seed)
+    recorder = RunRecorder()
+    if args.scenario == "continuous":
+        report = simulate_continuous_batching(
+            requests, model, latency,
+            ContinuousBatchPolicy(max_active=args.max_active),
+            recorder=recorder)
+    else:
+        report = simulate_static_batching(
+            requests, model, latency,
+            StaticBatchPolicy(max_batch_size=args.max_active),
+            recorder=recorder)
+    title = (f"{args.scenario} serving: {model.name} on {args.platform} "
+             f"({len(requests)} requests)")
+    print(recorder.summary().render(title))
+    print(f"throughput         : "
+          f"{report.throughput_tokens_per_s():.0f} tokens/s")
+    if args.timeline:
+        print()
+        print(render_serving_timeline(recorder,
+                                      TimelineOptions(width=args.width)))
+    if args.emit_trace:
+        trace = recording_to_trace(recorder, latency, model)
+        chrome.dump(trace, args.emit_trace)
+        print(f"wrote {len(trace.kernels)} kernels / "
+              f"{len(trace.iterations)} steps to {args.emit_trace}")
+    return 0
+
+
+def _cmd_skip_analyze(args: argparse.Namespace) -> int:
+    from repro.skip import analyze_trace, classify_metrics, compute_metrics
+    from repro.skip.report import metrics_report, top_kernels_report
+    from repro.trace import chrome
+
+    trace = chrome.load(args.trace)
+    metrics = compute_metrics(trace)
+    source = trace.metadata.get("source", "chrome trace")
+    print(metrics_report(metrics, f"SKIP metrics for {args.trace} ({source})"))
+    print(f"classification             : {classify_metrics(metrics).value}")
+    print()
+    print(top_kernels_report(metrics, args.top))
+    if args.fusion:
+        print()
+        print(fusion_report(analyze_trace(trace)))
+    return 0
+
+
 def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro.reproduction import run_scorecard
 
@@ -194,6 +262,41 @@ def build_parser() -> argparse.ArgumentParser:
     memory = sub.add_parser("memory", help="HBM footprint check")
     _add_workload_args(memory)
     memory.set_defaults(func=_cmd_memory)
+
+    serve = sub.add_parser(
+        "serve", help="serving simulation with observability recording")
+    serve.add_argument("--model", default="gpt2")
+    serve.add_argument("--platform", default="Intel+H100")
+    serve.add_argument("--scenario", default="continuous",
+                       choices=["continuous", "static"])
+    serve.add_argument("--rate", type=float, default=20.0,
+                       help="Poisson arrival rate (req/s)")
+    serve.add_argument("--duration", type=float, default=1.0,
+                       help="arrival stream duration (s)")
+    serve.add_argument("--prompt-len", type=int, default=128)
+    serve.add_argument("--output-tokens", type=int, default=16)
+    serve.add_argument("--max-active", type=int, default=8,
+                       help="max active sequences (continuous) or batch "
+                            "size (static)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--timeline", action="store_true",
+                       help="render the recorded run as an ASCII timeline")
+    serve.add_argument("--width", type=int, default=100)
+    serve.add_argument("--emit-trace", metavar="PATH",
+                       help="export the recorded run as Chrome-trace JSON "
+                            "(analyzable with 'repro skip analyze')")
+    serve.set_defaults(func=_cmd_serve)
+
+    skip = sub.add_parser("skip", help="SKIP analysis of a Chrome trace file")
+    skip_sub = skip.add_subparsers(dest="skip_command", required=True)
+    analyze = skip_sub.add_parser(
+        "analyze", help="metrics + classification for a trace JSON")
+    analyze.add_argument("trace", help="Chrome-trace JSON path")
+    analyze.add_argument("--top", type=int, default=5,
+                         help="top-k kernel table size")
+    analyze.add_argument("--fusion", action="store_true",
+                         help="also mine fusion candidates (Fig. 7/8 table)")
+    analyze.set_defaults(func=_cmd_skip_analyze)
 
     validate = sub.add_parser(
         "validate", help="recompute every paper anchor (scorecard)")

@@ -30,6 +30,8 @@ from repro.engine.lowering import KernelTask, LoweredOp, lower_graph
 from repro.engine.modes import ExecutionMode
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
+from repro.obs.events import StepKind
+from repro.obs.recorder import RunRecorder
 from repro.trace.builder import TraceBuilder
 from repro.trace.events import DEVICE_SYNCHRONIZE, GRAPH_LAUNCH
 from repro.trace.trace import Trace
@@ -123,6 +125,7 @@ def run(
     context_len: int | None = None,
     config: EngineConfig = DEFAULT_CONFIG,
     fusion_plan: FusionPlan | None = None,
+    recorder: RunRecorder | None = None,
 ) -> RunResult:
     """Simulate inference and return the trace plus run context.
 
@@ -135,6 +138,9 @@ def run(
         config: Engine constants.
         fusion_plan: Required for ``PROXIMITY_FUSED`` mode — the chains to
             fuse (from SKIP's recommender).
+        recorder: Optional observability hook; samples per-launch queue
+            occupancy and launch delay during execution and records one
+            ``ENGINE`` step per measured iteration.
     """
     if isinstance(model, OperatorGraph):
         graph = model
@@ -168,9 +174,10 @@ def run(
     if mode.uses_cuda_graph:
         _simulate_graph_mode(builder, lowered, platform, config)
     else:
-        _simulate_launch_mode(builder, lowered, platform, mode, config)
+        _simulate_launch_mode(builder, lowered, platform, mode, config,
+                              recorder=recorder)
 
-    return RunResult(
+    result = RunResult(
         trace=builder.finish(),
         graph=graph,
         lowered=lowered,
@@ -179,6 +186,11 @@ def run(
         compile_report=report,
         config=config,
     )
+    if recorder is not None:
+        for mark in result.trace.iterations:
+            recorder.record_step(StepKind.ENGINE, mark.ts,
+                                 mark.ts_end - mark.ts, graph.batch_size)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +203,7 @@ def _simulate_launch_mode(
     platform: Platform,
     mode: ExecutionMode,
     config: EngineConfig,
+    recorder: RunRecorder | None = None,
 ) -> None:
     stream = GpuStream()
     cpu = 0.0
@@ -240,6 +253,9 @@ def _simulate_launch_mode(
                     flops=kernel.flops,
                     bytes_moved=kernel.bytes_moved,
                 )
+                if recorder is not None:
+                    recorder.observe_launch_delay(start - call_ts)
+                    recorder.observe_launch_queue(stream.pending_at(call_ts))
                 cpu += platform.launch_call_cpu_ns
                 launched += 1
 

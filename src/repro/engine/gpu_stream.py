@@ -8,6 +8,7 @@ time ``t_l`` (Eq. 1).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -73,6 +74,15 @@ class GpuStream:
             else:
                 break
         return count
+
+    def pending_at(self, ts: float) -> int:
+        """Submitted kernels that have not yet started executing at ``ts``.
+
+        This is the launch-queue occupancy the observability layer samples:
+        ``start_times`` is non-decreasing on an in-order stream, so a binary
+        search keeps the sample O(log n).
+        """
+        return self.kernel_count - bisect_right(self.start_times, ts)
 
     def nth_start(self, index: int) -> float:
         """Start time of the ``index``-th submitted kernel (0-based)."""

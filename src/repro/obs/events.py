@@ -1,0 +1,108 @@
+"""Structured events recorded by the observability layer.
+
+Two event families cover everything the serving and engine layers do:
+
+* :class:`RequestSpan` — one request's lifecycle: arrival, admission into a
+  batch, first token, completion (all absolute nanoseconds on the serving
+  clock).
+* :class:`StepEvent` — one engine invocation (prefill batch, decode step,
+  speculative draft/verify round, static-batch generation tail). Steps that
+  were priced through the engine carry an :class:`EngineShape`, which lets
+  the trace exporter replay the exact engine run that produced the step's
+  latency — the substrate of self-hosted SKIP analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+
+class StepKind(enum.Enum):
+    """What one recorded engine invocation did."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+    GENERATION = "generation"   # static batching's closed-form decode tail
+    DRAFT = "draft"             # speculative: draft-model decode steps
+    VERIFY = "verify"           # speculative: target-model verification pass
+    ENGINE = "engine"           # one raw engine iteration (executor hook)
+
+
+@dataclass(frozen=True)
+class EngineShape:
+    """The (model, shape) key of the memoized engine run behind a step.
+
+    Mirrors the arguments of :func:`repro.engine.executor.run`; the exporter
+    replays this shape through the same :class:`LatencyModel` to recover the
+    step's full kernel-level trace.
+    """
+
+    model: str
+    batch_size: int
+    seq_len: int
+    phase: str = "prefill"
+    context_len: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0 or self.seq_len <= 0:
+            raise AnalysisError("engine shape dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One engine invocation on the serving timeline.
+
+    Attributes:
+        index: Monotonic step number within the run.
+        kind: What the step did.
+        ts_ns: Step begin on the serving clock.
+        dur_ns: Step duration.
+        batch_size: Sequences processed by the step.
+        queue_depth: Requests arrived but not yet admitted at step begin.
+        shape: Engine shape that priced the step (None for closed-form steps).
+    """
+
+    index: int
+    kind: StepKind
+    ts_ns: float
+    dur_ns: float
+    batch_size: int
+    queue_depth: int = 0
+    shape: EngineShape | None = None
+
+    def __post_init__(self) -> None:
+        if self.dur_ns < 0:
+            raise AnalysisError(f"step {self.index} has negative duration")
+        if self.batch_size <= 0:
+            raise AnalysisError(f"step {self.index} has no sequences")
+        if self.queue_depth < 0:
+            raise AnalysisError(f"step {self.index} has negative queue depth")
+
+    @property
+    def ts_end_ns(self) -> float:
+        return self.ts_ns + self.dur_ns
+
+
+@dataclass
+class RequestSpan:
+    """One request's recorded lifecycle (absolute serving-clock times)."""
+
+    request_id: int
+    arrival_ns: float
+    admitted_ns: float | None = None
+    first_token_ns: float | None = None
+    completed_ns: float | None = None
+
+    @property
+    def queue_ns(self) -> float:
+        """Time spent waiting before admission."""
+        if self.admitted_ns is None:
+            raise AnalysisError(f"request {self.request_id} was never admitted")
+        return self.admitted_ns - self.arrival_ns
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_ns is not None

@@ -1,0 +1,164 @@
+"""Export a recorded serving run as a SKIP-analyzable :class:`Trace`.
+
+Self-hosting is the point: the serving loops are priced by memoized engine
+runs, and every engine run already produces a full PyTorch-Profiler-style
+trace. The exporter replays each recorded step's engine shape through the
+same :class:`LatencyModel`, time-shifts the engine trace onto the serving
+clock at the step's recorded begin, and remaps correlation ids so the
+spliced steps coexist in one trace. Each step becomes one ``ProfilerStep``
+iteration, so SKIP's depgraph/metrics/classification/fusion pipeline — and
+``repro skip analyze`` on the dumped Chrome JSON — runs unmodified on the
+simulator's own serving traces.
+
+Steps priced by closed-form math rather than an engine run (static
+batching's generation tail) carry no :class:`EngineShape`; they are
+synthesized as a single ``serving::<kind>`` operator launching one covering
+kernel, which keeps every iteration analyzable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import AnalysisError
+from repro.obs.events import StepEvent
+from repro.obs.recorder import RunRecorder
+from repro.trace.events import (
+    KernelEvent,
+    LAUNCH_KERNEL,
+    OperatorEvent,
+    RuntimeEvent,
+)
+from repro.trace.trace import Trace
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import Phase
+
+if TYPE_CHECKING:  # avoids a cycle: serving.latency imports the engine,
+    # which imports repro.obs for its recorder hooks.
+    from repro.serving.latency import LatencyModel
+
+
+def recording_to_trace(
+    recorder: RunRecorder,
+    latency: LatencyModel,
+    model: ModelConfig | Mapping[str, ModelConfig],
+    metadata: dict | None = None,
+) -> Trace:
+    """Build one Chrome-trace-exportable :class:`Trace` from a recorded run.
+
+    Args:
+        recorder: The recorder a serving simulation wrote into.
+        latency: The same latency model the simulation used (its platform,
+            mode, and engine config determine the replayed step traces).
+        model: The served model, or a name -> config mapping when the run
+            mixed models (agentic pipelines, speculative decoding).
+        metadata: Extra trace metadata (merged over the defaults).
+
+    Raises:
+        AnalysisError: when no steps were recorded or a step references a
+            model the mapping does not contain.
+    """
+    if not recorder.steps:
+        raise AnalysisError("recorded run has no steps to export")
+    models = model if isinstance(model, Mapping) else {model.name: model}
+
+    out = Trace(metadata={
+        "source": "repro.obs",
+        "platform": latency.platform.name,
+        "mode": latency.mode.value,
+        "models": sorted(models),
+        **(metadata or {}),
+    })
+    splicer = _Splicer(out)
+    for step in sorted(recorder.steps, key=lambda s: (s.ts_ns, s.index)):
+        if step.shape is not None:
+            if step.shape.model not in models:
+                raise AnalysisError(
+                    f"step {step.index} references model "
+                    f"{step.shape.model!r} not passed to the exporter")
+            result = latency.run_for(
+                models[step.shape.model],
+                batch_size=step.shape.batch_size,
+                seq_len=step.shape.seq_len,
+                phase=Phase(step.shape.phase),
+                context_len=step.shape.context_len,
+            )
+            splicer.splice(result.trace, step)
+        else:
+            splicer.synthesize(step, latency)
+        out.mark_iteration(step.ts_ns, step.ts_end_ns)
+    out.sort()
+    out.validate()
+    return out
+
+
+class _Splicer:
+    """Copies engine-trace events onto the serving clock with fresh ids."""
+
+    def __init__(self, out: Trace) -> None:
+        self._out = out
+        self._correlation = itertools.count(1)
+        self._graph_correlation = itertools.count(1)
+        self._seq = itertools.count(0)
+
+    def splice(self, engine_trace: Trace, step: StepEvent) -> None:
+        """Copy the engine trace's first measured iteration into the step."""
+        if not engine_trace.iterations:
+            raise AnalysisError(
+                f"engine trace for step {step.index} has no iterations")
+        mark = engine_trace.iterations[0]
+        offset = step.ts_ns - mark.ts
+        in_window = lambda e: mark.ts <= e.ts < mark.ts_end
+
+        ops = sorted((o for o in engine_trace.operators if in_window(o)),
+                     key=lambda o: (o.ts, o.seq, o.event_id))
+        for op in ops:
+            self._out.add(OperatorEvent(
+                name=op.name, ts=op.ts + offset, dur=op.dur, tid=op.tid,
+                seq=next(self._seq)))
+
+        remap: dict[int, int] = {}
+        for call in engine_trace.runtime_calls:
+            if not in_window(call):
+                continue
+            correlation = -1
+            if call.is_launch and call.correlation_id >= 0:
+                correlation = next(self._correlation)
+                remap[call.correlation_id] = correlation
+            self._out.add(RuntimeEvent(
+                name=call.name, ts=call.ts + offset, dur=call.dur,
+                tid=call.tid, correlation_id=correlation))
+
+        for kernel in engine_trace.kernels:
+            if kernel.correlation_id >= 0:
+                correlation = remap.get(kernel.correlation_id)
+                if correlation is None:
+                    continue  # launched outside the spliced iteration
+            elif in_window(kernel):
+                correlation = -next(self._graph_correlation) - 1_000_000_000
+            else:
+                continue
+            self._out.add(KernelEvent(
+                name=kernel.name, ts=kernel.ts + offset, dur=kernel.dur,
+                tid=0, correlation_id=correlation, stream=kernel.stream,
+                device=kernel.device, flops=kernel.flops,
+                bytes_moved=kernel.bytes_moved))
+
+    def synthesize(self, step: StepEvent, latency: LatencyModel) -> None:
+        """Emit a minimal analyzable iteration for a closed-form step."""
+        platform = latency.platform
+        call_dur = min(platform.launch_call_cpu_ns, step.dur_ns)
+        kernel_ts = min(step.ts_ns + platform.launch_latency_ns,
+                        step.ts_end_ns)
+        correlation = next(self._correlation)
+        self._out.add(OperatorEvent(
+            name=f"serving::{step.kind.value}", ts=step.ts_ns,
+            dur=step.dur_ns, tid=1, seq=next(self._seq)))
+        self._out.add(RuntimeEvent(
+            name=LAUNCH_KERNEL, ts=step.ts_ns, dur=call_dur, tid=1,
+            correlation_id=correlation))
+        self._out.add(KernelEvent(
+            name=f"serving_{step.kind.value}_kernel", ts=kernel_ts,
+            dur=step.ts_end_ns - kernel_ts, tid=0,
+            correlation_id=correlation))

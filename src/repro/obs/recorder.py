@@ -1,0 +1,187 @@
+"""RunRecorder — the serving/engine layers' write interface for observability.
+
+A recorder is passed (optionally) into any serving simulation or engine run.
+It appends structured events — request lifecycle spans and per-step engine
+invocations — and maintains the standard serving histograms (TTFT, TBT,
+batch size, queue depth, per-kind step latency) plus counters. Everything is
+O(1) per call; simulations that do not pass a recorder pay nothing.
+
+The recorded run can then be:
+
+* summarized (:meth:`RunRecorder.summary`) into percentile tables;
+* rendered as an ASCII timeline (:func:`repro.viz.render_serving_timeline`);
+* exported as a Chrome trace (:func:`repro.obs.recording_to_trace` followed
+  by :func:`repro.trace.chrome.dump`) that SKIP analyzes unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.obs.events import EngineShape, RequestSpan, StepEvent, StepKind
+from repro.obs.stats import CounterSet, Histogram, HistogramSummary
+from repro.units import format_ns
+
+#: Histogram names maintained by the recorder.
+H_TTFT = "ttft_ns"
+H_TBT = "tbt_ns"
+H_QUEUE_WAIT = "queue_wait_ns"
+H_BATCH_SIZE = "batch_size"
+H_QUEUE_DEPTH = "queue_depth"
+H_LAUNCH_QUEUE = "launch_queue_depth"
+H_LAUNCH_DELAY = "kernel_launch_delay_ns"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Percentile summaries and counters for one recorded run."""
+
+    requests_completed: int
+    steps: int
+    span_ns: float
+    histograms: dict[str, HistogramSummary]
+    counters: dict[str, float]
+
+    def render(self, title: str = "serving run") -> str:
+        """Human-readable summary block."""
+        lines = [title, "-" * len(title),
+                 f"requests completed : {self.requests_completed}",
+                 f"engine steps       : {self.steps}",
+                 f"timeline span      : {format_ns(self.span_ns)}"]
+        labels = {H_TTFT: "TTFT", H_TBT: "TBT", H_QUEUE_WAIT: "queue wait",
+                  H_LAUNCH_DELAY: "launch delay"}
+        for name, summary in sorted(self.histograms.items()):
+            label = labels.get(name, name.removesuffix("_ns"))
+            if name.endswith("_ns"):
+                lines.append(
+                    f"{label:<18} : mean {format_ns(summary.mean)}"
+                    f"  p50 {format_ns(summary.p50)}"
+                    f"  p99 {format_ns(summary.p99)}")
+            else:
+                lines.append(
+                    f"{label:<18} : mean {summary.mean:.1f}"
+                    f"  p50 {summary.p50:.0f}  max {summary.maximum:.0f}")
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name:<18} : {value:.0f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RunRecorder:
+    """Low-overhead structured-event recorder for serving/engine runs."""
+
+    steps: list[StepEvent] = field(default_factory=list)
+    spans: dict[int, RequestSpan] = field(default_factory=dict)
+    counters: CounterSet = field(default_factory=CounterSet)
+    _histograms: dict[str, Histogram] = field(default_factory=dict, repr=False)
+    _last_token_ns: dict[int, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def on_admitted(self, request_id: int, arrival_ns: float,
+                    admitted_ns: float) -> None:
+        """A request left the queue and entered a prefill batch."""
+        if admitted_ns < arrival_ns:
+            raise AnalysisError(
+                f"request {request_id} admitted before it arrived")
+        self.spans[request_id] = RequestSpan(
+            request_id=request_id, arrival_ns=arrival_ns,
+            admitted_ns=admitted_ns)
+        self.histogram(H_QUEUE_WAIT).observe(admitted_ns - arrival_ns)
+        self.counters.add("requests_admitted")
+
+    def on_first_token(self, request_id: int, ts_ns: float) -> None:
+        """A request produced its first token (end of its prefill)."""
+        span = self._span(request_id)
+        span.first_token_ns = ts_ns
+        self._last_token_ns[request_id] = ts_ns
+        self.histogram(H_TTFT).observe(ts_ns - span.arrival_ns)
+
+    def on_token(self, request_id: int, ts_ns: float) -> None:
+        """A request produced one decode token; feeds the TBT histogram."""
+        last = self._last_token_ns.get(request_id)
+        if last is not None:
+            self.histogram(H_TBT).observe(ts_ns - last)
+        self._last_token_ns[request_id] = ts_ns
+        self.counters.add("tokens_generated")
+
+    def on_completed(self, request_id: int, ts_ns: float) -> None:
+        """A request finished generating."""
+        span = self._span(request_id)
+        span.completed_ns = ts_ns
+        self._last_token_ns.pop(request_id, None)
+        self.counters.add("requests_completed")
+
+    # ------------------------------------------------------------------
+    # Engine steps
+    # ------------------------------------------------------------------
+    def record_step(
+        self,
+        kind: StepKind,
+        ts_ns: float,
+        dur_ns: float,
+        batch_size: int,
+        queue_depth: int = 0,
+        shape: EngineShape | None = None,
+    ) -> StepEvent:
+        """Record one engine invocation on the serving timeline."""
+        step = StepEvent(index=len(self.steps), kind=kind, ts_ns=ts_ns,
+                         dur_ns=dur_ns, batch_size=batch_size,
+                         queue_depth=queue_depth, shape=shape)
+        self.steps.append(step)
+        self.histogram(H_BATCH_SIZE).observe(float(batch_size))
+        self.histogram(H_QUEUE_DEPTH).observe(float(queue_depth))
+        self.histogram(f"step_{kind.value}_ns").observe(dur_ns)
+        self.counters.add(f"steps_{kind.value}")
+        return step
+
+    def observe_launch_queue(self, depth: int) -> None:
+        """Sample the CUDA launch-queue occupancy (executor hook)."""
+        self.histogram(H_LAUNCH_QUEUE).observe(float(depth))
+
+    def observe_launch_delay(self, delay_ns: float) -> None:
+        """Sample one kernel's launch-to-start delay (the paper's t_l)."""
+        self.histogram(H_LAUNCH_DELAY).observe(delay_ns)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    @property
+    def span_ns(self) -> float:
+        """Serving-clock span covered by the recorded steps."""
+        if not self.steps:
+            return 0.0
+        return (max(s.ts_end_ns for s in self.steps)
+                - min(s.ts_ns for s in self.steps))
+
+    def completed_spans(self) -> list[RequestSpan]:
+        """Spans of completed requests, by completion time."""
+        done = [s for s in self.spans.values() if s.complete]
+        done.sort(key=lambda s: s.completed_ns)
+        return done
+
+    def summary(self) -> RunSummary:
+        """Summarize every non-empty histogram plus the counters."""
+        return RunSummary(
+            requests_completed=len(self.completed_spans()),
+            steps=len(self.steps),
+            span_ns=self.span_ns,
+            histograms={name: h.summary()
+                        for name, h in self._histograms.items()
+                        if not h.empty},
+            counters=self.counters.as_dict(),
+        )
+
+    def _span(self, request_id: int) -> RequestSpan:
+        try:
+            return self.spans[request_id]
+        except KeyError:
+            raise AnalysisError(
+                f"request {request_id} has no recorded admission") from None

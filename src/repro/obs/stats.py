@@ -1,0 +1,109 @@
+"""Counters and weighted histograms for the observability layer.
+
+The serving simulations are single-threaded and deterministic, so the
+implementations favour simplicity: a histogram keeps its raw (value, weight)
+observations and computes weighted nearest-rank percentiles on demand. At
+simulation scale (thousands of steps) this is far below the cost of a single
+engine run, which keeps the recorder's overhead negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Point-in-time summary of one histogram."""
+
+    name: str
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+
+@dataclass
+class Histogram:
+    """A weighted histogram of float observations.
+
+    ``observe(value, count)`` records ``count`` occurrences of ``value`` in
+    O(1); percentiles sort lazily. Weights let per-step observations stand in
+    for per-request ones (a decode step contributes one time-between-tokens
+    sample per active sequence).
+    """
+
+    name: str
+    _values: list[float] = field(default_factory=list, repr=False)
+    _weights: list[float] = field(default_factory=list, repr=False)
+
+    def observe(self, value: float, count: float = 1.0) -> None:
+        if count <= 0:
+            raise AnalysisError(f"histogram {self.name}: count must be positive")
+        self._values.append(float(value))
+        self._weights.append(float(count))
+
+    @property
+    def count(self) -> float:
+        return sum(self._weights)
+
+    @property
+    def empty(self) -> bool:
+        return not self._values
+
+    def mean(self) -> float:
+        if self.empty:
+            raise AnalysisError(f"histogram {self.name} is empty")
+        total = sum(v * w for v, w in zip(self._values, self._weights))
+        return total / self.count
+
+    def percentile(self, p: float) -> float:
+        """Weighted nearest-rank percentile; ``p`` in [0, 100]."""
+        if not (0.0 <= p <= 100.0):
+            raise AnalysisError("percentile must be in [0, 100]")
+        if self.empty:
+            raise AnalysisError(f"histogram {self.name} is empty")
+        pairs = sorted(zip(self._values, self._weights))
+        total = sum(w for _, w in pairs)
+        rank = p / 100.0 * total
+        cumulative = 0.0
+        for value, weight in pairs:
+            cumulative += weight
+            if cumulative >= rank:
+                return value
+        return pairs[-1][0]
+
+    def summary(self) -> HistogramSummary:
+        return HistogramSummary(
+            name=self.name,
+            count=int(self.count),
+            mean=self.mean(),
+            minimum=min(self._values),
+            maximum=max(self._values),
+            p50=self.percentile(50),
+            p90=self.percentile(90),
+            p99=self.percentile(99),
+        )
+
+
+@dataclass
+class CounterSet:
+    """A named set of monotonically increasing counters."""
+
+    _counts: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise AnalysisError(f"counter {name}: amount must be non-negative")
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._counts)

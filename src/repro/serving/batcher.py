@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
 from repro.serving.requests import Request, RequestOutcome
 from repro.workloads.config import ModelConfig
@@ -76,6 +78,7 @@ def simulate_static_batching(
     model: ModelConfig,
     latency: LatencyModel,
     policy: StaticBatchPolicy = StaticBatchPolicy(),
+    recorder: RunRecorder | None = None,
 ) -> ServingReport:
     """Run a static-batching serving loop over an arrival stream.
 
@@ -83,6 +86,10 @@ def simulate_static_batching(
     request has waited ``max_wait_ns``, then runs prefill + decode for the
     whole batch (padded to the longest prompt/output in the batch — the
     classic static-batching inefficiency).
+
+    A recorder, when given, sees each batch as one engine-shaped prefill step
+    plus a closed-form generation step (decode here is priced by a trapezoid
+    integral, not per-step engine runs).
     """
     if not requests:
         raise ConfigurationError("no requests to serve")
@@ -108,6 +115,22 @@ def simulate_static_batching(
         ttft = latency.ttft_ns(model, batch_size, prompt_len)
         total = latency.generation_ns(model, batch_size, prompt_len,
                                       output_tokens)
+        if recorder is not None:
+            waiting = sum(1 for r in pending[j:] if r.arrival_ns <= launch_ns)
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch_ns)
+            recorder.record_step(
+                StepKind.PREFILL, launch_ns, ttft, batch_size,
+                queue_depth=waiting,
+                shape=EngineShape(model.name, batch_size, prompt_len))
+            if total > ttft:
+                recorder.record_step(StepKind.GENERATION, launch_ns + ttft,
+                                     total - ttft, batch_size,
+                                     queue_depth=waiting)
+            for request in batch:
+                recorder.on_first_token(request.request_id, launch_ns + ttft)
+                recorder.on_completed(request.request_id, launch_ns + total)
         for request in batch:
             queued = launch_ns - request.arrival_ns
             outcomes.append(RequestOutcome(

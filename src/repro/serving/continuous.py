@@ -10,14 +10,21 @@ batch, so one slow request never holds a batch hostage.
 Decode-step latencies are looked up through the engine-backed LatencyModel
 with context lengths bucketed (decode cost is near-affine in context, and
 bucketing bounds the number of engine runs).
+
+Passing a :class:`repro.obs.RunRecorder` records every admission, prefill
+batch, decode step, token, and completion; the recorded run exports as a
+SKIP-analyzable Chrome trace (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
 from repro.serving.batcher import ServingReport
 from repro.serving.latency import LatencyModel
 from repro.serving.requests import Request, RequestOutcome
@@ -58,16 +65,22 @@ def simulate_continuous_batching(
     model: ModelConfig,
     latency: LatencyModel,
     policy: ContinuousBatchPolicy = ContinuousBatchPolicy(),
+    recorder: RunRecorder | None = None,
 ) -> ServingReport:
     """Run an iteration-level serving loop over an arrival stream."""
     if not requests:
         raise ConfigurationError("no requests to serve")
 
     pending = sorted(requests, key=lambda r: r.arrival_ns)
+    arrivals = [r.arrival_ns for r in pending]
     active: list[_Sequence] = []
     outcomes: list[RequestOutcome] = []
     clock = 0.0
     next_pending = 0
+
+    def queue_depth() -> int:
+        """Requests that have arrived but are not yet admitted."""
+        return bisect_right(arrivals, clock) - next_pending
 
     def admit() -> None:
         nonlocal clock, next_pending
@@ -82,6 +95,14 @@ def simulate_continuous_batching(
             return
         prompt_len = max(r.prompt_len for r in batch)
         prefill_ns = latency.ttft_ns(model, len(batch), prompt_len)
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     clock)
+            recorder.record_step(
+                StepKind.PREFILL, clock, prefill_ns, len(batch),
+                queue_depth=queue_depth(),
+                shape=EngineShape(model.name, len(batch), prompt_len))
         clock += prefill_ns
         for request in batch:
             active.append(_Sequence(
@@ -91,6 +112,8 @@ def simulate_continuous_batching(
                 context=request.prompt_len + 1,
                 last_token_ns=clock - request.arrival_ns,
             ))
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, clock)
 
     while next_pending < len(pending) or active:
         if not active:
@@ -102,17 +125,27 @@ def simulate_continuous_batching(
         context = max(seq.context for seq in active)
         bucketed = -(-context // policy.context_bucket) * policy.context_bucket
         step_ns = latency.decode_step_ns(model, len(active), bucketed)
+        if recorder is not None:
+            recorder.record_step(
+                StepKind.DECODE, clock, step_ns, len(active),
+                queue_depth=queue_depth(),
+                shape=EngineShape(model.name, len(active), 1,
+                                  phase="decode", context_len=bucketed))
         clock += step_ns
         finished: list[_Sequence] = []
         for seq in active:
             seq.context += 1
             seq.last_token_ns = clock - seq.request.arrival_ns
+            if recorder is not None:
+                recorder.on_token(seq.request.request_id, clock)
             if seq.remaining <= 0:
                 finished.append(seq)
             else:
                 seq.remaining -= 1
         for seq in finished:
             active.remove(seq)
+            if recorder is not None:
+                recorder.on_completed(seq.request.request_id, clock)
             outcomes.append(RequestOutcome(
                 request=seq.request,
                 ttft_ns=seq.first_token_ns,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.executor import EngineConfig, run
+from repro.engine.executor import EngineConfig, RunResult, run
 from repro.engine.modes import ExecutionMode
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
@@ -32,6 +32,25 @@ class LatencyModel:
     engine_config: EngineConfig = field(default=_FAST_CONFIG)
     _ttft_cache: dict = field(default_factory=dict, repr=False)
     _decode_cache: dict = field(default_factory=dict, repr=False)
+    _result_cache: dict = field(default_factory=dict, repr=False)
+
+    def run_for(self, model: ModelConfig, batch_size: int, seq_len: int,
+                phase: Phase = Phase.PREFILL,
+                context_len: int | None = None) -> RunResult:
+        """The memoized engine run behind one (model, shape) lookup.
+
+        Used by the trace exporter (:mod:`repro.obs.export`) to recover the
+        full kernel-level trace of a serving step. Results are cached
+        separately from the scalar latency caches, so ordinary serving
+        simulations never retain traces.
+        """
+        key = (model.name, batch_size, seq_len, phase.value, context_len)
+        if key not in self._result_cache:
+            self._result_cache[key] = run(
+                model, self.platform, batch_size=batch_size, seq_len=seq_len,
+                phase=phase, context_len=context_len, mode=self.mode,
+                config=self.engine_config)
+        return self._result_cache[key]
 
     def ttft_ns(self, model: ModelConfig, batch_size: int, prompt_len: int) -> float:
         """Prefill latency (time-to-first-token)."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
 from repro.workloads.config import ModelConfig
 
@@ -73,22 +75,34 @@ class AgenticPipeline:
         self.stages = list(stages)
         self.latency = latency
 
-    def run(self, batch_size: int = 1) -> PipelineResult:
+    def run(self, batch_size: int = 1,
+            recorder: RunRecorder | None = None) -> PipelineResult:
         """Evaluate end-to-end latency when every stage runs at ``batch_size``.
 
         Larger batch sizes model a deployment that batches concurrent
-        pipeline executions at each stage; latency compounds per stage.
+        pipeline executions at each stage; latency compounds per stage. A
+        recorder sees each stage as a prefill step (engine-shaped) followed
+        by a closed-form generation step on one compounding clock.
         """
         if batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
         results: list[StageLatency] = []
         upstream_tokens = 0
+        clock = 0.0
         for stage in self.stages:
             prompt = stage.prompt_len + (upstream_tokens
                                          if stage.consumes_upstream else 0)
             ttft = self.latency.ttft_ns(stage.model, batch_size, prompt)
             total = self.latency.generation_ns(stage.model, batch_size, prompt,
                                                stage.output_tokens)
+            if recorder is not None:
+                recorder.record_step(
+                    StepKind.PREFILL, clock, ttft, batch_size,
+                    shape=EngineShape(stage.model.name, batch_size, prompt))
+                if total > ttft:
+                    recorder.record_step(StepKind.GENERATION, clock + ttft,
+                                         total - ttft, batch_size)
+            clock += total
             results.append(StageLatency(stage=stage.name, prompt_len=prompt,
                                         ttft_ns=ttft, total_ns=total))
             upstream_tokens = stage.output_tokens

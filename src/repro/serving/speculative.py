@@ -20,9 +20,12 @@ Latency model per round (draft length K, acceptance rate a):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
 from repro.workloads.config import ModelConfig
 
@@ -76,12 +79,16 @@ def speculative_generation_ns(
     prompt_len: int = 256,
     output_tokens: int = 128,
     batch_size: int = 1,
+    recorder: RunRecorder | None = None,
 ) -> SpeculativeLatency:
     """Compare plain decoding against draft-and-verify decoding.
 
     Both paths pay the target model's prefill; the decode phase differs.
     Context-length growth is approximated at the mid-generation point (decode
-    latency is near-affine in context).
+    latency is near-affine in context). A recorder sees the speculative
+    path's timeline: the target prefill, then per-round draft decode steps
+    and verification passes (the fractional last round is recorded as a
+    closed-form step so recorded time matches the returned latency exactly).
     """
     if output_tokens <= 0:
         raise ConfigurationError("output_tokens must be positive")
@@ -99,6 +106,33 @@ def speculative_generation_ns(
     per_round = config.draft_tokens * draft_step + verify
     rounds = output_tokens / config.expected_tokens_per_round
     speculative = prefill + rounds * per_round
+
+    if recorder is not None:
+        clock = 0.0
+        recorder.record_step(
+            StepKind.PREFILL, clock, prefill, batch_size,
+            shape=EngineShape(target.name, batch_size, prompt_len))
+        clock += prefill
+        draft_shape = EngineShape(draft.name, batch_size, 1, phase="decode",
+                                  context_len=mid_context)
+        verify_shape = EngineShape(target.name, batch_size,
+                                   config.draft_tokens)
+        for _ in range(math.floor(rounds)):
+            for _ in range(config.draft_tokens):
+                recorder.record_step(StepKind.DRAFT, clock, draft_step,
+                                     batch_size, shape=draft_shape)
+                clock += draft_step
+            recorder.record_step(StepKind.VERIFY, clock, verify, batch_size,
+                                 shape=verify_shape)
+            clock += verify
+        remainder = rounds - math.floor(rounds)
+        if remainder > 1e-9:
+            recorder.record_step(StepKind.DRAFT, clock,
+                                 remainder * config.draft_tokens * draft_step,
+                                 batch_size)
+            clock += remainder * config.draft_tokens * draft_step
+            recorder.record_step(StepKind.VERIFY, clock, remainder * verify,
+                                 batch_size)
 
     return SpeculativeLatency(
         baseline_ns=baseline,

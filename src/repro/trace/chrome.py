@@ -32,7 +32,12 @@ _GPU_WORK_CATEGORIES = frozenset({CAT_KERNEL, "gpu_memcpy", "gpu_memset"})
 def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
     """Convert a trace to a list of Chrome-trace event dicts.
 
-    Timestamps are emitted in microseconds (the Chrome trace unit).
+    Timestamps are emitted in microseconds (the Chrome trace unit). Each
+    event also carries exact-nanosecond ``ts_ns``/``dur_ns`` args: the
+    ns -> us -> ns conversion costs a float ulp per timestamp, which is
+    enough to flip operator-nesting containment at shared boundaries, and
+    the round-trip tests require bit-identical SKIP metrics. Real profiler
+    traces omit the sidecar; the importer falls back to the us fields.
     """
     events: list[dict[str, Any]] = []
     for op in trace.operators:
@@ -45,7 +50,8 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "dur": op.dur / US,
                 "pid": 0,
                 "tid": op.tid,
-                "args": {"Sequence number": op.seq},
+                "args": {"Sequence number": op.seq,
+                         "ts_ns": op.ts, "dur_ns": op.dur},
             }
         )
     for call in trace.runtime_calls:
@@ -58,10 +64,24 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "dur": call.dur / US,
                 "pid": 0,
                 "tid": call.tid,
-                "args": {"correlation": call.correlation_id},
+                "args": {"correlation": call.correlation_id,
+                         "ts_ns": call.ts, "dur_ns": call.dur},
             }
         )
     for kernel in trace.kernels:
+        args: dict[str, Any] = {
+            "correlation": kernel.correlation_id,
+            "stream": kernel.stream,
+            "device": kernel.device,
+            "ts_ns": kernel.ts,
+            "dur_ns": kernel.dur,
+        }
+        # Simulator-only roofline annotations; real profiler traces omit
+        # them, and the importer tolerates their absence.
+        if kernel.flops:
+            args["flops"] = kernel.flops
+        if kernel.bytes_moved:
+            args["bytes_moved"] = kernel.bytes_moved
         events.append(
             {
                 "name": kernel.name,
@@ -71,11 +91,7 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "dur": kernel.dur / US,
                 "pid": 1,
                 "tid": kernel.stream,
-                "args": {
-                    "correlation": kernel.correlation_id,
-                    "stream": kernel.stream,
-                    "device": kernel.device,
-                },
+                "args": args,
             }
         )
     for mark in trace.iterations:
@@ -88,7 +104,7 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "dur": (mark.ts_end - mark.ts) / US,
                 "pid": 0,
                 "tid": 0,
-                "args": {},
+                "args": {"ts_ns": mark.ts, "dur_ns": mark.ts_end - mark.ts},
             }
         )
     return events
@@ -119,10 +135,16 @@ def _parse_event(raw: dict[str, Any], trace: Trace) -> None:
         return
     cat = raw.get("cat", "")
     name = raw.get("name", "")
-    ts = float(raw.get("ts", 0.0)) * US / NS
-    dur = float(raw.get("dur", 0.0)) * US / NS
     tid = int(raw.get("tid", 0))
     args = raw.get("args", {}) or {}
+    # Prefer the simulator's exact-ns sidecar; real profiler traces only
+    # have the microsecond fields.
+    if "ts_ns" in args:
+        ts = float(args["ts_ns"])
+        dur = float(args.get("dur_ns", 0.0))
+    else:
+        ts = float(raw.get("ts", 0.0)) * US / NS
+        dur = float(raw.get("dur", 0.0)) * US / NS
     if cat == CAT_OPERATOR:
         trace.add(OperatorEvent(name=name, ts=ts, dur=dur, tid=tid,
                                 seq=int(args.get("Sequence number", -1))))
@@ -139,6 +161,8 @@ def _parse_event(raw: dict[str, Any], trace: Trace) -> None:
                 correlation_id=int(args.get("correlation", -1)),
                 stream=int(args.get("stream", tid)),
                 device=int(args.get("device", 0)),
+                flops=float(args.get("flops", 0.0)),
+                bytes_moved=float(args.get("bytes_moved", 0.0)),
             )
         )
     elif cat == CAT_ITERATION and name.startswith(ITERATION_NAME):

@@ -2,10 +2,12 @@
 
 from repro.viz.tables import render_series, render_table, sparkline
 from repro.viz.timeline import TimelineOptions, render_timeline
+from repro.viz.serving import render_serving_timeline
 
 __all__ = [
     "TimelineOptions",
     "render_series",
+    "render_serving_timeline",
     "render_table",
     "render_timeline",
     "sparkline",

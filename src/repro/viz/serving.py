@@ -1,0 +1,93 @@
+"""ASCII timeline rendering for recorded serving runs.
+
+The trace-level :func:`repro.viz.render_timeline` shows individual kernels;
+serving runs span seconds, so this renderer works at step granularity
+instead: one lane per step kind (prefill, decode, ...) plus occupancy
+profiles for active requests and the admission queue, sampled per column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.obs.events import StepKind
+from repro.obs.recorder import RunRecorder
+from repro.units import format_ns
+from repro.viz.timeline import TimelineOptions, _paint
+
+#: Lane characters per step kind (legend order).
+_KIND_CHARS = {
+    StepKind.PREFILL: "P",
+    StepKind.DECODE: "d",
+    StepKind.GENERATION: "g",
+    StepKind.DRAFT: "r",
+    StepKind.VERIFY: "v",
+    StepKind.ENGINE: "e",
+}
+
+
+def _profile_chars(samples: list[int]) -> str:
+    """Render per-column integer occupancy as digits ('+' above 9)."""
+    return "".join("." if s <= 0 else str(s) if s <= 9 else "+"
+                   for s in samples)
+
+
+def render_serving_timeline(
+    recorder: RunRecorder,
+    options: TimelineOptions = TimelineOptions(),
+) -> str:
+    """Render a recorded serving run as step lanes plus occupancy profiles.
+
+    Lanes (top to bottom): one per step kind present in the run, painted
+    with the kind's legend character; ``active`` — requests admitted but not
+    completed per column; ``queue`` — the max recorded admission-queue depth
+    of the steps overlapping each column.
+    """
+    if not recorder.steps:
+        raise AnalysisError("recorded run has no steps to render")
+    span_begin = min(s.ts_ns for s in recorder.steps)
+    span_end = max(s.ts_end_ns for s in recorder.steps)
+    begin = options.begin_ns if options.begin_ns is not None else span_begin
+    end = options.end_ns if options.end_ns is not None else span_end
+    if end <= begin:
+        raise AnalysisError("window end must exceed begin")
+    width = options.width
+    scale = width / (end - begin)
+    column_ns = (end - begin) / width
+
+    kinds = [kind for kind in _KIND_CHARS
+             if any(s.kind is kind for s in recorder.steps)]
+    lanes = {kind: ["."] * width for kind in kinds}
+    queue = [0] * width
+    for step in recorder.steps:
+        if step.ts_end_ns < begin or step.ts_ns > end:
+            continue
+        _paint(lanes[step.kind], step.ts_ns, step.ts_end_ns, begin, scale,
+               _KIND_CHARS[step.kind], width)
+        first = max(0, min(width - 1, int((step.ts_ns - begin) * scale)))
+        last = max(first, min(width - 1, int((step.ts_end_ns - begin) * scale)))
+        for col in range(first, last + 1):
+            queue[col] = max(queue[col], step.queue_depth)
+
+    active = [0] * width
+    for span in recorder.spans.values():
+        if span.admitted_ns is None:
+            continue
+        left = span.admitted_ns
+        right = span.completed_ns if span.completed_ns is not None else end
+        for col in range(width):
+            col_begin = begin + col * column_ns
+            if left < col_begin + column_ns and right > col_begin:
+                active[col] += 1
+
+    label_width = max(len("active"), *(len(k.value) for k in kinds))
+    lines = [f"serving timeline {format_ns(begin)} .. {format_ns(end)} "
+             f"({format_ns(end - begin)} window)"]
+    for kind in kinds:
+        lines.append(f"{kind.value:<{label_width}} " + "".join(lanes[kind]))
+    lines.append(f"{'active':<{label_width}} " + _profile_chars(active))
+    lines.append(f"{'queue':<{label_width}} " + _profile_chars(queue))
+    legend = "   ".join(f"{char} {kind.value}"
+                        for kind, char in _KIND_CHARS.items()
+                        if kind in kinds)
+    lines.append(f"legend: {legend}   digits: occupancy   . idle")
+    return "\n".join(lines)

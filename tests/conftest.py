@@ -19,6 +19,13 @@ from repro.workloads import BERT_BASE, GPT2, LLAMA_3_2_1B, XLM_ROBERTA_BASE
 SWEEP_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/data/*.json from the current "
+             "simulator output instead of comparing against it")
+
+
 @pytest.fixture(scope="session")
 def fast_engine_config() -> EngineConfig:
     """Single-iteration engine config for tests that don't mine chains."""

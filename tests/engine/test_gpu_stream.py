@@ -75,3 +75,18 @@ def test_nth_start():
 def test_invalid_submissions_rejected(arrival, duration, gap):
     with pytest.raises(SimulationError):
         GpuStream().submit(arrival, duration, gap_ns=gap)
+
+
+def test_pending_at_counts_submitted_not_started():
+    stream = GpuStream()
+    stream.submit(100.0, 50.0)   # runs 100-150
+    stream.submit(110.0, 50.0)   # queued, runs 150-200
+    stream.submit(120.0, 50.0)   # queued, runs 200-250
+    assert stream.pending_at(90.0) == 3   # nothing has started yet
+    assert stream.pending_at(100.0) == 2  # first started exactly at 100
+    assert stream.pending_at(160.0) == 1
+    assert stream.pending_at(300.0) == 0
+
+
+def test_pending_at_empty_stream():
+    assert GpuStream().pending_at(0.0) == 0

@@ -1,0 +1,86 @@
+"""Golden-file harness for the paper-figure regression tests.
+
+A golden test computes a small JSON-able summary of one paper figure and
+compares it against the committed file in ``tests/golden/data/`` within a
+relative tolerance. Running pytest with ``--update-golden`` rewrites the
+files from the current simulator output instead (the test then skips, so a
+regeneration run never silently "passes" a comparison it did not make).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Relative tolerance for float comparisons. The simulator is deterministic,
+#: so goldens reproduce near-exactly on any platform; the slack only covers
+#: float summation differences across Python/libm builds.
+DEFAULT_RTOL = 1e-6
+
+
+def _compare(path: str, expected, actual, rtol: float,
+             errors: list[str]) -> None:
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        if set(expected) != set(actual):
+            errors.append(f"{path}: keys {sorted(expected)} != "
+                          f"{sorted(actual)}")
+            return
+        for key in expected:
+            _compare(f"{path}.{key}", expected[key], actual[key], rtol,
+                     errors)
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            errors.append(f"{path}: length {len(expected)} != {len(actual)}")
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _compare(f"{path}[{i}]", e, a, rtol, errors)
+    elif isinstance(expected, float) or isinstance(actual, float):
+        if actual != pytest.approx(expected, rel=rtol, abs=1e-12):
+            errors.append(f"{path}: {actual!r} != golden {expected!r} "
+                          f"(rtol={rtol})")
+    elif expected != actual:
+        errors.append(f"{path}: {actual!r} != golden {expected!r}")
+
+
+@dataclass(frozen=True)
+class GoldenChecker:
+    """Compares a computed summary against one committed golden JSON."""
+
+    update: bool
+
+    def check(self, name: str, actual, rtol: float = DEFAULT_RTOL) -> None:
+        """Assert ``actual`` matches ``data/<name>.json`` within ``rtol``.
+
+        With ``--update-golden`` the file is rewritten and the test skips.
+        """
+        path = DATA_DIR / f"{name}.json"
+        # Round-trip through JSON so tuples/ints normalize exactly the way
+        # the committed file stores them.
+        actual = json.loads(json.dumps(actual))
+        if self.update:
+            DATA_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                            + "\n")
+            pytest.skip(f"updated golden {path.name}")
+        if not path.exists():
+            pytest.fail(f"golden file {path} missing; run pytest "
+                        f"tests/golden --update-golden to create it")
+        expected = json.loads(path.read_text())
+        errors: list[str] = []
+        _compare(name, expected, actual, rtol, errors)
+        if errors:
+            shown = "\n  ".join(errors[:20])
+            pytest.fail(f"golden mismatch for {path.name} "
+                        f"({len(errors)} differences):\n  {shown}\n"
+                        f"If the change is intentional, regenerate with "
+                        f"pytest tests/golden --update-golden")
+
+
+@pytest.fixture
+def golden(request: pytest.FixtureRequest) -> GoldenChecker:
+    return GoldenChecker(update=request.config.getoption("--update-golden"))

@@ -1,0 +1,64 @@
+"""Golden regression tests for the paper-figure benchmarks.
+
+These lock the committed numbers behind Fig. 6 (TKLQT flat -> growing
+across batch sizes, with the CPU->GPU-bound transition star), Fig. 8 (ideal
+fusion speedup vs chain length) and Table V (nullKernel launch costs). The
+figure benchmarks in ``benchmarks/`` assert loose paper-anchor ranges; the
+goldens here pin the exact simulator output so an innocent-looking engine or
+calibration change cannot silently move a published number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import PAPER_PLATFORMS, nullkernel_table
+from repro.skip import analyze_trace
+
+#: Fig. 8 chain-length ladder.
+FIG8_LENGTHS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+_PLATFORM_SLUGS = {
+    "Intel+H100": "intel_h100",
+    "AMD+A100": "amd_a100",
+    "GH200": "gh200",
+}
+
+
+@pytest.mark.parametrize("platform", sorted(_PLATFORM_SLUGS))
+def test_fig6_tklqt_golden(bert_sweep, golden, platform):
+    """Fig. 6: per-platform TKLQT series and transition batch size."""
+    transition = bert_sweep.transition(platform)
+    golden.check(f"fig6_tklqt_{_PLATFORM_SLUGS[platform]}", {
+        "model": "bert-base-uncased",
+        "platform": platform,
+        "batch_sizes": list(transition.batch_sizes),
+        "tklqt_ns": list(transition.tklqt_ns),
+        "transition_batch_size": transition.batch_size,
+        "plateau_tklqt_ns": transition.plateau_tklqt_ns,
+    })
+
+
+def test_fig8_ideal_speedup_golden(gpt2_profile, golden):
+    """Fig. 8: GPT-2 ideal fusion speedup per chain length (Intel+H100)."""
+    analyses = analyze_trace(gpt2_profile.trace, lengths=FIG8_LENGTHS)
+    golden.check("fig8_ideal_speedup_gpt2", {
+        "model": "gpt2",
+        "platform": "Intel+H100",
+        "lengths": list(FIG8_LENGTHS),
+        "ideal_speedups": [a.ideal_speedup for a in analyses],
+        "k_eager": [a.k_eager for a in analyses],
+        "k_fused": [a.k_fused for a in analyses],
+    })
+
+
+def test_table5_nullkernel_golden(golden):
+    """Table V: nullKernel launch overhead and duration per platform."""
+    rows = nullkernel_table(PAPER_PLATFORMS, samples=1000)
+    golden.check("table5_nullkernel", {
+        row.platform: {
+            "launch_overhead_ns": row.launch_overhead_ns,
+            "duration_ns": row.duration_ns,
+        }
+        for row in rows
+    })

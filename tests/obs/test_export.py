@@ -1,0 +1,59 @@
+"""Recorded-run -> Trace export (the self-hosting substrate)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.hardware import INTEL_H100
+from repro.obs import EngineShape, RunRecorder, StepKind, recording_to_trace
+from repro.serving import LatencyModel
+from repro.skip import compute_metrics
+from repro.workloads import GPT2
+
+
+def test_export_one_iteration_per_step(recorded_run):
+    recorder, latency, _, _ = recorded_run
+    trace = recording_to_trace(recorder, latency, GPT2)
+    assert len(trace.iterations) == len(recorder.steps)
+    assert trace.metadata["source"] == "repro.obs"
+    assert trace.metadata["models"] == ["gpt2"]
+    # Iteration marks line up with the recorded serving clock.
+    for mark, step in zip(trace.iterations,
+                          sorted(recorder.steps, key=lambda s: s.ts_ns)):
+        assert mark.ts == pytest.approx(step.ts_ns)
+        assert mark.ts_end == pytest.approx(step.ts_end_ns)
+
+
+def test_exported_trace_is_skip_analyzable(recorded_run):
+    recorder, latency, _, _ = recorded_run
+    trace = recording_to_trace(recorder, latency, GPT2)
+    metrics = compute_metrics(trace)
+    assert metrics.tklqt_ns >= 0
+    assert metrics.akd_ns > 0
+    assert metrics.kernel_launches > 0
+
+
+def test_empty_recording_rejected():
+    latency = LatencyModel(INTEL_H100)
+    with pytest.raises(AnalysisError, match="no steps"):
+        recording_to_trace(RunRecorder(), latency, GPT2)
+
+
+def test_unknown_model_rejected():
+    latency = LatencyModel(INTEL_H100)
+    recorder = RunRecorder()
+    recorder.record_step(StepKind.PREFILL, 0.0, 100.0, 1,
+                         shape=EngineShape("not-served", 1, 64))
+    with pytest.raises(AnalysisError, match="not-served"):
+        recording_to_trace(recorder, latency, GPT2)
+
+
+def test_closed_form_steps_synthesized():
+    """Steps without an engine shape still become analyzable iterations."""
+    latency = LatencyModel(INTEL_H100)
+    recorder = RunRecorder()
+    recorder.record_step(StepKind.GENERATION, 0.0, 5e6, 2)
+    trace = recording_to_trace(recorder, latency, GPT2)
+    assert len(trace.iterations) == 1
+    assert any(op.name == "serving::generation" for op in trace.operators)
+    metrics = compute_metrics(trace)
+    assert metrics.kernel_launches == 1

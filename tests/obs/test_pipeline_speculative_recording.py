@@ -1,0 +1,69 @@
+"""Recording the agentic-pipeline and speculative-decoding layers.
+
+Both run on a compounding clock rather than an arrival stream; the recorded
+step timeline must account for exactly the latency the layer reports, and a
+multi-model recording must export through the name -> config mapping path.
+"""
+
+import pytest
+
+from repro.hardware import INTEL_H100
+from repro.obs import RunRecorder, StepKind, recording_to_trace
+from repro.serving import (
+    AgenticPipeline,
+    LatencyModel,
+    PipelineStage,
+    SpeculativeConfig,
+    speculative_generation_ns,
+)
+from repro.skip import compute_metrics
+from repro.workloads import GPT2, LLAMA_3_2_1B
+
+
+@pytest.fixture(scope="module")
+def latency():
+    return LatencyModel(INTEL_H100)
+
+
+def test_pipeline_steps_account_for_total_latency(latency):
+    pipeline = AgenticPipeline([
+        PipelineStage("planner", LLAMA_3_2_1B, prompt_len=128,
+                      output_tokens=16),
+        PipelineStage("worker", GPT2, prompt_len=64, output_tokens=16),
+    ], latency)
+    recorder = RunRecorder()
+    result = pipeline.run(batch_size=2, recorder=recorder)
+    assert sum(s.dur_ns for s in recorder.steps) == pytest.approx(
+        result.total_ns)
+    prefills = [s for s in recorder.steps if s.kind is StepKind.PREFILL]
+    assert [p.shape.model for p in prefills] == ["llama-3.2-1b", "gpt2"]
+    assert all(s.batch_size == 2 for s in recorder.steps)
+
+
+def test_speculative_steps_account_for_reported_latency(latency):
+    recorder = RunRecorder()
+    result = speculative_generation_ns(
+        LLAMA_3_2_1B, GPT2, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.7),
+        prompt_len=128, output_tokens=24, recorder=recorder)
+    assert sum(s.dur_ns for s in recorder.steps) == pytest.approx(
+        result.speculative_ns)
+    kinds = {s.kind for s in recorder.steps}
+    assert StepKind.DRAFT in kinds and StepKind.VERIFY in kinds
+    drafts = [s for s in recorder.steps
+              if s.kind is StepKind.DRAFT and s.shape is not None]
+    assert all(s.shape.model == "gpt2" for s in drafts)
+
+
+def test_multi_model_recording_exports_via_mapping(latency):
+    recorder = RunRecorder()
+    speculative_generation_ns(
+        LLAMA_3_2_1B, GPT2, latency,
+        SpeculativeConfig(draft_tokens=4, acceptance_rate=0.7),
+        prompt_len=64, output_tokens=8, recorder=recorder)
+    trace = recording_to_trace(
+        recorder, latency,
+        {"llama-3.2-1b": LLAMA_3_2_1B, "gpt2": GPT2})
+    assert len(trace.iterations) == len(recorder.steps)
+    assert trace.metadata["models"] == ["gpt2", "llama-3.2-1b"]
+    assert compute_metrics(trace).kernel_launches > 0

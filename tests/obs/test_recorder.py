@@ -1,0 +1,77 @@
+"""RunRecorder lifecycle, histograms, and summaries."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs import EngineShape, RunRecorder, StepKind
+from repro.obs.recorder import H_TBT, H_TTFT
+
+
+def test_request_lifecycle_span():
+    rec = RunRecorder()
+    rec.on_admitted(7, arrival_ns=100.0, admitted_ns=150.0)
+    rec.on_first_token(7, 250.0)
+    rec.on_token(7, 300.0)
+    rec.on_token(7, 340.0)
+    rec.on_completed(7, 340.0)
+
+    (span,) = rec.completed_spans()
+    assert span.request_id == 7
+    assert span.queue_ns == 50.0
+    assert span.first_token_ns == 250.0
+    assert span.completed_ns == 340.0
+    assert rec.histogram(H_TTFT).mean() == pytest.approx(150.0)
+    assert rec.histogram(H_TBT).count == 2
+    assert rec.counters.get("tokens_generated") == 2
+
+
+def test_admission_before_arrival_rejected():
+    rec = RunRecorder()
+    with pytest.raises(AnalysisError):
+        rec.on_admitted(1, arrival_ns=100.0, admitted_ns=50.0)
+
+
+def test_unadmitted_request_rejected():
+    rec = RunRecorder()
+    with pytest.raises(AnalysisError):
+        rec.on_first_token(42, 10.0)
+
+
+def test_record_step_validates_and_counts():
+    rec = RunRecorder()
+    rec.record_step(StepKind.PREFILL, 0.0, 100.0, 4, queue_depth=2,
+                    shape=EngineShape("gpt2", 4, 64))
+    rec.record_step(StepKind.DECODE, 100.0, 50.0, 4)
+    assert rec.span_ns == 150.0
+    assert rec.counters.get("steps_prefill") == 1
+    assert rec.counters.get("steps_decode") == 1
+    with pytest.raises(AnalysisError):
+        rec.record_step(StepKind.DECODE, 0.0, -1.0, 4)
+    with pytest.raises(AnalysisError):
+        rec.record_step(StepKind.DECODE, 0.0, 1.0, 0)
+
+
+def test_engine_shape_validates():
+    with pytest.raises(AnalysisError):
+        EngineShape("gpt2", 0, 64)
+    with pytest.raises(AnalysisError):
+        EngineShape("gpt2", 1, 0)
+
+
+def test_summary_renders(recorded_run):
+    recorder, _, report, requests = recorded_run
+    summary = recorder.summary()
+    assert summary.requests_completed == len(requests)
+    assert summary.requests_completed == len(report.outcomes)
+    assert summary.steps == len(recorder.steps)
+    text = summary.render("my run")
+    assert "my run" in text
+    assert "TTFT" in text and "TBT" in text
+    assert "requests completed" in text
+
+
+def test_recorded_steps_cover_serving_clock(recorded_run):
+    recorder, _, _, _ = recorded_run
+    starts = [s.ts_ns for s in recorder.steps]
+    assert starts == sorted(starts)
+    assert recorder.span_ns > 0

@@ -1,0 +1,58 @@
+"""Chrome-trace round trip: exporter and importer must agree.
+
+Simulator-emitted traces carry exact-nanosecond ``ts_ns``/``dur_ns`` sidecar
+args next to the Chrome-unit microsecond fields, so a dump/load round trip
+rebuilds bit-identical timestamps and SKIP metrics are exactly preserved.
+"""
+
+import pytest
+
+from repro.obs import recording_to_trace
+from repro.skip import classify_metrics, compute_metrics
+from repro.trace import chrome
+from repro.workloads import GPT2
+
+_COMPARED = ("tklqt_ns", "akd_ns", "inference_latency_ns", "gpu_idle_ns",
+             "cpu_idle_ns", "cpu_busy_ns", "gpu_busy_ns", "queuing_ns")
+
+
+@pytest.fixture(scope="module")
+def exported(recorded_run):
+    recorder, latency, _, _ = recorded_run
+    return recording_to_trace(recorder, latency, GPT2)
+
+
+def test_round_trip_yields_identical_skip_metrics(exported):
+    rebuilt = chrome.loads(chrome.dumps(exported))
+    original = compute_metrics(exported)
+    recovered = compute_metrics(rebuilt)
+    assert recovered.kernel_launches == original.kernel_launches
+    for attr in _COMPARED:
+        assert getattr(recovered, attr) == getattr(original, attr), attr
+    assert classify_metrics(recovered) is classify_metrics(original)
+
+
+def test_round_trip_preserves_structure(exported):
+    rebuilt = chrome.loads(chrome.dumps(exported))
+    assert len(rebuilt.kernels) == len(exported.kernels)
+    assert len(rebuilt.operators) == len(exported.operators)
+    assert len(rebuilt.runtime_calls) == len(exported.runtime_calls)
+    assert len(rebuilt.iterations) == len(exported.iterations)
+    assert rebuilt.metadata == exported.metadata
+
+
+def test_round_trip_preserves_work_terms(exported):
+    rebuilt = chrome.loads(chrome.dumps(exported))
+    total_flops = sum(k.flops for k in exported.kernels)
+    assert total_flops > 0
+    assert sum(k.flops for k in rebuilt.kernels) == pytest.approx(total_flops)
+    assert sum(k.bytes_moved for k in rebuilt.kernels) == pytest.approx(
+        sum(k.bytes_moved for k in exported.kernels))
+
+
+def test_file_round_trip(exported, tmp_path):
+    path = tmp_path / "run.json"
+    chrome.dump(exported, path)
+    rebuilt = chrome.load(path)
+    assert (compute_metrics(rebuilt).tklqt_ns
+            == compute_metrics(exported).tklqt_ns)

@@ -1,0 +1,58 @@
+"""Serving-run ASCII timeline rendering."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs import RunRecorder, StepKind
+from repro.viz import TimelineOptions, render_serving_timeline
+
+
+@pytest.fixture()
+def small_recorder():
+    rec = RunRecorder()
+    rec.on_admitted(0, arrival_ns=0.0, admitted_ns=0.0)
+    rec.record_step(StepKind.PREFILL, 0.0, 40.0, 1, queue_depth=3)
+    rec.on_first_token(0, 40.0)
+    rec.record_step(StepKind.DECODE, 40.0, 60.0, 1)
+    rec.on_token(0, 100.0)
+    rec.on_completed(0, 100.0)
+    return rec
+
+
+def test_lanes_and_legend(small_recorder):
+    text = render_serving_timeline(small_recorder,
+                                   TimelineOptions(width=50))
+    lines = text.splitlines()
+    assert lines[0].startswith("serving timeline")
+    assert any(line.startswith("prefill") and "P" in line for line in lines)
+    assert any(line.startswith("decode") and "d" in line for line in lines)
+    assert any(line.startswith("active") for line in lines)
+    assert any(line.startswith("queue") and "3" in line for line in lines)
+    assert "legend" in lines[-1]
+
+
+def test_prefill_before_decode(small_recorder):
+    text = render_serving_timeline(small_recorder,
+                                   TimelineOptions(width=100))
+    # Lanes start after the label column ("prefill" + one space).
+    prefill = next(l for l in text.splitlines() if l.startswith("prefill"))[8:]
+    decode = next(l for l in text.splitlines() if l.startswith("decode"))[8:]
+    assert prefill.index("P") < decode.index("d")
+
+
+def test_renders_recorded_run(recorded_run):
+    recorder, _, _, _ = recorded_run
+    text = render_serving_timeline(recorder, TimelineOptions(width=80))
+    assert "prefill" in text and "decode" in text
+
+
+def test_empty_recorder_rejected():
+    with pytest.raises(AnalysisError):
+        render_serving_timeline(RunRecorder())
+
+
+def test_bad_window_rejected(small_recorder):
+    with pytest.raises(AnalysisError):
+        render_serving_timeline(
+            small_recorder,
+            TimelineOptions(width=50, begin_ns=10.0, end_ns=10.0))

@@ -1,0 +1,56 @@
+"""Counters and weighted histograms."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs import CounterSet, Histogram
+
+
+def test_histogram_basic_summary():
+    h = Histogram("lat")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        h.observe(value)
+    summary = h.summary()
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.p50 == 2.0
+
+
+def test_histogram_weights_shift_percentiles():
+    h = Histogram("w")
+    h.observe(1.0, count=1.0)
+    h.observe(10.0, count=99.0)
+    assert h.percentile(50) == 10.0
+    assert h.percentile(1) == 1.0
+    assert h.mean() == pytest.approx((1.0 + 10.0 * 99.0) / 100.0)
+
+
+def test_histogram_empty_rejected():
+    h = Histogram("empty")
+    assert h.empty
+    with pytest.raises(AnalysisError):
+        h.mean()
+    with pytest.raises(AnalysisError):
+        h.percentile(50)
+
+
+def test_histogram_invalid_inputs_rejected():
+    h = Histogram("bad")
+    with pytest.raises(AnalysisError):
+        h.observe(1.0, count=0.0)
+    h.observe(1.0)
+    with pytest.raises(AnalysisError):
+        h.percentile(101)
+
+
+def test_counter_set_accumulates():
+    counters = CounterSet()
+    counters.add("steps")
+    counters.add("steps", 2.0)
+    assert counters.get("steps") == 3.0
+    assert counters.get("missing") == 0.0
+    assert counters.as_dict() == {"steps": 3.0}
+    with pytest.raises(AnalysisError):
+        counters.add("steps", -1.0)

@@ -102,3 +102,51 @@ def test_unknown_model_raises():
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_serve_command_summary(capsys):
+    code, out = run_cli(capsys, "serve", "--rate", "20", "--duration", "0.2",
+                        "--prompt-len", "64", "--output-tokens", "3")
+    assert code == 0
+    assert "TTFT" in out and "requests completed" in out
+
+
+def test_serve_command_timeline(capsys):
+    code, out = run_cli(capsys, "serve", "--rate", "20", "--duration", "0.2",
+                        "--prompt-len", "64", "--output-tokens", "3",
+                        "--timeline", "--width", "60")
+    assert code == 0
+    assert "serving timeline" in out and "legend" in out
+
+
+def test_serve_static_scenario(capsys):
+    code, out = run_cli(capsys, "serve", "--scenario", "static",
+                        "--rate", "20", "--duration", "0.2",
+                        "--prompt-len", "64", "--output-tokens", "3",
+                        "--max-active", "4")
+    assert code == 0
+    assert "static serving" in out
+
+
+def test_serve_emit_trace_and_skip_analyze(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code, out = run_cli(capsys, "serve", "--rate", "15", "--duration", "0.2",
+                        "--prompt-len", "64", "--output-tokens", "2",
+                        "--emit-trace", str(out_path))
+    assert code == 0
+    assert out_path.exists()
+    assert "wrote" in out
+
+    code, out = run_cli(capsys, "skip", "analyze", str(out_path))
+    assert code == 0
+    assert "TKLQT" in out and "classification" in out
+
+
+def test_skip_analyze_with_fusion(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    run_cli(capsys, "serve", "--rate", "15", "--duration", "0.15",
+            "--prompt-len", "64", "--output-tokens", "2",
+            "--emit-trace", str(out_path))
+    code, out = run_cli(capsys, "skip", "analyze", str(out_path), "--fusion")
+    assert code == 0
+    assert "speedup" in out

@@ -52,3 +52,20 @@ def test_calibration_doc_mentions_all_knobs():
     text = _read("docs/calibration.md")
     for token in ("dispatch score", "sustain", "ramp_flops", "Table V"):
         assert token in text
+
+
+def test_observability_doc_matches_api():
+    text = _read("docs/observability.md")
+    import repro.obs as obs
+    for name in ("RunRecorder", "recording_to_trace", "EngineShape",
+                 "StepEvent", "RequestSpan"):
+        assert name in text
+        assert hasattr(obs, name), name
+    assert "repro serve" in text and "skip analyze" in text
+
+
+def test_readme_mentions_emit_trace_quickstart():
+    text = _read("README.md")
+    assert "--emit-trace" in text
+    assert "docs/observability.md" in text
+    assert (ROOT / "docs/observability.md").exists()
