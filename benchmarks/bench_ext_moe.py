@@ -11,7 +11,7 @@ wins once routing saturates).
 from _harness import BENCH_ENGINE, report, run_once
 from repro.engine import run
 from repro.hardware import GH200, INTEL_H100
-from repro.skip import analyze_trace, best_speedup, classify_metrics, compute_metrics
+from repro.skip import analyze_trace, classify_metrics, compute_metrics
 from repro.units import ns_to_ms
 from repro.viz import render_table
 from repro.workloads import MISTRAL_7B, MIXTRAL_8X7B

@@ -45,6 +45,13 @@ from repro.analysis.sweep import (
     SweepResult,
     run_batch_sweep,
 )
+from repro.analysis.tpsweep import (
+    DEFAULT_TP_DEGREES,
+    TPSweepPoint,
+    TPSweepResult,
+    run_tp_sweep,
+    tp_sweep_report,
+)
 
 __all__ = [
     "BalancedRegion",
@@ -74,12 +81,17 @@ __all__ = [
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_FLATNESS_THRESHOLD",
     "DEFAULT_IDLE_THRESHOLD",
+    "DEFAULT_TP_DEGREES",
     "FrameworkTaxResult",
     "LatencyBound",
     "SweepPoint",
     "SweepResult",
+    "TPSweepPoint",
+    "TPSweepResult",
     "classify_latency_curve",
     "find_balanced_region",
     "find_crossover",
     "run_batch_sweep",
+    "run_tp_sweep",
+    "tp_sweep_report",
 ]

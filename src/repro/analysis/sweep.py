@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 from repro.engine.executor import DEFAULT_CONFIG, EngineConfig
 from repro.engine.modes import ExecutionMode
+from repro.engine.tp import TPConfig
 from repro.errors import AnalysisError
 from repro.hardware.platform import Platform
 from repro.skip.classify import TransitionPoint, find_transition
@@ -93,6 +94,7 @@ def run_batch_sweep(
     mode: ExecutionMode = ExecutionMode.EAGER,
     phase: Phase = Phase.PREFILL,
     engine_config: EngineConfig = DEFAULT_CONFIG,
+    tp: TPConfig | None = None,
 ) -> SweepResult:
     """Profile ``model`` across ``batch_sizes`` on every platform."""
     if not platforms:
@@ -104,7 +106,8 @@ def run_batch_sweep(
         profiler = SkipProfiler(platform, engine_config)
         for batch_size in batch_sizes:
             profile = profiler.profile(model, batch_size=batch_size,
-                                       seq_len=seq_len, mode=mode, phase=phase)
+                                       seq_len=seq_len, mode=mode, phase=phase,
+                                       tp=tp)
             result.points.append(SweepPoint(
                 platform=platform.name,
                 model=model.name,

@@ -3,7 +3,10 @@
 Subcommands mirror the paper's workflow:
 
 * ``profile``   — SKIP metrics + classification for one run
+* ``run``       — one engine run with optional tensor parallelism
+  (``--tp N``); prints per-device SKIP metrics
 * ``sweep``     — batch-size sweep with transition stars (Fig. 6 / 10 / 11)
+* ``tpsweep``   — tensor-parallel degree sweep with per-device metrics
 * ``fusion``    — proximity-score fusion recommendations (Figs. 7-8)
 * ``nullkernel``— the Table V micro-benchmark
 * ``whatif``    — required CPU speedup to match a reference platform
@@ -21,9 +24,9 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis import run_batch_sweep
+from repro.analysis import run_batch_sweep, run_tp_sweep, tp_sweep_report
 from repro.analysis.whatif import required_cpu_speedup
-from repro.engine import EngineConfig, ExecutionMode
+from repro.engine import DispatchMode, EngineConfig, ExecutionMode, TPConfig
 from repro.hardware import PAPER_PLATFORMS, get_platform, nullkernel_table
 from repro.skip import SkipProfiler, fusion_report, profile_report, transition_report
 from repro.units import format_bytes, format_ns
@@ -42,6 +45,14 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seq-len", type=int, default=512)
 
 
+def _add_tp_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tp", type=int, default=1,
+                        help="tensor-parallel degree (GPU count)")
+    parser.add_argument("--dispatch", default="single",
+                        choices=[m.value for m in DispatchMode],
+                        help="CPU dispatch topology for TP runs")
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     profiler = SkipProfiler(get_platform(args.platform))
     result = profiler.profile(get_model(args.model),
@@ -52,13 +63,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tp_config(args: argparse.Namespace) -> TPConfig | None:
+    if getattr(args, "tp", 1) == 1:
+        return None
+    return TPConfig(degree=args.tp,
+                    dispatch=DispatchMode(getattr(args, "dispatch", "single")))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profiler = SkipProfiler(get_platform(args.platform))
+    result = profiler.profile(get_model(args.model),
+                              batch_size=args.batch_size,
+                              seq_len=args.seq_len,
+                              mode=ExecutionMode(args.mode),
+                              tp=_tp_config(args))
+    print(profile_report(result))
+    return 0
+
+
+def _cmd_tpsweep(args: argparse.Namespace) -> int:
+    degrees = tuple(int(d) for d in args.degrees.split(","))
+    sweep = run_tp_sweep(
+        get_model(args.model),
+        get_platform(args.platform),
+        batch_size=args.batch_size,
+        degrees=degrees,
+        seq_len=args.seq_len,
+        dispatch=DispatchMode(args.dispatch),
+        engine_config=_FAST,
+    )
+    print(tp_sweep_report(sweep))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     platforms = ([get_platform(args.platform)] if args.platform != "all"
                  else list(PAPER_PLATFORMS))
     batches = tuple(int(b) for b in args.batches.split(","))
     sweep = run_batch_sweep(model, platforms, batches, seq_len=args.seq_len,
-                            engine_config=_FAST)
+                            engine_config=_FAST, tp=_tp_config(args))
     for platform in platforms:
         print(transition_report(f"{model.name} on {platform.name}",
                                 sweep.transition(platform.name)))
@@ -124,7 +168,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     profiler = SkipProfiler(get_platform(args.platform), _FAST)
     result = profiler.profile(get_model(args.model),
                               batch_size=args.batch_size,
-                              seq_len=args.seq_len)
+                              seq_len=args.seq_len,
+                              tp=_tp_config(args))
     begin, end = result.trace.span
     window_end = begin + (end - begin) * args.window_fraction
     print(render_timeline(result.trace, TimelineOptions(
@@ -237,13 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
                                   if m is not ExecutionMode.PROXIMITY_FUSED])
     profile.set_defaults(func=_cmd_profile)
 
+    run_p = sub.add_parser(
+        "run", help="one engine run, optionally tensor-parallel")
+    _add_workload_args(run_p)
+    _add_tp_args(run_p)
+    run_p.add_argument("--mode", default="eager",
+                       choices=[m.value for m in ExecutionMode
+                                if m is not ExecutionMode.PROXIMITY_FUSED])
+    run_p.set_defaults(func=_cmd_run)
+
     sweep = sub.add_parser("sweep", help="batch sweep with transition stars")
     sweep.add_argument("--model", default="bert-base-uncased")
     sweep.add_argument("--platform", default="all",
                        help="platform name or 'all'")
     sweep.add_argument("--seq-len", type=int, default=512)
     sweep.add_argument("--batches", default="1,2,4,8,16,32,64,128")
+    _add_tp_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    tpsweep = sub.add_parser(
+        "tpsweep", help="tensor-parallel degree sweep (per-device metrics)")
+    _add_workload_args(tpsweep)
+    tpsweep.add_argument("--degrees", default="1,2,4,8",
+                         help="comma-separated TP degrees")
+    tpsweep.add_argument("--dispatch", default="single",
+                         choices=[m.value for m in DispatchMode])
+    tpsweep.set_defaults(func=_cmd_tpsweep)
 
     fusion = sub.add_parser("fusion", help="fusion recommendations")
     _add_workload_args(fusion)
@@ -313,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     timeline = sub.add_parser("timeline", help="ASCII trace timeline")
     _add_workload_args(timeline)
+    _add_tp_args(timeline)
     timeline.add_argument("--width", type=int, default=100)
     timeline.add_argument("--window-fraction", type=float, default=0.34,
                           help="fraction of the trace to show (default: "

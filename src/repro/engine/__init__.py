@@ -1,9 +1,14 @@
 """Execution engine: lowering, cost model, and discrete-event simulation."""
 
 from repro.engine.compiler import CompileReport, compile_time, unique_gemm_classes
-from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, RunResult, run
+from repro.engine.executor import (
+    DEFAULT_CONFIG,
+    EngineConfig,
+    RunResult,
+    build_core,
+    run,
+)
 from repro.engine.fusion_apply import FusionPlan, apply_fusion_plan, launches_saved
-from repro.engine.gpu_stream import GpuStream
 from repro.engine.lowering import (
     KernelTask,
     LoweredOp,
@@ -12,10 +17,16 @@ from repro.engine.lowering import (
     lower_op,
 )
 from repro.engine.modes import ExecutionMode
+from repro.engine.tp import TP_DISABLED, DispatchMode, TPConfig, shard_lowered
+
+# The in-order stream model moved into the simulation core; the old name is
+# kept as an alias for downstream code.
+from repro.sim.resources import StreamResource as GpuStream
 
 __all__ = [
     "CompileReport",
     "DEFAULT_CONFIG",
+    "DispatchMode",
     "EngineConfig",
     "ExecutionMode",
     "FusionPlan",
@@ -23,12 +34,16 @@ __all__ = [
     "KernelTask",
     "LoweredOp",
     "RunResult",
+    "TP_DISABLED",
+    "TPConfig",
     "apply_fusion_plan",
+    "build_core",
     "compile_time",
     "kernel_count",
     "launches_saved",
     "lower_graph",
     "lower_op",
     "run",
+    "shard_lowered",
     "unique_gemm_classes",
 ]

@@ -154,7 +154,8 @@ def apply_inductor_fusion(lowered: list[LoweredOp],
         flush()
         kernels = tuple(
             KernelTask(k.name, k.flops, k.bytes_read, k.bytes_written,
-                       duration_scale=gemm_scale if k.is_gemm else 1.0)
+                       duration_scale=gemm_scale if k.is_gemm else 1.0,
+                       comm_bytes=k.comm_bytes)
             for k in lowered_op.kernels
         )
         out.append(LoweredOp(lowered_op.op, kernels))

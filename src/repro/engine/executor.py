@@ -1,10 +1,12 @@
-"""Discrete-event execution engine.
+"""Execution engine entry point, built on the discrete-event core.
 
-Simulates eager (and compiled) LLM inference on a coupled platform: one CPU
-thread dispatches operators in program order and launches kernels
-asynchronously; one in-order GPU stream executes them. The engine emits a
-PyTorch-Profiler-style trace that SKIP consumes — the same contract the paper
-has between PyTorch Profiler and SKIP.
+Simulates eager (and compiled) LLM inference on a coupled platform. The
+engine constructs a :class:`repro.sim.SimCore` topology — CPU dispatch
+thread(s), ``tp.degree`` GPU devices with in-order streams, and a GPU-GPU
+interconnect link — and runs the execution mode as one or more processes on
+it (:mod:`repro.engine.processes`). It emits a PyTorch-Profiler-style trace
+that SKIP consumes — the same contract the paper has between PyTorch
+Profiler and SKIP.
 
 Timing rules (all per the platform model):
 
@@ -17,6 +19,11 @@ Timing rules (all per the platform model):
 * the CUDA runtime's bounded launch queue blocks the CPU when it runs too
   far ahead of the GPU;
 * every iteration ends with a ``cudaDeviceSynchronize``.
+
+Tensor parallelism (``tp.degree > 1``) shards attention/MLP kernels across
+devices and inserts ring all-reduce collectives priced by the interconnect
+model (:mod:`repro.engine.tp`). At ``tp.degree == 1`` the engine reproduces
+the legacy single-device executor (:mod:`repro.engine.legacy`) bit for bit.
 """
 
 from __future__ import annotations
@@ -25,20 +32,25 @@ from dataclasses import dataclass, field
 
 from repro.engine.compiler import CompileReport, apply_inductor_fusion, compile_time
 from repro.engine.fusion_apply import FusionPlan, fused_kernel_name
-from repro.engine.gpu_stream import GpuStream
 from repro.engine.lowering import KernelTask, LoweredOp, lower_graph
 from repro.engine.modes import ExecutionMode
+from repro.engine.processes import (
+    graph_replay_process,
+    per_device_launch_processes,
+    single_thread_launch_process,
+)
+from repro.engine.tp import DispatchMode, TP_DISABLED, TPConfig, shard_lowered
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
 from repro.obs.events import StepKind
 from repro.obs.recorder import RunRecorder
+from repro.sim.core import SimCore
+from repro.sim.resources import LinkResource
 from repro.trace.builder import TraceBuilder
-from repro.trace.events import DEVICE_SYNCHRONIZE, GRAPH_LAUNCH
 from repro.trace.trace import Trace
 from repro.workloads.builder import AttentionImpl, build_graph
 from repro.workloads.config import ModelConfig
 from repro.workloads.graph import OperatorGraph, Phase
-from repro.workloads.ops import OpKind
 
 
 @dataclass(frozen=True)
@@ -87,11 +99,6 @@ class EngineConfig:
 
 DEFAULT_CONFIG = EngineConfig()
 
-_CHILD_OP_NAMES = {
-    OpKind.LINEAR: "aten::addmm",
-    OpKind.MATMUL: "aten::bmm",
-}
-
 
 @dataclass
 class RunResult:
@@ -104,15 +111,31 @@ class RunResult:
     mode: ExecutionMode
     compile_report: CompileReport
     config: EngineConfig = field(default_factory=EngineConfig)
+    tp: TPConfig = TP_DISABLED
+    core: SimCore | None = None
 
     @property
     def kernels_per_iteration(self) -> int:
-        """Kernel launches one iteration performs."""
+        """Kernel launches one iteration performs, per device."""
         return sum(len(lo.kernels) for lo in self.lowered)
 
     def flat_kernels(self) -> list[KernelTask]:
-        """The per-iteration kernel stream, in launch order."""
+        """The per-iteration, per-device kernel stream, in launch order."""
         return [k for lo in self.lowered for k in lo.kernels]
+
+
+def build_core(tp: TPConfig) -> SimCore:
+    """Construct the simulation topology for a TP configuration."""
+    core = SimCore()
+    threads = (tp.degree if tp.enabled
+               and tp.dispatch is DispatchMode.THREAD_PER_DEVICE else 1)
+    for index in range(threads):
+        core.add_cpu_thread(
+            name="dispatch" if threads == 1 else f"dispatch-{index}")
+    for _ in range(tp.degree):
+        core.add_device()
+    core.set_link(LinkResource(spec=tp.link))
+    return core
 
 
 def run(
@@ -126,6 +149,7 @@ def run(
     config: EngineConfig = DEFAULT_CONFIG,
     fusion_plan: FusionPlan | None = None,
     recorder: RunRecorder | None = None,
+    tp: TPConfig | None = None,
 ) -> RunResult:
     """Simulate inference and return the trace plus run context.
 
@@ -141,7 +165,10 @@ def run(
         recorder: Optional observability hook; samples per-launch queue
             occupancy and launch delay during execution and records one
             ``ENGINE`` step per measured iteration.
+        tp: Tensor-parallel configuration (``None`` = single device).
     """
+    if tp is None:
+        tp = TP_DISABLED
     if isinstance(model, OperatorGraph):
         graph = model
     else:
@@ -160,22 +187,38 @@ def run(
     elif fusion_plan is not None:
         raise ConfigurationError(f"fusion_plan is only valid in PROXIMITY_FUSED mode, not {mode}")
 
+    lowered = shard_lowered(lowered, tp)
+
     kernel_count = sum(len(lo.kernels) for lo in lowered)
     report = compile_time(graph, mode, kernel_count)
 
-    builder = TraceBuilder(metadata={
+    metadata = {
         "platform": platform.name,
         "model": graph.model_name,
         "mode": mode.value,
         "phase": graph.phase.value,
         "batch_size": graph.batch_size,
         "seq_len": graph.seq_len,
-    })
+    }
+    if tp.enabled:
+        metadata["tp_degree"] = tp.degree
+        metadata["tp_dispatch"] = tp.dispatch.value
+        metadata["tp_link"] = tp.link.name
+    builder = TraceBuilder(metadata=metadata)
+
+    core = build_core(tp)
     if mode.uses_cuda_graph:
-        _simulate_graph_mode(builder, lowered, platform, config)
+        core.spawn(graph_replay_process(core, builder, lowered, platform,
+                                        config))
+    elif tp.enabled and tp.dispatch is DispatchMode.THREAD_PER_DEVICE:
+        core.spawn_all(per_device_launch_processes(
+            core, builder, lowered, platform, mode, config,
+            recorder=recorder))
     else:
-        _simulate_launch_mode(builder, lowered, platform, mode, config,
-                              recorder=recorder)
+        core.spawn(single_thread_launch_process(
+            core, builder, lowered, platform, mode, config,
+            recorder=recorder))
+    core.run()
 
     result = RunResult(
         trace=builder.finish(),
@@ -185,158 +228,14 @@ def run(
         mode=mode,
         compile_report=report,
         config=config,
+        tp=tp,
+        core=core,
     )
     if recorder is not None:
         for mark in result.trace.iterations:
             recorder.record_step(StepKind.ENGINE, mark.ts,
                                  mark.ts_end - mark.ts, graph.batch_size)
     return result
-
-
-# ---------------------------------------------------------------------------
-# Launch-per-kernel execution (eager / flash / compile-default / fused)
-# ---------------------------------------------------------------------------
-
-def _simulate_launch_mode(
-    builder: TraceBuilder,
-    lowered: list[LoweredOp],
-    platform: Platform,
-    mode: ExecutionMode,
-    config: EngineConfig,
-    recorder: RunRecorder | None = None,
-) -> None:
-    stream = GpuStream()
-    cpu = 0.0
-    launched = 0
-    total = config.warmup_iterations + config.iterations
-    for iteration in range(total):
-        measured = iteration >= config.warmup_iterations
-        if measured:
-            builder.begin_iteration(cpu)
-        for lowered_op in lowered:
-            op = lowered_op.op
-            if mode.fuses_elementwise:
-                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
-            else:
-                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
-            epilogue = dispatch * config.dispatch_epilogue_fraction
-            pre = dispatch - epilogue
-
-            parent = builder.begin_operator(op.aten_name, cpu)
-            child = None
-            child_name = _CHILD_OP_NAMES.get(op.kind)
-            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
-                cpu += pre * (1.0 - config.child_dispatch_fraction)
-                child = builder.begin_operator(child_name, cpu)
-                cpu += pre * config.child_dispatch_fraction
-            else:
-                cpu += pre
-
-            for kernel in lowered_op.kernels:
-                # Bounded launch queue: the CPU cannot run more than
-                # `launch_queue_depth` launches ahead of kernel starts.
-                backlog_index = launched - config.launch_queue_depth
-                if backlog_index >= 0:
-                    cpu = max(cpu, stream.nth_start(backlog_index))
-                call_ts = cpu
-                duration = _kernel_duration(platform, kernel)
-                arrival = call_ts + platform.launch_latency_ns
-                start, _end = stream.submit(arrival, duration,
-                                            gap_ns=config.stream_kernel_gap_ns)
-                builder.launch_kernel(
-                    call_ts,
-                    platform.launch_call_cpu_ns,
-                    kernel.name,
-                    start,
-                    duration,
-                    stream=stream.stream_id,
-                    flops=kernel.flops,
-                    bytes_moved=kernel.bytes_moved,
-                )
-                if recorder is not None:
-                    recorder.observe_launch_delay(start - call_ts)
-                    recorder.observe_launch_queue(stream.pending_at(call_ts))
-                cpu += platform.launch_call_cpu_ns
-                launched += 1
-
-            if child is not None:
-                builder.end_operator(child, cpu)
-            cpu += epilogue
-            builder.end_operator(parent, cpu)
-
-        cpu = _end_iteration_sync(builder, stream, cpu, config,
-                                  measured=measured)
-
-
-# ---------------------------------------------------------------------------
-# CUDA-graph execution (reduce-overhead / max-autotune)
-# ---------------------------------------------------------------------------
-
-def _simulate_graph_mode(
-    builder: TraceBuilder,
-    lowered: list[LoweredOp],
-    platform: Platform,
-    config: EngineConfig,
-) -> None:
-    stream = GpuStream()
-    cpu = 0.0
-    kernels = [k for lo in lowered for k in lo.kernels]
-    total = config.warmup_iterations + config.iterations
-    for iteration in range(total):
-        measured = iteration >= config.warmup_iterations
-        if measured:
-            builder.begin_iteration(cpu)
-        parent = builder.begin_operator("cuda_graph::replay", cpu)
-        cpu += platform.dispatch_ns(config.graph_replay_dispatch_ns)
-        call_ts = cpu
-        builder.runtime_call(GRAPH_LAUNCH, call_ts, platform.launch_call_cpu_ns)
-        cpu += platform.launch_call_cpu_ns
-        arrival = call_ts + platform.launch_latency_ns
-        for kernel in kernels:
-            duration = _kernel_duration(
-                platform, kernel, floor_scale=config.graph_kernel_floor_scale)
-            start, end = stream.submit(arrival, duration)
-            builder.enqueue_graph_kernel(
-                kernel.name, start, duration,
-                stream=stream.stream_id,
-                flops=kernel.flops,
-                bytes_moved=kernel.bytes_moved,
-            )
-            arrival = end + config.graph_replay_kernel_gap_ns
-        builder.end_operator(parent, cpu)
-        cpu = _end_iteration_sync(builder, stream, cpu, config,
-                                  measured=measured)
-
-
-def _kernel_duration(platform: Platform, kernel: KernelTask,
-                     floor_scale: float = 1.0) -> float:
-    """Duration of one kernel task on a platform.
-
-    Proximity-fused kernels (``members`` set) execute as the sum of their
-    members' durations — the paper's assumption that fusion changes launch
-    counts, not kernel work.
-    """
-    if kernel.members:
-        return sum(_kernel_duration(platform, member, floor_scale)
-                   for member in kernel.members)
-    return (platform.kernel_duration_ns(kernel.flops, kernel.bytes_moved,
-                                        floor_scale=floor_scale)
-            * kernel.duration_scale)
-
-
-def _end_iteration_sync(builder: TraceBuilder, stream: GpuStream, cpu: float,
-                        config: EngineConfig, measured: bool = True) -> float:
-    """Emit the end-of-iteration synchronize and advance the CPU clock.
-
-    Warm-up iterations (``measured=False``) synchronize like real ones but
-    leave no iteration mark, so analyses skip them.
-    """
-    wait = max(0.0, stream.free_at - cpu)
-    builder.runtime_call(DEVICE_SYNCHRONIZE, cpu, config.sync_call_ns + wait)
-    cpu += config.sync_call_ns + wait
-    if measured:
-        builder.end_iteration(cpu)
-    return cpu + config.inter_iteration_gap_ns
 
 
 # ---------------------------------------------------------------------------
@@ -351,7 +250,8 @@ def _apply_plan_to_lowered(lowered: list[LoweredOp],
     boundaries); a fused kernel is attributed to the operator contributing
     its first member, and later members' operators keep their dispatch but
     lose the launches — exactly the paper's "fusion saves launches only"
-    accounting.
+    accounting. Collective kernels never fuse: an all-reduce synchronizes
+    devices and cannot merge into a single-device kernel.
     """
     flat: list[tuple[int, KernelTask]] = []
     for op_index, lowered_op in enumerate(lowered):
@@ -367,7 +267,9 @@ def _apply_plan_to_lowered(lowered: list[LoweredOp],
         matched = None
         for chain in by_length:
             length = len(chain)
-            if i + length <= len(names) and tuple(names[i:i + length]) == chain:
+            if (i + length <= len(names)
+                    and tuple(names[i:i + length]) == chain
+                    and not any(k.is_collective for _, k in flat[i:i + length])):
                 matched = chain
                 break
         if matched is None:

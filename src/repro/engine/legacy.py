@@ -1,0 +1,189 @@
+"""Legacy single-device executor, preserved as a parity oracle.
+
+This module keeps the pre-simulation-core executor loops exactly as they
+were: one CPU clock walking the op stream against one in-order GPU stream.
+The event-driven engine (:mod:`repro.engine.processes`) must reproduce these
+traces bit-identically at TP=1 — the property suite runs both and compares
+event streams. Nothing in the package calls this at runtime; it exists so
+the refactored engine has an executable specification to diff against.
+"""
+
+from __future__ import annotations
+
+from repro.engine.compiler import apply_inductor_fusion, compile_time
+from repro.engine.fusion_apply import FusionPlan
+from repro.engine.lowering import KernelTask, lower_graph
+from repro.engine.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.hardware.platform import Platform
+from repro.sim.resources import StreamResource
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import DEVICE_SYNCHRONIZE, GRAPH_LAUNCH
+from repro.trace.trace import Trace
+from repro.workloads.builder import AttentionImpl, build_graph
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import OperatorGraph, Phase
+from repro.workloads.ops import OpKind
+
+_CHILD_OP_NAMES = {
+    OpKind.LINEAR: "aten::addmm",
+    OpKind.MATMUL: "aten::bmm",
+}
+
+
+def run_legacy(
+    model: ModelConfig | OperatorGraph,
+    platform: Platform,
+    batch_size: int = 1,
+    seq_len: int = 512,
+    mode: ExecutionMode = ExecutionMode.EAGER,
+    phase: Phase = Phase.PREFILL,
+    context_len: int | None = None,
+    config=None,
+    fusion_plan: FusionPlan | None = None,
+) -> Trace:
+    """Simulate with the legacy loops and return the trace."""
+    from repro.engine.executor import DEFAULT_CONFIG, _apply_plan_to_lowered
+
+    if config is None:
+        config = DEFAULT_CONFIG
+    if isinstance(model, OperatorGraph):
+        graph = model
+    else:
+        attention = (AttentionImpl.FLASH if mode.uses_flash_attention
+                     else AttentionImpl.EAGER)
+        graph = build_graph(model, batch_size, seq_len, phase=phase,
+                            attention=attention, context_len=context_len)
+
+    lowered = lower_graph(graph)
+    lowered = apply_inductor_fusion(lowered, mode)
+    if mode is ExecutionMode.PROXIMITY_FUSED:
+        if fusion_plan is None:
+            raise ConfigurationError("PROXIMITY_FUSED mode requires a fusion_plan")
+        lowered = _apply_plan_to_lowered(lowered, fusion_plan)
+
+    kernel_count = sum(len(lo.kernels) for lo in lowered)
+    compile_time(graph, mode, kernel_count)
+
+    builder = TraceBuilder(metadata={
+        "platform": platform.name,
+        "model": graph.model_name,
+        "mode": mode.value,
+        "phase": graph.phase.value,
+        "batch_size": graph.batch_size,
+        "seq_len": graph.seq_len,
+    })
+    if mode.uses_cuda_graph:
+        _simulate_graph_mode(builder, lowered, platform, config)
+    else:
+        _simulate_launch_mode(builder, lowered, platform, mode, config)
+    return builder.finish()
+
+
+def _simulate_launch_mode(builder, lowered, platform, mode, config) -> None:
+    stream = StreamResource()
+    cpu = 0.0
+    launched = 0
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        for lowered_op in lowered:
+            op = lowered_op.op
+            if mode.fuses_elementwise:
+                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
+            else:
+                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
+            epilogue = dispatch * config.dispatch_epilogue_fraction
+            pre = dispatch - epilogue
+
+            parent = builder.begin_operator(op.aten_name, cpu)
+            child = None
+            child_name = _CHILD_OP_NAMES.get(op.kind)
+            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
+                cpu += pre * (1.0 - config.child_dispatch_fraction)
+                child = builder.begin_operator(child_name, cpu)
+                cpu += pre * config.child_dispatch_fraction
+            else:
+                cpu += pre
+
+            for kernel in lowered_op.kernels:
+                backlog_index = launched - config.launch_queue_depth
+                if backlog_index >= 0:
+                    cpu = max(cpu, stream.nth_start(backlog_index))
+                call_ts = cpu
+                duration = _kernel_duration(platform, kernel)
+                arrival = call_ts + platform.launch_latency_ns
+                start, _end = stream.submit(arrival, duration,
+                                            gap_ns=config.stream_kernel_gap_ns)
+                builder.launch_kernel(
+                    call_ts,
+                    platform.launch_call_cpu_ns,
+                    kernel.name,
+                    start,
+                    duration,
+                    stream=stream.stream_id,
+                    flops=kernel.flops,
+                    bytes_moved=kernel.bytes_moved,
+                )
+                cpu += platform.launch_call_cpu_ns
+                launched += 1
+
+            if child is not None:
+                builder.end_operator(child, cpu)
+            cpu += epilogue
+            builder.end_operator(parent, cpu)
+
+        cpu = _end_iteration_sync(builder, stream, cpu, config,
+                                  measured=measured)
+
+
+def _simulate_graph_mode(builder, lowered, platform, config) -> None:
+    stream = StreamResource()
+    cpu = 0.0
+    kernels = [k for lo in lowered for k in lo.kernels]
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        parent = builder.begin_operator("cuda_graph::replay", cpu)
+        cpu += platform.dispatch_ns(config.graph_replay_dispatch_ns)
+        call_ts = cpu
+        builder.runtime_call(GRAPH_LAUNCH, call_ts, platform.launch_call_cpu_ns)
+        cpu += platform.launch_call_cpu_ns
+        arrival = call_ts + platform.launch_latency_ns
+        for kernel in kernels:
+            duration = _kernel_duration(
+                platform, kernel, floor_scale=config.graph_kernel_floor_scale)
+            start, end = stream.submit(arrival, duration)
+            builder.enqueue_graph_kernel(
+                kernel.name, start, duration,
+                stream=stream.stream_id,
+                flops=kernel.flops,
+                bytes_moved=kernel.bytes_moved,
+            )
+            arrival = end + config.graph_replay_kernel_gap_ns
+        builder.end_operator(parent, cpu)
+        cpu = _end_iteration_sync(builder, stream, cpu, config,
+                                  measured=measured)
+
+
+def _kernel_duration(platform: Platform, kernel: KernelTask,
+                     floor_scale: float = 1.0) -> float:
+    if kernel.members:
+        return sum(_kernel_duration(platform, member, floor_scale)
+                   for member in kernel.members)
+    return (platform.kernel_duration_ns(kernel.flops, kernel.bytes_moved,
+                                        floor_scale=floor_scale)
+            * kernel.duration_scale)
+
+
+def _end_iteration_sync(builder, stream, cpu, config, measured=True) -> float:
+    wait = max(0.0, stream.free_at - cpu)
+    builder.runtime_call(DEVICE_SYNCHRONIZE, cpu, config.sync_call_ns + wait)
+    cpu += config.sync_call_ns + wait
+    if measured:
+        builder.end_iteration(cpu)
+    return cpu + config.inter_iteration_gap_ns

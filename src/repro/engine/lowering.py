@@ -30,7 +30,9 @@ class KernelTask:
     same work in less time; the executor multiplies the roofline duration by
     it. ``members`` marks a proximity-fused kernel: its duration is the sum
     of the member durations (the paper's "launch savings only" assumption —
-    no efficiency gain or loss from fusing).
+    no efficiency gain or loss from fusing). ``comm_bytes`` marks a
+    collective kernel: its duration comes from the interconnect's ring
+    all-reduce model over that message size, not the roofline.
     """
 
     name: str
@@ -39,6 +41,7 @@ class KernelTask:
     bytes_written: float
     duration_scale: float = 1.0
     members: tuple["KernelTask", ...] = ()
+    comm_bytes: float = 0.0
 
     @property
     def bytes_moved(self) -> float:
@@ -47,6 +50,11 @@ class KernelTask:
     @property
     def is_gemm(self) -> bool:
         return "gemm" in self.name or "bmm" in self.name
+
+    @property
+    def is_collective(self) -> bool:
+        """True for cross-device collective kernels (nccl all-reduce)."""
+        return self.comm_bytes > 0
 
 
 @dataclass(frozen=True)
@@ -113,6 +121,11 @@ def elementwise_kernel_name(functor: str) -> str:
 
 def flash_kernel_name(head_dim: int) -> str:
     return f"flash_fwd_kernel<f16, hdim{_pow2_bucket(head_dim, 256)}>"
+
+
+def allreduce_kernel_name(world: int) -> str:
+    """NCCL device-kernel name for a ring all-reduce over ``world`` ranks."""
+    return f"ncclDevKernel_AllReduce_Sum_f16_RING<{world}>"
 
 
 # ---------------------------------------------------------------------------
@@ -281,6 +294,12 @@ def _lower_flash(op: Op) -> list[KernelTask]:
                        op.bytes_written)]
 
 
+def _lower_all_reduce(op: Op) -> list[KernelTask]:
+    world = op.dims[0]
+    return [KernelTask(allreduce_kernel_name(world), op.flops, op.bytes_read,
+                       op.bytes_written, comm_bytes=op.bytes_written)]
+
+
 _HANDLERS = {
     OpKind.LINEAR: _lower_linear,
     OpKind.MATMUL: _lower_matmul,
@@ -305,4 +324,5 @@ _HANDLERS = {
     OpKind.INDEX_SELECT: _lower_index_select,
     OpKind.SCATTER_ADD: _lower_scatter_add,
     OpKind.SDPA_FLASH: _lower_flash,
+    OpKind.ALL_REDUCE: _lower_all_reduce,
 }

@@ -1,0 +1,363 @@
+"""Execution modes as processes on the simulation core.
+
+The engine's launch-per-kernel and CUDA-graph modes are written as
+generator processes scheduled by :class:`repro.sim.SimCore`. Three process
+shapes exist:
+
+* **Single dispatch thread** (launch mode): one CPU process walks the op
+  stream and issues one ``cudaLaunchKernel`` per device per kernel — the
+  PyTorch-default topology, where launch overhead compounds with the TP
+  degree. At TP=1 this process performs exactly the floating-point
+  operations of the legacy single-device executor, in the same order, so
+  its traces are bit-identical to the legacy ones.
+* **Per-device dispatch threads** (launch mode): one CPU process per device
+  (trace ``tid`` = 1 + device), each launching only to its own device.
+  Processes meet at collectives and at an end-of-iteration barrier via the
+  core's rendezvous.
+* **Graph replay** (one process): replays the captured kernel chain on every
+  device; per-device arrival chaining, collectives joined across devices.
+
+Collective kernels (``KernelTask.is_collective``) price their duration with
+the link's ring all-reduce model and start simultaneously on every device at
+the earliest instant all streams can take them.
+"""
+
+from __future__ import annotations
+
+from repro.engine.lowering import KernelTask, LoweredOp
+from repro.engine.modes import ExecutionMode
+from repro.hardware.platform import Platform
+from repro.obs.recorder import RunRecorder
+from repro.sim.core import Process, SimCore
+from repro.sim.resources import StreamResource
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import DEVICE_SYNCHRONIZE, GRAPH_LAUNCH
+from repro.workloads.ops import OpKind
+
+_CHILD_OP_NAMES = {
+    OpKind.LINEAR: "aten::addmm",
+    OpKind.MATMUL: "aten::bmm",
+}
+
+
+def kernel_duration(platform: Platform, kernel: KernelTask,
+                    floor_scale: float = 1.0) -> float:
+    """Duration of one (non-collective) kernel task on a platform.
+
+    Proximity-fused kernels (``members`` set) execute as the sum of their
+    members' durations — the paper's assumption that fusion changes launch
+    counts, not kernel work.
+    """
+    if kernel.members:
+        return sum(kernel_duration(platform, member, floor_scale)
+                   for member in kernel.members)
+    return (platform.kernel_duration_ns(kernel.flops, kernel.bytes_moved,
+                                        floor_scale=floor_scale)
+            * kernel.duration_scale)
+
+
+def _end_iteration_sync(builder: TraceBuilder, streams: list[StreamResource],
+                        cpu: float, config, measured: bool = True,
+                        tid: int | None = None) -> float:
+    """Emit the end-of-iteration synchronize and advance the CPU clock.
+
+    Waits for every stream the dispatching thread feeds. Warm-up iterations
+    (``measured=False``) synchronize like real ones but leave no iteration
+    mark, so analyses skip them.
+    """
+    free = max(stream.free_at for stream in streams)
+    wait = max(0.0, free - cpu)
+    builder.runtime_call(DEVICE_SYNCHRONIZE, cpu, config.sync_call_ns + wait,
+                         tid=tid)
+    cpu += config.sync_call_ns + wait
+    if measured:
+        builder.end_iteration(cpu)
+    return cpu + config.inter_iteration_gap_ns
+
+
+# ---------------------------------------------------------------------------
+# Launch-per-kernel execution, single dispatch thread
+# ---------------------------------------------------------------------------
+
+def single_thread_launch_process(
+    core: SimCore,
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    mode: ExecutionMode,
+    config,
+    recorder: RunRecorder | None = None,
+) -> Process:
+    """One CPU thread dispatches ops and launches to every device in turn."""
+    streams = core.streams()
+    world = len(streams)
+    thread = core.cpu_threads[0]
+    cpu = 0.0
+    launched = 0
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        for lowered_op in lowered:
+            op = lowered_op.op
+            if mode.fuses_elementwise:
+                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
+            else:
+                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
+            epilogue = dispatch * config.dispatch_epilogue_fraction
+            pre = dispatch - epilogue
+
+            parent = builder.begin_operator(op.aten_name, cpu)
+            child = None
+            child_name = _CHILD_OP_NAMES.get(op.kind)
+            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
+                cpu += pre * (1.0 - config.child_dispatch_fraction)
+                child = builder.begin_operator(child_name, cpu)
+                cpu += pre * config.child_dispatch_fraction
+            else:
+                cpu += pre
+            thread.occupy(dispatch)
+
+            for kernel in lowered_op.kernels:
+                # Bounded launch queue: the CPU cannot run more than
+                # `launch_queue_depth` launches ahead of kernel starts.
+                backlog_index = launched - config.launch_queue_depth
+                if backlog_index >= 0:
+                    cpu = max(cpu, streams[0].nth_start(backlog_index))
+                if kernel.is_collective and world > 1:
+                    duration = core.link.allreduce_ns(kernel.comm_bytes, world)
+                    calls = []
+                    for _ in streams:
+                        calls.append(cpu)
+                        cpu += platform.launch_call_cpu_ns
+                        thread.occupy(platform.launch_call_cpu_ns)
+                    start_at = max(
+                        stream.earliest_start(
+                            calls[di] + platform.launch_latency_ns,
+                            config.stream_kernel_gap_ns)
+                        for di, stream in enumerate(streams))
+                    for di, stream in enumerate(streams):
+                        start, _end = stream.submit(
+                            start_at, duration,
+                            gap_ns=config.stream_kernel_gap_ns)
+                        builder.launch_kernel(
+                            calls[di], platform.launch_call_cpu_ns,
+                            kernel.name, start, duration,
+                            stream=stream.stream_id, device=stream.device,
+                            flops=kernel.flops, bytes_moved=kernel.bytes_moved)
+                        if recorder is not None:
+                            recorder.observe_launch_delay(start - calls[di])
+                            recorder.observe_launch_queue(
+                                stream.pending_at(calls[di]))
+                    core.link.record(duration)
+                else:
+                    duration = kernel_duration(platform, kernel)
+                    for stream in streams:
+                        call_ts = cpu
+                        arrival = call_ts + platform.launch_latency_ns
+                        start, _end = stream.submit(
+                            arrival, duration,
+                            gap_ns=config.stream_kernel_gap_ns)
+                        builder.launch_kernel(
+                            call_ts, platform.launch_call_cpu_ns,
+                            kernel.name, start, duration,
+                            stream=stream.stream_id, device=stream.device,
+                            flops=kernel.flops, bytes_moved=kernel.bytes_moved)
+                        if recorder is not None:
+                            recorder.observe_launch_delay(start - call_ts)
+                            recorder.observe_launch_queue(
+                                stream.pending_at(call_ts))
+                        cpu += platform.launch_call_cpu_ns
+                        thread.occupy(platform.launch_call_cpu_ns)
+                launched += 1
+
+            if child is not None:
+                builder.end_operator(child, cpu)
+            cpu += epilogue
+            builder.end_operator(parent, cpu)
+
+        cpu = _end_iteration_sync(builder, streams, cpu, config,
+                                  measured=measured)
+        cpu = yield ("at", cpu)
+
+
+# ---------------------------------------------------------------------------
+# Launch-per-kernel execution, one dispatch thread per device
+# ---------------------------------------------------------------------------
+
+def per_device_launch_processes(
+    core: SimCore,
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    mode: ExecutionMode,
+    config,
+    recorder: RunRecorder | None = None,
+) -> list[Process]:
+    """One dispatch process per device; rendezvous at collectives/barriers."""
+    world = len(core.devices)
+    return [
+        _device_dispatch_process(
+            core, builder, lowered, platform, mode, config,
+            recorder if device_index == 0 else None, device_index, world)
+        for device_index in range(world)
+    ]
+
+
+def _device_dispatch_process(
+    core: SimCore,
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    mode: ExecutionMode,
+    config,
+    recorder: RunRecorder | None,
+    device_index: int,
+    world: int,
+) -> Process:
+    stream = core.devices[device_index].compute_stream
+    thread = core.cpu_threads[device_index]
+    tid = thread.tid
+    leader = device_index == 0
+    cpu = 0.0
+    launched = 0
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured and leader:
+            builder.begin_iteration(cpu)
+        for op_index, lowered_op in enumerate(lowered):
+            op = lowered_op.op
+            if mode.fuses_elementwise:
+                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
+            else:
+                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
+            epilogue = dispatch * config.dispatch_epilogue_fraction
+            pre = dispatch - epilogue
+
+            parent = builder.begin_operator(op.aten_name, cpu, tid=tid)
+            child = None
+            child_name = _CHILD_OP_NAMES.get(op.kind)
+            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
+                cpu += pre * (1.0 - config.child_dispatch_fraction)
+                child = builder.begin_operator(child_name, cpu, tid=tid)
+                cpu += pre * config.child_dispatch_fraction
+            else:
+                cpu += pre
+            thread.occupy(dispatch)
+
+            for kernel_index, kernel in enumerate(lowered_op.kernels):
+                backlog_index = launched - config.launch_queue_depth
+                if backlog_index >= 0:
+                    cpu = max(cpu, stream.nth_start(backlog_index))
+                call_ts = cpu
+                arrival = call_ts + platform.launch_latency_ns
+                if kernel.is_collective and world > 1:
+                    duration = core.link.allreduce_ns(kernel.comm_bytes, world)
+                    ready = stream.earliest_start(
+                        arrival, config.stream_kernel_gap_ns)
+                    rdv = core.rendezvous(
+                        ("allreduce", iteration, op_index, kernel_index), world)
+                    start_at = yield ("join", rdv, ready)
+                    start, _end = stream.submit(
+                        start_at, duration, gap_ns=config.stream_kernel_gap_ns)
+                    if leader:
+                        core.link.record(duration)
+                else:
+                    duration = kernel_duration(platform, kernel)
+                    start, _end = stream.submit(
+                        arrival, duration, gap_ns=config.stream_kernel_gap_ns)
+                builder.launch_kernel(
+                    call_ts, platform.launch_call_cpu_ns, kernel.name,
+                    start, duration, stream=stream.stream_id,
+                    device=stream.device, tid=tid,
+                    flops=kernel.flops, bytes_moved=kernel.bytes_moved)
+                if recorder is not None:
+                    recorder.observe_launch_delay(start - call_ts)
+                    recorder.observe_launch_queue(stream.pending_at(call_ts))
+                cpu += platform.launch_call_cpu_ns
+                thread.occupy(platform.launch_call_cpu_ns)
+                launched += 1
+
+            if child is not None:
+                builder.end_operator(child, cpu)
+            cpu += epilogue
+            builder.end_operator(parent, cpu)
+
+        # Per-device synchronize, then an iteration barrier so all threads
+        # enter the next iteration together (mirroring a framework-level
+        # step boundary).
+        wait = max(0.0, stream.free_at - cpu)
+        builder.runtime_call(DEVICE_SYNCHRONIZE, cpu,
+                             config.sync_call_ns + wait, tid=tid)
+        cpu += config.sync_call_ns + wait
+        barrier = core.rendezvous(("iteration-end", iteration), world)
+        cpu = yield ("join", barrier, cpu)
+        if measured and leader:
+            builder.end_iteration(cpu)
+        cpu += config.inter_iteration_gap_ns
+
+
+# ---------------------------------------------------------------------------
+# CUDA-graph execution (reduce-overhead / max-autotune)
+# ---------------------------------------------------------------------------
+
+def graph_replay_process(
+    core: SimCore,
+    builder: TraceBuilder,
+    lowered: list[LoweredOp],
+    platform: Platform,
+    config,
+) -> Process:
+    """Replay the captured kernel chain on every device."""
+    streams = core.streams()
+    world = len(streams)
+    thread = core.cpu_threads[0]
+    cpu = 0.0
+    kernels = [k for lo in lowered for k in lo.kernels]
+    total = config.warmup_iterations + config.iterations
+    for iteration in range(total):
+        measured = iteration >= config.warmup_iterations
+        if measured:
+            builder.begin_iteration(cpu)
+        parent = builder.begin_operator("cuda_graph::replay", cpu)
+        cpu += platform.dispatch_ns(config.graph_replay_dispatch_ns)
+        thread.occupy(platform.dispatch_ns(config.graph_replay_dispatch_ns))
+        arrivals = []
+        for _ in streams:
+            call_ts = cpu
+            builder.runtime_call(GRAPH_LAUNCH, call_ts,
+                                 platform.launch_call_cpu_ns)
+            cpu += platform.launch_call_cpu_ns
+            thread.occupy(platform.launch_call_cpu_ns)
+            arrivals.append(call_ts + platform.launch_latency_ns)
+        for kernel in kernels:
+            if kernel.is_collective and world > 1:
+                duration = core.link.allreduce_ns(kernel.comm_bytes, world)
+                start_at = max(
+                    stream.earliest_start(arrivals[di])
+                    for di, stream in enumerate(streams))
+                for di, stream in enumerate(streams):
+                    start, end = stream.submit(start_at, duration)
+                    builder.enqueue_graph_kernel(
+                        kernel.name, start, duration,
+                        stream=stream.stream_id, device=stream.device,
+                        flops=kernel.flops, bytes_moved=kernel.bytes_moved)
+                    arrivals[di] = end + config.graph_replay_kernel_gap_ns
+                core.link.record(duration)
+            else:
+                duration = kernel_duration(
+                    platform, kernel,
+                    floor_scale=config.graph_kernel_floor_scale)
+                for di, stream in enumerate(streams):
+                    start, end = stream.submit(arrivals[di], duration)
+                    builder.enqueue_graph_kernel(
+                        kernel.name, start, duration,
+                        stream=stream.stream_id, device=stream.device,
+                        flops=kernel.flops, bytes_moved=kernel.bytes_moved)
+                    arrivals[di] = end + config.graph_replay_kernel_gap_ns
+        builder.end_operator(parent, cpu)
+        cpu = _end_iteration_sync(builder, streams, cpu, config,
+                                  measured=measured)
+        cpu = yield ("at", cpu)

@@ -95,3 +95,14 @@ INFINITY_FABRIC = InterconnectSpec(
     base_latency_ns=60.0,
     submission_ns=40.0,
 )
+
+#: GPU<->GPU NVLink used for tensor-parallel collectives (per-direction
+#: NVLink 4 bandwidth on Hopper-class parts). ``submission_ns`` is zero
+#: because collectives launch through the normal kernel-launch path; only
+#: the data movement crosses this link.
+NVLINK4_P2P = InterconnectSpec(
+    name="NVLink 4 (GPU-GPU)",
+    bandwidth_gbs=450.0,
+    base_latency_ns=1_000.0,
+    submission_ns=0.0,
+)

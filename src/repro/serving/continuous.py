@@ -105,15 +105,30 @@ def simulate_continuous_batching(
                 shape=EngineShape(model.name, len(batch), prompt_len))
         clock += prefill_ns
         for request in batch:
-            active.append(_Sequence(
+            seq = _Sequence(
                 request=request,
                 first_token_ns=clock - request.arrival_ns,
                 remaining=request.output_tokens - 1,
                 context=request.prompt_len + 1,
                 last_token_ns=clock - request.arrival_ns,
-            ))
+            )
             if recorder is not None:
                 recorder.on_first_token(request.request_id, clock)
+            if seq.remaining <= 0:
+                # Single-token request: its first (prefill) token is its
+                # last; it completes here and never joins the decode batch.
+                if recorder is not None:
+                    recorder.on_completed(request.request_id, clock)
+                outcomes.append(RequestOutcome(
+                    request=request,
+                    ttft_ns=seq.first_token_ns,
+                    completion_ns=seq.first_token_ns,
+                    batch_size=len(batch),
+                    queue_ns=max(0.0, seq.first_token_ns
+                                 - latency.ttft_ns(model, 1, request.prompt_len)),
+                ))
+            else:
+                active.append(seq)
 
     while next_pending < len(pending) or active:
         if not active:
@@ -132,16 +147,16 @@ def simulate_continuous_batching(
                 shape=EngineShape(model.name, len(active), 1,
                                   phase="decode", context_len=bucketed))
         clock += step_ns
+        step_batch = len(active)
         finished: list[_Sequence] = []
         for seq in active:
             seq.context += 1
+            seq.remaining -= 1
             seq.last_token_ns = clock - seq.request.arrival_ns
             if recorder is not None:
                 recorder.on_token(seq.request.request_id, clock)
             if seq.remaining <= 0:
                 finished.append(seq)
-            else:
-                seq.remaining -= 1
         for seq in finished:
             active.remove(seq)
             if recorder is not None:
@@ -150,7 +165,7 @@ def simulate_continuous_batching(
                 request=seq.request,
                 ttft_ns=seq.first_token_ns,
                 completion_ns=seq.last_token_ns,
-                batch_size=policy.max_active,
+                batch_size=step_batch,
                 queue_ns=max(0.0, seq.first_token_ns
                              - latency.ttft_ns(model, 1, seq.request.prompt_len)),
             ))

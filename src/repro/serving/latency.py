@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.executor import EngineConfig, RunResult, run
 from repro.engine.modes import ExecutionMode
+from repro.engine.tp import TPConfig
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
 from repro.skip.metrics import compute_metrics
@@ -30,6 +31,9 @@ class LatencyModel:
     platform: Platform
     mode: ExecutionMode = ExecutionMode.EAGER
     engine_config: EngineConfig = field(default=_FAST_CONFIG)
+    #: Tensor-parallel topology for every engine run behind this model.
+    #: Fixed per instance, so the latency caches need no extra key.
+    tp: TPConfig | None = None
     _ttft_cache: dict = field(default_factory=dict, repr=False)
     _decode_cache: dict = field(default_factory=dict, repr=False)
     _result_cache: dict = field(default_factory=dict, repr=False)
@@ -49,7 +53,7 @@ class LatencyModel:
             self._result_cache[key] = run(
                 model, self.platform, batch_size=batch_size, seq_len=seq_len,
                 phase=phase, context_len=context_len, mode=self.mode,
-                config=self.engine_config)
+                config=self.engine_config, tp=self.tp)
         return self._result_cache[key]
 
     def ttft_ns(self, model: ModelConfig, batch_size: int, prompt_len: int) -> float:
@@ -58,7 +62,7 @@ class LatencyModel:
         if key not in self._ttft_cache:
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=prompt_len, mode=self.mode,
-                         config=self.engine_config)
+                         config=self.engine_config, tp=self.tp)
             metrics = compute_metrics(result.trace)
             self._ttft_cache[key] = metrics.inference_latency_ns
         return self._ttft_cache[key]
@@ -70,7 +74,7 @@ class LatencyModel:
         if key not in self._decode_cache:
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=1, phase=Phase.DECODE, context_len=context_len,
-                         mode=self.mode, config=self.engine_config)
+                         mode=self.mode, config=self.engine_config, tp=self.tp)
             metrics = compute_metrics(result.trace)
             self._decode_cache[key] = metrics.inference_latency_ns
         return self._decode_cache[key]

@@ -1,0 +1,33 @@
+"""Discrete-event simulation core.
+
+``repro.sim`` is the substrate the execution engine runs on: a deterministic
+event queue (:mod:`repro.sim.queue`), named resources — CPU dispatch threads,
+GPU devices with in-order streams, GPU<->GPU interconnect links
+(:mod:`repro.sim.resources`) — and a process scheduler with rendezvous
+synchronization for collectives (:mod:`repro.sim.core`).
+
+The engine's execution modes are written as *processes* on this core
+(:mod:`repro.engine.processes`); the core itself knows nothing about
+operators, kernels, or traces, so new resource kinds (more streams per
+device, heterogeneous devices, multi-link topologies) plug in without
+touching the engine.
+"""
+
+from repro.sim.core import Rendezvous, SimCore
+from repro.sim.queue import EventQueue
+from repro.sim.resources import (
+    CpuThread,
+    GpuDevice,
+    LinkResource,
+    StreamResource,
+)
+
+__all__ = [
+    "CpuThread",
+    "EventQueue",
+    "GpuDevice",
+    "LinkResource",
+    "Rendezvous",
+    "SimCore",
+    "StreamResource",
+]

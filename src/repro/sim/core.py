@@ -1,0 +1,169 @@
+"""SimCore — event-driven process scheduler over named resources.
+
+Processes are Python generators. A process yields *requests* to the core and
+is resumed with the simulation time at which the request was granted:
+
+* ``("at", t)`` — suspend until absolute time ``t``;
+* ``("join", rendezvous, ready_ns)`` — rendezvous with the other parties of
+  a collective; the process resumes once every party has joined, at the
+  maximum of all ``ready_ns`` values (the time the collective can start).
+
+A process that never yields simply runs to completion on its first
+scheduling slot — the single-dispatch-thread execution modes are exactly
+that degenerate case, which is what lets the refactored engine reproduce the
+legacy single-threaded executor bit-for-bit at TP=1.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Generator, Hashable, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.queue import EventQueue
+from repro.sim.resources import CpuThread, GpuDevice, LinkResource, StreamResource
+
+Process = Generator[tuple, float, None]
+
+
+@dataclass
+class Rendezvous:
+    """A single-use synchronization point for ``parties`` processes.
+
+    Collectives (and iteration barriers) release every participant at the
+    maximum of the joined ready times — the instant the slowest participant
+    is able to start.
+    """
+
+    parties: int
+    waiters: list[tuple[Process, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.parties < 1:
+            raise SimulationError("rendezvous needs at least one party")
+
+    @property
+    def complete(self) -> bool:
+        return len(self.waiters) >= self.parties
+
+    def join(self, process: Process, ready_ns: float) -> None:
+        if self.complete:
+            raise SimulationError("rendezvous already complete")
+        self.waiters.append((process, ready_ns))
+
+    @property
+    def release_ns(self) -> float:
+        if not self.complete:
+            raise SimulationError("rendezvous not complete yet")
+        return max(ready for _, ready in self.waiters)
+
+
+class SimCore:
+    """The simulation: an event queue plus the resources processes share."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._rendezvous: dict[Hashable, Rendezvous] = {}
+        self.cpu_threads: list[CpuThread] = []
+        self.devices: list[GpuDevice] = []
+        self.link: LinkResource | None = None
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_cpu_thread(self, name: str = "dispatch") -> CpuThread:
+        thread = CpuThread(tid=1 + len(self.cpu_threads), name=name)
+        self.cpu_threads.append(thread)
+        return thread
+
+    def add_device(self, streams: int = 1) -> GpuDevice:
+        index = len(self.devices)
+        device = GpuDevice(index=index, streams=[
+            StreamResource(stream_id=7 + s, device=index)
+            for s in range(max(1, streams))
+        ])
+        self.devices.append(device)
+        return device
+
+    def set_link(self, link: LinkResource) -> LinkResource:
+        self.link = link
+        return link
+
+    def streams(self) -> list[StreamResource]:
+        """Every device's compute stream, in device order."""
+        return [device.compute_stream for device in self.devices]
+
+    # ------------------------------------------------------------------
+    # Rendezvous bookkeeping
+    # ------------------------------------------------------------------
+    def rendezvous(self, key: Hashable, parties: int) -> Rendezvous:
+        """The rendezvous for ``key``, created on first request.
+
+        Every participating process derives the same key from its program
+        position (iteration, op index, kernel index), so all parties get the
+        same object without any central registration step.
+        """
+        rdv = self._rendezvous.get(key)
+        if rdv is None:
+            rdv = Rendezvous(parties)
+            self._rendezvous[key] = rdv
+        elif rdv.parties != parties:
+            raise SimulationError(f"rendezvous {key!r} party-count mismatch")
+        return rdv
+
+    # ------------------------------------------------------------------
+    # Process scheduling
+    # ------------------------------------------------------------------
+    def spawn(self, process: Process, at_ns: float = 0.0) -> None:
+        """Schedule ``process`` to start at ``at_ns``."""
+        self._queue.push(at_ns, process)
+
+    def spawn_all(self, processes: Iterable[Process], at_ns: float = 0.0) -> None:
+        for process in processes:
+            self.spawn(process, at_ns)
+
+    def run(self) -> None:
+        """Drive every process to completion."""
+        while self._queue:
+            time_ns, process = self._queue.pop()
+            # Each process keeps its own monotone clock; global time is the
+            # high-water mark. A rendezvous released by a GPU-side ready time
+            # can legitimately pop "behind" a CPU clock that ran ahead.
+            self.now = max(self.now, time_ns)
+            self._step(process, time_ns)
+        incomplete = [key for key, rdv in self._rendezvous.items()
+                      if not rdv.complete and rdv.waiters]
+        if incomplete:
+            raise SimulationError(
+                f"deadlock: rendezvous never completed: {incomplete[:3]}")
+
+    def _step(self, process: Process, resume_ns: float) -> None:
+        try:
+            if inspect.getgeneratorstate(process) == inspect.GEN_CREATED:
+                # A just-started generator cannot receive a value; its code
+                # up to the first yield runs on this first activation.
+                request = next(process)
+            else:
+                request = process.send(resume_ns)
+        except StopIteration:
+            return
+        self._handle(process, request)
+
+    def _handle(self, process: Process, request: Any) -> None:
+        if not isinstance(request, tuple) or not request:
+            raise SimulationError(f"malformed process request: {request!r}")
+        kind = request[0]
+        if kind == "at":
+            _, time_ns = request
+            self._queue.push(time_ns, process)
+        elif kind == "join":
+            _, rdv, ready_ns = request
+            rdv.join(process, ready_ns)
+            if rdv.complete:
+                release = rdv.release_ns
+                for waiter, _ in rdv.waiters:
+                    self._queue.push(release, waiter)
+        else:
+            raise SimulationError(f"unknown process request kind: {kind!r}")

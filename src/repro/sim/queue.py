@@ -1,0 +1,48 @@
+"""Deterministic event queue.
+
+A min-heap of ``(time, seq)`` entries. ``seq`` is a monotonically increasing
+insertion counter, so two events scheduled for the same instant pop in the
+order they were pushed — simulation results never depend on heap internals,
+which is what makes multi-process runs (and their traces) reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Time-ordered event queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time_ns: float, item: Any) -> None:
+        """Schedule ``item`` at ``time_ns``."""
+        if time_ns < 0:
+            raise SimulationError("event time must be non-negative")
+        heapq.heappush(self._heap, (time_ns, self._seq, item))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, item)`` entry."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time_ns, _, item = heapq.heappop(self._heap)
+        return time_ns, item
+
+    def peek_time(self) -> float:
+        """Earliest scheduled time without popping."""
+        if not self._heap:
+            raise SimulationError("peek into an empty event queue")
+        return self._heap[0][0]

@@ -29,6 +29,7 @@ from repro.skip.fusion import (
     combined_plan,
 )
 from repro.skip.metrics import (
+    DeviceMetrics,
     IterationMetrics,
     KernelAggregate,
     SkipMetrics,
@@ -74,6 +75,7 @@ __all__ = [
     "MiningResult",
     "OpNode",
     "ProfileResult",
+    "DeviceMetrics",
     "SkipMetrics",
     "SkipProfiler",
     "TransitionPoint",

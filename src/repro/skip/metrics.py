@@ -17,7 +17,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
-from repro.skip.depgraph import DependencyGraph, LaunchRecord
+from repro.skip.depgraph import DependencyGraph
 from repro.trace.trace import Trace
 
 
@@ -37,6 +37,30 @@ class KernelAggregate:
     @property
     def mean_launch_queue_ns(self) -> float:
         return self.total_launch_queue_ns / self.count
+
+
+@dataclass(frozen=True)
+class DeviceMetrics:
+    """Per-GPU-device SKIP metrics, averaged over profiled iterations.
+
+    Multi-device (tensor-parallel) traces carry kernels from several GPU
+    ordinals; partitioning TKLQT/AKD/idle by device shows whether the CPU
+    dispatch bottleneck hits all devices equally (single dispatch thread) or
+    is spread out (per-device dispatch). Device TKLQT values sum to the
+    aggregate TKLQT (each launch belongs to exactly one device).
+    """
+
+    device: int
+    tklqt_ns: float
+    akd_ns: float
+    gpu_busy_ns: float
+    gpu_idle_ns: float
+    kernel_launches: float
+
+    @property
+    def mean_launch_queue_ns(self) -> float:
+        """Average per-kernel ``t_l`` on this device."""
+        return self.tklqt_ns / self.kernel_launches if self.kernel_launches else 0.0
 
 
 @dataclass(frozen=True)
@@ -66,6 +90,7 @@ class SkipMetrics:
 
     iterations: list[IterationMetrics]
     top_kernels: list[KernelAggregate] = field(default_factory=list)
+    devices: list[DeviceMetrics] = field(default_factory=list)
 
     def _mean(self, attr: str) -> float:
         values = [getattr(it, attr) for it in self.iterations]
@@ -117,6 +142,13 @@ class SkipMetrics:
         """The k most frequently launched kernels."""
         return self.top_kernels[:k]
 
+    def device(self, index: int) -> DeviceMetrics:
+        """Metrics for one GPU ordinal."""
+        for device in self.devices:
+            if device.device == index:
+                return device
+        raise AnalysisError(f"no kernels from device {index} in this trace")
+
 
 def compute_metrics(trace: Trace,
                     graph: DependencyGraph | None = None) -> SkipMetrics:
@@ -136,6 +168,10 @@ def compute_metrics(trace: Trace,
 
     per_iteration: list[IterationMetrics] = []
     name_stats: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    # device -> [tklqt, busy, launches], accumulated across iterations.
+    # Kept separate from the aggregate sums above so adding the per-device
+    # breakdown cannot perturb the aggregate floating-point results.
+    device_stats: dict[int, list[float]] = defaultdict(lambda: [0.0, 0.0, 0])
 
     for mark in trace.iterations:
         launches = graph.launches_in(mark.ts, mark.ts_end)
@@ -183,11 +219,38 @@ def compute_metrics(trace: Trace,
             stats[0] += 1
             stats[1] += kernel.dur
 
+        for record in launches:
+            stats = device_stats[record.kernel.device]
+            stats[0] += record.launch_and_queue_ns
+            stats[1] += record.kernel.dur
+            stats[2] += 1
+        for kernel in graph_kernels:
+            stats = device_stats[kernel.device]
+            stats[1] += kernel.dur
+            stats[2] += 1
+
     aggregates = [
         KernelAggregate(name, int(count), total_dur, total_lq)
         for name, (count, total_dur, total_lq) in name_stats.items()
     ]
     aggregates.sort(key=lambda a: (-a.count, -a.total_duration_ns, a.name))
+
+    n_iterations = len(per_iteration)
+    mean_il = (sum(it.inference_latency_ns for it in per_iteration)
+               / n_iterations)
+    device_metrics = [
+        DeviceMetrics(
+            device=device,
+            tklqt_ns=tklqt / n_iterations,
+            akd_ns=busy / count if count else 0.0,
+            gpu_busy_ns=busy / n_iterations,
+            gpu_idle_ns=mean_il - busy / n_iterations,
+            kernel_launches=count / n_iterations,
+        )
+        for device, (tklqt, busy, count) in sorted(device_stats.items())
+    ]
+
     # The full per-name population is kept (it is small — tens of distinct
     # names); top_k() slices on demand and diffing needs all of it.
-    return SkipMetrics(iterations=per_iteration, top_kernels=aggregates)
+    return SkipMetrics(iterations=per_iteration, top_kernels=aggregates,
+                       devices=device_metrics)

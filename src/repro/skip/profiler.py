@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, RunResult, run
+from repro.engine.tp import TPConfig
 from repro.engine.fusion_apply import FusionPlan
 from repro.engine.modes import ExecutionMode
 from repro.hardware.platform import Platform
@@ -84,6 +85,7 @@ class SkipProfiler:
         phase: Phase = Phase.PREFILL,
         context_len: int | None = None,
         fusion_plan: FusionPlan | None = None,
+        tp: TPConfig | None = None,
     ) -> ProfileResult:
         """Simulate a run on this profiler's platform and analyze its trace."""
         run_result = run(
@@ -96,6 +98,7 @@ class SkipProfiler:
             context_len=context_len,
             config=self.engine_config,
             fusion_plan=fusion_plan,
+            tp=tp,
         )
         return self.analyze(run_result.trace, run_result)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.skip.classify import Boundedness, TransitionPoint
+from repro.skip.classify import TransitionPoint
 from repro.skip.fusion import FusionAnalysis
 from repro.skip.metrics import SkipMetrics
 from repro.skip.profiler import ProfileResult
@@ -29,6 +29,16 @@ def metrics_report(metrics: SkipMetrics, title: str = "SKIP metrics") -> str:
         f"CPU busy / idle            : {format_ns(metrics.cpu_busy_ns)}"
         f" / {format_ns(metrics.cpu_idle_ns)}",
     ]
+    if len(metrics.devices) > 1:
+        lines.append("per-device breakdown")
+        for dev in metrics.devices:
+            lines.append(
+                f"  gpu{dev.device}: TKLQT={format_ns(dev.tklqt_ns)}  "
+                f"AKD={format_ns(dev.akd_ns)}  "
+                f"busy={format_ns(dev.gpu_busy_ns)}  "
+                f"idle={format_ns(dev.gpu_idle_ns)}  "
+                f"launches={dev.kernel_launches:.0f}"
+            )
     return "\n".join(lines)
 
 

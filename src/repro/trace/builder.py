@@ -7,6 +7,11 @@ The builder enforces the structural invariants SKIP relies on:
 * operators form a properly nested stack per thread (parents strictly
   contain children in time);
 * iteration marks do not overlap.
+
+Multi-device runs record events from several CPU dispatch threads (one
+``tid`` per thread) against several GPU devices/streams; the builder keeps
+one operator stack per thread so concurrent dispatchers cannot corrupt each
+other's nesting.
 """
 
 from __future__ import annotations
@@ -37,34 +42,41 @@ class TraceBuilder:
         self._tid = tid
         self._correlation = itertools.count(1)
         self._seq = itertools.count(0)
-        self._stack: list[_OpenOperator] = []
+        self._stacks: dict[int, list[_OpenOperator]] = {}
         self._iteration_start: float | None = None
+
+    def _stack_for(self, tid: int) -> list[_OpenOperator]:
+        return self._stacks.setdefault(tid, [])
 
     # ------------------------------------------------------------------
     # Operators
     # ------------------------------------------------------------------
-    def begin_operator(self, name: str, ts: float) -> OperatorEvent:
+    def begin_operator(self, name: str, ts: float,
+                       tid: int | None = None) -> OperatorEvent:
         """Open an operator scope; duration is set on :meth:`end_operator`."""
-        if self._stack and ts < self._stack[-1].event.ts:
+        tid = self._tid if tid is None else tid
+        stack = self._stack_for(tid)
+        if stack and ts < stack[-1].event.ts:
             raise TraceError(
                 f"operator {name!r} begins at {ts} before its parent "
-                f"{self._stack[-1].event.name!r} at {self._stack[-1].event.ts}"
+                f"{stack[-1].event.name!r} at {stack[-1].event.ts}"
             )
-        event = OperatorEvent(name=name, ts=ts, dur=0.0, tid=self._tid, seq=next(self._seq))
-        self._stack.append(_OpenOperator(event))
+        event = OperatorEvent(name=name, ts=ts, dur=0.0, tid=tid, seq=next(self._seq))
+        stack.append(_OpenOperator(event))
         self._trace.add(event)
         return event
 
     def end_operator(self, event: OperatorEvent, ts_end: float) -> None:
-        """Close the innermost operator scope."""
-        if not self._stack or self._stack[-1].event is not event:
+        """Close the innermost operator scope on the event's thread."""
+        stack = self._stack_for(event.tid)
+        if not stack or stack[-1].event is not event:
             raise TraceError(f"operator {event.name!r} is not the innermost open scope")
         if ts_end < event.ts:
             raise TraceError(f"operator {event.name!r} ends at {ts_end} before start {event.ts}")
         event.dur = ts_end - event.ts
-        self._stack.pop()
-        if self._stack:
-            parent = self._stack[-1].event
+        stack.pop()
+        if stack:
+            parent = stack[-1].event
             # A child may not outlive its parent; the engine guarantees this,
             # but a builder bug would silently corrupt SKIP's dependency graph.
             if ts_end < parent.ts:
@@ -81,6 +93,8 @@ class TraceBuilder:
         kernel_ts: float,
         kernel_dur: float,
         stream: int = 7,
+        device: int = 0,
+        tid: int | None = None,
         flops: float = 0.0,
         bytes_moved: float = 0.0,
         call_name: str = LAUNCH_KERNEL,
@@ -96,7 +110,7 @@ class TraceBuilder:
             name=call_name,
             ts=call_ts,
             dur=call_dur,
-            tid=self._tid,
+            tid=self._tid if tid is None else tid,
             correlation_id=correlation,
         )
         kernel = KernelEvent(
@@ -106,6 +120,7 @@ class TraceBuilder:
             tid=0,
             correlation_id=correlation,
             stream=stream,
+            device=device,
             flops=flops,
             bytes_moved=bytes_moved,
         )
@@ -113,9 +128,11 @@ class TraceBuilder:
         self._trace.add(kernel)
         return call, kernel
 
-    def runtime_call(self, name: str, ts: float, dur: float) -> RuntimeEvent:
+    def runtime_call(self, name: str, ts: float, dur: float,
+                     tid: int | None = None) -> RuntimeEvent:
         """Record a non-launching runtime call (e.g. a synchronize)."""
-        event = RuntimeEvent(name=name, ts=ts, dur=dur, tid=self._tid)
+        event = RuntimeEvent(name=name, ts=ts, dur=dur,
+                             tid=self._tid if tid is None else tid)
         self._trace.add(event)
         return event
 
@@ -125,6 +142,7 @@ class TraceBuilder:
         kernel_ts: float,
         kernel_dur: float,
         stream: int = 7,
+        device: int = 0,
         flops: float = 0.0,
         bytes_moved: float = 0.0,
     ) -> KernelEvent:
@@ -141,6 +159,7 @@ class TraceBuilder:
             tid=0,
             correlation_id=correlation,
             stream=stream,
+            device=device,
             flops=flops,
             bytes_moved=bytes_moved,
         )
@@ -166,9 +185,10 @@ class TraceBuilder:
     # ------------------------------------------------------------------
     def finish(self) -> Trace:
         """Close the builder and return the validated trace."""
-        if self._stack:
-            names = [open_op.event.name for open_op in self._stack]
-            raise TraceError(f"unclosed operator scopes: {names}")
+        for stack in self._stacks.values():
+            if stack:
+                names = [open_op.event.name for open_op in stack]
+                raise TraceError(f"unclosed operator scopes: {names}")
         if self._iteration_start is not None:
             raise TraceError("unclosed iteration")
         self._trace.sort()

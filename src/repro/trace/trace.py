@@ -9,7 +9,7 @@ boundary marks so analyses can work per-forward-pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable
 
 from repro.errors import TraceError
 from repro.trace.events import (

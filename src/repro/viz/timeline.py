@@ -40,10 +40,12 @@ def _paint(lane: list[str], ts: float, ts_end: float, begin: float,
 
 def render_timeline(trace: Trace, options: TimelineOptions = TimelineOptions()
                     ) -> str:
-    """Render three lanes (ops, launches, kernels) over a time window.
+    """Render ops, launches, and per-device kernel lanes over a time window.
 
-    Lane legend: ``=`` operator on CPU, ``|`` launch call, ``#`` kernel
-    executing, ``.`` idle.
+    Single-device traces keep the classic three-lane view (ops, launches,
+    ``gpu``); multi-device (tensor-parallel) traces get one kernel lane per
+    GPU ordinal (``gpu0``, ``gpu1``, ...). Lane legend: ``=`` operator on
+    CPU, ``|`` launch call, ``#`` kernel executing, ``.`` idle.
     """
     events = trace.all_events()
     if not events:
@@ -58,7 +60,8 @@ def render_timeline(trace: Trace, options: TimelineOptions = TimelineOptions()
 
     op_lane = ["."] * width
     call_lane = ["."] * width
-    kernel_lane = ["."] * width
+    devices = sorted({k.device for k in trace.kernels})
+    kernel_lanes = {device: ["."] * width for device in devices}
     for op in trace.operators:
         if op.ts_end >= begin and op.ts <= end:
             _paint(op_lane, op.ts, op.ts_end, begin, scale, "=", width)
@@ -68,14 +71,20 @@ def render_timeline(trace: Trace, options: TimelineOptions = TimelineOptions()
             _paint(call_lane, call.ts, call.ts_end, begin, scale, char, width)
     for kernel in trace.kernels:
         if kernel.ts_end >= begin and kernel.ts <= end:
-            _paint(kernel_lane, kernel.ts, kernel.ts_end, begin, scale, "#",
-                   width)
+            _paint(kernel_lanes[kernel.device], kernel.ts, kernel.ts_end,
+                   begin, scale, "#", width)
 
-    return "\n".join([
+    lines = [
         f"timeline {format_ns(begin)} .. {format_ns(end)} "
         f"({format_ns(end - begin)} window)",
         "cpu ops  " + "".join(op_lane),
         "launches " + "".join(call_lane),
-        "gpu      " + "".join(kernel_lane),
-        "legend: = op   | launch   s sync   # kernel   . idle",
-    ])
+    ]
+    if len(devices) <= 1:
+        lane = kernel_lanes[devices[0]] if devices else ["."] * width
+        lines.append("gpu      " + "".join(lane))
+    else:
+        for device in devices:
+            lines.append(f"gpu{device:<6}" + "".join(kernel_lanes[device]))
+    lines.append("legend: = op   | launch   s sync   # kernel   . idle")
+    return "\n".join(lines)

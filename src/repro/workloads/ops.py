@@ -50,6 +50,7 @@ class OpKind(enum.Enum):
     INDEX_SELECT = "index_select"
     SCATTER_ADD = "scatter_add"
     SDPA_FLASH = "sdpa_flash"
+    ALL_REDUCE = "all_reduce"
     GRAPH_REPLAY = "graph_replay"
 
 
@@ -79,6 +80,7 @@ ATEN_NAMES: dict[OpKind, str] = {
     OpKind.INDEX_SELECT: "aten::index_select",
     OpKind.SCATTER_ADD: "aten::index_add_",
     OpKind.SDPA_FLASH: "aten::scaled_dot_product_attention",
+    OpKind.ALL_REDUCE: "c10d::allreduce_",
     OpKind.GRAPH_REPLAY: "cuda_graph::replay",
 }
 
@@ -111,6 +113,7 @@ DISPATCH_COST_NS: dict[OpKind, float] = {
     OpKind.INDEX_SELECT: 13000.0,
     OpKind.SCATTER_ADD: 15000.0,
     OpKind.SDPA_FLASH: 27000.0,
+    OpKind.ALL_REDUCE: 26000.0,
     OpKind.GRAPH_REPLAY: 15000.0,
 }
 
@@ -341,6 +344,23 @@ def scatter_add(label: str, rows: int, dim: int) -> Op:
     return Op(OpKind.SCATTER_ADD, label, float(elements),
               FP16_BYTES * 2 * elements + 8.0 * rows, FP16_BYTES * elements,
               dims=(dim,))
+
+
+def all_reduce(label: str, message_bytes: float, world: int) -> Op:
+    """A c10d all-reduce over ``message_bytes`` across ``world`` ranks.
+
+    Tensor-parallel lowerings insert these at layer boundaries (attention
+    output projection, MLP down projection). FLOPs count the elementwise
+    reductions a ring schedule performs; data movement over the GPU-GPU link
+    is priced separately by the interconnect model, not the roofline.
+    """
+    _check_positive(world=world)
+    if message_bytes <= 0:
+        raise ConfigurationError(
+            f"message_bytes must be positive, got {message_bytes}")
+    elements = message_bytes / FP16_BYTES
+    return Op(OpKind.ALL_REDUCE, label, float(elements),
+              message_bytes, message_bytes, dims=(world,))
 
 
 def _check_positive(**values: int) -> None:

@@ -9,7 +9,7 @@ the population proximity-score fusion targets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.workloads import ops

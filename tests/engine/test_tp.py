@@ -1,0 +1,112 @@
+"""Tensor-parallel configuration and the sharding pass."""
+
+import pytest
+
+from repro.engine import DispatchMode, TPConfig, TP_DISABLED, run, shard_lowered
+from repro.engine.lowering import allreduce_kernel_name, lower_graph
+from repro.engine.tp import count_allreduces, is_sharded_label, needs_allreduce
+from repro.errors import ConfigurationError
+from repro.hardware import INTEL_H100
+from repro.workloads import BERT_BASE, LLAMA_3_2_1B, build_graph
+
+
+def _lowered(model, batch_size=2, seq_len=64):
+    return lower_graph(build_graph(model, batch_size=batch_size,
+                                   seq_len=seq_len))
+
+
+# ----------------------------------------------------------------------
+# TPConfig
+# ----------------------------------------------------------------------
+def test_config_validation_and_enabled():
+    with pytest.raises(ConfigurationError):
+        TPConfig(degree=0)
+    assert not TP_DISABLED.enabled
+    assert TPConfig(degree=2).enabled
+
+
+# ----------------------------------------------------------------------
+# Label classification
+# ----------------------------------------------------------------------
+def test_attention_and_mlp_shard():
+    assert is_sharded_label("layer0.attn.q_proj")
+    assert is_sharded_label("layer3.mlp.up_proj")
+
+
+def test_norms_residuals_and_moe_replicate():
+    assert not is_sharded_label("layer0.attn_norm")
+    assert not is_sharded_label("layer0.residual_add")
+    assert not is_sharded_label("layer0.moe.expert0.fc1")
+    assert not is_sharded_label("embed_tokens")
+
+
+def test_row_parallel_boundaries_need_allreduce():
+    assert needs_allreduce("layer0.attn.o_proj")
+    assert needs_allreduce("layer2.mlp.down_proj")
+    assert needs_allreduce("layer1.attn.output.dense")
+    assert not needs_allreduce("layer0.attn.q_proj")
+    assert not needs_allreduce("layer0.moe.mlp.down_proj")
+
+
+# ----------------------------------------------------------------------
+# shard_lowered
+# ----------------------------------------------------------------------
+def test_degree_one_is_identity():
+    lowered = _lowered(BERT_BASE)
+    assert shard_lowered(lowered, TP_DISABLED) is lowered
+    assert count_allreduces(lowered) == 0
+
+
+def test_sharding_divides_work_and_inserts_collectives():
+    lowered = _lowered(LLAMA_3_2_1B)
+    tp = TPConfig(degree=4)
+    sharded = shard_lowered(lowered, tp)
+    # Two row-parallel boundaries per decoder layer.
+    assert count_allreduces(sharded) == 2 * LLAMA_3_2_1B.layers
+    by_label = {lo.op.label: lo for lo in sharded}
+    for label, lo in by_label.items():
+        if lo.kernels and is_sharded_label(label) and ".allreduce" not in label:
+            original = next(o for o in lowered if o.op.label == label)
+            for orig_k, shard_k in zip(original.kernels, lo.kernels):
+                assert shard_k.flops == pytest.approx(orig_k.flops / 4)
+                assert shard_k.bytes_read == pytest.approx(orig_k.bytes_read / 4)
+
+
+def test_allreduce_message_is_full_boundary_output():
+    lowered = _lowered(LLAMA_3_2_1B)
+    sharded = shard_lowered(lowered, TPConfig(degree=2))
+    boundary = next(lo for lo in sharded if needs_allreduce(lo.op.label))
+    collective = sharded[sharded.index(boundary) + 1]
+    assert collective.op.label == boundary.op.label + ".allreduce"
+    kernel = collective.kernels[0]
+    assert kernel.is_collective
+    assert kernel.comm_bytes == pytest.approx(boundary.op.bytes_written)
+    assert kernel.name == allreduce_kernel_name(2)
+
+
+def test_replicated_ops_keep_their_kernels():
+    lowered = _lowered(BERT_BASE)
+    sharded = shard_lowered(lowered, TPConfig(degree=8))
+    for original, new in zip(lowered,
+                             [lo for lo in sharded
+                              if not lo.op.label.endswith(".allreduce")]):
+        assert original.op.label == new.op.label
+        if not is_sharded_label(original.op.label):
+            assert new.kernels == original.kernels
+
+
+# ----------------------------------------------------------------------
+# End-to-end TP runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dispatch", list(DispatchMode))
+def test_tp_run_emits_per_device_kernels(dispatch):
+    from repro.engine import EngineConfig
+
+    result = run(BERT_BASE, INTEL_H100, batch_size=8, seq_len=64,
+                 config=EngineConfig(iterations=1),
+                 tp=TPConfig(degree=2, dispatch=dispatch))
+    devices = {k.device for k in result.trace.kernels}
+    assert devices == {0, 1}
+    assert result.trace.metadata["tp_degree"] == 2
+    names = {k.name for k in result.trace.kernels}
+    assert allreduce_kernel_name(2) in names

@@ -9,7 +9,6 @@ import pytest
 from repro.analysis import find_crossover
 from repro.hardware import AMD_A100, GH200, INTEL_H100, nullkernel_table
 from repro.skip import analyze_trace, best_speedup
-from repro.workloads import BERT_BASE
 
 
 class TestTable5:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.reproduction import Anchor, Scorecard, run_scorecard
+from repro.reproduction import Anchor, run_scorecard
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Property-based tests for the execution engine on random operator graphs."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Property-based tests for the serving loops (conservation & ordering)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,9 +4,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware import INTEL_H100
+from repro.obs import RunRecorder
 from repro.serving import (
     ContinuousBatchPolicy,
     LatencyModel,
+    Request,
     StaticBatchPolicy,
     poisson_requests,
     simulate_continuous_batching,
@@ -66,6 +68,45 @@ def test_context_bucket_bounds_latency_lookups(stream):
     contexts = {key[2] for key in fresh._decode_cache}
     assert contexts
     assert all(c % 128 == 0 for c in contexts)
+
+
+def test_single_token_request_completes_at_prefill(latency):
+    """output_tokens=1 finishes at its first token: no decode step runs."""
+    requests = [Request(0, 0.0, prompt_len=64, output_tokens=1)]
+    recorder = RunRecorder()
+    report = simulate_continuous_batching(requests, GPT2, latency,
+                                          recorder=recorder)
+    outcome = report.outcomes[0]
+    assert outcome.completion_ns == outcome.ttft_ns
+    assert not [s for s in recorder.steps if s.kind.value == "decode"]
+    span = recorder.spans[0]
+    assert span.first_token_ns == span.completed_ns
+    assert recorder.counters.get("tokens_generated") == 0  # no decode tokens
+
+
+def test_decode_steps_match_output_tokens(latency):
+    """Prefill emits token 1; each decode step emits exactly one more."""
+    requests = [Request(0, 0.0, prompt_len=64, output_tokens=6)]
+    recorder = RunRecorder()
+    simulate_continuous_batching(requests, GPT2, latency, recorder=recorder)
+    decode_steps = [s for s in recorder.steps if s.kind.value == "decode"]
+    assert len(decode_steps) == 5
+    assert recorder.counters.get("tokens_generated") == 5  # plus the prefill token
+
+
+def test_outcome_reports_actual_decode_batch(latency):
+    """batch_size is the decode batch the request finished in, not
+    policy.max_active."""
+    requests = [Request(0, 0.0, prompt_len=64, output_tokens=4),
+                Request(1, 0.0, prompt_len=64, output_tokens=2)]
+    report = simulate_continuous_batching(
+        requests, GPT2, latency, ContinuousBatchPolicy(max_active=16))
+    by_id = {o.request.request_id for o in report.outcomes}
+    assert by_id == {0, 1}
+    outcomes = {o.request.request_id: o for o in report.outcomes}
+    # Request 1 finishes while both are decoding; request 0 finishes alone.
+    assert outcomes[1].batch_size == 2
+    assert outcomes[0].batch_size == 1
 
 
 def test_empty_stream_rejected(latency):

@@ -1,0 +1,115 @@
+"""SimCore process scheduling: timers, rendezvous, topology."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import LinkResource, SimCore
+from repro.hardware.interconnect import NVLINK4_P2P
+
+
+def test_topology_construction():
+    core = SimCore()
+    t0 = core.add_cpu_thread()
+    t1 = core.add_cpu_thread("dispatch-1")
+    assert (t0.tid, t1.tid) == (1, 2)
+    core.add_device()
+    core.add_device(streams=2)
+    assert [d.index for d in core.devices] == [0, 1]
+    assert [s.stream_id for s in core.devices[1].streams] == [7, 8]
+    assert [s.device for s in core.streams()] == [0, 1]
+    link = core.set_link(LinkResource(spec=NVLINK4_P2P))
+    assert core.link is link
+
+
+def test_process_resumes_at_requested_time():
+    core = SimCore()
+    seen = []
+
+    def process():
+        resumed = yield ("at", 100.0)
+        seen.append(resumed)
+        resumed = yield ("at", 250.0)
+        seen.append(resumed)
+
+    core.spawn(process())
+    core.run()
+    assert seen == [100.0, 250.0]
+    assert core.now == 250.0
+
+
+def test_processes_interleave_in_time_order():
+    core = SimCore()
+    order = []
+
+    def process(name, times):
+        for t in times:
+            yield ("at", t)
+            order.append((name, t))
+
+    core.spawn(process("a", [10.0, 30.0]))
+    core.spawn(process("b", [20.0, 40.0]))
+    core.run()
+    assert order == [("a", 10.0), ("b", 20.0), ("a", 30.0), ("b", 40.0)]
+
+
+def test_rendezvous_releases_all_parties_at_max_ready():
+    core = SimCore()
+    released = []
+
+    def party(name, ready_ns):
+        rdv = core.rendezvous("collective", parties=2)
+        resumed = yield ("join", rdv, ready_ns)
+        released.append((name, resumed))
+
+    core.spawn(party("fast", 100.0))
+    core.spawn(party("slow", 400.0))
+    core.run()
+    assert released == [("fast", 400.0), ("slow", 400.0)]
+
+
+def test_rendezvous_pooled_by_key():
+    core = SimCore()
+    first = core.rendezvous(("allreduce", 0, 1), parties=2)
+    again = core.rendezvous(("allreduce", 0, 1), parties=2)
+    assert first is again
+    other = core.rendezvous(("allreduce", 0, 2), parties=2)
+    assert other is not first
+    with pytest.raises(SimulationError):
+        core.rendezvous(("allreduce", 0, 1), parties=3)
+
+
+def test_incomplete_rendezvous_is_a_deadlock():
+    core = SimCore()
+
+    def lonely():
+        rdv = core.rendezvous("never", parties=2)
+        yield ("join", rdv, 0.0)
+
+    core.spawn(lonely())
+    with pytest.raises(SimulationError, match="deadlock"):
+        core.run()
+
+
+def test_malformed_request_rejected():
+    core = SimCore()
+
+    def bad():
+        yield ("teleport", 5.0)
+
+    core.spawn(bad())
+    with pytest.raises(SimulationError):
+        core.run()
+
+
+def test_non_yielding_process_runs_to_completion():
+    core = SimCore()
+    ran = []
+
+    def straight_line():
+        ran.append(True)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    core.spawn(straight_line())
+    core.run()
+    assert ran == [True]

@@ -1,0 +1,63 @@
+"""EventQueue ordering and error behavior."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+def test_pops_in_time_order():
+    queue = EventQueue()
+    queue.push(30.0, "c")
+    queue.push(10.0, "a")
+    queue.push(20.0, "b")
+    assert [queue.pop() for _ in range(3)] == [
+        (10.0, "a"), (20.0, "b"), (30.0, "c")]
+
+
+def test_fifo_tie_break_at_equal_times():
+    queue = EventQueue()
+    for item in ("first", "second", "third"):
+        queue.push(5.0, item)
+    assert [queue.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_peek_does_not_pop():
+    queue = EventQueue()
+    queue.push(7.0, "x")
+    assert queue.peek_time() == 7.0
+    assert len(queue) == 1
+    assert queue.pop() == (7.0, "x")
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    queue.push(0.0, "x")
+    assert queue
+    assert len(queue) == 1
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(-1.0, "x")
+
+
+def test_empty_pop_and_peek_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+    with pytest.raises(SimulationError):
+        queue.peek_time()
+
+
+def test_interleaved_push_pop_stays_ordered():
+    queue = EventQueue()
+    queue.push(10.0, "late")
+    queue.push(1.0, "early")
+    assert queue.pop() == (1.0, "early")
+    queue.push(5.0, "middle")
+    assert queue.pop() == (5.0, "middle")
+    assert queue.pop() == (10.0, "late")

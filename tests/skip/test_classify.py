@@ -3,10 +3,8 @@
 import pytest
 
 from repro.errors import AnalysisError
-from repro.hardware import GH200, INTEL_H100
 from repro.skip import (
     Boundedness,
-    SkipProfiler,
     classify_metrics,
     find_transition,
 )

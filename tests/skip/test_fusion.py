@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AnalysisError
 from repro.skip import analyze_segments, analyze_trace, best_speedup, combined_plan
-from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS, FusionAnalysis
+from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS
 
 
 def test_eq7_eq8_hand_check():

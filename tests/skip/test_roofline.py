@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engine import ExecutionMode
 from repro.errors import AnalysisError
 from repro.hardware import INTEL_H100
 from repro.skip import KernelRegime, classify_kernels

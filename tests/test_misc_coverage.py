@@ -15,15 +15,15 @@ def test_concat_kernel_names_orders_by_correlation(gpt2_profile):
     assert names == [k.name for k in ordered]
 
 
-def test_stream_started_before():
+def test_stream_pending_at_counts_backlog():
     stream = GpuStream()
     stream.submit(0.0, 10.0)
     stream.submit(0.0, 10.0)   # starts at 10
     stream.submit(0.0, 10.0)   # starts at 20
-    assert stream.started_before(-1.0) == 0
-    assert stream.started_before(0.0) == 1
-    assert stream.started_before(15.0) == 2
-    assert stream.started_before(100.0) == 3
+    assert stream.pending_at(-1.0) == 3
+    assert stream.pending_at(0.0) == 2
+    assert stream.pending_at(15.0) == 1
+    assert stream.pending_at(100.0) == 0
 
 
 def test_latency_vs_cpu_scale_empty_rejected():

@@ -4,15 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads import (
-    Activation,
     Arch,
     BERT_BASE,
     GEMMA_2B,
     GPT2,
     LLAMA_3_2_1B,
     ModelConfig,
-    Norm,
-    Positional,
     XLM_ROBERTA_BASE,
 )
 
