@@ -1,0 +1,69 @@
+"""``repro.check`` — static verifiers for the artifacts analyses trust.
+
+Four pure passes (no simulation run required):
+
+* **graph** (:mod:`repro.check.graph`) — dataflow and conservation laws
+  over lowered kernel graphs and the TP sharding pass (rules ``G...``);
+* **schedule** (:mod:`repro.check.schedule`) — rendezvous deadlocks,
+  party-count mismatches, and unreachable work in multi-device schedules
+  (rules ``S...``);
+* **trace** (:mod:`repro.check.tracelint`) — Chrome-trace/sidecar linting
+  and recomputed SKIP metric identities (rules ``T...``);
+* **code** (:mod:`repro.check.code`) — repo-specific AST lint over
+  ``src/repro`` (rules ``C...``).
+
+All passes report :class:`Finding` records with stable rule ids; the
+``repro check`` CLI aggregates them into a :class:`CheckReport`.
+"""
+
+from repro.check.code import lint_path, lint_source
+from repro.check.findings import (
+    CheckReport,
+    Finding,
+    RULES,
+    Rule,
+    Severity,
+    register_rule,
+)
+from repro.check.graph import check_lowering, check_sharding
+from repro.check.runner import (
+    DEFAULT_CHECK_DEGREES,
+    check_source,
+    check_trace_files,
+    check_workload_graphs,
+    check_workload_schedules,
+)
+from repro.check.schedule import (
+    CollectiveJoin,
+    DeviceSchedule,
+    KernelIssue,
+    check_schedules,
+    schedules_from_lowering,
+)
+from repro.check.tracelint import lint_chrome_file, lint_chrome_text, lint_trace
+
+__all__ = [
+    "CheckReport",
+    "CollectiveJoin",
+    "DEFAULT_CHECK_DEGREES",
+    "DeviceSchedule",
+    "Finding",
+    "KernelIssue",
+    "RULES",
+    "Rule",
+    "Severity",
+    "check_lowering",
+    "check_schedules",
+    "check_sharding",
+    "check_source",
+    "check_trace_files",
+    "check_workload_graphs",
+    "check_workload_schedules",
+    "lint_chrome_file",
+    "lint_chrome_text",
+    "lint_path",
+    "lint_source",
+    "lint_trace",
+    "register_rule",
+    "schedules_from_lowering",
+]

@@ -1,0 +1,131 @@
+"""Finding model shared by all ``repro.check`` passes.
+
+Every pass reports :class:`Finding` records — (rule id, severity, location,
+message) — instead of raising, so one run can surface every violation at
+once and the CLI can emit them machine-readably. Rule ids are stable
+contract: tests, CI, and docs reference them, so a rule keeps its id for
+life and retired ids are never reused.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail ``repro check`` (exit code 1): the artifact
+    violates an invariant downstream analyses rely on. ``WARNING`` findings
+    are reported but do not fail the run.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check rule."""
+
+    rule_id: str
+    pass_name: str
+    summary: str
+
+
+#: Every rule any pass can emit, keyed by id. Populated at import time by the
+#: pass modules via :func:`register_rule`; docs and tests enumerate it.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, pass_name: str, summary: str) -> str:
+    """Register a rule id (idempotent for identical definitions)."""
+    existing = RULES.get(rule_id)
+    if existing is not None and existing != Rule(rule_id, pass_name, summary):
+        raise ValueError(f"rule id {rule_id} registered twice with "
+                         f"different definitions")
+    RULES[rule_id] = Rule(rule_id, pass_name, summary)
+    return rule_id
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        rule_id: Stable rule identifier (``G001``, ``S002``, ...).
+        severity: Whether the finding fails the check run.
+        location: Where the violation is — a ``file:line`` for the code
+            pass, an op label / kernel name for the graph pass, a device or
+            collective key for the schedule pass, an event description for
+            the trace pass.
+        message: Human-readable explanation with the observed values.
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unregistered rule id: {self.rule_id}")
+
+    @property
+    def pass_name(self) -> str:
+        return RULES[self.rule_id].pass_name
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule_id,
+            "pass": self.pass_name,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.severity.value.upper():7s} {self.rule_id} "
+                f"[{self.location}] {self.message}")
+
+
+@dataclass
+class CheckReport:
+    """All findings from one or more check passes."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Artifacts the run examined ("gpt2 tp=2", "src/repro/sim/core.py", ...)
+    #: so a clean report still shows what was covered.
+    checked: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding was reported."""
+        return not self.errors
+
+    def extend(self, findings: list[Finding], checked: str | None = None) -> None:
+        self.findings.extend(findings)
+        if checked is not None:
+            self.checked.append(checked)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        verdict = "clean" if self.ok else f"{len(self.errors)} error(s)"
+        lines.append(f"checked {len(self.checked)} artifact(s): {verdict}")
+        return "\n".join(lines)

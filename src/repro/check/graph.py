@@ -1,0 +1,193 @@
+"""Graph verifier: static checks over lowered kernel graphs.
+
+Verifies the artifacts the engine executes — op streams lowered to kernels,
+optionally transformed by the TP sharding pass — without running a
+simulation. Two entry points:
+
+* :func:`check_lowering` — structural invariants any lowering must satisfy
+  (finite non-negative work terms, fused kernels that conserve their
+  members' work, well-formed collectives);
+* :func:`check_sharding` — conservation laws across
+  :func:`repro.engine.tp.shard_lowered`: the sharded stream must contain
+  the same ops in the same order, sharded kernels must carry exactly
+  ``1/degree`` of the original work, replicated kernels must be untouched,
+  and every row-parallel boundary must be followed by exactly one
+  all-reduce (and no all-reduce may appear anywhere else).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.check.findings import Finding, Severity, register_rule
+from repro.engine.lowering import KernelTask, LoweredOp
+from repro.engine.tp import TPConfig, is_sharded_label, needs_allreduce
+from repro.workloads.ops import OpKind
+
+G001 = register_rule(
+    "G001", "graph", "FLOPs not conserved across the TP sharding pass")
+G002 = register_rule(
+    "G002", "graph", "bytes not conserved across the TP sharding pass")
+G003 = register_rule(
+    "G003", "graph",
+    "row-parallel boundary not followed by exactly one all-reduce")
+G004 = register_rule(
+    "G004", "graph", "orphaned all-reduce (no preceding row-parallel boundary)")
+G005 = register_rule(
+    "G005", "graph", "op stream mutated (dropped/duplicated/reordered ops "
+                     "or changed kernel count)")
+G006 = register_rule(
+    "G006", "graph", "kernel work term is negative or not finite")
+G007 = register_rule(
+    "G007", "graph", "fused kernel work does not equal the sum of its members")
+G008 = register_rule(
+    "G008", "graph", "collective kernel inconsistent with its op or TP degree")
+G009 = register_rule(
+    "G009", "graph", "kernel models no work at all (zero FLOPs and bytes)")
+
+#: Relative tolerance for conservation comparisons. Sharding divides floats
+#: by the degree, so exact equality holds for power-of-two degrees but a
+#: general checker must allow for one rounding step per term.
+_REL_TOL = 1e-9
+
+
+def _isclose(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=1e-6)
+
+
+def _check_kernel_terms(kernel: KernelTask, where: str) -> list[Finding]:
+    findings = []
+    for term in ("flops", "bytes_read", "bytes_written", "comm_bytes"):
+        value = getattr(kernel, term)
+        if not math.isfinite(value) or value < 0:
+            findings.append(Finding(
+                G006, Severity.ERROR, where,
+                f"kernel {kernel.name!r} has {term}={value!r}"))
+    if kernel.members:
+        for term in ("flops", "bytes_read", "bytes_written"):
+            total = sum(getattr(m, term) for m in kernel.members)
+            value = getattr(kernel, term)
+            if not _isclose(value, total):
+                findings.append(Finding(
+                    G007, Severity.ERROR, where,
+                    f"fused kernel {kernel.name!r} carries {term}={value} "
+                    f"but its {len(kernel.members)} members sum to {total}"))
+        for member in kernel.members:
+            findings.extend(_check_kernel_terms(member, where))
+    if (not kernel.is_collective and kernel.flops == 0
+            and kernel.bytes_read == 0 and kernel.bytes_written == 0):
+        findings.append(Finding(
+            G009, Severity.WARNING, where,
+            f"kernel {kernel.name!r} models no FLOPs and no bytes"))
+    return findings
+
+
+def _check_collective(lowered_op: LoweredOp, tp: TPConfig | None,
+                      where: str) -> list[Finding]:
+    findings = []
+    op = lowered_op.op
+    if len(lowered_op.kernels) != 1:
+        findings.append(Finding(
+            G008, Severity.ERROR, where,
+            f"all-reduce op lowers to {len(lowered_op.kernels)} kernels, "
+            f"expected exactly 1"))
+        return findings
+    kernel = lowered_op.kernels[0]
+    if not kernel.is_collective:
+        findings.append(Finding(
+            G008, Severity.ERROR, where,
+            f"all-reduce kernel {kernel.name!r} carries no comm_bytes"))
+    world = op.dims[0] if op.dims else 0
+    if tp is not None and world != tp.degree:
+        findings.append(Finding(
+            G008, Severity.ERROR, where,
+            f"all-reduce world size {world} does not match TP degree "
+            f"{tp.degree}"))
+    return findings
+
+
+def check_lowering(lowered: list[LoweredOp],
+                   tp: TPConfig | None = None) -> list[Finding]:
+    """Structural invariants of one lowered op stream."""
+    findings: list[Finding] = []
+    for index, lowered_op in enumerate(lowered):
+        where = f"op[{index}] {lowered_op.op.label}"
+        for kernel in lowered_op.kernels:
+            findings.extend(_check_kernel_terms(kernel, where))
+        if lowered_op.op.kind is OpKind.ALL_REDUCE:
+            findings.extend(_check_collective(lowered_op, tp, where))
+    return findings
+
+
+def _total(kernels: tuple[KernelTask, ...], term: str) -> float:
+    return sum(getattr(k, term) for k in kernels)
+
+
+def check_sharding(original: list[LoweredOp], sharded: list[LoweredOp],
+                   tp: TPConfig) -> list[Finding]:
+    """Conservation laws across the TP sharding pass.
+
+    ``original`` is the single-device lowering, ``sharded`` the per-device
+    stream the pass produced for degree ``tp.degree``. Structural checks on
+    both streams run first; a mutated op stream (G005) suppresses the
+    per-op conservation comparison, which would only cascade.
+    """
+    findings = check_lowering(sharded, tp)
+
+    compute = [lo for lo in sharded if lo.op.kind is not OpKind.ALL_REDUCE]
+    if [lo.op.label for lo in compute] != [lo.op.label for lo in original]:
+        findings.append(Finding(
+            G005, Severity.ERROR, "op stream",
+            f"sharded stream has {len(compute)} compute ops where the "
+            f"original has {len(original)}, or their labels diverge"))
+        return findings
+
+    degree = float(tp.degree)
+    for index, (before, after) in enumerate(zip(original, compute)):
+        where = f"op[{index}] {before.op.label}"
+        if len(before.kernels) != len(after.kernels):
+            findings.append(Finding(
+                G005, Severity.ERROR, where,
+                f"kernel count changed from {len(before.kernels)} to "
+                f"{len(after.kernels)} across the sharding pass"))
+            continue
+        scale = degree if is_sharded_label(before.op.label) else 1.0
+        for term, rule in (("flops", G001), ("bytes_moved", G002)):
+            total_before = _total(before.kernels, term)
+            total_after = scale * _total(after.kernels, term)
+            if not _isclose(total_before, total_after):
+                noun = "sharded" if scale != 1.0 else "replicated"
+                findings.append(Finding(
+                    rule, Severity.ERROR, where,
+                    f"{noun} op {term} not conserved: {total_before} before "
+                    f"vs {total_after} after (x{tp.degree} devices)"))
+
+    # Every row-parallel boundary must be followed by exactly one
+    # all-reduce, and all-reduces may appear nowhere else. At degree 1 the
+    # pass is the identity and inserts no collectives.
+    if not tp.enabled:
+        return findings
+    for index, lowered_op in enumerate(sharded):
+        op = lowered_op.op
+        where = f"op[{index}] {op.label}"
+        follower = sharded[index + 1] if index + 1 < len(sharded) else None
+        if (op.kind is not OpKind.ALL_REDUCE and lowered_op.kernels
+                and needs_allreduce(op.label)):
+            if follower is None or follower.op.kind is not OpKind.ALL_REDUCE:
+                findings.append(Finding(
+                    G003, Severity.ERROR, where,
+                    "row-parallel boundary has no all-reduce after it"))
+            elif (index + 2 < len(sharded)
+                    and sharded[index + 2].op.kind is OpKind.ALL_REDUCE):
+                findings.append(Finding(
+                    G003, Severity.ERROR, where,
+                    "row-parallel boundary followed by more than one "
+                    "all-reduce"))
+        if op.kind is OpKind.ALL_REDUCE:
+            previous = sharded[index - 1] if index > 0 else None
+            if (previous is None or not previous.kernels
+                    or not needs_allreduce(previous.op.label)):
+                findings.append(Finding(
+                    G004, Severity.ERROR, where,
+                    "all-reduce does not follow a row-parallel boundary"))
+    return findings

@@ -1,0 +1,89 @@
+"""Pass orchestration: run check passes over whole artifact families.
+
+The CLI (``repro check``) and CI call these helpers; each returns a
+:class:`~repro.check.findings.CheckReport` covering every artifact it
+examined, so a single run verifies the full workload catalog.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.check.findings import CheckReport
+from repro.check.code import lint_path
+from repro.check.graph import check_lowering, check_sharding
+from repro.check.schedule import check_schedules, schedules_from_lowering
+from repro.check.tracelint import lint_chrome_file
+from repro.engine.lowering import lower_graph
+from repro.engine.tp import DispatchMode, TPConfig, shard_lowered
+from repro.workloads.builder import build_graph
+from repro.workloads.config import ModelConfig
+
+#: TP degrees the catalog passes try; degrees that do not divide a model's
+#: head count are skipped (the engine rejects them by construction).
+DEFAULT_CHECK_DEGREES: tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _tp_degrees(model: ModelConfig, degrees: Sequence[int]) -> list[int]:
+    return [d for d in degrees if model.heads % d == 0]
+
+
+def check_workload_graphs(
+    models: Sequence[ModelConfig],
+    degrees: Sequence[int] = DEFAULT_CHECK_DEGREES,
+    batch_size: int = 1,
+    seq_len: int = 128,
+) -> CheckReport:
+    """Graph-verify every model's lowering and TP shardings."""
+    report = CheckReport()
+    for model in models:
+        graph = build_graph(model, batch_size, seq_len)
+        lowered = lower_graph(graph)
+        report.extend(check_lowering(lowered), f"{model.name} lowering")
+        for degree in _tp_degrees(model, degrees):
+            tp = TPConfig(degree=degree)
+            sharded = shard_lowered(lowered, tp)
+            report.extend(check_sharding(lowered, sharded, tp),
+                          f"{model.name} tp={degree}")
+    return report
+
+
+def check_workload_schedules(
+    models: Sequence[ModelConfig],
+    degrees: Sequence[int] = DEFAULT_CHECK_DEGREES,
+    batch_size: int = 1,
+    seq_len: int = 128,
+    dispatch: DispatchMode = DispatchMode.THREAD_PER_DEVICE,
+) -> CheckReport:
+    """Hazard-check the TP schedules every model's lowering produces."""
+    report = CheckReport()
+    for model in models:
+        graph = build_graph(model, batch_size, seq_len)
+        lowered = lower_graph(graph)
+        for degree in _tp_degrees(model, degrees):
+            if degree == 1:
+                continue  # one device, no rendezvous to hazard-check
+            tp = TPConfig(degree=degree, dispatch=dispatch)
+            schedules = schedules_from_lowering(shard_lowered(lowered, tp), tp)
+            report.extend(check_schedules(schedules),
+                          f"{model.name} tp={degree} {dispatch.value}")
+    return report
+
+
+def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
+    """Lint Chrome-trace files (raw order, structure, metric identities)."""
+    report = CheckReport()
+    for path in paths:
+        findings, _trace = lint_chrome_file(path)
+        report.extend(findings, str(path))
+    return report
+
+
+def check_source(root: str | Path) -> CheckReport:
+    """Run the custom AST lint over a package tree."""
+    report = CheckReport()
+    findings, checked = lint_path(root)
+    report.findings.extend(findings)
+    report.checked.extend(checked)
+    return report

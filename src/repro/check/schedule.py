@@ -1,0 +1,212 @@
+"""Schedule hazard detector: static deadlock/ordering analysis.
+
+Models the multi-device execution statically: each device's dispatch
+process is an ordered list of kernel issues and collective joins
+(:class:`DeviceSchedule`), exactly the order
+:mod:`repro.engine.processes` walks at run time. Because the simulator's
+collectives are rendezvous barriers released only when *every* party has
+joined, hazards are decidable without running anything:
+
+* a **wait-for cycle** between collectives (device A joins X before Y,
+  device B joins Y before X) hangs both devices;
+* a collective whose **declared party count** disagrees across devices, or
+  does not match the devices that actually join it, either hangs or
+  over-fills the rendezvous;
+* any event scheduled **after** a hanging collective is unreachable;
+* a collective placed on a **different stream** than the device's compute
+  stream breaks the in-order guarantee the engine relies on (the collective
+  could start before the kernels queued ahead of it).
+
+:func:`schedules_from_lowering` derives the schedules the engine would run
+for a sharded lowering, so the CLI can verify every catalog model's TP
+schedule; tests hand-build adversarial schedules directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.findings import Finding, Severity, register_rule
+from repro.engine.lowering import LoweredOp
+from repro.engine.tp import TPConfig
+
+S001 = register_rule(
+    "S001", "schedule", "collective wait-for cycle (rendezvous deadlock)")
+S002 = register_rule(
+    "S002", "schedule", "collective party count disagrees across devices")
+S003 = register_rule(
+    "S003", "schedule", "collective participants do not match its party count")
+S004 = register_rule(
+    "S004", "schedule", "device joins the same collective twice")
+S005 = register_rule(
+    "S005", "schedule", "events unreachable behind a hanging collective")
+S006 = register_rule(
+    "S006", "schedule", "collective scheduled off the device's compute stream")
+
+#: Stream id of every device's compute stream (mirrors ``SimCore.add_device``).
+COMPUTE_STREAM = 7
+
+
+@dataclass(frozen=True)
+class KernelIssue:
+    """One kernel submission in a device's static schedule."""
+
+    name: str
+    stream: int = COMPUTE_STREAM
+
+
+@dataclass(frozen=True)
+class CollectiveJoin:
+    """One rendezvous join in a device's static schedule."""
+
+    key: str
+    parties: int
+    stream: int = COMPUTE_STREAM
+
+
+ScheduleItem = KernelIssue | CollectiveJoin
+
+
+@dataclass
+class DeviceSchedule:
+    """The ordered work one device's dispatch process performs."""
+
+    device: int
+    items: list[ScheduleItem] = field(default_factory=list)
+
+    def collectives(self) -> list[CollectiveJoin]:
+        return [item for item in self.items
+                if isinstance(item, CollectiveJoin)]
+
+
+def schedules_from_lowering(lowered: list[LoweredOp],
+                            tp: TPConfig) -> list[DeviceSchedule]:
+    """The per-device schedules the engine runs for a sharded lowering.
+
+    All devices execute the same op stream (TP devices are symmetric), so
+    each device's schedule is the kernel stream with collectives keyed by
+    their program position — the same rendezvous keys
+    :func:`repro.engine.processes._device_dispatch_process` derives — plus
+    the end-of-iteration barrier.
+    """
+    world = max(1, tp.degree)
+    schedules = []
+    for device in range(world):
+        items: list[ScheduleItem] = []
+        for op_index, lowered_op in enumerate(lowered):
+            for kernel_index, kernel in enumerate(lowered_op.kernels):
+                if kernel.is_collective and world > 1:
+                    items.append(CollectiveJoin(
+                        key=f"allreduce@{op_index}.{kernel_index}",
+                        parties=world))
+                else:
+                    items.append(KernelIssue(kernel.name))
+        if world > 1:
+            items.append(CollectiveJoin(key="iteration-end", parties=world))
+        schedules.append(DeviceSchedule(device=device, items=items))
+    return schedules
+
+
+def _find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
+    """One cycle in a directed graph, as a node path, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    path: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GRAY
+        path.append(node)
+        for succ in sorted(edges.get(node, ())):
+            if color.get(succ, WHITE) == GRAY:
+                return path[path.index(succ):] + [succ]
+            if color.get(succ, WHITE) == WHITE:
+                cycle = visit(succ)
+                if cycle is not None:
+                    return cycle
+        path.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def check_schedules(schedules: list[DeviceSchedule]) -> list[Finding]:
+    """Statically detect rendezvous/ordering hazards in device schedules."""
+    findings: list[Finding] = []
+    world = len(schedules)
+
+    # Per-collective bookkeeping: declared party counts and joining devices.
+    declared: dict[str, set[int]] = {}
+    joiners: dict[str, list[int]] = {}
+    for schedule in schedules:
+        seen: set[str] = set()
+        for item in schedule.collectives():
+            declared.setdefault(item.key, set()).add(item.parties)
+            joiners.setdefault(item.key, []).append(schedule.device)
+            if item.key in seen:
+                findings.append(Finding(
+                    S004, Severity.ERROR, f"device {schedule.device}",
+                    f"collective {item.key!r} joined twice by the same "
+                    f"dispatch process"))
+            seen.add(item.key)
+            if item.stream != COMPUTE_STREAM:
+                findings.append(Finding(
+                    S006, Severity.ERROR, f"device {schedule.device}",
+                    f"collective {item.key!r} scheduled on stream "
+                    f"{item.stream}, not the compute stream "
+                    f"{COMPUTE_STREAM}: in-order semantics with queued "
+                    f"kernels are lost"))
+
+    hanging: set[str] = set()
+    for key in sorted(declared):
+        parties = declared[key]
+        if len(parties) > 1:
+            findings.append(Finding(
+                S002, Severity.ERROR, f"collective {key}",
+                f"party count declared inconsistently across devices: "
+                f"{sorted(parties)}"))
+            hanging.add(key)
+            continue
+        (count,) = parties
+        participants = len(joiners[key])
+        if participants != count:
+            findings.append(Finding(
+                S003, Severity.ERROR, f"collective {key}",
+                f"{participants} of {world} devices join but the "
+                f"rendezvous waits for {count} parties"))
+            if participants < count:
+                hanging.add(key)
+
+    # Wait-for graph: on each device, a later collective cannot be joined
+    # until every earlier one released. A cycle means two devices block on
+    # each other's collectives forever.
+    edges: dict[str, set[str]] = {key: set() for key in declared}
+    for schedule in schedules:
+        order = [item.key for item in schedule.collectives()]
+        for earlier, later in zip(order, order[1:]):
+            if earlier != later:
+                edges[earlier].add(later)
+    cycle = _find_cycle(edges)
+    if cycle is not None:
+        findings.append(Finding(
+            S001, Severity.ERROR, f"collective {cycle[0]}",
+            "wait-for cycle between collectives: " + " -> ".join(cycle)))
+        hanging.update(cycle[:-1])
+
+    # Everything scheduled behind a hanging collective never executes.
+    for schedule in schedules:
+        for index, item in enumerate(schedule.items):
+            if isinstance(item, CollectiveJoin) and item.key in hanging:
+                behind = len(schedule.items) - index - 1
+                if behind:
+                    findings.append(Finding(
+                        S005, Severity.ERROR, f"device {schedule.device}",
+                        f"{behind} event(s) unreachable behind hanging "
+                        f"collective {item.key!r}"))
+                break
+    return findings

@@ -14,6 +14,9 @@ Subcommands mirror the paper's workflow:
 * ``serve``     — serving simulation with recording / Chrome-trace export
 * ``skip``      — SKIP analysis of a Chrome trace file (self-hosting:
   ``repro serve ... --emit-trace out.json && repro skip analyze out.json``)
+* ``check``     — static analysis of the artifacts the above produce:
+  ``check graph`` / ``check schedule`` / ``check trace`` / ``check code``
+  (see ``docs/static-analysis.md``)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -27,6 +30,7 @@ from typing import Sequence
 from repro.analysis import run_batch_sweep, run_tp_sweep, tp_sweep_report
 from repro.analysis.whatif import required_cpu_speedup
 from repro.engine import DispatchMode, EngineConfig, ExecutionMode, TPConfig
+from repro.errors import ReproError
 from repro.hardware import PAPER_PLATFORMS, get_platform, nullkernel_table
 from repro.skip import SkipProfiler, fusion_report, profile_report, transition_report
 from repro.units import format_bytes, format_ns
@@ -242,6 +246,57 @@ def _cmd_skip_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_check_models(spec: str) -> list:
+    from repro.workloads import ALL_MODELS, PAPER_MODELS
+
+    if spec == "paper":
+        return list(PAPER_MODELS)
+    if spec == "all":
+        return list(ALL_MODELS)
+    return [get_model(name) for name in spec.split(",")]
+
+
+def _emit_report(report, as_json: bool) -> int:
+    print(report.to_json() if as_json else report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_check_graph(args: argparse.Namespace) -> int:
+    from repro.check import check_workload_graphs
+
+    degrees = tuple(int(d) for d in args.degrees.split(","))
+    report = check_workload_graphs(_resolve_check_models(args.models),
+                                   degrees, batch_size=args.batch_size,
+                                   seq_len=args.seq_len)
+    return _emit_report(report, args.json)
+
+
+def _cmd_check_schedule(args: argparse.Namespace) -> int:
+    from repro.check import check_workload_schedules
+
+    degrees = tuple(int(d) for d in args.degrees.split(","))
+    report = check_workload_schedules(_resolve_check_models(args.models),
+                                      degrees, batch_size=args.batch_size,
+                                      seq_len=args.seq_len,
+                                      dispatch=DispatchMode(args.dispatch))
+    return _emit_report(report, args.json)
+
+
+def _cmd_check_trace(args: argparse.Namespace) -> int:
+    from repro.check import check_trace_files
+
+    return _emit_report(check_trace_files(args.traces), args.json)
+
+
+def _cmd_check_code(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import check_source
+
+    root = args.root or str(Path(__file__).parent)
+    return _emit_report(check_source(root), args.json)
+
+
 def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro.reproduction import run_scorecard
 
@@ -303,8 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
     tpsweep = sub.add_parser(
         "tpsweep", help="tensor-parallel degree sweep (per-device metrics)")
     _add_workload_args(tpsweep)
-    tpsweep.add_argument("--degrees", default="1,2,4,8",
-                         help="comma-separated TP degrees")
+    tpsweep.add_argument("--degrees", default="1,2,4",
+                         help="comma-separated TP degrees (each must divide "
+                              "the model's attention head count)")
     tpsweep.add_argument("--dispatch", default="single",
                          choices=[m.value for m in DispatchMode])
     tpsweep.set_defaults(func=_cmd_tpsweep)
@@ -362,6 +418,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also mine fusion candidates (Fig. 7/8 table)")
     analyze.set_defaults(func=_cmd_skip_analyze)
 
+    check = sub.add_parser(
+        "check", help="static analysis of graphs, schedules, traces, code")
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+
+    def _add_check_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="emit findings as machine-readable JSON")
+
+    def _add_check_catalog(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--models", default="paper",
+                       help="'paper', 'all', or comma-separated model names")
+        p.add_argument("--degrees", default="1,2,4,8",
+                       help="TP degrees to verify (non-dividing skipped)")
+        p.add_argument("--batch-size", type=int, default=1)
+        p.add_argument("--seq-len", type=int, default=128)
+        _add_check_common(p)
+
+    check_graph = check_sub.add_parser(
+        "graph", help="verify lowered graphs + TP sharding conservation")
+    _add_check_catalog(check_graph)
+    check_graph.set_defaults(func=_cmd_check_graph)
+
+    check_sched = check_sub.add_parser(
+        "schedule", help="detect rendezvous deadlocks in TP schedules")
+    _add_check_catalog(check_sched)
+    check_sched.add_argument("--dispatch", default="per-device",
+                             choices=[m.value for m in DispatchMode])
+    check_sched.set_defaults(func=_cmd_check_schedule)
+
+    check_trace = check_sub.add_parser(
+        "trace", help="lint Chrome-trace files + recomputed SKIP identities")
+    check_trace.add_argument("traces", nargs="+",
+                             help="Chrome-trace JSON path(s)")
+    _add_check_common(check_trace)
+    check_trace.set_defaults(func=_cmd_check_trace)
+
+    check_code = check_sub.add_parser(
+        "code", help="repo-specific AST lint over the package source")
+    check_code.add_argument("--root", default=None,
+                            help="package tree to lint (default: the "
+                                 "installed repro package)")
+    _add_check_common(check_code)
+    check_code.set_defaults(func=_cmd_check_code)
+
     validate = sub.add_parser(
         "validate", help="recompute every paper anchor (scorecard)")
     validate.set_defaults(func=_cmd_validate)
@@ -388,9 +488,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Configuration mistakes (unknown model, invalid TP degree, bad trace
+    file, ...) surface as one-line ``error: ...`` messages on stderr with
+    exit code 2, not tracebacks; tracebacks are reserved for actual bugs.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -17,7 +17,13 @@ from repro.engine.lowering import (
     lower_op,
 )
 from repro.engine.modes import ExecutionMode
-from repro.engine.tp import TP_DISABLED, DispatchMode, TPConfig, shard_lowered
+from repro.engine.tp import (
+    TP_DISABLED,
+    DispatchMode,
+    TPConfig,
+    shard_lowered,
+    validate_tp,
+)
 
 # The in-order stream model moved into the simulation core; the old name is
 # kept as an alias for downstream code.
@@ -46,4 +52,5 @@ __all__ = [
     "run",
     "shard_lowered",
     "unique_gemm_classes",
+    "validate_tp",
 ]

@@ -39,7 +39,13 @@ from repro.engine.processes import (
     per_device_launch_processes,
     single_thread_launch_process,
 )
-from repro.engine.tp import DispatchMode, TP_DISABLED, TPConfig, shard_lowered
+from repro.engine.tp import (
+    DispatchMode,
+    TP_DISABLED,
+    TPConfig,
+    shard_lowered,
+    validate_tp,
+)
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
 from repro.obs.events import StepKind
@@ -172,6 +178,7 @@ def run(
     if isinstance(model, OperatorGraph):
         graph = model
     else:
+        validate_tp(tp, model.heads, model.name)
         attention = (AttentionImpl.FLASH if mode.uses_flash_attention
                      else AttentionImpl.EAGER)
         graph = build_graph(model, batch_size, seq_len, phase=phase,

@@ -71,6 +71,25 @@ class TPConfig:
 
 TP_DISABLED = TPConfig()
 
+
+def validate_tp(tp: TPConfig, heads: int, model_name: str = "model") -> None:
+    """Reject TP degrees the sharding pass cannot realize.
+
+    Attention shards whole heads across devices, so the degree must divide
+    the model's head count; otherwise per-device kernel shapes would be
+    fractional. Raises :class:`~repro.errors.ConfigurationError` with an
+    actionable message instead of letting the engine fail deep inside the
+    roofline with an opaque shape error.
+    """
+    if not tp.enabled:
+        return
+    if heads % tp.degree != 0:
+        valid = [d for d in range(1, heads + 1) if heads % d == 0]
+        raise ConfigurationError(
+            f"tp degree {tp.degree} does not divide {model_name}'s "
+            f"{heads} attention heads; valid degrees: "
+            f"{', '.join(str(d) for d in valid)}")
+
 #: Label substrings selecting ops that shard across devices.
 _SHARD_MARKERS = (".attn.", ".mlp.")
 

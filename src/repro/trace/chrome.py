@@ -38,11 +38,17 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
     enough to flip operator-nesting containment at shared boundaries, and
     the round-trip tests require bit-identical SKIP metrics. Real profiler
     traces omit the sidecar; the importer falls back to the us fields.
+
+    The emitted list is canonically ordered — stable-sorted by exact begin
+    timestamp, then correlation id (sequence number for operators) — so
+    exports are byte-reproducible for identical traces and golden diffs
+    and the trace linter (rule T001) can rely on file order.
     """
-    events: list[dict[str, Any]] = []
+    keyed: list[tuple[tuple[float, float], dict[str, Any]]] = []
     for op in trace.operators:
-        events.append(
-            {
+        keyed.append(
+            ((op.ts, float(op.seq)),
+             {
                 "name": op.name,
                 "cat": CAT_OPERATOR,
                 "ph": "X",
@@ -52,11 +58,12 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "tid": op.tid,
                 "args": {"Sequence number": op.seq,
                          "ts_ns": op.ts, "dur_ns": op.dur},
-            }
+             })
         )
     for call in trace.runtime_calls:
-        events.append(
-            {
+        keyed.append(
+            ((call.ts, float(call.correlation_id)),
+             {
                 "name": call.name,
                 "cat": CAT_RUNTIME,
                 "ph": "X",
@@ -66,7 +73,7 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "tid": call.tid,
                 "args": {"correlation": call.correlation_id,
                          "ts_ns": call.ts, "dur_ns": call.dur},
-            }
+             })
         )
     for kernel in trace.kernels:
         args: dict[str, Any] = {
@@ -82,8 +89,9 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
             args["flops"] = kernel.flops
         if kernel.bytes_moved:
             args["bytes_moved"] = kernel.bytes_moved
-        events.append(
-            {
+        keyed.append(
+            ((kernel.ts, float(kernel.correlation_id)),
+             {
                 "name": kernel.name,
                 "cat": CAT_KERNEL,
                 "ph": "X",
@@ -92,11 +100,12 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "pid": 1,
                 "tid": kernel.stream,
                 "args": args,
-            }
+             })
         )
     for mark in trace.iterations:
-        events.append(
-            {
+        keyed.append(
+            ((mark.ts, float(mark.index)),
+             {
                 "name": f"{ITERATION_NAME}#{mark.index}",
                 "cat": CAT_ITERATION,
                 "ph": "X",
@@ -105,29 +114,28 @@ def to_chrome_events(trace: Trace) -> list[dict[str, Any]]:
                 "pid": 0,
                 "tid": 0,
                 "args": {"ts_ns": mark.ts, "dur_ns": mark.ts_end - mark.ts},
-            }
+             })
         )
-    return events
+    keyed.sort(key=lambda pair: pair[0])
+    return [event for _, event in keyed]
+
+
+def _payload(trace: Trace) -> dict[str, Any]:
+    return {
+        "traceEvents": to_chrome_events(trace),
+        "metadata": dict(trace.metadata),
+        "displayTimeUnit": "ms",
+    }
 
 
 def dump(trace: Trace, path: str | Path) -> None:
     """Write a trace as Chrome-trace JSON to ``path``."""
-    payload = {
-        "traceEvents": to_chrome_events(trace),
-        "metadata": dict(trace.metadata),
-        "displayTimeUnit": "ms",
-    }
-    Path(path).write_text(json.dumps(payload))
+    Path(path).write_text(json.dumps(_payload(trace)))
 
 
 def dumps(trace: Trace) -> str:
     """Serialize a trace to a Chrome-trace JSON string."""
-    payload = {
-        "traceEvents": to_chrome_events(trace),
-        "metadata": dict(trace.metadata),
-        "displayTimeUnit": "ms",
-    }
-    return json.dumps(payload)
+    return json.dumps(_payload(trace))
 
 
 def _parse_event(raw: dict[str, Any], trace: Trace) -> None:

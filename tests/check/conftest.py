@@ -1,0 +1,37 @@
+"""Shared fixtures for the static-analysis tests.
+
+One cached GPT-2 lowering plus its TP=2 sharding; the known-bad fixtures
+each test derives are cheap mutations of these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineConfig, TPConfig, run, shard_lowered
+from repro.engine.lowering import lower_graph
+from repro.hardware import GH200
+from repro.workloads import GPT2, build_graph
+
+
+@pytest.fixture(scope="package")
+def gpt2_lowered():
+    return lower_graph(build_graph(GPT2, batch_size=1, seq_len=64))
+
+
+@pytest.fixture(scope="package")
+def gpt2_tp2():
+    return TPConfig(degree=2)
+
+
+@pytest.fixture(scope="package")
+def gpt2_sharded(gpt2_lowered, gpt2_tp2):
+    return shard_lowered(gpt2_lowered, gpt2_tp2)
+
+
+@pytest.fixture(scope="package")
+def tp2_trace():
+    """A real TP=2 engine trace (two iterations)."""
+    return run(GPT2, GH200, batch_size=1, seq_len=64,
+               config=EngineConfig(iterations=2),
+               tp=TPConfig(degree=2)).trace

@@ -1,0 +1,82 @@
+"""The ``repro check`` CLI: exit codes and machine-readable output."""
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_check_graph_clean(capsys):
+    code, out = run_cli(capsys, "check", "graph",
+                        "--models", "gpt2", "--degrees", "1,2,4")
+    assert code == 0
+    assert "clean" in out
+
+
+def test_check_graph_json(capsys):
+    code, out = run_cli(capsys, "check", "graph",
+                        "--models", "gpt2", "--degrees", "2", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True
+    assert "gpt2 tp=2" in payload["checked"]
+    assert payload["findings"] == []
+
+
+def test_check_schedule_clean(capsys):
+    code, out = run_cli(capsys, "check", "schedule",
+                        "--models", "gpt2", "--degrees", "2,4")
+    assert code == 0
+    assert "clean" in out
+
+
+def test_check_code_clean_on_repo(capsys):
+    code, out = run_cli(capsys, "check", "code")
+    assert code == 0
+    assert "clean" in out
+
+
+def test_check_code_fails_on_bad_tree(capsys, tmp_path):
+    bad = tmp_path / "pkg" / "sim"
+    bad.mkdir(parents=True)
+    (bad / "core.py").write_text(
+        "import time\n"
+        "def step():\n"
+        "    return time.time()\n")
+    code, out = run_cli(capsys, "check", "code",
+                        "--root", str(tmp_path / "pkg"), "--json")
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "C001"
+
+
+def test_check_trace_clean_and_scrambled(capsys, tmp_path, tp2_trace):
+    from repro.trace import chrome
+
+    clean = tmp_path / "clean.json"
+    chrome.dump(tp2_trace, clean)
+    code, out = run_cli(capsys, "check", "trace", str(clean))
+    assert code == 0
+    assert "clean" in out
+
+    payload = json.loads(clean.read_text())
+    payload["traceEvents"] = list(reversed(payload["traceEvents"]))
+    scrambled = tmp_path / "scrambled.json"
+    scrambled.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, "check", "trace", str(scrambled), "--json")
+    assert code == 1
+    report = json.loads(out)
+    assert any(f["rule"] == "T001" for f in report["findings"])
+
+
+def test_check_bad_trace_path_exits_cleanly(capsys):
+    code = main(["check", "trace", "/nonexistent/trace.json"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")

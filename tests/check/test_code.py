@@ -1,0 +1,174 @@
+"""Custom AST lint: repo-specific rules the generic linters can't express.
+
+``lint_path`` tests build throwaway package trees shaped like ``src/repro``
+(a ``sim/`` subdirectory marks simulation modules), with one deliberately
+bad module each — the wall-clock-in-sim fixture the acceptance criteria
+require lives here.
+"""
+
+from pathlib import Path
+
+from repro.check import check_source, lint_path, lint_source
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def _package(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "repro"
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+# ----------------------------------------------------------------------
+# The real package is clean
+# ----------------------------------------------------------------------
+def test_repo_source_is_clean():
+    root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = check_source(root)
+    assert report.findings == []
+    assert any(path.endswith("core.py") for path in report.checked)
+
+
+# ----------------------------------------------------------------------
+# C001: wall clock in simulation modules
+# ----------------------------------------------------------------------
+def test_wall_clock_in_sim_module_flagged_c001(tmp_path):
+    root = _package(tmp_path, {"sim/core.py": (
+        "import time\n"
+        "def step():\n"
+        "    return time.perf_counter()\n"
+    )})
+    findings, checked = lint_path(root)
+    assert _rule_ids(findings) == {"C001"}
+    assert "time.perf_counter" in findings[0].message
+    assert len(checked) == 1
+
+
+def test_aliased_and_from_imports_flagged_c001(tmp_path):
+    root = _package(tmp_path, {"engine/executor.py": (
+        "import time as clock\n"
+        "from time import monotonic as mono\n"
+        "def run():\n"
+        "    return clock.time_ns() + mono()\n"
+    )})
+    findings, _ = lint_path(root)
+    assert [f.rule_id for f in findings] == ["C001", "C001"]
+
+
+def test_datetime_now_flagged_c001(tmp_path):
+    root = _package(tmp_path, {"sim/clock.py": (
+        "import datetime\n"
+        "def stamp():\n"
+        "    return datetime.datetime.now()\n"
+    )})
+    findings, _ = lint_path(root)
+    assert _rule_ids(findings) == {"C001"}
+
+
+def test_wall_clock_outside_sim_modules_allowed(tmp_path):
+    root = _package(tmp_path, {"retrieval/fetch.py": (
+        "import time\n"
+        "def fetch():\n"
+        "    return time.time()\n"
+    )})
+    findings, _ = lint_path(root)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# C002: float equality on simulated timestamps
+# ----------------------------------------------------------------------
+def test_timestamp_equality_flagged_c002(tmp_path):
+    root = _package(tmp_path, {"skip/metrics.py": (
+        "def same(kernel, call):\n"
+        "    return kernel.ts == call.ts_end\n"
+    )})
+    findings, _ = lint_path(root)
+    assert _rule_ids(findings) == {"C002"}
+
+
+def test_ns_suffix_names_flagged_c002():
+    findings = lint_source(
+        "def check(a, latency_ns):\n"
+        "    return latency_ns != a\n",
+        "inline.py")
+    assert _rule_ids(findings) == {"C002"}
+
+
+def test_ordering_comparisons_allowed():
+    findings = lint_source(
+        "def before(a, b):\n"
+        "    return a.ts < b.ts <= b.ts_end\n",
+        "inline.py")
+    assert findings == []
+
+
+def test_non_timestamp_equality_allowed():
+    findings = lint_source("def eq(a, b):\n    return a.count == b.count\n",
+                           "inline.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# C003 / C004: process protocol
+# ----------------------------------------------------------------------
+def test_unknown_yield_verb_flagged_c003(tmp_path):
+    root = _package(tmp_path, {"sim/procs.py": (
+        "def bad_process(core):\n"
+        "    yield ('sleep', 10.0)\n"
+    )})
+    findings, _ = lint_path(root)
+    assert _rule_ids(findings) == {"C003"}
+    assert "'sleep'" in findings[0].message
+
+
+def test_bare_yield_flagged_c003(tmp_path):
+    root = _package(tmp_path, {"sim/procs.py": (
+        "def idle_process(core):\n"
+        "    yield\n"
+    )})
+    findings, _ = lint_path(root)
+    assert _rule_ids(findings) == {"C003"}
+
+
+def test_yieldless_process_flagged_c004(tmp_path):
+    root = _package(tmp_path, {"engine/procs.py": (
+        "def dispatch_process(core):\n"
+        "    return 42\n"
+    )})
+    findings, _ = lint_path(root)
+    assert _rule_ids(findings) == {"C004"}
+
+
+def test_well_formed_process_is_clean(tmp_path):
+    root = _package(tmp_path, {"sim/procs.py": (
+        "def tick_process(core):\n"
+        "    yield ('at', 10.0)\n"
+        "    yield ('join', 'barrier', 20.0)\n"
+        "    request = ('at', 30.0)\n"
+        "    yield request\n"
+        "    yield from tick_process(core)\n"
+    )})
+    findings, _ = lint_path(root)
+    assert findings == []
+
+
+def test_process_rules_ignored_outside_sim_modules(tmp_path):
+    root = _package(tmp_path, {"retrieval/text.py": (
+        "def tokenize_process(text):\n"
+        "    return text.split()\n"
+    )})
+    findings, _ = lint_path(root)
+    assert findings == []
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    root = _package(tmp_path, {"sim/broken.py": "def oops(:\n"})
+    findings, _ = lint_path(root)
+    assert len(findings) == 1
+    assert "does not parse" in findings[0].message

@@ -1,0 +1,72 @@
+"""Finding model: rule registry, report aggregation, rendering."""
+
+import json
+
+import pytest
+
+from repro.check import CheckReport, Finding, RULES, Severity, register_rule
+
+# Importing repro.check pulls in every pass module, so the registry is
+# fully populated here.
+
+
+def test_registry_covers_all_four_passes():
+    passes = {rule.pass_name for rule in RULES.values()}
+    assert passes == {"graph", "schedule", "trace", "code"}
+
+
+def test_rule_ids_follow_pass_prefix():
+    prefix = {"graph": "G", "schedule": "S", "trace": "T", "code": "C"}
+    for rule in RULES.values():
+        assert rule.rule_id.startswith(prefix[rule.pass_name])
+        assert rule.rule_id[1:].isdigit()
+
+
+def test_register_rule_idempotent_but_rejects_redefinition():
+    first = register_rule("G001", "graph",
+                          "FLOPs not conserved across the TP sharding pass")
+    assert first == "G001"
+    with pytest.raises(ValueError):
+        register_rule("G001", "graph", "something else entirely")
+
+
+def test_finding_rejects_unregistered_rule():
+    with pytest.raises(ValueError):
+        Finding("Z999", Severity.ERROR, "nowhere", "no such rule")
+
+
+def test_report_ok_ignores_warnings():
+    report = CheckReport()
+    report.extend([Finding("G009", Severity.WARNING, "op[0]", "zero work")],
+                  "fixture")
+    assert report.ok
+    assert report.errors == []
+    report.extend([Finding("G001", Severity.ERROR, "op[1]", "lost flops")])
+    assert not report.ok
+    assert len(report.errors) == 1
+
+
+def test_report_json_is_machine_readable():
+    report = CheckReport()
+    report.extend([Finding("T001", Severity.ERROR, "event[3]", "out of order")],
+                  "trace.json")
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert payload["checked"] == ["trace.json"]
+    (finding,) = payload["findings"]
+    assert finding == {
+        "rule": "T001",
+        "pass": "trace",
+        "severity": "error",
+        "location": "event[3]",
+        "message": "out of order",
+    }
+
+
+def test_render_shows_rule_id_and_location():
+    finding = Finding("S001", Severity.ERROR, "collective x", "deadlock")
+    text = finding.render()
+    assert "S001" in text
+    assert "[collective x]" in text
+    report = CheckReport(findings=[finding], checked=["a", "b"])
+    assert "checked 2 artifact(s): 1 error(s)" in report.render()

@@ -1,0 +1,157 @@
+"""Schedule hazard detector: deadlocks the simulator would hang on.
+
+The adversarial schedules are hand-built: ``DeviceSchedule`` is exactly the
+abstraction the engine's dispatch processes walk, so each fixture is the
+static shape of a real multi-device bug (swapped collective order, a
+device skipping a barrier, a stray stream assignment).
+"""
+
+from repro.check import (
+    CollectiveJoin,
+    DeviceSchedule,
+    KernelIssue,
+    check_schedules,
+    schedules_from_lowering,
+)
+from repro.check.schedule import COMPUTE_STREAM
+from repro.engine import TPConfig, shard_lowered
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def _symmetric(world, keys):
+    """World identical devices joining ``keys`` in order."""
+    return [
+        DeviceSchedule(device=d, items=[
+            CollectiveJoin(key=key, parties=world) for key in keys])
+        for d in range(world)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Real engine schedules are hazard-free
+# ----------------------------------------------------------------------
+def test_engine_tp_schedule_is_clean(gpt2_lowered):
+    tp = TPConfig(degree=2)
+    schedules = schedules_from_lowering(shard_lowered(gpt2_lowered, tp), tp)
+    assert check_schedules(schedules) == []
+
+
+def test_engine_tp4_schedule_is_clean(gpt2_lowered):
+    tp = TPConfig(degree=4)
+    schedules = schedules_from_lowering(shard_lowered(gpt2_lowered, tp), tp)
+    assert len(schedules) == 4
+    assert check_schedules(schedules) == []
+
+
+def test_derived_schedules_match_engine_shape(gpt2_lowered):
+    tp = TPConfig(degree=2)
+    sharded = shard_lowered(gpt2_lowered, tp)
+    schedules = schedules_from_lowering(sharded, tp)
+    kernel_count = sum(len(lo.kernels) for lo in sharded)
+    for schedule in schedules:
+        # every kernel appears exactly once, plus the iteration-end barrier
+        assert len(schedule.items) == kernel_count + 1
+        assert schedule.items[-1].key == "iteration-end"
+
+
+# ----------------------------------------------------------------------
+# S001: wait-for cycle (the classic mismatched-collective-order deadlock)
+# ----------------------------------------------------------------------
+def test_swapped_collective_order_deadlocks_s001():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2), CollectiveJoin("y", 2)])
+    b = DeviceSchedule(1, [CollectiveJoin("y", 2), CollectiveJoin("x", 2)])
+    findings = check_schedules([a, b])
+    assert "S001" in _rule_ids(findings)
+    (cycle,) = [f for f in findings if f.rule_id == "S001"]
+    assert "x" in cycle.message and "y" in cycle.message
+
+
+def test_three_device_rotation_deadlocks_s001():
+    keys = ["x", "y", "z"]
+    schedules = [
+        DeviceSchedule(d, [CollectiveJoin(keys[(i + d) % 3], 3)
+                           for i in range(3)])
+        for d in range(3)
+    ]
+    assert "S001" in _rule_ids(check_schedules(schedules))
+
+
+def test_consistent_order_has_no_cycle():
+    assert check_schedules(_symmetric(2, ["x", "y", "z"])) == []
+
+
+# ----------------------------------------------------------------------
+# S002 / S003: party-count hazards
+# ----------------------------------------------------------------------
+def test_disagreeing_party_count_flagged_s002():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2)])
+    b = DeviceSchedule(1, [CollectiveJoin("x", 3)])
+    assert "S002" in _rule_ids(check_schedules([a, b]))
+
+
+def test_missing_joiner_flagged_s003():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2), CollectiveJoin("y", 2)])
+    b = DeviceSchedule(1, [CollectiveJoin("y", 2)])  # never joins x
+    findings = check_schedules([a, b])
+    assert "S003" in _rule_ids(findings)
+
+
+def test_overfull_rendezvous_flagged_s003():
+    schedules = _symmetric(3, ["x"])
+    for schedule in schedules:
+        schedule.items[0] = CollectiveJoin("x", 2)  # 3 join, 2 expected
+    assert "S003" in _rule_ids(check_schedules(schedules))
+
+
+# ----------------------------------------------------------------------
+# S004: duplicate join
+# ----------------------------------------------------------------------
+def test_double_join_flagged_s004():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2), CollectiveJoin("x", 2)])
+    b = DeviceSchedule(1, [CollectiveJoin("x", 2)])
+    assert "S004" in _rule_ids(check_schedules([a, b]))
+
+
+# ----------------------------------------------------------------------
+# S005: unreachable work behind a hanging collective
+# ----------------------------------------------------------------------
+def test_work_behind_hanging_collective_flagged_s005():
+    a = DeviceSchedule(0, [
+        CollectiveJoin("x", 2),
+        KernelIssue("gemm_after"),
+        CollectiveJoin("iteration-end", 2),
+    ])
+    b = DeviceSchedule(1, [CollectiveJoin("iteration-end", 2)])
+    findings = check_schedules([a, b])
+    rule_ids = _rule_ids(findings)
+    assert "S003" in rule_ids  # x waits for a party that never comes
+    assert "S005" in rule_ids
+    (unreachable,) = [f for f in findings if f.rule_id == "S005"]
+    assert "2 event(s)" in unreachable.message
+
+
+def test_deadlock_marks_downstream_unreachable():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2), CollectiveJoin("y", 2),
+                           KernelIssue("tail")])
+    b = DeviceSchedule(1, [CollectiveJoin("y", 2), CollectiveJoin("x", 2),
+                           KernelIssue("tail")])
+    rule_ids = _rule_ids(check_schedules([a, b]))
+    assert {"S001", "S005"} <= rule_ids
+
+
+# ----------------------------------------------------------------------
+# S006: collective off the compute stream
+# ----------------------------------------------------------------------
+def test_collective_off_compute_stream_flagged_s006():
+    a = DeviceSchedule(0, [CollectiveJoin("x", 2, stream=COMPUTE_STREAM + 1)])
+    b = DeviceSchedule(1, [CollectiveJoin("x", 2)])
+    assert "S006" in _rule_ids(check_schedules([a, b]))
+
+
+def test_kernel_issues_alone_are_clean():
+    schedules = [DeviceSchedule(d, [KernelIssue(f"k{i}") for i in range(5)])
+                 for d in range(2)]
+    assert check_schedules(schedules) == []

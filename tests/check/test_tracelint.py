@@ -1,0 +1,219 @@
+"""Trace linter: clean on real exports, loud on scrambled/tampered traces.
+
+Every fixture starts from a real TP=2 engine trace exported through
+:mod:`repro.trace.chrome` and applies one surgical mutation, so each test
+pins exactly one rule to exactly one corruption.
+"""
+
+import json
+
+import pytest
+
+from repro.check import lint_chrome_text
+from repro.errors import AnalysisError
+from repro.trace import chrome
+from repro.trace.events import LAUNCH_KERNEL
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+@pytest.fixture(scope="module")
+def payload(tp2_trace):
+    return json.loads(chrome.dumps(tp2_trace))
+
+
+def _lint(payload):
+    findings, trace = lint_chrome_text(json.dumps(payload))
+    return findings, trace
+
+
+def _events(payload, cat=None, name=None):
+    return [e for e in payload["traceEvents"]
+            if (cat is None or e.get("cat") == cat)
+            and (name is None or e.get("name") == name)]
+
+
+def _copy(payload):
+    return json.loads(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Clean exports lint clean
+# ----------------------------------------------------------------------
+def test_fresh_export_is_clean(payload):
+    findings, trace = _lint(payload)
+    assert findings == []
+    assert trace is not None
+    assert trace.kernels
+
+
+def test_export_is_deterministic(tp2_trace):
+    assert chrome.dumps(tp2_trace) == chrome.dumps(tp2_trace)
+
+
+def test_export_is_canonically_ordered(payload):
+    begins = [e["args"]["ts_ns"] for e in payload["traceEvents"]]
+    assert begins == sorted(begins)
+
+
+# ----------------------------------------------------------------------
+# T001 / T002: raw-file checks
+# ----------------------------------------------------------------------
+def test_scrambled_events_flagged_t001(payload):
+    scrambled = _copy(payload)
+    scrambled["traceEvents"] = list(reversed(scrambled["traceEvents"]))
+    findings, _ = _lint(scrambled)
+    assert "T001" in _rule_ids(findings)
+
+
+def test_invalid_json_flagged_t002():
+    findings, trace = lint_chrome_text("{not json")
+    assert _rule_ids(findings) == {"T002"}
+    assert trace is None
+
+
+def test_negative_duration_flagged_t002(payload):
+    mutated = _copy(payload)
+    kernel = _events(mutated, cat="kernel")[0]
+    kernel["dur"] = -1.0
+    kernel["args"]["dur_ns"] = -1000.0
+    findings, trace = _lint(mutated)
+    assert "T002" in _rule_ids(findings)
+    assert trace is None  # malformed traces are not parsed further
+
+
+def test_non_list_trace_events_flagged_t002():
+    findings, trace = lint_chrome_text('{"traceEvents": 42}')
+    assert _rule_ids(findings) == {"T002"}
+    assert trace is None
+
+
+# ----------------------------------------------------------------------
+# T003-T006: launch <-> kernel correlation
+# ----------------------------------------------------------------------
+def test_duplicate_correlation_flagged_t003(payload):
+    mutated = _copy(payload)
+    kernels = _events(mutated, cat="kernel")
+    kernels[1]["args"]["correlation"] = kernels[0]["args"]["correlation"]
+    findings, _ = _lint(mutated)
+    assert "T003" in _rule_ids(findings)
+
+
+def test_orphan_kernel_flagged_t004(payload):
+    mutated = _copy(payload)
+    kernel = _events(mutated, cat="kernel")[0]
+    kernel["args"]["correlation"] = 10**9  # no launch carries this id
+    findings, _ = _lint(mutated)
+    rule_ids = _rule_ids(findings)
+    assert "T004" in rule_ids
+    assert "T005" in rule_ids  # its old launch lost its kernel
+
+
+def test_deleted_kernel_flagged_t005(payload):
+    mutated = _copy(payload)
+    kernel = _events(mutated, cat="kernel")[0]
+    mutated["traceEvents"].remove(kernel)
+    findings, _ = _lint(mutated)
+    assert "T005" in _rule_ids(findings)
+
+
+def test_kernel_before_launch_flagged_t006(payload):
+    mutated = _copy(payload)
+    launches = {e["args"]["correlation"]: e for e in _events(
+        mutated, cat="cuda_runtime", name=LAUNCH_KERNEL)}
+    kernel = next(e for e in _events(mutated, cat="kernel")
+                  if e["args"]["correlation"] in launches)
+    launch = launches[kernel["args"]["correlation"]]
+    early = launch["args"]["ts_ns"] - 5000.0
+    kernel["args"]["ts_ns"] = early
+    kernel["ts"] = early / 1e3
+    findings, _ = _lint(mutated)
+    assert "T006" in _rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# T007 / T008: stream and iteration ordering
+# ----------------------------------------------------------------------
+def test_overlapping_kernels_flagged_t007(payload):
+    mutated = _copy(payload)
+    kernels = sorted(
+        (e for e in _events(mutated, cat="kernel")
+         if e["args"]["stream"] == _events(
+             mutated, cat="kernel")[0]["args"]["stream"]
+         and e["args"]["device"] == _events(
+             mutated, cat="kernel")[0]["args"]["device"]),
+        key=lambda e: e["args"]["ts_ns"])
+    first, second = kernels[0], kernels[1]
+    stretched = second["args"]["ts_ns"] - first["args"]["ts_ns"] + 2000.0
+    first["args"]["dur_ns"] = stretched
+    first["dur"] = stretched / 1e3
+    findings, _ = _lint(mutated)
+    assert "T007" in _rule_ids(findings)
+
+
+def test_overlapping_iterations_flagged_t008(payload):
+    mutated = _copy(payload)
+    marks = sorted(_events(mutated, cat="user_annotation"),
+                   key=lambda e: e["args"]["ts_ns"])
+    assert len(marks) >= 2
+    stretched = (marks[1]["args"]["ts_ns"] - marks[0]["args"]["ts_ns"]
+                 + 1000.0)
+    marks[0]["args"]["dur_ns"] = stretched
+    marks[0]["dur"] = stretched / 1e3
+    findings, _ = _lint(mutated)
+    assert "T008" in _rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# T009: sidecar tampering
+# ----------------------------------------------------------------------
+def test_sidecar_disagreement_flagged_t009(payload):
+    mutated = _copy(payload)
+    kernel = _events(mutated, cat="kernel")[0]
+    kernel["args"]["ts_ns"] = kernel["args"]["ts_ns"] + 500.0  # us untouched
+    findings, _ = _lint(mutated)
+    assert "T009" in _rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# T010: metric identities
+# ----------------------------------------------------------------------
+def test_diverging_pipeline_metrics_flagged_t010(payload, monkeypatch):
+    import repro.skip.metrics as skip_metrics
+
+    real = skip_metrics.compute_metrics
+
+    def distorted(trace):
+        metrics = real(trace)
+        iteration = metrics.iterations[0]
+        object.__setattr__(iteration, "__dict__",
+                           {**vars(iteration),
+                            "tklqt_ns": iteration.tklqt_ns * 2 + 1e6})
+        return metrics
+
+    monkeypatch.setattr(skip_metrics, "compute_metrics", distorted)
+    findings, _ = _lint(payload)
+    assert "T010" in _rule_ids(findings)
+    assert any("tklqt_ns" in f.message for f in findings)
+
+
+def test_uncomputable_metrics_flagged_t010(payload, monkeypatch):
+    import repro.skip.metrics as skip_metrics
+
+    def broken(trace):
+        raise AnalysisError("no iterations survived attribution")
+
+    monkeypatch.setattr(skip_metrics, "compute_metrics", broken)
+    findings, _ = _lint(payload)
+    assert _rule_ids(findings) == {"T010"}
+
+
+def test_identities_skipped_when_structure_is_broken(payload):
+    # A structurally broken trace must not cascade into T010 noise.
+    mutated = _copy(payload)
+    kernel = _events(mutated, cat="kernel")[0]
+    mutated["traceEvents"].remove(kernel)
+    findings, _ = _lint(mutated)
+    assert "T010" not in _rule_ids(findings)

@@ -110,3 +110,42 @@ def test_tp_run_emits_per_device_kernels(dispatch):
     assert result.trace.metadata["tp_degree"] == 2
     names = {k.name for k in result.trace.kernels}
     assert allreduce_kernel_name(2) in names
+
+
+# ----------------------------------------------------------------------
+# TP degree validation
+# ----------------------------------------------------------------------
+def test_validate_tp_accepts_dividing_degrees():
+    from repro.engine import validate_tp
+
+    for degree in (1, 2, 3, 4, 6, 12):
+        validate_tp(TPConfig(degree=degree), heads=12)
+
+
+def test_validate_tp_rejects_non_dividing_degree():
+    from repro.engine import validate_tp
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        validate_tp(TPConfig(degree=5), heads=12, model_name="gpt2")
+    message = str(excinfo.value)
+    assert "gpt2" in message
+    assert "valid degrees: 1, 2, 3, 4, 6, 12" in message
+
+
+def test_run_rejects_non_dividing_tp_degree():
+    from repro.engine import EngineConfig
+
+    with pytest.raises(ConfigurationError):
+        run(BERT_BASE, INTEL_H100, batch_size=1, seq_len=32,
+            config=EngineConfig(iterations=1), tp=TPConfig(degree=5))
+
+
+def test_run_accepts_prebuilt_graph_without_heads():
+    """Degree validation needs a ModelConfig; raw graphs stay permitted."""
+    from repro.engine import EngineConfig
+    from repro.workloads import build_graph
+
+    graph = build_graph(BERT_BASE, batch_size=1, seq_len=32)
+    result = run(graph, INTEL_H100, config=EngineConfig(iterations=1),
+                 tp=TPConfig(degree=2))
+    assert {k.device for k in result.trace.kernels} == {0, 1}

@@ -93,10 +93,20 @@ def test_timeline_command(capsys):
     assert "cpu ops" in out and "gpu" in out and "#" in out
 
 
-def test_unknown_model_raises():
-    from repro.errors import ConfigurationError
-    with pytest.raises(ConfigurationError):
-        main(["profile", "--model", "not-a-model"])
+def test_unknown_model_exits_cleanly(capsys):
+    code = main(["profile", "--model", "not-a-model"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error: unknown model")
+    assert "Traceback" not in err
+
+
+def test_invalid_tp_degree_exits_cleanly(capsys):
+    code = main(["run", "--model", "gpt2", "--tp", "5"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "does not divide gpt2's 12 attention heads" in err
+    assert "valid degrees: 1, 2, 3, 4, 6, 12" in err
 
 
 def test_missing_subcommand_exits():

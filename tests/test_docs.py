@@ -69,3 +69,18 @@ def test_readme_mentions_emit_trace_quickstart():
     assert "--emit-trace" in text
     assert "docs/observability.md" in text
     assert (ROOT / "docs/observability.md").exists()
+
+
+def test_static_analysis_doc_covers_every_rule():
+    """Every registered check rule is documented, and vice versa."""
+    from repro.check import RULES
+
+    text = _read("docs/static-analysis.md")
+    documented = set(re.findall(r"^\| ([GSTC]\d{3}) \|", text, re.MULTILINE))
+    assert documented == set(RULES)
+
+
+def test_static_analysis_doc_is_linked():
+    assert "static-analysis.md" in _read("README.md")
+    assert "static-analysis.md" in _read("docs/architecture.md")
+    assert (ROOT / "docs/static-analysis.md").exists()
