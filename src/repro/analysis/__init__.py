@@ -25,7 +25,15 @@ from repro.analysis.sensitivity import (
     metric_sensitivity,
     sensitivity_sweep,
 )
-from repro.analysis.slo import DEFAULT_SLO_MS, SloPoint, SloReport, advise
+from repro.analysis.slo import (
+    DEFAULT_SLO_MS,
+    ReplicaAttainment,
+    ServingSloAttainment,
+    SloPoint,
+    SloReport,
+    advise,
+    serving_slo_attainment,
+)
 from repro.analysis.whatif import (
     CpuSpeedupRequirement,
     latency_at,
@@ -70,9 +78,12 @@ __all__ = [
     "sweep_to_csv",
     "sweep_to_json",
     "sweep_to_records",
+    "ReplicaAttainment",
+    "ServingSloAttainment",
     "SloPoint",
     "SloReport",
     "advise",
+    "serving_slo_attainment",
     "latency_at",
     "latency_vs_cpu_scale",
     "required_cpu_speedup",

@@ -10,11 +10,14 @@ ranks platforms by the throughput they achieve inside it — the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.analysis.sweep import SweepResult
 from repro.errors import AnalysisError
 from repro.units import ms_to_ns
+
+if TYPE_CHECKING:
+    from repro.serving.batcher import ServingReport
 
 #: The paper's quoted interactive-serving latency budget.
 DEFAULT_SLO_MS = 200.0
@@ -81,3 +84,68 @@ def advise(sweep: SweepResult, seq_len: int,
             throughput = best_batch * seq_len / (best_ttft / 1e9)
             points.append(SloPoint(name, best_batch, best_ttft, throughput))
     return SloReport(slo_ns=slo_ns, seq_len=seq_len, points=tuple(points))
+
+
+@dataclass(frozen=True)
+class ReplicaAttainment:
+    """SLO attainment of the requests one replica served."""
+
+    replica: int
+    requests: int
+    within_slo: int
+
+    @property
+    def attainment(self) -> float:
+        return self.within_slo / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class ServingSloAttainment:
+    """Fraction of served requests whose TTFT met the latency budget."""
+
+    slo_ns: float
+    requests: int
+    within_slo: int
+    replicas: tuple[ReplicaAttainment, ...]
+
+    @property
+    def attainment(self) -> float:
+        return self.within_slo / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        line = (f"SLO attainment     : {self.attainment:.1%} "
+                f"({self.within_slo}/{self.requests} TTFT within "
+                f"{self.slo_ns / 1e6:.0f} ms)")
+        if len(self.replicas) <= 1:
+            return line
+        per_replica = "  ".join(f"r{r.replica} {r.attainment:.0%}"
+                                for r in self.replicas)
+        return f"{line}\n  per replica      : {per_replica}"
+
+
+def serving_slo_attainment(report: ServingReport,
+                           slo_ms: float = DEFAULT_SLO_MS,
+                           ) -> ServingSloAttainment:
+    """Measure a serving run against the paper's interactive TTFT budget.
+
+    Works on any :class:`~repro.serving.batcher.ServingReport`; outcomes
+    from multi-replica runs (``RequestOutcome.replica``) get a per-replica
+    breakdown so a lagging replica is visible, not averaged away.
+    """
+    if slo_ms <= 0:
+        raise AnalysisError("slo_ms must be positive")
+    slo_ns = ms_to_ns(slo_ms)
+    by_replica: dict[int, list[bool]] = {}
+    for outcome in report.outcomes:
+        by_replica.setdefault(outcome.replica, []).append(
+            outcome.ttft_ns <= slo_ns)
+    replicas = tuple(
+        ReplicaAttainment(replica=replica, requests=len(hits),
+                          within_slo=sum(hits))
+        for replica, hits in sorted(by_replica.items()))
+    return ServingSloAttainment(
+        slo_ns=slo_ns,
+        requests=sum(r.requests for r in replicas),
+        within_slo=sum(r.within_slo for r in replicas),
+        replicas=replicas,
+    )

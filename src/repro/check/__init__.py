@@ -28,8 +28,10 @@ from repro.check.findings import (
 from repro.check.graph import check_lowering, check_sharding
 from repro.check.runner import (
     DEFAULT_CHECK_DEGREES,
+    check_serving_schedules,
     check_source,
     check_trace_files,
+    check_trace_schedules,
     check_workload_graphs,
     check_workload_schedules,
 )
@@ -39,6 +41,8 @@ from repro.check.schedule import (
     KernelIssue,
     check_schedules,
     schedules_from_lowering,
+    schedules_from_serving,
+    schedules_from_trace,
 )
 from repro.check.tracelint import lint_chrome_file, lint_chrome_text, lint_trace
 
@@ -54,9 +58,11 @@ __all__ = [
     "Severity",
     "check_lowering",
     "check_schedules",
+    "check_serving_schedules",
     "check_sharding",
     "check_source",
     "check_trace_files",
+    "check_trace_schedules",
     "check_workload_graphs",
     "check_workload_schedules",
     "lint_chrome_file",
@@ -66,4 +72,6 @@ __all__ = [
     "lint_trace",
     "register_rule",
     "schedules_from_lowering",
+    "schedules_from_serving",
+    "schedules_from_trace",
 ]

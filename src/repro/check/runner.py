@@ -8,13 +8,21 @@ examined, so a single run verifies the full workload catalog.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.check.findings import CheckReport
 from repro.check.code import lint_path
 from repro.check.graph import check_lowering, check_sharding
-from repro.check.schedule import check_schedules, schedules_from_lowering
+from repro.check.schedule import (
+    check_schedules,
+    schedules_from_lowering,
+    schedules_from_serving,
+    schedules_from_trace,
+)
 from repro.check.tracelint import lint_chrome_file
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession
 from repro.engine.lowering import lower_graph
 from repro.engine.tp import DispatchMode, TPConfig, shard_lowered
 from repro.workloads.builder import build_graph
@@ -77,6 +85,35 @@ def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
     for path in paths:
         findings, _trace = lint_chrome_file(path)
         report.extend(findings, str(path))
+    return report
+
+
+def check_trace_schedules(paths: Sequence[str | Path]) -> CheckReport:
+    """Hazard-check the device schedules reconstructed from trace files.
+
+    Reads each Chrome trace, lifts its kernels into per-device schedules
+    (collectives grouped by simultaneity), and runs the static schedule
+    checker over them — so an exported serving or engine trace can be
+    schedule-verified without the run that produced it.
+    """
+    report = CheckReport()
+    for path in paths:
+        findings, trace = lint_chrome_file(path)
+        fatal = [f for f in findings if f.rule_id in ("T001", "T002")]
+        if trace is None or fatal:
+            report.extend(fatal or findings, f"{path} (parse)")
+            continue
+        schedules = schedules_from_trace(trace)
+        report.extend(check_schedules(schedules), f"{path} schedules")
+    return report
+
+
+def check_serving_schedules(sessions: Iterable[EngineSession]) -> CheckReport:
+    """Hazard-check the schedules a finished serving run issued."""
+    report = CheckReport()
+    schedules = schedules_from_serving(sessions)
+    report.extend(check_schedules(schedules),
+                  f"serving run ({len(schedules)} devices)")
     return report
 
 

@@ -19,16 +19,28 @@ joined, hazards are decidable without running anything:
 
 :func:`schedules_from_lowering` derives the schedules the engine would run
 for a sharded lowering, so the CLI can verify every catalog model's TP
-schedule; tests hand-build adversarial schedules directly.
+schedule; :func:`schedules_from_serving` lifts a finished serving run's
+per-replica issue lists, :func:`schedules_from_trace` reconstructs schedules
+from an exported Chrome trace, and tests hand-build adversarial schedules
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro.check.findings import Finding, Severity, register_rule
 from repro.engine.lowering import LoweredOp
 from repro.engine.tp import TPConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession
+    from repro.trace.trace import Trace
+
+#: Kernel-name prefix that marks a cross-device collective in traces
+#: (mirrors ``repro.engine.lowering``'s all-reduce kernel naming).
+COLLECTIVE_KERNEL_PREFIX = "ncclDevKernel"
 
 S001 = register_rule(
     "S001", "schedule", "collective wait-for cycle (rendezvous deadlock)")
@@ -107,31 +119,111 @@ def schedules_from_lowering(lowered: list[LoweredOp],
     return schedules
 
 
+def schedules_from_serving(
+        sessions: Iterable[EngineSession]) -> list[DeviceSchedule]:
+    """The per-device schedules a finished serving run actually issued.
+
+    :class:`~repro.serving.runtime.EngineSession` appends plain
+    ``("kernel", name)`` / ``("join", key, parties)`` tuples as its policy
+    process executes (the serving layer stays import-free of the checker);
+    this lifts them into typed schedules so ``check_schedules`` can verify
+    the run the same way it verifies engine lowerings.
+    """
+    schedules: list[DeviceSchedule] = []
+    for session in sessions:
+        for device in session.devices:
+            items: list[ScheduleItem] = []
+            for entry in session.schedule_items[device.index]:
+                if entry[0] == "kernel":
+                    items.append(KernelIssue(name=entry[1]))
+                elif entry[0] == "join":
+                    items.append(CollectiveJoin(key=entry[1],
+                                                parties=entry[2]))
+                else:
+                    raise ValueError(
+                        f"unknown serving schedule item: {entry!r}")
+            schedules.append(DeviceSchedule(device=device.index, items=items))
+    return schedules
+
+
+def schedules_from_trace(trace: Trace) -> list[DeviceSchedule]:
+    """Reconstruct per-device schedules from an exported Chrome trace.
+
+    Kernels on each device become :class:`KernelIssue` entries in execution
+    order. Collective kernels (``ncclDevKernel...``) are grouped into
+    rendezvous by simultaneity — collective kernels sharing a name and a
+    start instant are one collective — with the party count inferred from
+    the group size. Because parties are inferred from the joiners, rule
+    S003 cannot fire on trace-derived schedules; the value of this view is
+    the ordering, cycle, duplicate-join, and stream checks.
+    """
+    collective_group: dict[tuple[str, float], str] = {}
+    group_parties: dict[str, int] = {}
+    collectives = sorted(
+        (k for k in trace.kernels
+         if k.name.startswith(COLLECTIVE_KERNEL_PREFIX)),
+        key=lambda k: (k.ts, k.device, k.event_id))
+    for kernel in collectives:
+        group = collective_group.get((kernel.name, kernel.ts))
+        if group is None:
+            group = f"{kernel.name}@{len(group_parties)}"
+            collective_group[(kernel.name, kernel.ts)] = group
+            group_parties[group] = 0
+        group_parties[group] += 1
+
+    devices = sorted({k.device for k in trace.kernels})
+    schedules = []
+    for device in devices:
+        items: list[ScheduleItem] = []
+        ordered = sorted((k for k in trace.kernels if k.device == device),
+                         key=lambda k: (k.ts, k.event_id))
+        for kernel in ordered:
+            group = collective_group.get((kernel.name, kernel.ts))
+            if group is not None:
+                items.append(CollectiveJoin(key=group,
+                                            parties=group_parties[group],
+                                            stream=kernel.stream))
+            else:
+                items.append(KernelIssue(kernel.name, stream=kernel.stream))
+        schedules.append(DeviceSchedule(device=device, items=items))
+    return schedules
+
+
 def _find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
-    """One cycle in a directed graph, as a node path, or None."""
+    """One cycle in a directed graph, as a node path, or None.
+
+    Iterative DFS: serving traces chain one collective per decode step, so
+    the graph can be tens of thousands of nodes deep — far past Python's
+    recursion limit.
+    """
     WHITE, GRAY, BLACK = 0, 1, 2
     color = {node: WHITE for node in edges}
     path: list[str] = []
 
-    def visit(node: str) -> list[str] | None:
-        color[node] = GRAY
-        path.append(node)
-        for succ in sorted(edges.get(node, ())):
-            if color.get(succ, WHITE) == GRAY:
-                return path[path.index(succ):] + [succ]
-            if color.get(succ, WHITE) == WHITE:
-                cycle = visit(succ)
-                if cycle is not None:
-                    return cycle
-        path.pop()
-        color[node] = BLACK
-        return None
-
-    for node in sorted(edges):
-        if color[node] == WHITE:
-            cycle = visit(node)
-            if cycle is not None:
-                return cycle
+    for root in sorted(edges):
+        if color[root] != WHITE:
+            continue
+        # Stack of (node, iterator over its successors).
+        stack = [(root, iter(sorted(edges.get(root, ()))))]
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                state = color.get(succ, WHITE)
+                if state == GRAY:
+                    return path[path.index(succ):] + [succ]
+                if state == WHITE:
+                    color[succ] = GRAY
+                    path.append(succ)
+                    stack.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
     return None
 
 

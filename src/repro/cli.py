@@ -182,46 +182,71 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis import serving_slo_attainment
     from repro.obs import RunRecorder, recording_to_trace
     from repro.serving import (
+        ClassifiedRequest,
         ContinuousBatchPolicy,
         LatencyModel,
+        PriorityPolicy,
+        RequestClass,
         StaticBatchPolicy,
         poisson_requests,
-        simulate_continuous_batching,
-        simulate_static_batching,
+        simulate_serving,
     )
     from repro.trace import chrome
     from repro.viz import TimelineOptions, render_serving_timeline
 
     model = get_model(args.model)
-    latency = LatencyModel(get_platform(args.platform), engine_config=_FAST)
+    latency = LatencyModel(get_platform(args.platform), engine_config=_FAST,
+                           tp=_tp_config(args))
     requests = poisson_requests(
         rate_per_s=args.rate, duration_s=args.duration,
         prompt_len=args.prompt_len, output_tokens=args.output_tokens,
         seed=args.seed)
-    recorder = RunRecorder()
     if args.scenario == "continuous":
-        report = simulate_continuous_batching(
-            requests, model, latency,
-            ContinuousBatchPolicy(max_active=args.max_active),
-            recorder=recorder)
-    else:
-        report = simulate_static_batching(
-            requests, model, latency,
-            StaticBatchPolicy(max_batch_size=args.max_active),
-            recorder=recorder)
+        policy = ContinuousBatchPolicy(max_active=args.max_active)
+        workload: list = list(requests)
+    elif args.scenario == "static":
+        policy = StaticBatchPolicy(max_batch_size=args.max_active)
+        workload = list(requests)
+    else:  # priority: every 4th request is interactive, the rest are bulk
+        policy = PriorityPolicy(bulk_batch=args.max_active)
+        workload = [
+            ClassifiedRequest(request=request,
+                              request_class=(RequestClass.INTERACTIVE
+                                             if index % 4 == 0
+                                             else RequestClass.BULK))
+            for index, request in enumerate(requests)
+        ]
+    recorder = RunRecorder()
+    result = simulate_serving(workload, model, latency, policy=policy,
+                              replicas=args.replicas, recorder=recorder)
+    report = result.report
     title = (f"{args.scenario} serving: {model.name} on {args.platform} "
-             f"({len(requests)} requests)")
+             f"({len(requests)} requests, {args.replicas} replica(s))")
     print(recorder.summary().render(title))
     print(f"throughput         : "
           f"{report.throughput_tokens_per_s():.0f} tokens/s")
+    print(serving_slo_attainment(report).render())
+    if args.replicas > 1:
+        rows = [[f"r{stats.replica}", str(stats.requests),
+                 str(stats.output_tokens), str(stats.steps),
+                 f"{stats.throughput_tokens_per_s:.0f}",
+                 f"{100 * stats.utilization:.1f}%"]
+                for stats in result.replicas]
+        print()
+        print(render_table(
+            ["replica", "requests", "tokens", "steps", "tokens/s", "util"],
+            rows, title="per-replica scale-out"))
     if args.timeline:
         print()
         print(render_serving_timeline(recorder,
                                       TimelineOptions(width=args.width)))
     if args.emit_trace:
-        trace = recording_to_trace(recorder, latency, model)
+        trace = recording_to_trace(
+            recorder, latency, model,
+            devices_per_replica=result.devices_per_replica)
         chrome.dump(trace, args.emit_trace)
         print(f"wrote {len(trace.kernels)} kernels / "
               f"{len(trace.iterations)} steps to {args.emit_trace}")
@@ -272,8 +297,10 @@ def _cmd_check_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_check_schedule(args: argparse.Namespace) -> int:
-    from repro.check import check_workload_schedules
+    from repro.check import check_trace_schedules, check_workload_schedules
 
+    if args.trace:
+        return _emit_report(check_trace_schedules(args.trace), args.json)
     degrees = tuple(int(d) for d in args.degrees.split(","))
     report = check_workload_schedules(_resolve_check_models(args.models),
                                       degrees, batch_size=args.batch_size,
@@ -388,7 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", default="gpt2")
     serve.add_argument("--platform", default="Intel+H100")
     serve.add_argument("--scenario", default="continuous",
-                       choices=["continuous", "static"])
+                       choices=["continuous", "static", "priority"])
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="engine replicas serving one admission queue")
+    _add_tp_args(serve)
     serve.add_argument("--rate", type=float, default=20.0,
                        help="Poisson arrival rate (req/s)")
     serve.add_argument("--duration", type=float, default=1.0,
@@ -396,8 +426,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--prompt-len", type=int, default=128)
     serve.add_argument("--output-tokens", type=int, default=16)
     serve.add_argument("--max-active", type=int, default=8,
-                       help="max active sequences (continuous) or batch "
-                            "size (static)")
+                       help="max active sequences (continuous), batch size "
+                            "(static), or bulk batch (priority)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--timeline", action="store_true",
                        help="render the recorded run as an ASCII timeline")
@@ -445,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_catalog(check_sched)
     check_sched.add_argument("--dispatch", default="per-device",
                              choices=[m.value for m in DispatchMode])
+    check_sched.add_argument("--trace", metavar="PATH", action="append",
+                             help="hazard-check the schedules reconstructed "
+                                  "from an exported Chrome trace instead of "
+                                  "the catalog (repeatable)")
     check_sched.set_defaults(func=_cmd_check_schedule)
 
     check_trace = check_sub.add_parser(

@@ -24,6 +24,8 @@ the earliest instant all streams can take them.
 
 from __future__ import annotations
 
+from typing import Hashable
+
 from repro.engine.lowering import KernelTask, LoweredOp
 from repro.engine.modes import ExecutionMode
 from repro.hardware.platform import Platform
@@ -194,13 +196,22 @@ def per_device_launch_processes(
     mode: ExecutionMode,
     config,
     recorder: RunRecorder | None = None,
+    tenant: Hashable = None,
 ) -> list[Process]:
-    """One dispatch process per device; rendezvous at collectives/barriers."""
+    """One dispatch process per device; rendezvous at collectives/barriers.
+
+    ``tenant`` namespaces the rendezvous keys, so two independent engine
+    process groups (two models, two replicas) can share one
+    :class:`~repro.sim.core.SimCore` without their collectives colliding.
+    The default (``None``) keeps the historical keys, so single-tenant runs
+    are bit-identical to before the parameter existed.
+    """
     world = len(core.devices)
     return [
         _device_dispatch_process(
             core, builder, lowered, platform, mode, config,
-            recorder if device_index == 0 else None, device_index, world)
+            recorder if device_index == 0 else None, device_index, world,
+            tenant=tenant)
         for device_index in range(world)
     ]
 
@@ -215,7 +226,11 @@ def _device_dispatch_process(
     recorder: RunRecorder | None,
     device_index: int,
     world: int,
+    tenant: Hashable = None,
 ) -> Process:
+    def rendezvous_key(*key: Hashable) -> tuple[Hashable, ...]:
+        return key if tenant is None else (tenant, *key)
+
     stream = core.devices[device_index].compute_stream
     thread = core.cpu_threads[device_index]
     tid = thread.tid
@@ -258,7 +273,8 @@ def _device_dispatch_process(
                     ready = stream.earliest_start(
                         arrival, config.stream_kernel_gap_ns)
                     rdv = core.rendezvous(
-                        ("allreduce", iteration, op_index, kernel_index), world)
+                        rendezvous_key("allreduce", iteration, op_index,
+                                       kernel_index), world)
                     start_at = yield ("join", rdv, ready)
                     start, _end = stream.submit(
                         start_at, duration, gap_ns=config.stream_kernel_gap_ns)
@@ -292,7 +308,8 @@ def _device_dispatch_process(
         builder.runtime_call(DEVICE_SYNCHRONIZE, cpu,
                              config.sync_call_ns + wait, tid=tid)
         cpu += config.sync_call_ns + wait
-        barrier = core.rendezvous(("iteration-end", iteration), world)
+        barrier = core.rendezvous(rendezvous_key("iteration-end", iteration),
+                                  world)
         cpu = yield ("join", barrier, cpu)
         if measured and leader:
             builder.end_iteration(cpu)

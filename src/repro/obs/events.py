@@ -28,6 +28,7 @@ class StepKind(enum.Enum):
     GENERATION = "generation"   # static batching's closed-form decode tail
     DRAFT = "draft"             # speculative: draft-model decode steps
     VERIFY = "verify"           # speculative: target-model verification pass
+    RETRIEVAL = "retrieval"     # RAG: vector-index lookup before generation
     ENGINE = "engine"           # one raw engine iteration (executor hook)
 
 
@@ -63,6 +64,7 @@ class StepEvent:
         batch_size: Sequences processed by the step.
         queue_depth: Requests arrived but not yet admitted at step begin.
         shape: Engine shape that priced the step (None for closed-form steps).
+        replica: Engine replica that executed the step (multi-replica runs).
     """
 
     index: int
@@ -72,6 +74,7 @@ class StepEvent:
     batch_size: int
     queue_depth: int = 0
     shape: EngineShape | None = None
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if self.dur_ns < 0:
@@ -80,6 +83,8 @@ class StepEvent:
             raise AnalysisError(f"step {self.index} has no sequences")
         if self.queue_depth < 0:
             raise AnalysisError(f"step {self.index} has negative queue depth")
+        if self.replica < 0:
+            raise AnalysisError(f"step {self.index} has negative replica")
 
     @property
     def ts_end_ns(self) -> float:

@@ -44,6 +44,7 @@ def recording_to_trace(
     latency: LatencyModel,
     model: ModelConfig | Mapping[str, ModelConfig],
     metadata: dict | None = None,
+    devices_per_replica: int = 1,
 ) -> Trace:
     """Build one Chrome-trace-exportable :class:`Trace` from a recorded run.
 
@@ -54,6 +55,10 @@ def recording_to_trace(
         model: The served model, or a name -> config mapping when the run
             mixed models (agentic pipelines, speculative decoding).
         metadata: Extra trace metadata (merged over the defaults).
+        devices_per_replica: GPU devices (tensor-parallel shards) per engine
+            replica. Steps from replica ``r`` land on device ordinals
+            ``r * devices_per_replica ...`` and on their own CPU thread ids,
+            so multi-replica runs export as one coherent multi-GPU trace.
 
     Raises:
         AnalysisError: when no steps were recorded or a step references a
@@ -61,6 +66,8 @@ def recording_to_trace(
     """
     if not recorder.steps:
         raise AnalysisError("recorded run has no steps to export")
+    if devices_per_replica <= 0:
+        raise AnalysisError("devices_per_replica must be positive")
     models = model if isinstance(model, Mapping) else {model.name: model}
 
     out = Trace(metadata={
@@ -70,7 +77,8 @@ def recording_to_trace(
         "models": sorted(models),
         **(metadata or {}),
     })
-    splicer = _Splicer(out)
+    splicer = _Splicer(out, devices_per_replica=devices_per_replica)
+    marks: list[tuple[float, float]] = []
     for step in sorted(recorder.steps, key=lambda s: (s.ts_ns, s.index)):
         if step.shape is not None:
             if step.shape.model not in models:
@@ -87,26 +95,64 @@ def recording_to_trace(
             splicer.splice(result.trace, step)
         else:
             splicer.synthesize(step, latency)
-        out.mark_iteration(step.ts_ns, step.ts_end_ns)
+        marks.append((step.ts_ns, step.ts_end_ns))
+    for ts, ts_end in _merge_overlapping(marks):
+        out.mark_iteration(ts, ts_end)
     out.sort()
     out.validate()
     return out
 
 
-class _Splicer:
-    """Copies engine-trace events onto the serving clock with fresh ids."""
+def _merge_overlapping(
+        marks: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Coalesce iteration marks that strictly overlap.
 
-    def __init__(self, out: Trace) -> None:
+    Replicas step concurrently, and ProfilerStep iterations must not overlap
+    (trace lint T008). Marks that merely touch stay separate — single-replica
+    runs, whose steps are contiguous, export exactly as before.
+    """
+    merged: list[tuple[float, float]] = []
+    for ts, ts_end in sorted(marks):
+        if merged and ts < merged[-1][1]:
+            last_ts, last_end = merged[-1]
+            merged[-1] = (last_ts, max(last_end, ts_end))
+        else:
+            merged.append((ts, ts_end))
+    return merged
+
+
+class _Splicer:
+    """Copies engine-trace events onto the serving clock with fresh ids.
+
+    Multi-replica runs shift each replica's events onto its own device
+    ordinals (``replica * devices_per_replica + local``) and its own CPU
+    thread ids, so kernels from concurrently-stepping replicas never collide
+    on one (device, stream) lane and each replica's operator nesting stays
+    self-contained. Replica 0's offsets are zero, which keeps single-replica
+    exports byte-identical to the pre-replica format.
+    """
+
+    def __init__(self, out: Trace, devices_per_replica: int = 1) -> None:
         self._out = out
+        self._devices_per_replica = devices_per_replica
         self._correlation = itertools.count(1)
         self._graph_correlation = itertools.count(1)
         self._seq = itertools.count(0)
+
+    def _offsets(self, step: StepEvent) -> tuple[int, int]:
+        """(device, tid) offsets for the step's replica. The tid stride is
+        ``devices_per_replica + 1`` because an engine run uses one dispatch
+        tid per device plus the main thread."""
+        device = step.replica * self._devices_per_replica
+        tid = step.replica * (self._devices_per_replica + 1)
+        return device, tid
 
     def splice(self, engine_trace: Trace, step: StepEvent) -> None:
         """Copy the engine trace's first measured iteration into the step."""
         if not engine_trace.iterations:
             raise AnalysisError(
                 f"engine trace for step {step.index} has no iterations")
+        device_offset, tid_offset = self._offsets(step)
         mark = engine_trace.iterations[0]
         offset = step.ts_ns - mark.ts
         in_window = lambda e: mark.ts <= e.ts < mark.ts_end
@@ -115,8 +161,8 @@ class _Splicer:
                      key=lambda o: (o.ts, o.seq, o.event_id))
         for op in ops:
             self._out.add(OperatorEvent(
-                name=op.name, ts=op.ts + offset, dur=op.dur, tid=op.tid,
-                seq=next(self._seq)))
+                name=op.name, ts=op.ts + offset, dur=op.dur,
+                tid=op.tid + tid_offset, seq=next(self._seq)))
 
         remap: dict[int, int] = {}
         for call in engine_trace.runtime_calls:
@@ -128,7 +174,7 @@ class _Splicer:
                 remap[call.correlation_id] = correlation
             self._out.add(RuntimeEvent(
                 name=call.name, ts=call.ts + offset, dur=call.dur,
-                tid=call.tid, correlation_id=correlation))
+                tid=call.tid + tid_offset, correlation_id=correlation))
 
         for kernel in engine_trace.kernels:
             if kernel.correlation_id >= 0:
@@ -142,11 +188,12 @@ class _Splicer:
             self._out.add(KernelEvent(
                 name=kernel.name, ts=kernel.ts + offset, dur=kernel.dur,
                 tid=0, correlation_id=correlation, stream=kernel.stream,
-                device=kernel.device, flops=kernel.flops,
+                device=kernel.device + device_offset, flops=kernel.flops,
                 bytes_moved=kernel.bytes_moved))
 
     def synthesize(self, step: StepEvent, latency: LatencyModel) -> None:
         """Emit a minimal analyzable iteration for a closed-form step."""
+        device_offset, tid_offset = self._offsets(step)
         platform = latency.platform
         call_dur = min(platform.launch_call_cpu_ns, step.dur_ns)
         kernel_ts = min(step.ts_ns + platform.launch_latency_ns,
@@ -154,11 +201,11 @@ class _Splicer:
         correlation = next(self._correlation)
         self._out.add(OperatorEvent(
             name=f"serving::{step.kind.value}", ts=step.ts_ns,
-            dur=step.dur_ns, tid=1, seq=next(self._seq)))
+            dur=step.dur_ns, tid=1 + tid_offset, seq=next(self._seq)))
         self._out.add(RuntimeEvent(
-            name=LAUNCH_KERNEL, ts=step.ts_ns, dur=call_dur, tid=1,
-            correlation_id=correlation))
+            name=LAUNCH_KERNEL, ts=step.ts_ns, dur=call_dur,
+            tid=1 + tid_offset, correlation_id=correlation))
         self._out.add(KernelEvent(
             name=f"serving_{step.kind.value}_kernel", ts=kernel_ts,
             dur=step.ts_end_ns - kernel_ts, tid=0,
-            correlation_id=correlation))
+            correlation_id=correlation, device=device_offset))

@@ -125,11 +125,13 @@ class RunRecorder:
         batch_size: int,
         queue_depth: int = 0,
         shape: EngineShape | None = None,
+        replica: int = 0,
     ) -> StepEvent:
         """Record one engine invocation on the serving timeline."""
         step = StepEvent(index=len(self.steps), kind=kind, ts_ns=ts_ns,
                          dur_ns=dur_ns, batch_size=batch_size,
-                         queue_depth=queue_depth, shape=shape)
+                         queue_depth=queue_depth, shape=shape,
+                         replica=replica)
         self.steps.append(step)
         self.histogram(H_BATCH_SIZE).observe(float(batch_size))
         self.histogram(H_QUEUE_DEPTH).observe(float(queue_depth))

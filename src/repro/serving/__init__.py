@@ -1,4 +1,11 @@
-"""Serving-scenario composition: batching, agentic chains, RAG."""
+"""Serving-scenario composition: batching, agentic chains, RAG.
+
+Every policy runs as a process on the shared sim-backed runtime
+(:mod:`repro.serving.runtime`); :func:`simulate_serving` is the one entry
+point, and the per-policy ``simulate_*`` helpers are thin wrappers over it.
+The pre-runtime standalone loops survive in :mod:`repro.serving.legacy` as
+parity oracles.
+"""
 
 from repro.serving.batcher import (
     ServingReport,
@@ -13,10 +20,24 @@ from repro.serving.latency import LatencyModel
 from repro.serving.pipeline import (
     AgenticPipeline,
     PipelineResult,
+    PipelineServingPolicy,
     PipelineStage,
     StageLatency,
 )
-from repro.serving.rag import RagLatency, RagPipeline
+from repro.serving.rag import (
+    RagLatency,
+    RagPipeline,
+    RagServingPolicy,
+    measured_retrieval_ns,
+)
+from repro.serving.runtime import (
+    AdmissionQueue,
+    EngineSession,
+    ReplicaStats,
+    ServingRunResult,
+    ServingRuntime,
+    simulate_serving,
+)
 from repro.serving.scheduler import (
     ClassifiedRequest,
     PriorityPolicy,
@@ -24,35 +45,52 @@ from repro.serving.scheduler import (
     RequestClass,
     simulate_priority_scheduling,
 )
-from repro.serving.requests import Request, RequestOutcome, poisson_requests
+from repro.serving.requests import (
+    Request,
+    RequestOutcome,
+    poisson_requests,
+    queue_delay_ns,
+)
 from repro.serving.speculative import (
     SpeculativeConfig,
     SpeculativeLatency,
+    SpeculativeServingPolicy,
     speculative_generation_ns,
 )
 
 __all__ = [
+    "AdmissionQueue",
     "AgenticPipeline",
     "ContinuousBatchPolicy",
     "simulate_continuous_batching",
+    "EngineSession",
     "LatencyModel",
     "PipelineResult",
+    "PipelineServingPolicy",
     "PipelineStage",
     "ClassifiedRequest",
     "PriorityPolicy",
     "PriorityReport",
     "RagLatency",
     "RagPipeline",
+    "RagServingPolicy",
+    "ReplicaStats",
     "RequestClass",
     "simulate_priority_scheduling",
     "Request",
     "RequestOutcome",
     "ServingReport",
+    "ServingRunResult",
+    "ServingRuntime",
+    "simulate_serving",
     "SpeculativeConfig",
     "SpeculativeLatency",
+    "SpeculativeServingPolicy",
     "speculative_generation_ns",
     "StageLatency",
     "StaticBatchPolicy",
+    "measured_retrieval_ns",
     "poisson_requests",
+    "queue_delay_ns",
     "simulate_static_batching",
 ]

@@ -1,23 +1,33 @@
-"""Batching policies and the serving-loop simulation.
+"""Static batching: policy, report, and the sim-backed serving process.
 
 Section II-A of the paper frames the central serving trade-off: large batches
 maximize throughput but inflate per-user latency (TTFT); BS=1 minimizes
-latency but wastes hardware. This module simulates a single-replica serving
-loop under a static batching policy so the examples and ablation benches can
-quantify that trade-off on each platform.
+latency but wastes hardware. Static batching is the classic form: collect
+requests until the batch is full or the oldest has waited too long, then run
+prefill + decode for the whole batch padded to its longest member.
+
+The serving loop itself is :func:`static_batching_process`, a process on
+:class:`repro.serving.runtime.ServingRuntime`; :func:`simulate_static_batching`
+wraps it for the single-call API. The original standalone loop survives as
+:func:`repro.serving.legacy.legacy_static_batching`, and with one replica the
+process reproduces it bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
-from repro.serving.requests import Request, RequestOutcome
+from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,67 @@ class ServingReport:
         return sum(o.batch_size for o in self.outcomes) / len(self.outcomes)
 
 
+def static_batching_process(runtime: ServingRuntime, session: EngineSession,
+                            policy: StaticBatchPolicy) -> Process:
+    """One replica's static-batching scheduler, as a sim process.
+
+    The replica sleeps until it is free, claims the oldest waiting request
+    plus everything that arrived within the batching window, runs the padded
+    batch as one prefill step plus a closed-form generation step, and goes
+    back to sleep until the batch drains.
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    model = runtime.model
+    recorder = runtime.recorder
+    free = 0.0
+    while True:
+        now = yield ("at", free)
+        seed = queue.first_unclaimed()
+        if seed is None:
+            break
+        if seed.arrival_ns > now:
+            # Nothing waiting yet: sleep until the next arrival. Another
+            # replica may claim it first; re-check on wake.
+            free = seed.arrival_ns
+            continue
+        batch_start = max(seed.arrival_ns, free)
+        deadline = seed.arrival_ns + policy.max_wait_ns
+        batch = queue.claim_batch(seed, policy.max_batch_size,
+                                  max(deadline, batch_start))
+        launch_ns = max(batch_start, batch[-1].arrival_ns)
+
+        batch_size = len(batch)
+        prompt_len = max(r.prompt_len for r in batch)
+        output_tokens = max(r.output_tokens for r in batch)
+        ttft = latency.ttft_ns(model, batch_size, prompt_len)
+        total = latency.generation_ns(model, batch_size, prompt_len,
+                                      output_tokens)
+        waiting = queue.depth(launch_ns) if recorder is not None else 0
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch_ns)
+        session.execute(
+            StepKind.PREFILL, launch_ns, ttft, batch_size,
+            queue_depth=waiting,
+            shape=EngineShape(model.name, batch_size, prompt_len))
+        if total > ttft:
+            session.execute(StepKind.GENERATION, launch_ns + ttft,
+                            total - ttft, batch_size, queue_depth=waiting)
+        if recorder is not None:
+            for request in batch:
+                recorder.on_first_token(request.request_id, launch_ns + ttft)
+                recorder.on_completed(request.request_id, launch_ns + total)
+        for request in batch:
+            queued = queue_delay_ns(request, launch_ns)
+            runtime.complete(request, ttft_ns=queued + ttft,
+                             completion_ns=queued + total,
+                             batch_size=batch_size,
+                             service_start_ns=launch_ns, session=session)
+        free = launch_ns + total
+
+
 def simulate_static_batching(
     requests: Sequence[Request],
     model: ModelConfig,
@@ -90,56 +161,12 @@ def simulate_static_batching(
     A recorder, when given, sees each batch as one engine-shaped prefill step
     plus a closed-form generation step (decode here is priced by a trapezoid
     integral, not per-step engine runs).
-    """
-    if not requests:
-        raise ConfigurationError("no requests to serve")
-    pending = sorted(requests, key=lambda r: r.arrival_ns)
-    outcomes: list[RequestOutcome] = []
-    server_free_ns = 0.0
-    i = 0
-    while i < len(pending):
-        first = pending[i]
-        batch_start = max(first.arrival_ns, server_free_ns)
-        batch = [first]
-        j = i + 1
-        deadline = first.arrival_ns + policy.max_wait_ns
-        while (j < len(pending) and len(batch) < policy.max_batch_size
-               and pending[j].arrival_ns <= max(deadline, batch_start)):
-            batch.append(pending[j])
-            j += 1
-        launch_ns = max(batch_start, batch[-1].arrival_ns)
 
-        batch_size = len(batch)
-        prompt_len = max(r.prompt_len for r in batch)
-        output_tokens = max(r.output_tokens for r in batch)
-        ttft = latency.ttft_ns(model, batch_size, prompt_len)
-        total = latency.generation_ns(model, batch_size, prompt_len,
-                                      output_tokens)
-        if recorder is not None:
-            waiting = sum(1 for r in pending[j:] if r.arrival_ns <= launch_ns)
-            for request in batch:
-                recorder.on_admitted(request.request_id, request.arrival_ns,
-                                     launch_ns)
-            recorder.record_step(
-                StepKind.PREFILL, launch_ns, ttft, batch_size,
-                queue_depth=waiting,
-                shape=EngineShape(model.name, batch_size, prompt_len))
-            if total > ttft:
-                recorder.record_step(StepKind.GENERATION, launch_ns + ttft,
-                                     total - ttft, batch_size,
-                                     queue_depth=waiting)
-            for request in batch:
-                recorder.on_first_token(request.request_id, launch_ns + ttft)
-                recorder.on_completed(request.request_id, launch_ns + total)
-        for request in batch:
-            queued = launch_ns - request.arrival_ns
-            outcomes.append(RequestOutcome(
-                request=request,
-                ttft_ns=queued + ttft,
-                completion_ns=queued + total,
-                batch_size=batch_size,
-                queue_ns=queued,
-            ))
-        server_free_ns = launch_ns + total
-        i = j
-    return ServingReport(outcomes=outcomes)
+    This is a thin wrapper over :func:`repro.serving.runtime.simulate_serving`
+    with one replica; use ``simulate_serving`` directly for multi-replica
+    runs or per-replica statistics.
+    """
+    from repro.serving.runtime import simulate_serving
+
+    return simulate_serving(requests, model, latency, policy=policy,
+                            recorder=recorder).report

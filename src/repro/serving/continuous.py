@@ -2,33 +2,39 @@
 
 Section IV-B: serving frameworks like vLLM "aim to maximize throughput while
 approaching the low latency characteristic of BS=1 execution" using
-continuous batching. This simulation admits requests at decode-step
-boundaries instead of waiting to assemble a full static batch: new arrivals
-are prefilled as soon as the engine is free, then join the running decode
-batch, so one slow request never holds a batch hostage.
+continuous batching. This policy admits requests at decode-step boundaries
+instead of waiting to assemble a full static batch: new arrivals are
+prefilled as soon as the engine is free, then join the running decode batch,
+so one slow request never holds a batch hostage.
 
 Decode-step latencies are looked up through the engine-backed LatencyModel
 with context lengths bucketed (decode cost is near-affine in context, and
 bucketing bounds the number of engine runs).
 
-Passing a :class:`repro.obs.RunRecorder` records every admission, prefill
-batch, decode step, token, and completion; the recorded run exports as a
-SKIP-analyzable Chrome trace (see ``docs/observability.md``).
+The serving loop is :func:`continuous_batching_process`, a process on
+:class:`repro.serving.runtime.ServingRuntime`; with one replica it
+reproduces :func:`repro.serving.legacy.legacy_continuous_batching`
+bit-for-bit. Passing a :class:`repro.obs.RunRecorder` records every
+admission, prefill batch, decode step, token, and completion; the recorded
+run exports as a SKIP-analyzable Chrome trace (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.batcher import ServingReport
 from repro.serving.latency import LatencyModel
-from repro.serving.requests import Request, RequestOutcome
+from repro.serving.requests import Request, queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 @dataclass(frozen=True)
@@ -57,52 +63,42 @@ class _Sequence:
     first_token_ns: float
     remaining: int
     context: int
+    admitted_ns: float
     last_token_ns: float = 0.0
 
 
-def simulate_continuous_batching(
-    requests: Sequence[Request],
-    model: ModelConfig,
-    latency: LatencyModel,
-    policy: ContinuousBatchPolicy = ContinuousBatchPolicy(),
-    recorder: RunRecorder | None = None,
-) -> ServingReport:
-    """Run an iteration-level serving loop over an arrival stream."""
-    if not requests:
-        raise ConfigurationError("no requests to serve")
+def continuous_batching_process(runtime: ServingRuntime,
+                                session: EngineSession,
+                                policy: ContinuousBatchPolicy) -> Process:
+    """One replica's iteration-level scheduler, as a sim process.
 
-    pending = sorted(requests, key=lambda r: r.arrival_ns)
-    arrivals = [r.arrival_ns for r in pending]
+    Each wake-up is one engine iteration: if sequences are active, run one
+    decode step for the whole set, retire finished sequences, and admit
+    arrivals at the step boundary; otherwise sleep until the next arrival.
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    model = runtime.model
+    recorder = runtime.recorder
     active: list[_Sequence] = []
-    outcomes: list[RequestOutcome] = []
     clock = 0.0
-    next_pending = 0
-
-    def queue_depth() -> int:
-        """Requests that have arrived but are not yet admitted."""
-        return bisect_right(arrivals, clock) - next_pending
 
     def admit() -> None:
-        nonlocal clock, next_pending
-        space = policy.max_active - len(active)
-        batch: list[Request] = []
-        while (space > 0 and next_pending < len(pending)
-               and pending[next_pending].arrival_ns <= clock):
-            batch.append(pending[next_pending])
-            next_pending += 1
-            space -= 1
+        nonlocal clock
+        batch = queue.claim(clock, policy.max_active - len(active))
         if not batch:
             return
+        admitted_ns = clock
         prompt_len = max(r.prompt_len for r in batch)
         prefill_ns = latency.ttft_ns(model, len(batch), prompt_len)
         if recorder is not None:
             for request in batch:
                 recorder.on_admitted(request.request_id, request.arrival_ns,
                                      clock)
-            recorder.record_step(
-                StepKind.PREFILL, clock, prefill_ns, len(batch),
-                queue_depth=queue_depth(),
-                shape=EngineShape(model.name, len(batch), prompt_len))
+        session.execute(
+            StepKind.PREFILL, clock, prefill_ns, len(batch),
+            queue_depth=queue.depth(clock) if recorder is not None else 0,
+            shape=EngineShape(model.name, len(batch), prompt_len))
         clock += prefill_ns
         for request in batch:
             seq = _Sequence(
@@ -110,6 +106,7 @@ def simulate_continuous_batching(
                 first_token_ns=clock - request.arrival_ns,
                 remaining=request.output_tokens - 1,
                 context=request.prompt_len + 1,
+                admitted_ns=admitted_ns,
                 last_token_ns=clock - request.arrival_ns,
             )
             if recorder is not None:
@@ -119,33 +116,37 @@ def simulate_continuous_batching(
                 # last; it completes here and never joins the decode batch.
                 if recorder is not None:
                     recorder.on_completed(request.request_id, clock)
-                outcomes.append(RequestOutcome(
-                    request=request,
-                    ttft_ns=seq.first_token_ns,
-                    completion_ns=seq.first_token_ns,
-                    batch_size=len(batch),
-                    queue_ns=max(0.0, seq.first_token_ns
-                                 - latency.ttft_ns(model, 1, request.prompt_len)),
-                ))
+                runtime.complete(request,
+                                 ttft_ns=seq.first_token_ns,
+                                 completion_ns=seq.first_token_ns,
+                                 batch_size=len(batch),
+                                 service_start_ns=admitted_ns,
+                                 session=session)
             else:
                 active.append(seq)
 
-    while next_pending < len(pending) or active:
+    while True:
+        clock = yield ("at", clock)
         if not active:
-            # Idle engine: jump to the next arrival.
-            clock = max(clock, pending[next_pending].arrival_ns)
+            nxt = queue.next_unclaimed_arrival()
+            if nxt is None:
+                break
+            if nxt > clock:
+                # Idle engine: sleep until the next arrival (another replica
+                # may claim it first; re-check on wake).
+                clock = nxt
+                continue
             admit()
             continue
         # One decode step for the whole active set.
         context = max(seq.context for seq in active)
         bucketed = -(-context // policy.context_bucket) * policy.context_bucket
         step_ns = latency.decode_step_ns(model, len(active), bucketed)
-        if recorder is not None:
-            recorder.record_step(
-                StepKind.DECODE, clock, step_ns, len(active),
-                queue_depth=queue_depth(),
-                shape=EngineShape(model.name, len(active), 1,
-                                  phase="decode", context_len=bucketed))
+        session.execute(
+            StepKind.DECODE, clock, step_ns, len(active),
+            queue_depth=queue.depth(clock) if recorder is not None else 0,
+            shape=EngineShape(model.name, len(active), 1,
+                              phase="decode", context_len=bucketed))
         clock += step_ns
         step_batch = len(active)
         finished: list[_Sequence] = []
@@ -161,15 +162,30 @@ def simulate_continuous_batching(
             active.remove(seq)
             if recorder is not None:
                 recorder.on_completed(seq.request.request_id, clock)
-            outcomes.append(RequestOutcome(
-                request=seq.request,
-                ttft_ns=seq.first_token_ns,
-                completion_ns=seq.last_token_ns,
-                batch_size=step_batch,
-                queue_ns=max(0.0, seq.first_token_ns
-                             - latency.ttft_ns(model, 1, seq.request.prompt_len)),
-            ))
+            runtime.complete(seq.request,
+                             ttft_ns=seq.first_token_ns,
+                             completion_ns=seq.last_token_ns,
+                             batch_size=step_batch,
+                             service_start_ns=seq.admitted_ns,
+                             session=session)
         # Admit newly arrived requests at the step boundary.
         admit()
 
-    return ServingReport(outcomes=outcomes)
+
+def simulate_continuous_batching(
+    requests: Sequence[Request],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: ContinuousBatchPolicy = ContinuousBatchPolicy(),
+    recorder: RunRecorder | None = None,
+) -> ServingReport:
+    """Run an iteration-level serving loop over an arrival stream.
+
+    This is a thin wrapper over :func:`repro.serving.runtime.simulate_serving`
+    with one replica; use ``simulate_serving`` directly for multi-replica
+    runs or per-replica statistics.
+    """
+    from repro.serving.runtime import simulate_serving
+
+    return simulate_serving(requests, model, latency, policy=policy,
+                            recorder=recorder).report

@@ -1,0 +1,326 @@
+"""Legacy float-clock serving loops, kept as parity oracles.
+
+Before the serving layer moved onto :mod:`repro.sim` (see
+``serving/runtime.py``), each policy was a standalone simulator advancing
+its own ``clock`` float. Those loops live here unchanged — the same role
+:mod:`repro.engine.legacy` plays for the engine refactor: with one replica
+and default dispatch, the sim-backed policy processes perform exactly the
+same floating-point operations in the same order, so their
+:class:`~repro.serving.batcher.ServingReport` outcomes are bit-identical to
+these oracles. Tests diff the two paths; new features (multi-replica,
+per-device traces, schedule checking) exist only on the sim side.
+
+The one deliberate divergence: the sim-backed priority scheduler charges
+each request its *own* output length inside a bulk batch, while
+:func:`legacy_priority_scheduling` preserves the historical
+``max(output_tokens)`` accounting (the bug the refactor fixed).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
+from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.batcher import ServingReport, StaticBatchPolicy
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.scheduler import (
+        ClassifiedRequest,
+        PriorityPolicy,
+        PriorityReport,
+    )
+
+
+def legacy_static_batching(
+    requests: Sequence[Request],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: StaticBatchPolicy | None = None,
+    recorder: RunRecorder | None = None,
+) -> ServingReport:
+    """The original single-loop static-batching simulator."""
+    from repro.serving.batcher import ServingReport, StaticBatchPolicy
+
+    if policy is None:
+        policy = StaticBatchPolicy()
+    if not requests:
+        raise ConfigurationError("no requests to serve")
+    pending = sorted(requests, key=lambda r: r.arrival_ns)
+    outcomes: list[RequestOutcome] = []
+    server_free_ns = 0.0
+    i = 0
+    while i < len(pending):
+        first = pending[i]
+        batch_start = max(first.arrival_ns, server_free_ns)
+        batch = [first]
+        j = i + 1
+        deadline = first.arrival_ns + policy.max_wait_ns
+        while (j < len(pending) and len(batch) < policy.max_batch_size
+               and pending[j].arrival_ns <= max(deadline, batch_start)):
+            batch.append(pending[j])
+            j += 1
+        launch_ns = max(batch_start, batch[-1].arrival_ns)
+
+        batch_size = len(batch)
+        prompt_len = max(r.prompt_len for r in batch)
+        output_tokens = max(r.output_tokens for r in batch)
+        ttft = latency.ttft_ns(model, batch_size, prompt_len)
+        total = latency.generation_ns(model, batch_size, prompt_len,
+                                      output_tokens)
+        if recorder is not None:
+            waiting = sum(1 for r in pending[j:] if r.arrival_ns <= launch_ns)
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch_ns)
+            recorder.record_step(
+                StepKind.PREFILL, launch_ns, ttft, batch_size,
+                queue_depth=waiting,
+                shape=EngineShape(model.name, batch_size, prompt_len))
+            if total > ttft:
+                recorder.record_step(StepKind.GENERATION, launch_ns + ttft,
+                                     total - ttft, batch_size,
+                                     queue_depth=waiting)
+            for request in batch:
+                recorder.on_first_token(request.request_id, launch_ns + ttft)
+                recorder.on_completed(request.request_id, launch_ns + total)
+        for request in batch:
+            queued = queue_delay_ns(request, launch_ns)
+            outcomes.append(RequestOutcome(
+                request=request,
+                ttft_ns=queued + ttft,
+                completion_ns=queued + total,
+                batch_size=batch_size,
+                queue_ns=queued,
+            ))
+        server_free_ns = launch_ns + total
+        i = j
+    return ServingReport(outcomes=outcomes)
+
+
+@dataclass
+class _Sequence:
+    request: Request
+    first_token_ns: float
+    remaining: int
+    context: int
+    admitted_ns: float
+    last_token_ns: float = 0.0
+
+
+def legacy_continuous_batching(
+    requests: Sequence[Request],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: ContinuousBatchPolicy | None = None,
+    recorder: RunRecorder | None = None,
+) -> ServingReport:
+    """The original iteration-level (continuous-batching) simulator."""
+    from repro.serving.batcher import ServingReport
+    from repro.serving.continuous import ContinuousBatchPolicy
+
+    if policy is None:
+        policy = ContinuousBatchPolicy()
+    if not requests:
+        raise ConfigurationError("no requests to serve")
+
+    pending = sorted(requests, key=lambda r: r.arrival_ns)
+    arrivals = [r.arrival_ns for r in pending]
+    active: list[_Sequence] = []
+    outcomes: list[RequestOutcome] = []
+    clock = 0.0
+    next_pending = 0
+
+    def queue_depth() -> int:
+        """Requests that have arrived but are not yet admitted."""
+        return bisect_right(arrivals, clock) - next_pending
+
+    def admit() -> None:
+        nonlocal clock, next_pending
+        space = policy.max_active - len(active)
+        batch: list[Request] = []
+        while (space > 0 and next_pending < len(pending)
+               and pending[next_pending].arrival_ns <= clock):
+            batch.append(pending[next_pending])
+            next_pending += 1
+            space -= 1
+        if not batch:
+            return
+        admitted_ns = clock
+        prompt_len = max(r.prompt_len for r in batch)
+        prefill_ns = latency.ttft_ns(model, len(batch), prompt_len)
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     clock)
+            recorder.record_step(
+                StepKind.PREFILL, clock, prefill_ns, len(batch),
+                queue_depth=queue_depth(),
+                shape=EngineShape(model.name, len(batch), prompt_len))
+        clock += prefill_ns
+        for request in batch:
+            seq = _Sequence(
+                request=request,
+                first_token_ns=clock - request.arrival_ns,
+                remaining=request.output_tokens - 1,
+                context=request.prompt_len + 1,
+                admitted_ns=admitted_ns,
+                last_token_ns=clock - request.arrival_ns,
+            )
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, clock)
+            if seq.remaining <= 0:
+                # Single-token request: its first (prefill) token is its
+                # last; it completes here and never joins the decode batch.
+                if recorder is not None:
+                    recorder.on_completed(request.request_id, clock)
+                outcomes.append(RequestOutcome(
+                    request=request,
+                    ttft_ns=seq.first_token_ns,
+                    completion_ns=seq.first_token_ns,
+                    batch_size=len(batch),
+                    queue_ns=queue_delay_ns(request, admitted_ns),
+                ))
+            else:
+                active.append(seq)
+
+    while next_pending < len(pending) or active:
+        if not active:
+            # Idle engine: jump to the next arrival.
+            clock = max(clock, pending[next_pending].arrival_ns)
+            admit()
+            continue
+        # One decode step for the whole active set.
+        context = max(seq.context for seq in active)
+        bucketed = -(-context // policy.context_bucket) * policy.context_bucket
+        step_ns = latency.decode_step_ns(model, len(active), bucketed)
+        if recorder is not None:
+            recorder.record_step(
+                StepKind.DECODE, clock, step_ns, len(active),
+                queue_depth=queue_depth(),
+                shape=EngineShape(model.name, len(active), 1,
+                                  phase="decode", context_len=bucketed))
+        clock += step_ns
+        step_batch = len(active)
+        finished: list[_Sequence] = []
+        for seq in active:
+            seq.context += 1
+            seq.remaining -= 1
+            seq.last_token_ns = clock - seq.request.arrival_ns
+            if recorder is not None:
+                recorder.on_token(seq.request.request_id, clock)
+            if seq.remaining <= 0:
+                finished.append(seq)
+        for seq in finished:
+            active.remove(seq)
+            if recorder is not None:
+                recorder.on_completed(seq.request.request_id, clock)
+            outcomes.append(RequestOutcome(
+                request=seq.request,
+                ttft_ns=seq.first_token_ns,
+                completion_ns=seq.last_token_ns,
+                batch_size=step_batch,
+                queue_ns=queue_delay_ns(seq.request, seq.admitted_ns),
+            ))
+        # Admit newly arrived requests at the step boundary.
+        admit()
+
+    return ServingReport(outcomes=outcomes)
+
+
+def legacy_priority_scheduling(
+    requests: list[ClassifiedRequest],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: PriorityPolicy | None = None,
+) -> PriorityReport:
+    """The original two-class scheduler, including its batch-accounting bug:
+    every request in a batch is charged ``max(output_tokens)``."""
+    from repro.serving.batcher import ServingReport
+    from repro.serving.scheduler import (
+        PriorityPolicy,
+        PriorityReport,
+        RequestClass,
+    )
+
+    if policy is None:
+        policy = PriorityPolicy()
+    if not requests:
+        raise ConfigurationError("no requests to serve")
+    pending = sorted(requests, key=lambda c: c.request.arrival_ns)
+    interactive_queue: list[Request] = []
+    bulk_queue: list[Request] = []
+    outcomes: dict[RequestClass, list[RequestOutcome]] = {
+        RequestClass.INTERACTIVE: [],
+        RequestClass.BULK: [],
+    }
+    clock = 0.0
+    next_arrival = 0
+
+    def pull_arrivals() -> None:
+        nonlocal next_arrival
+        while (next_arrival < len(pending)
+               and pending[next_arrival].request.arrival_ns <= clock):
+            entry = pending[next_arrival]
+            if entry.request_class is RequestClass.INTERACTIVE:
+                interactive_queue.append(entry.request)
+            else:
+                bulk_queue.append(entry.request)
+            next_arrival += 1
+
+    def serve(batch: list[Request], request_class: RequestClass) -> None:
+        nonlocal clock
+        start = clock
+        batch_size = len(batch)
+        prompt = max(r.prompt_len for r in batch)
+        output = max(r.output_tokens for r in batch)
+        ttft = latency.ttft_ns(model, batch_size, prompt)
+        total = latency.generation_ns(model, batch_size, prompt, output)
+        clock = start + total
+        for request in batch:
+            queued = queue_delay_ns(request, start)
+            outcomes[request_class].append(RequestOutcome(
+                request=request,
+                ttft_ns=queued + ttft,
+                completion_ns=queued + total,
+                batch_size=batch_size,
+                queue_ns=queued,
+            ))
+
+    while (next_arrival < len(pending) or interactive_queue or bulk_queue):
+        pull_arrivals()
+        if interactive_queue:
+            batch = interactive_queue[:policy.interactive_batch]
+            del interactive_queue[:policy.interactive_batch]
+            serve(batch, RequestClass.INTERACTIVE)
+            continue
+        bulk_due = bulk_queue and (
+            len(bulk_queue) >= policy.bulk_batch
+            or clock - bulk_queue[0].arrival_ns >= policy.bulk_max_wait_ns
+            or next_arrival >= len(pending))
+        if bulk_due:
+            batch = bulk_queue[:policy.bulk_batch]
+            del bulk_queue[:policy.bulk_batch]
+            serve(batch, RequestClass.BULK)
+            continue
+        if next_arrival < len(pending):
+            clock = max(clock, pending[next_arrival].request.arrival_ns)
+        elif bulk_queue:
+            clock += policy.bulk_max_wait_ns  # let the starvation guard fire
+
+    interactive_outcomes = outcomes[RequestClass.INTERACTIVE]
+    bulk_outcomes = outcomes[RequestClass.BULK]
+    if not interactive_outcomes or not bulk_outcomes:
+        raise ConfigurationError(
+            "stream must contain both interactive and bulk requests")
+    return PriorityReport(
+        interactive=ServingReport(outcomes=interactive_outcomes),
+        bulk=ServingReport(outcomes=bulk_outcomes),
+    )

@@ -9,12 +9,18 @@ composes per-stage generation latencies from the engine-backed LatencyModel.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
+from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 @dataclass(frozen=True)
@@ -107,3 +113,91 @@ class AgenticPipeline:
                                         ttft_ns=ttft, total_ns=total))
             upstream_tokens = stage.output_tokens
         return PipelineResult(stages=tuple(results))
+
+
+@dataclass(frozen=True)
+class PipelineServingPolicy:
+    """Serve an arrival stream where every request runs an agentic chain.
+
+    Each claimed batch executes the whole stage chain back to back: the
+    first stage's prompt is its configured ``prompt_len`` plus the padded
+    request prompt; downstream stages chain on the previous stage's output
+    when ``consumes_upstream`` is set, exactly like
+    :class:`AgenticPipeline`.
+    """
+
+    stages: tuple[PipelineStage, ...]
+    max_batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+
+
+def pipeline_serving_process(runtime: ServingRuntime,
+                             session: EngineSession,
+                             policy: PipelineServingPolicy) -> Process:
+    """One replica's agentic-pipeline server, as a sim process.
+
+    FIFO batching: the replica claims the oldest waiting requests, then runs
+    every stage of the chain for the padded batch. TTFT is the first stage's
+    prefill (the user's first signs of progress); completion is the whole
+    chain, which compounds per stage — the paper's agentic-latency point.
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    recorder = runtime.recorder
+    free = 0.0
+    while True:
+        now = yield ("at", free)
+        seed = queue.first_unclaimed()
+        if seed is None:
+            break
+        if seed.arrival_ns > now:
+            free = seed.arrival_ns
+            continue
+        launch = max(seed.arrival_ns, free)
+        batch = queue.claim(now, policy.max_batch_size)
+
+        batch_size = len(batch)
+        request_prompt = max(r.prompt_len for r in batch)
+        waiting = queue.depth(launch) if recorder is not None else 0
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch)
+        clock = launch
+        upstream_tokens = request_prompt
+        first_ttft = 0.0
+        for position, stage in enumerate(policy.stages):
+            consumes = position == 0 or stage.consumes_upstream
+            prompt = stage.prompt_len + (upstream_tokens if consumes else 0)
+            ttft = latency.ttft_ns(stage.model, batch_size, prompt)
+            total = latency.generation_ns(stage.model, batch_size, prompt,
+                                          stage.output_tokens)
+            session.execute(
+                StepKind.PREFILL, clock, ttft, batch_size,
+                queue_depth=waiting,
+                shape=EngineShape(stage.model.name, batch_size, prompt))
+            if total > ttft:
+                session.execute(StepKind.GENERATION, clock + ttft,
+                                total - ttft, batch_size, queue_depth=waiting)
+            if position == 0:
+                first_ttft = ttft
+            clock += total
+            upstream_tokens = stage.output_tokens
+        chain_ns = clock - launch
+        for request in batch:
+            queued = queue_delay_ns(request, launch)
+            if recorder is not None:
+                recorder.on_first_token(request.request_id,
+                                        launch + first_ttft)
+                recorder.on_completed(request.request_id, clock)
+            runtime.complete(request,
+                             ttft_ns=queued + first_ttft,
+                             completion_ns=queued + chain_ns,
+                             batch_size=batch_size,
+                             service_start_ns=launch, session=session)
+        free = clock

@@ -13,13 +13,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
 from repro.retrieval.index import BruteForceIndex, IVFIndex
 from repro.serving.latency import LatencyModel
+from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 @dataclass(frozen=True)
@@ -99,3 +106,116 @@ class RagPipeline:
             batch_size=effective_batch,
             context_tokens=context_tokens,
         )
+
+
+def measured_retrieval_ns(
+    index: BruteForceIndex | IVFIndex,
+    embeddings: np.ndarray,
+    top_k: int = 4,
+) -> float:
+    """Measure one batch of real top-k searches; returns mean ns per query.
+
+    Bridges the real retrieval substrate into the simulated serving world:
+    the measured per-query cost parameterizes
+    :class:`RagServingPolicy.retrieval_ns`, so the sim replays a retrieval
+    latency that was actually observed on this machine.
+    """
+    if top_k <= 0:
+        raise ConfigurationError("top_k must be positive")
+    queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float32))
+    start = time.perf_counter()
+    for query in queries:
+        index.search(query, k=top_k)
+    return (time.perf_counter() - start) * 1e9 / len(queries)
+
+
+@dataclass(frozen=True)
+class RagServingPolicy:
+    """Serve an arrival stream where every request is a RAG query.
+
+    Attributes:
+        retrieval_ns: Per-batch retrieval cost on the serving timeline
+            (measure it with :func:`measured_retrieval_ns`).
+        tokens_per_chunk / top_k: Context injected into the generation
+            prompt, as in :class:`RagPipeline`.
+        max_batch_size: Queries batched per generation run.
+    """
+
+    retrieval_ns: float
+    tokens_per_chunk: int = 128
+    top_k: int = 4
+    max_batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.retrieval_ns < 0:
+            raise ConfigurationError("retrieval_ns must be non-negative")
+        if self.tokens_per_chunk <= 0 or self.top_k <= 0:
+            raise ConfigurationError(
+                "tokens_per_chunk and top_k must be positive")
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+
+
+def rag_serving_process(runtime: ServingRuntime, session: EngineSession,
+                        policy: RagServingPolicy) -> Process:
+    """One replica's RAG server, as a sim process.
+
+    FIFO batching: each claimed batch pays one retrieval step, then a
+    prefill over the context-augmented prompt and the closed-form decode
+    tail. The user-perceived TTFT includes the retrieval — the paper's
+    batching-versus-TTFT trade-off with the retrieval floor added.
+
+    Modeling note: the retrieval step is recorded as device work like every
+    other step (one covering kernel on the replica's streams). That keeps
+    the exported trace's device timeline gap-free; see ``docs/serving.md``.
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    model = runtime.model
+    recorder = runtime.recorder
+    context_tokens = policy.top_k * policy.tokens_per_chunk
+    free = 0.0
+    while True:
+        now = yield ("at", free)
+        seed = queue.first_unclaimed()
+        if seed is None:
+            break
+        if seed.arrival_ns > now:
+            free = seed.arrival_ns
+            continue
+        launch = max(seed.arrival_ns, free)
+        batch = queue.claim(now, policy.max_batch_size)
+
+        batch_size = len(batch)
+        prompt_len = max(r.prompt_len for r in batch) + context_tokens
+        output_tokens = max(r.output_tokens for r in batch)
+        ttft = latency.ttft_ns(model, batch_size, prompt_len)
+        total = latency.generation_ns(model, batch_size, prompt_len,
+                                      output_tokens)
+        waiting = queue.depth(launch) if recorder is not None else 0
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch)
+        clock = launch
+        if policy.retrieval_ns > 0:
+            session.execute(StepKind.RETRIEVAL, clock, policy.retrieval_ns,
+                            batch_size, queue_depth=waiting)
+            clock += policy.retrieval_ns
+        session.execute(StepKind.PREFILL, clock, ttft, batch_size,
+                        queue_depth=waiting,
+                        shape=EngineShape(model.name, batch_size, prompt_len))
+        if total > ttft:
+            session.execute(StepKind.GENERATION, clock + ttft, total - ttft,
+                            batch_size, queue_depth=waiting)
+        for request in batch:
+            queued = queue_delay_ns(request, launch)
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, clock + ttft)
+                recorder.on_completed(request.request_id, clock + total)
+            runtime.complete(request,
+                             ttft_ns=queued + policy.retrieval_ns + ttft,
+                             completion_ns=queued + policy.retrieval_ns + total,
+                             batch_size=batch_size,
+                             service_start_ns=launch, session=session)
+        free = clock + total

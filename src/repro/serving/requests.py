@@ -33,6 +33,19 @@ class RequestOutcome:
     completion_ns: float  # arrival -> last token
     batch_size: int       # batch the request was served in
     queue_ns: float = 0.0  # time waited before its batch started prefill
+    replica: int = 0      # engine replica that served the request
+
+
+def queue_delay_ns(request: Request, service_start_ns: float) -> float:
+    """The canonical queue-time definition shared by every serving loop.
+
+    Queue time is the wait between a request's arrival and the instant its
+    batch starts service (prefill launch). Every policy — static,
+    continuous, priority, speculative, pipeline, RAG — and both the legacy
+    and sim-backed paths use this one definition, so ``queue_ns`` means the
+    same thing in every :class:`RequestOutcome` and recorder histogram.
+    """
+    return max(0.0, service_start_ns - request.arrival_ns)
 
 
 def poisson_requests(

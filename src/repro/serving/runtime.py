@@ -1,0 +1,466 @@
+"""The serving runtime: policies as processes on the event-driven sim core.
+
+Every serving policy used to be its own standalone simulator, each carrying
+a private float clock, admission scan, and outcome bookkeeping. This module
+hoists the machinery all six policies share onto :class:`repro.sim.SimCore`:
+
+* :class:`AdmissionQueue` — the shared arrival stream. Entries are sorted by
+  arrival; policy processes *claim* them (atomically, between yields) and a
+  claim is what admission means. Claims may be filtered by an optional tag
+  (e.g. priority classes).
+* :func:`arrival_process` — injects each request into the queue at its
+  ``arrival_ns``; pure bookkeeping, the open-loop load generator.
+* :class:`EngineSession` — one engine replica's resources: a CPU dispatch
+  thread plus one GPU device per tensor-parallel shard. ``execute`` is the
+  single point where a policy's step touches simulated hardware: it occupies
+  the thread, submits one kernel per device stream, appends to the replica's
+  device schedules (checkable by ``repro check schedule``), and records the
+  step with the run recorder.
+* :class:`ServingRuntime` — owns the core, the queue, the sessions, and the
+  outcome list. ``run(policy_factory)`` spawns the arrival process plus one
+  policy process per replica and drives the simulation to completion.
+* :func:`simulate_serving` — the one entry point: dispatches a policy object
+  to its process implementation and wraps the results (report, per-replica
+  stats, schedules) in a :class:`ServingRunResult`.
+
+With ``replicas=1`` the policy processes perform exactly the same float
+operations in the same order as the legacy loops in
+:mod:`repro.serving.legacy`, so their outcomes are bit-identical — the
+parity tests hold the refactor to that. With ``replicas>1`` the processes
+race for claims on the shared queue; the core's deterministic FIFO
+tie-break (spawn order at equal timestamps) keeps multi-replica runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
+from repro.sim.core import Process, SimCore
+from repro.sim.resources import CpuThread, GpuDevice
+from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.batcher import ServingReport
+
+
+# ----------------------------------------------------------------------
+# Admission queue
+# ----------------------------------------------------------------------
+@dataclass
+class AdmissionEntry:
+    """One request waiting in (or already claimed from) the shared queue."""
+
+    request: Request
+    tag: Hashable = None
+    injected: bool = False
+    claimed: bool = False
+
+    @property
+    def arrival_ns(self) -> float:
+        return self.request.arrival_ns
+
+
+class AdmissionQueue:
+    """The arrival stream every replica's policy process claims work from.
+
+    Entries stay in arrival order for the queue's whole lifetime; *claiming*
+    flips a flag rather than removing the entry, so "consecutive unclaimed"
+    — the static batcher's contiguity rule — survives interleaved claims by
+    other replicas. All mutation happens inside a policy process between
+    yields, which the single-threaded core runs atomically.
+    """
+
+    def __init__(self, requests: Sequence[Request],
+                 tags: dict[int, Hashable] | None = None) -> None:
+        if not requests:
+            raise ConfigurationError("no requests to serve")
+        # Stable sort by arrival keeps ties in caller order, matching the
+        # legacy loops' ``sorted(requests, key=arrival)`` exactly.
+        ordered = sorted(requests, key=lambda r: r.arrival_ns)
+        tags = tags or {}
+        self.entries = [AdmissionEntry(request=r, tag=tags.get(r.request_id))
+                        for r in ordered]
+
+    # -- read side -----------------------------------------------------
+    def _unclaimed(self, tag: Hashable = None) -> Iterable[AdmissionEntry]:
+        for entry in self.entries:
+            if not entry.claimed and (tag is None or entry.tag == tag):
+                yield entry
+
+    def first_unclaimed(self, tag: Hashable = None) -> AdmissionEntry | None:
+        """Oldest unclaimed entry (optionally of one tag), or None."""
+        for entry in self._unclaimed(tag):
+            return entry
+        return None
+
+    def next_unclaimed_arrival(self, after: float | None = None,
+                               tag: Hashable = None) -> float | None:
+        """Arrival time of the first unclaimed entry, or of the first one
+        arriving strictly after ``after``. None when no such entry exists."""
+        for entry in self._unclaimed(tag):
+            if after is None or entry.arrival_ns > after:
+                return entry.arrival_ns
+        return None
+
+    def depth(self, now: float, tag: Hashable = None) -> int:
+        """Unclaimed requests that have arrived by ``now``."""
+        count = 0
+        for entry in self._unclaimed(tag):
+            if entry.arrival_ns > now:
+                break
+            count += 1
+        return count
+
+    def all_claimed(self) -> bool:
+        return self.first_unclaimed() is None
+
+    # -- write side ----------------------------------------------------
+    def claim(self, now: float, limit: int,
+              tag: Hashable = None) -> list[Request]:
+        """Claim up to ``limit`` unclaimed requests that arrived by ``now``,
+        oldest first. Returns the claimed requests in arrival order."""
+        batch: list[Request] = []
+        for entry in self._unclaimed(tag):
+            if len(batch) >= limit or entry.arrival_ns > now:
+                break
+            entry.claimed = True
+            entry.injected = True
+            batch.append(entry.request)
+        return batch
+
+    def claim_batch(self, seed: AdmissionEntry, limit: int,
+                    cutoff: float) -> list[Request]:
+        """Claim ``seed`` plus the consecutive unclaimed entries after it
+        whose arrivals are within ``cutoff`` — the static batcher's gather
+        rule (a gap in arrivals past the cutoff closes the batch)."""
+        if seed.claimed:
+            raise SimulationError(
+                f"request {seed.request.request_id} claimed twice")
+        seed.claimed = True
+        seed.injected = True
+        batch = [seed.request]
+        started = False
+        for entry in self.entries:
+            if entry is seed:
+                started = True
+                continue
+            if not started or entry.claimed:
+                continue
+            if len(batch) >= limit or entry.arrival_ns > cutoff:
+                break
+            entry.claimed = True
+            entry.injected = True
+            batch.append(entry.request)
+        return batch
+
+
+def arrival_process(queue: AdmissionQueue) -> Process:
+    """Open-loop load generator: marks each entry injected at its arrival.
+
+    Claims gate on ``arrival_ns <= now`` directly, so this process carries
+    no scheduling semantics — it exists so every arrival is a simulation
+    event (visible in ``core.now`` advancement) and so tests can observe
+    the injection front via :attr:`AdmissionEntry.injected`.
+    """
+    for entry in queue.entries:
+        if not entry.injected:
+            yield ("at", entry.arrival_ns)
+        entry.injected = True
+
+
+# ----------------------------------------------------------------------
+# Engine sessions (one per replica)
+# ----------------------------------------------------------------------
+@dataclass
+class EngineSession:
+    """One engine replica: a CPU dispatch thread plus its TP shard devices.
+
+    ``schedule_items`` holds, per device, the ordered issue list the policy
+    produced — ``("kernel", name)`` entries plus, for multi-shard replicas,
+    ``("join", key, parties)`` collectives that keep the shards in lockstep.
+    ``repro.check.schedule.schedules_from_serving`` lifts these into typed
+    :class:`DeviceSchedule` objects for the static checker.
+    """
+
+    replica: int
+    thread: CpuThread
+    devices: list[GpuDevice]
+    recorder: RunRecorder | None = None
+    schedule_items: dict[int, list[tuple]] = field(default_factory=dict)
+    steps: int = 0
+    requests: int = 0
+    output_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise SimulationError("engine session needs at least one device")
+        for device in self.devices:
+            self.schedule_items[device.index] = []
+
+    @property
+    def world(self) -> int:
+        return len(self.devices)
+
+    def execute(self, kind: StepKind, ts_ns: float, dur_ns: float,
+                batch_size: int, queue_depth: int = 0,
+                shape: EngineShape | None = None) -> None:
+        """Run one policy step on this replica's simulated hardware.
+
+        Occupies the dispatch thread for the step, submits one covering
+        kernel per shard's compute stream (steps on a replica are issued in
+        time order, so each submission starts exactly at ``ts_ns``), and
+        appends the issue to every shard's checkable schedule. Multi-shard
+        steps also record a rendezvous joining all shards, mirroring how
+        tensor-parallel execution keeps devices in lockstep.
+        """
+        name = f"serving::{kind.value}"
+        self.thread.occupy(dur_ns)
+        for device in self.devices:
+            device.compute_stream.submit(ts_ns, dur_ns)
+            items = self.schedule_items[device.index]
+            items.append(("kernel", name))
+            if self.world > 1:
+                items.append(("join",
+                              f"replica{self.replica}.step{self.steps}",
+                              self.world))
+        if self.recorder is not None:
+            self.recorder.record_step(kind, ts_ns, dur_ns, batch_size,
+                                      queue_depth=queue_depth, shape=shape,
+                                      replica=self.replica)
+        self.steps += 1
+
+    @property
+    def busy_ns(self) -> float:
+        """Compute occupancy of the replica's first shard (all shards see
+        identical submissions, so any one of them is representative)."""
+        return self.devices[0].compute_stream.busy_ns
+
+    @property
+    def span_ns(self) -> float:
+        return self.devices[0].compute_stream.free_at
+
+
+# ----------------------------------------------------------------------
+# Runtime + results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica utilization summary for one serving run."""
+
+    replica: int
+    requests: int
+    output_tokens: int
+    steps: int
+    busy_ns: float
+    span_ns: float
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.span_ns <= 0:
+            return 0.0
+        return self.output_tokens / (self.span_ns / 1e9)
+
+    @property
+    def utilization(self) -> float:
+        if self.span_ns <= 0:
+            return 0.0
+        return self.busy_ns / self.span_ns
+
+
+PolicyFactory = Callable[["ServingRuntime", EngineSession], Process]
+
+
+class ServingRuntime:
+    """Owns the sim core, admission queue, and engine sessions of one run."""
+
+    def __init__(
+        self,
+        requests: Sequence[Request],
+        model: ModelConfig,
+        latency: LatencyModel,
+        recorder: RunRecorder | None = None,
+        replicas: int = 1,
+        tags: dict[int, Hashable] | None = None,
+    ) -> None:
+        if replicas <= 0:
+            raise ConfigurationError("replicas must be positive")
+        self.model = model
+        self.latency = latency
+        self.recorder = recorder
+        self.core = SimCore()
+        self.queue = AdmissionQueue(requests, tags)
+        self.devices_per_replica = latency.tp.degree if latency.tp else 1
+        self.sessions: list[EngineSession] = []
+        for replica in range(replicas):
+            thread = self.core.add_cpu_thread(name=f"serve{replica}")
+            devices = [self.core.add_device(replica=replica)
+                       for _ in range(self.devices_per_replica)]
+            self.sessions.append(EngineSession(
+                replica=replica, thread=thread, devices=devices,
+                recorder=recorder))
+        self.outcomes: list[RequestOutcome] = []
+
+    @property
+    def replicas(self) -> int:
+        return len(self.sessions)
+
+    def complete(self, request: Request, ttft_ns: float, completion_ns: float,
+                 batch_size: int, service_start_ns: float,
+                 session: EngineSession) -> RequestOutcome:
+        """Record one finished request against the replica that served it."""
+        outcome = RequestOutcome(
+            request=request,
+            ttft_ns=ttft_ns,
+            completion_ns=completion_ns,
+            batch_size=batch_size,
+            queue_ns=queue_delay_ns(request, service_start_ns),
+            replica=session.replica,
+        )
+        self.outcomes.append(outcome)
+        session.requests += 1
+        session.output_tokens += request.output_tokens
+        return outcome
+
+    def run(self, policy_factory: PolicyFactory) -> list[RequestOutcome]:
+        """Spawn the arrival process plus one policy process per replica and
+        drive the simulation until every request has been served."""
+        self.core.spawn(arrival_process(self.queue))
+        for session in self.sessions:
+            self.core.spawn(policy_factory(self, session))
+        self.core.run()
+        if not self.queue.all_claimed():
+            unserved = [e.request.request_id
+                        for e in self.queue.entries if not e.claimed]
+            raise SimulationError(
+                f"policy left requests unserved: {unserved[:5]}")
+        if len(self.outcomes) != len(self.queue.entries):
+            raise SimulationError(
+                f"served {len(self.outcomes)} outcomes for "
+                f"{len(self.queue.entries)} requests")
+        served = [o.request.request_id for o in self.outcomes]
+        if len(set(served)) != len(served):
+            raise SimulationError("a request completed more than once")
+        return self.outcomes
+
+    def replica_stats(self) -> list[ReplicaStats]:
+        return [ReplicaStats(
+            replica=s.replica,
+            requests=s.requests,
+            output_tokens=s.output_tokens,
+            steps=s.steps,
+            busy_ns=s.busy_ns,
+            span_ns=s.span_ns,
+        ) for s in self.sessions]
+
+
+@dataclass
+class ServingRunResult:
+    """Everything one sim-backed serving run produced."""
+
+    report: ServingReport
+    outcomes: list[RequestOutcome]
+    replicas: list[ReplicaStats]
+    sessions: list[EngineSession]
+    devices_per_replica: int
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.report.throughput_tokens_per_s()
+
+
+def _normalize(requests: Sequence) -> tuple[list[Request], dict[int, Hashable]]:
+    """Accept plain Requests or ClassifiedRequests; split off the tags."""
+    plain: list[Request] = []
+    tags: dict[int, Hashable] = {}
+    for item in requests:
+        request = getattr(item, "request", None)
+        if isinstance(request, Request):
+            plain.append(request)
+            tags[request.request_id] = item.request_class
+        elif isinstance(item, Request):
+            plain.append(item)
+        else:
+            raise ConfigurationError(
+                f"not a request: {item!r}")
+    return plain, tags
+
+
+def _policy_factory(policy: object) -> Callable[..., Process]:
+    """Map a policy object to its process implementation (lazy imports keep
+    the policy modules free to import this one at module level)."""
+    from repro.serving.batcher import StaticBatchPolicy, static_batching_process
+    from repro.serving.continuous import (
+        ContinuousBatchPolicy,
+        continuous_batching_process,
+    )
+    from repro.serving.pipeline import (
+        PipelineServingPolicy,
+        pipeline_serving_process,
+    )
+    from repro.serving.rag import RagServingPolicy, rag_serving_process
+    from repro.serving.scheduler import (
+        PriorityPolicy,
+        priority_scheduling_process,
+    )
+    from repro.serving.speculative import (
+        SpeculativeServingPolicy,
+        speculative_serving_process,
+    )
+
+    table: list[tuple[type, Callable[..., Process]]] = [
+        (StaticBatchPolicy, static_batching_process),
+        (ContinuousBatchPolicy, continuous_batching_process),
+        (PriorityPolicy, priority_scheduling_process),
+        (SpeculativeServingPolicy, speculative_serving_process),
+        (PipelineServingPolicy, pipeline_serving_process),
+        (RagServingPolicy, rag_serving_process),
+    ]
+    for policy_type, process in table:
+        if isinstance(policy, policy_type):
+            return process
+    raise ConfigurationError(
+        f"no serving process for policy {type(policy).__name__}")
+
+
+def simulate_serving(
+    requests: Sequence,
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: object | None = None,
+    replicas: int = 1,
+    recorder: RunRecorder | None = None,
+) -> ServingRunResult:
+    """Serve an arrival stream with any policy on the sim-backed runtime.
+
+    Args:
+        requests: Plain :class:`Request` stream, or ``ClassifiedRequest``
+            stream for the priority scheduler (tags travel with the queue).
+        policy: Any serving policy object; defaults to continuous batching.
+        replicas: Engine replicas sharing the one admission queue. Each gets
+            its own CPU thread and TP-shard devices; requests go to whichever
+            replica claims them first.
+    """
+    from repro.serving.batcher import ServingReport
+    from repro.serving.continuous import ContinuousBatchPolicy
+
+    if policy is None:
+        policy = ContinuousBatchPolicy()
+    process = _policy_factory(policy)
+    plain, tags = _normalize(requests)
+    runtime = ServingRuntime(plain, model, latency, recorder=recorder,
+                             replicas=replicas, tags=tags or None)
+    runtime.run(lambda rt, session: process(rt, session, policy))
+    return ServingRunResult(
+        report=ServingReport(outcomes=list(runtime.outcomes)),
+        outcomes=list(runtime.outcomes),
+        replicas=runtime.replica_stats(),
+        sessions=runtime.sessions,
+        devices_per_replica=runtime.devices_per_replica,
+    )

@@ -12,18 +12,33 @@ engine —
 
 Compared with a single FIFO queue, interactive latency approaches BS=1
 serving while bulk work keeps the GPU in its high-throughput region.
+
+The serving loop is :func:`priority_scheduling_process` on
+:class:`repro.serving.runtime.ServingRuntime`. It fixes the legacy loop's
+batch-accounting bug: :func:`repro.serving.legacy.legacy_priority_scheduling`
+charged every request in a bulk batch the batch maximum ``output_tokens``,
+overstating short requests' completion latency; the sim-backed path charges
+each request its own generation time (the engine still runs for the padded
+batch maximum, so scheduling decisions and TTFTs are unchanged).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EngineShape, StepKind
+from repro.obs.recorder import RunRecorder
 from repro.serving.batcher import ServingReport
 from repro.serving.latency import LatencyModel
-from repro.serving.requests import Request, RequestOutcome
+from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 class RequestClass(enum.Enum):
@@ -73,37 +88,23 @@ class PriorityReport:
         return [*self.interactive.outcomes, *self.bulk.outcomes]
 
 
-def simulate_priority_scheduling(
-    requests: list[ClassifiedRequest],
-    model: ModelConfig,
-    latency: LatencyModel,
-    policy: PriorityPolicy = PriorityPolicy(),
-) -> PriorityReport:
-    """Run the two-class scheduler over a classified arrival stream."""
-    if not requests:
-        raise ConfigurationError("no requests to serve")
-    pending = sorted(requests, key=lambda c: c.request.arrival_ns)
-    interactive_queue: list[Request] = []
-    bulk_queue: list[Request] = []
-    outcomes: dict[RequestClass, list[RequestOutcome]] = {
-        RequestClass.INTERACTIVE: [],
-        RequestClass.BULK: [],
-    }
+def priority_scheduling_process(runtime: ServingRuntime,
+                                session: EngineSession,
+                                policy: PriorityPolicy) -> Process:
+    """One replica's two-class scheduler, as a sim process.
+
+    Interactive requests preempt the queue at small batch; bulk requests
+    accumulate until the batch fills, the oldest hits the starvation guard,
+    or no further arrivals are coming. Requests carry their class as the
+    admission-queue tag (see ``ClassifiedRequest``).
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    model = runtime.model
+    recorder = runtime.recorder
     clock = 0.0
-    next_arrival = 0
 
-    def pull_arrivals() -> None:
-        nonlocal next_arrival
-        while (next_arrival < len(pending)
-               and pending[next_arrival].request.arrival_ns <= clock):
-            entry = pending[next_arrival]
-            if entry.request_class is RequestClass.INTERACTIVE:
-                interactive_queue.append(entry.request)
-            else:
-                bulk_queue.append(entry.request)
-            next_arrival += 1
-
-    def serve(batch: list[Request], request_class: RequestClass) -> None:
+    def serve(batch: list[Request]) -> None:
         nonlocal clock
         start = clock
         batch_size = len(batch)
@@ -111,40 +112,88 @@ def simulate_priority_scheduling(
         output = max(r.output_tokens for r in batch)
         ttft = latency.ttft_ns(model, batch_size, prompt)
         total = latency.generation_ns(model, batch_size, prompt, output)
+        waiting = queue.depth(start) if recorder is not None else 0
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     start)
+        session.execute(StepKind.PREFILL, start, ttft, batch_size,
+                        queue_depth=waiting,
+                        shape=EngineShape(model.name, batch_size, prompt))
+        if total > ttft:
+            session.execute(StepKind.GENERATION, start + ttft, total - ttft,
+                            batch_size, queue_depth=waiting)
         clock = start + total
         for request in batch:
-            queued = start - request.arrival_ns
-            outcomes[request_class].append(RequestOutcome(
-                request=request,
-                ttft_ns=queued + ttft,
-                completion_ns=queued + total,
-                batch_size=batch_size,
-                queue_ns=queued,
-            ))
+            # Each request is charged its own generation time; the engine
+            # still runs for the padded batch maximum (``total`` above), so
+            # the clock advance and every scheduling decision are unchanged.
+            total_r = latency.generation_ns(model, batch_size, prompt,
+                                            request.output_tokens)
+            queued = queue_delay_ns(request, start)
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, start + ttft)
+                recorder.on_completed(request.request_id, start + total_r)
+            runtime.complete(request, ttft_ns=queued + ttft,
+                             completion_ns=queued + total_r,
+                             batch_size=batch_size,
+                             service_start_ns=start, session=session)
 
-    while (next_arrival < len(pending) or interactive_queue or bulk_queue):
-        pull_arrivals()
-        if interactive_queue:
-            batch = interactive_queue[:policy.interactive_batch]
-            del interactive_queue[:policy.interactive_batch]
-            serve(batch, RequestClass.INTERACTIVE)
+    while True:
+        clock = yield ("at", clock)
+        if queue.all_claimed():
+            break
+        interactive = queue.claim(clock, policy.interactive_batch,
+                                  tag=RequestClass.INTERACTIVE)
+        if interactive:
+            serve(interactive)
             continue
-        bulk_due = bulk_queue and (
-            len(bulk_queue) >= policy.bulk_batch
-            or clock - bulk_queue[0].arrival_ns >= policy.bulk_max_wait_ns
-            or next_arrival >= len(pending))
-        if bulk_due:
-            batch = bulk_queue[:policy.bulk_batch]
-            del bulk_queue[:policy.bulk_batch]
-            serve(batch, RequestClass.BULK)
-            continue
-        if next_arrival < len(pending):
-            clock = max(clock, pending[next_arrival].request.arrival_ns)
-        elif bulk_queue:
+        bulk_depth = queue.depth(clock, tag=RequestClass.BULK)
+        if bulk_depth:
+            oldest = queue.first_unclaimed(tag=RequestClass.BULK)
+            assert oldest is not None
+            bulk_due = (
+                bulk_depth >= policy.bulk_batch
+                or clock - oldest.arrival_ns >= policy.bulk_max_wait_ns
+                or queue.next_unclaimed_arrival(after=clock) is None)
+            if bulk_due:
+                serve(queue.claim(clock, policy.bulk_batch,
+                                  tag=RequestClass.BULK))
+                continue
+        nxt = queue.next_unclaimed_arrival(after=clock)
+        if nxt is not None:
+            clock = nxt
+        elif bulk_depth:
             clock += policy.bulk_max_wait_ns  # let the starvation guard fire
 
-    interactive_outcomes = outcomes[RequestClass.INTERACTIVE]
-    bulk_outcomes = outcomes[RequestClass.BULK]
+
+def simulate_priority_scheduling(
+    requests: list[ClassifiedRequest],
+    model: ModelConfig,
+    latency: LatencyModel,
+    policy: PriorityPolicy = PriorityPolicy(),
+    recorder: RunRecorder | None = None,
+) -> PriorityReport:
+    """Run the two-class scheduler over a classified arrival stream.
+
+    This is a thin wrapper over :func:`repro.serving.runtime.simulate_serving`
+    with one replica, re-partitioning the outcomes by class.
+    """
+    from repro.serving.runtime import simulate_serving
+
+    if not requests:
+        raise ConfigurationError("no requests to serve")
+    classes = {c.request.request_id: c.request_class for c in requests}
+    result = simulate_serving(requests, model, latency, policy=policy,
+                              recorder=recorder)
+    by_class: dict[RequestClass, list[RequestOutcome]] = {
+        RequestClass.INTERACTIVE: [],
+        RequestClass.BULK: [],
+    }
+    for outcome in result.outcomes:
+        by_class[classes[outcome.request.request_id]].append(outcome)
+    interactive_outcomes = by_class[RequestClass.INTERACTIVE]
+    bulk_outcomes = by_class[RequestClass.BULK]
     if not interactive_outcomes or not bulk_outcomes:
         raise ConfigurationError(
             "stream must contain both interactive and bulk requests")

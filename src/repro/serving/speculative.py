@@ -21,13 +21,19 @@ Latency model per round (draft length K, acceptance rate a):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
+from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
 
 
 @dataclass(frozen=True)
@@ -140,3 +146,114 @@ def speculative_generation_ns(
         rounds=rounds,
         tokens=output_tokens,
     )
+
+
+@dataclass(frozen=True)
+class SpeculativeServingPolicy:
+    """Serve an arrival stream with draft-and-verify decoding.
+
+    Attributes:
+        draft: The draft model proposing tokens (the runtime's model is the
+            verifying target).
+        config: Draft length / acceptance knobs.
+        max_batch_size: Requests served together (padded to the batch
+            maximum, like static batching).
+    """
+
+    draft: ModelConfig
+    config: SpeculativeConfig = field(default_factory=SpeculativeConfig)
+    max_batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+
+
+def speculative_serving_process(runtime: ServingRuntime,
+                                session: EngineSession,
+                                policy: SpeculativeServingPolicy) -> Process:
+    """One replica's speculative-decoding server, as a sim process.
+
+    FIFO batching: the replica claims the oldest waiting requests up to
+    ``max_batch_size``, runs the target prefill, then per-round draft decode
+    steps and verification passes until the padded batch maximum output is
+    generated (mirroring :func:`speculative_generation_ns`'s timeline).
+    Requests finish at their own expected round count, not the batch
+    maximum's.
+    """
+    queue = runtime.queue
+    latency = runtime.latency
+    target = runtime.model
+    recorder = runtime.recorder
+    config = policy.config
+    free = 0.0
+    while True:
+        now = yield ("at", free)
+        seed = queue.first_unclaimed()
+        if seed is None:
+            break
+        if seed.arrival_ns > now:
+            free = seed.arrival_ns
+            continue
+        launch = max(seed.arrival_ns, free)
+        batch = queue.claim(now, policy.max_batch_size)
+
+        batch_size = len(batch)
+        prompt_len = max(r.prompt_len for r in batch)
+        output_tokens = max(r.output_tokens for r in batch)
+        mid_context = prompt_len + output_tokens // 2
+        prefill = latency.ttft_ns(target, batch_size, prompt_len)
+        draft_step = latency.decode_step_ns(policy.draft, batch_size,
+                                            mid_context)
+        verify = latency.ttft_ns(target, batch_size, config.draft_tokens)
+        per_round = config.draft_tokens * draft_step + verify
+        expected = config.expected_tokens_per_round
+        rounds = output_tokens / expected
+
+        waiting = queue.depth(launch) if recorder is not None else 0
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     launch)
+        clock = launch
+        session.execute(StepKind.PREFILL, clock, prefill, batch_size,
+                        queue_depth=waiting,
+                        shape=EngineShape(target.name, batch_size, prompt_len))
+        clock += prefill
+        first_token_ns = clock
+        draft_shape = EngineShape(policy.draft.name, batch_size, 1,
+                                  phase="decode", context_len=mid_context)
+        verify_shape = EngineShape(target.name, batch_size,
+                                   config.draft_tokens)
+        for _ in range(math.floor(rounds)):
+            for _ in range(config.draft_tokens):
+                session.execute(StepKind.DRAFT, clock, draft_step, batch_size,
+                                queue_depth=waiting, shape=draft_shape)
+                clock += draft_step
+            session.execute(StepKind.VERIFY, clock, verify, batch_size,
+                            queue_depth=waiting, shape=verify_shape)
+            clock += verify
+        remainder = rounds - math.floor(rounds)
+        if remainder > 1e-9:
+            tail_draft = remainder * config.draft_tokens * draft_step
+            session.execute(StepKind.DRAFT, clock, tail_draft, batch_size,
+                            queue_depth=waiting)
+            clock += tail_draft
+            session.execute(StepKind.VERIFY, clock, remainder * verify,
+                            batch_size, queue_depth=waiting)
+            clock += remainder * verify
+
+        for request in batch:
+            queued = queue_delay_ns(request, launch)
+            own_rounds = request.output_tokens / expected
+            completion = queued + prefill + own_rounds * per_round
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, first_token_ns)
+                recorder.on_completed(request.request_id,
+                                      request.arrival_ns + completion)
+            runtime.complete(request,
+                             ttft_ns=queued + prefill,
+                             completion_ns=completion,
+                             batch_size=batch_size,
+                             service_start_ns=launch, session=session)
+        free = clock

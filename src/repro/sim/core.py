@@ -78,12 +78,12 @@ class SimCore:
         self.cpu_threads.append(thread)
         return thread
 
-    def add_device(self, streams: int = 1) -> GpuDevice:
+    def add_device(self, streams: int = 1, replica: int = 0) -> GpuDevice:
         index = len(self.devices)
         device = GpuDevice(index=index, streams=[
             StreamResource(stream_id=7 + s, device=index)
             for s in range(max(1, streams))
-        ])
+        ], replica=replica)
         self.devices.append(device)
         return device
 

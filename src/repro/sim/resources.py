@@ -119,10 +119,13 @@ class GpuDevice:
 
     The default compute stream is ``streams[0]`` (stream id 7, matching what
     profilers report for the first CUDA stream); extra streams count up.
+    ``replica`` identifies the serving engine replica the device belongs to
+    (0 for single-engine runs; see :mod:`repro.serving.runtime`).
     """
 
     index: int = 0
     streams: list[StreamResource] = field(default_factory=list)
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if not self.streams:

@@ -4,6 +4,8 @@ The trace-level :func:`repro.viz.render_timeline` shows individual kernels;
 serving runs span seconds, so this renderer works at step granularity
 instead: one lane per step kind (prefill, decode, ...) plus occupancy
 profiles for active requests and the admission queue, sampled per column.
+Multi-replica runs get one lane per (replica, kind) pair so each engine's
+schedule is visible side by side.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ _KIND_CHARS = {
     StepKind.GENERATION: "g",
     StepKind.DRAFT: "r",
     StepKind.VERIFY: "v",
+    StepKind.RETRIEVAL: "R",
     StepKind.ENGINE: "e",
 }
 
@@ -40,7 +43,8 @@ def render_serving_timeline(
     Lanes (top to bottom): one per step kind present in the run, painted
     with the kind's legend character; ``active`` — requests admitted but not
     completed per column; ``queue`` — the max recorded admission-queue depth
-    of the steps overlapping each column.
+    of the steps overlapping each column. Runs recorded across several
+    replicas render one lane per (replica, kind), labeled ``r<N> <kind>``.
     """
     if not recorder.steps:
         raise AnalysisError("recorded run has no steps to render")
@@ -54,15 +58,29 @@ def render_serving_timeline(
     scale = width / (end - begin)
     column_ns = (end - begin) / width
 
+    replicas = sorted({s.replica for s in recorder.steps})
+    multi = len(replicas) > 1
     kinds = [kind for kind in _KIND_CHARS
              if any(s.kind is kind for s in recorder.steps)]
-    lanes = {kind: ["."] * width for kind in kinds}
+
+    def lane_key(step) -> tuple[int, StepKind]:
+        return (step.replica if multi else 0, step.kind)
+
+    def lane_label(replica: int, kind: StepKind) -> str:
+        return f"r{replica} {kind.value}" if multi else kind.value
+
+    lane_order = [(replica, kind)
+                  for replica in (replicas if multi else [0])
+                  for kind in kinds
+                  if any(s.kind is kind and lane_key(s) == (replica, kind)
+                         for s in recorder.steps)]
+    lanes = {key: ["."] * width for key in lane_order}
     queue = [0] * width
     for step in recorder.steps:
         if step.ts_end_ns < begin or step.ts_ns > end:
             continue
-        _paint(lanes[step.kind], step.ts_ns, step.ts_end_ns, begin, scale,
-               _KIND_CHARS[step.kind], width)
+        _paint(lanes[lane_key(step)], step.ts_ns, step.ts_end_ns, begin,
+               scale, _KIND_CHARS[step.kind], width)
         first = max(0, min(width - 1, int((step.ts_ns - begin) * scale)))
         last = max(first, min(width - 1, int((step.ts_end_ns - begin) * scale)))
         for col in range(first, last + 1):
@@ -79,11 +97,14 @@ def render_serving_timeline(
             if left < col_begin + column_ns and right > col_begin:
                 active[col] += 1
 
-    label_width = max(len("active"), *(len(k.value) for k in kinds))
+    label_width = max(len("active"),
+                      *(len(lane_label(replica, kind))
+                        for replica, kind in lane_order))
     lines = [f"serving timeline {format_ns(begin)} .. {format_ns(end)} "
              f"({format_ns(end - begin)} window)"]
-    for kind in kinds:
-        lines.append(f"{kind.value:<{label_width}} " + "".join(lanes[kind]))
+    for replica, kind in lane_order:
+        lines.append(f"{lane_label(replica, kind):<{label_width}} "
+                     + "".join(lanes[(replica, kind)]))
     lines.append(f"{'active':<{label_width}} " + _profile_chars(active))
     lines.append(f"{'queue':<{label_width}} " + _profile_chars(queue))
     legend = "   ".join(f"{char} {kind.value}"

@@ -1,0 +1,109 @@
+"""Property-based tests for the sim-backed serving runtime.
+
+Invariants that must hold for *any* arrival stream, policy, and replica
+count: conservation (every request completes exactly once, on exactly one
+replica), causality (service never precedes arrival; first token never
+follows completion), per-replica clock monotonicity, and single-replica
+equivalence with the legacy closed-form loops.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import INTEL_H100
+from repro.obs import RunRecorder
+from repro.serving import (
+    ContinuousBatchPolicy,
+    LatencyModel,
+    Request,
+    StaticBatchPolicy,
+    simulate_serving,
+)
+from repro.serving.legacy import (
+    legacy_continuous_batching,
+    legacy_static_batching,
+)
+from repro.workloads import GPT2
+
+# One latency model across all examples: caching makes the property runs
+# cheap after the first few engine calls.
+_LATENCY = LatencyModel(INTEL_H100)
+
+
+@st.composite
+def request_streams(draw):
+    count = draw(st.integers(1, 14))
+    requests = []
+    clock = 0.0
+    for i in range(count):
+        clock += draw(st.floats(0, 2e8))  # up to 200 ms gaps
+        requests.append(Request(
+            request_id=i,
+            arrival_ns=clock,
+            prompt_len=draw(st.sampled_from([64, 128, 256])),
+            output_tokens=draw(st.integers(1, 6)),
+        ))
+    return requests
+
+
+@st.composite
+def policies(draw):
+    if draw(st.booleans()):
+        return ContinuousBatchPolicy(max_active=draw(st.integers(1, 8)))
+    return StaticBatchPolicy(max_batch_size=draw(st.integers(1, 8)),
+                             max_wait_ns=draw(st.sampled_from([0.0, 5e7])))
+
+
+@given(stream=request_streams(), policy=policies(),
+       replicas=st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_conservation_and_causality(stream, policy, replicas):
+    result = simulate_serving(stream, GPT2, _LATENCY, policy=policy,
+                              replicas=replicas)
+    served = [o.request.request_id for o in result.report.outcomes]
+    assert sorted(served) == [r.request_id for r in stream]
+    assert len(served) == len(set(served))  # exactly once, one replica each
+    for outcome in result.report.outcomes:
+        assert 0 <= outcome.replica < replicas
+        assert outcome.queue_ns >= 0.0
+        assert outcome.ttft_ns >= outcome.queue_ns
+        assert outcome.completion_ns >= outcome.ttft_ns
+
+
+@given(stream=request_streams(), policy=policies(),
+       replicas=st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_replica_clocks_monotone(stream, policy, replicas):
+    """Each replica's recorded engine steps advance monotonically — a
+    policy process never travels back in time on its own session."""
+    recorder = RunRecorder()
+    simulate_serving(stream, GPT2, _LATENCY, policy=policy,
+                     replicas=replicas, recorder=recorder)
+    last_start: dict[int, float] = {}
+    for step in recorder.steps:
+        assert step.ts_ns >= last_start.get(step.replica, 0.0)
+        last_start[step.replica] = step.ts_ns
+
+
+@given(stream=request_streams(), max_active=st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_one_replica_matches_legacy_continuous(stream, max_active):
+    policy = ContinuousBatchPolicy(max_active=max_active)
+    sim = simulate_serving(stream, GPT2, _LATENCY, policy=policy, replicas=1)
+    legacy = legacy_continuous_batching(stream, GPT2, _LATENCY, policy)
+    assert ([(o.request.request_id, o.ttft_ns, o.completion_ns,
+              o.batch_size, o.queue_ns) for o in sim.report.outcomes]
+            == [(o.request.request_id, o.ttft_ns, o.completion_ns,
+                 o.batch_size, o.queue_ns) for o in legacy.outcomes])
+
+
+@given(stream=request_streams(), batch=st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_one_replica_matches_legacy_static(stream, batch):
+    policy = StaticBatchPolicy(max_batch_size=batch)
+    sim = simulate_serving(stream, GPT2, _LATENCY, policy=policy, replicas=1)
+    legacy = legacy_static_batching(stream, GPT2, _LATENCY, policy)
+    assert ([(o.request.request_id, o.ttft_ns, o.completion_ns,
+              o.batch_size, o.queue_ns) for o in sim.report.outcomes]
+            == [(o.request.request_id, o.ttft_ns, o.completion_ns,
+                 o.batch_size, o.queue_ns) for o in legacy.outcomes])

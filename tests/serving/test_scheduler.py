@@ -95,3 +95,50 @@ def test_validation(latency, classified_stream):
                  for c in classified_stream]
     with pytest.raises(ConfigurationError):
         simulate_priority_scheduling(only_bulk, GPT2, latency)
+
+
+def test_bulk_completion_charges_own_output_length(latency):
+    """Regression: bulk batches used to charge every member the batch's
+    *max* output length, so a 2-token request in a batch with a 64-token
+    straggler reported a 64-token completion. Per-request completions must
+    use each request's own generation time."""
+    from repro.serving import Request
+
+    short, long = 2, 64
+    classified = [
+        ClassifiedRequest(
+            request=Request(request_id=i, arrival_ns=0.0, prompt_len=128,
+                            output_tokens=(long if i == 0 else short)),
+            request_class=(RequestClass.INTERACTIVE if i == 3
+                           else RequestClass.BULK))
+        for i in range(4)
+    ]
+    report = simulate_priority_scheduling(classified, GPT2, latency)
+    by_id = {o.request.request_id: o for o in report.bulk.outcomes}
+    batch = by_id[0].batch_size
+    assert batch == 3
+    for outcome in by_id.values():
+        expected = outcome.queue_ns + latency.generation_ns(
+            GPT2, batch, 128, outcome.request.output_tokens)
+        assert outcome.completion_ns == expected
+    assert by_id[1].completion_ns < by_id[0].completion_ns
+
+
+def test_bulk_completion_legacy_oracle_overcharges(latency):
+    """The legacy loop deliberately preserves the overcharge (it is the
+    parity oracle for the old behaviour): every bulk member completes at
+    the batch max."""
+    from repro.serving import Request
+    from repro.serving.legacy import legacy_priority_scheduling
+
+    classified = [
+        ClassifiedRequest(
+            request=Request(request_id=i, arrival_ns=0.0, prompt_len=128,
+                            output_tokens=(64 if i == 0 else 2)),
+            request_class=(RequestClass.INTERACTIVE if i == 3
+                           else RequestClass.BULK))
+        for i in range(4)
+    ]
+    legacy = legacy_priority_scheduling(classified, GPT2, latency)
+    completions = {o.completion_ns for o in legacy.bulk.outcomes}
+    assert len(completions) == 1  # all charged the straggler's length

@@ -84,3 +84,42 @@ def test_static_analysis_doc_is_linked():
     assert "static-analysis.md" in _read("README.md")
     assert "static-analysis.md" in _read("docs/architecture.md")
     assert (ROOT / "docs/static-analysis.md").exists()
+
+
+def test_serving_doc_matches_api():
+    text = _read("docs/serving.md")
+    import repro.serving as serving
+    for name in ("ServingRuntime", "AdmissionQueue", "EngineSession",
+                 "simulate_serving", "queue_delay_ns",
+                 "measured_retrieval_ns"):
+        assert name in text
+        assert hasattr(serving, name), name
+    import repro.serving.legacy as legacy
+    for name in ("legacy_static_batching", "legacy_continuous_batching",
+                 "legacy_priority_scheduling"):
+        assert hasattr(legacy, name), name
+    assert "--replicas" in text
+    assert "check schedule --trace" in text
+
+
+def test_serving_doc_is_linked():
+    assert "serving.md" in _read("README.md")
+    assert "serving.md" in _read("docs/architecture.md")
+    assert "serving.md" in _read("docs/observability.md")
+    assert (ROOT / "docs/serving.md").exists()
+
+
+def test_serving_doc_test_references_exist():
+    text = _read("docs/serving.md")
+    for match in re.findall(r"`(tests/[\w/]+\.py)`", text):
+        assert (ROOT / match).exists(), match
+
+
+def test_observability_doc_covers_multi_replica_export():
+    text = _read("docs/observability.md")
+    assert "devices_per_replica" in text
+    assert "--replicas" in text
+    from repro.obs import recording_to_trace
+    import inspect
+    assert "devices_per_replica" in inspect.signature(
+        recording_to_trace).parameters
