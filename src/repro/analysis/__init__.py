@@ -47,6 +47,14 @@ from repro.analysis.frameworktax import (
     LatencyBound,
     classify_latency_curve,
 )
+from repro.analysis.kvpressure import (
+    DEFAULT_KV_POLICIES,
+    DEFAULT_POOL_GIB,
+    KvPressurePoint,
+    KvPressureResult,
+    kv_pressure_report,
+    run_kv_pressure_sweep,
+)
 from repro.analysis.sweep import (
     DEFAULT_BATCH_SIZES,
     SweepPoint,
@@ -90,6 +98,12 @@ __all__ = [
     "scaled_platform",
     "CrossoverPoint",
     "DEFAULT_BATCH_SIZES",
+    "DEFAULT_KV_POLICIES",
+    "DEFAULT_POOL_GIB",
+    "KvPressurePoint",
+    "KvPressureResult",
+    "kv_pressure_report",
+    "run_kv_pressure_sweep",
     "DEFAULT_FLATNESS_THRESHOLD",
     "DEFAULT_IDLE_THRESHOLD",
     "DEFAULT_TP_DEGREES",

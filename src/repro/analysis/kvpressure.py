@@ -1,0 +1,219 @@
+"""KV-cache pressure sweeps: throughput and SLO vs pool size and policy.
+
+Section IV's coupling story, measured at the memory system: shrink the paged
+KV pool until sequences no longer fit, and the serving loop must either
+preempt-and-recompute (burning GPU time) or offload blocks to host memory
+(burning interconnect time). The sweep serves one Poisson stream per
+(platform, policy, pool size) cell and reports delivered tokens/s plus TTFT
+SLO attainment, so the loosely-coupled vs closely-coupled divergence shows
+up as numbers: a PCIe platform pays ~14x more per swapped block than
+NVLink-C2C, so GH200 holds throughput under pressure where A100 collapses.
+
+The default execution mode is ``COMPILE_REDUCE_OVERHEAD``: in eager mode
+decode steps are launch-bound on every platform (flat in batch and context),
+which hides the memory-pressure effect behind the CPU launch tax the other
+analyses study. Compiled decode is bandwidth-bound, so pool pressure — not
+launch overhead — dominates the cell-to-cell deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.slo import DEFAULT_SLO_MS, serving_slo_attainment
+from repro.engine.modes import ExecutionMode
+from repro.errors import AnalysisError
+from repro.hardware.platform import Platform
+from repro.kvcache.manager import KvCacheConfig, KvPolicy
+from repro.serving.continuous import ContinuousBatchPolicy
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import poisson_requests
+from repro.serving.runtime import simulate_serving
+from repro.workloads.config import ModelConfig
+
+#: Pool sizes (GiB per replica) that pressure a ~1B model at prompt 1024.
+DEFAULT_POOL_GIB: tuple[float, ...] = (0.2, 0.15, 0.1)
+
+#: Pressure policies a sweep compares by default.
+DEFAULT_KV_POLICIES: tuple[KvPolicy, ...] = (
+    KvPolicy.RECOMPUTE, KvPolicy.OFFLOAD)
+
+
+@dataclass(frozen=True)
+class KvPressurePoint:
+    """One (platform, policy, pool size) serving cell."""
+
+    platform: str
+    policy: KvPolicy
+    pool_gib: float | None        # None = unconstrained baseline run
+    tokens_per_s: float
+    slo_attainment: float
+    requests_completed: int
+    capacity_blocks: int
+    preemptions: int
+    swap_out_events: int
+    swap_in_events: int
+    swap_ns: float
+
+    @property
+    def pressured(self) -> bool:
+        """Did the pool ever force a preemption or swap?"""
+        return (self.preemptions > 0 or self.swap_out_events > 0
+                or self.swap_in_events > 0)
+
+
+@dataclass
+class KvPressureResult:
+    """All cells of one KV-pressure sweep."""
+
+    model: str
+    prompt_len: int
+    output_tokens: int
+    rate_per_s: float
+    duration_s: float
+    mode: ExecutionMode
+    slo_ms: float
+    pool_gib: tuple[float, ...]
+    policies: tuple[KvPolicy, ...]
+    points: list[KvPressurePoint] = field(default_factory=list)
+
+    def point(self, platform: str, policy: KvPolicy,
+              pool_gib: float | None) -> KvPressurePoint:
+        for candidate in self.points:
+            if (candidate.platform == platform and candidate.policy is policy
+                    and candidate.pool_gib == pool_gib):
+                return candidate
+        raise AnalysisError(
+            f"no sweep cell for {platform}/{policy.value}/pool={pool_gib}")
+
+    def series(self, platform: str, policy: KvPolicy) -> list[float]:
+        """Tokens/s over the swept pool sizes for one (platform, policy)."""
+        return [self.point(platform, policy, pool).tokens_per_s
+                for pool in self.pool_gib]
+
+    def platforms(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.platform not in seen:
+                seen.append(point.platform)
+        return seen
+
+
+def run_kv_pressure_sweep(
+    model: ModelConfig,
+    platforms: Sequence[Platform],
+    pool_gib: Sequence[float] = DEFAULT_POOL_GIB,
+    policies: Sequence[KvPolicy] = DEFAULT_KV_POLICIES,
+    prompt_len: int = 1024,
+    output_tokens: int = 128,
+    rate_per_s: float = 40.0,
+    duration_s: float = 1.0,
+    seed: int = 7,
+    max_active: int = 16,
+    mode: ExecutionMode = ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+    slo_ms: float = DEFAULT_SLO_MS,
+    baseline: bool = True,
+) -> KvPressureResult:
+    """Serve one arrival stream per (platform, policy, pool size) cell.
+
+    Every cell replays the *same* Poisson stream, so differences are purely
+    pool arithmetic plus the policy's recovery cost on that platform. With
+    ``baseline`` (default) each platform also serves the stream once with no
+    pool at all (policy ``NONE``), anchoring the pressure cells.
+
+    Raises:
+        AnalysisError: on an empty platform, policy, or pool-size list, or
+            when a pressure policy is ``NONE`` (the baseline covers that).
+    """
+    if not platforms:
+        raise AnalysisError("at least one platform is required")
+    if not pool_gib:
+        raise AnalysisError("at least one pool size is required")
+    if not policies:
+        raise AnalysisError("at least one pressure policy is required")
+    if any(policy is KvPolicy.NONE for policy in policies):
+        raise AnalysisError(
+            "policy NONE is the baseline, not a pressure policy; "
+            "use baseline=True instead")
+    requests = poisson_requests(
+        rate_per_s=rate_per_s, duration_s=duration_s, prompt_len=prompt_len,
+        output_tokens=output_tokens, seed=seed)
+    if not requests:
+        raise AnalysisError("arrival stream is empty; raise rate or duration")
+    policy = ContinuousBatchPolicy(max_active=max_active)
+    result = KvPressureResult(
+        model=model.name, prompt_len=prompt_len, output_tokens=output_tokens,
+        rate_per_s=rate_per_s, duration_s=duration_s, mode=mode,
+        slo_ms=slo_ms, pool_gib=tuple(pool_gib), policies=tuple(policies))
+
+    for platform in platforms:
+        latency = LatencyModel(platform=platform, mode=mode)
+        cells: list[tuple[KvPolicy, float | None]] = []
+        if baseline:
+            cells.append((KvPolicy.NONE, None))
+        cells.extend((kv_policy, pool)
+                     for kv_policy in policies for pool in pool_gib)
+        for kv_policy, pool in cells:
+            kv = (None if kv_policy is KvPolicy.NONE
+                  else KvCacheConfig(policy=kv_policy, pool_gib=pool))
+            run = simulate_serving(requests, model, latency, policy=policy,
+                                   kv=kv)
+            attainment = serving_slo_attainment(run.report, slo_ms=slo_ms)
+            result.points.append(KvPressurePoint(
+                platform=platform.name,
+                policy=kv_policy,
+                pool_gib=pool,
+                tokens_per_s=run.throughput_tokens_per_s,
+                slo_attainment=attainment.attainment,
+                requests_completed=len(run.outcomes),
+                capacity_blocks=sum(s.capacity_blocks for s in run.kv),
+                preemptions=sum(s.preemptions for s in run.kv),
+                swap_out_events=sum(s.swap_out_events for s in run.kv),
+                swap_in_events=sum(s.swap_in_events for s in run.kv),
+                swap_ns=sum(s.swap_ns for s in run.kv),
+            ))
+    return result
+
+
+def kv_pressure_report(result: KvPressureResult) -> str:
+    """Render a KV-pressure sweep as a per-platform text table."""
+    header = (f"{result.model}: tokens/s vs KV pool size "
+              f"(prompt={result.prompt_len}, output={result.output_tokens}, "
+              f"rate={result.rate_per_s:g}/s, mode={result.mode.value})")
+    lines = [header, "-" * len(header)]
+    for platform in result.platforms():
+        lines.append(platform)
+        for point in result.points:
+            if point.platform != platform:
+                continue
+            pool = ("unbounded" if point.pool_gib is None
+                    else f"{point.pool_gib:g} GiB")
+            pressure = (f"preempts={point.preemptions}"
+                        if point.policy is KvPolicy.RECOMPUTE
+                        else f"swaps={point.swap_out_events}"
+                             f"+{point.swap_in_events}"
+                             f" ({point.swap_ns / 1e6:.1f} ms)")
+            if point.policy is KvPolicy.NONE:
+                pressure = "baseline"
+            lines.append(
+                f"  {point.policy.value:<9} pool={pool:>9}  "
+                f"{point.tokens_per_s:>8.1f} tok/s  "
+                f"SLO {point.slo_attainment:>6.1%}  {pressure}")
+    names = result.platforms()
+    if "GH200" in names and len(names) > 1 and result.pool_gib:
+        tightest = result.pool_gib[-1]
+        others = [n for n in names if n != "GH200"]
+        for policy in result.policies:
+            if policy is not KvPolicy.OFFLOAD:
+                continue
+            gh = result.point("GH200", policy, tightest)
+            for other in others:
+                rival = result.point(other, policy, tightest)
+                if rival.tokens_per_s > 0:
+                    ratio = gh.tokens_per_s / rival.tokens_per_s
+                    lines.append(
+                        f"offload at {tightest:g} GiB: GH200 delivers "
+                        f"{ratio:.2f}x the tokens/s of {other} "
+                        f"(NVLink-C2C vs PCIe swap cost)")
+    return "\n".join(lines)

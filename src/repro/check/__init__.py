@@ -10,7 +10,9 @@ Four pure passes (no simulation run required):
 * **trace** (:mod:`repro.check.tracelint`) — Chrome-trace/sidecar linting
   and recomputed SKIP metric identities (rules ``T...``);
 * **code** (:mod:`repro.check.code`) — repo-specific AST lint over
-  ``src/repro`` (rules ``C...``).
+  ``src/repro`` (rules ``C...``);
+* **kv** (:mod:`repro.check.kvrules`) — replay of the paged KV-pool
+  event log against leak/over-commit/residency invariants (rules ``K...``).
 
 All passes report :class:`Finding` records with stable rule ids; the
 ``repro check`` CLI aggregates them into a :class:`CheckReport`.
@@ -26,6 +28,7 @@ from repro.check.findings import (
     register_rule,
 )
 from repro.check.graph import check_lowering, check_sharding
+from repro.check.kvrules import check_kv_events, check_kv_metadata
 from repro.check.runner import (
     DEFAULT_CHECK_DEGREES,
     check_serving_schedules,
@@ -56,6 +59,8 @@ __all__ = [
     "RULES",
     "Rule",
     "Severity",
+    "check_kv_events",
+    "check_kv_metadata",
     "check_lowering",
     "check_schedules",
     "check_serving_schedules",

@@ -4,19 +4,20 @@ Generic linters cannot know this repo's invariants, so this pass encodes
 them directly:
 
 * **C001** — simulation code must be deterministic and replayable, so the
-  wall clock is banned inside ``repro.sim`` and ``repro.engine``
-  (``time.time``/``perf_counter``/``monotonic``/..., ``datetime.now``).
-  Simulated time is the only clock those layers may read.
+  wall clock is banned inside ``repro.sim``, ``repro.engine``, and
+  ``repro.kvcache`` (``time.time``/``perf_counter``/``monotonic``/...,
+  ``datetime.now``). Simulated time is the only clock those layers may
+  read.
 * **C002** — simulated timestamps are floats accumulated over millions of
   additions; ``==``/``!=`` on them is a latent heisenbug. Comparing any
   timestamp-named expression (``ts``, ``ts_end``, ``now``, ``free_at``, or
   any ``*_ns`` name) for equality is banned everywhere in the package —
   use ordering comparisons or ``math.isclose``.
-* **C003** — generator processes speak a two-verb protocol with
+* **C003** — generator processes speak a fixed-verb protocol with
   :class:`repro.sim.SimCore`; in simulation modules, every ``yield``
   inside a ``*_process`` function must be a tuple literal whose first
-  element is ``"at"`` or ``"join"``, so a malformed request fails the
-  lint rather than a run.
+  element is ``"at"``, ``"join"``, ``"acquire"``, or ``"release"``, so a
+  malformed request fails the lint rather than a run.
 * **C004** — a simulation-module function named ``*_process`` that never
   yields is not a generator and would be driven to nothing by the core.
 
@@ -42,7 +43,7 @@ C004 = register_rule(
 
 #: Module path prefixes (relative to the package root) where the wall
 #: clock is banned: everything the deterministic simulation touches.
-SIM_MODULE_PREFIXES = ("sim", "engine")
+SIM_MODULE_PREFIXES = ("sim", "engine", "kvcache")
 
 #: Wall-clock callables, as (module alias target, attribute) pairs.
 _WALL_CLOCK_TIME = frozenset({
@@ -55,7 +56,7 @@ _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 _TIMESTAMP_NAMES = frozenset({"ts", "ts_end", "now", "free_at"})
 
 #: Request verbs the simulation core understands (mirrors SimCore._handle).
-_REQUEST_VERBS = frozenset({"at", "join"})
+_REQUEST_VERBS = frozenset({"at", "join", "acquire", "release"})
 
 
 def _is_timestamp_name(node: ast.expr) -> str | None:
@@ -198,7 +199,9 @@ class _ModuleLinter(ast.NodeVisitor):
         self.findings.append(Finding(
             C003, Severity.ERROR, self._at(node),
             f"{func} yields a malformed scheduler request ({what}); "
-            f"processes must yield ('at', t) or ('join', rdv, ready)"))
+            f"processes must yield ('at', t), ('join', rdv, ready), "
+            f"('acquire', res, owner, blocks, ready), or "
+            f"('release', res, owner, ready)"))
 
 
 def _module_parts(path: Path, root: Path) -> tuple[str, ...]:

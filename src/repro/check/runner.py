@@ -80,11 +80,21 @@ def check_workload_schedules(
 
 
 def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
-    """Lint Chrome-trace files (raw order, structure, metric identities)."""
+    """Lint Chrome-trace files (raw order, structure, metric identities).
+
+    Traces exported from KV-cache-enabled serving runs carry their pool
+    audit trail in ``kv`` metadata; those additionally get the K001-K004
+    accounting replay (:mod:`repro.check.kvrules`).
+    """
+    from repro.check.kvrules import check_kv_metadata
+
     report = CheckReport()
     for path in paths:
-        findings, _trace = lint_chrome_file(path)
+        findings, trace = lint_chrome_file(path)
         report.extend(findings, str(path))
+        if trace is not None and "kv" in trace.metadata:
+            report.extend(check_kv_metadata(trace.metadata["kv"]),
+                          f"{path} (kv)")
     return report
 
 

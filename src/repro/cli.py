@@ -11,7 +11,11 @@ Subcommands mirror the paper's workflow:
 * ``nullkernel``— the Table V micro-benchmark
 * ``whatif``    — required CPU speedup to match a reference platform
 * ``memory``    — HBM footprint check for a workload shape
-* ``serve``     — serving simulation with recording / Chrome-trace export
+* ``serve``     — serving simulation with recording / Chrome-trace export;
+  ``--kv-policy recompute|offload`` gates admission and decode growth on a
+  paged KV pool (``--kv-pool-gib`` sizes it)
+* ``kvpressure``— tokens/s + SLO attainment vs KV pool size and policy
+  across platforms (the GH200-offload-advantage sweep)
 * ``skip``      — SKIP analysis of a Chrome trace file (self-hosting:
   ``repro serve ... --emit-trace out.json && repro skip analyze out.json``)
 * ``check``     — static analysis of the artifacts the above produce:
@@ -30,7 +34,7 @@ from typing import Sequence
 from repro.analysis import run_batch_sweep, run_tp_sweep, tp_sweep_report
 from repro.analysis.whatif import required_cpu_speedup
 from repro.engine import DispatchMode, EngineConfig, ExecutionMode, TPConfig
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.hardware import PAPER_PLATFORMS, get_platform, nullkernel_table
 from repro.skip import SkipProfiler, fusion_report, profile_report, transition_report
 from repro.units import format_bytes, format_ns
@@ -74,9 +78,33 @@ def _tp_config(args: argparse.Namespace) -> TPConfig | None:
                     dispatch=DispatchMode(getattr(args, "dispatch", "single")))
 
 
+def _require_memory_fits(model, platform, batch_size: int, seq_len: int,
+                         ignore: bool) -> None:
+    """Fail fast (exit 2) when a shape cannot fit the platform's HBM.
+
+    Simulating a run that would OOM on real hardware produces numbers
+    nobody can reproduce; ``--ignore-memory`` keeps the escape hatch for
+    deliberate what-if shapes.
+    """
+    if ignore:
+        return
+    report = memory_report(model, platform.gpu, batch_size, seq_len)
+    if not report.fits:
+        raise ConfigurationError(
+            f"{model.name} @ BS={batch_size} seq={seq_len} needs "
+            f"{format_bytes(report.total_bytes)} but {platform.gpu.name} "
+            f"has {format_bytes(report.capacity_bytes)} "
+            f"({100 * report.utilization:.0f}% of HBM); see 'repro memory' "
+            f"for the breakdown or pass --ignore-memory to simulate anyway")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    profiler = SkipProfiler(get_platform(args.platform))
-    result = profiler.profile(get_model(args.model),
+    platform = get_platform(args.platform)
+    model = get_model(args.model)
+    _require_memory_fits(model, platform, args.batch_size, args.seq_len,
+                         args.ignore_memory)
+    profiler = SkipProfiler(platform)
+    result = profiler.profile(model,
                               batch_size=args.batch_size,
                               seq_len=args.seq_len,
                               mode=ExecutionMode(args.mode),
@@ -105,6 +133,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     platforms = ([get_platform(args.platform)] if args.platform != "all"
                  else list(PAPER_PLATFORMS))
     batches = tuple(int(b) for b in args.batches.split(","))
+    for platform in platforms:
+        _require_memory_fits(model, platform, max(batches), args.seq_len,
+                             args.ignore_memory)
     sweep = run_batch_sweep(model, platforms, batches, seq_len=args.seq_len,
                             engine_config=_FAST, tp=_tp_config(args))
     for platform in platforms:
@@ -181,6 +212,20 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kv_config(args: argparse.Namespace):
+    """Build the serve command's KV-cache settings (None = pre-kvcache path)."""
+    from repro.kvcache import KvCacheConfig, KvPolicy
+
+    policy = KvPolicy(args.kv_policy)
+    if policy is KvPolicy.NONE:
+        if args.kv_pool_gib is not None:
+            raise ConfigurationError(
+                "--kv-pool-gib needs a pressure policy; pass "
+                "--kv-policy recompute or --kv-policy offload")
+        return None
+    return KvCacheConfig(policy=policy, pool_gib=args.kv_pool_gib)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis import serving_slo_attainment
     from repro.obs import RunRecorder, recording_to_trace
@@ -198,6 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.viz import TimelineOptions, render_serving_timeline
 
     model = get_model(args.model)
+    kv = _kv_config(args)
     latency = LatencyModel(get_platform(args.platform), engine_config=_FAST,
                            tp=_tp_config(args))
     requests = poisson_requests(
@@ -221,7 +267,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ]
     recorder = RunRecorder()
     result = simulate_serving(workload, model, latency, policy=policy,
-                              replicas=args.replicas, recorder=recorder)
+                              replicas=args.replicas, recorder=recorder,
+                              kv=kv)
     report = result.report
     title = (f"{args.scenario} serving: {model.name} on {args.platform} "
              f"({len(requests)} requests, {args.replicas} replica(s))")
@@ -229,6 +276,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"throughput         : "
           f"{report.throughput_tokens_per_s():.0f} tokens/s")
     print(serving_slo_attainment(report).render())
+    for stats in result.kv:
+        print(f"kv pool r{stats.replica}         : "
+              f"{stats.capacity_blocks} blocks x {stats.block_tokens} tokens"
+              f"  preempts={stats.preemptions}"
+              f"  swaps={stats.swap_out_events}+{stats.swap_in_events}"
+              f" ({format_ns(stats.swap_ns)})")
     if args.replicas > 1:
         rows = [[f"r{stats.replica}", str(stats.requests),
                  str(stats.output_tokens), str(stats.steps),
@@ -250,6 +303,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chrome.dump(trace, args.emit_trace)
         print(f"wrote {len(trace.kernels)} kernels / "
               f"{len(trace.iterations)} steps to {args.emit_trace}")
+    return 0
+
+
+def _cmd_kvpressure(args: argparse.Namespace) -> int:
+    from repro.analysis import kv_pressure_report, run_kv_pressure_sweep
+    from repro.kvcache import KvPolicy
+
+    platforms = [get_platform(name) for name in args.platforms.split(",")]
+    pools = tuple(float(p) for p in args.pools.split(","))
+    policies = tuple(KvPolicy(p) for p in args.policies.split(","))
+    result = run_kv_pressure_sweep(
+        get_model(args.model), platforms,
+        pool_gib=pools, policies=policies,
+        prompt_len=args.prompt_len, output_tokens=args.output_tokens,
+        rate_per_s=args.rate, duration_s=args.duration, seed=args.seed,
+        max_active=args.max_active, mode=ExecutionMode(args.mode),
+        slo_ms=args.slo_ms)
+    print(kv_pressure_report(result))
     return 0
 
 
@@ -371,6 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--mode", default="eager",
                        choices=[m.value for m in ExecutionMode
                                 if m is not ExecutionMode.PROXIMITY_FUSED])
+    run_p.add_argument("--ignore-memory", action="store_true",
+                       help="simulate even when the shape exceeds HBM")
     run_p.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="batch sweep with transition stars")
@@ -380,6 +453,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seq-len", type=int, default=512)
     sweep.add_argument("--batches", default="1,2,4,8,16,32,64,128")
     _add_tp_args(sweep)
+    sweep.add_argument("--ignore-memory", action="store_true",
+                       help="sweep even when the largest batch exceeds HBM")
     sweep.set_defaults(func=_cmd_sweep)
 
     tpsweep = sub.add_parser(
@@ -435,7 +510,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--emit-trace", metavar="PATH",
                        help="export the recorded run as Chrome-trace JSON "
                             "(analyzable with 'repro skip analyze')")
+    serve.add_argument("--kv-policy", default="none",
+                       choices=["none", "recompute", "offload"],
+                       help="paged KV-pool pressure policy (continuous "
+                            "scenario only; 'none' reproduces the "
+                            "pre-kvcache serving path exactly)")
+    serve.add_argument("--kv-pool-gib", type=float, default=None,
+                       help="KV pool size per replica in GiB (default: all "
+                            "HBM left after weights and runtime reserve)")
     serve.set_defaults(func=_cmd_serve)
+
+    kvpressure = sub.add_parser(
+        "kvpressure",
+        help="tokens/s + SLO attainment vs KV pool size and policy")
+    kvpressure.add_argument("--model", default="llama-3.2-1b")
+    kvpressure.add_argument("--platforms", default="AMD+A100,GH200",
+                            help="comma-separated platform names to compare")
+    kvpressure.add_argument("--pools", default="0.2,0.15,0.1",
+                            help="comma-separated pool sizes (GiB/replica)")
+    kvpressure.add_argument("--policies", default="recompute,offload",
+                            help="comma-separated pressure policies")
+    kvpressure.add_argument("--prompt-len", type=int, default=1024)
+    kvpressure.add_argument("--output-tokens", type=int, default=128)
+    kvpressure.add_argument("--rate", type=float, default=40.0,
+                            help="Poisson arrival rate (req/s)")
+    kvpressure.add_argument("--duration", type=float, default=1.0,
+                            help="arrival stream duration (s)")
+    kvpressure.add_argument("--seed", type=int, default=7)
+    kvpressure.add_argument("--max-active", type=int, default=16)
+    kvpressure.add_argument("--slo-ms", type=float, default=200.0)
+    kvpressure.add_argument(
+        "--mode", default="compile_reduce_overhead",
+        choices=[m.value for m in ExecutionMode
+                 if m is not ExecutionMode.PROXIMITY_FUSED],
+        help="execution mode (compiled decode exposes memory pressure; "
+             "eager decode is launch-bound and hides it)")
+    kvpressure.set_defaults(func=_cmd_kvpressure)
 
     skip = sub.add_parser("skip", help="SKIP analysis of a Chrome trace file")
     skip_sub = skip.add_subparsers(dest="skip_command", required=True)

@@ -1,0 +1,73 @@
+"""KV-cache event log: the audit trail the K-rules verify.
+
+Every pool mutation (and every decode step's resident set) is logged as a
+:class:`KvCacheEvent`. The log rides along in exported trace metadata, so
+``repro check trace`` can re-verify pool accounting — no leaked blocks, no
+over-commit, no decode of a swapped-out sequence — on a trace file alone,
+long after the run that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: Event kinds, in the vocabulary the K-rules speak.
+KV_EVENT_KINDS = frozenset({
+    "alloc",      # first allocation for a sequence (admission prefill)
+    "grow",       # decode-step block growth for a resident sequence
+    "free",       # sequence completed; all its blocks returned
+    "preempt",    # recompute policy evicted the sequence (blocks freed)
+    "swap_out",   # offload policy moved the sequence's blocks to the host
+    "swap_in",    # offloaded blocks returned to the device
+    "decode",     # the sequence took part in a decode step (no pool change)
+})
+
+
+@dataclass(frozen=True)
+class KvCacheEvent:
+    """One KV-pool event on one replica.
+
+    Attributes:
+        ts_ns: Serving-clock time of the event.
+        kind: One of :data:`KV_EVENT_KINDS`.
+        seq: Sequence (request) id the event concerns.
+        blocks: Blocks the event moved (0 for ``decode``).
+        allocated: Device-resident blocks on the replica *after* the event —
+            the running counter rule K002 checks against capacity.
+        replica: Replica whose pool the event touched.
+    """
+
+    ts_ns: float
+    kind: str
+    seq: int
+    blocks: int
+    allocated: int
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KV_EVENT_KINDS:
+            raise AnalysisError(f"unknown kv event kind: {self.kind!r}")
+        if self.blocks < 0:
+            raise AnalysisError(f"kv event has negative blocks: {self.blocks}")
+        if self.allocated < 0:
+            raise AnalysisError(
+                f"kv event has negative allocated count: {self.allocated}")
+
+    def to_dict(self) -> dict:
+        return {"ts_ns": self.ts_ns, "kind": self.kind, "seq": self.seq,
+                "blocks": self.blocks, "allocated": self.allocated,
+                "replica": self.replica}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> KvCacheEvent:
+        try:
+            return cls(ts_ns=float(payload["ts_ns"]),
+                       kind=str(payload["kind"]),
+                       seq=int(payload["seq"]),
+                       blocks=int(payload["blocks"]),
+                       allocated=int(payload["allocated"]),
+                       replica=int(payload.get("replica", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"malformed kv event: {payload!r}") from exc

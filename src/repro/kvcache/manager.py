@@ -1,0 +1,235 @@
+"""KvManager — per-replica KV-pool policy engine.
+
+One manager per engine replica owns that replica's block pool (wrapped in a
+:class:`KvCacheResource` so the sim core sees it), applies the configured
+pressure policy, prices swap transfers over the platform interconnect, and
+logs every pool mutation as a :class:`KvCacheEvent` for the K-rules.
+
+The two pressure policies reproduce the serving-system trade-off the paper's
+coupling argument bears on:
+
+* **recompute** — a preempted victim's blocks are freed outright and its
+  prefill is re-simulated on readmission. No interconnect traffic; the cost
+  is recomputed prefill FLOPs, identical on every platform.
+* **offload** — a victim's blocks are copied to host memory over the
+  CPU-GPU link and copied back before its next decode step. The cost is
+  ``Platform.transfer_ns(blocks * block_bytes)`` per direction, so the
+  loosely-coupled PCIe platforms pay ~14x the NVLink-C2C (GH200) price per
+  byte — which is exactly the regime where coupling shows up in tokens/s.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware.platform import Platform
+from repro.kvcache.events import KvCacheEvent
+from repro.kvcache.pool import (
+    KV_BLOCK_TOKENS,
+    BlockPool,
+    block_bytes,
+    blocks_for_tokens,
+    pool_capacity_blocks,
+)
+from repro.kvcache.resource import KvCacheResource
+from repro.workloads.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunRecorder
+
+
+class KvPolicy(enum.Enum):
+    """What to do when the KV pool runs out of blocks."""
+
+    NONE = "none"            # unlimited memory: today's serving behaviour
+    RECOMPUTE = "recompute"  # preempt victims; re-prefill on readmission
+    OFFLOAD = "offload"      # swap victims' blocks to host over the link
+
+
+@dataclass(frozen=True)
+class KvCacheConfig:
+    """Per-run KV-cache settings (CLI: ``--kv-policy`` / ``--kv-pool-gib``).
+
+    Attributes:
+        policy: Pressure policy; ``NONE`` disables the subsystem entirely,
+            reproducing pre-kvcache serving bit-identically.
+        pool_gib: Explicit pool size in GiB; ``None`` derives the pool from
+            GPU capacity minus weights and the runtime reserve.
+        block_tokens: Tokens per KV block.
+    """
+
+    policy: KvPolicy = KvPolicy.NONE
+    pool_gib: float | None = None
+    block_tokens: int = KV_BLOCK_TOKENS
+
+    def __post_init__(self) -> None:
+        if self.block_tokens <= 0:
+            raise ConfigurationError("block_tokens must be positive")
+        if self.pool_gib is not None and self.pool_gib <= 0:
+            raise ConfigurationError("pool_gib must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy is not KvPolicy.NONE
+
+
+class KvManager:
+    """One replica's paged KV cache under a pressure policy."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        platform: Platform,
+        policy: KvPolicy,
+        capacity_blocks: int,
+        block_tokens: int = KV_BLOCK_TOKENS,
+        recorder: RunRecorder | None = None,
+        replica: int = 0,
+    ) -> None:
+        if policy is KvPolicy.NONE:
+            raise ConfigurationError(
+                "KvManager is the pressure machinery; policy NONE means "
+                "no manager at all")
+        self.model = model
+        self.platform = platform
+        self.policy = policy
+        self.block_tokens = block_tokens
+        self.block_bytes = block_bytes(model, block_tokens)
+        self.recorder = recorder
+        self.replica = replica
+        self.resource = KvCacheResource(
+            BlockPool(capacity_blocks, name=f"kv{replica}"),
+            name=f"kv{replica}")
+        self.events: list[KvCacheEvent] = []
+        #: Host-resident block counts of swapped-out sequences.
+        self._host_blocks: dict[int, int] = {}
+        # Stats surfaced in ServingRunResult / the CLI summary.
+        self.preemptions = 0
+        self.swap_out_events = 0
+        self.swap_in_events = 0
+        self.swapped_blocks = 0
+        self.swap_ns_total = 0.0
+
+    @classmethod
+    def for_gpu(cls, model: ModelConfig, platform: Platform,
+                config: KvCacheConfig, recorder: RunRecorder | None = None,
+                replica: int = 0) -> KvManager:
+        """Build a manager with capacity derived from the platform's GPU."""
+        capacity = pool_capacity_blocks(model, platform.gpu,
+                                        pool_gib=config.pool_gib,
+                                        block_tokens=config.block_tokens)
+        return cls(model, platform, config.policy, capacity,
+                   block_tokens=config.block_tokens, recorder=recorder,
+                   replica=replica)
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def pool(self) -> BlockPool:
+        return self.resource.pool
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.pool.capacity_blocks
+
+    def blocks_for(self, tokens: int) -> int:
+        return blocks_for_tokens(tokens, self.block_tokens)
+
+    def growth_delta(self, seq: int, tokens: int) -> int:
+        """Extra blocks ``seq`` needs to hold ``tokens`` cache entries."""
+        return max(0, self.blocks_for(tokens) - self.pool.held(seq))
+
+    # -- allocation ------------------------------------------------------
+    def try_allocate(self, seq: int, blocks: int, ts_ns: float) -> bool:
+        """Admission-time allocation; logs ``alloc`` on success."""
+        if not self.resource.try_acquire(seq, blocks):
+            return False
+        self._log(ts_ns, "alloc", seq, blocks)
+        return True
+
+    def grow(self, seq: int, tokens: int, ts_ns: float) -> bool:
+        """Grow ``seq`` to cover ``tokens`` entries; logs ``grow``."""
+        delta = self.growth_delta(seq, tokens)
+        if delta == 0:
+            return True
+        if not self.resource.try_acquire(seq, delta):
+            return False
+        self._log(ts_ns, "grow", seq, delta)
+        return True
+
+    def free(self, seq: int, ts_ns: float) -> int:
+        """Sequence completed: return all its blocks."""
+        freed = self.resource.release(seq, ts_ns)
+        self._log(ts_ns, "free", seq, freed)
+        return freed
+
+    # -- pressure --------------------------------------------------------
+    def preempt(self, seq: int, ts_ns: float) -> int:
+        """Recompute policy: drop the victim's blocks on the floor."""
+        freed = self.resource.release(seq, ts_ns)
+        if freed == 0:
+            raise SimulationError(
+                f"preempting seq {seq} which holds no blocks")
+        self.preemptions += 1
+        self._log(ts_ns, "preempt", seq, freed)
+        return freed
+
+    def swap_out(self, seq: int, ts_ns: float) -> float:
+        """Offload policy: move the victim's blocks to the host.
+
+        Returns the transfer time over the platform interconnect; the
+        caller charges it to the serving clock.
+        """
+        blocks = self.pool.held(seq)
+        if blocks == 0:
+            raise SimulationError(f"swapping out seq {seq} which holds "
+                                  f"no blocks")
+        self.resource.release(seq, ts_ns)
+        self._host_blocks[seq] = blocks
+        transfer = self.platform.transfer_ns(blocks * self.block_bytes)
+        self.swap_out_events += 1
+        self.swapped_blocks += blocks
+        self.swap_ns_total += transfer
+        self._log(ts_ns, "swap_out", seq, blocks)
+        return transfer
+
+    def swap_in(self, seq: int, ts_ns: float) -> float | None:
+        """Bring an offloaded sequence back; ``None`` when there is no room.
+
+        Must precede the sequence's next decode step (rule K003).
+        """
+        blocks = self._host_blocks.get(seq)
+        if blocks is None:
+            raise SimulationError(f"seq {seq} is not swapped out")
+        if not self.resource.try_acquire(seq, blocks):
+            return None
+        del self._host_blocks[seq]
+        transfer = self.platform.transfer_ns(blocks * self.block_bytes)
+        self.swap_in_events += 1
+        self.swap_ns_total += transfer
+        self._log(ts_ns, "swap_in", seq, blocks)
+        return transfer
+
+    def is_swapped_out(self, seq: int) -> bool:
+        return seq in self._host_blocks
+
+    @property
+    def host_blocks(self) -> int:
+        """Blocks currently parked in host memory."""
+        return sum(self._host_blocks.values())
+
+    # -- observation -----------------------------------------------------
+    def note_decode(self, seqs: Sequence[int], ts_ns: float) -> None:
+        """Log which sequences took part in a decode step (for K003)."""
+        for seq in seqs:
+            self._log(ts_ns, "decode", seq, 0)
+
+    def _log(self, ts_ns: float, kind: str, seq: int, blocks: int) -> None:
+        event = KvCacheEvent(ts_ns=ts_ns, kind=kind, seq=seq, blocks=blocks,
+                             allocated=self.pool.allocated,
+                             replica=self.replica)
+        self.events.append(event)
+        if self.recorder is not None:
+            self.recorder.on_kv_event(event)

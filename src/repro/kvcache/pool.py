@@ -1,0 +1,137 @@
+"""Paged KV-cache block pool: fixed-size blocks carved out of HBM.
+
+vLLM-style paged attention allocates the KV cache in fixed-size blocks of
+``block_tokens`` tokens each, so fragmentation is bounded and a sequence's
+cache can grow one block at a time. This module owns the integer arithmetic:
+block sizes derive from the model's KV geometry (``2 * layers * kv_dim``
+bytes-per-token at FP16), and per-replica pool capacities derive from
+:attr:`GpuSpec.memory_gib` minus the FP16 weights and the runtime reserve —
+the same terms :func:`repro.workloads.memory.memory_report` charges
+statically.
+
+Everything here is an ``int``: byte counts are floored to whole bytes and
+capacities to whole blocks, so pool accounting never compares floats for
+equality (check-code rule C002 stays honest by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware.gpu import GpuSpec
+from repro.units import gib_to_bytes
+from repro.workloads.config import Arch, ModelConfig
+from repro.workloads.memory import RUNTIME_RESERVE_BYTES, weights_bytes
+from repro.workloads.ops import FP16_BYTES
+
+#: Default tokens per KV block (vLLM's default page size).
+KV_BLOCK_TOKENS = 16
+
+
+def block_bytes(config: ModelConfig,
+                block_tokens: int = KV_BLOCK_TOKENS) -> int:
+    """HBM bytes one KV block occupies (K and V, all layers, FP16)."""
+    if block_tokens <= 0:
+        raise ConfigurationError("block_tokens must be positive")
+    if config.arch is Arch.ENCODER_ONLY:
+        raise ConfigurationError(
+            f"{config.name} is encoder-only: it keeps no KV cache, so a "
+            f"paged KV pool is meaningless for it")
+    return 2 * config.layers * config.kv_dim * FP16_BYTES * block_tokens
+
+
+def blocks_for_tokens(tokens: int,
+                      block_tokens: int = KV_BLOCK_TOKENS) -> int:
+    """Blocks needed to hold ``tokens`` cache entries (ceiling division)."""
+    if tokens < 0:
+        raise ConfigurationError(f"tokens must be non-negative, got {tokens}")
+    if block_tokens <= 0:
+        raise ConfigurationError("block_tokens must be positive")
+    return -(-tokens // block_tokens)
+
+
+def pool_bytes(config: ModelConfig, gpu: GpuSpec,
+               pool_gib: float | None = None) -> int:
+    """Whole bytes available to the KV pool on one replica's GPU.
+
+    With ``pool_gib`` set the pool is exactly that size (the knob the
+    pressure sweeps turn); otherwise it is everything HBM has left after
+    the FP16 weights and :data:`RUNTIME_RESERVE_BYTES`.
+    """
+    if pool_gib is not None:
+        if pool_gib <= 0:
+            raise ConfigurationError("pool_gib must be positive")
+        return gib_to_bytes(pool_gib)
+    free = (gib_to_bytes(gpu.memory_gib) - int(weights_bytes(config))
+            - RUNTIME_RESERVE_BYTES)
+    if free <= 0:
+        raise ConfigurationError(
+            f"{config.name} weights plus runtime reserve exceed "
+            f"{gpu.name}'s {gpu.memory_gib} GiB; no room for a KV pool")
+    return free
+
+
+def pool_capacity_blocks(config: ModelConfig, gpu: GpuSpec,
+                         pool_gib: float | None = None,
+                         block_tokens: int = KV_BLOCK_TOKENS) -> int:
+    """Whole KV blocks the pool holds (floor of bytes / block size)."""
+    per_block = block_bytes(config, block_tokens)
+    capacity = pool_bytes(config, gpu, pool_gib) // per_block
+    if capacity <= 0:
+        raise ConfigurationError(
+            f"KV pool of {pool_bytes(config, gpu, pool_gib)} bytes is "
+            f"smaller than one {per_block}-byte block of {config.name}")
+    return capacity
+
+
+class BlockPool:
+    """Counting allocator over a fixed number of KV blocks.
+
+    Owners are opaque hashables (serving uses request ids). The pool tracks
+    how many blocks each owner holds plus a running total, and refuses
+    over-commit — the sim-level invariant rule K002 re-verifies from the
+    event log.
+    """
+
+    def __init__(self, capacity_blocks: int, name: str = "kv") -> None:
+        if capacity_blocks <= 0:
+            raise ConfigurationError("pool capacity must be positive")
+        self.capacity_blocks = capacity_blocks
+        self.name = name
+        self.allocated = 0
+        self._held: dict[Hashable, int] = {}
+
+    @property
+    def free_blocks(self) -> int:
+        return self.capacity_blocks - self.allocated
+
+    def held(self, owner: Hashable) -> int:
+        """Blocks ``owner`` currently holds (0 if none)."""
+        return self._held.get(owner, 0)
+
+    def owners(self) -> list[Hashable]:
+        """Owners currently holding blocks, in insertion order."""
+        return list(self._held)
+
+    def can_allocate(self, blocks: int) -> bool:
+        return blocks <= self.free_blocks
+
+    def allocate(self, owner: Hashable, blocks: int) -> None:
+        """Give ``owner`` ``blocks`` more blocks; raises on over-commit."""
+        if blocks <= 0:
+            raise SimulationError(
+                f"pool {self.name}: allocation must be positive, "
+                f"got {blocks}")
+        if not self.can_allocate(blocks):
+            raise SimulationError(
+                f"pool {self.name}: over-commit — {blocks} blocks requested "
+                f"with {self.free_blocks}/{self.capacity_blocks} free")
+        self._held[owner] = self.held(owner) + blocks
+        self.allocated += blocks
+
+    def release(self, owner: Hashable) -> int:
+        """Free every block ``owner`` holds; returns how many were freed."""
+        freed = self._held.pop(owner, 0)
+        self.allocated -= freed
+        return freed

@@ -1,0 +1,260 @@
+"""KV-aware continuous batching: admission and growth gated on the pool.
+
+This is :func:`repro.serving.continuous.continuous_batching_process` with
+the infinite-memory assumption removed. Each replica's process consults its
+:class:`~repro.kvcache.manager.KvManager` at the two points where a real
+engine touches KV memory:
+
+* **admission** — a request is claimed only once blocks for its prompt (plus
+  the prefill's first token) are allocated; the claim order stays FIFO, so
+  a too-big head-of-line request blocks later ones rather than being
+  skipped.
+* **decode growth** — before each decode step, every active sequence gets
+  the blocks for one more token. When the pool cannot cover the growth, the
+  policy evicts victims newest-first (never below one resident sequence):
+  ``recompute`` frees the victim and re-prefills it later; ``offload``
+  pays a swap-out transfer over the interconnect now and a swap-in
+  transfer before the victim's next decode step.
+
+Swap transfers appear on the serving timeline as ``SWAP_OUT`` /
+``SWAP_IN`` steps — they occupy the engine like a real synchronous
+``cudaMemcpy`` on the scheduler's critical path, and they export to traces
+on their own copy-engine stream lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.kvcache.manager import KvManager, KvPolicy
+from repro.obs.events import EngineShape, StepKind
+from repro.serving.requests import Request
+
+if TYPE_CHECKING:
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.runtime import EngineSession, ServingRuntime
+    from repro.sim.core import Process
+
+
+@dataclass
+class _KvSequence:
+    """One admitted sequence plus its serving bookkeeping."""
+
+    request: Request
+    first_token_ns: float
+    remaining: int
+    context: int
+    admitted_ns: float
+    last_token_ns: float = 0.0
+
+
+def lifetime_blocks(manager: KvManager, request: Request) -> int:
+    """Blocks the request needs at its largest (full prompt + output)."""
+    return manager.blocks_for(request.prompt_len + request.output_tokens)
+
+
+def kv_continuous_batching_process(
+        runtime: ServingRuntime, session: EngineSession,
+        policy: ContinuousBatchPolicy) -> Process:
+    """One replica's iteration-level scheduler with a finite KV pool."""
+    queue = runtime.queue
+    latency = runtime.latency
+    model = runtime.model
+    recorder = runtime.recorder
+    kv = session.kv
+    if kv is None:
+        raise ConfigurationError(
+            "kv_continuous_batching_process needs a session with a KvManager")
+    active: list[_KvSequence] = []
+    swapped: list[_KvSequence] = []   # offloaded, FIFO readmission order
+    preempted: list[Request] = []     # recompute victims awaiting re-prefill
+    clock = 0.0
+
+    def depth() -> int:
+        return queue.depth(clock) if recorder is not None else 0
+
+    def admitted_count() -> int:
+        return len(active) + len(swapped) + len(preempted)
+
+    def prefill(batch: list[Request]) -> None:
+        """Run one prefill step for ``batch`` (blocks already allocated)."""
+        nonlocal clock
+        admitted_ns = clock
+        prompt_len = max(r.prompt_len for r in batch)
+        prefill_ns = latency.ttft_ns(model, len(batch), prompt_len)
+        if recorder is not None:
+            for request in batch:
+                recorder.on_admitted(request.request_id, request.arrival_ns,
+                                     clock)
+        session.execute(
+            StepKind.PREFILL, clock, prefill_ns, len(batch),
+            queue_depth=depth(),
+            shape=EngineShape(model.name, len(batch), prompt_len))
+        clock += prefill_ns
+        for request in batch:
+            seq = _KvSequence(
+                request=request,
+                first_token_ns=clock - request.arrival_ns,
+                remaining=request.output_tokens - 1,
+                context=request.prompt_len + 1,
+                admitted_ns=admitted_ns,
+                last_token_ns=clock - request.arrival_ns,
+            )
+            if recorder is not None:
+                recorder.on_first_token(request.request_id, clock)
+            if seq.remaining <= 0:
+                if recorder is not None:
+                    recorder.on_completed(request.request_id, clock)
+                kv.free(request.request_id, clock)
+                runtime.complete(request,
+                                 ttft_ns=seq.first_token_ns,
+                                 completion_ns=seq.first_token_ns,
+                                 batch_size=len(batch),
+                                 service_start_ns=admitted_ns,
+                                 session=session)
+            else:
+                active.append(seq)
+
+    def swap_in_ready() -> None:
+        """Bring back offloaded sequences, oldest first, while room lasts."""
+        nonlocal clock
+        while swapped:
+            seq = swapped[0]
+            transfer_ns = kv.swap_in(seq.request.request_id, clock)
+            if transfer_ns is None:
+                break
+            swapped.pop(0)
+            session.execute(StepKind.SWAP_IN, clock, transfer_ns, 1,
+                            queue_depth=depth())
+            clock += transfer_ns
+            active.append(seq)
+
+    def readmit_preempted() -> None:
+        """Re-prefill recompute victims, oldest first, while room lasts."""
+        batch: list[Request] = []
+        # Preempted sequences are not counted against max_active here:
+        # they are the ones being drained back in.
+        while (preempted
+               and len(active) + len(swapped) + len(batch) < policy.max_active):
+            request = preempted[0]
+            need = kv.blocks_for(request.prompt_len + 1)
+            if not kv.try_allocate(request.request_id, need, clock):
+                break
+            preempted.pop(0)
+            batch.append(request)
+        if batch:
+            prefill(batch)
+
+    def claim_new() -> None:
+        """Claim fresh arrivals, FIFO, while blocks and slots last."""
+        batch: list[Request] = []
+        while admitted_count() + len(batch) < policy.max_active:
+            entry = queue.first_unclaimed()
+            if entry is None or entry.arrival_ns > clock:
+                break
+            request = entry.request
+            if lifetime_blocks(kv, request) > kv.capacity_blocks:
+                raise ConfigurationError(
+                    f"request {request.request_id} needs "
+                    f"{lifetime_blocks(kv, request)} KV blocks but the pool "
+                    f"holds {kv.capacity_blocks}; the pool cannot fit a "
+                    f"single sequence of this length")
+            need = kv.blocks_for(request.prompt_len + 1)
+            if not kv.try_allocate(request.request_id, need, clock):
+                break
+            claimed = queue.claim(clock, 1)
+            if not claimed or claimed[0] is not request:
+                raise SimulationError(
+                    f"claim raced ahead of admission gating for request "
+                    f"{request.request_id}")
+            batch.append(request)
+        if batch:
+            prefill(batch)
+
+    def admit() -> None:
+        swap_in_ready()
+        readmit_preempted()
+        claim_new()
+
+    def evict_until_growth_fits() -> None:
+        """Make room for every active sequence to grow by one token."""
+        nonlocal clock
+        while True:
+            needed = sum(kv.growth_delta(seq.request.request_id,
+                                         seq.context + 1) for seq in active)
+            if kv.pool.can_allocate(needed):
+                return
+            if len(active) <= 1:
+                raise SimulationError(
+                    "kv pool cannot cover a single sequence's decode growth "
+                    "(admission capacity guard should have prevented this)")
+            victim = active.pop()  # newest admission loses its residency
+            if kv.policy is KvPolicy.RECOMPUTE:
+                kv.preempt(victim.request.request_id, clock)
+                preempted.append(victim.request)
+            else:
+                transfer_ns = kv.swap_out(victim.request.request_id, clock)
+                session.execute(StepKind.SWAP_OUT, clock, transfer_ns, 1,
+                                queue_depth=depth())
+                clock += transfer_ns
+                swapped.append(victim)
+
+    while True:
+        clock = yield ("at", clock)
+        if not active:
+            if swapped or preempted:
+                admit()
+                if not active:
+                    raise SimulationError(
+                        "kv serving stalled: parked sequences but an empty "
+                        "pool refused readmission")
+                continue
+            nxt = queue.next_unclaimed_arrival()
+            if nxt is None:
+                break
+            if nxt > clock:
+                clock = nxt
+                continue
+            admit()
+            continue
+        # One decode step for the whole active set, growth paid up front.
+        evict_until_growth_fits()
+        for seq in active:
+            if not kv.grow(seq.request.request_id, seq.context + 1, clock):
+                raise SimulationError(
+                    f"kv growth failed for seq {seq.request.request_id} "
+                    f"after eviction made room")
+        kv.note_decode([seq.request.request_id for seq in active], clock)
+        context = max(seq.context for seq in active)
+        bucketed = -(-context // policy.context_bucket) * policy.context_bucket
+        step_ns = latency.decode_step_ns(model, len(active), bucketed)
+        session.execute(
+            StepKind.DECODE, clock, step_ns, len(active),
+            queue_depth=depth(),
+            shape=EngineShape(model.name, len(active), 1,
+                              phase="decode", context_len=bucketed))
+        clock += step_ns
+        step_batch = len(active)
+        finished: list[_KvSequence] = []
+        for seq in active:
+            seq.context += 1
+            seq.remaining -= 1
+            seq.last_token_ns = clock - seq.request.arrival_ns
+            if recorder is not None:
+                recorder.on_token(seq.request.request_id, clock)
+            if seq.remaining <= 0:
+                finished.append(seq)
+        for seq in finished:
+            active.remove(seq)
+            kv.free(seq.request.request_id, clock)
+            if recorder is not None:
+                recorder.on_completed(seq.request.request_id, clock)
+            runtime.complete(seq.request,
+                             ttft_ns=seq.first_token_ns,
+                             completion_ns=seq.last_token_ns,
+                             batch_size=step_batch,
+                             service_start_ns=seq.admitted_ns,
+                             session=session)
+        admit()

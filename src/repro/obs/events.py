@@ -30,6 +30,8 @@ class StepKind(enum.Enum):
     VERIFY = "verify"           # speculative: target-model verification pass
     RETRIEVAL = "retrieval"     # RAG: vector-index lookup before generation
     ENGINE = "engine"           # one raw engine iteration (executor hook)
+    SWAP_OUT = "swap_out"       # kv offload: blocks to host over the link
+    SWAP_IN = "swap_in"         # kv offload: blocks back to the device
 
 
 @dataclass(frozen=True)

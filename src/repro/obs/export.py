@@ -22,7 +22,7 @@ import itertools
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import AnalysisError
-from repro.obs.events import StepEvent
+from repro.obs.events import StepEvent, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.trace.events import (
     KernelEvent,
@@ -77,6 +77,14 @@ def recording_to_trace(
         "models": sorted(models),
         **(metadata or {}),
     })
+    if recorder.kv_pools or recorder.kv_events:
+        # The KV audit trail rides in the trace so `repro check trace` can
+        # re-verify pool accounting (rules K001-K004) from the file alone.
+        out.metadata["kv"] = {
+            "pools": {str(replica): dict(info)
+                      for replica, info in sorted(recorder.kv_pools.items())},
+            "events": [event.to_dict() for event in recorder.kv_events],
+        }
     splicer = _Splicer(out, devices_per_replica=devices_per_replica)
     marks: list[tuple[float, float]] = []
     for step in sorted(recorder.steps, key=lambda s: (s.ts_ns, s.index)):
@@ -191,6 +199,11 @@ class _Splicer:
                 device=kernel.device + device_offset, flops=kernel.flops,
                 bytes_moved=kernel.bytes_moved))
 
+    #: Stream id synthesized KV swap transfers land on — a copy-engine lane
+    #: distinct from the compute streams (7+), so interconnect traffic shows
+    #: up as its own row in trace viewers.
+    COPY_STREAM = 15
+
     def synthesize(self, step: StepEvent, latency: LatencyModel) -> None:
         """Emit a minimal analyzable iteration for a closed-form step."""
         device_offset, tid_offset = self._offsets(step)
@@ -199,6 +212,8 @@ class _Splicer:
         kernel_ts = min(step.ts_ns + platform.launch_latency_ns,
                         step.ts_end_ns)
         correlation = next(self._correlation)
+        swap = step.kind in (StepKind.SWAP_OUT, StepKind.SWAP_IN)
+        stream = self.COPY_STREAM if swap else KernelEvent.stream
         self._out.add(OperatorEvent(
             name=f"serving::{step.kind.value}", ts=step.ts_ns,
             dur=step.dur_ns, tid=1 + tid_offset, seq=next(self._seq)))
@@ -208,4 +223,5 @@ class _Splicer:
         self._out.add(KernelEvent(
             name=f"serving_{step.kind.value}_kernel", ts=kernel_ts,
             dur=step.ts_end_ns - kernel_ts, tid=0,
-            correlation_id=correlation, device=device_offset))
+            correlation_id=correlation, stream=stream,
+            device=device_offset))

@@ -17,11 +17,15 @@ The recorded run can then be:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import AnalysisError
 from repro.obs.events import EngineShape, RequestSpan, StepEvent, StepKind
 from repro.obs.stats import CounterSet, Histogram, HistogramSummary
 from repro.units import format_ns
+
+if TYPE_CHECKING:  # repro.kvcache imports the recorder type for its hooks.
+    from repro.kvcache.events import KvCacheEvent
 
 #: Histogram names maintained by the recorder.
 H_TTFT = "ttft_ns"
@@ -74,6 +78,8 @@ class RunRecorder:
     steps: list[StepEvent] = field(default_factory=list)
     spans: dict[int, RequestSpan] = field(default_factory=dict)
     counters: CounterSet = field(default_factory=CounterSet)
+    kv_events: list[KvCacheEvent] = field(default_factory=list)
+    kv_pools: dict[int, dict] = field(default_factory=dict)
     _histograms: dict[str, Histogram] = field(default_factory=dict, repr=False)
     _last_token_ns: dict[int, float] = field(default_factory=dict, repr=False)
 
@@ -138,6 +144,24 @@ class RunRecorder:
         self.histogram(f"step_{kind.value}_ns").observe(dur_ns)
         self.counters.add(f"steps_{kind.value}")
         return step
+
+    # ------------------------------------------------------------------
+    # KV-cache pressure (repro.kvcache hooks)
+    # ------------------------------------------------------------------
+    def on_kv_pool(self, replica: int, capacity_blocks: int, policy: str,
+                   block_tokens: int) -> None:
+        """Register one replica's KV pool geometry (exported as metadata)."""
+        self.kv_pools[replica] = {
+            "capacity_blocks": capacity_blocks,
+            "policy": policy,
+            "block_tokens": block_tokens,
+        }
+
+    def on_kv_event(self, event: KvCacheEvent) -> None:
+        """Mirror one KV-pool event; counts pressure actions."""
+        self.kv_events.append(event)
+        if event.kind in ("preempt", "swap_out", "swap_in"):
+            self.counters.add(f"kv_{event.kind}")
 
     def observe_launch_queue(self, depth: int) -> None:
         """Sample the CUDA launch-queue occupancy (executor hook)."""

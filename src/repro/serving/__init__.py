@@ -33,6 +33,7 @@ from repro.serving.rag import (
 from repro.serving.runtime import (
     AdmissionQueue,
     EngineSession,
+    KvReplicaStats,
     ReplicaStats,
     ServingRunResult,
     ServingRuntime,
@@ -74,6 +75,7 @@ __all__ = [
     "RagLatency",
     "RagPipeline",
     "RagServingPolicy",
+    "KvReplicaStats",
     "ReplicaStats",
     "RequestClass",
     "simulate_priority_scheduling",

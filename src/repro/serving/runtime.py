@@ -47,6 +47,7 @@ from repro.sim.resources import CpuThread, GpuDevice
 from repro.workloads.config import ModelConfig
 
 if TYPE_CHECKING:
+    from repro.kvcache.manager import KvCacheConfig, KvManager
     from repro.serving.batcher import ServingReport
 
 
@@ -193,6 +194,7 @@ class EngineSession:
     thread: CpuThread
     devices: list[GpuDevice]
     recorder: RunRecorder | None = None
+    kv: KvManager | None = None
     schedule_items: dict[int, list[tuple]] = field(default_factory=dict)
     steps: int = 0
     requests: int = 0
@@ -274,6 +276,25 @@ class ReplicaStats:
         return self.busy_ns / self.span_ns
 
 
+@dataclass(frozen=True)
+class KvReplicaStats:
+    """Per-replica KV-pool pressure summary for one serving run."""
+
+    replica: int
+    capacity_blocks: int
+    block_tokens: int
+    preemptions: int
+    swap_out_events: int
+    swap_in_events: int
+    swapped_blocks: int
+    swap_ns: float
+
+    @property
+    def pressured(self) -> bool:
+        """Whether the pool ever forced an eviction on this replica."""
+        return self.preemptions > 0 or self.swap_out_events > 0
+
+
 PolicyFactory = Callable[["ServingRuntime", EngineSession], Process]
 
 
@@ -288,6 +309,7 @@ class ServingRuntime:
         recorder: RunRecorder | None = None,
         replicas: int = 1,
         tags: dict[int, Hashable] | None = None,
+        kv: KvCacheConfig | None = None,
     ) -> None:
         if replicas <= 0:
             raise ConfigurationError("replicas must be positive")
@@ -297,14 +319,29 @@ class ServingRuntime:
         self.core = SimCore()
         self.queue = AdmissionQueue(requests, tags)
         self.devices_per_replica = latency.tp.degree if latency.tp else 1
+        # kv=None (or policy NONE) builds no manager at all: the default
+        # path stays bit-identical to pre-kvcache serving.
+        self.kv_config = kv if kv is not None and kv.enabled else None
         self.sessions: list[EngineSession] = []
         for replica in range(replicas):
             thread = self.core.add_cpu_thread(name=f"serve{replica}")
             devices = [self.core.add_device(replica=replica)
                        for _ in range(self.devices_per_replica)]
+            manager = None
+            if self.kv_config is not None:
+                from repro.kvcache.manager import KvManager
+
+                manager = KvManager.for_gpu(
+                    model, latency.platform, self.kv_config,
+                    recorder=recorder, replica=replica)
+                self.core.add_kv_resource(manager.resource)
+                if recorder is not None:
+                    recorder.on_kv_pool(replica, manager.capacity_blocks,
+                                        self.kv_config.policy.value,
+                                        self.kv_config.block_tokens)
             self.sessions.append(EngineSession(
                 replica=replica, thread=thread, devices=devices,
-                recorder=recorder))
+                recorder=recorder, kv=manager))
         self.outcomes: list[RequestOutcome] = []
 
     @property
@@ -347,6 +384,17 @@ class ServingRuntime:
         served = [o.request.request_id for o in self.outcomes]
         if len(set(served)) != len(served):
             raise SimulationError("a request completed more than once")
+        for session in self.sessions:
+            if session.kv is None:
+                continue
+            if session.kv.pool.allocated != 0:
+                raise SimulationError(
+                    f"replica {session.replica} leaked "
+                    f"{session.kv.pool.allocated} KV blocks at run end")
+            if session.kv.host_blocks != 0:
+                raise SimulationError(
+                    f"replica {session.replica} left {session.kv.host_blocks}"
+                    f" KV blocks stranded in host memory at run end")
         return self.outcomes
 
     def replica_stats(self) -> list[ReplicaStats]:
@@ -359,6 +407,25 @@ class ServingRuntime:
             span_ns=s.span_ns,
         ) for s in self.sessions]
 
+    def kv_stats(self) -> list[KvReplicaStats]:
+        """Per-replica KV pressure summaries (empty when kv is disabled)."""
+        stats = []
+        for session in self.sessions:
+            manager = session.kv
+            if manager is None:
+                continue
+            stats.append(KvReplicaStats(
+                replica=session.replica,
+                capacity_blocks=manager.capacity_blocks,
+                block_tokens=manager.block_tokens,
+                preemptions=manager.preemptions,
+                swap_out_events=manager.swap_out_events,
+                swap_in_events=manager.swap_in_events,
+                swapped_blocks=manager.swapped_blocks,
+                swap_ns=manager.swap_ns_total,
+            ))
+        return stats
+
 
 @dataclass
 class ServingRunResult:
@@ -369,6 +436,7 @@ class ServingRunResult:
     replicas: list[ReplicaStats]
     sessions: list[EngineSession]
     devices_per_replica: int
+    kv: list[KvReplicaStats] = field(default_factory=list)
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -436,6 +504,7 @@ def simulate_serving(
     policy: object | None = None,
     replicas: int = 1,
     recorder: RunRecorder | None = None,
+    kv: KvCacheConfig | None = None,
 ) -> ServingRunResult:
     """Serve an arrival stream with any policy on the sim-backed runtime.
 
@@ -446,16 +515,29 @@ def simulate_serving(
         replicas: Engine replicas sharing the one admission queue. Each gets
             its own CPU thread and TP-shard devices; requests go to whichever
             replica claims them first.
+        kv: KV-cache settings. ``None`` or policy ``NONE`` builds no pool
+            and reproduces pre-kvcache outcomes bit-identically; a pressure
+            policy (``RECOMPUTE``/``OFFLOAD``) requires continuous batching
+            and gates admission and decode growth on per-replica pools.
     """
     from repro.serving.batcher import ServingReport
     from repro.serving.continuous import ContinuousBatchPolicy
 
     if policy is None:
         policy = ContinuousBatchPolicy()
-    process = _policy_factory(policy)
+    if kv is not None and kv.enabled:
+        if not isinstance(policy, ContinuousBatchPolicy):
+            raise ConfigurationError(
+                f"KV pressure policies require continuous batching; "
+                f"got {type(policy).__name__}")
+        from repro.kvcache.serving import kv_continuous_batching_process
+
+        process: Callable[..., Process] = kv_continuous_batching_process
+    else:
+        process = _policy_factory(policy)
     plain, tags = _normalize(requests)
     runtime = ServingRuntime(plain, model, latency, recorder=recorder,
-                             replicas=replicas, tags=tags or None)
+                             replicas=replicas, tags=tags or None, kv=kv)
     runtime.run(lambda rt, session: process(rt, session, policy))
     return ServingRunResult(
         report=ServingReport(outcomes=list(runtime.outcomes)),
@@ -463,4 +545,5 @@ def simulate_serving(
         replicas=runtime.replica_stats(),
         sessions=runtime.sessions,
         devices_per_replica=runtime.devices_per_replica,
+        kv=runtime.kv_stats(),
     )

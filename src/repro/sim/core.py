@@ -6,7 +6,12 @@ is resumed with the simulation time at which the request was granted:
 * ``("at", t)`` — suspend until absolute time ``t``;
 * ``("join", rendezvous, ready_ns)`` — rendezvous with the other parties of
   a collective; the process resumes once every party has joined, at the
-  maximum of all ``ready_ns`` values (the time the collective can start).
+  maximum of all ``ready_ns`` values (the time the collective can start);
+* ``("acquire", resource, owner, blocks, ready_ns)`` — block until a
+  registered :class:`repro.kvcache.KvCacheResource` can grant ``blocks``
+  KV blocks to ``owner`` (FIFO among waiters);
+* ``("release", resource, owner, ready_ns)`` — free every block ``owner``
+  holds on ``resource``, waking eligible waiters.
 
 A process that never yields simply runs to completion on its first
 scheduling slot — the single-dispatch-thread execution modes are exactly
@@ -18,7 +23,10 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Generator, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Generator, Hashable, Iterable
+
+if TYPE_CHECKING:  # avoids a cycle: repro.kvcache builds on this module.
+    from repro.kvcache.resource import KvCacheResource
 
 from repro.errors import SimulationError
 from repro.sim.queue import EventQueue
@@ -68,6 +76,7 @@ class SimCore:
         self.cpu_threads: list[CpuThread] = []
         self.devices: list[GpuDevice] = []
         self.link: LinkResource | None = None
+        self.kv_resources: list[KvCacheResource] = []
         self.now = 0.0
 
     # ------------------------------------------------------------------
@@ -90,6 +99,16 @@ class SimCore:
     def set_link(self, link: LinkResource) -> LinkResource:
         self.link = link
         return link
+
+    def add_kv_resource(self, resource: KvCacheResource) -> KvCacheResource:
+        """Register a KV block pool so processes can acquire/release it.
+
+        Binding gives the resource access to the event queue, which is how
+        a release performed by one process wakes the waiters of another.
+        """
+        resource.bind(self._queue)
+        self.kv_resources.append(resource)
+        return resource
 
     def streams(self) -> list[StreamResource]:
         """Every device's compute stream, in device order."""
@@ -138,6 +157,11 @@ class SimCore:
         if incomplete:
             raise SimulationError(
                 f"deadlock: rendezvous never completed: {incomplete[:3]}")
+        starved = [resource.name for resource in self.kv_resources
+                   if resource.waiters]
+        if starved:
+            raise SimulationError(
+                f"deadlock: kv acquisitions never granted on: {starved[:3]}")
 
     def _step(self, process: Process, resume_ns: float) -> None:
         try:
@@ -165,5 +189,11 @@ class SimCore:
                 release = rdv.release_ns
                 for waiter, _ in rdv.waiters:
                     self._queue.push(release, waiter)
+        elif kind == "acquire":
+            _, resource, owner, blocks, ready_ns = request
+            resource.acquire_request(process, owner, blocks, ready_ns)
+        elif kind == "release":
+            _, resource, owner, ready_ns = request
+            resource.release_request(process, owner, ready_ns)
         else:
             raise SimulationError(f"unknown process request kind: {kind!r}")

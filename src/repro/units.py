@@ -50,6 +50,15 @@ def s_to_ns(value_s: float) -> float:
     return value_s * SEC
 
 
+def gib_to_bytes(value_gib: float) -> int:
+    """Convert GiB to whole bytes (floored).
+
+    Capacity arithmetic (HBM pools, runtime reserves) works on integer byte
+    counts so downstream block math never compares floats for equality.
+    """
+    return int(value_gib * GB)
+
+
 def format_ns(value_ns: float) -> str:
     """Render a nanosecond duration with a human-friendly unit.
 

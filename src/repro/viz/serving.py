@@ -25,6 +25,8 @@ _KIND_CHARS = {
     StepKind.VERIFY: "v",
     StepKind.RETRIEVAL: "R",
     StepKind.ENGINE: "e",
+    StepKind.SWAP_OUT: "o",
+    StepKind.SWAP_IN: "i",
 }
 
 

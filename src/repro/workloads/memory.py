@@ -12,12 +12,13 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hardware.gpu import GpuSpec
-from repro.units import GB
+from repro.units import gib_to_bytes
 from repro.workloads.config import Arch, ModelConfig
 from repro.workloads.ops import FP16_BYTES
 
-#: CUDA context, allocator reserves, workspace (rough, in bytes).
-RUNTIME_RESERVE_BYTES = 1.5 * GB
+#: CUDA context, allocator reserves, workspace (rough). An ``int`` so the
+#: KV pool's block arithmetic stays in whole bytes end to end.
+RUNTIME_RESERVE_BYTES = gib_to_bytes(1.5)
 
 
 def weights_bytes(config: ModelConfig) -> float:
@@ -95,7 +96,7 @@ def memory_report(config: ModelConfig, gpu: GpuSpec, batch_size: int,
                                           eager_attention),
         kv_cache_bytes=kv_cache_bytes(config, batch_size, context),
         reserve_bytes=RUNTIME_RESERVE_BYTES,
-        capacity_bytes=gpu.memory_gib * GB,
+        capacity_bytes=gib_to_bytes(gpu.memory_gib),
     )
 
 

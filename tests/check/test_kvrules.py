@@ -1,0 +1,153 @@
+"""K-rules: each corruption of a KV event log pins exactly its rule."""
+
+import pytest
+
+from repro.check import check_kv_events, check_kv_metadata
+from repro.errors import AnalysisError
+from repro.kvcache import KvCacheEvent
+
+CAPACITY = 10
+
+
+def ev(kind, seq, blocks, allocated, ts=0.0, replica=0):
+    return KvCacheEvent(ts_ns=ts, kind=kind, seq=seq, blocks=blocks,
+                        allocated=allocated, replica=replica)
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+CLEAN = [
+    ev("alloc", 1, 4, 4),
+    ev("grow", 1, 1, 5),
+    ev("alloc", 2, 4, 9),
+    ev("decode", 1, 0, 9),
+    ev("swap_out", 2, 4, 5),
+    ev("decode", 1, 0, 5),
+    ev("swap_in", 2, 4, 9),
+    ev("preempt", 2, 4, 5),
+    ev("free", 1, 5, 0),
+]
+
+
+def test_clean_log_has_no_findings():
+    assert check_kv_events(CLEAN, CAPACITY) == []
+    assert check_kv_events([], CAPACITY) == []
+
+
+def test_k001_leaked_device_blocks():
+    findings = check_kv_events([ev("alloc", 1, 4, 4)], CAPACITY)
+    assert _rule_ids(findings) == {"K001"}
+    assert "leaked" in findings[0].message
+
+
+def test_k001_blocks_stranded_in_host_memory():
+    log = [ev("alloc", 1, 4, 4), ev("swap_out", 1, 4, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K001"}
+    assert "host memory" in findings[0].message
+
+
+def test_k002_allocated_exceeds_capacity():
+    log = [ev("alloc", 1, 12, 12), ev("free", 1, 12, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert "K002" in _rule_ids(findings)
+    # Without a registered capacity the same log is fine.
+    assert check_kv_events(log, None) == []
+
+
+def test_k002_recorded_counter_disagrees_with_replay():
+    log = [ev("alloc", 1, 4, 5), ev("free", 1, 4, 1)]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K002"}
+
+
+def test_k002_free_does_not_match_held_blocks():
+    log = [ev("alloc", 1, 4, 4), ev("free", 1, 3, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert "K002" in _rule_ids(findings)
+
+
+def test_k002_swap_in_without_swap_out():
+    log = [ev("swap_in", 1, 4, 4), ev("free", 1, 4, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K002"}
+
+
+def test_k002_swap_out_of_empty_sequence():
+    findings = check_kv_events([ev("swap_out", 1, 4, 0)], CAPACITY)
+    assert "K002" in _rule_ids(findings)
+
+
+def test_k003_decode_while_swapped_out():
+    log = [
+        ev("alloc", 1, 4, 4),
+        ev("swap_out", 1, 4, 0),
+        ev("decode", 1, 0, 0),
+        ev("swap_in", 1, 4, 4),
+        ev("free", 1, 4, 0),
+    ]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K003"}
+    assert "swap-in must precede" in findings[0].message
+
+
+def test_k003_decode_with_no_blocks_at_all():
+    findings = check_kv_events([ev("decode", 1, 0, 0)], CAPACITY)
+    assert _rule_ids(findings) == {"K003"}
+
+
+def test_k004_realloc_without_free():
+    log = [ev("alloc", 1, 4, 4), ev("alloc", 1, 2, 6), ev("free", 1, 6, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K004"}
+
+
+def test_k004_alloc_while_blocks_sit_in_host_memory():
+    log = [
+        ev("alloc", 1, 4, 4),
+        ev("swap_out", 1, 4, 0),
+        ev("alloc", 1, 4, 4),
+        ev("free", 1, 4, 0),
+    ]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K001", "K004"}  # host copy also strands
+
+
+def test_k004_grow_without_alloc():
+    log = [ev("grow", 1, 2, 2), ev("free", 1, 2, 0)]
+    findings = check_kv_events(log, CAPACITY)
+    assert _rule_ids(findings) == {"K004"}
+
+
+def test_metadata_replay_is_per_replica():
+    meta = {
+        "pools": {"0": {"capacity_blocks": CAPACITY},
+                  "1": {"capacity_blocks": 2}},
+        "events": [ev("alloc", 1, 4, 4, replica=0).to_dict(),
+                   ev("free", 1, 4, 0, replica=0).to_dict(),
+                   ev("alloc", 2, 4, 4, replica=1).to_dict(),
+                   ev("free", 2, 4, 0, replica=1).to_dict()],
+    }
+    findings = check_kv_metadata(meta)
+    # Replica 1's pool holds 2 blocks, so its alloc of 4 over-commits;
+    # replica 0 is clean.
+    assert _rule_ids(findings) == {"K002"}
+    assert all("replica 1" in f.location for f in findings)
+
+
+def test_metadata_events_without_a_pool_are_flagged():
+    meta = {"pools": {},
+            "events": [ev("alloc", 1, 4, 4).to_dict(),
+                       ev("free", 1, 4, 0).to_dict()]}
+    findings = check_kv_metadata(meta)
+    assert "K002" in _rule_ids(findings)
+    assert any("no pool was registered" in f.message for f in findings)
+
+
+def test_malformed_event_payload_raises():
+    with pytest.raises(AnalysisError, match="malformed kv event"):
+        check_kv_metadata({"pools": {}, "events": [{"kind": "alloc"}]})
+    with pytest.raises(AnalysisError, match="unknown kv event kind"):
+        ev("teleport", 1, 1, 1)

@@ -1,0 +1,100 @@
+"""Block geometry and the counting allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware import GH200
+from repro.kvcache import (
+    KV_BLOCK_TOKENS,
+    BlockPool,
+    block_bytes,
+    blocks_for_tokens,
+    pool_bytes,
+    pool_capacity_blocks,
+)
+from repro.units import gib_to_bytes
+from repro.workloads import BERT_BASE, GPT2, LLAMA_3_2_1B
+from repro.workloads.memory import RUNTIME_RESERVE_BYTES, weights_bytes
+from repro.workloads.ops import FP16_BYTES
+
+
+def test_block_bytes_formula():
+    expected = 2 * GPT2.layers * GPT2.kv_dim * FP16_BYTES * KV_BLOCK_TOKENS
+    assert block_bytes(GPT2) == expected
+    assert isinstance(block_bytes(GPT2), int)
+
+
+def test_block_bytes_respects_gqa():
+    # Llama-3.2-1B's grouped KV heads shrink the block by hidden/kv_dim.
+    assert LLAMA_3_2_1B.kv_dim < LLAMA_3_2_1B.hidden
+    mha_equivalent = (2 * LLAMA_3_2_1B.layers * LLAMA_3_2_1B.hidden
+                      * FP16_BYTES * KV_BLOCK_TOKENS)
+    assert block_bytes(LLAMA_3_2_1B) < mha_equivalent
+
+
+def test_encoder_only_has_no_kv_pool():
+    with pytest.raises(ConfigurationError):
+        block_bytes(BERT_BASE)
+
+
+def test_blocks_for_tokens_is_ceiling_division():
+    assert blocks_for_tokens(0) == 0
+    assert blocks_for_tokens(1) == 1
+    assert blocks_for_tokens(KV_BLOCK_TOKENS) == 1
+    assert blocks_for_tokens(KV_BLOCK_TOKENS + 1) == 2
+    with pytest.raises(ConfigurationError):
+        blocks_for_tokens(-1)
+    with pytest.raises(ConfigurationError):
+        blocks_for_tokens(10, block_tokens=0)
+
+
+def test_pool_bytes_explicit_knob_is_exact_int():
+    assert pool_bytes(GPT2, GH200.gpu, pool_gib=0.5) == gib_to_bytes(0.5)
+    assert isinstance(pool_bytes(GPT2, GH200.gpu, pool_gib=0.5), int)
+
+
+def test_pool_bytes_default_charges_weights_and_reserve():
+    free = pool_bytes(GPT2, GH200.gpu)
+    expected = (gib_to_bytes(GH200.gpu.memory_gib)
+                - int(weights_bytes(GPT2)) - RUNTIME_RESERVE_BYTES)
+    assert free == expected
+    assert isinstance(free, int)
+
+
+def test_pool_capacity_is_floor_of_blocks():
+    capacity = pool_capacity_blocks(GPT2, GH200.gpu, pool_gib=0.02)
+    assert capacity == gib_to_bytes(0.02) // block_bytes(GPT2)
+    assert capacity > 0
+
+
+def test_pool_smaller_than_one_block_is_rejected():
+    with pytest.raises(ConfigurationError):
+        pool_capacity_blocks(GPT2, GH200.gpu, pool_gib=1e-6)
+    with pytest.raises(ConfigurationError):
+        pool_bytes(GPT2, GH200.gpu, pool_gib=0.0)
+
+
+def test_block_pool_accounting():
+    pool = BlockPool(10)
+    pool.allocate("a", 4)
+    pool.allocate("b", 3)
+    pool.allocate("a", 2)
+    assert pool.allocated == 9
+    assert pool.free_blocks == 1
+    assert pool.held("a") == 6
+    assert pool.owners() == ["a", "b"]
+    assert pool.can_allocate(1) and not pool.can_allocate(2)
+    assert pool.release("a") == 6
+    assert pool.allocated == 3
+    assert pool.release("missing") == 0
+
+
+def test_block_pool_refuses_over_commit():
+    pool = BlockPool(4)
+    pool.allocate("a", 3)
+    with pytest.raises(SimulationError):
+        pool.allocate("b", 2)
+    with pytest.raises(SimulationError):
+        pool.allocate("a", 0)
+    with pytest.raises(ConfigurationError):
+        BlockPool(0)

@@ -1,0 +1,55 @@
+"""Property-based tests for the HBM footprint model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import GH200, get_platform
+from repro.units import gib_to_bytes
+from repro.workloads import GPT2, LLAMA_3_2_1B, get_model
+from repro.workloads.memory import (
+    RUNTIME_RESERVE_BYTES,
+    max_batch_size,
+    memory_report,
+)
+
+A100_GPU = get_platform("AMD+A100").gpu
+
+
+def test_runtime_reserve_is_exact_pool_arithmetic():
+    assert isinstance(RUNTIME_RESERVE_BYTES, int)
+    assert RUNTIME_RESERVE_BYTES == gib_to_bytes(1.5)
+
+
+def test_memory_report_capacity_uses_whole_bytes():
+    report = memory_report(GPT2, GH200.gpu, batch_size=1, seq_len=128)
+    assert isinstance(report.capacity_bytes, int)
+    assert report.capacity_bytes == gib_to_bytes(GH200.gpu.memory_gib)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model=st.sampled_from(["gpt2", "llama-3.2-1b", "llama-2-7b"]),
+    seq_len=st.integers(min_value=1, max_value=8192),
+    step=st.integers(min_value=1, max_value=4096),
+)
+def test_max_batch_size_is_monotone_in_seq_len(model, seq_len, step):
+    """A longer sequence can never admit a larger batch.
+
+    Every footprint term is non-decreasing in seq_len, so the largest
+    fitting batch must be non-increasing — the invariant the `repro run`
+    admission gate and the KV pool sizing both rely on.
+    """
+    config = get_model(model)
+    shorter = max_batch_size(config, A100_GPU, seq_len, limit=256)
+    longer = max_batch_size(config, A100_GPU, seq_len + step, limit=256)
+    assert longer <= shorter
+
+
+@settings(max_examples=20, deadline=None)
+@given(seq_len=st.integers(min_value=1, max_value=4096))
+def test_max_batch_size_result_actually_fits(seq_len):
+    batch = max_batch_size(LLAMA_3_2_1B, A100_GPU, seq_len, limit=256)
+    if batch > 0:
+        assert memory_report(LLAMA_3_2_1B, A100_GPU, batch, seq_len).fits
+        assert not memory_report(
+            LLAMA_3_2_1B, A100_GPU, batch * 2, seq_len).fits or batch == 256

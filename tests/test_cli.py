@@ -152,6 +152,62 @@ def test_serve_emit_trace_and_skip_analyze(capsys, tmp_path):
     assert "TKLQT" in out and "classification" in out
 
 
+def test_run_refuses_shapes_that_cannot_fit(capsys):
+    code = main(["run", "--model", "llama-2-7b", "--platform", "AMD+A100",
+                 "--batch-size", "128", "--seq-len", "2048"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+    assert "repro memory" in err and "--ignore-memory" in err
+
+
+def test_run_ignore_memory_escape_hatch(capsys):
+    code, out = run_cli(capsys, "run", "--model", "llama-2-7b",
+                        "--platform", "AMD+A100", "--batch-size", "128",
+                        "--seq-len", "2048", "--ignore-memory")
+    assert code == 0
+    assert "TKLQT" in out
+
+
+def test_sweep_refuses_batches_that_cannot_fit(capsys):
+    code = main(["sweep", "--model", "llama-2-7b", "--platform", "AMD+A100",
+                 "--seq-len", "2048", "--batches", "1,128"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--ignore-memory" in err
+
+
+def test_serve_with_kv_offload_reports_the_pool(capsys):
+    code, out = run_cli(capsys, "serve", "--model", "gpt2",
+                        "--platform", "GH200", "--rate", "40",
+                        "--duration", "0.3", "--prompt-len", "512",
+                        "--output-tokens", "128", "--max-active", "8",
+                        "--kv-policy", "offload", "--kv-pool-gib", "0.04")
+    assert code == 0
+    assert "kv pool r0" in out
+    assert "swaps=0+0" not in out  # the pool is tight enough to swap
+
+
+def test_serve_kv_pool_without_policy_exits_cleanly(capsys):
+    code = main(["serve", "--rate", "20", "--duration", "0.2",
+                 "--kv-pool-gib", "0.1"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--kv-policy recompute" in err
+
+
+def test_kvpressure_command(capsys):
+    code, out = run_cli(capsys, "kvpressure", "--model", "gpt2",
+                        "--platforms", "GH200", "--pools", "0.04",
+                        "--policies", "offload", "--prompt-len", "512",
+                        "--output-tokens", "128", "--rate", "40",
+                        "--duration", "0.2", "--max-active", "8",
+                        "--mode", "eager")
+    assert code == 0
+    assert "tokens/s vs KV pool size" in out
+    assert "swaps=" in out
+
+
 def test_skip_analyze_with_fusion(capsys, tmp_path):
     out_path = tmp_path / "trace.json"
     run_cli(capsys, "serve", "--rate", "15", "--duration", "0.15",

@@ -72,11 +72,15 @@ def test_readme_mentions_emit_trace_quickstart():
 
 
 def test_static_analysis_doc_covers_every_rule():
-    """Every registered check rule is documented, and vice versa."""
+    """Every registered check rule is documented, and vice versa.
+
+    K-rules are tabled in docs/kvcache.md next to the subsystem they
+    verify; everything else lives in docs/static-analysis.md.
+    """
     from repro.check import RULES
 
-    text = _read("docs/static-analysis.md")
-    documented = set(re.findall(r"^\| ([GSTC]\d{3}) \|", text, re.MULTILINE))
+    text = _read("docs/static-analysis.md") + _read("docs/kvcache.md")
+    documented = set(re.findall(r"^\| ([GSTCK]\d{3}) \|", text, re.MULTILINE))
     assert documented == set(RULES)
 
 
@@ -113,6 +117,43 @@ def test_serving_doc_test_references_exist():
     text = _read("docs/serving.md")
     for match in re.findall(r"`(tests/[\w/]+\.py)`", text):
         assert (ROOT / match).exists(), match
+
+
+def test_kvcache_doc_matches_api():
+    text = _read("docs/kvcache.md")
+    import repro.kvcache as kvcache
+    for name in ("KvCacheConfig", "KvPolicy", "BlockPool", "KvCacheResource",
+                 "KvCacheEvent", "RUNTIME_RESERVE_BYTES"):
+        assert name in text
+    for name in ("KvCacheConfig", "KvPolicy", "BlockPool", "KvCacheResource",
+                 "KvCacheEvent"):
+        assert hasattr(kvcache, name), name
+    for token in ("--kv-policy", "--kv-pool-gib", "repro kvpressure",
+                  "block_tokens", "capacity_blocks"):
+        assert token in text, token
+
+
+def test_kvcache_doc_rule_table_matches_registry():
+    """The K-rule table in docs/kvcache.md covers exactly the K rules."""
+    from repro.check import RULES
+
+    text = _read("docs/kvcache.md")
+    documented = set(re.findall(r"^\| (K\d{3}) \|", text, re.MULTILINE))
+    registered = {rule for rule in RULES if rule.startswith("K")}
+    assert documented == registered
+
+
+def test_kvcache_doc_is_linked():
+    assert "kvcache.md" in _read("docs/architecture.md")
+    assert "kvcache.md" in _read("docs/calibration.md")
+    assert "kvcache.md" in _read("README.md")
+    assert (ROOT / "docs/kvcache.md").exists()
+
+
+def test_calibration_doc_covers_kv_capacities():
+    text = _read("docs/calibration.md")
+    for token in ("memory_gib", "bandwidth_gbs", "transfer_ns"):
+        assert token in text, token
 
 
 def test_observability_doc_covers_multi_replica_export():
