@@ -12,16 +12,16 @@ from repro.hardware import get_platform
 from repro.kvcache import KvPolicy
 from repro.viz import render_table
 from repro.workloads import GPT2
+from tests.scenarios import MAX_ACTIVE, POOL_GIB, PRESSURE
 
 PLATFORMS = (get_platform("AMD+A100"), get_platform("GH200"))
-POOLS_GIB = (0.08, 0.06, 0.04)
+POOLS_GIB = (0.08, 0.06, POOL_GIB)
 
 
 def _sweep():
     return run_kv_pressure_sweep(
         GPT2, PLATFORMS, pool_gib=POOLS_GIB, policies=(KvPolicy.OFFLOAD,),
-        prompt_len=512, output_tokens=128, rate_per_s=40.0, duration_s=0.3,
-        seed=7, max_active=8)
+        max_active=MAX_ACTIVE, **PRESSURE)
 
 
 def test_ext_kv_pressure_coupling(benchmark):

@@ -3,8 +3,11 @@
 import os
 import sys
 
-# Make the sibling _harness module importable regardless of invocation dir.
+# Make the sibling _harness module — and the repo root, for the shared
+# seeded scenarios in tests/scenarios.py — importable regardless of
+# invocation dir.
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
 
 
 def pytest_terminal_summary(terminalreporter):

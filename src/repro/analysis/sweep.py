@@ -86,6 +86,17 @@ class SweepResult:
                                self.tklqt_series(platform))
 
 
+def _sweep_point(payload: tuple) -> SweepPoint:
+    """Compute one sweep cell. Top-level so process pools can pickle it."""
+    model, platform, batch_size, seq_len, mode, phase, engine_config, tp = payload
+    profiler = SkipProfiler(platform, engine_config)
+    metrics = profiler.profile_metrics(model, batch_size=batch_size,
+                                       seq_len=seq_len, mode=mode,
+                                       phase=phase, tp=tp)
+    return SweepPoint(platform=platform.name, model=model.name,
+                      batch_size=batch_size, metrics=metrics)
+
+
 def run_batch_sweep(
     model: ModelConfig,
     platforms: Sequence[Platform],
@@ -95,23 +106,34 @@ def run_batch_sweep(
     phase: Phase = Phase.PREFILL,
     engine_config: EngineConfig = DEFAULT_CONFIG,
     tp: TPConfig | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Profile ``model`` across ``batch_sizes`` on every platform."""
+    """Profile ``model`` across ``batch_sizes`` on every platform.
+
+    ``jobs > 1`` fans the (platform, batch) grid out over a process pool.
+    Results merge in platform-major, batch-minor order — the serial order —
+    regardless of worker completion order, and each point's simulation is
+    seed-free and self-contained, so the merged result is identical to a
+    serial run (the parity suite asserts this).
+    """
     if not platforms:
         raise AnalysisError("at least one platform is required")
     if not batch_sizes:
         raise AnalysisError("at least one batch size is required")
+    if jobs < 1:
+        raise AnalysisError("jobs must be at least 1")
+    payloads = [
+        (model, platform, batch_size, seq_len, mode, phase, engine_config, tp)
+        for platform in platforms
+        for batch_size in batch_sizes
+    ]
     result = SweepResult(model=model.name, batch_sizes=tuple(batch_sizes))
-    for platform in platforms:
-        profiler = SkipProfiler(platform, engine_config)
-        for batch_size in batch_sizes:
-            profile = profiler.profile(model, batch_size=batch_size,
-                                       seq_len=seq_len, mode=mode, phase=phase,
-                                       tp=tp)
-            result.points.append(SweepPoint(
-                platform=platform.name,
-                model=model.name,
-                batch_size=batch_size,
-                metrics=profile.metrics,
-            ))
+    if jobs == 1:
+        result.points.extend(_sweep_point(p) for p in payloads)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Executor.map preserves input order, which IS the serial order.
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            result.points.extend(pool.map(_sweep_point, payloads))
     return result

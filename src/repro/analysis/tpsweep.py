@@ -111,11 +111,10 @@ def run_tp_sweep(
                            batch_size=batch_size, degrees=tuple(degrees))
     for degree in degrees:
         tp = TPConfig(degree=degree, dispatch=dispatch)
-        profile = profiler.profile(model, batch_size=batch_size,
-                                   seq_len=seq_len, mode=mode, phase=phase,
-                                   tp=tp)
-        result.points.append(TPSweepPoint(degree=degree,
-                                          metrics=profile.metrics))
+        metrics = profiler.profile_metrics(model, batch_size=batch_size,
+                                           seq_len=seq_len, mode=mode,
+                                           phase=phase, tp=tp)
+        result.points.append(TPSweepPoint(degree=degree, metrics=metrics))
     return result
 
 

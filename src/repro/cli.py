@@ -137,7 +137,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _require_memory_fits(model, platform, max(batches), args.seq_len,
                              args.ignore_memory)
     sweep = run_batch_sweep(model, platforms, batches, seq_len=args.seq_len,
-                            engine_config=_FAST, tp=_tp_config(args))
+                            engine_config=_FAST, tp=_tp_config(args),
+                            jobs=args.jobs)
     for platform in platforms:
         print(transition_report(f"{model.name} on {platform.name}",
                                 sweep.transition(platform.name)))
@@ -265,7 +266,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                              else RequestClass.BULK))
             for index, request in enumerate(requests)
         ]
-    recorder = RunRecorder()
+    recorder = RunRecorder(sample_every=args.record_sample)
     result = simulate_serving(workload, model, latency, policy=policy,
                               replicas=args.replicas, recorder=recorder,
                               kv=kv)
@@ -453,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seq-len", type=int, default=512)
     sweep.add_argument("--batches", default="1,2,4,8,16,32,64,128")
     _add_tp_args(sweep)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep grid (results "
+                            "merge in deterministic serial order)")
     sweep.add_argument("--ignore-memory", action="store_true",
                        help="sweep even when the largest batch exceeds HBM")
     sweep.set_defaults(func=_cmd_sweep)
@@ -504,6 +508,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max active sequences (continuous), batch size "
                             "(static), or bulk batch (priority)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--record-sample", type=int, default=1, metavar="K",
+                       help="record full per-request detail for 1-in-K "
+                            "requests; aggregate counters stay exact for all "
+                            "(K=1 records everything)")
     serve.add_argument("--timeline", action="store_true",
                        help="render the recorded run as an ASCII timeline")
     serve.add_argument("--width", type=int, default=100)

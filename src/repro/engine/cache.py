@@ -1,0 +1,137 @@
+"""Lowered-graph cache — skip re-lowering on repeated sweep points.
+
+``build_graph`` → ``lower_graph`` → ``apply_inductor_fusion`` is a
+deterministic pure pipeline of the workload shape: the same
+``(model, batch, seq, phase, attention, context_len)`` always produces the
+same operator graph, and the same graph plus mode always produces the same
+pre-shard lowering. Sweeps re-run that pipeline for every ``(platform,
+batch)`` point and every serving latency lookup, even though only a handful
+of distinct shapes exist per sweep. The cache keys the two stages on those
+shapes; sharding (:func:`repro.engine.tp.shard_lowered`) stays per-run —
+it is cheap and depends on the TP config.
+
+Correctness stance: cached values are **shared, not copied**. ``LoweredOp``
+and ``KernelTask`` are frozen dataclasses; ``OperatorGraph`` is mutable but
+treated as read-only by the whole engine (the executor never mutates a
+built graph). The fast-path parity suite asserts a cache hit produces
+results bit-identical to a fresh lowering, and the hypothesis suite checks
+hit-vs-fresh structural equality plus ``repro check graph`` cleanliness.
+
+The executor bypasses the cache when the caller passes a prebuilt
+``OperatorGraph`` (no shape key exists for it) or a ``fusion_plan``
+(plan objects are caller-owned and not necessarily hashable).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.compiler import apply_inductor_fusion
+from repro.engine.lowering import LoweredOp, lower_graph
+from repro.engine.modes import ExecutionMode
+from repro.workloads.builder import AttentionImpl, build_graph
+from repro.workloads.config import ModelConfig
+from repro.workloads.graph import OperatorGraph, Phase
+
+#: Shape key of a built graph. ``ModelConfig`` is a frozen dataclass, so the
+#: whole tuple is hashable and two equal keys denote identical workloads.
+GraphKey = tuple[ModelConfig, int, int, Phase, AttentionImpl, "int | None"]
+
+#: A graph key plus the execution mode, keying the fused pre-shard lowering.
+LoweringKey = tuple[ModelConfig, int, int, Phase, AttentionImpl,
+                    "int | None", ExecutionMode]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for the perf harness and tests."""
+
+    graph_hits: int = 0
+    graph_misses: int = 0
+    lowering_hits: int = 0
+    lowering_misses: int = 0
+
+    def reset(self) -> None:
+        self.graph_hits = self.graph_misses = 0
+        self.lowering_hits = self.lowering_misses = 0
+
+
+@dataclass
+class LoweringCache:
+    """FIFO-bounded cache for built graphs and fused pre-shard lowerings."""
+
+    max_entries: int = 512
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _graphs: dict[GraphKey, OperatorGraph] = field(default_factory=dict)
+    _lowerings: dict[LoweringKey, list[LoweredOp]] = field(default_factory=dict)
+
+    def graph(self, model: ModelConfig, batch_size: int, seq_len: int,
+              phase: Phase, attention: AttentionImpl,
+              context_len: int | None) -> OperatorGraph:
+        """The built operator graph for a workload shape (cached)."""
+        if not self.enabled:
+            return build_graph(model, batch_size, seq_len, phase=phase,
+                               attention=attention, context_len=context_len)
+        key = (model, batch_size, seq_len, phase, attention, context_len)
+        graph = self._graphs.get(key)
+        if graph is None:
+            self.stats.graph_misses += 1
+            graph = build_graph(model, batch_size, seq_len, phase=phase,
+                                attention=attention, context_len=context_len)
+            self._insert(self._graphs, key, graph)
+        else:
+            self.stats.graph_hits += 1
+        return graph
+
+    def lowering(self, key_shape: GraphKey, graph: OperatorGraph,
+                 mode: ExecutionMode) -> list[LoweredOp]:
+        """The fused pre-shard lowering for ``graph`` under ``mode`` (cached).
+
+        ``key_shape`` must be the shape key ``graph`` was built from; the
+        executor derives both from the same arguments.
+        """
+        if not self.enabled:
+            return apply_inductor_fusion(lower_graph(graph), mode)
+        key = (*key_shape, mode)
+        lowered = self._lowerings.get(key)
+        if lowered is None:
+            self.stats.lowering_misses += 1
+            lowered = apply_inductor_fusion(lower_graph(graph), mode)
+            self._insert(self._lowerings, key, lowered)
+        else:
+            self.stats.lowering_hits += 1
+        return lowered
+
+    def _insert(self, table: dict, key, value) -> None:
+        # FIFO eviction: dicts preserve insertion order, so the first key is
+        # the oldest. Sweeps revisit a small working set; recency tracking
+        # would buy nothing over this.
+        if len(table) >= self.max_entries:
+            table.pop(next(iter(table)))
+        table[key] = value
+
+    def clear(self) -> None:
+        self._graphs.clear()
+        self._lowerings.clear()
+        self.stats.reset()
+
+    def __len__(self) -> int:
+        return len(self._graphs) + len(self._lowerings)
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily bypass the cache (parity tests run both ways)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+
+#: Process-wide cache instance the executor consults. Worker processes of a
+#: ``--jobs`` sweep each get their own (module state is per-interpreter).
+LOWERING_CACHE = LoweringCache()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.cache import LOWERING_CACHE
 from repro.engine.compiler import CompileReport, apply_inductor_fusion, compile_time
 from repro.engine.fusion_apply import FusionPlan, fused_kernel_name
 from repro.engine.lowering import KernelTask, LoweredOp, lower_graph
@@ -53,6 +54,7 @@ from repro.obs.recorder import RunRecorder
 from repro.sim.core import SimCore
 from repro.sim.resources import LinkResource
 from repro.trace.builder import TraceBuilder
+from repro.trace.tape import TapeBuilder, TraceTape
 from repro.trace.trace import Trace
 from repro.workloads.builder import AttentionImpl, build_graph
 from repro.workloads.config import ModelConfig
@@ -108,9 +110,13 @@ DEFAULT_CONFIG = EngineConfig()
 
 @dataclass
 class RunResult:
-    """Everything one engine run produced."""
+    """Everything one engine run produced.
 
-    trace: Trace
+    Exactly one of ``trace``/``tape`` is set, depending on the ``tape``
+    argument to :func:`run`.
+    """
+
+    trace: Trace | None
     graph: OperatorGraph
     lowered: list[LoweredOp]
     platform: Platform
@@ -119,6 +125,7 @@ class RunResult:
     config: EngineConfig = field(default_factory=EngineConfig)
     tp: TPConfig = TP_DISABLED
     core: SimCore | None = None
+    tape: TraceTape | None = None
 
     @property
     def kernels_per_iteration(self) -> int:
@@ -156,6 +163,7 @@ def run(
     fusion_plan: FusionPlan | None = None,
     recorder: RunRecorder | None = None,
     tp: TPConfig | None = None,
+    tape: bool = False,
 ) -> RunResult:
     """Simulate inference and return the trace plus run context.
 
@@ -172,20 +180,36 @@ def run(
             occupancy and launch delay during execution and records one
             ``ENGINE`` step per measured iteration.
         tp: Tensor-parallel configuration (``None`` = single device).
+        tape: Record a :class:`~repro.trace.tape.TraceTape` instead of a
+            full trace (metrics-only fast path; ``result.trace`` is None).
     """
     if tp is None:
         tp = TP_DISABLED
+    # The lowering cache applies only to shapes it can key: a model config
+    # (prebuilt graphs carry no shape key) without a caller-owned fusion
+    # plan. Cached graphs/lowerings are shared read-only; see engine.cache.
+    cacheable = (not isinstance(model, OperatorGraph)
+                 and fusion_plan is None and LOWERING_CACHE.enabled)
     if isinstance(model, OperatorGraph):
         graph = model
     else:
         validate_tp(tp, model.heads, model.name)
         attention = (AttentionImpl.FLASH if mode.uses_flash_attention
                      else AttentionImpl.EAGER)
-        graph = build_graph(model, batch_size, seq_len, phase=phase,
-                            attention=attention, context_len=context_len)
+        if cacheable:
+            graph = LOWERING_CACHE.graph(model, batch_size, seq_len,
+                                         phase, attention, context_len)
+        else:
+            graph = build_graph(model, batch_size, seq_len, phase=phase,
+                                attention=attention, context_len=context_len)
 
-    lowered = lower_graph(graph)
-    lowered = apply_inductor_fusion(lowered, mode)
+    if cacheable:
+        key_shape = (model, batch_size, seq_len, phase, attention,
+                     context_len)
+        lowered = LOWERING_CACHE.lowering(key_shape, graph, mode)
+    else:
+        lowered = lower_graph(graph)
+        lowered = apply_inductor_fusion(lowered, mode)
 
     if mode is ExecutionMode.PROXIMITY_FUSED:
         if fusion_plan is None:
@@ -211,7 +235,8 @@ def run(
         metadata["tp_degree"] = tp.degree
         metadata["tp_dispatch"] = tp.dispatch.value
         metadata["tp_link"] = tp.link.name
-    builder = TraceBuilder(metadata=metadata)
+    builder: TraceBuilder | TapeBuilder
+    builder = TapeBuilder(metadata) if tape else TraceBuilder(metadata=metadata)
 
     core = build_core(tp)
     if mode.uses_cuda_graph:
@@ -227,8 +252,9 @@ def run(
             recorder=recorder))
     core.run()
 
+    finished = builder.finish()
     result = RunResult(
-        trace=builder.finish(),
+        trace=None if tape else finished,
         graph=graph,
         lowered=lowered,
         platform=platform,
@@ -237,9 +263,10 @@ def run(
         config=config,
         tp=tp,
         core=core,
+        tape=finished if tape else None,
     )
     if recorder is not None:
-        for mark in result.trace.iterations:
+        for mark in finished.iterations:
             recorder.record_step(StepKind.ENGINE, mark.ts,
                                  mark.ts_end - mark.ts, graph.batch_size)
     return result

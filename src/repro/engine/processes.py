@@ -58,6 +58,43 @@ def kernel_duration(platform: Platform, kernel: KernelTask,
             * kernel.duration_scale)
 
 
+def _op_plans(lowered, core, platform, mode, config, world):
+    """Precompute per-op dispatch timings and per-kernel durations.
+
+    Every value here is a pure function of the lowering, platform, mode,
+    config, and link spec — none depends on simulation state — so hoisting
+    the arithmetic out of the iteration loop reuses the *exact same floats*
+    the per-iteration computation produced. Traces are bit-identical; only
+    per-event Python work shrinks (property lookups, duration recomputation).
+
+    Returns one ``(aten_name, dispatch, epilogue, pre, child_name, kernels)``
+    tuple per lowered op, where ``kernels`` is a tuple of
+    ``(kernel, duration_ns, is_collective_here)`` and ``child_name`` is
+    already None whenever the child-op scope would not be emitted.
+    """
+    fuses = mode.fuses_elementwise
+    guard = config.compiled_guard_ns / platform.cpu.dispatch_score
+    plans = []
+    for lowered_op in lowered:
+        op = lowered_op.op
+        dispatch = guard if fuses else platform.dispatch_ns(op.dispatch_cost_ns)
+        epilogue = dispatch * config.dispatch_epilogue_fraction
+        pre = dispatch - epilogue
+        child_name = _CHILD_OP_NAMES.get(op.kind)
+        if not (child_name and lowered_op.kernels and not fuses):
+            child_name = None
+        kernels = tuple(
+            (kernel,
+             core.link.allreduce_ns(kernel.comm_bytes, world)
+             if kernel.is_collective and world > 1
+             else kernel_duration(platform, kernel),
+             kernel.is_collective and world > 1)
+            for kernel in lowered_op.kernels)
+        plans.append((op.aten_name, dispatch, epilogue, pre, child_name,
+                      kernels))
+    return plans
+
+
 def _end_iteration_sync(builder: TraceBuilder, streams: list[StreamResource],
                         cpu: float, config, measured: bool = True,
                         tid: int | None = None) -> float:
@@ -94,6 +131,15 @@ def single_thread_launch_process(
     streams = core.streams()
     world = len(streams)
     thread = core.cpu_threads[0]
+    stream0 = streams[0]
+    # Hot-loop hoists: platform costs are @property lookups and the plan
+    # arithmetic is iteration-invariant (see _op_plans).
+    launch_cpu = platform.launch_call_cpu_ns
+    launch_latency = platform.launch_latency_ns
+    gap = config.stream_kernel_gap_ns
+    queue_depth = config.launch_queue_depth
+    child_frac = config.child_dispatch_fraction
+    plans = _op_plans(lowered, core, platform, mode, config, world)
     cpu = 0.0
     launched = 0
     total = config.warmup_iterations + config.iterations
@@ -101,50 +147,37 @@ def single_thread_launch_process(
         measured = iteration >= config.warmup_iterations
         if measured:
             builder.begin_iteration(cpu)
-        for lowered_op in lowered:
-            op = lowered_op.op
-            if mode.fuses_elementwise:
-                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
-            else:
-                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
-            epilogue = dispatch * config.dispatch_epilogue_fraction
-            pre = dispatch - epilogue
-
-            parent = builder.begin_operator(op.aten_name, cpu)
+        for aten_name, dispatch, epilogue, pre, child_name, kernels in plans:
+            parent = builder.begin_operator(aten_name, cpu)
             child = None
-            child_name = _CHILD_OP_NAMES.get(op.kind)
-            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
-                cpu += pre * (1.0 - config.child_dispatch_fraction)
+            if child_name is not None:
+                cpu += pre * (1.0 - child_frac)
                 child = builder.begin_operator(child_name, cpu)
-                cpu += pre * config.child_dispatch_fraction
+                cpu += pre * child_frac
             else:
                 cpu += pre
             thread.occupy(dispatch)
 
-            for kernel in lowered_op.kernels:
+            for kernel, duration, is_collective in kernels:
                 # Bounded launch queue: the CPU cannot run more than
                 # `launch_queue_depth` launches ahead of kernel starts.
-                backlog_index = launched - config.launch_queue_depth
+                backlog_index = launched - queue_depth
                 if backlog_index >= 0:
-                    cpu = max(cpu, streams[0].nth_start(backlog_index))
-                if kernel.is_collective and world > 1:
-                    duration = core.link.allreduce_ns(kernel.comm_bytes, world)
+                    cpu = max(cpu, stream0.nth_start(backlog_index))
+                if is_collective:
                     calls = []
                     for _ in streams:
                         calls.append(cpu)
-                        cpu += platform.launch_call_cpu_ns
-                        thread.occupy(platform.launch_call_cpu_ns)
+                        cpu += launch_cpu
+                        thread.occupy(launch_cpu)
                     start_at = max(
-                        stream.earliest_start(
-                            calls[di] + platform.launch_latency_ns,
-                            config.stream_kernel_gap_ns)
+                        stream.earliest_start(calls[di] + launch_latency, gap)
                         for di, stream in enumerate(streams))
                     for di, stream in enumerate(streams):
-                        start, _end = stream.submit(
-                            start_at, duration,
-                            gap_ns=config.stream_kernel_gap_ns)
+                        start, _end = stream.submit(start_at, duration,
+                                                    gap_ns=gap)
                         builder.launch_kernel(
-                            calls[di], platform.launch_call_cpu_ns,
+                            calls[di], launch_cpu,
                             kernel.name, start, duration,
                             stream=stream.stream_id, device=stream.device,
                             flops=kernel.flops, bytes_moved=kernel.bytes_moved)
@@ -154,15 +187,13 @@ def single_thread_launch_process(
                                 stream.pending_at(calls[di]))
                     core.link.record(duration)
                 else:
-                    duration = kernel_duration(platform, kernel)
                     for stream in streams:
                         call_ts = cpu
-                        arrival = call_ts + platform.launch_latency_ns
-                        start, _end = stream.submit(
-                            arrival, duration,
-                            gap_ns=config.stream_kernel_gap_ns)
+                        arrival = call_ts + launch_latency
+                        start, _end = stream.submit(arrival, duration,
+                                                    gap_ns=gap)
                         builder.launch_kernel(
-                            call_ts, platform.launch_call_cpu_ns,
+                            call_ts, launch_cpu,
                             kernel.name, start, duration,
                             stream=stream.stream_id, device=stream.device,
                             flops=kernel.flops, bytes_moved=kernel.bytes_moved)
@@ -170,8 +201,8 @@ def single_thread_launch_process(
                             recorder.observe_launch_delay(start - call_ts)
                             recorder.observe_launch_queue(
                                 stream.pending_at(call_ts))
-                        cpu += platform.launch_call_cpu_ns
-                        thread.occupy(platform.launch_call_cpu_ns)
+                        cpu += launch_cpu
+                        thread.occupy(launch_cpu)
                 launched += 1
 
             if child is not None:
@@ -235,6 +266,12 @@ def _device_dispatch_process(
     thread = core.cpu_threads[device_index]
     tid = thread.tid
     leader = device_index == 0
+    launch_cpu = platform.launch_call_cpu_ns
+    launch_latency = platform.launch_latency_ns
+    gap = config.stream_kernel_gap_ns
+    queue_depth = config.launch_queue_depth
+    child_frac = config.child_dispatch_fraction
+    plans = _op_plans(lowered, core, platform, mode, config, world)
     cpu = 0.0
     launched = 0
     total = config.warmup_iterations + config.iterations
@@ -242,58 +279,46 @@ def _device_dispatch_process(
         measured = iteration >= config.warmup_iterations
         if measured and leader:
             builder.begin_iteration(cpu)
-        for op_index, lowered_op in enumerate(lowered):
-            op = lowered_op.op
-            if mode.fuses_elementwise:
-                dispatch = config.compiled_guard_ns / platform.cpu.dispatch_score
-            else:
-                dispatch = platform.dispatch_ns(op.dispatch_cost_ns)
-            epilogue = dispatch * config.dispatch_epilogue_fraction
-            pre = dispatch - epilogue
-
-            parent = builder.begin_operator(op.aten_name, cpu, tid=tid)
+        for op_index, plan in enumerate(plans):
+            aten_name, dispatch, epilogue, pre, child_name, kernels = plan
+            parent = builder.begin_operator(aten_name, cpu, tid=tid)
             child = None
-            child_name = _CHILD_OP_NAMES.get(op.kind)
-            if child_name and lowered_op.kernels and not mode.fuses_elementwise:
-                cpu += pre * (1.0 - config.child_dispatch_fraction)
+            if child_name is not None:
+                cpu += pre * (1.0 - child_frac)
                 child = builder.begin_operator(child_name, cpu, tid=tid)
-                cpu += pre * config.child_dispatch_fraction
+                cpu += pre * child_frac
             else:
                 cpu += pre
             thread.occupy(dispatch)
 
-            for kernel_index, kernel in enumerate(lowered_op.kernels):
-                backlog_index = launched - config.launch_queue_depth
+            for kernel_index, (kernel, duration, is_collective) in enumerate(
+                    kernels):
+                backlog_index = launched - queue_depth
                 if backlog_index >= 0:
                     cpu = max(cpu, stream.nth_start(backlog_index))
                 call_ts = cpu
-                arrival = call_ts + platform.launch_latency_ns
-                if kernel.is_collective and world > 1:
-                    duration = core.link.allreduce_ns(kernel.comm_bytes, world)
-                    ready = stream.earliest_start(
-                        arrival, config.stream_kernel_gap_ns)
+                arrival = call_ts + launch_latency
+                if is_collective:
+                    ready = stream.earliest_start(arrival, gap)
                     rdv = core.rendezvous(
                         rendezvous_key("allreduce", iteration, op_index,
                                        kernel_index), world)
                     start_at = yield ("join", rdv, ready)
-                    start, _end = stream.submit(
-                        start_at, duration, gap_ns=config.stream_kernel_gap_ns)
+                    start, _end = stream.submit(start_at, duration, gap_ns=gap)
                     if leader:
                         core.link.record(duration)
                 else:
-                    duration = kernel_duration(platform, kernel)
-                    start, _end = stream.submit(
-                        arrival, duration, gap_ns=config.stream_kernel_gap_ns)
+                    start, _end = stream.submit(arrival, duration, gap_ns=gap)
                 builder.launch_kernel(
-                    call_ts, platform.launch_call_cpu_ns, kernel.name,
+                    call_ts, launch_cpu, kernel.name,
                     start, duration, stream=stream.stream_id,
                     device=stream.device, tid=tid,
                     flops=kernel.flops, bytes_moved=kernel.bytes_moved)
                 if recorder is not None:
                     recorder.observe_launch_delay(start - call_ts)
                     recorder.observe_launch_queue(stream.pending_at(call_ts))
-                cpu += platform.launch_call_cpu_ns
-                thread.occupy(platform.launch_call_cpu_ns)
+                cpu += launch_cpu
+                thread.occupy(launch_cpu)
                 launched += 1
 
             if child is not None:
@@ -331,27 +356,38 @@ def graph_replay_process(
     streams = core.streams()
     world = len(streams)
     thread = core.cpu_threads[0]
+    launch_cpu = platform.launch_call_cpu_ns
+    launch_latency = platform.launch_latency_ns
+    kernel_gap = config.graph_replay_kernel_gap_ns
+    replay_dispatch = platform.dispatch_ns(config.graph_replay_dispatch_ns)
+    # Durations are iteration-invariant (same floats every replay), so
+    # compute the whole chain once; see _op_plans for the invariance note.
+    plan = [
+        (kernel,
+         core.link.allreduce_ns(kernel.comm_bytes, world)
+         if kernel.is_collective and world > 1
+         else kernel_duration(platform, kernel,
+                              floor_scale=config.graph_kernel_floor_scale),
+         kernel.is_collective and world > 1)
+        for lo in lowered for kernel in lo.kernels]
     cpu = 0.0
-    kernels = [k for lo in lowered for k in lo.kernels]
     total = config.warmup_iterations + config.iterations
     for iteration in range(total):
         measured = iteration >= config.warmup_iterations
         if measured:
             builder.begin_iteration(cpu)
         parent = builder.begin_operator("cuda_graph::replay", cpu)
-        cpu += platform.dispatch_ns(config.graph_replay_dispatch_ns)
-        thread.occupy(platform.dispatch_ns(config.graph_replay_dispatch_ns))
+        cpu += replay_dispatch
+        thread.occupy(replay_dispatch)
         arrivals = []
         for _ in streams:
             call_ts = cpu
-            builder.runtime_call(GRAPH_LAUNCH, call_ts,
-                                 platform.launch_call_cpu_ns)
-            cpu += platform.launch_call_cpu_ns
-            thread.occupy(platform.launch_call_cpu_ns)
-            arrivals.append(call_ts + platform.launch_latency_ns)
-        for kernel in kernels:
-            if kernel.is_collective and world > 1:
-                duration = core.link.allreduce_ns(kernel.comm_bytes, world)
+            builder.runtime_call(GRAPH_LAUNCH, call_ts, launch_cpu)
+            cpu += launch_cpu
+            thread.occupy(launch_cpu)
+            arrivals.append(call_ts + launch_latency)
+        for kernel, duration, is_collective in plan:
+            if is_collective:
                 start_at = max(
                     stream.earliest_start(arrivals[di])
                     for di, stream in enumerate(streams))
@@ -361,19 +397,16 @@ def graph_replay_process(
                         kernel.name, start, duration,
                         stream=stream.stream_id, device=stream.device,
                         flops=kernel.flops, bytes_moved=kernel.bytes_moved)
-                    arrivals[di] = end + config.graph_replay_kernel_gap_ns
+                    arrivals[di] = end + kernel_gap
                 core.link.record(duration)
             else:
-                duration = kernel_duration(
-                    platform, kernel,
-                    floor_scale=config.graph_kernel_floor_scale)
                 for di, stream in enumerate(streams):
                     start, end = stream.submit(arrivals[di], duration)
                     builder.enqueue_graph_kernel(
                         kernel.name, start, duration,
                         stream=stream.stream_id, device=stream.device,
                         flops=kernel.flops, bytes_moved=kernel.bytes_moved)
-                    arrivals[di] = end + config.graph_replay_kernel_gap_ns
+                    arrivals[di] = end + kernel_gap
         builder.end_operator(parent, cpu)
         cpu = _end_iteration_sync(builder, streams, cpu, config,
                                   measured=measured)

@@ -91,7 +91,8 @@ def kv_continuous_batching_process(
         session.execute(
             StepKind.PREFILL, clock, prefill_ns, len(batch),
             queue_depth=depth(),
-            shape=EngineShape(model.name, len(batch), prompt_len))
+            shape=EngineShape(model.name, len(batch), prompt_len)
+            if recorder is not None else None)
         clock += prefill_ns
         for request in batch:
             seq = _KvSequence(
@@ -234,7 +235,8 @@ def kv_continuous_batching_process(
             StepKind.DECODE, clock, step_ns, len(active),
             queue_depth=depth(),
             shape=EngineShape(model.name, len(active), 1,
-                              phase="decode", context_len=bucketed))
+                              phase="decode", context_len=bucketed)
+            if recorder is not None else None)
         clock += step_ns
         step_batch = len(active)
         finished: list[_KvSequence] = []

@@ -72,16 +72,56 @@ class RunSummary:
 
 
 @dataclass
+class AggregateTotals:
+    """Exact whole-population sums and counts.
+
+    Maintained for **every** request even when per-request recording is
+    sampled (``RunRecorder.sample_every > 1``), so sampled runs report the
+    same aggregate load/latency totals as fully recorded ones — only the
+    per-request spans and histogram populations thin out.
+    """
+
+    requests_admitted: int = 0
+    requests_completed: int = 0
+    tokens_generated: int = 0
+    queue_wait_sum_ns: float = 0.0
+    ttft_sum_ns: float = 0.0
+    ttft_count: int = 0
+    tbt_sum_ns: float = 0.0
+    tbt_count: int = 0
+
+
+@dataclass
 class RunRecorder:
-    """Low-overhead structured-event recorder for serving/engine runs."""
+    """Low-overhead structured-event recorder for serving/engine runs.
+
+    ``sample_every=k`` records full per-request detail (spans plus the
+    queue-wait/TTFT/TBT histogram observations) for one request in ``k``
+    (``request_id % k == 0``) while :attr:`aggregates` and the counters stay
+    exact over all requests — ~1/k the trace volume, identical aggregate
+    numbers. ``k=1`` (the default) records everything and is bit-identical
+    to the pre-sampling recorder. Engine steps and KV events are never
+    sampled: they are per-step, not per-request, and the timeline depends
+    on them.
+    """
 
     steps: list[StepEvent] = field(default_factory=list)
     spans: dict[int, RequestSpan] = field(default_factory=dict)
     counters: CounterSet = field(default_factory=CounterSet)
     kv_events: list[KvCacheEvent] = field(default_factory=list)
     kv_pools: dict[int, dict] = field(default_factory=dict)
+    sample_every: int = 1
+    aggregates: AggregateTotals = field(default_factory=AggregateTotals)
     _histograms: dict[str, Histogram] = field(default_factory=dict, repr=False)
     _last_token_ns: dict[int, float] = field(default_factory=dict, repr=False)
+    _arrivals: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise AnalysisError("sample_every must be at least 1")
+
+    def _sampled(self, request_id: int) -> bool:
+        return self.sample_every == 1 or request_id % self.sample_every == 0
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -92,32 +132,50 @@ class RunRecorder:
         if admitted_ns < arrival_ns:
             raise AnalysisError(
                 f"request {request_id} admitted before it arrived")
-        self.spans[request_id] = RequestSpan(
-            request_id=request_id, arrival_ns=arrival_ns,
-            admitted_ns=admitted_ns)
-        self.histogram(H_QUEUE_WAIT).observe(admitted_ns - arrival_ns)
+        self._arrivals[request_id] = arrival_ns
+        self.aggregates.requests_admitted += 1
+        self.aggregates.queue_wait_sum_ns += admitted_ns - arrival_ns
         self.counters.add("requests_admitted")
+        if self._sampled(request_id):
+            self.spans[request_id] = RequestSpan(
+                request_id=request_id, arrival_ns=arrival_ns,
+                admitted_ns=admitted_ns)
+            self.histogram(H_QUEUE_WAIT).observe(admitted_ns - arrival_ns)
 
     def on_first_token(self, request_id: int, ts_ns: float) -> None:
         """A request produced its first token (end of its prefill)."""
-        span = self._span(request_id)
-        span.first_token_ns = ts_ns
+        arrival = self._arrivals.get(request_id)
+        if arrival is None:
+            raise AnalysisError(
+                f"request {request_id} has no recorded admission")
         self._last_token_ns[request_id] = ts_ns
-        self.histogram(H_TTFT).observe(ts_ns - span.arrival_ns)
+        self.aggregates.ttft_sum_ns += ts_ns - arrival
+        self.aggregates.ttft_count += 1
+        if self._sampled(request_id):
+            span = self._span(request_id)
+            span.first_token_ns = ts_ns
+            self.histogram(H_TTFT).observe(ts_ns - span.arrival_ns)
 
     def on_token(self, request_id: int, ts_ns: float) -> None:
         """A request produced one decode token; feeds the TBT histogram."""
         last = self._last_token_ns.get(request_id)
         if last is not None:
-            self.histogram(H_TBT).observe(ts_ns - last)
+            self.aggregates.tbt_sum_ns += ts_ns - last
+            self.aggregates.tbt_count += 1
+            if self._sampled(request_id):
+                self.histogram(H_TBT).observe(ts_ns - last)
         self._last_token_ns[request_id] = ts_ns
+        self.aggregates.tokens_generated += 1
         self.counters.add("tokens_generated")
 
     def on_completed(self, request_id: int, ts_ns: float) -> None:
         """A request finished generating."""
-        span = self._span(request_id)
-        span.completed_ns = ts_ns
+        if self._sampled(request_id):
+            span = self._span(request_id)
+            span.completed_ns = ts_ns
         self._last_token_ns.pop(request_id, None)
+        self._arrivals.pop(request_id, None)
+        self.aggregates.requests_completed += 1
         self.counters.add("requests_completed")
 
     # ------------------------------------------------------------------
@@ -194,9 +252,17 @@ class RunRecorder:
         return done
 
     def summary(self) -> RunSummary:
-        """Summarize every non-empty histogram plus the counters."""
+        """Summarize every non-empty histogram plus the counters.
+
+        Sampled runs (``sample_every > 1``) report the exact completion
+        count from the whole-population aggregates; fully recorded runs
+        keep counting completed spans, preserving the historical output
+        bit for bit.
+        """
+        completed = (self.aggregates.requests_completed
+                     if self.sample_every > 1 else len(self.completed_spans()))
         return RunSummary(
-            requests_completed=len(self.completed_spans()),
+            requests_completed=completed,
             steps=len(self.steps),
             span_ns=self.span_ns,
             histograms={name: h.summary()

@@ -1,0 +1,27 @@
+"""repro.perf — simulator performance measurement.
+
+The one package in the library allowed to read the wall clock (everything
+under ``repro.sim``/``repro.engine``/``repro.kvcache`` is barred from it by
+``repro check code`` rule C001): it measures how fast the *simulator*
+runs, never anything inside the simulation.
+
+:mod:`repro.perf.harness` drives three canonical scenarios and writes
+``BENCH_simperf.json``; see ``docs/performance.md`` for how to read it.
+"""
+
+__all__ = [
+    "BEFORE_BASELINES",
+    "SCENARIO_NAMES",
+    "ScenarioResult",
+    "run_harness",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: importing the submodule eagerly makes
+    # ``python -m repro.perf.harness`` warn about double-initialization.
+    if name in __all__:
+        from repro.perf import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,237 @@
+"""Simulator performance harness: events/sec and wall-time per token.
+
+Runs three canonical scenarios spanning the simulator's main workloads:
+
+* ``single_run`` — one SKIP profile (eager llama-3.2-1b, BS=8, 3 iters);
+* ``tp_sweep`` — a tensor-parallel sweep over degrees 1/2/4/8 with
+  per-device dispatch threads (the heaviest engine shape);
+* ``serve_kv_offload`` — a 4-replica continuous-batching serve under KV
+  pressure with offload swaps, recorder attached.
+
+Each scenario reports:
+
+* **wall_s** — best-of-N wall time;
+* **ns_per_token** — wall nanoseconds per simulated token;
+* **sim_events** — :data:`repro.sim.core.EVENTS_TOTAL` delta (scheduler
+  events processed — an implementation-independent work measure);
+* **events_per_sec** — sim_events / wall_s.
+
+``BEFORE_BASELINES`` holds the wall times of the same scenario definitions
+measured on the tree *before* the fast paths (lowering cache, tape metrics,
+slimmed event loop, sampled recording) landed. Scenario event counts are
+optimization-invariant — the fast paths change per-event cost, never which
+events the processes schedule — so the before events/sec is derived as
+``after_event_count / before_wall``.
+
+Usage::
+
+    python -m repro.perf.harness            # full run, BENCH_simperf.json
+    python -m repro.perf.harness --quick    # CI smoke: small shapes, no
+                                            # before/after comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+
+#: Wall seconds per scenario measured pre-optimization (same definitions,
+#: best of 3) — the denominator of this PR's speedup column.
+BEFORE_BASELINES: dict[str, float] = {
+    "single_run": 0.0224,
+    "tp_sweep": 0.305,
+    "serve_kv_offload": 0.5896,
+}
+
+#: Canonical scenario names, in run order. docs/performance.md documents
+#: each by name (a docs-lock test holds the two lists together).
+SCENARIO_NAMES: tuple[str, ...] = (
+    "single_run", "tp_sweep", "serve_kv_offload")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's measurement."""
+
+    name: str
+    wall_s: float
+    simulated_tokens: int
+    sim_events: int
+
+    @property
+    def ns_per_token(self) -> float:
+        return self.wall_s * 1e9 / self.simulated_tokens
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.sim_events / self.wall_s
+
+
+def _scenario_single_run(quick: bool) -> int:
+    from repro.engine import EngineConfig, ExecutionMode
+    from repro.hardware import get_platform
+    from repro.skip import SkipProfiler
+    from repro.workloads import get_model
+
+    iterations = 1 if quick else 3
+    batch = 4 if quick else 8
+    seq = 256 if quick else 512
+    profiler = SkipProfiler(get_platform("Intel+H100"),
+                            EngineConfig(iterations=iterations))
+    result = profiler.profile(get_model("llama-3.2-1b"), batch_size=batch,
+                              seq_len=seq, mode=ExecutionMode.EAGER)
+    assert result.metrics.tklqt_ns > 0
+    return batch * seq * iterations
+
+
+def _scenario_tp_sweep(quick: bool) -> int:
+    from repro.analysis.tpsweep import run_tp_sweep
+    from repro.engine import DispatchMode, EngineConfig
+    from repro.hardware import get_platform
+    from repro.workloads import get_model
+
+    degrees = (1, 2) if quick else (1, 2, 4, 8)
+    iterations = 1 if quick else 2
+    seq = 256 if quick else 512
+    sweep = run_tp_sweep(get_model("llama-3.2-1b"),
+                         get_platform("Intel+H100"), batch_size=8,
+                         degrees=degrees, seq_len=seq,
+                         dispatch=DispatchMode.THREAD_PER_DEVICE,
+                         engine_config=EngineConfig(iterations=iterations))
+    assert sweep.best_degree() >= 1
+    return 8 * seq * iterations * len(sweep.points)
+
+
+def _scenario_serve_kv_offload(quick: bool) -> int:
+    from repro.engine import ExecutionMode
+    from repro.hardware import get_platform
+    from repro.kvcache import KvCacheConfig, KvPolicy
+    from repro.obs import RunRecorder
+    from repro.serving import (
+        ContinuousBatchPolicy,
+        LatencyModel,
+        poisson_requests,
+        simulate_serving,
+    )
+    from repro.workloads import get_model
+
+    rate = 40.0 if quick else 200.0
+    duration = 0.3 if quick else 1.0
+    output_tokens = 128
+    requests = poisson_requests(rate_per_s=rate, duration_s=duration,
+                                prompt_len=512, output_tokens=output_tokens,
+                                seed=11)
+    latency = LatencyModel(platform=get_platform("GH200"),
+                           mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD)
+    # Sampled recording is one of the measured fast paths: 1-in-8 requests
+    # keep full spans while every aggregate stays exact (parity-locked by
+    # the sampling property tests). The before baseline recorded everything.
+    recorder = RunRecorder(sample_every=8)
+    run = simulate_serving(requests, get_model("gpt2"), latency,
+                           policy=ContinuousBatchPolicy(max_active=8),
+                           replicas=4, recorder=recorder,
+                           kv=KvCacheConfig(policy=KvPolicy.OFFLOAD,
+                                            pool_gib=0.04))
+    assert sum(s.swap_out_events for s in run.kv) > 0, "scenario must swap"
+    assert recorder.aggregates.requests_completed == len(requests)
+    return sum(o.request.output_tokens for o in run.outcomes)
+
+
+_SCENARIOS = {
+    "single_run": _scenario_single_run,
+    "tp_sweep": _scenario_tp_sweep,
+    "serve_kv_offload": _scenario_serve_kv_offload,
+}
+
+
+def _measure(name: str, quick: bool, repeats: int) -> ScenarioResult:
+    import repro.sim.core as sim_core
+
+    fn = _SCENARIOS[name]
+    best_wall = None
+    tokens = 0
+    events = 0
+    for _ in range(repeats):
+        events_before = sim_core.EVENTS_TOTAL
+        t0 = time.perf_counter()
+        tokens = fn(quick)
+        wall = time.perf_counter() - t0
+        events = sim_core.EVENTS_TOTAL - events_before
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert best_wall is not None
+    return ScenarioResult(name=name, wall_s=best_wall,
+                          simulated_tokens=tokens, sim_events=events)
+
+
+def run_harness(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run every scenario and return the BENCH_simperf payload."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    scenarios: dict[str, dict] = {}
+    for name in SCENARIO_NAMES:
+        result = _measure(name, quick, repeats)
+        entry: dict = {
+            "simulated_tokens": result.simulated_tokens,
+            "after": {
+                "wall_s": round(result.wall_s, 4),
+                "ns_per_token": round(result.ns_per_token, 1),
+                "sim_events": result.sim_events,
+                "events_per_sec": round(result.events_per_sec, 1),
+            },
+        }
+        if not quick:
+            before_wall = BEFORE_BASELINES[name]
+            entry["before"] = {
+                "wall_s": before_wall,
+                "ns_per_token": round(
+                    before_wall * 1e9 / result.simulated_tokens, 1),
+                # Event counts are optimization-invariant (see module
+                # docstring), so the before rate divides the same count
+                # by the before wall time.
+                "sim_events": result.sim_events,
+                "events_per_sec": round(result.sim_events / before_wall, 1),
+            }
+            entry["speedup"] = round(before_wall / result.wall_s, 2)
+        scenarios[name] = entry
+    return {
+        "schema": "repro.perf/v1",
+        "quick": quick,
+        "scenarios": scenarios,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.harness",
+        description="measure simulator events/sec and wall-time per token")
+    parser.add_argument("--quick", action="store_true",
+                        help="small shapes, single repeat, no before/after "
+                             "comparison (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per scenario (best wall time wins); "
+                             "default 3, or 1 with --quick")
+    parser.add_argument("--output", default="BENCH_simperf.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    payload = run_harness(quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for name, entry in payload["scenarios"].items():
+        after = entry["after"]
+        line = (f"{name:<18} wall={after['wall_s']:.4f}s "
+                f"events/s={after['events_per_sec']:,.0f} "
+                f"ns/token={after['ns_per_token']:.0f}")
+        if "speedup" in entry:
+            line += f" speedup={entry['speedup']:.2f}x"
+        print(line)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

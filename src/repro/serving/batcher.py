@@ -127,7 +127,8 @@ def static_batching_process(runtime: ServingRuntime, session: EngineSession,
         session.execute(
             StepKind.PREFILL, launch_ns, ttft, batch_size,
             queue_depth=waiting,
-            shape=EngineShape(model.name, batch_size, prompt_len))
+            shape=EngineShape(model.name, batch_size, prompt_len)
+            if recorder is not None else None)
         if total > ttft:
             session.execute(StepKind.GENERATION, launch_ns + ttft,
                             total - ttft, batch_size, queue_depth=waiting)

@@ -98,7 +98,8 @@ def continuous_batching_process(runtime: ServingRuntime,
         session.execute(
             StepKind.PREFILL, clock, prefill_ns, len(batch),
             queue_depth=queue.depth(clock) if recorder is not None else 0,
-            shape=EngineShape(model.name, len(batch), prompt_len))
+            shape=EngineShape(model.name, len(batch), prompt_len)
+            if recorder is not None else None)
         clock += prefill_ns
         for request in batch:
             seq = _Sequence(
@@ -146,7 +147,8 @@ def continuous_batching_process(runtime: ServingRuntime,
             StepKind.DECODE, clock, step_ns, len(active),
             queue_depth=queue.depth(clock) if recorder is not None else 0,
             shape=EngineShape(model.name, len(active), 1,
-                              phase="decode", context_len=bucketed))
+                              phase="decode", context_len=bucketed)
+            if recorder is not None else None)
         clock += step_ns
         step_batch = len(active)
         finished: list[_Sequence] = []

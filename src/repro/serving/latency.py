@@ -15,7 +15,7 @@ from repro.engine.modes import ExecutionMode
 from repro.engine.tp import TPConfig
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
-from repro.skip.metrics import compute_metrics
+from repro.skip.metrics import metrics_from_tape
 from repro.workloads.config import ModelConfig
 from repro.workloads.graph import Phase
 
@@ -60,10 +60,14 @@ class LatencyModel:
         """Prefill latency (time-to-first-token)."""
         key = (model.name, batch_size, prompt_len)
         if key not in self._ttft_cache:
+            # Tape mode: metrics_from_tape is bit-identical to computing
+            # metrics from the full trace, so cached latencies (and every
+            # serving result built on them) are unchanged by the fast path.
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=prompt_len, mode=self.mode,
-                         config=self.engine_config, tp=self.tp)
-            metrics = compute_metrics(result.trace)
+                         config=self.engine_config, tp=self.tp, tape=True)
+            assert result.tape is not None
+            metrics = metrics_from_tape(result.tape)
             self._ttft_cache[key] = metrics.inference_latency_ns
         return self._ttft_cache[key]
 
@@ -74,8 +78,10 @@ class LatencyModel:
         if key not in self._decode_cache:
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=1, phase=Phase.DECODE, context_len=context_len,
-                         mode=self.mode, config=self.engine_config, tp=self.tp)
-            metrics = compute_metrics(result.trace)
+                         mode=self.mode, config=self.engine_config, tp=self.tp,
+                         tape=True)
+            assert result.tape is not None
+            metrics = metrics_from_tape(result.tape)
             self._decode_cache[key] = metrics.inference_latency_ns
         return self._decode_cache[key]
 

@@ -180,7 +180,8 @@ def pipeline_serving_process(runtime: ServingRuntime,
             session.execute(
                 StepKind.PREFILL, clock, ttft, batch_size,
                 queue_depth=waiting,
-                shape=EngineShape(stage.model.name, batch_size, prompt))
+                shape=EngineShape(stage.model.name, batch_size, prompt)
+                if recorder is not None else None)
             if total > ttft:
                 session.execute(StepKind.GENERATION, clock + ttft,
                                 total - ttft, batch_size, queue_depth=waiting)

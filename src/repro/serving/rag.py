@@ -204,7 +204,8 @@ def rag_serving_process(runtime: ServingRuntime, session: EngineSession,
             clock += policy.retrieval_ns
         session.execute(StepKind.PREFILL, clock, ttft, batch_size,
                         queue_depth=waiting,
-                        shape=EngineShape(model.name, batch_size, prompt_len))
+                        shape=EngineShape(model.name, batch_size, prompt_len)
+                        if recorder is not None else None)
         if total > ttft:
             session.execute(StepKind.GENERATION, clock + ttft, total - ttft,
                             batch_size, queue_depth=waiting)

@@ -54,7 +54,7 @@ if TYPE_CHECKING:
 # ----------------------------------------------------------------------
 # Admission queue
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class AdmissionEntry:
     """One request waiting in (or already claimed from) the shared queue."""
 
@@ -62,6 +62,9 @@ class AdmissionEntry:
     tag: Hashable = None
     injected: bool = False
     claimed: bool = False
+    #: Position in the queue's arrival-sorted entry list; lets claim_batch
+    #: resume scanning right after its seed instead of from the front.
+    index: int = -1
 
     @property
     def arrival_ns(self) -> float:
@@ -86,12 +89,27 @@ class AdmissionQueue:
         # legacy loops' ``sorted(requests, key=arrival)`` exactly.
         ordered = sorted(requests, key=lambda r: r.arrival_ns)
         tags = tags or {}
-        self.entries = [AdmissionEntry(request=r, tag=tags.get(r.request_id))
-                        for r in ordered]
+        self.entries = [
+            AdmissionEntry(request=r, tag=tags.get(r.request_id), index=i)
+            for i, r in enumerate(ordered)
+        ]
+        # Every entry before this index is claimed. Claims are monotone
+        # (never undone), so the cursor only moves forward; it turns the
+        # O(total-requests) front-of-queue rescans every policy wake-up
+        # performs into O(still-pending). Pure bookkeeping: the entries
+        # yielded are exactly those the full scan would yield.
+        self._scan_start = 0
 
     # -- read side -----------------------------------------------------
     def _unclaimed(self, tag: Hashable = None) -> Iterable[AdmissionEntry]:
-        for entry in self.entries:
+        entries = self.entries
+        start = self._scan_start
+        n = len(entries)
+        while start < n and entries[start].claimed:
+            start += 1
+        self._scan_start = start
+        for i in range(start, n):
+            entry = entries[i]
             if not entry.claimed and (tag is None or entry.tag == tag):
                 yield entry
 
@@ -147,12 +165,8 @@ class AdmissionQueue:
         seed.claimed = True
         seed.injected = True
         batch = [seed.request]
-        started = False
-        for entry in self.entries:
-            if entry is seed:
-                started = True
-                continue
-            if not started or entry.claimed:
+        for entry in self.entries[seed.index + 1:]:
+            if entry.claimed:
                 continue
             if len(batch) >= limit or entry.arrival_ns > cutoff:
                 break

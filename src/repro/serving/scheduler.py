@@ -119,7 +119,8 @@ def priority_scheduling_process(runtime: ServingRuntime,
                                      start)
         session.execute(StepKind.PREFILL, start, ttft, batch_size,
                         queue_depth=waiting,
-                        shape=EngineShape(model.name, batch_size, prompt))
+                        shape=EngineShape(model.name, batch_size, prompt)
+                        if recorder is not None else None)
         if total > ttft:
             session.execute(StepKind.GENERATION, start + ttft, total - ttft,
                             batch_size, queue_depth=waiting)

@@ -218,13 +218,16 @@ def speculative_serving_process(runtime: ServingRuntime,
         clock = launch
         session.execute(StepKind.PREFILL, clock, prefill, batch_size,
                         queue_depth=waiting,
-                        shape=EngineShape(target.name, batch_size, prompt_len))
+                        shape=EngineShape(target.name, batch_size, prompt_len)
+                        if recorder is not None else None)
         clock += prefill
         first_token_ns = clock
-        draft_shape = EngineShape(policy.draft.name, batch_size, 1,
-                                  phase="decode", context_len=mid_context)
-        verify_shape = EngineShape(target.name, batch_size,
-                                   config.draft_tokens)
+        draft_shape = verify_shape = None
+        if recorder is not None:
+            draft_shape = EngineShape(policy.draft.name, batch_size, 1,
+                                      phase="decode", context_len=mid_context)
+            verify_shape = EngineShape(target.name, batch_size,
+                                       config.draft_tokens)
         for _ in range(math.floor(rounds)):
             for _ in range(config.draft_tokens):
                 session.execute(StepKind.DRAFT, clock, draft_step, batch_size,

@@ -20,7 +20,7 @@ from repro.errors import SimulationError
 from repro.hardware.interconnect import InterconnectSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamResource:
     """One in-order stream on one GPU device.
 
@@ -94,7 +94,7 @@ class StreamResource:
             raise SimulationError(f"no kernel {index} submitted yet") from None
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuThread:
     """One CPU dispatch thread.
 
@@ -113,7 +113,7 @@ class CpuThread:
         self.busy_ns += duration_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class GpuDevice:
     """One GPU with one or more in-order streams.
 
@@ -145,7 +145,7 @@ class GpuDevice:
         return sum(stream.busy_ns for stream in self.streams)
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkResource:
     """A device-to-device interconnect link.
 

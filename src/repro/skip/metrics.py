@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from itertools import chain
 
 from repro.errors import AnalysisError
 from repro.skip.depgraph import DependencyGraph
+from repro.trace.tape import TraceTape
 from repro.trace.trace import Trace
 
 
@@ -252,5 +254,142 @@ def compute_metrics(trace: Trace,
 
     # The full per-name population is kept (it is small — tens of distinct
     # names); top_k() slices on demand and diffing needs all of it.
+    return SkipMetrics(iterations=per_iteration, top_kernels=aggregates,
+                       devices=device_metrics)
+
+
+def metrics_from_tape(tape: TraceTape) -> SkipMetrics:
+    """Compute SKIP metrics from a :class:`~repro.trace.tape.TraceTape`.
+
+    Bit-identical to ``compute_metrics(trace)`` on the equivalent full
+    trace: every sort key, iteration order, and floating-point summation
+    order below mirrors :func:`compute_metrics` plus the parts of
+    :meth:`~repro.skip.depgraph.DependencyGraph.from_trace` it consumes.
+    The fast-path parity suite locks the equivalence.
+
+    Raises:
+        AnalysisError: when the tape has no iterations or an iteration has
+            no kernels or no operators.
+    """
+    from repro.trace.tape import (
+        G_DEVICE, G_DUR, G_ID, G_NAME, G_TS,
+        L_CALL_ID, L_CALL_TS, L_DEVICE, L_DUR, L_NAME, L_TS,
+        OP_DUR, OP_ID, OP_SEQ, OP_TID, OP_TS,
+    )
+
+    if not tape.iterations:
+        raise AnalysisError("trace has no iteration marks; cannot compute metrics")
+
+    # Root detection, replicating DependencyGraph.from_trace. Runtime calls
+    # are absent from the tape but cannot change which operators are roots
+    # (they never push the containment stack and the pop scan is monotone in
+    # ts), nor the roots' order (roots come only from operator records, in
+    # per-tid scan order).
+    ops = sorted(tape.ops, key=lambda r: (r[OP_TS], r[OP_SEQ], r[OP_ID]))
+    threads: dict[int, list[list]] = {}
+    for record in ops:
+        threads.setdefault(record[OP_TID], []).append(record)
+    roots: list[list] = []
+    for tid_events in threads.values():
+        tid_events.sort(key=lambda r: (r[OP_TS], -r[OP_DUR], r[OP_ID]))
+        stack: list[list] = []
+        for record in tid_events:
+            ts = record[OP_TS]
+            while stack and ts >= stack[-1][OP_TS] + stack[-1][OP_DUR]:
+                stack.pop()
+            if not stack:
+                roots.append(record)
+            stack.append(record)
+
+    launches = sorted(tape.launches,
+                      key=lambda r: (r[L_CALL_TS], r[L_CALL_ID]))
+    graph_kernels = sorted(tape.graph_kernels,
+                           key=lambda k: (k[G_TS], k[G_ID]))
+
+    per_iteration: list[IterationMetrics] = []
+    name_stats: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    device_stats: dict[int, list[float]] = defaultdict(lambda: [0.0, 0.0, 0])
+
+    for mark in tape.iterations:
+        ts0, ts1 = mark.ts, mark.ts_end
+        marked = [r for r in launches if ts0 <= r[L_CALL_TS] < ts1]
+        marked_graph = [k for k in graph_kernels if ts0 <= k[G_TS] < ts1]
+        n_kernels = len(marked) + len(marked_graph)
+        if not n_kernels:
+            raise AnalysisError(f"iteration {mark.index} launched no kernels")
+
+        tklqt = sum(r[L_TS] - r[L_CALL_TS] for r in marked)
+        # One chained sum over launches-then-graph-kernels, matching the
+        # concatenated-list sum in compute_metrics term for term.
+        gpu_busy = sum(chain((r[L_DUR] for r in marked),
+                             (k[G_DUR] for k in marked_graph)))
+        akd = gpu_busy / n_kernels
+
+        roots_in = [r for r in roots if ts0 <= r[OP_TS] < ts1]
+        if not roots_in:
+            raise AnalysisError(f"iteration {mark.index} has no operators")
+        first_parent_ts = min(r[OP_TS] for r in roots_in)
+        last_kernel_end = max(chain((r[L_TS] + r[L_DUR] for r in marked),
+                                    (k[G_TS] + k[G_DUR] for k in marked_graph)))
+        il = last_kernel_end - first_parent_ts
+
+        cpu_busy = sum(r[OP_DUR] for r in roots_in)
+        min_overhead = (min(r[L_TS] - r[L_CALL_TS] for r in marked)
+                        if marked else 0.0)
+
+        per_iteration.append(IterationMetrics(
+            index=mark.index,
+            tklqt_ns=tklqt,
+            akd_ns=akd,
+            inference_latency_ns=il,
+            gpu_idle_ns=il - gpu_busy,
+            cpu_idle_ns=max(0.0, il - cpu_busy),
+            cpu_busy_ns=cpu_busy,
+            gpu_busy_ns=gpu_busy,
+            kernel_launches=n_kernels,
+            min_launch_overhead_ns=min_overhead,
+        ))
+
+        for record in marked:
+            stats = name_stats[record[L_NAME]]
+            stats[0] += 1
+            stats[1] += record[L_DUR]
+            stats[2] += record[L_TS] - record[L_CALL_TS]
+        for kernel in marked_graph:
+            stats = name_stats[kernel[G_NAME]]
+            stats[0] += 1
+            stats[1] += kernel[G_DUR]
+
+        for record in marked:
+            stats = device_stats[record[L_DEVICE]]
+            stats[0] += record[L_TS] - record[L_CALL_TS]
+            stats[1] += record[L_DUR]
+            stats[2] += 1
+        for kernel in marked_graph:
+            stats = device_stats[kernel[G_DEVICE]]
+            stats[1] += kernel[G_DUR]
+            stats[2] += 1
+
+    aggregates = [
+        KernelAggregate(name, int(count), total_dur, total_lq)
+        for name, (count, total_dur, total_lq) in name_stats.items()
+    ]
+    aggregates.sort(key=lambda a: (-a.count, -a.total_duration_ns, a.name))
+
+    n_iterations = len(per_iteration)
+    mean_il = (sum(it.inference_latency_ns for it in per_iteration)
+               / n_iterations)
+    device_metrics = [
+        DeviceMetrics(
+            device=device,
+            tklqt_ns=tklqt / n_iterations,
+            akd_ns=busy / count if count else 0.0,
+            gpu_busy_ns=busy / n_iterations,
+            gpu_idle_ns=mean_il - busy / n_iterations,
+            kernel_launches=count / n_iterations,
+        )
+        for device, (tklqt, busy, count) in sorted(device_stats.items())
+    ]
+
     return SkipMetrics(iterations=per_iteration, top_kernels=aggregates,
                        devices=device_metrics)

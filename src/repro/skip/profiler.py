@@ -20,7 +20,7 @@ from repro.hardware.platform import Platform
 from repro.skip.classify import Boundedness, classify_metrics
 from repro.skip.depgraph import DependencyGraph
 from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS, FusionAnalysis, analyze_trace
-from repro.skip.metrics import SkipMetrics, compute_metrics
+from repro.skip.metrics import SkipMetrics, compute_metrics, metrics_from_tape
 from repro.trace.trace import Trace
 from repro.workloads.config import ModelConfig
 from repro.workloads.graph import Phase
@@ -101,6 +101,41 @@ class SkipProfiler:
             tp=tp,
         )
         return self.analyze(run_result.trace, run_result)
+
+    def profile_metrics(
+        self,
+        model: ModelConfig,
+        batch_size: int = 1,
+        seq_len: int = 512,
+        mode: ExecutionMode = ExecutionMode.EAGER,
+        phase: Phase = Phase.PREFILL,
+        context_len: int | None = None,
+        fusion_plan: FusionPlan | None = None,
+        tp: TPConfig | None = None,
+    ) -> SkipMetrics:
+        """Metrics-only fast path: no trace, no dependency graph.
+
+        Runs the engine in tape mode and computes SKIP metrics directly
+        from the tape — **bit-identical** to ``profile(...).metrics`` (the
+        parity suite locks this), at a fraction of the cost. Sweeps and
+        serving latency lookups, which discard everything but the metrics,
+        go through here.
+        """
+        run_result = run(
+            model,
+            self.platform,
+            batch_size=batch_size,
+            seq_len=seq_len,
+            mode=mode,
+            phase=phase,
+            context_len=context_len,
+            config=self.engine_config,
+            fusion_plan=fusion_plan,
+            tp=tp,
+            tape=True,
+        )
+        assert run_result.tape is not None
+        return metrics_from_tape(run_result.tape)
 
     def profile_graph(
         self,

@@ -40,7 +40,7 @@ def _next_event_id() -> int:
     return next(_event_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """Base class for all trace events.
 
@@ -76,7 +76,7 @@ class TraceEvent:
         return self.ts <= other.ts < self.ts_end
 
 
-@dataclass
+@dataclass(slots=True)
 class OperatorEvent(TraceEvent):
     """A CPU-side framework operator (ATen op in PyTorch terms)."""
 
@@ -85,7 +85,7 @@ class OperatorEvent(TraceEvent):
     seq: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class RuntimeEvent(TraceEvent):
     """A CUDA runtime API call executed on a CPU thread."""
 
@@ -102,7 +102,7 @@ class RuntimeEvent(TraceEvent):
         return self.name in SYNC_CALLS
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelEvent(TraceEvent):
     """A GPU kernel execution.
 

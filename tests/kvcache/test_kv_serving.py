@@ -12,35 +12,16 @@ from repro.obs.events import StepKind
 from repro.obs.export import recording_to_trace
 from repro.serving.continuous import ContinuousBatchPolicy
 from repro.serving.latency import LatencyModel
-from repro.serving.requests import poisson_requests
 from repro.serving.runtime import simulate_serving
 from repro.workloads import GPT2
+from tests.scenarios import MAX_ACTIVE, pressure_stream, pressured_run
 
 A100 = get_platform("AMD+A100")
 GH200 = get_platform("GH200")
 
-# Settings that put GPT2 under measurable pool pressure in ~0.1 s of wall
-# time: capacity 72 blocks, two admitted sequences need 2*33=66 at admission
-# but 2*40=80 over their lifetime, so decode growth must evict.
-PRESSURE = dict(rate_per_s=40.0, duration_s=0.3, prompt_len=512,
-                output_tokens=128, seed=7)
-POOL_GIB = 0.04
-MAX_ACTIVE = 8
-
-
-def pressured_run(platform, policy, mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD,
-                  recorder=None):
-    requests = poisson_requests(**PRESSURE)
-    latency = LatencyModel(platform=platform, mode=mode)
-    return requests, simulate_serving(
-        requests, GPT2, latency,
-        policy=ContinuousBatchPolicy(max_active=MAX_ACTIVE),
-        recorder=recorder,
-        kv=KvCacheConfig(policy=policy, pool_gib=POOL_GIB))
-
 
 def test_policy_none_is_bit_identical_to_no_kv_config():
-    requests = poisson_requests(**PRESSURE)
+    requests = pressure_stream()
     latency = LatencyModel(platform=GH200, mode=ExecutionMode.EAGER)
     policy = ContinuousBatchPolicy(max_active=MAX_ACTIVE)
     plain = simulate_serving(requests, GPT2, latency, policy=policy)
@@ -76,7 +57,7 @@ def test_offload_swaps_and_still_completes_everything():
 
 def test_request_that_can_never_fit_is_a_configuration_error():
     # 0.011 GiB is 20 blocks; one 512+128-token sequence needs 40.
-    requests = poisson_requests(**PRESSURE)
+    requests = pressure_stream()
     latency = LatencyModel(platform=GH200, mode=ExecutionMode.EAGER)
     with pytest.raises(ConfigurationError, match="cannot fit"):
         simulate_serving(requests, GPT2, latency,

@@ -1,0 +1,64 @@
+"""Shared seeded serving scenarios used across test suites and benchmarks.
+
+Two canonical arrival streams recur everywhere the serving stack is
+exercised:
+
+* the **overload** stream — ~100 requests in 200 ms, far past what one
+  replica with 8 active sequences drains at line rate, so scale-out tests
+  have head-of-line pressure to relieve;
+* the **KV-pressure** stream — settings that put GPT-2 under measurable
+  paged-pool pressure in ~0.1 s of wall time (capacity 72 blocks at
+  ``POOL_GIB``; two admitted sequences need 2*33=66 blocks at admission but
+  2*40=80 over their lifetimes, so decode growth must evict or swap).
+
+Keeping the numbers here — instead of re-typed per suite — means a change
+to one scenario shifts every consumer together, and parity suites comparing
+two code paths are guaranteed to replay the *same* stream.
+"""
+
+from repro.engine.modes import ExecutionMode
+from repro.kvcache import KvCacheConfig
+from repro.serving.continuous import ContinuousBatchPolicy
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import poisson_requests
+from repro.serving.runtime import simulate_serving
+from repro.workloads import GPT2
+
+#: The overload stream's parameters (see module docstring).
+OVERLOAD = dict(rate_per_s=500, duration_s=0.2, prompt_len=512,
+                output_tokens=64, seed=3)
+
+#: The KV-pressure stream's parameters (see module docstring).
+PRESSURE = dict(rate_per_s=40.0, duration_s=0.3, prompt_len=512,
+                output_tokens=128, seed=7)
+#: Paged-pool size that makes the PRESSURE stream actually evict/swap.
+POOL_GIB = 0.04
+#: Continuous-batching concurrency bound used with both streams.
+MAX_ACTIVE = 8
+
+
+def overloaded_stream():
+    """The canonical overload arrival stream (deterministic: seed 3)."""
+    return poisson_requests(**OVERLOAD)
+
+
+def pressure_stream():
+    """The canonical KV-pressure arrival stream (deterministic: seed 7)."""
+    return poisson_requests(**PRESSURE)
+
+
+def pressured_run(platform, policy,
+                  mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD,
+                  recorder=None):
+    """Serve the PRESSURE stream on ``platform`` under KV policy ``policy``.
+
+    Returns ``(requests, run)`` so callers can assert every request was
+    served. Single replica, continuous batching at ``MAX_ACTIVE``.
+    """
+    requests = pressure_stream()
+    latency = LatencyModel(platform=platform, mode=mode)
+    return requests, simulate_serving(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=MAX_ACTIVE),
+        recorder=recorder,
+        kv=KvCacheConfig(policy=policy, pool_gib=POOL_GIB))

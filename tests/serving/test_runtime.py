@@ -18,6 +18,7 @@ from repro.serving import (
     simulate_serving,
 )
 from repro.workloads import GPT2
+from tests import scenarios
 
 
 @pytest.fixture(scope="module")
@@ -27,10 +28,7 @@ def latency():
 
 @pytest.fixture(scope="module")
 def overloaded_stream():
-    # ~100 requests in 200 ms: far past what one replica with 8 active
-    # sequences can drain at line rate, so extra replicas buy wall-clock.
-    return poisson_requests(rate_per_s=500, duration_s=0.2, prompt_len=512,
-                            output_tokens=64, seed=3)
+    return scenarios.overloaded_stream()
 
 
 # ----------------------------------------------------------------------

@@ -164,3 +164,35 @@ def test_observability_doc_covers_multi_replica_export():
     import inspect
     assert "devices_per_replica" in inspect.signature(
         recording_to_trace).parameters
+
+
+def test_performance_doc_names_every_harness_scenario():
+    """docs/performance.md documents each scenario by its canonical name."""
+    from repro.perf import SCENARIO_NAMES
+
+    text = _read("docs/performance.md")
+    for name in SCENARIO_NAMES:
+        assert f"`{name}`" in text, (
+            f"harness scenario {name!r} missing from docs/performance.md")
+    # And no stale scenario entries: every `snake_case` bullet naming a
+    # scenario must still exist in the harness.
+    documented = re.findall(r"^\* `(\w+)` —", text, re.MULTILINE)
+    assert set(documented) == set(SCENARIO_NAMES)
+
+
+def test_performance_doc_is_linked():
+    assert "performance.md" in _read("docs/architecture.md")
+    assert "performance.md" in _read("README.md")
+    assert (ROOT / "docs/performance.md").exists()
+
+
+def test_performance_doc_flags_exist():
+    """The CLI flags the performance doc advertises are real."""
+    import repro.cli as cli
+
+    text = _read("docs/performance.md")
+    assert "--jobs" in text and "--record-sample" in text
+    parser = cli.build_parser()
+    assert parser.parse_args(["sweep", "--jobs", "4"]).jobs == 4
+    assert parser.parse_args(
+        ["serve", "--record-sample", "8"]).record_sample == 8
