@@ -15,9 +15,15 @@ from repro.analysis.export import (
 )
 from repro.analysis.pareto import (
     OperatingPoint,
+    ServingOperatingPoint,
+    chunk_budget_sweep,
+    chunk_sweep_report,
     cross_platform_frontier,
+    mixed_prompt_requests,
     operating_points,
     pareto_frontier,
+    serving_operating_point,
+    serving_pareto_frontier,
 )
 from repro.analysis.sensitivity import (
     Knob,
@@ -75,9 +81,15 @@ __all__ = [
     "DEFAULT_SLO_MS",
     "Knob",
     "OperatingPoint",
+    "ServingOperatingPoint",
+    "chunk_budget_sweep",
+    "chunk_sweep_report",
     "cross_platform_frontier",
+    "mixed_prompt_requests",
     "operating_points",
     "pareto_frontier",
+    "serving_operating_point",
+    "serving_pareto_frontier",
     "Sensitivity",
     "load_sweep_json",
     "metric_sensitivity",

@@ -1,15 +1,25 @@
-"""Latency-throughput Pareto frontiers from batch sweeps.
+"""Latency-throughput Pareto frontiers from batch sweeps and serving runs.
 
 Section III-B frames the operator's problem as balancing user-visible
 latency against hardware utilization. For a prefill sweep, each batch size
 is a (TTFT, tokens-per-second) point; the Pareto-efficient subset is the
 menu an operator actually chooses from, and comparing frontiers across
 platforms shows where each coupling paradigm is the right buy.
+
+The serving-side frontier trades the *two* user-visible latencies against
+each other: chunked prefill (``chunk_tokens`` budgets) delays first tokens
+(a long prompt now prefills over several steps) but bounds how long any
+in-flight decode stalls behind it, so under mixed long-prompt traffic each
+budget is a (p99 TTFT, p99 TBT) operating point and the sweep traces the
+stall-free-scheduling trade directly — tail TBT collapses at a bounded
+TTFT cost, more sharply on coupled parts whose faster dispatch keeps the
+extra chunk steps cheap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.analysis.sweep import SweepResult
 from repro.errors import AnalysisError
@@ -69,3 +79,143 @@ def cross_platform_frontier(sweep: SweepResult, seq_len: int,
     for name in names:
         combined.extend(operating_points(sweep, name, seq_len))
     return pareto_frontier(combined)
+
+
+# ---------------------------------------------------------------------------
+# Serving TTFT/TBT frontier under chunked prefill
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ServingOperatingPoint:
+    """One chunk-budget choice on a platform, measured on a serving run.
+
+    Latencies are per-token-gap percentiles from the run recorder: TBT is
+    the gap between consecutive tokens of one request (``H_TBT``), so its
+    p99 is exactly the decode stall a long prompt inflicts on its
+    neighbors — the quantity chunked prefill bounds.
+    """
+
+    platform: str
+    chunk_tokens: int
+    p50_ttft_ns: float
+    p99_ttft_ns: float
+    p50_tbt_ns: float
+    p99_tbt_ns: float
+    throughput_tokens_per_s: float
+
+    def dominates(self, other: "ServingOperatingPoint") -> bool:
+        """Pareto dominance on the (p99 TTFT, p99 TBT) tail plane."""
+        no_worse = (self.p99_ttft_ns <= other.p99_ttft_ns
+                    and self.p99_tbt_ns <= other.p99_tbt_ns)
+        better = (self.p99_ttft_ns < other.p99_ttft_ns
+                  or self.p99_tbt_ns < other.p99_tbt_ns)
+        return no_worse and better
+
+
+def mixed_prompt_requests(seed: int = 0,
+                          rate_per_s: float = 50.0,
+                          long_rate_per_s: float = 8.0,
+                          duration_s: float = 0.4,
+                          prompt_len: int = 128,
+                          long_prompt_len: int = 3072,
+                          output_tokens: int = 48,
+                          long_output_tokens: int = 8) -> list:
+    """The mixed long-prompt arrival stream the serving frontier is run on.
+
+    A high-rate interactive stream (short prompts, long generations) shares
+    the engine with a low-rate analytic stream (very long prompts, short
+    generations) — the traffic mix where whole-prompt prefill stalls decode
+    tails hardest. Streams are merged by arrival and re-numbered so request
+    ids stay unique.
+    """
+    from repro.serving.requests import poisson_requests
+
+    short = poisson_requests(rate_per_s=rate_per_s, duration_s=duration_s,
+                             prompt_len=prompt_len,
+                             output_tokens=output_tokens, seed=seed)
+    long = poisson_requests(rate_per_s=long_rate_per_s,
+                            duration_s=duration_s,
+                            prompt_len=long_prompt_len,
+                            output_tokens=long_output_tokens, seed=seed + 1)
+    merged = sorted([*short, *long], key=lambda r: r.arrival_ns)
+    return [replace(request, request_id=index)
+            for index, request in enumerate(merged)]
+
+
+def serving_operating_point(model, latency, requests,
+                            chunk_tokens: int,
+                            max_active: int = 8) -> ServingOperatingPoint:
+    """Measure one chunk budget as a serving operating point."""
+    from repro.obs.recorder import H_TBT, H_TTFT, RunRecorder
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.runtime import simulate_serving
+
+    recorder = RunRecorder()
+    result = simulate_serving(
+        list(requests), model, latency,
+        policy=ContinuousBatchPolicy(max_active=max_active,
+                                     chunk_tokens=chunk_tokens),
+        recorder=recorder)
+    ttft = recorder.histogram(H_TTFT)
+    tbt = recorder.histogram(H_TBT)
+    return ServingOperatingPoint(
+        platform=latency.platform.name,
+        chunk_tokens=chunk_tokens,
+        p50_ttft_ns=ttft.percentile(50),
+        p99_ttft_ns=ttft.percentile(99),
+        p50_tbt_ns=tbt.percentile(50),
+        p99_tbt_ns=tbt.percentile(99),
+        throughput_tokens_per_s=result.throughput_tokens_per_s,
+    )
+
+
+def chunk_budget_sweep(model, latency,
+                       budgets: Sequence[int] = (0, 256, 512),
+                       requests=None,
+                       max_active: int = 8,
+                       seed: int = 0) -> list[ServingOperatingPoint]:
+    """Sweep chunk budgets over one arrival stream on one platform.
+
+    Budget 0 (whole-prompt prefill) is the baseline the other points trade
+    against. Every budget serves the *same* request stream, so differences
+    are scheduling, not workload noise.
+    """
+    if not budgets:
+        raise AnalysisError("no chunk budgets given")
+    if requests is None:
+        requests = mixed_prompt_requests(seed=seed)
+    return [serving_operating_point(model, latency, requests, budget,
+                                    max_active=max_active)
+            for budget in budgets]
+
+
+def serving_pareto_frontier(
+        points: list[ServingOperatingPoint]) -> list[ServingOperatingPoint]:
+    """The non-dominated chunk budgets, sorted by tail TTFT ascending."""
+    if not points:
+        raise AnalysisError("no serving operating points given")
+    frontier = [p for p in points
+                if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(frontier, key=lambda p: p.p99_ttft_ns)
+
+
+def chunk_sweep_report(points: list[ServingOperatingPoint],
+                       title: str = "chunked-prefill frontier") -> str:
+    """Render a chunk-budget sweep as an aligned table."""
+    from repro.units import format_ns
+    from repro.viz import render_table
+
+    if not points:
+        raise AnalysisError("no serving operating points given")
+    frontier = set(id(p) for p in serving_pareto_frontier(points))
+    rows = [[p.platform,
+             str(p.chunk_tokens) if p.chunk_tokens else "off",
+             format_ns(p.p99_ttft_ns), format_ns(p.p50_tbt_ns),
+             format_ns(p.p99_tbt_ns),
+             f"{p.throughput_tokens_per_s:.0f}",
+             "*" if id(p) in frontier else ""]
+            for p in points]
+    return render_table(
+        ["platform", "chunk", "p99 TTFT", "p50 TBT", "p99 TBT",
+         "tokens/s", "pareto"],
+        rows, title=title)

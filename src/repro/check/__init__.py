@@ -44,6 +44,7 @@ from repro.check.schedule import (
     KernelIssue,
     check_schedules,
     schedules_from_lowering,
+    schedules_from_pp,
     schedules_from_serving,
     schedules_from_trace,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "lint_trace",
     "register_rule",
     "schedules_from_lowering",
+    "schedules_from_pp",
     "schedules_from_serving",
     "schedules_from_trace",
 ]

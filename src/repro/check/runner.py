@@ -16,6 +16,7 @@ from repro.check.graph import check_lowering, check_sharding
 from repro.check.schedule import (
     check_schedules,
     schedules_from_lowering,
+    schedules_from_pp,
     schedules_from_serving,
     schedules_from_trace,
 )
@@ -63,19 +64,40 @@ def check_workload_schedules(
     batch_size: int = 1,
     seq_len: int = 128,
     dispatch: DispatchMode = DispatchMode.THREAD_PER_DEVICE,
+    pp_stages: int = 1,
+    pp_microbatches: int = 1,
 ) -> CheckReport:
-    """Hazard-check the TP schedules every model's lowering produces."""
+    """Hazard-check the TP (and optionally PP) schedules per model.
+
+    With ``pp_stages > 1`` each model's lowering is additionally
+    partitioned into pipeline stages and the stage handoff schedules are
+    checked (rules S008 and the generic rendezvous rules).
+    """
     report = CheckReport()
     for model in models:
         graph = build_graph(model, batch_size, seq_len)
         lowered = lower_graph(graph)
         for degree in _tp_degrees(model, degrees):
-            if degree == 1:
-                continue  # one device, no rendezvous to hazard-check
-            tp = TPConfig(degree=degree, dispatch=dispatch)
-            schedules = schedules_from_lowering(shard_lowered(lowered, tp), tp)
-            report.extend(check_schedules(schedules),
-                          f"{model.name} tp={degree} {dispatch.value}")
+            if degree > 1:
+                tp = TPConfig(degree=degree, dispatch=dispatch)
+                schedules = schedules_from_lowering(
+                    shard_lowered(lowered, tp), tp)
+                report.extend(check_schedules(schedules),
+                              f"{model.name} tp={degree} {dispatch.value}")
+            if pp_stages > 1:
+                from repro.engine.pp import PPConfig, partition_lowered
+
+                tp = TPConfig(degree=degree)
+                pp = PPConfig(stages=pp_stages,
+                              microbatches=pp_microbatches)
+                stage_lowerings = partition_lowered(
+                    shard_lowered(lowered, tp), pp_stages)
+                schedules = schedules_from_pp(stage_lowerings, pp,
+                                              tp_degree=degree)
+                report.extend(
+                    check_schedules(schedules),
+                    f"{model.name} tp={degree} pp={pp_stages}"
+                    f"x{pp_microbatches}")
     return report
 
 

@@ -27,6 +27,7 @@ directly.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -35,6 +36,7 @@ from repro.engine.lowering import LoweredOp
 from repro.engine.tp import TPConfig
 
 if TYPE_CHECKING:
+    from repro.engine.pp import PPConfig
     from repro.serving.runtime import EngineSession
     from repro.trace.trace import Trace
 
@@ -54,6 +56,21 @@ S005 = register_rule(
     "S005", "schedule", "events unreachable behind a hanging collective")
 S006 = register_rule(
     "S006", "schedule", "collective scheduled off the device's compute stream")
+S007 = register_rule(
+    "S007", "schedule",
+    "chunked prefill interleaves out of order with its own decodes")
+S008 = register_rule(
+    "S008", "schedule", "pipeline-stage occupancy hazard (handoff disorder)")
+
+#: Chunk kernels as the serving planner labels them
+#: (``PromptChunk.schedule_label``).
+_CHUNK_KERNEL = re.compile(
+    r"^serving::prefill_chunk\[r(\d+):(\d+)\+(\d+)/(\d+)\]$")
+#: Decode steps that carry first-decode markers for newly joined requests
+#: (``decode_schedule_label``).
+_DECODE_MARKER = re.compile(r"^serving::decode\[([^\]]*)\]$")
+#: Inter-stage activation handoffs as :func:`schedules_from_pp` keys them.
+_PP_HANDOFF = re.compile(r"^pp\.act@(\d+)->(\d+)\.mb(\d+)$")
 
 #: Stream id of every device's compute stream (mirrors ``SimCore.add_device``).
 COMPUTE_STREAM = 7
@@ -146,6 +163,43 @@ def schedules_from_serving(
     return schedules
 
 
+def schedules_from_pp(stage_lowerings: list[list[LoweredOp]],
+                      pp: PPConfig,
+                      tp_degree: int = 1) -> list[DeviceSchedule]:
+    """The per-device schedules a pipeline-parallel engine run performs.
+
+    Mirrors :func:`repro.engine.pp._pp_stage_process`: stage ``s`` owns
+    devices ``[s*tp_degree, (s+1)*tp_degree)``; each microbatch joins the
+    upstream handoff (except stage 0), issues the stage's kernel stream,
+    and joins the downstream handoff (except the last stage); every device
+    joins the iteration-end barrier. Within-stage TP collectives appear as
+    plain kernel issues — a single dispatch thread drives all of a stage's
+    shards, so no rendezvous happens for them at run time.
+    """
+    stages = len(stage_lowerings)
+    schedules: list[DeviceSchedule] = []
+    for stage in range(stages):
+        for local in range(max(1, tp_degree)):
+            device = stage * max(1, tp_degree) + local
+            items: list[ScheduleItem] = []
+            for microbatch in range(pp.microbatches):
+                if stage > 0:
+                    items.append(CollectiveJoin(
+                        key=f"pp.act@{stage - 1}->{stage}.mb{microbatch}",
+                        parties=2 * max(1, tp_degree)))
+                for lowered_op in stage_lowerings[stage]:
+                    for kernel in lowered_op.kernels:
+                        items.append(KernelIssue(kernel.name))
+                if stage < stages - 1:
+                    items.append(CollectiveJoin(
+                        key=f"pp.act@{stage}->{stage + 1}.mb{microbatch}",
+                        parties=2 * max(1, tp_degree)))
+            items.append(CollectiveJoin(key="pp.iteration-end",
+                                        parties=stages * max(1, tp_degree)))
+            schedules.append(DeviceSchedule(device=device, items=items))
+    return schedules
+
+
 def schedules_from_trace(trace: Trace) -> list[DeviceSchedule]:
     """Reconstruct per-device schedules from an exported Chrome trace.
 
@@ -227,10 +281,106 @@ def _find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
     return None
 
 
+def _check_chunk_order(schedule: DeviceSchedule) -> list[Finding]:
+    """S007: per-request chunk progress must be monotone, decodes after it.
+
+    The planner's invariant: a request's prompt chunks run in offset order
+    ``0, b, 2b, ...`` until they cover the prompt, its first decode (the
+    ``+r<id>`` marker on a decode step) comes only after the final chunk,
+    and no chunk of that request runs after it started decoding. Schedules
+    without chunk kernels pass vacuously.
+    """
+    findings: list[Finding] = []
+    where = f"device {schedule.device}"
+    expected: dict[int, int] = {}     # rid -> next chunk start offset
+    totals: dict[int, int] = {}
+    decoding: set[int] = set()
+    for item in schedule.items:
+        if not isinstance(item, KernelIssue):
+            continue
+        chunk = _CHUNK_KERNEL.match(item.name)
+        if chunk is not None:
+            rid, start, length, total = map(int, chunk.groups())
+            if rid in decoding:
+                findings.append(Finding(
+                    S007, Severity.ERROR, where,
+                    f"request {rid}: prompt chunk [{start}+{length}/{total}] "
+                    f"scheduled after the request started decoding"))
+                continue
+            want = expected.get(rid, 0)
+            if start != want or totals.setdefault(rid, total) != total:
+                findings.append(Finding(
+                    S007, Severity.ERROR, where,
+                    f"request {rid}: chunk starts at offset {start}, "
+                    f"expected {want} (chunks must cover the prompt in "
+                    f"order)"))
+            expected[rid] = start + length
+            continue
+        marker = _DECODE_MARKER.match(item.name)
+        if marker is None:
+            continue
+        for joined in marker.group(1).split(","):
+            if not joined.startswith("+r"):
+                continue
+            rid = int(joined[2:])
+            done = expected.get(rid)
+            total = totals.get(rid)
+            if done is not None and total is not None and done < total:
+                findings.append(Finding(
+                    S007, Severity.ERROR, where,
+                    f"request {rid}: first decode scheduled with only "
+                    f"{done}/{total} prompt tokens prefilled"))
+            decoding.add(rid)
+    return findings
+
+
+def _check_pp_order(schedule: DeviceSchedule) -> list[Finding]:
+    """S008: stage handoffs must drain microbatches in order.
+
+    Per boundary, a device must join handoffs for microbatches
+    ``0, 1, 2, ...`` exactly once each and in order (a stage cannot take
+    microbatch 1 before 0 — the upstream stage produces them in order); and
+    within one microbatch the upstream handoff (recv, boundary ``s-1->s``)
+    must precede the downstream one (send, ``s->s+1``) — sending
+    activations before receiving inputs is a hazard the rendezvous would
+    deadlock on. Schedules without ``pp.act`` joins pass vacuously.
+    """
+    findings: list[Finding] = []
+    where = f"device {schedule.device}"
+    next_mb: dict[tuple[int, int], int] = {}     # boundary -> expected mb
+    last_source: dict[int, int] = {}             # mb -> last boundary source
+    for item in schedule.collectives():
+        handoff = _PP_HANDOFF.match(item.key)
+        if handoff is None:
+            continue
+        source, dest, microbatch = map(int, handoff.groups())
+        boundary = (source, dest)
+        want = next_mb.setdefault(boundary, 0)
+        if microbatch != want:
+            findings.append(Finding(
+                S008, Severity.ERROR, where,
+                f"boundary {source}->{dest}: joins microbatch {microbatch} "
+                f"but microbatch {want} is next (stages drain microbatches "
+                f"in order)"))
+        next_mb[boundary] = microbatch + 1
+        prev = last_source.get(microbatch)
+        if prev is not None and source <= prev:
+            findings.append(Finding(
+                S008, Severity.ERROR, where,
+                f"microbatch {microbatch}: handoff {source}->{dest} joined "
+                f"after boundary {prev} (a stage must receive its inputs "
+                f"before sending activations downstream)"))
+        last_source[microbatch] = source
+    return findings
+
+
 def check_schedules(schedules: list[DeviceSchedule]) -> list[Finding]:
     """Statically detect rendezvous/ordering hazards in device schedules."""
     findings: list[Finding] = []
     world = len(schedules)
+    for schedule in schedules:
+        findings.extend(_check_chunk_order(schedule))
+        findings.extend(_check_pp_order(schedule))
 
     # Per-collective bookkeeping: declared party counts and joining devices.
     declared: dict[str, set[int]] = {}

@@ -78,6 +78,33 @@ def _tp_config(args: argparse.Namespace) -> TPConfig | None:
                     dispatch=DispatchMode(getattr(args, "dispatch", "single")))
 
 
+def _pp_config(args: argparse.Namespace):
+    from repro.engine import PPConfig
+
+    stages = getattr(args, "pp", 1)
+    if stages < 1:
+        raise ConfigurationError("--pp must be at least 1 (1 disables "
+                                 "pipeline parallelism)")
+    microbatches = getattr(args, "pp_microbatches", 1)
+    if microbatches < 1:
+        raise ConfigurationError("--pp-microbatches must be at least 1")
+    if stages == 1:
+        if microbatches > 1:
+            raise ConfigurationError(
+                "--pp-microbatches needs pipeline stages; pass --pp N")
+        return None
+    return PPConfig(stages=stages, microbatches=microbatches)
+
+
+def _add_pp_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pp", type=int, default=1,
+                        help="pipeline-parallel stage count (1 disables; "
+                             ">1 splits the layer stack across stages)")
+    parser.add_argument("--pp-microbatches", type=int, default=1,
+                        help="microbatches flowing through the pipeline "
+                             "per step (GPipe-style)")
+
+
 def _require_memory_fits(model, platform, batch_size: int, seq_len: int,
                          ignore: bool) -> None:
     """Fail fast (exit 2) when a shape cannot fit the platform's HBM.
@@ -108,7 +135,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                               batch_size=args.batch_size,
                               seq_len=args.seq_len,
                               mode=ExecutionMode(args.mode),
-                              tp=_tp_config(args))
+                              tp=_tp_config(args),
+                              pp=_pp_config(args))
     print(profile_report(result))
     return 0
 
@@ -243,22 +271,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.trace import chrome
     from repro.viz import TimelineOptions, render_serving_timeline
 
+    if args.record_sample < 1:
+        raise ConfigurationError(
+            f"--record-sample must be at least 1 (got {args.record_sample}); "
+            f"K=1 records everything, K>1 samples 1-in-K requests")
+    if args.chunk_tokens < 0:
+        raise ConfigurationError(
+            f"--chunk-tokens must be non-negative (got {args.chunk_tokens}); "
+            f"0 disables chunked prefill and reproduces whole-prompt serving")
     model = get_model(args.model)
     kv = _kv_config(args)
     latency = LatencyModel(get_platform(args.platform), engine_config=_FAST,
-                           tp=_tp_config(args))
+                           tp=_tp_config(args), pp=_pp_config(args))
     requests = poisson_requests(
         rate_per_s=args.rate, duration_s=args.duration,
         prompt_len=args.prompt_len, output_tokens=args.output_tokens,
         seed=args.seed)
     if args.scenario == "continuous":
-        policy = ContinuousBatchPolicy(max_active=args.max_active)
+        policy = ContinuousBatchPolicy(max_active=args.max_active,
+                                       chunk_tokens=args.chunk_tokens)
         workload: list = list(requests)
     elif args.scenario == "static":
+        if args.chunk_tokens:
+            raise ConfigurationError(
+                "--chunk-tokens applies to the continuous and priority "
+                "scenarios; static batching prefills whole batches")
         policy = StaticBatchPolicy(max_batch_size=args.max_active)
         workload = list(requests)
     else:  # priority: every 4th request is interactive, the rest are bulk
-        policy = PriorityPolicy(bulk_batch=args.max_active)
+        policy = PriorityPolicy(bulk_batch=args.max_active,
+                                chunk_tokens=args.chunk_tokens)
         workload = [
             ClassifiedRequest(request=request,
                               request_class=(RequestClass.INTERACTIVE
@@ -374,10 +416,13 @@ def _cmd_check_schedule(args: argparse.Namespace) -> int:
     if args.trace:
         return _emit_report(check_trace_schedules(args.trace), args.json)
     degrees = tuple(int(d) for d in args.degrees.split(","))
+    _pp_config(args)  # validate the stage/microbatch pair up front
     report = check_workload_schedules(_resolve_check_models(args.models),
                                       degrees, batch_size=args.batch_size,
                                       seq_len=args.seq_len,
-                                      dispatch=DispatchMode(args.dispatch))
+                                      dispatch=DispatchMode(args.dispatch),
+                                      pp_stages=args.pp,
+                                      pp_microbatches=args.pp_microbatches)
     return _emit_report(report, args.json)
 
 
@@ -443,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--mode", default="eager",
                        choices=[m.value for m in ExecutionMode
                                 if m is not ExecutionMode.PROXIMITY_FUSED])
+    _add_pp_args(run_p)
     run_p.add_argument("--ignore-memory", action="store_true",
                        help="simulate even when the shape exceeds HBM")
     run_p.set_defaults(func=_cmd_run)
@@ -498,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", type=int, default=1,
                        help="engine replicas serving one admission queue")
     _add_tp_args(serve)
+    _add_pp_args(serve)
     serve.add_argument("--rate", type=float, default=20.0,
                        help="Poisson arrival rate (req/s)")
     serve.add_argument("--duration", type=float, default=1.0,
@@ -507,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-active", type=int, default=8,
                        help="max active sequences (continuous), batch size "
                             "(static), or bulk batch (priority)")
+    serve.add_argument("--chunk-tokens", type=int, default=0,
+                       help="per-step token budget for chunked prefill "
+                            "(sarathi-style stall-free scheduling); 0 "
+                            "disables chunking and reproduces whole-prompt "
+                            "serving bit-identically")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--record-sample", type=int, default=1, metavar="K",
                        help="record full per-request detail for 1-in-K "
@@ -593,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_catalog(check_sched)
     check_sched.add_argument("--dispatch", default="per-device",
                              choices=[m.value for m in DispatchMode])
+    _add_pp_args(check_sched)
     check_sched.add_argument("--trace", metavar="PATH", action="append",
                              help="hazard-check the schedules reconstructed "
                                   "from an exported Chrome trace instead of "

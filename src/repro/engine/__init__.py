@@ -17,6 +17,16 @@ from repro.engine.lowering import (
     lower_op,
 )
 from repro.engine.modes import ExecutionMode
+from repro.engine.pp import (
+    PP_DISABLED,
+    PP_STAGE_CACHE,
+    PPConfig,
+    ParallelConfig,
+    build_core_pp,
+    partition_lowered,
+    stage_boundary_bytes,
+    validate_pp,
+)
 from repro.engine.tp import (
     TP_DISABLED,
     DispatchMode,
@@ -39,11 +49,19 @@ __all__ = [
     "GpuStream",
     "KernelTask",
     "LoweredOp",
+    "PP_DISABLED",
+    "PP_STAGE_CACHE",
+    "PPConfig",
+    "ParallelConfig",
     "RunResult",
     "TP_DISABLED",
     "TPConfig",
     "apply_fusion_plan",
     "build_core",
+    "build_core_pp",
+    "partition_lowered",
+    "stage_boundary_bytes",
+    "validate_pp",
     "compile_time",
     "kernel_count",
     "launches_saved",

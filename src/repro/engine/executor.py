@@ -35,6 +35,15 @@ from repro.engine.compiler import CompileReport, apply_inductor_fusion, compile_
 from repro.engine.fusion_apply import FusionPlan, fused_kernel_name
 from repro.engine.lowering import KernelTask, LoweredOp, lower_graph
 from repro.engine.modes import ExecutionMode
+from repro.engine.pp import (
+    PP_DISABLED,
+    PP_STAGE_CACHE,
+    PPConfig,
+    build_core_pp,
+    partition_lowered,
+    pp_stage_processes,
+    validate_pp,
+)
 from repro.engine.processes import (
     graph_replay_process,
     per_device_launch_processes,
@@ -124,6 +133,7 @@ class RunResult:
     compile_report: CompileReport
     config: EngineConfig = field(default_factory=EngineConfig)
     tp: TPConfig = TP_DISABLED
+    pp: PPConfig = PP_DISABLED
     core: SimCore | None = None
     tape: TraceTape | None = None
 
@@ -163,6 +173,7 @@ def run(
     fusion_plan: FusionPlan | None = None,
     recorder: RunRecorder | None = None,
     tp: TPConfig | None = None,
+    pp: PPConfig | None = None,
     tape: bool = False,
 ) -> RunResult:
     """Simulate inference and return the trace plus run context.
@@ -180,11 +191,30 @@ def run(
             occupancy and launch delay during execution and records one
             ``ENGINE`` step per measured iteration.
         tp: Tensor-parallel configuration (``None`` = single device).
+        pp: Pipeline-parallel configuration (``None`` = single stage). At
+            ``stages == 1`` the run takes the untouched single-core path
+            and is bit-identical to a run without the argument.
         tape: Record a :class:`~repro.trace.tape.TraceTape` instead of a
             full trace (metrics-only fast path; ``result.trace`` is None).
     """
     if tp is None:
         tp = TP_DISABLED
+    if pp is None:
+        pp = PP_DISABLED
+    if pp.enabled:
+        # Pipeline stages are launch-mode dispatch processes; CUDA-graph
+        # replay captures the whole-model chain and cannot split, and
+        # per-device TP threads would need stages x degree dispatch
+        # processes the stage process already subsumes.
+        if mode.uses_cuda_graph:
+            raise ConfigurationError(
+                f"pipeline parallelism requires launch-mode execution, "
+                f"not {mode.value} (CUDA-graph replay captures the whole "
+                f"model as one chain)")
+        if tp.enabled and tp.dispatch is DispatchMode.THREAD_PER_DEVICE:
+            raise ConfigurationError(
+                "pipeline parallelism drives each stage's shards from the "
+                "stage's own dispatch thread; use single-thread TP dispatch")
     # The lowering cache applies only to shapes it can key: a model config
     # (prebuilt graphs carry no shape key) without a caller-owned fusion
     # plan. Cached graphs/lowerings are shared read-only; see engine.cache.
@@ -235,8 +265,43 @@ def run(
         metadata["tp_degree"] = tp.degree
         metadata["tp_dispatch"] = tp.dispatch.value
         metadata["tp_link"] = tp.link.name
+    if pp.enabled:
+        metadata["pp_stages"] = pp.stages
+        metadata["pp_microbatches"] = pp.microbatches
+        metadata["pp_link"] = pp.link.name
     builder: TraceBuilder | TapeBuilder
     builder = TapeBuilder(metadata) if tape else TraceBuilder(metadata=metadata)
+
+    if pp.enabled:
+        validate_pp(pp, len(lowered), graph.model_name)
+        if cacheable:
+            stage_lowerings = PP_STAGE_CACHE.partition(
+                (*key_shape, mode, tp.degree, pp.stages), lowered, pp.stages)
+        else:
+            stage_lowerings = partition_lowered(lowered, pp.stages)
+        core = build_core_pp(tp, pp)
+        core.spawn_all(pp_stage_processes(core, builder, stage_lowerings,
+                                          platform, mode, config, pp))
+        core.run()
+        finished = builder.finish()
+        result = RunResult(
+            trace=None if tape else finished,
+            graph=graph,
+            lowered=lowered,
+            platform=platform,
+            mode=mode,
+            compile_report=report,
+            config=config,
+            tp=tp,
+            pp=pp,
+            core=core,
+            tape=finished if tape else None,
+        )
+        if recorder is not None:
+            for mark in finished.iterations:
+                recorder.record_step(StepKind.ENGINE, mark.ts,
+                                     mark.ts_end - mark.ts, graph.batch_size)
+        return result
 
     core = build_core(tp)
     if mode.uses_cuda_graph:
@@ -262,6 +327,7 @@ def run(
         compile_report=report,
         config=config,
         tp=tp,
+        pp=pp,
         core=core,
         tape=finished if tape else None,
     )

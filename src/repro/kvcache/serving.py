@@ -30,24 +30,14 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigurationError, SimulationError
 from repro.kvcache.manager import KvManager, KvPolicy
 from repro.obs.events import EngineShape, StepKind
+from repro.serving.planner import (ChunkedSequenceState, PlannerConfig,
+                                   StepPlanner)
 from repro.serving.requests import Request
 
 if TYPE_CHECKING:
     from repro.serving.continuous import ContinuousBatchPolicy
     from repro.serving.runtime import EngineSession, ServingRuntime
     from repro.sim.core import Process
-
-
-@dataclass
-class _KvSequence:
-    """One admitted sequence plus its serving bookkeeping."""
-
-    request: Request
-    first_token_ns: float
-    remaining: int
-    context: int
-    admitted_ns: float
-    last_token_ns: float = 0.0
 
 
 def lifetime_blocks(manager: KvManager, request: Request) -> int:
@@ -67,8 +57,9 @@ def kv_continuous_batching_process(
     if kv is None:
         raise ConfigurationError(
             "kv_continuous_batching_process needs a session with a KvManager")
-    active: list[_KvSequence] = []
-    swapped: list[_KvSequence] = []   # offloaded, FIFO readmission order
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
+    active: list[ChunkedSequenceState] = []
+    swapped: list[ChunkedSequenceState] = []   # offloaded, FIFO readmission order
     preempted: list[Request] = []     # recompute victims awaiting re-prefill
     clock = 0.0
 
@@ -88,14 +79,23 @@ def kv_continuous_batching_process(
             for request in batch:
                 recorder.on_admitted(request.request_id, request.arrival_ns,
                                      clock)
-        session.execute(
-            StepKind.PREFILL, clock, prefill_ns, len(batch),
-            queue_depth=depth(),
-            shape=EngineShape(model.name, len(batch), prompt_len)
-            if recorder is not None else None)
-        clock += prefill_ns
+        # Planner-decomposed prefill. Blocks for the whole prompt are
+        # already allocated, so chunks run back to back at admission time:
+        # chunking here bounds step granularity (observability + S007
+        # checkability), not decode interleave — see docs/serving.md.
+        for chunk in planner.prefill_plan(batch[0].request_id, prompt_len):
+            chunk_ns = (prefill_ns if chunk.is_whole
+                        else StepPlanner.chunk_cost_ns(latency, model,
+                                                       len(batch), chunk))
+            session.execute(
+                chunk.kind, clock, chunk_ns, len(batch),
+                queue_depth=depth(),
+                shape=EngineShape(model.name, len(batch), prompt_len)
+                if recorder is not None and chunk.is_whole else None,
+                schedule_label=chunk.schedule_label)
+            clock += chunk_ns
         for request in batch:
-            seq = _KvSequence(
+            seq = ChunkedSequenceState(
                 request=request,
                 first_token_ns=clock - request.arrival_ns,
                 remaining=request.output_tokens - 1,
@@ -239,7 +239,7 @@ def kv_continuous_batching_process(
             if recorder is not None else None)
         clock += step_ns
         step_batch = len(active)
-        finished: list[_KvSequence] = []
+        finished: list[ChunkedSequenceState] = []
         for seq in active:
             seq.context += 1
             seq.remaining -= 1

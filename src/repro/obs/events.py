@@ -24,6 +24,7 @@ class StepKind(enum.Enum):
     """What one recorded engine invocation did."""
 
     PREFILL = "prefill"
+    PREFILL_CHUNK = "prefill_chunk"  # token-budget slice of a larger prefill
     DECODE = "decode"
     GENERATION = "generation"   # static batching's closed-form decode tail
     DRAFT = "draft"             # speculative: draft-model decode steps

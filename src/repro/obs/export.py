@@ -203,6 +203,10 @@ class _Splicer:
     #: distinct from the compute streams (7+), so interconnect traffic shows
     #: up as its own row in trace viewers.
     COPY_STREAM = 15
+    #: Compute stream every device's in-order stream uses (mirrors
+    #: ``SimCore.add_device``). ``KernelEvent`` is a slots dataclass, so the
+    #: default cannot be read off the class attribute.
+    COMPUTE_STREAM = 7
 
     def synthesize(self, step: StepEvent, latency: LatencyModel) -> None:
         """Emit a minimal analyzable iteration for a closed-form step."""
@@ -213,7 +217,7 @@ class _Splicer:
                         step.ts_end_ns)
         correlation = next(self._correlation)
         swap = step.kind in (StepKind.SWAP_OUT, StepKind.SWAP_IN)
-        stream = self.COPY_STREAM if swap else KernelEvent.stream
+        stream = self.COPY_STREAM if swap else self.COMPUTE_STREAM
         self._out.add(OperatorEvent(
             name=f"serving::{step.kind.value}", ts=step.ts_ns,
             dur=step.dur_ns, tid=1 + tid_offset, seq=next(self._seq)))

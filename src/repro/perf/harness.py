@@ -6,7 +6,11 @@ Runs three canonical scenarios spanning the simulator's main workloads:
 * ``tp_sweep`` — a tensor-parallel sweep over degrees 1/2/4/8 with
   per-device dispatch threads (the heaviest engine shape);
 * ``serve_kv_offload`` — a 4-replica continuous-batching serve under KV
-  pressure with offload swaps, recorder attached.
+  pressure with offload swaps, recorder attached;
+* ``serve_chunked`` — chunked-prefill continuous batching over the mixed
+  long-prompt stream (the stall-free-scheduling workload: budget-sized
+  prompt chunks interleave with decodes, ~3x the engine steps of the
+  whole-prompt run).
 
 Each scenario reports:
 
@@ -43,12 +47,16 @@ BEFORE_BASELINES: dict[str, float] = {
     "single_run": 0.0224,
     "tp_sweep": 0.305,
     "serve_kv_offload": 0.5896,
+    # serve_chunked postdates the fast-path PR, so its before was measured
+    # on this tree with the same paths forced off (lowering cache disabled,
+    # full unsampled recording), best of 3.
+    "serve_chunked": 0.4305,
 }
 
 #: Canonical scenario names, in run order. docs/performance.md documents
 #: each by name (a docs-lock test holds the two lists together).
 SCENARIO_NAMES: tuple[str, ...] = (
-    "single_run", "tp_sweep", "serve_kv_offload")
+    "single_run", "tp_sweep", "serve_kv_offload", "serve_chunked")
 
 
 @dataclass(frozen=True)
@@ -139,10 +147,36 @@ def _scenario_serve_kv_offload(quick: bool) -> int:
     return sum(o.request.output_tokens for o in run.outcomes)
 
 
+def _scenario_serve_chunked(quick: bool) -> int:
+    from repro.analysis.pareto import mixed_prompt_requests
+    from repro.obs import RunRecorder
+    from repro.serving import (
+        ContinuousBatchPolicy,
+        LatencyModel,
+        simulate_serving,
+    )
+    from repro.hardware import get_platform
+    from repro.workloads import get_model
+
+    duration = 0.15 if quick else 0.4
+    requests = mixed_prompt_requests(seed=3, duration_s=duration)
+    recorder = RunRecorder(sample_every=8)
+    run = simulate_serving(
+        requests, get_model("gpt2"),
+        LatencyModel(platform=get_platform("GH200")),
+        policy=ContinuousBatchPolicy(max_active=8, chunk_tokens=256),
+        recorder=recorder)
+    chunk_steps = recorder.counters.as_dict().get("steps_prefill_chunk", 0)
+    assert chunk_steps > 0, "scenario must actually chunk prompts"
+    assert recorder.aggregates.requests_completed == len(requests)
+    return sum(o.request.output_tokens for o in run.outcomes)
+
+
 _SCENARIOS = {
     "single_run": _scenario_single_run,
     "tp_sweep": _scenario_tp_sweep,
     "serve_kv_offload": _scenario_serve_kv_offload,
+    "serve_chunked": _scenario_serve_chunked,
 }
 
 

@@ -17,6 +17,15 @@ from repro.serving.continuous import (
     simulate_continuous_batching,
 )
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import (
+    BatchDecision,
+    PlannerConfig,
+    PromptChunk,
+    StepPlan,
+    StepPlanner,
+    chunk_plan,
+    decode_schedule_label,
+)
 from repro.serving.pipeline import (
     AgenticPipeline,
     PipelineResult,
@@ -62,7 +71,14 @@ from repro.serving.speculative import (
 __all__ = [
     "AdmissionQueue",
     "AgenticPipeline",
+    "BatchDecision",
     "ContinuousBatchPolicy",
+    "PlannerConfig",
+    "PromptChunk",
+    "StepPlan",
+    "StepPlanner",
+    "chunk_plan",
+    "decode_schedule_label",
     "simulate_continuous_batching",
     "EngineSession",
     "LatencyModel",

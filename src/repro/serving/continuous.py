@@ -11,12 +11,19 @@ Decode-step latencies are looked up through the engine-backed LatencyModel
 with context lengths bucketed (decode cost is near-affine in context, and
 bucketing bounds the number of engine runs).
 
+Batch composition is delegated to the token-budget planner
+(:mod:`repro.serving.planner`). With ``chunk_tokens == 0`` (the default)
+prompts prefill whole and the loop reproduces
+:func:`repro.serving.legacy.legacy_continuous_batching` bit-for-bit; with a
+positive budget, prompts are prefilled in budget-sized *chunks* interleaved
+with decode steps (sarathi-serve's stall-free scheduling), so a long prompt
+delays in-flight decodes by at most one chunk instead of a whole prefill.
+
 The serving loop is :func:`continuous_batching_process`, a process on
-:class:`repro.serving.runtime.ServingRuntime`; with one replica it
-reproduces :func:`repro.serving.legacy.legacy_continuous_batching`
-bit-for-bit. Passing a :class:`repro.obs.RunRecorder` records every
-admission, prefill batch, decode step, token, and completion; the recorded
-run exports as a SKIP-analyzable Chrome trace (see ``docs/observability.md``).
+:class:`repro.serving.runtime.ServingRuntime`. Passing a
+:class:`repro.obs.RunRecorder` records every admission, prefill batch or
+chunk, decode step, token, and completion; the recorded run exports as a
+SKIP-analyzable Chrome trace (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.batcher import ServingReport
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import (ChunkedSequenceState, PlannerConfig,
+                                   PromptChunk, StepPlanner,
+                                   decode_schedule_label)
 from repro.serving.requests import Request, queue_delay_ns
 from repro.workloads.config import ModelConfig
 
@@ -45,26 +55,27 @@ class ContinuousBatchPolicy:
         max_active: Maximum sequences decoding concurrently.
         context_bucket: Decode context lengths are rounded up to this
             multiple for latency lookups.
+        chunk_tokens: Per-step token budget for chunked prefill
+            (``max_num_batched_tokens``); 0 disables chunking and
+            reproduces whole-prefill serving bit-identically.
     """
 
     max_active: int = 16
     context_bucket: int = 64
+    chunk_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.max_active <= 0:
             raise ConfigurationError("max_active must be positive")
         if self.context_bucket <= 0:
             raise ConfigurationError("context_bucket must be positive")
-
-
-@dataclass
-class _Sequence:
-    request: Request
-    first_token_ns: float
-    remaining: int
-    context: int
-    admitted_ns: float
-    last_token_ns: float = 0.0
+        if self.chunk_tokens < 0:
+            raise ConfigurationError(
+                "chunk_tokens must be non-negative (0 disables chunking)")
+        if self.chunk_tokens and self.chunk_tokens < self.max_active:
+            raise ConfigurationError(
+                f"chunk_tokens ({self.chunk_tokens}) must cover one decode "
+                f"token per active sequence (max_active={self.max_active})")
 
 
 def continuous_batching_process(runtime: ServingRuntime,
@@ -72,63 +83,105 @@ def continuous_batching_process(runtime: ServingRuntime,
                                 policy: ContinuousBatchPolicy) -> Process:
     """One replica's iteration-level scheduler, as a sim process.
 
-    Each wake-up is one engine iteration: if sequences are active, run one
-    decode step for the whole set, retire finished sequences, and admit
-    arrivals at the step boundary; otherwise sleep until the next arrival.
+    Each wake-up is one planner-composed engine step: every active sequence
+    decodes one token, then the leftover token budget (if chunking is on)
+    runs prompt chunks for claimed-but-unprefilled requests; finished
+    sequences retire and new arrivals are admitted at the step boundary.
+    With chunking off, admission prefills the whole batch immediately and
+    steps are pure decodes — the legacy schedule, bit for bit.
     """
     queue = runtime.queue
     latency = runtime.latency
     model = runtime.model
     recorder = runtime.recorder
-    active: list[_Sequence] = []
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens),
+                          max_active=policy.max_active)
+    active: list[ChunkedSequenceState] = []
+    # Chunked mode: requests claimed but still prefilling, by id, with the
+    # claim time (queue-delay accounting needs it once the last chunk lands).
+    admitted: dict[int, tuple[Request, float]] = {}
+    newly_joined: list[int] = []        # rids whose first decode is next step
     clock = 0.0
+
+    def start_sequence(request: Request, admitted_ns: float,
+                       batch_size: int) -> None:
+        """Shared post-prefill bookkeeping: first token, retire or join."""
+        seq = ChunkedSequenceState(
+            request=request,
+            first_token_ns=clock - request.arrival_ns,
+            remaining=request.output_tokens - 1,
+            context=request.prompt_len + 1,
+            admitted_ns=admitted_ns,
+            last_token_ns=clock - request.arrival_ns,
+        )
+        if recorder is not None:
+            recorder.on_first_token(request.request_id, clock)
+        if seq.remaining <= 0:
+            # Single-token request: its first (prefill) token is its
+            # last; it completes here and never joins the decode batch.
+            if recorder is not None:
+                recorder.on_completed(request.request_id, clock)
+            runtime.complete(request,
+                             ttft_ns=seq.first_token_ns,
+                             completion_ns=seq.first_token_ns,
+                             batch_size=batch_size,
+                             service_start_ns=admitted_ns,
+                             session=session)
+        else:
+            active.append(seq)
+            if planner.enabled:
+                newly_joined.append(request.request_id)
 
     def admit() -> None:
         nonlocal clock
-        batch = queue.claim(clock, policy.max_active - len(active))
+        batch = queue.claim(
+            clock, policy.max_active - len(active) - planner.pending_count)
         if not batch:
             return
         admitted_ns = clock
-        prompt_len = max(r.prompt_len for r in batch)
-        prefill_ns = latency.ttft_ns(model, len(batch), prompt_len)
         if recorder is not None:
             for request in batch:
                 recorder.on_admitted(request.request_id, request.arrival_ns,
                                      clock)
-        session.execute(
-            StepKind.PREFILL, clock, prefill_ns, len(batch),
-            queue_depth=queue.depth(clock) if recorder is not None else 0,
-            shape=EngineShape(model.name, len(batch), prompt_len)
-            if recorder is not None else None)
-        clock += prefill_ns
+        if planner.enabled:
+            # Chunked mode: defer prefill to the step loop, where the
+            # planner interleaves budget-sized chunks with decodes.
+            planner.admit(batch, clock)
+            for request in batch:
+                admitted[request.request_id] = (request, admitted_ns)
+            return
+        prompt_len = max(r.prompt_len for r in batch)
+        for chunk in planner.prefill_plan(batch[0].request_id, prompt_len):
+            # Whole-prompt plan: one chunk priced by the same single
+            # ttft_ns lookup the pre-planner loop made (the parity anchor).
+            prefill_ns = StepPlanner.chunk_cost_ns(latency, model,
+                                                   len(batch), chunk)
+            session.execute(
+                chunk.kind, clock, prefill_ns, len(batch),
+                queue_depth=queue.depth(clock) if recorder is not None else 0,
+                shape=EngineShape(model.name, len(batch), prompt_len)
+                if recorder is not None else None,
+                schedule_label=chunk.schedule_label)
+            clock += prefill_ns
         for request in batch:
-            seq = _Sequence(
-                request=request,
-                first_token_ns=clock - request.arrival_ns,
-                remaining=request.output_tokens - 1,
-                context=request.prompt_len + 1,
-                admitted_ns=admitted_ns,
-                last_token_ns=clock - request.arrival_ns,
-            )
-            if recorder is not None:
-                recorder.on_first_token(request.request_id, clock)
-            if seq.remaining <= 0:
-                # Single-token request: its first (prefill) token is its
-                # last; it completes here and never joins the decode batch.
-                if recorder is not None:
-                    recorder.on_completed(request.request_id, clock)
-                runtime.complete(request,
-                                 ttft_ns=seq.first_token_ns,
-                                 completion_ns=seq.first_token_ns,
-                                 batch_size=len(batch),
-                                 service_start_ns=admitted_ns,
-                                 session=session)
-            else:
-                active.append(seq)
+            start_sequence(request, admitted_ns, len(batch))
+
+    def run_chunk(chunk: PromptChunk) -> None:
+        """Execute one planned prompt chunk (BS=1 marginal-prefill cost)."""
+        nonlocal clock
+        chunk_ns = StepPlanner.chunk_cost_ns(latency, model, 1, chunk)
+        session.execute(
+            chunk.kind, clock, chunk_ns, 1,
+            queue_depth=queue.depth(clock) if recorder is not None else 0,
+            shape=None, schedule_label=chunk.schedule_label)
+        clock += chunk_ns
+        if chunk.is_last:
+            request, admitted_ns = admitted.pop(chunk.request_id)
+            start_sequence(request, admitted_ns, 1)
 
     while True:
         clock = yield ("at", clock)
-        if not active:
+        if not active and not planner.has_pending:
             nxt = queue.next_unclaimed_arrival()
             if nxt is None:
                 break
@@ -139,37 +192,46 @@ def continuous_batching_process(runtime: ServingRuntime,
                 continue
             admit()
             continue
-        # One decode step for the whole active set.
-        context = max(seq.context for seq in active)
-        bucketed = -(-context // policy.context_bucket) * policy.context_bucket
-        step_ns = latency.decode_step_ns(model, len(active), bucketed)
-        session.execute(
-            StepKind.DECODE, clock, step_ns, len(active),
-            queue_depth=queue.depth(clock) if recorder is not None else 0,
-            shape=EngineShape(model.name, len(active), 1,
-                              phase="decode", context_len=bucketed)
-            if recorder is not None else None)
-        clock += step_ns
-        step_batch = len(active)
-        finished: list[_Sequence] = []
-        for seq in active:
-            seq.context += 1
-            seq.remaining -= 1
-            seq.last_token_ns = clock - seq.request.arrival_ns
-            if recorder is not None:
-                recorder.on_token(seq.request.request_id, clock)
-            if seq.remaining <= 0:
-                finished.append(seq)
-        for seq in finished:
-            active.remove(seq)
-            if recorder is not None:
-                recorder.on_completed(seq.request.request_id, clock)
-            runtime.complete(seq.request,
-                             ttft_ns=seq.first_token_ns,
-                             completion_ns=seq.last_token_ns,
-                             batch_size=step_batch,
-                             service_start_ns=seq.admitted_ns,
-                             session=session)
+        # Compose the step up front: decode tokens first (decode priority),
+        # then whatever budget remains as prompt chunks.
+        plan = planner.plan_step(len(active))
+        if active:
+            # One decode step for the whole active set.
+            context = max(seq.context for seq in active)
+            bucketed = (-(-context // policy.context_bucket)
+                        * policy.context_bucket)
+            step_ns = latency.decode_step_ns(model, len(active), bucketed)
+            session.execute(
+                StepKind.DECODE, clock, step_ns, len(active),
+                queue_depth=queue.depth(clock) if recorder is not None else 0,
+                shape=EngineShape(model.name, len(active), 1,
+                                  phase="decode", context_len=bucketed)
+                if recorder is not None else None,
+                schedule_label=decode_schedule_label(newly_joined))
+            newly_joined.clear()
+            clock += step_ns
+            step_batch = len(active)
+            finished: list[ChunkedSequenceState] = []
+            for seq in active:
+                seq.context += 1
+                seq.remaining -= 1
+                seq.last_token_ns = clock - seq.request.arrival_ns
+                if recorder is not None:
+                    recorder.on_token(seq.request.request_id, clock)
+                if seq.remaining <= 0:
+                    finished.append(seq)
+            for seq in finished:
+                active.remove(seq)
+                if recorder is not None:
+                    recorder.on_completed(seq.request.request_id, clock)
+                runtime.complete(seq.request,
+                                 ttft_ns=seq.first_token_ns,
+                                 completion_ns=seq.last_token_ns,
+                                 batch_size=step_batch,
+                                 service_start_ns=seq.admitted_ns,
+                                 session=session)
+        for chunk in plan.chunks:
+            run_chunk(chunk)
         # Admit newly arrived requests at the step boundary.
         admit()
 

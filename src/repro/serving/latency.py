@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.executor import EngineConfig, RunResult, run
 from repro.engine.modes import ExecutionMode
+from repro.engine.pp import PPConfig
 from repro.engine.tp import TPConfig
 from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
@@ -34,6 +35,8 @@ class LatencyModel:
     #: Tensor-parallel topology for every engine run behind this model.
     #: Fixed per instance, so the latency caches need no extra key.
     tp: TPConfig | None = None
+    #: Pipeline-parallel topology, likewise fixed per instance.
+    pp: PPConfig | None = None
     _ttft_cache: dict = field(default_factory=dict, repr=False)
     _decode_cache: dict = field(default_factory=dict, repr=False)
     _result_cache: dict = field(default_factory=dict, repr=False)
@@ -53,7 +56,7 @@ class LatencyModel:
             self._result_cache[key] = run(
                 model, self.platform, batch_size=batch_size, seq_len=seq_len,
                 phase=phase, context_len=context_len, mode=self.mode,
-                config=self.engine_config, tp=self.tp)
+                config=self.engine_config, tp=self.tp, pp=self.pp)
         return self._result_cache[key]
 
     def ttft_ns(self, model: ModelConfig, batch_size: int, prompt_len: int) -> float:
@@ -65,7 +68,8 @@ class LatencyModel:
             # serving result built on them) are unchanged by the fast path.
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=prompt_len, mode=self.mode,
-                         config=self.engine_config, tp=self.tp, tape=True)
+                         config=self.engine_config, tp=self.tp, pp=self.pp,
+                         tape=True)
             assert result.tape is not None
             metrics = metrics_from_tape(result.tape)
             self._ttft_cache[key] = metrics.inference_latency_ns
@@ -79,7 +83,7 @@ class LatencyModel:
             result = run(model, self.platform, batch_size=batch_size,
                          seq_len=1, phase=Phase.DECODE, context_len=context_len,
                          mode=self.mode, config=self.engine_config, tp=self.tp,
-                         tape=True)
+                         pp=self.pp, tape=True)
             assert result.tape is not None
             metrics = metrics_from_tape(result.tape)
             self._decode_cache[key] = metrics.inference_latency_ns

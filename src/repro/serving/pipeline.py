@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import PlannerConfig, StepPlanner
 from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
 
@@ -128,12 +129,16 @@ class PipelineServingPolicy:
 
     stages: tuple[PipelineStage, ...]
     max_batch_size: int = 8
+    chunk_tokens: int = 0
 
     def __post_init__(self) -> None:
         if not self.stages:
             raise ConfigurationError("pipeline needs at least one stage")
         if self.max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
+        if self.chunk_tokens < 0:
+            raise ConfigurationError(
+                "chunk_tokens must be non-negative (0 disables chunking)")
 
 
 def pipeline_serving_process(runtime: ServingRuntime,
@@ -149,17 +154,19 @@ def pipeline_serving_process(runtime: ServingRuntime,
     queue = runtime.queue
     latency = runtime.latency
     recorder = runtime.recorder
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
     free = 0.0
     while True:
         now = yield ("at", free)
-        seed = queue.first_unclaimed()
-        if seed is None:
+        decision = StepPlanner.next_fifo_batch(queue, now,
+                                               policy.max_batch_size)
+        if decision.done:
             break
-        if seed.arrival_ns > now:
-            free = seed.arrival_ns
+        if decision.wake_at is not None:
+            free = decision.wake_at
             continue
-        launch = max(seed.arrival_ns, free)
-        batch = queue.claim(now, policy.max_batch_size)
+        launch = max(decision.seed_arrival, free)
+        batch = list(decision.batch)
 
         batch_size = len(batch)
         request_prompt = max(r.prompt_len for r in batch)
@@ -177,16 +184,25 @@ def pipeline_serving_process(runtime: ServingRuntime,
             ttft = latency.ttft_ns(stage.model, batch_size, prompt)
             total = latency.generation_ns(stage.model, batch_size, prompt,
                                           stage.output_tokens)
-            session.execute(
-                StepKind.PREFILL, clock, ttft, batch_size,
-                queue_depth=waiting,
-                shape=EngineShape(stage.model.name, batch_size, prompt)
-                if recorder is not None else None)
+            # Planner-decomposed stage prefill: one whole-prompt chunk
+            # when chunking is off, budget-sized chunks otherwise.
+            offset = 0.0
+            for chunk in planner.prefill_plan(batch[0].request_id, prompt):
+                chunk_ns = (ttft if chunk.is_whole
+                            else StepPlanner.chunk_cost_ns(
+                                latency, stage.model, batch_size, chunk))
+                session.execute(
+                    chunk.kind, clock + offset, chunk_ns, batch_size,
+                    queue_depth=waiting,
+                    shape=EngineShape(stage.model.name, batch_size, prompt)
+                    if recorder is not None and chunk.is_whole else None,
+                    schedule_label=chunk.schedule_label)
+                offset += chunk_ns
             if total > ttft:
-                session.execute(StepKind.GENERATION, clock + ttft,
+                session.execute(StepKind.GENERATION, clock + offset,
                                 total - ttft, batch_size, queue_depth=waiting)
             if position == 0:
-                first_ttft = ttft
+                first_ttft = offset
             clock += total
             upstream_tokens = stage.output_tokens
         chain_ns = clock - launch

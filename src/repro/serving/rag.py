@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.retrieval.index import BruteForceIndex, IVFIndex
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import PlannerConfig, StepPlanner
 from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
 
@@ -139,12 +140,16 @@ class RagServingPolicy:
         tokens_per_chunk / top_k: Context injected into the generation
             prompt, as in :class:`RagPipeline`.
         max_batch_size: Queries batched per generation run.
+        chunk_tokens: Per-step token budget for chunked prefill over the
+            context-augmented prompt; 0 keeps whole-batch prefills
+            (bit-identical legacy schedule).
     """
 
     retrieval_ns: float
     tokens_per_chunk: int = 128
     top_k: int = 4
     max_batch_size: int = 8
+    chunk_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.retrieval_ns < 0:
@@ -154,6 +159,9 @@ class RagServingPolicy:
                 "tokens_per_chunk and top_k must be positive")
         if self.max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
+        if self.chunk_tokens < 0:
+            raise ConfigurationError(
+                "chunk_tokens must be non-negative (0 disables chunking)")
 
 
 def rag_serving_process(runtime: ServingRuntime, session: EngineSession,
@@ -174,17 +182,19 @@ def rag_serving_process(runtime: ServingRuntime, session: EngineSession,
     model = runtime.model
     recorder = runtime.recorder
     context_tokens = policy.top_k * policy.tokens_per_chunk
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
     free = 0.0
     while True:
         now = yield ("at", free)
-        seed = queue.first_unclaimed()
-        if seed is None:
+        decision = StepPlanner.next_fifo_batch(queue, now,
+                                               policy.max_batch_size)
+        if decision.done:
             break
-        if seed.arrival_ns > now:
-            free = seed.arrival_ns
+        if decision.wake_at is not None:
+            free = decision.wake_at
             continue
-        launch = max(seed.arrival_ns, free)
-        batch = queue.claim(now, policy.max_batch_size)
+        launch = max(decision.seed_arrival, free)
+        batch = list(decision.batch)
 
         batch_size = len(batch)
         prompt_len = max(r.prompt_len for r in batch) + context_tokens
@@ -202,12 +212,23 @@ def rag_serving_process(runtime: ServingRuntime, session: EngineSession,
             session.execute(StepKind.RETRIEVAL, clock, policy.retrieval_ns,
                             batch_size, queue_depth=waiting)
             clock += policy.retrieval_ns
-        session.execute(StepKind.PREFILL, clock, ttft, batch_size,
-                        queue_depth=waiting,
-                        shape=EngineShape(model.name, batch_size, prompt_len)
-                        if recorder is not None else None)
+        # Planner-decomposed prefill over the context-augmented prompt:
+        # one whole chunk when chunking is off, budget-sized chunks else.
+        offset = 0.0
+        for chunk in planner.prefill_plan(batch[0].request_id, prompt_len):
+            chunk_ns = (ttft if chunk.is_whole
+                        else StepPlanner.chunk_cost_ns(latency, model,
+                                                       batch_size, chunk))
+            session.execute(chunk.kind, clock + offset, chunk_ns, batch_size,
+                            queue_depth=waiting,
+                            shape=EngineShape(model.name, batch_size,
+                                              prompt_len)
+                            if recorder is not None and chunk.is_whole
+                            else None,
+                            schedule_label=chunk.schedule_label)
+            offset += chunk_ns
         if total > ttft:
-            session.execute(StepKind.GENERATION, clock + ttft, total - ttft,
+            session.execute(StepKind.GENERATION, clock + offset, total - ttft,
                             batch_size, queue_depth=waiting)
         for request in batch:
             queued = queue_delay_ns(request, launch)

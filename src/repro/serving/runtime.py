@@ -226,7 +226,8 @@ class EngineSession:
 
     def execute(self, kind: StepKind, ts_ns: float, dur_ns: float,
                 batch_size: int, queue_depth: int = 0,
-                shape: EngineShape | None = None) -> None:
+                shape: EngineShape | None = None,
+                schedule_label: str | None = None) -> None:
         """Run one policy step on this replica's simulated hardware.
 
         Occupies the dispatch thread for the step, submits one covering
@@ -235,8 +236,12 @@ class EngineSession:
         appends the issue to every shard's checkable schedule. Multi-shard
         steps also record a rendezvous joining all shards, mirroring how
         tensor-parallel execution keeps devices in lockstep.
+
+        ``schedule_label`` overrides the kernel name recorded in the
+        checkable schedule (the chunked-prefill planner encodes chunk
+        coordinates there for rule S007); the recorder stream is unaffected.
         """
-        name = f"serving::{kind.value}"
+        name = schedule_label or f"serving::{kind.value}"
         self.thread.occupy(dur_ns)
         for device in self.devices:
             device.compute_stream.submit(ts_ns, dur_ns)
@@ -332,7 +337,10 @@ class ServingRuntime:
         self.recorder = recorder
         self.core = SimCore()
         self.queue = AdmissionQueue(requests, tags)
-        self.devices_per_replica = latency.tp.degree if latency.tp else 1
+        # One engine replica spans tp.degree shards per pipeline stage.
+        self.devices_per_replica = (
+            (latency.tp.degree if latency.tp else 1)
+            * (latency.pp.stages if latency.pp else 1))
         # kv=None (or policy NONE) builds no manager at all: the default
         # path stays bit-identical to pre-kvcache serving.
         self.kv_config = kv if kv is not None and kv.enabled else None

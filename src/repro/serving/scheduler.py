@@ -33,6 +33,7 @@ from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.batcher import ServingReport
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import PlannerConfig, StepPlanner
 from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
 from repro.workloads.config import ModelConfig
 
@@ -63,17 +64,23 @@ class PriorityPolicy:
         bulk_batch: Target batch for bulk service.
         bulk_max_wait_ns: Oldest bulk request age that forces a bulk run
             even when the batch is not full (starvation guard).
+        chunk_tokens: Per-step token budget for chunked prefill; 0 keeps
+            whole-batch prefills (bit-identical to the legacy schedule).
     """
 
     interactive_batch: int = 2
     bulk_batch: int = 32
     bulk_max_wait_ns: float = 500e6
+    chunk_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.interactive_batch <= 0 or self.bulk_batch <= 0:
             raise ConfigurationError("batch sizes must be positive")
         if self.bulk_max_wait_ns < 0:
             raise ConfigurationError("bulk_max_wait_ns must be non-negative")
+        if self.chunk_tokens < 0:
+            raise ConfigurationError(
+                "chunk_tokens must be non-negative (0 disables chunking)")
 
 
 @dataclass
@@ -102,6 +109,7 @@ def priority_scheduling_process(runtime: ServingRuntime,
     latency = runtime.latency
     model = runtime.model
     recorder = runtime.recorder
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
     clock = 0.0
 
     def serve(batch: list[Request]) -> None:
@@ -117,12 +125,23 @@ def priority_scheduling_process(runtime: ServingRuntime,
             for request in batch:
                 recorder.on_admitted(request.request_id, request.arrival_ns,
                                      start)
-        session.execute(StepKind.PREFILL, start, ttft, batch_size,
-                        queue_depth=waiting,
-                        shape=EngineShape(model.name, batch_size, prompt)
-                        if recorder is not None else None)
+        # The planner decomposes the batch prefill: one whole-prompt
+        # chunk when chunking is off (the legacy step, bit-identical), or
+        # budget-sized chunks priced at their marginal prefill cost.
+        offset = 0.0
+        for chunk in planner.prefill_plan(batch[0].request_id, prompt):
+            chunk_ns = (ttft if chunk.is_whole
+                        else StepPlanner.chunk_cost_ns(latency, model,
+                                                       batch_size, chunk))
+            session.execute(chunk.kind, start + offset, chunk_ns, batch_size,
+                            queue_depth=waiting,
+                            shape=EngineShape(model.name, batch_size, prompt)
+                            if recorder is not None and chunk.is_whole
+                            else None,
+                            schedule_label=chunk.schedule_label)
+            offset += chunk_ns
         if total > ttft:
-            session.execute(StepKind.GENERATION, start + ttft, total - ttft,
+            session.execute(StepKind.GENERATION, start + offset, total - ttft,
                             batch_size, queue_depth=waiting)
         clock = start + total
         for request in batch:

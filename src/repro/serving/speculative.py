@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
+from repro.serving.planner import PlannerConfig, StepPlanner
 from repro.serving.requests import queue_delay_ns
 from repro.workloads.config import ModelConfig
 
@@ -158,15 +159,21 @@ class SpeculativeServingPolicy:
         config: Draft length / acceptance knobs.
         max_batch_size: Requests served together (padded to the batch
             maximum, like static batching).
+        chunk_tokens: Per-step token budget for chunked target prefill;
+            0 keeps whole-batch prefills (bit-identical legacy schedule).
     """
 
     draft: ModelConfig
     config: SpeculativeConfig = field(default_factory=SpeculativeConfig)
     max_batch_size: int = 8
+    chunk_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
+        if self.chunk_tokens < 0:
+            raise ConfigurationError(
+                "chunk_tokens must be non-negative (0 disables chunking)")
 
 
 def speculative_serving_process(runtime: ServingRuntime,
@@ -186,17 +193,19 @@ def speculative_serving_process(runtime: ServingRuntime,
     target = runtime.model
     recorder = runtime.recorder
     config = policy.config
+    planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
     free = 0.0
     while True:
         now = yield ("at", free)
-        seed = queue.first_unclaimed()
-        if seed is None:
+        decision = StepPlanner.next_fifo_batch(queue, now,
+                                               policy.max_batch_size)
+        if decision.done:
             break
-        if seed.arrival_ns > now:
-            free = seed.arrival_ns
+        if decision.wake_at is not None:
+            free = decision.wake_at
             continue
-        launch = max(seed.arrival_ns, free)
-        batch = queue.claim(now, policy.max_batch_size)
+        launch = max(decision.seed_arrival, free)
+        batch = list(decision.batch)
 
         batch_size = len(batch)
         prompt_len = max(r.prompt_len for r in batch)
@@ -216,11 +225,22 @@ def speculative_serving_process(runtime: ServingRuntime,
                 recorder.on_admitted(request.request_id, request.arrival_ns,
                                      launch)
         clock = launch
-        session.execute(StepKind.PREFILL, clock, prefill, batch_size,
-                        queue_depth=waiting,
-                        shape=EngineShape(target.name, batch_size, prompt_len)
-                        if recorder is not None else None)
-        clock += prefill
+        # Planner-decomposed target prefill: one whole-prompt chunk when
+        # chunking is off (the legacy step), budget-sized chunks otherwise.
+        offset = 0.0
+        for chunk in planner.prefill_plan(batch[0].request_id, prompt_len):
+            chunk_ns = (prefill if chunk.is_whole
+                        else StepPlanner.chunk_cost_ns(latency, target,
+                                                       batch_size, chunk))
+            session.execute(chunk.kind, clock, chunk_ns, batch_size,
+                            queue_depth=waiting,
+                            shape=EngineShape(target.name, batch_size,
+                                              prompt_len)
+                            if recorder is not None and chunk.is_whole
+                            else None,
+                            schedule_label=chunk.schedule_label)
+            clock += chunk_ns
+            offset += chunk_ns
         first_token_ns = clock
         draft_shape = verify_shape = None
         if recorder is not None:
@@ -249,13 +269,13 @@ def speculative_serving_process(runtime: ServingRuntime,
         for request in batch:
             queued = queue_delay_ns(request, launch)
             own_rounds = request.output_tokens / expected
-            completion = queued + prefill + own_rounds * per_round
+            completion = queued + offset + own_rounds * per_round
             if recorder is not None:
                 recorder.on_first_token(request.request_id, first_token_ns)
                 recorder.on_completed(request.request_id,
                                       request.arrival_ns + completion)
             runtime.complete(request,
-                             ttft_ns=queued + prefill,
+                             ttft_ns=queued + offset,
                              completion_ns=completion,
                              batch_size=batch_size,
                              service_start_ns=launch, session=session)

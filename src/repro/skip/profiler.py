@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.engine.executor import DEFAULT_CONFIG, EngineConfig, RunResult, run
+from repro.engine.pp import PPConfig
 from repro.engine.tp import TPConfig
 from repro.engine.fusion_apply import FusionPlan
 from repro.engine.modes import ExecutionMode
@@ -86,6 +87,7 @@ class SkipProfiler:
         context_len: int | None = None,
         fusion_plan: FusionPlan | None = None,
         tp: TPConfig | None = None,
+        pp: PPConfig | None = None,
     ) -> ProfileResult:
         """Simulate a run on this profiler's platform and analyze its trace."""
         run_result = run(
@@ -99,6 +101,7 @@ class SkipProfiler:
             config=self.engine_config,
             fusion_plan=fusion_plan,
             tp=tp,
+            pp=pp,
         )
         return self.analyze(run_result.trace, run_result)
 
@@ -112,6 +115,7 @@ class SkipProfiler:
         context_len: int | None = None,
         fusion_plan: FusionPlan | None = None,
         tp: TPConfig | None = None,
+        pp: PPConfig | None = None,
     ) -> SkipMetrics:
         """Metrics-only fast path: no trace, no dependency graph.
 
@@ -132,6 +136,7 @@ class SkipProfiler:
             config=self.engine_config,
             fusion_plan=fusion_plan,
             tp=tp,
+            pp=pp,
             tape=True,
         )
         assert run_result.tape is not None

@@ -19,6 +19,7 @@ from repro.viz.timeline import TimelineOptions, _paint
 #: Lane characters per step kind (legend order).
 _KIND_CHARS = {
     StepKind.PREFILL: "P",
+    StepKind.PREFILL_CHUNK: "c",
     StepKind.DECODE: "d",
     StepKind.GENERATION: "g",
     StepKind.DRAFT: "r",

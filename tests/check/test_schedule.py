@@ -155,3 +155,133 @@ def test_kernel_issues_alone_are_clean():
     schedules = [DeviceSchedule(d, [KernelIssue(f"k{i}") for i in range(5)])
                  for d in range(2)]
     assert check_schedules(schedules) == []
+
+
+# ----------------------------------------------------------------------
+# S007: chunked prefill interleaving with its own decodes
+# ----------------------------------------------------------------------
+def _chunk(rid, start, length, total):
+    return KernelIssue(f"serving::prefill_chunk[r{rid}:{start}+{length}/{total}]")
+
+
+def test_ordered_chunks_then_decode_are_clean():
+    schedule = DeviceSchedule(0, [
+        _chunk(1, 0, 256, 700), _chunk(1, 256, 256, 700),
+        _chunk(1, 512, 188, 700),
+        KernelIssue("serving::decode[+r1]"),
+        KernelIssue("serving::decode"),
+    ])
+    assert check_schedules([schedule]) == []
+
+
+def test_out_of_order_chunk_flagged_s007():
+    schedule = DeviceSchedule(0, [
+        _chunk(1, 0, 256, 700), _chunk(1, 512, 188, 700),  # skips 256
+    ])
+    findings = check_schedules([schedule])
+    assert _rule_ids(findings) == {"S007"}
+    (finding,) = findings
+    assert "expected 256" in finding.message
+
+
+def test_premature_decode_flagged_s007():
+    schedule = DeviceSchedule(0, [
+        _chunk(1, 0, 256, 700),
+        KernelIssue("serving::decode[+r1]"),  # 444 prompt tokens missing
+    ])
+    findings = check_schedules([schedule])
+    assert _rule_ids(findings) == {"S007"}
+    (finding,) = findings
+    assert "256/700" in finding.message
+
+
+def test_chunk_after_decode_started_flagged_s007():
+    schedule = DeviceSchedule(0, [
+        _chunk(1, 0, 700, 700),
+        KernelIssue("serving::decode[+r1]"),
+        _chunk(1, 0, 256, 700),  # prompt work after decoding began
+    ])
+    findings = check_schedules([schedule])
+    assert _rule_ids(findings) == {"S007"}
+    assert "after the request started decoding" in findings[0].message
+
+
+def test_interleaved_requests_progress_independently():
+    schedule = DeviceSchedule(0, [
+        _chunk(1, 0, 256, 512), _chunk(2, 0, 256, 300),
+        _chunk(2, 256, 44, 300), _chunk(1, 256, 256, 512),
+        KernelIssue("serving::decode[+r1,+r2]"),
+    ])
+    assert check_schedules([schedule]) == []
+
+
+def test_chunked_serving_run_schedules_are_clean():
+    """A real chunked continuous-batching run passes its own rule."""
+    from repro.check import check_serving_schedules
+    from repro.hardware import GH200
+    from repro.serving import (
+        ContinuousBatchPolicy,
+        LatencyModel,
+        poisson_requests,
+        simulate_serving,
+    )
+    from repro.workloads import GPT2
+
+    requests = poisson_requests(rate_per_s=30, duration_s=0.2,
+                                prompt_len=700, output_tokens=4, seed=5)
+    run = simulate_serving(
+        requests, GPT2, LatencyModel(GH200),
+        policy=ContinuousBatchPolicy(max_active=4, chunk_tokens=256))
+    report = check_serving_schedules(run.sessions)
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# S008: pipeline handoff ordering
+# ----------------------------------------------------------------------
+def _handoff(source, dest, microbatch, parties=2):
+    return CollectiveJoin(f"pp.act@{source}->{dest}.mb{microbatch}", parties)
+
+
+def test_pp_schedules_from_partition_are_clean(gpt2_lowered):
+    from repro.check import schedules_from_pp
+    from repro.engine import PPConfig
+    from repro.engine.pp import partition_lowered
+
+    pp = PPConfig(stages=2, microbatches=4)
+    schedules = schedules_from_pp(partition_lowered(gpt2_lowered, 2), pp)
+    assert len(schedules) == 2
+    assert check_schedules(schedules) == []
+
+
+def test_pp_schedules_compose_with_tp(gpt2_lowered, gpt2_tp2):
+    from repro.check import schedules_from_pp
+    from repro.engine import PPConfig, shard_lowered
+    from repro.engine.pp import partition_lowered
+
+    pp = PPConfig(stages=2, microbatches=2)
+    stage_lowerings = partition_lowered(
+        shard_lowered(gpt2_lowered, gpt2_tp2), 2)
+    schedules = schedules_from_pp(stage_lowerings, pp, tp_degree=2)
+    assert len(schedules) == 4
+    assert check_schedules(schedules) == []
+
+
+def test_microbatch_out_of_order_flagged_s008():
+    a = DeviceSchedule(0, [_handoff(0, 1, 0), _handoff(0, 1, 1),
+                           CollectiveJoin("pp.iteration-end", 2)])
+    b = DeviceSchedule(1, [_handoff(0, 1, 1), _handoff(0, 1, 0),  # swapped
+                           CollectiveJoin("pp.iteration-end", 2)])
+    findings = check_schedules([a, b])
+    assert "S008" in _rule_ids(findings)
+    s008 = [f for f in findings if f.rule_id == "S008"]
+    assert any("microbatch 1" in f.message for f in s008)
+
+
+def test_send_before_recv_flagged_s008():
+    # Middle stage of a 3-stage pipeline sends downstream before receiving.
+    middle = DeviceSchedule(1, [_handoff(1, 2, 0), _handoff(0, 1, 0)])
+    findings = [f for f in check_schedules([middle])
+                if f.rule_id == "S008"]
+    assert findings, "send-before-recv must be flagged"
+    assert "before sending activations" in findings[0].message

@@ -9,7 +9,12 @@ exercised:
 * the **KV-pressure** stream — settings that put GPT-2 under measurable
   paged-pool pressure in ~0.1 s of wall time (capacity 72 blocks at
   ``POOL_GIB``; two admitted sequences need 2*33=66 blocks at admission but
-  2*40=80 over their lifetimes, so decode growth must evict or swap).
+  2*40=80 over their lifetimes, so decode growth must evict or swap);
+* the **mixed long-prompt** stream — a high-rate interactive stream
+  sharing the engine with sparse 3072-token analytic prompts
+  (:func:`repro.analysis.pareto.mixed_prompt_requests` at seed 3), the
+  traffic where whole-prompt prefill stalls decode tails hardest and the
+  chunked-prefill benchmarks measure their win.
 
 Keeping the numbers here — instead of re-typed per suite — means a change
 to one scenario shifts every consumer together, and parity suites comparing
@@ -45,6 +50,37 @@ def overloaded_stream():
 def pressure_stream():
     """The canonical KV-pressure arrival stream (deterministic: seed 7)."""
     return poisson_requests(**PRESSURE)
+
+
+#: Seed of the canonical mixed long-prompt stream (the chunked-prefill
+#: benchmarks and their locking tests must replay the same arrivals).
+MIXED_SEED = 3
+#: Chunk budget the chunked scenarios run at (the measured sweet spot on
+#: both GH200 and AMD+A100 — see ``tests/analysis/test_pareto.py``).
+CHUNK_TOKENS = 256
+
+
+def mixed_stream(seed=MIXED_SEED):
+    """The canonical mixed long-prompt arrival stream (deterministic)."""
+    from repro.analysis.pareto import mixed_prompt_requests
+
+    return mixed_prompt_requests(seed=seed)
+
+
+def chunked_run(platform, chunk_tokens=CHUNK_TOKENS, pp=None, recorder=None):
+    """Serve the mixed stream with chunked prefill on ``platform``.
+
+    Returns ``(requests, run)``. ``chunk_tokens=0`` serves the identical
+    stream whole-prompt (the parity/benchmark baseline); ``pp`` optionally
+    prices engine steps on a pipeline-parallel engine.
+    """
+    requests = mixed_stream()
+    latency = LatencyModel(platform=platform, pp=pp)
+    return requests, simulate_serving(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=MAX_ACTIVE,
+                                     chunk_tokens=chunk_tokens),
+        recorder=recorder)
 
 
 def pressured_run(platform, policy,

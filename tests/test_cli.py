@@ -216,3 +216,88 @@ def test_skip_analyze_with_fusion(capsys, tmp_path):
     code, out = run_cli(capsys, "skip", "analyze", str(out_path), "--fusion")
     assert code == 0
     assert "speedup" in out
+
+
+def test_serve_record_sample_rejects_zero(capsys):
+    code = main(["serve", "--rate", "20", "--duration", "0.2",
+                 "--record-sample", "0"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--record-sample must be at least 1" in err
+    assert "Traceback" not in err
+
+
+def test_serve_chunk_tokens_rejects_negative(capsys):
+    code = main(["serve", "--rate", "20", "--duration", "0.2",
+                 "--chunk-tokens", "-5"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--chunk-tokens must be non-negative" in err
+    assert "Traceback" not in err
+
+
+def test_serve_chunk_tokens_rejected_for_static(capsys):
+    code = main(["serve", "--scenario", "static", "--rate", "20",
+                 "--duration", "0.2", "--chunk-tokens", "128"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "static batching prefills whole batches" in err
+
+
+def test_serve_chunk_tokens_zero_is_the_parity_switch(capsys):
+    """0 is valid (chunking off) and must serve identically to the default."""
+    argv = ["serve", "--rate", "20", "--duration", "0.2",
+            "--prompt-len", "64", "--output-tokens", "3"]
+    code, base = run_cli(capsys, *argv)
+    assert code == 0
+    code, chunked_off = run_cli(capsys, *argv, "--chunk-tokens", "0")
+    assert code == 0
+    assert chunked_off == base
+
+
+def test_serve_chunked_prefill_summary(capsys):
+    code, out = run_cli(capsys, "serve", "--rate", "30", "--duration", "0.2",
+                        "--prompt-len", "700", "--output-tokens", "4",
+                        "--max-active", "4", "--chunk-tokens", "256")
+    assert code == 0
+    assert "TTFT" in out
+
+
+def test_serve_pp_validation(capsys):
+    code = main(["serve", "--rate", "20", "--duration", "0.2", "--pp", "0"])
+    assert code == 2
+    assert "--pp" in capsys.readouterr().err
+
+    code = main(["serve", "--rate", "20", "--duration", "0.2",
+                 "--pp-microbatches", "4"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--pp-microbatches" in err  # microbatches without stages
+
+
+def test_serve_with_pp_emits_checkable_trace(capsys, tmp_path):
+    out_path = tmp_path / "pp-trace.json"
+    code, _ = run_cli(capsys, "serve", "--rate", "20", "--duration", "0.2",
+                      "--prompt-len", "700", "--output-tokens", "3",
+                      "--max-active", "4", "--chunk-tokens", "256",
+                      "--pp", "2", "--pp-microbatches", "2",
+                      "--emit-trace", str(out_path))
+    assert code == 0
+    code, out = run_cli(capsys, "check", "trace", str(out_path))
+    assert code == 0
+    code, out = run_cli(capsys, "check", "schedule", "--trace", str(out_path))
+    assert code == 0
+
+
+def test_run_with_pp(capsys):
+    code, out = run_cli(capsys, "run", "--model", "gpt2", "--pp", "2",
+                        "--pp-microbatches", "2", "--batch-size", "2")
+    assert code == 0
+    assert "TKLQT" in out
+
+
+def test_check_schedule_with_pp(capsys):
+    code, out = run_cli(capsys, "check", "schedule", "--models", "gpt2",
+                        "--pp", "2", "--pp-microbatches", "2", "--json")
+    assert code == 0
+    assert "pp=2x2" in out  # the PP stage schedules were actually checked

@@ -186,6 +186,25 @@ def test_performance_doc_is_linked():
     assert (ROOT / "docs/performance.md").exists()
 
 
+def test_serving_doc_covers_chunked_prefill_and_pp():
+    """The planner/PP sections name real API and real CLI flags."""
+    import repro.serving as serving
+    import repro.cli as cli
+
+    text = _read("docs/serving.md")
+    for name in ("StepPlanner", "PlannerConfig", "PromptChunk", "StepPlan"):
+        assert name in text, name
+        assert hasattr(serving, name), name
+    for token in ("--chunk-tokens", "--pp", "max_num_batched_tokens",
+                  "S007", "S008", "chunk_budget_sweep"):
+        assert token in text, token
+    parser = cli.build_parser()
+    args = parser.parse_args(["serve", "--chunk-tokens", "256",
+                              "--pp", "2", "--pp-microbatches", "2"])
+    assert args.chunk_tokens == 256
+    assert args.pp == 2 and args.pp_microbatches == 2
+
+
 def test_performance_doc_flags_exist():
     """The CLI flags the performance doc advertises are real."""
     import repro.cli as cli
