@@ -1,6 +1,6 @@
 """``repro.check`` — static verifiers for the artifacts analyses trust.
 
-Four pure passes (no simulation run required):
+Six pure passes (none re-runs the system under test to judge it):
 
 * **graph** (:mod:`repro.check.graph`) — dataflow and conservation laws
   over lowered kernel graphs and the TP sharding pass (rules ``G...``);
@@ -12,7 +12,12 @@ Four pure passes (no simulation run required):
 * **code** (:mod:`repro.check.code`) — repo-specific AST lint over
   ``src/repro`` (rules ``C...``);
 * **kv** (:mod:`repro.check.kvrules`) — replay of the paged KV-pool
-  event log against leak/over-commit/residency invariants (rules ``K...``).
+  event log against leak/over-commit/residency invariants (rules ``K...``);
+* **hb** (:mod:`repro.check.hb`) — vector-clock happens-before analysis
+  over a run's causality log plus determinism certification under
+  adversarial tie-break perturbation (rules ``H...``). The log comes from
+  a simulation run (``SimCore(causality=...)``), but the analysis itself
+  is a pure pass over the recorded events.
 
 All passes report :class:`Finding` records with stable rule ids; the
 ``repro check`` CLI aggregates them into a :class:`CheckReport`.
@@ -28,9 +33,20 @@ from repro.check.findings import (
     register_rule,
 )
 from repro.check.graph import check_lowering, check_sharding
+from repro.check.hb import (
+    CANONICAL_SCENARIOS,
+    HbScenario,
+    certify_scenario,
+    check_causality,
+    get_scenario,
+    happens_before,
+    vector_clocks,
+)
 from repro.check.kvrules import check_kv_events, check_kv_metadata
 from repro.check.runner import (
     DEFAULT_CHECK_DEGREES,
+    check_causality_logs,
+    check_hb_scenarios,
     check_serving_schedules,
     check_source,
     check_trace_files,
@@ -51,15 +67,21 @@ from repro.check.schedule import (
 from repro.check.tracelint import lint_chrome_file, lint_chrome_text, lint_trace
 
 __all__ = [
+    "CANONICAL_SCENARIOS",
     "CheckReport",
     "CollectiveJoin",
     "DEFAULT_CHECK_DEGREES",
     "DeviceSchedule",
     "Finding",
+    "HbScenario",
     "KernelIssue",
     "RULES",
     "Rule",
     "Severity",
+    "certify_scenario",
+    "check_causality",
+    "check_causality_logs",
+    "check_hb_scenarios",
     "check_kv_events",
     "check_kv_metadata",
     "check_lowering",
@@ -71,6 +93,8 @@ __all__ = [
     "check_trace_schedules",
     "check_workload_graphs",
     "check_workload_schedules",
+    "get_scenario",
+    "happens_before",
     "lint_chrome_file",
     "lint_chrome_text",
     "lint_path",
@@ -81,4 +105,5 @@ __all__ = [
     "schedules_from_pp",
     "schedules_from_serving",
     "schedules_from_trace",
+    "vector_clocks",
 ]

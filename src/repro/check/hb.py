@@ -1,0 +1,604 @@
+"""Happens-before race detection + determinism certification (rules ``H…``).
+
+The sixth check-pass family. Input is a :class:`repro.sim.CausalityLog`
+— the opt-in record a :class:`repro.sim.SimCore` keeps of every scheduling
+decision one run made (``SimCore(causality=...)``, or ``repro serve/run
+--causality log.json``). From the log the pass rebuilds the run's causal
+order with vector clocks and verifies that nothing the run did depended on
+an event-queue tie, that synchronization was used correctly, and that the
+log itself is well-formed:
+
+* **H001** — conflicting accesses to one resource at the same instant by
+  processes *unordered* by happens-before: whichever access "wins" was
+  decided by the queue's tie-break, not by causality — a sim-level data
+  race.
+* **H002** — same-timestamp event-queue pops without a deterministic
+  tie-break key (missing or duplicated tie metadata): heap pop order would
+  fall through to comparing heap items, which is not a contract.
+* **H003** — lost wakeup: a parked KV acquire that became grantable at
+  some release (head of the FIFO wait list, enough free blocks) but was
+  never granted.
+* **H004** — a rendezvous joined after it completed (more joins than
+  declared parties).
+* **H005** — occupancy intervals overlap on a single in-order stream.
+* **H006** — KV blocks acquired but never released (held past process
+  exit / end of run).
+* **H007** — causality-log well-formedness: strictly increasing sequence
+  numbers, every resume preceded by a spawn/suspend/wake/grant, no resume
+  after exit, and rendezvous release times obeying the max-law over the
+  joined parties' ready times.
+* **H008** — determinism certification failure: re-executing the scenario
+  under an adversarially perturbed (but causally-equivalent) tie-break
+  order changed a ``RequestOutcome`` — emitted by :func:`certify_scenario`,
+  which also pinpoints the first divergent event.
+
+The happens-before relation is built from: per-process program order,
+spawner→spawn edges, emitter→event edges (an event whose ``src`` pid
+differs from its ``pid`` was caused by the running ``src`` process), the
+sequential order of everything one running process emitted, and
+rendezvous join→release edges (a release merges *every* joined party's
+clock, so all waiters' wakes causally follow all joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.check.findings import Finding, Severity, register_rule
+from repro.errors import ConfigurationError
+from repro.sim.causality import CausalityEvent, CausalityLog
+from repro.sim.queue import EventQueue, PerturbedEventQueue
+
+H001 = register_rule(
+    "H001", "hb", "same-time conflicting resource accesses unordered by "
+    "happens-before (sim-level data race)")
+H002 = register_rule(
+    "H002", "hb", "same-timestamp event-queue tie without a deterministic "
+    "tie-break key")
+H003 = register_rule(
+    "H003", "hb", "lost wakeup: eligible KV waiter never granted")
+H004 = register_rule(
+    "H004", "hb", "rendezvous joined after it completed")
+H005 = register_rule(
+    "H005", "hb", "occupancy intervals overlap on one in-order stream")
+H006 = register_rule(
+    "H006", "hb", "KV blocks acquired but never released")
+H007 = register_rule(
+    "H007", "hb", "malformed causality log")
+H008 = register_rule(
+    "H008", "hb", "outcomes diverge under a causally-equivalent tie-break "
+    "perturbation (determinism certification failure)")
+
+#: Events that read or mutate shared resource state (H001's access set).
+_ACCESS_KINDS = frozenset({"occupy", "grant", "free"})
+
+
+# ----------------------------------------------------------------------
+# Vector clocks
+# ----------------------------------------------------------------------
+def vector_clocks(events: Sequence[CausalityEvent]) -> list[dict[int, int]]:
+    """Per-event vector clocks over the log's happens-before edges.
+
+    Log order is a valid topological order of the causal graph (every edge
+    points from a lower global position to a higher one), so one forward
+    pass suffices. Event ``a`` happened-before event ``b`` iff
+    ``clocks[b].get(a.pid, 0) >= clocks[a][a.pid]`` (see
+    :func:`happens_before`).
+    """
+    clocks: list[dict[int, int]] = []
+    last_of_pid: dict[int, int] = {}
+    # Everything one running process emits (its own suspends, the wakes and
+    # grants it performs on others' behalf) is sequential within that
+    # process's activation, so events chain on their *actor* too.
+    last_of_actor: dict[int, int] = {}
+    pending_joins: dict[str, list[int]] = {}
+    counters: dict[int, int] = {}
+    for index, event in enumerate(events):
+        vc: dict[int, int] = {}
+
+        def merge(source: int) -> None:
+            for pid, count in clocks[source].items():
+                if count > vc.get(pid, 0):
+                    vc[pid] = count
+
+        if event.pid >= 0 and event.pid in last_of_pid:
+            merge(last_of_pid[event.pid])
+        actor = event.src if event.src >= 0 else event.pid
+        if actor >= 0 and actor in last_of_actor:
+            merge(last_of_actor[actor])
+        if actor >= 0 and actor in last_of_pid:
+            merge(last_of_pid[actor])
+        if event.kind == "release":
+            for join_index in pending_joins.pop(event.key, []):
+                merge(join_index)
+        if event.kind == "join":
+            pending_joins.setdefault(event.key, []).append(index)
+        if event.pid >= 0:
+            counters[event.pid] = counters.get(event.pid, 0) + 1
+            vc[event.pid] = counters[event.pid]
+            last_of_pid[event.pid] = index
+        if actor >= 0:
+            last_of_actor[actor] = index
+        clocks.append(vc)
+    return clocks
+
+
+def happens_before(events: Sequence[CausalityEvent],
+                   clocks: Sequence[dict[int, int]],
+                   first: int, second: int) -> bool:
+    """Whether ``events[first]`` happened-before ``events[second]``."""
+    if first == second:
+        return False
+    a = events[first]
+    if a.pid < 0:
+        return True  # core-level events precede everything after them
+    own = clocks[first].get(a.pid, 0)
+    return clocks[second].get(a.pid, 0) >= own
+
+
+# ----------------------------------------------------------------------
+# H001 — unordered same-resource accesses
+# ----------------------------------------------------------------------
+def _check_races(events: Sequence[CausalityEvent],
+                 clocks: Sequence[dict[int, int]]) -> list[Finding]:
+    findings: list[Finding] = []
+    # Conflicts only matter at *equal* timestamps: accesses at different
+    # instants are serialized by time itself, which every queue discipline
+    # respects. At equal instants, only happens-before fixes the order.
+    groups: dict[tuple[str, float], list[int]] = {}
+    for index, event in enumerate(events):
+        if event.kind in _ACCESS_KINDS:
+            groups.setdefault((event.key, event.time_ns), []).append(index)
+    for (key, at), members in sorted(groups.items()):
+        if len(members) < 2:
+            continue
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                if events[first].pid == events[second].pid:
+                    continue
+                if (happens_before(events, clocks, first, second)
+                        or happens_before(events, clocks, second, first)):
+                    continue
+                a, b = events[first], events[second]
+                findings.append(Finding(
+                    H001, Severity.ERROR, f"event {a.seq} vs {b.seq}",
+                    f"resource {key!r}: {a.kind} by pid {a.pid} and "
+                    f"{b.kind} by pid {b.pid} both at t={at:.0f}ns are "
+                    f"unordered by happens-before; their order is decided "
+                    f"by the event-queue tie-break"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# H002 — undetermined event-queue ties
+# ----------------------------------------------------------------------
+def _check_ties(events: Sequence[CausalityEvent]) -> list[Finding]:
+    findings: list[Finding] = []
+    groups: dict[float, list[CausalityEvent]] = {}
+    for event in events:
+        if event.kind == "resume":
+            groups.setdefault(event.time_ns, []).append(event)
+    for at, members in sorted(groups.items()):
+        if len(members) < 2:
+            continue
+        missing = [e for e in members if e.tie is None]
+        for event in missing:
+            findings.append(Finding(
+                H002, Severity.ERROR, f"event {event.seq}",
+                f"{len(members)} events pop at t={at:.0f}ns but the pop of "
+                f"pid {event.pid} carries no tie-break key; pop order is "
+                f"not deterministic"))
+        ties = [e.tie for e in members if e.tie is not None]
+        if len(set(ties)) < len(ties):
+            seen: set[int] = set()
+            for event in members:
+                if event.tie is not None and event.tie in seen:
+                    findings.append(Finding(
+                        H002, Severity.ERROR, f"event {event.seq}",
+                        f"duplicate tie-break key {event.tie} among "
+                        f"{len(members)} pops at t={at:.0f}ns; pop order "
+                        f"falls through to comparing heap items"))
+                if event.tie is not None:
+                    seen.add(event.tie)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# H003 / H006 — KV grant discipline
+# ----------------------------------------------------------------------
+@dataclass
+class _PendingAcquire:
+    seq: int
+    pid: int
+    owner: str
+    blocks: int
+    eligible_at: int | None = None  # seq of the free that made it grantable
+
+
+def _check_kv(events: Sequence[CausalityEvent]) -> list[Finding]:
+    findings: list[Finding] = []
+    capacity: dict[str, int] = {}
+    free_blocks: dict[str, int] = {}
+    pending: dict[str, list[_PendingAcquire]] = {}
+    held: dict[tuple[str, str], int] = {}
+    holder_pid: dict[tuple[str, str], int] = {}
+    exits: dict[int, int] = {}
+    for event in events:
+        if event.kind == "resource":
+            capacity[event.key] = event.blocks
+            free_blocks[event.key] = event.blocks
+        elif event.kind == "acquire":
+            pending.setdefault(event.key, []).append(_PendingAcquire(
+                event.seq, event.pid, event.owner, event.blocks))
+        elif event.kind == "grant":
+            free_blocks[event.key] = (free_blocks.get(event.key, 0)
+                                      - event.blocks)
+            queue = pending.get(event.key, [])
+            for i, waiter in enumerate(queue):
+                if waiter.owner == event.owner:
+                    del queue[i]
+                    break
+            slot = (event.key, event.owner)
+            held[slot] = held.get(slot, 0) + event.blocks
+            holder_pid[slot] = event.pid
+        elif event.kind == "free":
+            free_blocks[event.key] = (free_blocks.get(event.key, 0)
+                                      + event.blocks)
+            slot = (event.key, event.owner)
+            held[slot] = held.get(slot, 0) - event.blocks
+            if held[slot] <= 0:
+                held.pop(slot)
+                holder_pid.pop(slot, None)
+            # A correct FIFO pool grants the head waiter the moment it
+            # fits; remember the release that made it eligible so a
+            # never-granted head is reported as a *lost wakeup*, not mere
+            # capacity starvation.
+            queue = pending.get(event.key, [])
+            if queue and queue[0].eligible_at is None \
+                    and queue[0].blocks <= free_blocks.get(event.key, 0):
+                queue[0].eligible_at = event.seq
+        elif event.kind == "exit":
+            exits[event.pid] = event.seq
+    for key, queue in sorted(pending.items()):
+        for waiter in queue:
+            if waiter.eligible_at is None:
+                continue
+            findings.append(Finding(
+                H003, Severity.ERROR, f"event {waiter.seq}",
+                f"lost wakeup on {key!r}: pid {waiter.pid}'s acquire of "
+                f"{waiter.blocks} blocks for owner {waiter.owner} became "
+                f"grantable at the release at event {waiter.eligible_at} "
+                f"but was never granted"))
+    for (key, owner), blocks in sorted(held.items()):
+        pid = holder_pid.get((key, owner), -1)
+        where = (f"after pid {pid}'s exit (event {exits[pid]})"
+                 if pid in exits else "at end of log")
+        findings.append(Finding(
+            H006, Severity.ERROR, f"resource {key!r} owner {owner}",
+            f"{blocks} blocks acquired by pid {pid} for owner {owner} "
+            f"were never released ({where})"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# H004 — joins after completion
+# ----------------------------------------------------------------------
+def _check_rendezvous(events: Sequence[CausalityEvent]) -> list[Finding]:
+    findings: list[Finding] = []
+    joins: dict[str, int] = {}
+    parties: dict[str, int] = {}
+    released: set[str] = set()
+    for event in events:
+        if event.kind == "join":
+            count = joins.get(event.key, 0)
+            declared = parties.setdefault(event.key, event.parties)
+            if event.key in released or count >= declared:
+                findings.append(Finding(
+                    H004, Severity.ERROR, f"event {event.seq}",
+                    f"rendezvous {event.key!r}: pid {event.pid} joined "
+                    f"after all {declared} parties completed it"))
+            joins[event.key] = count + 1
+        elif event.kind == "release":
+            released.add(event.key)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# H005 — stream occupancy overlap
+# ----------------------------------------------------------------------
+def _check_overlap(events: Sequence[CausalityEvent]) -> list[Finding]:
+    findings: list[Finding] = []
+    streams: dict[str, list[CausalityEvent]] = {}
+    for event in events:
+        # In-order *streams* forbid overlap; the shared link is a bandwidth
+        # resource where concurrent transfers are a modeling choice, not a
+        # bug, so only device streams are held to the rule.
+        if event.kind == "occupy" and event.key.startswith("device"):
+            streams.setdefault(event.key, []).append(event)
+    for key, occupancies in sorted(streams.items()):
+        ordered = sorted(occupancies, key=lambda e: (e.time_ns, e.end_ns))
+        for prev, event in zip(ordered, ordered[1:]):
+            prev_end = prev.end_ns if prev.end_ns is not None else 0.0
+            start = event.time_ns
+            if start < prev_end:
+                findings.append(Finding(
+                    H005, Severity.ERROR, f"event {event.seq}",
+                    f"stream {key}: occupancy [{start:.0f}, "
+                    f"{event.end_ns:.0f})ns by pid {event.pid} overlaps "
+                    f"[{prev.time_ns:.0f}, {prev_end:.0f})ns by pid "
+                    f"{prev.pid} (in-order stream)"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# H007 — log well-formedness
+# ----------------------------------------------------------------------
+#: Events that schedule a future resume for their pid.
+_SCHEDULING_KINDS = frozenset({"spawn", "suspend", "wake", "grant"})
+
+
+def _check_wellformed(events: Sequence[CausalityEvent]) -> list[Finding]:
+    findings: list[Finding] = []
+    previous_seq = -1
+    pending: dict[int, int] = {}
+    exited: set[int] = set()
+    seen: set[int] = set()
+    join_times: dict[str, list[float]] = {}
+    for event in events:
+        if event.seq <= previous_seq:
+            findings.append(Finding(
+                H007, Severity.ERROR, f"event {event.seq}",
+                f"sequence numbers not strictly increasing "
+                f"({previous_seq} then {event.seq})"))
+        previous_seq = event.seq
+        pid = event.pid
+        if pid >= 0 and pid not in seen:
+            seen.add(pid)
+            if event.kind in ("resume", "suspend", "exit"):
+                findings.append(Finding(
+                    H007, Severity.ERROR, f"event {event.seq}",
+                    f"pid {pid}'s first event is {event.kind!r}, not "
+                    f"'spawn': the process was never scheduled"))
+        if event.kind in _SCHEDULING_KINDS:
+            pending[pid] = pending.get(pid, 0) + 1
+        elif event.kind == "resume":
+            if pid in exited:
+                findings.append(Finding(
+                    H007, Severity.ERROR, f"event {event.seq}",
+                    f"pid {pid} resumed after its exit"))
+            elif pending.get(pid, 0) == 0:
+                findings.append(Finding(
+                    H007, Severity.ERROR, f"event {event.seq}",
+                    f"pid {pid} resumed with no prior spawn/suspend/"
+                    f"wake/grant: nothing scheduled this pop"))
+            pending[pid] = 0
+        elif event.kind == "exit":
+            exited.add(pid)
+        if event.kind == "join":
+            join_times.setdefault(event.key, []).append(event.time_ns)
+        elif event.kind == "release":
+            joined = join_times.get(event.key, [])
+            if not joined:
+                findings.append(Finding(
+                    H007, Severity.ERROR, f"event {event.seq}",
+                    f"rendezvous {event.key!r} released with no recorded "
+                    f"joins"))
+            else:
+                expected = max(joined)
+                release_at = event.time_ns
+                if release_at < expected or expected < release_at:
+                    findings.append(Finding(
+                        H007, Severity.ERROR, f"event {event.seq}",
+                        f"rendezvous {event.key!r} released at "
+                        f"{release_at:.0f}ns, but the max-law over its "
+                        f"{len(joined)} joined parties gives "
+                        f"{expected:.0f}ns"))
+            join_times.pop(event.key, None)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def check_causality(log: CausalityLog) -> list[Finding]:
+    """Run rules H001–H007 over one run's causality log."""
+    events = log.events
+    findings = _check_wellformed(events)
+    clocks = vector_clocks(events)
+    findings.extend(_check_races(events, clocks))
+    findings.extend(_check_ties(events))
+    findings.extend(_check_kv(events))
+    findings.extend(_check_rendezvous(events))
+    findings.extend(_check_overlap(events))
+    return findings
+
+
+#: A scenario runner: executes one deterministic simulation under the given
+#: event queue, recording into the given causality log, and returns the
+#: run's outcome rows (tuples of plain comparable values).
+ScenarioRunner = Callable[
+    [EventQueue | None, CausalityLog | None], list[tuple]]
+
+
+@dataclass(frozen=True)
+class HbScenario:
+    """One named scenario the hb pass can analyze and certify."""
+
+    name: str
+    description: str
+    run: ScenarioRunner
+
+
+def certify_scenario(scenario: HbScenario) -> tuple[list[Finding],
+                                                    CausalityLog]:
+    """Determinism certification: FIFO run vs adversarial LIFO-tie run.
+
+    Executes the scenario twice — once on the production FIFO tie-break
+    queue, once on :class:`~repro.sim.queue.PerturbedEventQueue` (LIFO at
+    equal times, causally equivalent) — and diffs the outcome rows and the
+    per-process causality projections. Any disagreement is an H008 finding
+    pinpointing the first divergent outcome and the first divergent event.
+    Returns the findings and the baseline log (for the H001–H007 rules).
+    """
+    base_log = CausalityLog()
+    base_rows = scenario.run(EventQueue(), base_log)
+    perturbed_log = CausalityLog()
+    perturbed_rows = scenario.run(PerturbedEventQueue(), perturbed_log)
+    findings: list[Finding] = []
+    if base_rows != perturbed_rows:
+        divergent = min(len(base_rows), len(perturbed_rows))
+        for index, (left, right) in enumerate(zip(base_rows,
+                                                  perturbed_rows)):
+            if left != right:
+                divergent = index
+                break
+        detail = (f"outcome {divergent}: {base_rows[divergent]} vs "
+                  f"{perturbed_rows[divergent]}"
+                  if divergent < min(len(base_rows), len(perturbed_rows))
+                  else f"outcome counts {len(base_rows)} vs "
+                       f"{len(perturbed_rows)}")
+        event_seq = _first_divergent_event(base_log, perturbed_log)
+        where = (f"{scenario.name}: event {event_seq}"
+                 if event_seq is not None else scenario.name)
+        findings.append(Finding(
+            H008, Severity.ERROR, where,
+            f"outcomes changed under a causally-equivalent tie-break "
+            f"perturbation — the result depends on event-queue pop order "
+            f"({detail})"))
+    return findings, base_log
+
+
+def _projection(log: CausalityLog) -> dict[int, list[tuple]]:
+    """Per-pid event streams, stripped of tie metadata and global order.
+
+    A tie-break perturbation legitimately reorders the *interleaving*; a
+    deterministic simulation keeps every process's own event stream
+    invariant. The projection is what certification compares.
+    """
+    streams: dict[int, list[tuple]] = {}
+    for event in log.events:
+        streams.setdefault(event.pid, []).append(
+            (event.kind, event.time_ns, event.key, event.owner,
+             event.blocks, event.parties, event.end_ns))
+    return streams
+
+
+def _first_divergent_event(base: CausalityLog,
+                           perturbed: CausalityLog) -> int | None:
+    """Baseline seq of the first event the perturbed run changed.
+
+    Prefers the first *semantic* divergence (a per-pid event stream that
+    changed); when every process's own stream is intact and only the
+    interleaving flipped, falls back to the first global-order difference.
+    """
+    base_streams = _projection(base)
+    perturbed_streams = _projection(perturbed)
+    divergence: int | None = None
+    for pid, stream in sorted(base_streams.items()):
+        other = perturbed_streams.get(pid, [])
+        position = None
+        for index, (left, right) in enumerate(zip(stream, other)):
+            if left != right:
+                position = index
+                break
+        if position is None and len(stream) != len(other):
+            position = min(len(stream), len(other))
+        if position is None:
+            continue
+        count = -1
+        for event in base.events:
+            if event.pid == pid:
+                count += 1
+                if count == position:
+                    if divergence is None or event.seq < divergence:
+                        divergence = event.seq
+                    break
+    if divergence is not None:
+        return divergence
+    for left, right in zip(base.events, perturbed.events):
+        if _shape(left) != _shape(right):
+            return left.seq
+    return None
+
+
+def _shape(event: CausalityEvent) -> tuple:
+    """An event minus run-specific bookkeeping (seq, tie, src)."""
+    return (event.kind, event.time_ns, event.pid, event.key, event.owner,
+            event.blocks, event.parties, event.end_ns)
+
+
+# ----------------------------------------------------------------------
+# Canonical scenarios (what CI certifies on every push)
+# ----------------------------------------------------------------------
+def _outcome_rows(outcomes) -> list[tuple]:
+    return [(o.request.request_id, o.ttft_ns, o.completion_ns,
+             o.batch_size, o.queue_ns, o.replica) for o in outcomes]
+
+
+def _mixed_stream_run(queue: EventQueue | None,
+                      causality: CausalityLog | None) -> list[tuple]:
+    from repro.analysis.pareto import mixed_prompt_requests
+    from repro.hardware import get_platform
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.latency import LatencyModel
+    from repro.serving.runtime import simulate_serving
+    from repro.workloads import GPT2
+
+    requests = mixed_prompt_requests(seed=3)
+    latency = LatencyModel(platform=get_platform("GH200"))
+    result = simulate_serving(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=8),
+        queue=queue, causality=causality)
+    return _outcome_rows(result.outcomes)
+
+
+def _pp_kv_offload_run(queue: EventQueue | None,
+                       causality: CausalityLog | None) -> list[tuple]:
+    from repro.engine.pp import PPConfig
+    from repro.hardware import get_platform
+    from repro.kvcache import KvCacheConfig, KvPolicy
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.latency import LatencyModel
+    from repro.serving.requests import poisson_requests
+    from repro.serving.runtime import simulate_serving
+    from repro.workloads import GPT2
+
+    requests = poisson_requests(rate_per_s=40.0, duration_s=0.3,
+                                prompt_len=512, output_tokens=128, seed=7)
+    latency = LatencyModel(platform=get_platform("GH200"),
+                           pp=PPConfig(stages=2, microbatches=2))
+    result = simulate_serving(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=8, chunk_tokens=256),
+        kv=KvCacheConfig(policy=KvPolicy.OFFLOAD, pool_gib=0.04),
+        queue=queue, causality=causality)
+    return _outcome_rows(result.outcomes)
+
+
+#: The scenarios ``repro check hb`` runs by default: the canonical
+#: mixed-stream serving run and the PP + chunked-prefill + KV-offload run
+#: — the layers with the richest synchronization (the streams and knobs
+#: mirror ``tests/scenarios.py``).
+CANONICAL_SCENARIOS: tuple[HbScenario, ...] = (
+    HbScenario(
+        name="mixed-stream",
+        description="mixed long-prompt serving stream (seed 3), continuous "
+                    "batching at max_active=8 on GH200",
+        run=_mixed_stream_run),
+    HbScenario(
+        name="pp-kv-offload",
+        description="KV-pressure stream (seed 7) with chunked prefill "
+                    "(256 tokens), pp=2x2 pricing, and an offloading "
+                    "0.04 GiB paged pool on GH200",
+        run=_pp_kv_offload_run),
+)
+
+
+def get_scenario(name: str) -> HbScenario:
+    for scenario in CANONICAL_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in CANONICAL_SCENARIOS)
+    raise ConfigurationError(f"unknown hb scenario {name!r} (known: {known})")

@@ -156,3 +156,54 @@ def check_source(root: str | Path) -> CheckReport:
     report.findings.extend(findings)
     report.checked.extend(checked)
     return report
+
+
+def check_causality_logs(paths: Sequence[str | Path]) -> CheckReport:
+    """Happens-before-verify exported causality logs (rules H001-H007).
+
+    Each path is a JSON sidecar produced by ``repro serve/run --causality``
+    (schema ``repro.causality/v1``).
+    """
+    from repro.check.hb import check_causality
+    from repro.sim.causality import CausalityLog
+
+    report = CheckReport()
+    for path in paths:
+        log = CausalityLog.load(path)
+        report.extend(check_causality(log),
+                      f"{path} ({len(log.events)} events)")
+    return report
+
+
+def check_hb_scenarios(names: Sequence[str] = (),
+                       certify: bool = False) -> CheckReport:
+    """Run the hb pass over the canonical scenarios (all by default).
+
+    Each scenario is simulated with causality logging on and its log is
+    checked against H001-H007. With ``certify=True`` each scenario is
+    *additionally* re-executed under an adversarially perturbed
+    (causally-equivalent) tie-break order and any ``RequestOutcome``
+    divergence is reported as H008.
+    """
+    from repro.check.hb import (
+        CANONICAL_SCENARIOS,
+        certify_scenario,
+        check_causality,
+        get_scenario,
+    )
+    from repro.sim.causality import CausalityLog
+    from repro.sim.queue import EventQueue
+
+    scenarios = ([get_scenario(name) for name in names]
+                 if names else list(CANONICAL_SCENARIOS))
+    report = CheckReport()
+    for scenario in scenarios:
+        if certify:
+            findings, log = certify_scenario(scenario)
+            report.extend(findings, f"{scenario.name} (certify)")
+        else:
+            log = CausalityLog()
+            scenario.run(EventQueue(), log)
+        report.extend(check_causality(log),
+                      f"{scenario.name} ({len(log.events)} events)")
+    return report

@@ -359,17 +359,18 @@ def _check_pp_order(schedule: DeviceSchedule) -> list[Finding]:
         if microbatch != want:
             findings.append(Finding(
                 S008, Severity.ERROR, where,
-                f"boundary {source}->{dest}: joins microbatch {microbatch} "
-                f"but microbatch {want} is next (stages drain microbatches "
-                f"in order)"))
+                f"boundary {source}->{dest}: rendezvous {item.key!r} joins "
+                f"microbatch {microbatch} but microbatch {want} is next "
+                f"(stages drain microbatches in order)"))
         next_mb[boundary] = microbatch + 1
         prev = last_source.get(microbatch)
         if prev is not None and source <= prev:
             findings.append(Finding(
                 S008, Severity.ERROR, where,
-                f"microbatch {microbatch}: handoff {source}->{dest} joined "
-                f"after boundary {prev} (a stage must receive its inputs "
-                f"before sending activations downstream)"))
+                f"microbatch {microbatch}: rendezvous {item.key!r} "
+                f"({source}->{dest}) joined after boundary {prev} (a stage "
+                f"must receive its inputs before sending activations "
+                f"downstream)"))
         last_source[microbatch] = source
     return findings
 

@@ -125,19 +125,41 @@ def _require_memory_fits(model, platform, batch_size: int, seq_len: int,
             f"for the breakdown or pass --ignore-memory to simulate anyway")
 
 
+def _causality_log(args: argparse.Namespace):
+    """The CausalityLog to record into, or None when ``--causality`` unset."""
+    if not getattr(args, "causality", None):
+        return None
+    from repro.sim.causality import CausalityLog
+
+    return CausalityLog()
+
+
+def _dump_causality(log, args: argparse.Namespace) -> None:
+    if log is None:
+        return
+    from repro.obs import dump_causality
+
+    dump_causality(log, args.causality)
+    print(f"wrote {len(log.events)} causality events to {args.causality} "
+          f"(verify with 'repro check hb --log {args.causality}')")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     platform = get_platform(args.platform)
     model = get_model(args.model)
     _require_memory_fits(model, platform, args.batch_size, args.seq_len,
                          args.ignore_memory)
+    causality = _causality_log(args)
     profiler = SkipProfiler(platform)
     result = profiler.profile(model,
                               batch_size=args.batch_size,
                               seq_len=args.seq_len,
                               mode=ExecutionMode(args.mode),
                               tp=_tp_config(args),
-                              pp=_pp_config(args))
+                              pp=_pp_config(args),
+                              causality=causality)
     print(profile_report(result))
+    _dump_causality(causality, args)
     return 0
 
 
@@ -309,9 +331,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for index, request in enumerate(requests)
         ]
     recorder = RunRecorder(sample_every=args.record_sample)
+    causality = _causality_log(args)
     result = simulate_serving(workload, model, latency, policy=policy,
                               replicas=args.replicas, recorder=recorder,
-                              kv=kv)
+                              kv=kv, causality=causality)
     report = result.report
     title = (f"{args.scenario} serving: {model.name} on {args.platform} "
              f"({len(requests)} requests, {args.replicas} replica(s))")
@@ -346,6 +369,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chrome.dump(trace, args.emit_trace)
         print(f"wrote {len(trace.kernels)} kernels / "
               f"{len(trace.iterations)} steps to {args.emit_trace}")
+    _dump_causality(causality, args)
     return 0
 
 
@@ -432,6 +456,20 @@ def _cmd_check_trace(args: argparse.Namespace) -> int:
     return _emit_report(check_trace_files(args.traces), args.json)
 
 
+def _cmd_check_hb(args: argparse.Namespace) -> int:
+    from repro.check import check_causality_logs, check_hb_scenarios
+
+    if args.log:
+        if args.certify:
+            raise ConfigurationError(
+                "--certify re-executes a scenario under a perturbed "
+                "tie-break, which an exported log cannot do; pass "
+                "--scenario instead of --log")
+        return _emit_report(check_causality_logs(args.log), args.json)
+    report = check_hb_scenarios(args.scenario or (), certify=args.certify)
+    return _emit_report(report, args.json)
+
+
 def _cmd_check_code(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -491,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pp_args(run_p)
     run_p.add_argument("--ignore-memory", action="store_true",
                        help="simulate even when the shape exceeds HBM")
+    run_p.add_argument("--causality", metavar="PATH",
+                       help="record the run's causality log (scheduling, "
+                            "rendezvous, occupancy) to a JSON sidecar for "
+                            "'repro check hb --log'")
     run_p.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="batch sweep with transition stars")
@@ -578,6 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--kv-pool-gib", type=float, default=None,
                        help="KV pool size per replica in GiB (default: all "
                             "HBM left after weights and runtime reserve)")
+    serve.add_argument("--causality", metavar="PATH",
+                       help="record the serving run's causality log "
+                            "(scheduling, KV grants, occupancy) to a JSON "
+                            "sidecar for 'repro check hb --log'")
     serve.set_defaults(func=_cmd_serve)
 
     kvpressure = sub.add_parser(
@@ -658,6 +704,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="Chrome-trace JSON path(s)")
     _add_check_common(check_trace)
     check_trace.set_defaults(func=_cmd_check_trace)
+
+    check_hb = check_sub.add_parser(
+        "hb", help="happens-before race detection + determinism "
+                   "certification over causality logs")
+    check_hb.add_argument("--scenario", action="append", metavar="NAME",
+                          help="canonical scenario to simulate and check "
+                               "(repeatable; default: all — mixed-stream "
+                               "and pp-kv-offload)")
+    check_hb.add_argument("--log", action="append", metavar="PATH",
+                          help="check an exported causality sidecar (from "
+                               "'repro serve/run --causality') instead of "
+                               "re-simulating (repeatable)")
+    check_hb.add_argument("--certify", action="store_true",
+                          help="also re-execute each scenario under an "
+                               "adversarially perturbed (causally-"
+                               "equivalent) tie-break order and report any "
+                               "outcome divergence as H008")
+    _add_check_common(check_hb)
+    check_hb.set_defaults(func=_cmd_check_hb)
 
     check_code = check_sub.add_parser(
         "code", help="repo-specific AST lint over the package source")

@@ -60,6 +60,7 @@ from repro.errors import ConfigurationError
 from repro.hardware.platform import Platform
 from repro.obs.events import StepKind
 from repro.obs.recorder import RunRecorder
+from repro.sim.causality import CausalityLog
 from repro.sim.core import SimCore
 from repro.sim.resources import LinkResource
 from repro.trace.builder import TraceBuilder
@@ -147,9 +148,10 @@ class RunResult:
         return [k for lo in self.lowered for k in lo.kernels]
 
 
-def build_core(tp: TPConfig) -> SimCore:
+def build_core(tp: TPConfig,
+               causality: CausalityLog | None = None) -> SimCore:
     """Construct the simulation topology for a TP configuration."""
-    core = SimCore()
+    core = SimCore(causality=causality)
     threads = (tp.degree if tp.enabled
                and tp.dispatch is DispatchMode.THREAD_PER_DEVICE else 1)
     for index in range(threads):
@@ -175,6 +177,7 @@ def run(
     tp: TPConfig | None = None,
     pp: PPConfig | None = None,
     tape: bool = False,
+    causality: CausalityLog | None = None,
 ) -> RunResult:
     """Simulate inference and return the trace plus run context.
 
@@ -196,6 +199,8 @@ def run(
             and is bit-identical to a run without the argument.
         tape: Record a :class:`~repro.trace.tape.TraceTape` instead of a
             full trace (metrics-only fast path; ``result.trace`` is None).
+        causality: Optional happens-before log the run's core records into
+            (``repro check hb`` consumes it); None = no logging, fast path.
     """
     if tp is None:
         tp = TP_DISABLED
@@ -279,7 +284,7 @@ def run(
                 (*key_shape, mode, tp.degree, pp.stages), lowered, pp.stages)
         else:
             stage_lowerings = partition_lowered(lowered, pp.stages)
-        core = build_core_pp(tp, pp)
+        core = build_core_pp(tp, pp, causality=causality)
         core.spawn_all(pp_stage_processes(core, builder, stage_lowerings,
                                           platform, mode, config, pp))
         core.run()
@@ -303,7 +308,7 @@ def run(
                                      mark.ts_end - mark.ts, graph.batch_size)
         return result
 
-    core = build_core(tp)
+    core = build_core(tp, causality=causality)
     if mode.uses_cuda_graph:
         core.spawn(graph_replay_process(core, builder, lowered, platform,
                                         config))

@@ -33,6 +33,7 @@ from repro.engine.tp import TP_DISABLED, TPConfig
 from repro.errors import ConfigurationError
 from repro.hardware.interconnect import InterconnectSpec, NVLINK4_P2P
 from repro.hardware.platform import Platform
+from repro.sim.causality import CausalityLog
 from repro.sim.core import Process, SimCore
 from repro.trace.events import DEVICE_SYNCHRONIZE
 
@@ -209,7 +210,8 @@ PP_STAGE_CACHE = PPStageCache()
 # Simulation topology + stage processes
 # ---------------------------------------------------------------------------
 
-def build_core_pp(tp: TPConfig, pp: PPConfig) -> SimCore:
+def build_core_pp(tp: TPConfig, pp: PPConfig,
+                  causality: CausalityLog | None = None) -> SimCore:
     """Construct the tp × pp simulation topology.
 
     One dispatch thread per stage (each stage drives its own devices
@@ -218,7 +220,7 @@ def build_core_pp(tp: TPConfig, pp: PPConfig) -> SimCore:
     """
     from repro.sim.resources import LinkResource
 
-    core = SimCore()
+    core = SimCore(causality=causality)
     for stage in range(pp.stages):
         core.add_cpu_thread(name=f"dispatch-stage{stage}"
                             if pp.stages > 1 else "dispatch")
@@ -361,7 +363,7 @@ def _pp_stage_process(
                                 device=stream.device, tid=tid,
                                 flops=kernel.flops,
                                 bytes_moved=kernel.bytes_moved)
-                        core.link.record(duration)
+                        core.link.record(duration, start_at)
                     else:
                         for stream in streams:
                             call_ts = cpu

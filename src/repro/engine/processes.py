@@ -185,7 +185,7 @@ def single_thread_launch_process(
                             recorder.observe_launch_delay(start - calls[di])
                             recorder.observe_launch_queue(
                                 stream.pending_at(calls[di]))
-                    core.link.record(duration)
+                    core.link.record(duration, start_at)
                 else:
                     for stream in streams:
                         call_ts = cpu
@@ -306,7 +306,7 @@ def _device_dispatch_process(
                     start_at = yield ("join", rdv, ready)
                     start, _end = stream.submit(start_at, duration, gap_ns=gap)
                     if leader:
-                        core.link.record(duration)
+                        core.link.record(duration, start)
                 else:
                     start, _end = stream.submit(arrival, duration, gap_ns=gap)
                 builder.launch_kernel(
@@ -398,7 +398,7 @@ def graph_replay_process(
                         stream=stream.stream_id, device=stream.device,
                         flops=kernel.flops, bytes_moved=kernel.bytes_moved)
                     arrivals[di] = end + kernel_gap
-                core.link.record(duration)
+                core.link.record(duration, start_at)
             else:
                 for di, stream in enumerate(streams):
                     start, end = stream.submit(arrivals[di], duration)

@@ -144,7 +144,7 @@ class KvManager:
     # -- allocation ------------------------------------------------------
     def try_allocate(self, seq: int, blocks: int, ts_ns: float) -> bool:
         """Admission-time allocation; logs ``alloc`` on success."""
-        if not self.resource.try_acquire(seq, blocks):
+        if not self.resource.try_acquire(seq, blocks, ts_ns):
             return False
         self._log(ts_ns, "alloc", seq, blocks)
         return True
@@ -154,7 +154,7 @@ class KvManager:
         delta = self.growth_delta(seq, tokens)
         if delta == 0:
             return True
-        if not self.resource.try_acquire(seq, delta):
+        if not self.resource.try_acquire(seq, delta, ts_ns):
             return False
         self._log(ts_ns, "grow", seq, delta)
         return True
@@ -203,7 +203,7 @@ class KvManager:
         blocks = self._host_blocks.get(seq)
         if blocks is None:
             raise SimulationError(f"seq {seq} is not swapped out")
-        if not self.resource.try_acquire(seq, blocks):
+        if not self.resource.try_acquire(seq, blocks, ts_ns):
             return None
         del self._host_blocks[seq]
         transfer = self.platform.transfer_ns(blocks * self.block_bytes)

@@ -30,6 +30,7 @@ from repro.errors import SimulationError
 from repro.kvcache.pool import BlockPool
 
 if TYPE_CHECKING:
+    from repro.sim.causality import CausalityLog
     from repro.sim.core import Process
     from repro.sim.queue import EventQueue
 
@@ -52,17 +53,30 @@ class KvCacheResource:
         self.name = name
         self.waiters: list[_Waiter] = []
         self._queue: EventQueue | None = None
+        self._log: CausalityLog | None = None
 
     # -- core binding ---------------------------------------------------
-    def bind(self, queue: EventQueue) -> None:
+    def bind(self, queue: EventQueue,
+             causality: CausalityLog | None = None) -> None:
         """Attach to a core's event queue (``SimCore.add_kv_resource``)."""
         self._queue = queue
+        self._log = causality
+        if causality is not None:
+            causality.resource(self.name, self.pool.capacity_blocks)
 
     # -- synchronous side (policy processes, between yields) ------------
-    def try_acquire(self, owner: Hashable, blocks: int) -> bool:
-        """Grant ``blocks`` to ``owner`` now if the pool has room."""
+    def try_acquire(self, owner: Hashable, blocks: int,
+                    now: float = 0.0) -> bool:
+        """Grant ``blocks`` to ``owner`` now if the pool has room.
+
+        ``now`` is only observational (the grant timestamp an attached
+        causality log records); the grant decision ignores it.
+        """
         if self.pool.can_allocate(blocks):
             self.pool.allocate(owner, blocks)
+            if self._log is not None:
+                self._log.grant(self._log.current_pid, self.name, owner,
+                                blocks, now)
             return True
         return False
 
@@ -70,6 +84,9 @@ class KvCacheResource:
         """Free ``owner``'s blocks and wake any newly-eligible waiters."""
         freed = self.pool.release(owner)
         if freed > 0:
+            if self._log is not None:
+                self._log.free(self._log.current_pid, self.name, owner,
+                               freed, now)
             self._wake(now)
         return freed
 
@@ -80,8 +97,14 @@ class KvCacheResource:
             raise SimulationError(
                 f"kv resource {self.name}: acquire of {blocks} blocks can "
                 f"never be granted (capacity {self.pool.capacity_blocks})")
+        if self._log is not None:
+            self._log.acquire(self._log.pid_of(process), self.name, owner,
+                              blocks, ready_ns)
         if not self.waiters and self.pool.can_allocate(blocks):
             self.pool.allocate(owner, blocks)
+            if self._log is not None:
+                self._log.grant(self._log.pid_of(process), self.name, owner,
+                                blocks, ready_ns)
             self._push(process, ready_ns)
         else:
             # FIFO: park behind earlier waiters even if this request would
@@ -90,7 +113,10 @@ class KvCacheResource:
 
     def release_request(self, process: Process, owner: Hashable,
                         ready_ns: float) -> None:
-        self.pool.release(owner)
+        freed = self.pool.release(owner)
+        if self._log is not None:
+            self._log.free(self._log.pid_of(process), self.name, owner,
+                           freed, ready_ns)
         self._wake(ready_ns)
         self._push(process, ready_ns)
 
@@ -99,7 +125,11 @@ class KvCacheResource:
         while self.waiters and self.pool.can_allocate(self.waiters[0].blocks):
             waiter = self.waiters.pop(0)
             self.pool.allocate(waiter.owner, waiter.blocks)
-            self._push(waiter.process, max(now, waiter.ready_ns))
+            grant_at = max(now, waiter.ready_ns)
+            if self._log is not None:
+                self._log.grant(self._log.pid_of(waiter.process), self.name,
+                                waiter.owner, waiter.blocks, grant_at)
+            self._push(waiter.process, grant_at)
 
     def _push(self, process: Process, at_ns: float) -> None:
         if self._queue is None:

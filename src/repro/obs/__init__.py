@@ -3,13 +3,16 @@
 The serving and engine layers accept an optional :class:`RunRecorder`; a
 recorded run summarizes into percentile tables, renders as a timeline, and
 exports (via :func:`recording_to_trace` + :mod:`repro.trace.chrome`) as a
-Chrome trace that SKIP's own analysis pipeline consumes unmodified.
+Chrome trace that SKIP's own analysis pipeline consumes unmodified. Runs
+with causality logging on (``SimCore(causality=...)``) additionally export
+a JSON sidecar (:func:`dump_causality`) that ``repro check hb`` verifies
+offline.
 """
 
 from repro.obs.events import EngineShape, RequestSpan, StepEvent, StepKind
 from repro.obs.stats import CounterSet, Histogram, HistogramSummary
 from repro.obs.recorder import RunRecorder, RunSummary
-from repro.obs.export import recording_to_trace
+from repro.obs.export import dump_causality, load_causality, recording_to_trace
 
 __all__ = [
     "CounterSet",
@@ -21,5 +24,7 @@ __all__ = [
     "RunSummary",
     "StepEvent",
     "StepKind",
+    "dump_causality",
+    "load_causality",
     "recording_to_trace",
 ]

@@ -42,7 +42,9 @@ from repro.obs.events import EngineShape, StepKind
 from repro.obs.recorder import RunRecorder
 from repro.serving.latency import LatencyModel
 from repro.serving.requests import Request, RequestOutcome, queue_delay_ns
+from repro.sim.causality import CausalityLog
 from repro.sim.core import Process, SimCore
+from repro.sim.queue import EventQueue
 from repro.sim.resources import CpuThread, GpuDevice
 from repro.workloads.config import ModelConfig
 
@@ -329,13 +331,18 @@ class ServingRuntime:
         replicas: int = 1,
         tags: dict[int, Hashable] | None = None,
         kv: KvCacheConfig | None = None,
+        queue: EventQueue | None = None,
+        causality: CausalityLog | None = None,
     ) -> None:
         if replicas <= 0:
             raise ConfigurationError("replicas must be positive")
         self.model = model
         self.latency = latency
         self.recorder = recorder
-        self.core = SimCore()
+        # `queue` injects a tie-break discipline (the determinism certifier
+        # runs the same stream FIFO and LIFO); `causality` opts into the
+        # happens-before log. Both default to None = the untouched path.
+        self.core = SimCore(queue=queue, causality=causality)
         self.queue = AdmissionQueue(requests, tags)
         # One engine replica spans tp.degree shards per pipeline stage.
         self.devices_per_replica = (
@@ -527,6 +534,8 @@ def simulate_serving(
     replicas: int = 1,
     recorder: RunRecorder | None = None,
     kv: KvCacheConfig | None = None,
+    queue: EventQueue | None = None,
+    causality: CausalityLog | None = None,
 ) -> ServingRunResult:
     """Serve an arrival stream with any policy on the sim-backed runtime.
 
@@ -541,6 +550,11 @@ def simulate_serving(
             and reproduces pre-kvcache outcomes bit-identically; a pressure
             policy (``RECOMPUTE``/``OFFLOAD``) requires continuous batching
             and gates admission and decode growth on per-replica pools.
+        queue: Optional event-queue override (e.g.
+            :class:`~repro.sim.queue.PerturbedEventQueue` for determinism
+            certification); None = the production FIFO-tie-break queue.
+        causality: Optional happens-before log the run records into
+            (``repro check hb`` consumes it); None = no logging.
     """
     from repro.serving.batcher import ServingReport
     from repro.serving.continuous import ContinuousBatchPolicy
@@ -559,7 +573,8 @@ def simulate_serving(
         process = _policy_factory(policy)
     plain, tags = _normalize(requests)
     runtime = ServingRuntime(plain, model, latency, recorder=recorder,
-                             replicas=replicas, tags=tags or None, kv=kv)
+                             replicas=replicas, tags=tags or None, kv=kv,
+                             queue=queue, causality=causality)
     runtime.run(lambda rt, session: process(rt, session, policy))
     return ServingRunResult(
         report=ServingReport(outcomes=list(runtime.outcomes)),

@@ -11,10 +11,17 @@ The engine's execution modes are written as *processes* on this core
 operators, kernels, or traces, so new resource kinds (more streams per
 device, heterogeneous devices, multi-link topologies) plug in without
 touching the engine.
+
+A core built with ``SimCore(causality=CausalityLog())`` additionally
+records every scheduling decision — spawns, resumes with their tie-break
+keys, rendezvous joins/releases, KV grants, stream occupancy — for the
+offline happens-before pass (:mod:`repro.check.hb`). Logging off (the
+default) is bit-identical to pre-causality behavior.
 """
 
+from repro.sim.causality import CausalityEvent, CausalityLog
 from repro.sim.core import Rendezvous, SimCore
-from repro.sim.queue import EventQueue
+from repro.sim.queue import EventQueue, PerturbedEventQueue, ReferenceEventQueue
 from repro.sim.resources import (
     CpuThread,
     GpuDevice,
@@ -23,10 +30,14 @@ from repro.sim.resources import (
 )
 
 __all__ = [
+    "CausalityEvent",
+    "CausalityLog",
     "CpuThread",
     "EventQueue",
     "GpuDevice",
     "LinkResource",
+    "PerturbedEventQueue",
+    "ReferenceEventQueue",
     "Rendezvous",
     "SimCore",
     "StreamResource",

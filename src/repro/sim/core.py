@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # avoids a cycle: repro.kvcache builds on this module.
     from repro.kvcache.resource import KvCacheResource
 
 from repro.errors import SimulationError
+from repro.sim.causality import CausalityLog
 from repro.sim.queue import EventQueue
 from repro.sim.resources import CpuThread, GpuDevice, LinkResource, StreamResource
 
@@ -62,6 +63,7 @@ class Rendezvous:
     """
 
     parties: int
+    key: Hashable = None
     waiters: list[tuple[Process, float]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -74,7 +76,9 @@ class Rendezvous:
 
     def join(self, process: Process, ready_ns: float) -> None:
         if self.complete:
-            raise SimulationError("rendezvous already complete")
+            raise SimulationError(
+                f"rendezvous {self.key!r} already complete: "
+                f"all {self.parties} parties joined before this join")
         self.waiters.append((process, ready_ns))
 
     @property
@@ -87,10 +91,14 @@ class Rendezvous:
 class SimCore:
     """The simulation: an event queue plus the resources processes share."""
 
-    def __init__(self, queue: EventQueue | None = None) -> None:
+    def __init__(self, queue: EventQueue | None = None,
+                 causality: CausalityLog | None = None) -> None:
         # An injectable queue lets the parity suite drive identical runs
         # through the slimmed queue and the reference queue.
         self._queue = EventQueue() if queue is None else queue
+        # Opt-in happens-before record; None (the default) keeps the core
+        # on its fast path with zero behavioral or allocation change.
+        self._causality = causality
         self._rendezvous: dict[Hashable, Rendezvous] = {}
         self.cpu_threads: list[CpuThread] = []
         self.devices: list[GpuDevice] = []
@@ -110,13 +118,16 @@ class SimCore:
     def add_device(self, streams: int = 1, replica: int = 0) -> GpuDevice:
         index = len(self.devices)
         device = GpuDevice(index=index, streams=[
-            StreamResource(stream_id=7 + s, device=index)
+            StreamResource(stream_id=7 + s, device=index,
+                           log=self._causality)
             for s in range(max(1, streams))
         ], replica=replica)
         self.devices.append(device)
         return device
 
     def set_link(self, link: LinkResource) -> LinkResource:
+        if self._causality is not None:
+            link.log = self._causality
         self.link = link
         return link
 
@@ -126,7 +137,7 @@ class SimCore:
         Binding gives the resource access to the event queue, which is how
         a release performed by one process wakes the waiters of another.
         """
-        resource.bind(self._queue)
+        resource.bind(self._queue, causality=self._causality)
         self.kv_resources.append(resource)
         return resource
 
@@ -146,7 +157,7 @@ class SimCore:
         """
         rdv = self._rendezvous.get(key)
         if rdv is None:
-            rdv = Rendezvous(parties)
+            rdv = Rendezvous(parties, key=key)
             self._rendezvous[key] = rdv
         elif rdv.parties != parties:
             raise SimulationError(f"rendezvous {key!r} party-count mismatch")
@@ -157,6 +168,8 @@ class SimCore:
     # ------------------------------------------------------------------
     def spawn(self, process: Process, at_ns: float = 0.0) -> None:
         """Schedule ``process`` to start at ``at_ns``."""
+        if self._causality is not None:
+            self._causality.spawn(process, at_ns)
         self._queue.push(at_ns, process)
 
     def spawn_all(self, processes: Iterable[Process], at_ns: float = 0.0) -> None:
@@ -167,8 +180,9 @@ class SimCore:
         """Drive every process to completion."""
         global EVENTS_TOTAL
         queue = self._queue
+        log = self._causality
         processed = 0
-        if _HAS_GI_SUSPENDED and type(queue) is EventQueue:
+        if _HAS_GI_SUSPENDED and type(queue) is EventQueue and log is None:
             # Hot path: drain the heap directly, resume via the generator's
             # own state flag, and inline the overwhelmingly common "at"
             # request. Identical semantics to the generic loop below — the
@@ -196,12 +210,24 @@ class SimCore:
                     push(request[1], process)
                 else:
                     handle(process, request)
-        else:
+        elif log is None:
             while queue:
                 time_ns, process = queue.pop()
                 self.now = max(self.now, time_ns)
                 processed += 1
                 self._step(process, time_ns)
+        else:
+            # Logging loop: identical scheduling to the generic loop, plus a
+            # causality record per pop (with the queue's tie-break sequence)
+            # and pid attribution for resources touched between yields.
+            while queue:
+                time_ns, tie, process = queue.pop_entry()
+                self.now = max(self.now, time_ns)
+                processed += 1
+                log.resume(process, time_ns, tie)
+                log.current_pid = log.pid_of(process)
+                self._step(process, time_ns)
+                log.current_pid = -1
         self.events_processed += processed
         EVENTS_TOTAL += processed
         incomplete = [key for key, rdv in self._rendezvous.items()
@@ -227,28 +253,44 @@ class SimCore:
             else:
                 request = process.send(resume_ns)
         except StopIteration:
+            if self._causality is not None:
+                self._causality.exit(process, resume_ns)
             return
         self._handle(process, request)
 
     def _handle(self, process: Process, request: Any) -> None:
         if not isinstance(request, tuple) or not request:
             raise SimulationError(f"malformed process request: {request!r}")
+        log = self._causality
         kind = request[0]
         if kind == "at":
             _, time_ns = request
+            if log is not None:
+                log.suspend(process, time_ns, "at")
             self._queue.push(time_ns, process)
         elif kind == "join":
             _, rdv, ready_ns = request
+            if log is not None:
+                log.join(process, rdv.key, rdv.parties, ready_ns)
+                log.suspend(process, ready_ns, "join")
             rdv.join(process, ready_ns)
             if rdv.complete:
                 release = rdv.release_ns
+                if log is not None:
+                    log.release(process, rdv.key, rdv.parties, release)
+                    for waiter, _ in rdv.waiters:
+                        log.wake(waiter, rdv.key, release)
                 for waiter, _ in rdv.waiters:
                     self._queue.push(release, waiter)
         elif kind == "acquire":
             _, resource, owner, blocks, ready_ns = request
+            if log is not None:
+                log.suspend(process, ready_ns, "acquire")
             resource.acquire_request(process, owner, blocks, ready_ns)
         elif kind == "release":
             _, resource, owner, ready_ns = request
+            if log is not None:
+                log.suspend(process, ready_ns, "release")
             resource.release_request(process, owner, ready_ns)
         else:
             raise SimulationError(f"unknown process request kind: {kind!r}")

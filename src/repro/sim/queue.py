@@ -62,11 +62,21 @@ class EventQueue:
             seq += 1
         self._seq = seq
 
-    def pop(self) -> tuple[float, Any]:
-        """Remove and return the earliest ``(time, item)`` entry."""
+    def pop_entry(self) -> tuple[float, int, Any]:
+        """Remove and return the earliest ``(time, tie, item)`` entry.
+
+        ``tie`` is the monotone insertion sequence number that broke any
+        same-time tie — the metadata the causality log records so the
+        happens-before pass (rule H002) can prove pop order never fell
+        through to comparing heap items.
+        """
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        time_ns, _, item = heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, item)`` entry."""
+        time_ns, _, item = self.pop_entry()
         return time_ns, item
 
     def peek_time(self) -> float:
@@ -92,7 +102,32 @@ class ReferenceEventQueue(EventQueue):
         super().__init__()
         self.popped = 0
 
-    def pop(self) -> tuple[float, Any]:
-        entry = super().pop()
+    def pop_entry(self) -> tuple[float, int, Any]:
+        entry = super().pop_entry()
         self.popped += 1
         return entry
+
+
+class PerturbedEventQueue(EventQueue):
+    """Adversarial tie-break queue for determinism certification.
+
+    Orders same-time events LIFO instead of FIFO by negating the insertion
+    sequence number. Time order is untouched, so a perturbed run is
+    *causally equivalent* to the baseline — any behavioral dependency the
+    two runs disagree on was a dependency on the tie-break itself, which is
+    exactly what ``repro check hb --certify`` hunts (rule H008).
+
+    Being a subclass (not ``EventQueue`` itself) automatically steers
+    :class:`~repro.sim.core.SimCore` off its direct-heap fast path onto the
+    generic loop.
+    """
+
+    def push(self, time_ns: float, item: Any) -> None:
+        if time_ns < 0:
+            raise SimulationError("event time must be non-negative")
+        heapq.heappush(self._heap, (time_ns, -self._seq, item))
+        self._seq += 1
+
+    def push_many(self, entries: list[tuple[float, Any]]) -> None:
+        for time_ns, item in entries:
+            self.push(time_ns, item)

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.hardware.interconnect import InterconnectSpec
+
+if TYPE_CHECKING:  # import would be circular only in annotations' eyes; kept
+    from repro.sim.causality import CausalityLog  # lazy for import hygiene.
 
 
 @dataclass(slots=True)
@@ -34,6 +38,8 @@ class StreamResource:
         kernel_count: Number of kernels submitted.
         start_times: Start time of every submitted kernel, in order (used by
             the executor to model the bounded launch queue).
+        log: Optional causality log; when attached (``SimCore(causality=…)``)
+            every submitted kernel records an ``occupy`` interval.
     """
 
     stream_id: int = 7
@@ -42,6 +48,12 @@ class StreamResource:
     busy_ns: float = 0.0
     kernel_count: int = 0
     start_times: list[float] = field(default_factory=list)
+    log: CausalityLog | None = None
+
+    @property
+    def label(self) -> str:
+        """Stable causality-log resource name for this stream."""
+        return f"device{self.device}.stream{self.stream_id}"
 
     def submit(self, arrival_ns: float, duration_ns: float,
                gap_ns: float = 0.0) -> tuple[float, float]:
@@ -68,6 +80,8 @@ class StreamResource:
         self.busy_ns += duration_ns
         self.kernel_count += 1
         self.start_times.append(start)
+        if self.log is not None:
+            self.log.occupy(self.label, start, end)
         return start, end
 
     def earliest_start(self, arrival_ns: float, gap_ns: float = 0.0) -> float:
@@ -158,6 +172,7 @@ class LinkResource:
     spec: InterconnectSpec
     transfers: int = 0
     busy_ns: float = 0.0
+    log: CausalityLog | None = None
 
     def p2p_ns(self, num_bytes: float) -> float:
         """Point-to-point transfer time across the link."""
@@ -177,9 +192,17 @@ class LinkResource:
         # bandwidth_gbs GB/s is numerically equal to bytes per nanosecond.
         return steps * (self.spec.base_latency_ns + chunk / self.spec.bandwidth_gbs)
 
-    def record(self, duration_ns: float) -> None:
-        """Account one collective/transfer occupancy on the link."""
+    def record(self, duration_ns: float,
+               start_ns: float | None = None) -> None:
+        """Account one collective/transfer occupancy on the link.
+
+        Callers that know when the transfer begins pass ``start_ns`` so an
+        attached causality log can record the occupancy *interval*; the
+        aggregate accounting is identical either way.
+        """
         if duration_ns < 0:
             raise SimulationError("link occupancy must be non-negative")
         self.transfers += 1
         self.busy_ns += duration_ns
+        if self.log is not None and start_ns is not None:
+            self.log.occupy("link", start_ns, start_ns + duration_ns)

@@ -18,6 +18,7 @@ from repro.engine.tp import TPConfig
 from repro.engine.fusion_apply import FusionPlan
 from repro.engine.modes import ExecutionMode
 from repro.hardware.platform import Platform
+from repro.sim.causality import CausalityLog
 from repro.skip.classify import Boundedness, classify_metrics
 from repro.skip.depgraph import DependencyGraph
 from repro.skip.fusion import DEFAULT_CHAIN_LENGTHS, FusionAnalysis, analyze_trace
@@ -88,6 +89,7 @@ class SkipProfiler:
         fusion_plan: FusionPlan | None = None,
         tp: TPConfig | None = None,
         pp: PPConfig | None = None,
+        causality: CausalityLog | None = None,
     ) -> ProfileResult:
         """Simulate a run on this profiler's platform and analyze its trace."""
         run_result = run(
@@ -102,6 +104,7 @@ class SkipProfiler:
             fusion_plan=fusion_plan,
             tp=tp,
             pp=pp,
+            causality=causality,
         )
         return self.analyze(run_result.trace, run_result)
 

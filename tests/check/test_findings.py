@@ -10,14 +10,14 @@ from repro.check import CheckReport, Finding, RULES, Severity, register_rule
 # fully populated here.
 
 
-def test_registry_covers_all_five_passes():
+def test_registry_covers_all_six_passes():
     passes = {rule.pass_name for rule in RULES.values()}
-    assert passes == {"graph", "schedule", "trace", "code", "kv"}
+    assert passes == {"graph", "schedule", "trace", "code", "kv", "hb"}
 
 
 def test_rule_ids_follow_pass_prefix():
     prefix = {"graph": "G", "schedule": "S", "trace": "T", "code": "C",
-              "kv": "K"}
+              "kv": "K", "hb": "H"}
     for rule in RULES.values():
         assert rule.rule_id.startswith(prefix[rule.pass_name])
         assert rule.rule_id[1:].isdigit()

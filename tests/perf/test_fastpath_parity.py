@@ -86,8 +86,10 @@ def test_slimmed_queue_matches_reference_queue(kwargs, monkeypatch):
     assert type(fast.core._queue) is EventQueue
 
     reference = ReferenceEventQueue()
-    monkeypatch.setattr("repro.engine.executor.SimCore",
-                        lambda: SimCore(queue=reference))
+    monkeypatch.setattr(
+        "repro.engine.executor.SimCore",
+        lambda causality=None: SimCore(queue=reference,
+                                       causality=causality))
     slow = run(GPT2, INTEL_H100, seq_len=256, **kwargs)
     assert _trace_values(slow.trace) == _trace_values(fast.trace)
     assert compute_metrics(slow.trace) == compute_metrics(fast.trace)
@@ -100,8 +102,10 @@ def test_slimmed_queue_matches_reference_queue(kwargs, monkeypatch):
 def test_serving_on_reference_queue_is_bit_identical(monkeypatch):
     _, fast = scenarios.pressured_run(get_platform("GH200"),
                                       KvPolicy.OFFLOAD)
-    monkeypatch.setattr("repro.serving.runtime.SimCore",
-                        lambda: SimCore(queue=ReferenceEventQueue()))
+    monkeypatch.setattr(
+        "repro.serving.runtime.SimCore",
+        lambda queue=None, causality=None: SimCore(
+            queue=ReferenceEventQueue(), causality=causality))
     _, slow = scenarios.pressured_run(get_platform("GH200"),
                                       KvPolicy.OFFLOAD)
     assert slow.outcomes == fast.outcomes

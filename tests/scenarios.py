@@ -83,6 +83,23 @@ def chunked_run(platform, chunk_tokens=CHUNK_TOKENS, pp=None, recorder=None):
         recorder=recorder)
 
 
+def tiebreak_pair(run):
+    """Run ``run(queue)`` under the FIFO and the adversarial tie-break.
+
+    ``run`` is called twice — once with a production :class:`EventQueue`
+    (FIFO at equal timestamps) and once with a
+    :class:`~repro.sim.queue.PerturbedEventQueue` (LIFO at equal
+    timestamps, causally equivalent) — and both results are returned as
+    ``(baseline, perturbed)``. Parity suites and the perf harness assert
+    the two are equal: any divergence means an outcome depended on
+    event-queue pop order rather than on simulated causality (the same
+    adversarial perturbation ``repro check hb --certify`` uses).
+    """
+    from repro.sim.queue import EventQueue, PerturbedEventQueue
+
+    return run(EventQueue()), run(PerturbedEventQueue())
+
+
 def pressured_run(platform, policy,
                   mode=ExecutionMode.COMPILE_REDUCE_OVERHEAD,
                   recorder=None):

@@ -113,3 +113,22 @@ def test_non_yielding_process_runs_to_completion():
     core.spawn(straight_line())
     core.run()
     assert ran == [True]
+
+
+def test_over_joined_rendezvous_names_its_key():
+    from repro.sim import Rendezvous
+
+    rdv = Rendezvous(parties=2, key=("pp.act", 0, 1, 3))
+    rdv.join(object(), 10.0)
+    rdv.join(object(), 20.0)
+    with pytest.raises(SimulationError) as excinfo:
+        rdv.join(object(), 30.0)
+    message = str(excinfo.value)
+    assert "('pp.act', 0, 1, 3)" in message
+    assert "all 2 parties" in message
+
+
+def test_core_rendezvous_carries_its_pool_key():
+    core = SimCore()
+    rdv = core.rendezvous(("allreduce", 7), parties=2)
+    assert rdv.key == ("allreduce", 7)

@@ -61,3 +61,67 @@ def test_interleaved_push_pop_stays_ordered():
     queue.push(5.0, "middle")
     assert queue.pop() == (5.0, "middle")
     assert queue.pop() == (10.0, "late")
+
+
+# ----------------------------------------------------------------------
+# pop_entry / tie-break metadata (rule H002's witness)
+# ----------------------------------------------------------------------
+def test_pop_entry_exposes_monotone_tie_keys():
+    queue = EventQueue()
+    for item in ("a", "b", "c"):
+        queue.push(5.0, item)
+    entries = [queue.pop_entry() for _ in range(3)]
+    assert [item for _, _, item in entries] == ["a", "b", "c"]
+    ties = [tie for _, tie, _ in entries]
+    assert ties == sorted(ties)
+    assert len(set(ties)) == 3
+
+
+def _drain(queue):
+    """Push the same mixed same-time workload and record the pop order."""
+    queue.push(10.0, "late")
+    for item in ("t1", "t2", "t3"):
+        queue.push(5.0, item)
+    order = [queue.pop() for _ in range(2)]
+    queue.push(5.0, "t4")
+    queue.push(0.0, "early")
+    while queue:
+        order.append(queue.pop())
+    return order
+
+
+def test_identical_runs_pop_identically():
+    # The explicit insertion-sequence tie-break makes pop order a pure
+    # function of the push sequence: no heap internals, no item ordering.
+    assert _drain(EventQueue()) == _drain(EventQueue())
+
+
+def test_reference_queue_agrees_with_production_queue():
+    from repro.sim import ReferenceEventQueue
+
+    reference = ReferenceEventQueue()
+    assert _drain(EventQueue()) == _drain(reference)
+    assert reference.popped == 6
+
+
+# ----------------------------------------------------------------------
+# PerturbedEventQueue: the certifier's adversarial tie-break
+# ----------------------------------------------------------------------
+def test_perturbed_queue_is_lifo_at_ties():
+    from repro.sim import PerturbedEventQueue
+
+    queue = PerturbedEventQueue()
+    for item in ("first", "second", "third"):
+        queue.push(5.0, item)
+    assert [queue.pop()[1] for _ in range(3)] == ["third", "second", "first"]
+
+
+def test_perturbed_queue_preserves_time_order():
+    from repro.sim import PerturbedEventQueue
+
+    queue = PerturbedEventQueue()
+    queue.push_many([(30.0, "c"), (10.0, "a"), (20.0, "b")])
+    assert [queue.pop() for _ in range(3)] == [
+        (10.0, "a"), (20.0, "b"), (30.0, "c")]
+    with pytest.raises(SimulationError):
+        queue.push(-1.0, "x")

@@ -80,7 +80,8 @@ def test_static_analysis_doc_covers_every_rule():
     from repro.check import RULES
 
     text = _read("docs/static-analysis.md") + _read("docs/kvcache.md")
-    documented = set(re.findall(r"^\| ([GSTCK]\d{3}) \|", text, re.MULTILINE))
+    documented = set(re.findall(r"^\| ([GSTCKH]\d{3}) \|", text,
+                                re.MULTILINE))
     assert documented == set(RULES)
 
 
