@@ -12,7 +12,11 @@ Six pure passes (none re-runs the system under test to judge it):
 * **code** (:mod:`repro.check.code`) — repo-specific AST lint over
   ``src/repro`` (rules ``C...``);
 * **kv** (:mod:`repro.check.kvrules`) — replay of the paged KV-pool
-  event log against leak/over-commit/residency invariants (rules ``K...``);
+  event log against leak/over-commit/residency invariants (rules ``K...``),
+  including the shared-prefix refcount discipline;
+* **cluster** (:mod:`repro.check.clusterrules`) — replay of cluster
+  routing decisions against conservation and session-affinity invariants
+  (rules ``R...``);
 * **hb** (:mod:`repro.check.hb`) — vector-clock happens-before analysis
   over a run's causality log plus determinism certification under
   adversarial tie-break perturbation (rules ``H...``). The log comes from
@@ -23,6 +27,7 @@ All passes report :class:`Finding` records with stable rule ids; the
 ``repro check`` CLI aggregates them into a :class:`CheckReport`.
 """
 
+from repro.check.clusterrules import check_cluster_metadata
 from repro.check.code import lint_path, lint_source
 from repro.check.findings import (
     CheckReport,
@@ -80,6 +85,7 @@ __all__ = [
     "Severity",
     "certify_scenario",
     "check_causality",
+    "check_cluster_metadata",
     "check_causality_logs",
     "check_hb_scenarios",
     "check_kv_events",

@@ -1,0 +1,81 @@
+"""Cluster routing verification (rules ``R...``).
+
+The cluster tier logs every routing decision into exported trace metadata
+(``cluster``: the router policy, the generated request ids, and one event
+per routed request). This pass replays that log against the conservation
+and affinity invariants of the router:
+
+* **R001** — conservation: every generated request is admitted to exactly
+  one replica. A request routed twice was double-admitted; a request never
+  routed was dropped on the floor.
+* **R002** — session affinity: under the ``session`` router policy, all
+  requests carrying the same session tag land on the same replica
+  (a violation splits a session's KV reuse across machines).
+* **R003** — refcounted shared KV blocks obey their lifecycle: a shared
+  group is referenced only while resident, dereferenced once per holder
+  (never past zero — a double free), and evicted only at refcount 0
+  (never while somebody still reads it). The findings are emitted by the
+  KV replay in :mod:`repro.check.kvrules`, which processes the
+  ``prefix_*`` events alongside the K rules.
+
+Like the K rules, the pass is pure log replay and runs automatically in
+``repro check trace`` whenever a trace carries cluster metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.check.findings import Finding, Severity, register_rule
+
+R001 = register_rule(
+    "R001", "cluster", "request not admitted to exactly one replica")
+R002 = register_rule(
+    "R002", "cluster", "session-affinity violation: one session on two "
+                       "replicas")
+R003 = register_rule(
+    "R003", "cluster", "shared KV block double-free or free-while-shared")
+
+
+def check_cluster_metadata(meta: Mapping,
+                           where: str = "cluster") -> list[Finding]:
+    """Verify the ``cluster`` metadata block of an exported trace."""
+    findings: list[Finding] = []
+    events = meta.get("events", [])
+    request_ids = meta.get("request_ids")
+    policy = meta.get("policy", "")
+
+    routed: dict[int, list[int]] = {}
+    for event in events:
+        routed.setdefault(int(event["request_id"]),
+                          []).append(int(event["replica"]))
+
+    for rid, replicas in sorted(routed.items()):
+        if len(replicas) > 1:
+            findings.append(Finding(
+                R001, Severity.ERROR, f"{where} request {rid}",
+                f"request {rid} admitted to {len(replicas)} replicas: "
+                f"{replicas}"))
+    if request_ids is not None:
+        missing = sorted(set(int(r) for r in request_ids) - set(routed))
+        if missing:
+            findings.append(Finding(
+                R001, Severity.ERROR, f"{where} conservation",
+                f"{len(missing)} generated request(s) never admitted to any "
+                f"replica: {missing[:5]}"))
+
+    if policy == "session":
+        by_session: dict[str, set[int]] = {}
+        for event in events:
+            session = event.get("session")
+            if session is None:
+                continue
+            by_session.setdefault(str(session), set()).add(
+                int(event["replica"]))
+        for session, replicas in sorted(by_session.items()):
+            if len(replicas) > 1:
+                findings.append(Finding(
+                    R002, Severity.ERROR, f"{where} session {session}",
+                    f"session {session!r} routed to {len(replicas)} "
+                    f"replicas: {sorted(replicas)}"))
+    return findings

@@ -577,10 +577,43 @@ def _pp_kv_offload_run(queue: EventQueue | None,
     return _outcome_rows(result.outcomes)
 
 
+def _cluster_run(queue: EventQueue | None,
+                 causality: CausalityLog | None) -> list[tuple]:
+    from repro.hardware import get_platform
+    from repro.kvcache import KvCacheConfig, KvPolicy
+    from repro.serving.cluster import RouterPolicy, simulate_cluster
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.latency import LatencyModel
+    from repro.traffic import (
+        ArrivalFamily,
+        ArrivalSpec,
+        PrefixSpec,
+        TrafficConfig,
+        generate_traffic,
+    )
+    from repro.workloads import GPT2
+
+    requests = generate_traffic(TrafficConfig(
+        arrivals=ArrivalSpec(family=ArrivalFamily.BURSTY, rate_per_s=400.0,
+                             duration_s=0.05, seed=7),
+        prompt_len=256, prompt_jitter=64, output_tokens=24, output_jitter=8,
+        prefix=PrefixSpec(share=0.5, prefix_len=128, pool=2),
+        sessions=6, tenants=2))
+    latency = LatencyModel(platform=get_platform("GH200"))
+    result = simulate_cluster(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=8),
+        router=RouterPolicy.LEAST_LOADED, replicas=4,
+        kv=KvCacheConfig(policy=KvPolicy.NONE, prefix_caching=True),
+        queue=queue, causality=causality)
+    return _outcome_rows(result.outcomes)
+
+
 #: The scenarios ``repro check hb`` runs by default: the canonical
-#: mixed-stream serving run and the PP + chunked-prefill + KV-offload run
-#: — the layers with the richest synchronization (the streams and knobs
-#: mirror ``tests/scenarios.py``).
+#: mixed-stream serving run, the PP + chunked-prefill + KV-offload run,
+#: and the routed cluster run with copy-on-write prefix caching — the
+#: layers with the richest synchronization (the streams and knobs mirror
+#: ``tests/scenarios.py``).
 CANONICAL_SCENARIOS: tuple[HbScenario, ...] = (
     HbScenario(
         name="mixed-stream",
@@ -593,6 +626,12 @@ CANONICAL_SCENARIOS: tuple[HbScenario, ...] = (
                     "(256 tokens), pp=2x2 pricing, and an offloading "
                     "0.04 GiB paged pool on GH200",
         run=_pp_kv_offload_run),
+    HbScenario(
+        name="cluster",
+        description="bursty tagged stream (seed 7) routed least-loaded "
+                    "across 4 replicas with copy-on-write prefix caching "
+                    "on GH200",
+        run=_cluster_run),
 )
 
 

@@ -17,6 +17,13 @@ their ``kv`` metadata. This pass replays the log against four invariants:
   sequence that still holds blocks (or is parked in host memory) means the
   preemption path dropped an eviction.
 
+Shared-prefix (copy-on-write) events — ``prefix_alloc`` / ``prefix_ref`` /
+``prefix_deref`` / ``prefix_free``, whose ``seq`` field is the prefix key —
+are replayed alongside them: refcount misuse (double free, free while
+shared, ref of an unknown group) raises rule **R003** from
+:mod:`repro.check.clusterrules`, and a group still resident at run end is
+a K001 leak like any other block.
+
 The pass is pure log replay — it needs no simulation state, so it runs on
 an exported trace file years after the run.
 """
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.check.clusterrules import R003
 from repro.check.findings import Finding, Severity, register_rule
 from repro.kvcache.events import KvCacheEvent
 
@@ -44,6 +52,7 @@ def check_kv_events(events: Sequence[KvCacheEvent],
     findings: list[Finding] = []
     held: dict[int, int] = {}
     host: dict[int, int] = {}
+    shared: dict[int, list[int]] = {}  # prefix key -> [blocks, refcount]
     running = 0
 
     def err(rule: str, index: int, event: KvCacheEvent, message: str) -> None:
@@ -100,6 +109,59 @@ def check_kv_events(events: Sequence[KvCacheEvent],
                     f"parked in host memory")
             held[seq] = held.get(seq, 0) + event.blocks
             running += event.blocks
+        elif event.kind == "prefix_alloc":
+            if seq in shared:
+                err(R003, index, event,
+                    f"shared group {seq} allocated while already resident "
+                    f"({shared[seq][0]} blocks, refcount {shared[seq][1]})")
+            if event.refs != 1:
+                err(K002, index, event,
+                    f"fresh shared group {seq} recorded refcount "
+                    f"{event.refs}, expected 1")
+            shared[seq] = [event.blocks, 1]
+            running += event.blocks
+        elif event.kind == "prefix_ref":
+            group = shared.get(seq)
+            if group is None:
+                err(R003, index, event,
+                    f"reference taken on unknown shared group {seq}")
+            else:
+                group[1] += 1
+                if event.refs != group[1]:
+                    err(K002, index, event,
+                        f"shared group {seq} recorded refcount "
+                        f"{event.refs} but replay reconstructs {group[1]}")
+        elif event.kind == "prefix_deref":
+            group = shared.get(seq)
+            if group is None:
+                err(R003, index, event,
+                    f"double free: dereference of unknown shared group "
+                    f"{seq}")
+            elif group[1] <= 0:
+                err(R003, index, event,
+                    f"double free: shared group {seq} dereferenced at "
+                    f"refcount 0")
+            else:
+                group[1] -= 1
+                if event.refs != group[1]:
+                    err(K002, index, event,
+                        f"shared group {seq} recorded refcount "
+                        f"{event.refs} but replay reconstructs {group[1]}")
+        elif event.kind == "prefix_free":
+            group = shared.pop(seq, None)
+            if group is None:
+                err(R003, index, event,
+                    f"double free: eviction of unknown shared group {seq}")
+            else:
+                if group[1] > 0:
+                    err(R003, index, event,
+                        f"shared group {seq} freed while refcount is "
+                        f"{group[1]} (free-while-shared)")
+                if event.blocks != group[0]:
+                    err(K002, index, event,
+                        f"prefix_free of {event.blocks} blocks but group "
+                        f"{seq} held {group[0]}")
+                running -= group[0]
         elif event.kind == "decode":
             if seq in host:
                 err(K003, index, event,
@@ -128,6 +190,12 @@ def check_kv_events(events: Sequence[KvCacheEvent],
             K001, Severity.ERROR, f"{where} run end",
             f"{sum(host.values())} blocks stranded in host memory by "
             f"sequence(s): {sorted(host)[:5]}"))
+    if shared:
+        findings.append(Finding(
+            K001, Severity.ERROR, f"{where} run end",
+            f"{sum(g[0] for g in shared.values())} blocks held by "
+            f"{len(shared)} shared prefix group(s) never freed: "
+            f"{sorted(shared)[:5]}"))
     return findings
 
 

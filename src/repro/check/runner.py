@@ -106,8 +106,12 @@ def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
 
     Traces exported from KV-cache-enabled serving runs carry their pool
     audit trail in ``kv`` metadata; those additionally get the K001-K004
-    accounting replay (:mod:`repro.check.kvrules`).
+    accounting replay (:mod:`repro.check.kvrules`). Traces from cluster
+    runs carry routing decisions in ``cluster`` metadata and get the
+    R001/R002 conservation and affinity replay
+    (:mod:`repro.check.clusterrules`) the same way.
     """
+    from repro.check.clusterrules import check_cluster_metadata
     from repro.check.kvrules import check_kv_metadata
 
     report = CheckReport()
@@ -117,6 +121,9 @@ def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
         if trace is not None and "kv" in trace.metadata:
             report.extend(check_kv_metadata(trace.metadata["kv"]),
                           f"{path} (kv)")
+        if trace is not None and "cluster" in trace.metadata:
+            report.extend(check_cluster_metadata(trace.metadata["cluster"]),
+                          f"{path} (cluster)")
     return report
 
 

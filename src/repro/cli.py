@@ -277,7 +277,54 @@ def _kv_config(args: argparse.Namespace):
     return KvCacheConfig(policy=policy, pool_gib=args.kv_pool_gib)
 
 
+def _serve_requests(args: argparse.Namespace) -> list:
+    """Build the serve command's arrival stream from the traffic knobs.
+
+    ``--arrival fixed`` (the default) replays the historical Poisson
+    stream through :func:`repro.traffic.tag_requests` — with no prefix
+    share and no sessions that returns the stream unchanged, keeping the
+    pre-cluster output bit-identical. Any other family generates through
+    :func:`repro.traffic.generate_traffic`.
+    """
+    from repro.serving import poisson_requests
+    from repro.traffic import (
+        ArrivalFamily,
+        ArrivalSpec,
+        PrefixSpec,
+        TrafficConfig,
+        generate_traffic,
+        tag_requests,
+    )
+
+    if args.rate <= 0:
+        raise ConfigurationError(
+            f"--rate must be positive (got {args.rate:g})")
+    if not 0.0 <= args.prefix_share <= 1.0:
+        raise ConfigurationError(
+            f"--prefix-share must be in [0, 1] (got {args.prefix_share:g})")
+    prefix = (PrefixSpec(share=args.prefix_share, prefix_len=args.prefix_len,
+                         pool=args.prefix_pool)
+              if args.prefix_share > 0 else None)
+    if args.arrival == "fixed":
+        requests = poisson_requests(
+            rate_per_s=args.rate, duration_s=args.duration,
+            prompt_len=args.prompt_len, output_tokens=args.output_tokens,
+            seed=args.seed)
+        return tag_requests(requests, prefix=prefix, sessions=args.sessions,
+                            seed=args.seed)
+    config = TrafficConfig(
+        arrivals=ArrivalSpec(family=ArrivalFamily(args.arrival),
+                             rate_per_s=args.rate, duration_s=args.duration,
+                             seed=args.seed),
+        prompt_len=args.prompt_len, output_tokens=args.output_tokens,
+        prefix=prefix if prefix is not None else PrefixSpec(),
+        sessions=args.sessions)
+    return generate_traffic(config)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.analysis import serving_slo_attainment
     from repro.obs import RunRecorder, recording_to_trace
     from repro.serving import (
@@ -287,7 +334,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         PriorityPolicy,
         RequestClass,
         StaticBatchPolicy,
-        poisson_requests,
+        simulate_cluster,
         simulate_serving,
     )
     from repro.trace import chrome
@@ -301,14 +348,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"--chunk-tokens must be non-negative (got {args.chunk_tokens}); "
             f"0 disables chunked prefill and reproduces whole-prompt serving")
+    clustered = args.router != "shared"
+    if clustered and args.scenario != "continuous":
+        raise ConfigurationError(
+            f"--router {args.router} runs the cluster stack, whose replicas "
+            f"run continuous batching; --scenario {args.scenario} is only "
+            f"available with --router shared")
+    if args.autoscale_max and not clustered:
+        raise ConfigurationError(
+            "--autoscale-max needs a cluster router; pass e.g. "
+            "--router least-loaded")
     model = get_model(args.model)
     kv = _kv_config(args)
+    if args.prefix_share > 0 and 0.0 <= args.prefix_share <= 1.0:
+        from repro.kvcache import KvCacheConfig
+
+        # COW prefix caching rides on the paged pool; with no pressure
+        # policy configured it gets a dedicated unbounded-pool config.
+        kv = (dataclasses.replace(kv, prefix_caching=True)
+              if kv is not None else KvCacheConfig(prefix_caching=True))
     latency = LatencyModel(get_platform(args.platform), engine_config=_FAST,
                            tp=_tp_config(args), pp=_pp_config(args))
-    requests = poisson_requests(
-        rate_per_s=args.rate, duration_s=args.duration,
-        prompt_len=args.prompt_len, output_tokens=args.output_tokens,
-        seed=args.seed)
+    requests = _serve_requests(args)
     if args.scenario == "continuous":
         policy = ContinuousBatchPolicy(max_active=args.max_active,
                                        chunk_tokens=args.chunk_tokens)
@@ -332,9 +393,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ]
     recorder = RunRecorder(sample_every=args.record_sample)
     causality = _causality_log(args)
-    result = simulate_serving(workload, model, latency, policy=policy,
-                              replicas=args.replicas, recorder=recorder,
-                              kv=kv, causality=causality)
+    if clustered:
+        from repro.serving import AutoscaleConfig
+
+        autoscale = (AutoscaleConfig(max_replicas=args.autoscale_max)
+                     if args.autoscale_max else None)
+        result = simulate_cluster(
+            workload, model, latency, policy=policy, router=args.router,
+            replicas=args.replicas, recorder=recorder, kv=kv,
+            autoscale=autoscale, causality=causality)
+    else:
+        result = simulate_serving(workload, model, latency, policy=policy,
+                                  replicas=args.replicas, recorder=recorder,
+                                  kv=kv, causality=causality)
     report = result.report
     title = (f"{args.scenario} serving: {model.name} on {args.platform} "
              f"({len(requests)} requests, {args.replicas} replica(s))")
@@ -342,12 +413,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"throughput         : "
           f"{report.throughput_tokens_per_s():.0f} tokens/s")
     print(serving_slo_attainment(report).render())
+    router = getattr(result, "router", None)
+    if router is not None:
+        scaled = (f"  scaled to {router.replicas}"
+                  if router.scale_events else "")
+        print(f"router             : {router.policy}  "
+              f"routed {router.routed} -> "
+              f"{'/'.join(str(n) for n in router.routed_per_replica)}"
+              f"  busy {format_ns(router.router_busy_ns)}{scaled}")
     for stats in result.kv:
+        prefix = ""
+        if stats.prefix_hits or stats.prefix_misses:
+            prefix = (f"  prefix hits={stats.prefix_hits}"
+                      f"/misses={stats.prefix_misses}"
+                      f" forks={stats.cow_forks}")
         print(f"kv pool r{stats.replica}         : "
               f"{stats.capacity_blocks} blocks x {stats.block_tokens} tokens"
               f"  preempts={stats.preemptions}"
               f"  swaps={stats.swap_out_events}+{stats.swap_in_events}"
-              f" ({format_ns(stats.swap_ns)})")
+              f" ({format_ns(stats.swap_ns)}){prefix}")
     if args.replicas > 1:
         rows = [[f"r{stats.replica}", str(stats.requests),
                  str(stats.output_tokens), str(stats.steps),
@@ -587,10 +671,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine replicas serving one admission queue")
     _add_tp_args(serve)
     _add_pp_args(serve)
+    serve.add_argument("--arrival", default="fixed",
+                       choices=["fixed", "poisson", "bursty", "diurnal"],
+                       help="arrival process: fixed replays the historical "
+                            "seeded Poisson list bit-identically; the "
+                            "others generate through repro.traffic")
     serve.add_argument("--rate", type=float, default=20.0,
-                       help="Poisson arrival rate (req/s)")
+                       help="mean arrival rate (req/s)")
     serve.add_argument("--duration", type=float, default=1.0,
                        help="arrival stream duration (s)")
+    serve.add_argument("--prefix-share", type=float, default=0.0,
+                       help="fraction of requests tagged with a shared "
+                            "prefix (enables copy-on-write prefix caching "
+                            "when positive)")
+    serve.add_argument("--prefix-len", type=int, default=256,
+                       help="tokens in each shared prefix")
+    serve.add_argument("--prefix-pool", type=int, default=4,
+                       help="distinct shared prefixes tagged requests draw "
+                            "from")
+    serve.add_argument("--sessions", type=int, default=0,
+                       help="distinct session tags to spread over the "
+                            "stream (0 = untagged)")
+    serve.add_argument("--router", default="shared",
+                       choices=["shared", "round-robin", "least-loaded",
+                                "session", "disaggregated"],
+                       help="shared = replicas race on one queue (the flat "
+                            "runtime); anything else routes through the "
+                            "cluster tier with that placement policy")
+    serve.add_argument("--autoscale-max", type=int, default=0,
+                       help="let the cluster router spin up replicas to "
+                            "this ceiling under backlog (0 = fixed pool; "
+                            "needs a cluster --router)")
     serve.add_argument("--prompt-len", type=int, default=128)
     serve.add_argument("--output-tokens", type=int, default=16)
     serve.add_argument("--max-active", type=int, default=8,

@@ -22,6 +22,13 @@ KV_EVENT_KINDS = frozenset({
     "swap_out",   # offload policy moved the sequence's blocks to the host
     "swap_in",    # offloaded blocks returned to the device
     "decode",     # the sequence took part in a decode step (no pool change)
+    # Shared-prefix (copy-on-write) cache events. For these four kinds the
+    # ``seq`` field carries the *prefix key* (the group identity the
+    # refcount rules replay), not a request id.
+    "prefix_alloc",   # cold miss: shared group inserted, refcount 1
+    "prefix_ref",     # hit: one more holder (no pool change)
+    "prefix_deref",   # holder released its reference (no pool change)
+    "prefix_free",    # idle group evicted/flushed; its blocks returned
 })
 
 
@@ -37,6 +44,8 @@ class KvCacheEvent:
         allocated: Device-resident blocks on the replica *after* the event —
             the running counter rule K002 checks against capacity.
         replica: Replica whose pool the event touched.
+        refs: Shared-group refcount *after* the event (``prefix_*`` kinds
+            only; 0 otherwise) — the counter rule R003 replays.
     """
 
     ts_ns: float
@@ -45,6 +54,7 @@ class KvCacheEvent:
     blocks: int
     allocated: int
     replica: int = 0
+    refs: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KV_EVENT_KINDS:
@@ -54,11 +64,14 @@ class KvCacheEvent:
         if self.allocated < 0:
             raise AnalysisError(
                 f"kv event has negative allocated count: {self.allocated}")
+        if self.refs < 0:
+            raise AnalysisError(
+                f"kv event has negative refcount: {self.refs}")
 
     def to_dict(self) -> dict:
         return {"ts_ns": self.ts_ns, "kind": self.kind, "seq": self.seq,
                 "blocks": self.blocks, "allocated": self.allocated,
-                "replica": self.replica}
+                "replica": self.replica, "refs": self.refs}
 
     @classmethod
     def from_dict(cls, payload: dict) -> KvCacheEvent:
@@ -68,6 +81,7 @@ class KvCacheEvent:
                        seq=int(payload["seq"]),
                        blocks=int(payload["blocks"]),
                        allocated=int(payload["allocated"]),
-                       replica=int(payload.get("replica", 0)))
+                       replica=int(payload.get("replica", 0)),
+                       refs=int(payload.get("refs", 0)))
         except (KeyError, TypeError, ValueError) as exc:
             raise AnalysisError(f"malformed kv event: {payload!r}") from exc

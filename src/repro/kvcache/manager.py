@@ -59,11 +59,17 @@ class KvCacheConfig:
         pool_gib: Explicit pool size in GiB; ``None`` derives the pool from
             GPU capacity minus weights and the runtime reserve.
         block_tokens: Tokens per KV block.
+        prefix_caching: Share full KV blocks between requests tagged with
+            the same prefix hash (copy-on-write forks for the divergent
+            suffix). Orthogonal to the pressure policy — it works with
+            ``NONE`` (capacity derived from HBM) as well as under
+            recompute/offload pressure.
     """
 
     policy: KvPolicy = KvPolicy.NONE
     pool_gib: float | None = None
     block_tokens: int = KV_BLOCK_TOKENS
+    prefix_caching: bool = False
 
     def __post_init__(self) -> None:
         if self.block_tokens <= 0:
@@ -73,7 +79,7 @@ class KvCacheConfig:
 
     @property
     def enabled(self) -> bool:
-        return self.policy is not KvPolicy.NONE
+        return self.policy is not KvPolicy.NONE or self.prefix_caching
 
 
 class KvManager:
@@ -88,14 +94,16 @@ class KvManager:
         block_tokens: int = KV_BLOCK_TOKENS,
         recorder: RunRecorder | None = None,
         replica: int = 0,
+        prefix_caching: bool = False,
     ) -> None:
-        if policy is KvPolicy.NONE:
+        if policy is KvPolicy.NONE and not prefix_caching:
             raise ConfigurationError(
                 "KvManager is the pressure machinery; policy NONE means "
                 "no manager at all")
         self.model = model
         self.platform = platform
         self.policy = policy
+        self.prefix_caching = prefix_caching
         self.block_tokens = block_tokens
         self.block_bytes = block_bytes(model, block_tokens)
         self.recorder = recorder
@@ -112,6 +120,12 @@ class KvManager:
         self.swap_in_events = 0
         self.swapped_blocks = 0
         self.swap_ns_total = 0.0
+        #: seq -> (prefix key, shared full blocks) for bound sequences.
+        self._seq_prefix: dict[int, tuple[int, int]] = {}
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.cow_forks = 0
+        self.prefix_evictions = 0
 
     @classmethod
     def for_gpu(cls, model: ModelConfig, platform: Platform,
@@ -123,7 +137,7 @@ class KvManager:
                                         block_tokens=config.block_tokens)
         return cls(model, platform, config.policy, capacity,
                    block_tokens=config.block_tokens, recorder=recorder,
-                   replica=replica)
+                   replica=replica, prefix_caching=config.prefix_caching)
 
     # -- geometry --------------------------------------------------------
     @property
@@ -138,8 +152,14 @@ class KvManager:
         return blocks_for_tokens(tokens, self.block_tokens)
 
     def growth_delta(self, seq: int, tokens: int) -> int:
-        """Extra blocks ``seq`` needs to hold ``tokens`` cache entries."""
-        return max(0, self.blocks_for(tokens) - self.pool.held(seq))
+        """Extra *private* blocks ``seq`` needs for ``tokens`` entries.
+
+        A sequence bound to a shared prefix group already covers the
+        prefix's full blocks through the group, so only the copy-on-write
+        suffix counts against its private holdings.
+        """
+        shared = self._seq_prefix.get(seq, (0, 0))[1]
+        return max(0, self.blocks_for(tokens) - shared - self.pool.held(seq))
 
     # -- allocation ------------------------------------------------------
     def try_allocate(self, seq: int, blocks: int, ts_ns: float) -> bool:
@@ -160,9 +180,15 @@ class KvManager:
         return True
 
     def free(self, seq: int, ts_ns: float) -> int:
-        """Sequence completed: return all its blocks."""
+        """Sequence completed: return all its private blocks.
+
+        A bound prefix reference is dropped too; the shared group's blocks
+        stay warm in the pool until evicted or flushed.
+        """
         freed = self.resource.release(seq, ts_ns)
         self._log(ts_ns, "free", seq, freed)
+        if seq in self._seq_prefix:
+            self.release_prefix(seq, ts_ns)
         return freed
 
     # -- pressure --------------------------------------------------------
@@ -220,16 +246,96 @@ class KvManager:
         """Blocks currently parked in host memory."""
         return sum(self._host_blocks.values())
 
+    # -- shared-prefix caching (copy-on-write) ---------------------------
+    def shared_blocks_for(self, prefix_len: int) -> int:
+        """Full blocks a prefix of ``prefix_len`` tokens can share.
+
+        Only whole blocks are shareable; the partial tail block (and
+        everything after it) is the request's private copy-on-write fork.
+        """
+        return prefix_len // self.block_tokens
+
+    def shared_blocks_of(self, seq: int) -> int:
+        """Shared blocks ``seq`` covers through its bound prefix group."""
+        return self._seq_prefix.get(seq, (0, 0))[1]
+
+    def acquire_prefix(self, seq: int, key: int, prefix_len: int,
+                       ts_ns: float) -> int | None:
+        """Bind ``seq`` to the shared group for ``key``.
+
+        Returns the number of *cached* prompt tokens ``seq`` can skip
+        (0 on a cold miss — the group is inserted and this request's full
+        prefill populates it), or ``None`` when a cold group cannot fit
+        even after evicting idle groups.
+        """
+        if not self.prefix_caching:
+            raise SimulationError("prefix caching is not enabled")
+        if seq in self._seq_prefix:
+            raise SimulationError(f"seq {seq} already holds a prefix")
+        blocks = self.shared_blocks_for(prefix_len)
+        if blocks == 0:
+            return 0
+        if self.pool.has_shared(key):
+            refs = self.pool.ref_shared(key)
+            self._seq_prefix[seq] = (key, blocks)
+            self.prefix_hits += 1
+            self.cow_forks += 1
+            self._log(ts_ns, "prefix_ref", key, 0, refs=refs)
+            return blocks * self.block_tokens
+        if not self.pool.can_allocate(blocks):
+            self.evict_idle_prefixes(blocks, ts_ns)
+            if not self.pool.can_allocate(blocks):
+                return None
+        self.pool.add_shared(key, blocks)
+        self._seq_prefix[seq] = (key, blocks)
+        self.prefix_misses += 1
+        self._log(ts_ns, "prefix_alloc", key, blocks, refs=1)
+        return 0
+
+    def release_prefix(self, seq: int, ts_ns: float) -> None:
+        """Drop ``seq``'s reference on its bound group (blocks stay warm)."""
+        key, _ = self._seq_prefix.pop(seq)
+        refs = self.pool.deref_shared(key)
+        self._log(ts_ns, "prefix_deref", key, 0, refs=refs)
+
+    def evict_idle_prefixes(self, needed_blocks: int, ts_ns: float) -> bool:
+        """Evict refcount-0 groups (oldest first) until ``needed`` fits.
+
+        Returns True when the pool can now allocate ``needed_blocks``.
+        """
+        for key in self.pool.idle_shared_keys():
+            if self.pool.can_allocate(needed_blocks):
+                break
+            freed = self.pool.evict_shared(key)
+            self.prefix_evictions += 1
+            self._log(ts_ns, "prefix_free", key, freed)
+        return self.pool.can_allocate(needed_blocks)
+
+    def flush_prefixes(self, ts_ns: float) -> None:
+        """End of run: return every idle group's blocks to the pool.
+
+        A group still referenced here means a sequence completed without
+        releasing its prefix — the same class of leak rule K001 flags.
+        """
+        for key in self.pool.idle_shared_keys():
+            freed = self.pool.evict_shared(key)
+            self._log(ts_ns, "prefix_free", key, freed)
+        if self.pool.shared_allocated:
+            raise SimulationError(
+                "prefix groups still referenced at end of run: "
+                f"{self.pool.shared_allocated} blocks leaked")
+
     # -- observation -----------------------------------------------------
     def note_decode(self, seqs: Sequence[int], ts_ns: float) -> None:
         """Log which sequences took part in a decode step (for K003)."""
         for seq in seqs:
             self._log(ts_ns, "decode", seq, 0)
 
-    def _log(self, ts_ns: float, kind: str, seq: int, blocks: int) -> None:
+    def _log(self, ts_ns: float, kind: str, seq: int, blocks: int,
+             refs: int = 0) -> None:
         event = KvCacheEvent(ts_ns=ts_ns, kind=kind, seq=seq, blocks=blocks,
                              allocated=self.pool.allocated,
-                             replica=self.replica)
+                             replica=self.replica, refs=refs)
         self.events.append(event)
         if self.recorder is not None:
             self.recorder.on_kv_event(event)

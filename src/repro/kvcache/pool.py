@@ -92,6 +92,15 @@ class BlockPool:
     how many blocks each owner holds plus a running total, and refuses
     over-commit — the sim-level invariant rule K002 re-verifies from the
     event log.
+
+    Besides per-owner private blocks, the pool keeps **refcounted shared
+    groups** keyed by an opaque prefix key: requests tagged with the same
+    prefix hash reference one group of blocks instead of allocating their
+    own copy (copy-on-write — the divergent suffix stays private). A group
+    with refcount 0 is *idle*: its blocks stay warm in the pool until
+    evicted under pressure. Misuse — dereferencing past zero, or evicting
+    a group somebody still references — raises, and rule R003 re-verifies
+    the same discipline from the event log.
     """
 
     def __init__(self, capacity_blocks: int, name: str = "kv") -> None:
@@ -101,6 +110,9 @@ class BlockPool:
         self.name = name
         self.allocated = 0
         self._held: dict[Hashable, int] = {}
+        # key -> [blocks, refcount]; insertion order doubles as eviction
+        # age (oldest idle group evicted first).
+        self._shared: dict[Hashable, list[int]] = {}
 
     @property
     def free_blocks(self) -> int:
@@ -135,3 +147,89 @@ class BlockPool:
         freed = self._held.pop(owner, 0)
         self.allocated -= freed
         return freed
+
+    # ------------------------------------------------------------------
+    # Refcounted shared groups (copy-on-write prefix caching)
+    # ------------------------------------------------------------------
+    def has_shared(self, key: Hashable) -> bool:
+        """True if a shared group for ``key`` is resident (any refcount)."""
+        return key in self._shared
+
+    def shared_blocks(self, key: Hashable) -> int:
+        """Blocks the shared group ``key`` occupies (0 if absent)."""
+        entry = self._shared.get(key)
+        return entry[0] if entry else 0
+
+    def shared_refs(self, key: Hashable) -> int:
+        """Current refcount of shared group ``key`` (0 if absent or idle)."""
+        entry = self._shared.get(key)
+        return entry[1] if entry else 0
+
+    @property
+    def shared_allocated(self) -> int:
+        """Total blocks held by shared groups (resident, any refcount)."""
+        return sum(entry[0] for entry in self._shared.values())
+
+    def add_shared(self, key: Hashable, blocks: int) -> None:
+        """Insert shared group ``key`` with refcount 1; raises on misuse."""
+        if blocks <= 0:
+            raise SimulationError(
+                f"pool {self.name}: shared group must be positive, "
+                f"got {blocks}")
+        if key in self._shared:
+            raise SimulationError(
+                f"pool {self.name}: shared group {key!r} already resident")
+        if not self.can_allocate(blocks):
+            raise SimulationError(
+                f"pool {self.name}: over-commit — shared group of {blocks} "
+                f"blocks with {self.free_blocks}/{self.capacity_blocks} free")
+        self._shared[key] = [blocks, 1]
+        self.allocated += blocks
+
+    def ref_shared(self, key: Hashable) -> int:
+        """Add one reference to group ``key``; returns the new refcount."""
+        entry = self._shared.get(key)
+        if entry is None:
+            raise SimulationError(
+                f"pool {self.name}: ref of unknown shared group {key!r}")
+        entry[1] += 1
+        return entry[1]
+
+    def deref_shared(self, key: Hashable) -> int:
+        """Drop one reference to group ``key``; returns the new refcount.
+
+        The group's blocks stay resident at refcount 0 (a warm cache
+        entry); dropping below zero is a double-free and raises.
+        """
+        entry = self._shared.get(key)
+        if entry is None:
+            raise SimulationError(
+                f"pool {self.name}: deref of unknown shared group {key!r}")
+        if entry[1] <= 0:
+            raise SimulationError(
+                f"pool {self.name}: double-free — shared group {key!r} "
+                f"dereferenced at refcount 0")
+        entry[1] -= 1
+        return entry[1]
+
+    def evict_shared(self, key: Hashable) -> int:
+        """Drop idle group ``key`` from the pool; returns blocks freed.
+
+        Evicting a group somebody still references would invalidate live
+        sequences' caches, so a positive refcount raises.
+        """
+        entry = self._shared.get(key)
+        if entry is None:
+            raise SimulationError(
+                f"pool {self.name}: evict of unknown shared group {key!r}")
+        if entry[1] > 0:
+            raise SimulationError(
+                f"pool {self.name}: shared group {key!r} evicted while "
+                f"refcount is {entry[1]}")
+        del self._shared[key]
+        self.allocated -= entry[0]
+        return entry[0]
+
+    def idle_shared_keys(self) -> list[Hashable]:
+        """Keys of refcount-0 groups, oldest (first-inserted) first."""
+        return [key for key, entry in self._shared.items() if entry[1] == 0]

@@ -118,6 +118,69 @@ def kv_continuous_batching_process(
             else:
                 active.append(seq)
 
+    def prefill_cached(request: Request, cached_tokens: int) -> None:
+        """Prefill a prefix-cache hit: compute only the divergent suffix.
+
+        The cached prefix deletes prefill *compute* but not the launch tax —
+        the suffix still runs a full forward pass (every layer's kernels
+        dispatch, over fewer tokens), which is exactly the mechanism that
+        shifts the CPU-bound→GPU-bound crossover per platform.
+        """
+        nonlocal clock
+        admitted_ns = clock
+        suffix = request.prompt_len - cached_tokens
+        prefill_ns = latency.ttft_ns(model, 1, suffix)
+        if recorder is not None:
+            recorder.on_admitted(request.request_id, request.arrival_ns,
+                                 clock)
+        session.execute(
+            StepKind.PREFILL, clock, prefill_ns, 1,
+            queue_depth=depth(),
+            shape=EngineShape(model.name, 1, suffix)
+            if recorder is not None else None)
+        clock += prefill_ns
+        seq = ChunkedSequenceState(
+            request=request,
+            first_token_ns=clock - request.arrival_ns,
+            remaining=request.output_tokens - 1,
+            context=request.prompt_len + 1,
+            admitted_ns=admitted_ns,
+            last_token_ns=clock - request.arrival_ns,
+        )
+        if recorder is not None:
+            recorder.on_first_token(request.request_id, clock)
+        if seq.remaining <= 0:
+            if recorder is not None:
+                recorder.on_completed(request.request_id, clock)
+            kv.free(request.request_id, clock)
+            runtime.complete(request,
+                             ttft_ns=seq.first_token_ns,
+                             completion_ns=seq.first_token_ns,
+                             batch_size=1,
+                             service_start_ns=admitted_ns,
+                             session=session)
+        else:
+            active.append(seq)
+
+    def run_prefills(pending: list[tuple[Request, int]]) -> None:
+        """Prefill claimed requests in FIFO order.
+
+        Consecutive uncached requests keep the pre-refactor batched prefill
+        (bit-identical when nothing is tagged); cache hits run as
+        suffix-only singletons.
+        """
+        plain: list[Request] = []
+        for request, cached_tokens in pending:
+            if cached_tokens:
+                if plain:
+                    prefill(plain)
+                    plain = []
+                prefill_cached(request, cached_tokens)
+            else:
+                plain.append(request)
+        if plain:
+            prefill(plain)
+
     def swap_in_ready() -> None:
         """Bring back offloaded sequences, oldest first, while room lasts."""
         nonlocal clock
@@ -134,23 +197,27 @@ def kv_continuous_batching_process(
 
     def readmit_preempted() -> None:
         """Re-prefill recompute victims, oldest first, while room lasts."""
-        batch: list[Request] = []
+        batch: list[tuple[Request, int]] = []
         # Preempted sequences are not counted against max_active here:
-        # they are the ones being drained back in.
+        # they are the ones being drained back in. A victim's prefix
+        # binding survives preemption (only private blocks were dropped),
+        # so its re-prefill recomputes just the copy-on-write suffix.
         while (preempted
                and len(active) + len(swapped) + len(batch) < policy.max_active):
             request = preempted[0]
-            need = kv.blocks_for(request.prompt_len + 1)
+            need = kv.growth_delta(request.request_id,
+                                   request.prompt_len + 1)
             if not kv.try_allocate(request.request_id, need, clock):
                 break
             preempted.pop(0)
-            batch.append(request)
+            shared = kv.shared_blocks_of(request.request_id)
+            batch.append((request, shared * kv.block_tokens))
         if batch:
-            prefill(batch)
+            run_prefills(batch)
 
     def claim_new() -> None:
         """Claim fresh arrivals, FIFO, while blocks and slots last."""
-        batch: list[Request] = []
+        batch: list[tuple[Request, int]] = []
         while admitted_count() + len(batch) < policy.max_active:
             entry = queue.first_unclaimed()
             if entry is None or entry.arrival_ns > clock:
@@ -162,17 +229,29 @@ def kv_continuous_batching_process(
                     f"{lifetime_blocks(kv, request)} KV blocks but the pool "
                     f"holds {kv.capacity_blocks}; the pool cannot fit a "
                     f"single sequence of this length")
-            need = kv.blocks_for(request.prompt_len + 1)
+            cached_tokens = 0
+            prefix_key = (getattr(request, "prefix_hash", None)
+                          if kv.prefix_caching else None)
+            if prefix_key is not None:
+                got = kv.acquire_prefix(request.request_id, prefix_key,
+                                        request.prefix_len, clock)
+                if got is None:
+                    break  # cold prefix cannot fit; head-of-line waits
+                cached_tokens = got
+            need = kv.growth_delta(request.request_id,
+                                   request.prompt_len + 1)
             if not kv.try_allocate(request.request_id, need, clock):
+                if prefix_key is not None:
+                    kv.release_prefix(request.request_id, clock)
                 break
             claimed = queue.claim(clock, 1)
             if not claimed or claimed[0] is not request:
                 raise SimulationError(
                     f"claim raced ahead of admission gating for request "
                     f"{request.request_id}")
-            batch.append(request)
+            batch.append((request, cached_tokens))
         if batch:
-            prefill(batch)
+            run_prefills(batch)
 
     def admit() -> None:
         swap_in_ready()
@@ -187,6 +266,16 @@ def kv_continuous_batching_process(
                                          seq.context + 1) for seq in active)
             if kv.pool.can_allocate(needed):
                 return
+            # Warm (idle) prefix groups are the cheapest victims: evicting
+            # them costs future hits, not live work.
+            if (kv.prefix_caching
+                    and kv.evict_idle_prefixes(needed, clock)):
+                return
+            if kv.policy is KvPolicy.NONE:
+                raise SimulationError(
+                    "kv pool exhausted with policy none: prefix caching "
+                    "alone cannot evict live sequences — use recompute or "
+                    "offload, or grow the pool")
             if len(active) <= 1:
                 raise SimulationError(
                     "kv pool cannot cover a single sequence's decode growth "

@@ -85,6 +85,13 @@ def recording_to_trace(
                       for replica, info in sorted(recorder.kv_pools.items())},
             "events": [event.to_dict() for event in recorder.kv_events],
         }
+    if recorder.cluster_meta or recorder.routing:
+        # Routing decisions ride along too, so `repro check trace` can
+        # re-verify conservation and session affinity (rules R001/R002).
+        out.metadata["cluster"] = {
+            **recorder.cluster_meta,
+            "events": [dict(event) for event in recorder.routing],
+        }
     splicer = _Splicer(out, devices_per_replica=devices_per_replica)
     marks: list[tuple[float, float]] = []
     for step in sorted(recorder.steps, key=lambda s: (s.ts_ns, s.index)):

@@ -110,6 +110,8 @@ class RunRecorder:
     counters: CounterSet = field(default_factory=CounterSet)
     kv_events: list[KvCacheEvent] = field(default_factory=list)
     kv_pools: dict[int, dict] = field(default_factory=dict)
+    routing: list[dict] = field(default_factory=list)
+    cluster_meta: dict = field(default_factory=dict)
     sample_every: int = 1
     aggregates: AggregateTotals = field(default_factory=AggregateTotals)
     _histograms: dict[str, Histogram] = field(default_factory=dict, repr=False)
@@ -218,8 +220,35 @@ class RunRecorder:
     def on_kv_event(self, event: KvCacheEvent) -> None:
         """Mirror one KV-pool event; counts pressure actions."""
         self.kv_events.append(event)
-        if event.kind in ("preempt", "swap_out", "swap_in"):
+        if event.kind in ("preempt", "swap_out", "swap_in",
+                          "prefix_alloc", "prefix_ref", "prefix_free"):
             self.counters.add(f"kv_{event.kind}")
+
+    # ------------------------------------------------------------------
+    # Cluster routing (repro.serving.cluster hooks)
+    # ------------------------------------------------------------------
+    def on_cluster(self, policy: str, replicas: int,
+                   request_ids: list[int]) -> None:
+        """Register a cluster run's shape (exported as ``cluster`` metadata,
+        the conservation baseline rule R001 checks routing against)."""
+        self.cluster_meta = {
+            "policy": policy,
+            "replicas": replicas,
+            "request_ids": list(request_ids),
+        }
+
+    def on_routed(self, request_id: int, replica: int, ts_ns: float,
+                  session: str | None = None,
+                  tenant: str | None = None) -> None:
+        """Mirror one routing decision (replayed by rules R001/R002)."""
+        self.routing.append({
+            "request_id": request_id,
+            "replica": replica,
+            "ts_ns": ts_ns,
+            "session": session,
+            "tenant": tenant,
+        })
+        self.counters.add("requests_routed")
 
     def observe_launch_queue(self, depth: int) -> None:
         """Sample the CUDA launch-queue occupancy (executor hook)."""

@@ -10,7 +10,11 @@ Runs three canonical scenarios spanning the simulator's main workloads:
 * ``serve_chunked`` — chunked-prefill continuous batching over the mixed
   long-prompt stream (the stall-free-scheduling workload: budget-sized
   prompt chunks interleave with decodes, ~3x the engine steps of the
-  whole-prompt run).
+  whole-prompt run);
+* ``serve_cluster`` — the routed cluster stack end to end: a bursty
+  generated stream through the least-loaded router onto 4 replicas with
+  copy-on-write prefix caching (router process + per-replica queues on
+  top of the continuous-batching engine).
 
 Each scenario reports:
 
@@ -47,16 +51,18 @@ BEFORE_BASELINES: dict[str, float] = {
     "single_run": 0.0224,
     "tp_sweep": 0.305,
     "serve_kv_offload": 0.5896,
-    # serve_chunked postdates the fast-path PR, so its before was measured
-    # on this tree with the same paths forced off (lowering cache disabled,
-    # full unsampled recording), best of 3.
+    # serve_chunked and serve_cluster postdate the fast-path PR, so their
+    # befores were measured on this tree with the same paths forced off
+    # (lowering cache disabled, full unsampled recording), best of 3.
     "serve_chunked": 0.4305,
+    "serve_cluster": 0.3197,
 }
 
 #: Canonical scenario names, in run order. docs/performance.md documents
 #: each by name (a docs-lock test holds the two lists together).
 SCENARIO_NAMES: tuple[str, ...] = (
-    "single_run", "tp_sweep", "serve_kv_offload", "serve_chunked")
+    "single_run", "tp_sweep", "serve_kv_offload", "serve_chunked",
+    "serve_cluster")
 
 
 @dataclass(frozen=True)
@@ -172,11 +178,46 @@ def _scenario_serve_chunked(quick: bool) -> int:
     return sum(o.request.output_tokens for o in run.outcomes)
 
 
+def _scenario_serve_cluster(quick: bool, sample_every: int = 8) -> int:
+    from repro.hardware import get_platform
+    from repro.kvcache import KvCacheConfig, KvPolicy
+    from repro.obs import RunRecorder
+    from repro.serving import ContinuousBatchPolicy, LatencyModel
+    from repro.serving.cluster import simulate_cluster
+    from repro.traffic import (
+        ArrivalFamily,
+        ArrivalSpec,
+        PrefixSpec,
+        TrafficConfig,
+        generate_traffic,
+    )
+    from repro.workloads import get_model
+
+    rate = 400.0 if quick else 1200.0
+    duration = 0.05 if quick else 0.15
+    requests = generate_traffic(TrafficConfig(
+        arrivals=ArrivalSpec(family=ArrivalFamily.BURSTY, rate_per_s=rate,
+                             duration_s=duration, seed=7),
+        prompt_len=256, prompt_jitter=64, output_tokens=24, output_jitter=8,
+        prefix=PrefixSpec(share=0.5, prefix_len=128, pool=2), sessions=6))
+    recorder = RunRecorder(sample_every=sample_every)
+    run = simulate_cluster(
+        requests, get_model("gpt2"),
+        LatencyModel(platform=get_platform("GH200")),
+        policy=ContinuousBatchPolicy(max_active=8),
+        router="least-loaded", replicas=4, recorder=recorder,
+        kv=KvCacheConfig(policy=KvPolicy.NONE, prefix_caching=True))
+    assert run.router is not None and run.router.routed == len(requests)
+    assert sum(s.prefix_hits for s in run.kv) > 0, "scenario must share"
+    return sum(o.request.output_tokens for o in run.outcomes)
+
+
 _SCENARIOS = {
     "single_run": _scenario_single_run,
     "tp_sweep": _scenario_tp_sweep,
     "serve_kv_offload": _scenario_serve_kv_offload,
     "serve_chunked": _scenario_serve_chunked,
+    "serve_cluster": _scenario_serve_cluster,
 }
 
 

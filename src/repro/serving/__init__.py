@@ -12,6 +12,15 @@ from repro.serving.batcher import (
     StaticBatchPolicy,
     simulate_static_batching,
 )
+from repro.serving.cluster import (
+    AutoscaleConfig,
+    ClusterRunResult,
+    ClusterRuntime,
+    RouterPolicy,
+    RouterStats,
+    ScaleEvent,
+    simulate_cluster,
+)
 from repro.serving.continuous import (
     ContinuousBatchPolicy,
     simulate_continuous_batching,
@@ -58,6 +67,7 @@ from repro.serving.scheduler import (
 from repro.serving.requests import (
     Request,
     RequestOutcome,
+    ServingRequest,
     poisson_requests,
     queue_delay_ns,
 )
@@ -71,8 +81,16 @@ from repro.serving.speculative import (
 __all__ = [
     "AdmissionQueue",
     "AgenticPipeline",
+    "AutoscaleConfig",
     "BatchDecision",
+    "ClusterRunResult",
+    "ClusterRuntime",
     "ContinuousBatchPolicy",
+    "RouterPolicy",
+    "RouterStats",
+    "ScaleEvent",
+    "ServingRequest",
+    "simulate_cluster",
     "PlannerConfig",
     "PromptChunk",
     "StepPlan",

@@ -25,6 +25,37 @@ class Request:
 
 
 @dataclass(frozen=True)
+class ServingRequest(Request):
+    """A :class:`Request` carrying cluster-scale serving tags.
+
+    ``repro.traffic`` generators emit these: the tenant and session tags
+    drive router policies (session affinity pins a session to one replica),
+    and the shared-prefix tags drive copy-on-write prefix caching — every
+    request with the same ``prefix_hash`` shares the first ``prefix_len``
+    prompt tokens, so their KV blocks can be refcounted instead of
+    recomputed. Untagged defaults make a ``ServingRequest`` behave exactly
+    like a plain :class:`Request` in every pre-cluster code path.
+    """
+
+    tenant: str = "default"
+    session: str | None = None
+    prefix_hash: int | None = None
+    prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.prefix_hash is None:
+            if self.prefix_len != 0:
+                raise ConfigurationError(
+                    "prefix_len set without a prefix_hash")
+        else:
+            if not 0 < self.prefix_len < self.prompt_len:
+                raise ConfigurationError(
+                    f"prefix_len must be in (0, prompt_len): got "
+                    f"{self.prefix_len} with prompt_len {self.prompt_len}")
+
+
+@dataclass(frozen=True)
 class RequestOutcome:
     """Measured latencies for one completed request."""
 

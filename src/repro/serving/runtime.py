@@ -309,6 +309,10 @@ class KvReplicaStats:
     swap_in_events: int
     swapped_blocks: int
     swap_ns: float
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    cow_forks: int = 0
+    prefix_evictions: int = 0
 
     @property
     def pressured(self) -> bool:
@@ -416,6 +420,10 @@ class ServingRuntime:
         for session in self.sessions:
             if session.kv is None:
                 continue
+            if session.kv.prefix_caching:
+                # Warm (idle) shared-prefix groups are cache, not leaks:
+                # return their blocks before the leak accounting below.
+                session.kv.flush_prefixes(self.core.now)
             if session.kv.pool.allocated != 0:
                 raise SimulationError(
                     f"replica {session.replica} leaked "
@@ -452,6 +460,10 @@ class ServingRuntime:
                 swap_in_events=manager.swap_in_events,
                 swapped_blocks=manager.swapped_blocks,
                 swap_ns=manager.swap_ns_total,
+                prefix_hits=manager.prefix_hits,
+                prefix_misses=manager.prefix_misses,
+                cow_forks=manager.cow_forks,
+                prefix_evictions=manager.prefix_evictions,
             ))
         return stats
 

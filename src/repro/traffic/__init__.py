@@ -1,0 +1,28 @@
+"""Traffic generation tier: seeded arrival processes + request tagging.
+
+See :mod:`repro.traffic.arrivals` for the arrival families and
+:mod:`repro.traffic.generator` for length/tag sampling. docs/cluster.md
+documents the tier in context.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalFamily,
+    ArrivalSpec,
+    arrival_times_ns,
+)
+from repro.traffic.generator import (
+    PrefixSpec,
+    TrafficConfig,
+    generate_traffic,
+    tag_requests,
+)
+
+__all__ = [
+    "ArrivalFamily",
+    "ArrivalSpec",
+    "arrival_times_ns",
+    "PrefixSpec",
+    "TrafficConfig",
+    "generate_traffic",
+    "tag_requests",
+]

@@ -1,0 +1,117 @@
+"""Cluster analyses: the prefix-caching crossover shift and router race."""
+
+import pytest
+
+from repro.analysis import (
+    prefix_crossover_report,
+    router_comparison_report,
+    run_prefix_crossover,
+    run_router_comparison,
+)
+from repro.errors import AnalysisError
+from repro.hardware import PAPER_PLATFORMS, get_platform
+from repro.serving.cluster import RouterPolicy
+from repro.workloads import GPT2, LLAMA_3_2_1B
+
+GH200 = get_platform("GH200")
+
+
+# ----------------------------------------------------------------------
+# Prefix-caching crossover (the headline result)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def crossover():
+    return run_prefix_crossover(LLAMA_3_2_1B, PAPER_PLATFORMS)
+
+
+def test_prefix_caching_shifts_the_crossover(crossover):
+    """Locked: a COW hit defers the CPU-bound->GPU-bound transition to a
+    strictly larger batch on every paper platform."""
+    assert len(crossover.shifted_platforms()) >= 2
+    for platform in PAPER_PLATFORMS:
+        assert crossover.point(platform.name).shifted, platform.name
+
+
+def test_crossover_curves_are_priced_not_asserted(crossover):
+    for point in crossover.points:
+        # Cached TTFT is strictly cheaper at every batch: the hit prefills
+        # only the suffix.
+        for uncached, cached in zip(point.uncached_ns, point.cached_ns):
+            assert cached < uncached
+        if point.uncached_transition and point.cached_transition:
+            assert point.cached_transition > point.uncached_transition
+
+
+def test_crossover_caches_whole_blocks_only(crossover):
+    assert crossover.cached_tokens % 16 == 0
+    assert crossover.cached_tokens <= crossover.prefix_len
+    assert crossover.suffix_len == (crossover.prompt_len
+                                    - crossover.cached_tokens)
+
+
+def test_crossover_report_names_the_mechanism(crossover):
+    text = prefix_crossover_report(crossover)
+    for platform in PAPER_PLATFORMS:
+        assert platform.name in text
+    assert "launch tax" in text
+    assert "SHIFTED" in text
+
+
+def test_crossover_unknown_platform_raises(crossover):
+    with pytest.raises(AnalysisError, match="no crossover sweep"):
+        crossover.point("TPUv9")
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(platforms=[]),
+    dict(prefix_len=512),            # not shorter than the prompt
+    dict(prefix_len=0),
+    dict(block_tokens=0),
+    dict(prefix_len=8, block_tokens=16),   # covers no whole block
+])
+def test_crossover_validation(kwargs):
+    base = dict(platforms=PAPER_PLATFORMS)
+    base.update(kwargs)
+    with pytest.raises(AnalysisError):
+        run_prefix_crossover(LLAMA_3_2_1B, **base)
+
+
+# ----------------------------------------------------------------------
+# Router comparison
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def comparison():
+    return run_router_comparison(GPT2, GH200)
+
+
+def test_least_loaded_beats_round_robin(comparison):
+    """Locked: load-aware placement outruns blind rotation on the
+    canonical bursty, length-jittered stream."""
+    rr = comparison.point(RouterPolicy.ROUND_ROBIN)
+    ll = comparison.point(RouterPolicy.LEAST_LOADED)
+    assert ll.tokens_per_s > rr.tokens_per_s
+    assert ll.requests_completed == rr.requests_completed == \
+        comparison.requests
+
+
+def test_comparison_serves_the_same_stream_per_policy(comparison):
+    for point in comparison.points:
+        assert sum(point.routed_per_replica) == comparison.requests
+        assert len(point.routed_per_replica) == comparison.replicas
+
+
+def test_router_report_quantifies_the_win(comparison):
+    text = router_comparison_report(comparison)
+    assert "round-robin" in text
+    assert "least-loaded" in text
+    assert "x round-robin's tokens/s" in text
+
+
+def test_comparison_requires_policies():
+    with pytest.raises(AnalysisError, match="at least one router policy"):
+        run_router_comparison(GPT2, GH200, policies=[])
+
+
+def test_comparison_missing_policy_raises(comparison):
+    with pytest.raises(AnalysisError, match="was not compared"):
+        comparison.point(RouterPolicy.SESSION)

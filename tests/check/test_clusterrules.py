@@ -1,0 +1,119 @@
+"""R-rules: routing conservation, session affinity, COW refcount replay."""
+
+from repro.check import check_cluster_metadata, check_kv_events
+from repro.hardware import get_platform
+from repro.kvcache import KvCacheEvent
+from repro.obs import RunRecorder
+
+from tests.scenarios import cluster_run
+
+GH200 = get_platform("GH200")
+
+
+def _meta(policy="round-robin", request_ids=(0, 1, 2), events=()):
+    return {"policy": policy, "replicas": 2,
+            "request_ids": list(request_ids), "events": list(events)}
+
+
+def _routed(request_id, replica, session=None):
+    return {"request_id": request_id, "replica": replica,
+            "ts_ns": float(request_id), "session": session, "tenant": None}
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+# ----------------------------------------------------------------------
+# R001 — conservation
+# ----------------------------------------------------------------------
+def test_clean_routing_log_has_no_findings():
+    meta = _meta(events=[_routed(0, 0), _routed(1, 1), _routed(2, 0)])
+    assert check_cluster_metadata(meta) == []
+    assert check_cluster_metadata(_meta(request_ids=[], events=[])) == []
+
+
+def test_r001_double_admitted_request():
+    meta = _meta(events=[_routed(0, 0), _routed(0, 1),
+                         _routed(1, 1), _routed(2, 0)])
+    findings = check_cluster_metadata(meta)
+    assert _rule_ids(findings) == {"R001"}
+    assert "2 replicas" in findings[0].message
+
+
+def test_r001_dropped_request():
+    meta = _meta(events=[_routed(0, 0), _routed(1, 1)])   # id 2 never routed
+    findings = check_cluster_metadata(meta)
+    assert _rule_ids(findings) == {"R001"}
+    assert "never admitted" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# R002 — session affinity (only under the session policy)
+# ----------------------------------------------------------------------
+def test_r002_session_split_across_replicas():
+    events = [_routed(0, 0, session="s0"), _routed(1, 1, session="s0"),
+              _routed(2, 0, session="s1")]
+    findings = check_cluster_metadata(_meta(policy="session", events=events))
+    assert _rule_ids(findings) == {"R002"}
+    assert "s0" in findings[0].message
+    # The same placement is legal under any non-affinity policy.
+    assert check_cluster_metadata(
+        _meta(policy="least-loaded", events=events)) == []
+
+
+# ----------------------------------------------------------------------
+# R003 — COW refcount lifecycle (replayed by the KV pass)
+# ----------------------------------------------------------------------
+def _prefix(kind, key, blocks, allocated, refs):
+    return KvCacheEvent(ts_ns=0.0, kind=kind, seq=key, blocks=blocks,
+                        allocated=allocated, refs=refs)
+
+
+def test_r003_double_free():
+    log = [_prefix("prefix_alloc", 7, 4, 4, 1),
+           _prefix("prefix_deref", 7, 0, 4, 0),
+           _prefix("prefix_deref", 7, 0, 4, 0),       # refcount already 0
+           _prefix("prefix_free", 7, 4, 0, 0)]
+    findings = check_kv_events(log, capacity_blocks=16)
+    assert _rule_ids(findings) == {"R003"}
+    assert "double free" in findings[0].message
+
+
+def test_r003_free_while_shared():
+    log = [_prefix("prefix_alloc", 7, 4, 4, 1),
+           _prefix("prefix_free", 7, 4, 0, 1)]        # a holder still reads
+    findings = check_kv_events(log, capacity_blocks=16)
+    assert _rule_ids(findings) == {"R003"}
+    assert "free-while-shared" in findings[0].message
+
+
+def test_r003_ref_of_unknown_group():
+    log = [_prefix("prefix_ref", 9, 0, 0, 1)]
+    findings = check_kv_events(log, capacity_blocks=16)
+    assert _rule_ids(findings) == {"R003"}
+    assert "unknown shared group" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# The rules stay quiet on real cluster runs
+# ----------------------------------------------------------------------
+def _exported_cluster_meta(recorder):
+    # Exactly the dict repro.obs.export writes into trace metadata.
+    return {**recorder.cluster_meta,
+            "events": [dict(event) for event in recorder.routing]}
+
+
+def test_real_cluster_run_replays_clean():
+    recorder = RunRecorder()
+    requests, result = cluster_run(GH200, recorder=recorder)
+    assert recorder.cluster_meta["replicas"] == result.router.replicas
+    assert len(recorder.routing) == len(requests)
+    assert check_cluster_metadata(_exported_cluster_meta(recorder)) == []
+
+
+def test_real_session_routed_run_replays_clean():
+    recorder = RunRecorder()
+    _, result = cluster_run(GH200, router="session", recorder=recorder)
+    assert result.router.sessions > 0
+    assert check_cluster_metadata(_exported_cluster_meta(recorder)) == []

@@ -14,7 +14,13 @@ exercised:
   sharing the engine with sparse 3072-token analytic prompts
   (:func:`repro.analysis.pareto.mixed_prompt_requests` at seed 3), the
   traffic where whole-prompt prefill stalls decode tails hardest and the
-  chunked-prefill benchmarks measure their win.
+  chunked-prefill benchmarks measure their win;
+* the **cluster** stream — a bursty tagged MMPP stream (seed 7) with
+  sessions, tenants, and a 50% shared-prefix share, routed least-loaded
+  across 4 replicas with copy-on-write prefix caching. The same
+  configuration is the ``cluster`` canonical scenario ``repro check hb``
+  certifies (:data:`repro.check.hb.CANONICAL_SCENARIOS`), so determinism
+  tests and the certifier replay the identical run.
 
 Keeping the numbers here — instead of re-typed per suite — means a change
 to one scenario shifts every consumer together, and parity suites comparing
@@ -98,6 +104,51 @@ def tiebreak_pair(run):
     from repro.sim.queue import EventQueue, PerturbedEventQueue
 
     return run(EventQueue()), run(PerturbedEventQueue())
+
+
+#: The cluster stream's traffic parameters (see module docstring). These
+#: mirror the ``cluster`` scenario in ``repro.check.hb`` — change them
+#: together.
+CLUSTER_ARRIVALS = dict(rate_per_s=400.0, duration_s=0.05, seed=7)
+CLUSTER_LENGTHS = dict(prompt_len=256, prompt_jitter=64, output_tokens=24,
+                       output_jitter=8)
+CLUSTER_PREFIX = dict(share=0.5, prefix_len=128, pool=2)
+CLUSTER_SESSIONS = 6
+CLUSTER_TENANTS = 2
+CLUSTER_REPLICAS = 4
+
+
+def cluster_stream():
+    """The canonical cluster traffic stream (deterministic: seed 7)."""
+    from repro.traffic import (ArrivalFamily, ArrivalSpec, PrefixSpec,
+                               TrafficConfig, generate_traffic)
+
+    return generate_traffic(TrafficConfig(
+        arrivals=ArrivalSpec(family=ArrivalFamily.BURSTY, **CLUSTER_ARRIVALS),
+        prefix=PrefixSpec(**CLUSTER_PREFIX),
+        sessions=CLUSTER_SESSIONS, tenants=CLUSTER_TENANTS,
+        **CLUSTER_LENGTHS))
+
+
+def cluster_run(platform, router="least-loaded", replicas=CLUSTER_REPLICAS,
+                recorder=None, queue=None, causality=None):
+    """Serve the cluster stream routed across ``replicas`` on ``platform``.
+
+    Returns ``(requests, run)``. Prefix caching is on (policy NONE, so the
+    paged-pressure machinery stays out of the way); ``router`` accepts a
+    policy name or a :class:`~repro.serving.cluster.RouterPolicy`.
+    """
+    from repro.kvcache import KvCacheConfig, KvPolicy
+    from repro.serving.cluster import simulate_cluster
+
+    requests = cluster_stream()
+    latency = LatencyModel(platform=platform)
+    return requests, simulate_cluster(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=MAX_ACTIVE),
+        router=router, replicas=replicas, recorder=recorder,
+        kv=KvCacheConfig(policy=KvPolicy.NONE, prefix_caching=True),
+        queue=queue, causality=causality)
 
 
 def pressured_run(platform, policy,

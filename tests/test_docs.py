@@ -74,13 +74,15 @@ def test_readme_mentions_emit_trace_quickstart():
 def test_static_analysis_doc_covers_every_rule():
     """Every registered check rule is documented, and vice versa.
 
-    K-rules are tabled in docs/kvcache.md next to the subsystem they
-    verify; everything else lives in docs/static-analysis.md.
+    K-rules are tabled in docs/kvcache.md and R-rules in docs/cluster.md,
+    next to the subsystems they verify; everything else lives in
+    docs/static-analysis.md.
     """
     from repro.check import RULES
 
-    text = _read("docs/static-analysis.md") + _read("docs/kvcache.md")
-    documented = set(re.findall(r"^\| ([GSTCKH]\d{3}) \|", text,
+    text = (_read("docs/static-analysis.md") + _read("docs/kvcache.md")
+            + _read("docs/cluster.md"))
+    documented = set(re.findall(r"^\| ([GSTCKHR]\d{3}) \|", text,
                                 re.MULTILINE))
     assert documented == set(RULES)
 
@@ -149,6 +151,58 @@ def test_kvcache_doc_is_linked():
     assert "kvcache.md" in _read("docs/calibration.md")
     assert "kvcache.md" in _read("README.md")
     assert (ROOT / "docs/kvcache.md").exists()
+
+
+def test_cluster_doc_matches_api():
+    text = _read("docs/cluster.md")
+    import repro.serving as serving
+    import repro.traffic as traffic
+    for name in ("ClusterRuntime", "RouterPolicy", "RouterStats",
+                 "AutoscaleConfig", "simulate_cluster", "ClusterRunResult"):
+        assert name in text
+        assert hasattr(serving, name), name
+    for name in ("ArrivalSpec", "TrafficConfig", "PrefixSpec",
+                 "generate_traffic", "tag_requests", "arrival_times_ns"):
+        assert name in text
+        assert hasattr(traffic, name), name
+    for token in ("--arrival", "--router", "--prefix-share", "--replicas",
+                  "--autoscale-max", "--sessions", "acquire_prefix",
+                  "release_prefix", "prefill_cached"):
+        assert token in text, token
+
+
+def test_cluster_doc_rule_table_matches_registry():
+    """The R-rule table in docs/cluster.md covers exactly the R rules."""
+    from repro.check import RULES
+
+    text = _read("docs/cluster.md")
+    documented = set(re.findall(r"^\| (R\d{3}) \|", text, re.MULTILINE))
+    registered = {rule for rule in RULES if rule.startswith("R")}
+    assert documented == registered
+
+
+def test_cluster_doc_is_linked():
+    assert "cluster.md" in _read("README.md")
+    assert "cluster.md" in _read("docs/architecture.md")
+    assert "cluster.md" in _read("docs/serving.md")
+    assert "cluster.md" in _read("docs/static-analysis.md")
+    assert (ROOT / "docs/cluster.md").exists()
+
+
+def test_cluster_doc_flags_exist():
+    """The CLI flags the cluster doc advertises are real."""
+    import repro.cli as cli
+
+    parser = cli.build_parser()
+    args = parser.parse_args([
+        "serve", "--arrival", "bursty", "--rate", "400",
+        "--router", "least-loaded", "--replicas", "4",
+        "--prefix-share", "0.5", "--prefix-len", "256",
+        "--prefix-pool", "4", "--autoscale-max", "8", "--sessions", "16"])
+    assert args.arrival == "bursty"
+    assert args.router == "least-loaded"
+    assert args.prefix_share == 0.5
+    assert args.autoscale_max == 8
 
 
 def test_calibration_doc_covers_kv_capacities():

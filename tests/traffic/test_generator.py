@@ -1,0 +1,132 @@
+"""Traffic generation: length/tag sampling and the FIXED-list lift."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.requests import ServingRequest, poisson_requests
+from repro.traffic import (
+    ArrivalFamily,
+    ArrivalSpec,
+    PrefixSpec,
+    TrafficConfig,
+    generate_traffic,
+    tag_requests,
+)
+
+BURSTY = ArrivalSpec(family=ArrivalFamily.BURSTY, rate_per_s=400.0,
+                     duration_s=0.2, seed=7)
+
+
+def test_generate_traffic_is_deterministic():
+    config = TrafficConfig(arrivals=BURSTY, prompt_jitter=64,
+                           output_jitter=8, sessions=4,
+                           prefix=PrefixSpec(share=0.5))
+    assert generate_traffic(config) == generate_traffic(config)
+
+
+def test_request_ids_are_dense_and_arrivals_ordered():
+    requests = generate_traffic(TrafficConfig(arrivals=BURSTY))
+    assert [r.request_id for r in requests] == list(range(len(requests)))
+    arrivals = [r.arrival_ns for r in requests]
+    assert arrivals == sorted(arrivals)
+
+
+def test_untagged_config_leaves_requests_bare():
+    requests = generate_traffic(TrafficConfig(arrivals=BURSTY))
+    assert all(r.session is None for r in requests)
+    assert all(r.prefix_hash is None and r.prefix_len == 0
+               for r in requests)
+    assert all(r.tenant == "default" for r in requests)
+
+
+def test_full_prefix_share_tags_everyone():
+    requests = generate_traffic(TrafficConfig(
+        arrivals=BURSTY, prompt_len=200,
+        prefix=PrefixSpec(share=1.0, prefix_len=96, pool=3)))
+    assert requests
+    for r in requests:
+        assert r.prefix_hash in (1, 2, 3)
+        assert r.prefix_len == 96
+        assert r.prompt_len > 96  # prefix prepends the sampled suffix
+
+
+def test_tagging_knobs_never_move_arrivals_or_lengths():
+    # Arrivals, lengths, and tags draw from independent RNG streams:
+    # raising the prefix share must not perturb when requests arrive or
+    # how long their sampled parts are.
+    plain = generate_traffic(TrafficConfig(arrivals=BURSTY,
+                                           prompt_jitter=32,
+                                           output_jitter=16))
+    tagged = generate_traffic(TrafficConfig(
+        arrivals=BURSTY, prompt_jitter=32, output_jitter=16,
+        prefix=PrefixSpec(share=0.7, prefix_len=128), sessions=8,
+        tenants=3))
+    assert [r.arrival_ns for r in plain] == [r.arrival_ns for r in tagged]
+    assert [r.output_tokens for r in plain] == [
+        r.output_tokens for r in tagged]
+    # Tagged prompts are the plain prompt plus the prefix (or unchanged).
+    for p, t in zip(plain, tagged):
+        assert t.prompt_len - t.prefix_len == p.prompt_len
+
+
+def test_sessions_and_tenants_draw_from_their_pools():
+    requests = generate_traffic(TrafficConfig(
+        arrivals=BURSTY, sessions=3, tenants=2))
+    assert {r.session for r in requests} <= {"s0", "s1", "s2"}
+    assert {r.tenant for r in requests} <= {"t0", "t1"}
+
+
+def test_generate_traffic_rejects_fixed_family():
+    with pytest.raises(ConfigurationError, match="tag_requests"):
+        generate_traffic(TrafficConfig(
+            arrivals=ArrivalSpec(family=ArrivalFamily.FIXED)))
+
+
+def test_tag_requests_without_tags_is_the_identity():
+    # The --prefix-share 0 parity lock: the input objects come back.
+    requests = poisson_requests(rate_per_s=100.0, duration_s=0.2,
+                                prompt_len=128, output_tokens=16, seed=1)
+    tagged = tag_requests(requests)
+    assert tagged == list(requests)
+    assert all(a is b for a, b in zip(requests, tagged))
+
+
+def test_tag_requests_preserves_arrivals_and_lengths():
+    requests = poisson_requests(rate_per_s=100.0, duration_s=0.2,
+                                prompt_len=128, output_tokens=16, seed=1)
+    tagged = tag_requests(requests, prefix=PrefixSpec(share=1.0,
+                                                      prefix_len=64),
+                          sessions=4, seed=1)
+    assert len(tagged) == len(requests)
+    for before, after in zip(requests, tagged):
+        assert isinstance(after, ServingRequest)
+        assert after.arrival_ns == before.arrival_ns
+        assert after.prompt_len == before.prompt_len  # prompts are fixed
+        assert after.output_tokens == before.output_tokens
+        assert after.prefix_len <= before.prompt_len - 1
+
+
+def test_tag_requests_caps_prefix_inside_fixed_prompts():
+    short = poisson_requests(rate_per_s=100.0, duration_s=0.2,
+                             prompt_len=8, output_tokens=4, seed=2)
+    tagged = tag_requests(short, prefix=PrefixSpec(share=1.0,
+                                                   prefix_len=512), seed=2)
+    for r in tagged:
+        assert r.prefix_len <= 7
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(share=-0.1), dict(share=1.1), dict(prefix_len=0), dict(pool=0),
+])
+def test_prefix_spec_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        PrefixSpec(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(prompt_len=0), dict(output_tokens=0), dict(prompt_jitter=-1),
+    dict(output_jitter=-1), dict(sessions=-1), dict(tenants=0),
+])
+def test_traffic_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        TrafficConfig(arrivals=BURSTY, **kwargs)
