@@ -1,0 +1,228 @@
+"""Replicas-per-host sweeps: where the dispatch-CPU launch tax knees.
+
+Section III's launch-bound regime, measured at the host: every engine step
+burns dispatch CPU (``launch_call_cpu_ns`` per kernel), and on a finite
+host that CPU is shared by every replica plus the cluster router. Packing
+more replicas onto one host scales tokens/s linearly only until the core
+pool saturates; past that knee each added replica mostly waits for a core.
+
+The sweep serves the *same* throughput-bound stream at increasing replica
+counts per platform, with each platform's cataloged host topology scaled
+down (cores divided, NUMA layout preserved) so the knee lands inside a
+small sweep. The platforms knee differently because their hosts differ in
+kind, not just size: the x86 hosts (AMD+A100, Intel+H100) share a fixed
+two-socket core budget across all replicas, while GH200 is a superchip —
+each added GPU brings its own 72-core Grace along, so the per-host CPU
+budget scales *with* the replica count and the knee never arrives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.hardware.host import HostSpec, host_for
+from repro.hardware.platform import Platform
+from repro.host.model import HostConfig, HostModel
+from repro.serving.cluster import RouterPolicy, simulate_cluster
+from repro.serving.continuous import ContinuousBatchPolicy
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import poisson_requests
+from repro.workloads.config import ModelConfig
+
+#: Replica counts a sweep tries by default.
+DEFAULT_REPLICA_COUNTS: tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+
+#: Default host shrink factor: cores divided by this, topology preserved.
+DEFAULT_HOST_SCALE: int = 16
+
+#: A replica "still pays off" while it adds at least this fraction of the
+#: single-replica throughput; the knee is the last count that does.
+DEFAULT_KNEE_FRACTION: float = 0.5
+
+
+def scaled_host_spec(spec: HostSpec, scale: int) -> HostSpec:
+    """``spec`` with per-socket cores divided by ``scale`` (floor, min 1).
+
+    Shrinking the pool instead of inflating the workload keeps sweep cells
+    cheap while preserving what distinguishes the hosts: socket count,
+    remote penalty, and whether CPU scales with the GPUs.
+    """
+    if scale < 1:
+        raise AnalysisError("host scale must be at least 1")
+    return dataclasses.replace(
+        spec, cores_per_socket=max(1, spec.cores_per_socket // scale))
+
+
+@dataclass(frozen=True)
+class HostSweepPoint:
+    """One (platform, replica count) serving cell."""
+
+    platform: str
+    replicas: int
+    tokens_per_s: float
+    marginal_tokens_per_s: float
+    cores: int
+    grants: int
+    remote_grants: int
+    stall_ns: float
+    busy_ns: float
+
+    @property
+    def stall_share(self) -> float:
+        """Core-wait time as a fraction of booked core time."""
+        total = self.stall_ns + self.busy_ns
+        return self.stall_ns / total if total > 0 else 0.0
+
+
+@dataclass
+class ReplicasPerHostResult:
+    """All cells of one replicas-per-host sweep, plus per-platform knees."""
+
+    model: str
+    counts: tuple[int, ...]
+    scale: int
+    knee_fraction: float
+    points: list[HostSweepPoint] = field(default_factory=list)
+    knees: dict[str, int] = field(default_factory=dict)
+
+    def series(self, platform: str) -> list[HostSweepPoint]:
+        return [p for p in self.points if p.platform == platform]
+
+    def point(self, platform: str, replicas: int) -> HostSweepPoint:
+        for candidate in self.points:
+            if (candidate.platform == platform
+                    and candidate.replicas == replicas):
+                return candidate
+        raise AnalysisError(
+            f"no sweep cell for {platform} at {replicas} replicas")
+
+    def platforms(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.platform not in seen:
+                seen.append(point.platform)
+        return seen
+
+
+def _find_knee(counts: Sequence[int], tokens: Sequence[float],
+               knee_fraction: float) -> int:
+    """Last replica count whose marginal gain still clears the bar.
+
+    The bar is ``knee_fraction`` times the single-replica throughput,
+    per added replica. A series that never collapses knees at the last
+    swept count (the host sustained everything it was offered).
+    """
+    knee = counts[0]
+    per_replica = tokens[0] / counts[0] if counts[0] else 0.0
+    for prev_i, count in enumerate(counts[1:]):
+        added = count - counts[prev_i]
+        marginal = (tokens[prev_i + 1] - tokens[prev_i]) / added
+        if marginal < knee_fraction * per_replica:
+            break
+        knee = count
+    return knee
+
+
+def run_replicas_per_host(
+    model: ModelConfig,
+    platforms: Sequence[Platform],
+    counts: Sequence[int] = DEFAULT_REPLICA_COUNTS,
+    scale: int = DEFAULT_HOST_SCALE,
+    knee_fraction: float = DEFAULT_KNEE_FRACTION,
+    prompt_len: int = 64,
+    output_tokens: int = 16,
+    requests_count: int = 40,
+    seed: int = 11,
+    max_active: int = 4,
+) -> ReplicasPerHostResult:
+    """Serve one throughput-bound stream per (platform, replica count) cell.
+
+    Every cell replays the same burst of ``requests_count`` requests, so
+    tokens/s is a makespan measure: with ample CPU it scales near-linearly
+    in the replica count, and the knee is where the platform's (scaled)
+    host runs out of cores for the dispatch work.
+
+    Raises:
+        AnalysisError: on an empty platform or count list, or counts not
+            strictly increasing from a positive start.
+    """
+    if not platforms:
+        raise AnalysisError("at least one platform is required")
+    if not counts:
+        raise AnalysisError("at least one replica count is required")
+    if counts[0] <= 0 or any(b <= a for a, b in zip(counts, counts[1:])):
+        raise AnalysisError("replica counts must be strictly increasing "
+                            "and positive")
+    # A burst far faster than service, so every cell is throughput-bound
+    # (rate-limited cells would hide the knee: adding replicas would not
+    # raise tokens/s even with infinite CPU).
+    requests = poisson_requests(
+        rate_per_s=requests_count * 1e3, duration_s=requests_count * 1e-3,
+        prompt_len=prompt_len, output_tokens=output_tokens, seed=seed)
+    if not requests:
+        raise AnalysisError("arrival stream is empty; raise requests_count")
+    policy = ContinuousBatchPolicy(max_active=max_active)
+    result = ReplicasPerHostResult(
+        model=model.name, counts=tuple(counts), scale=scale,
+        knee_fraction=knee_fraction)
+
+    for platform in platforms:
+        latency = LatencyModel(platform=platform)
+        spec = scaled_host_spec(host_for(platform), scale)
+        tokens: list[float] = []
+        for replicas in counts:
+            host = HostModel(spec, replicas, config=HostConfig())
+            run = simulate_cluster(
+                requests, model, latency, policy=policy,
+                router=RouterPolicy.ROUND_ROBIN, replicas=replicas,
+                host=host)
+            assert run.host is not None
+            throughput = run.report.throughput_tokens_per_s()
+            previous = tokens[-1] if tokens else 0.0
+            tokens.append(throughput)
+            result.points.append(HostSweepPoint(
+                platform=platform.name,
+                replicas=replicas,
+                tokens_per_s=throughput,
+                marginal_tokens_per_s=throughput - previous,
+                cores=run.host.cores,
+                grants=run.host.grants,
+                remote_grants=run.host.remote_grants,
+                stall_ns=run.host.stall_ns,
+                busy_ns=run.host.busy_ns,
+            ))
+        result.knees[platform.name] = _find_knee(list(counts), tokens,
+                                                 knee_fraction)
+    return result
+
+
+def replicas_per_host_report(result: ReplicasPerHostResult) -> str:
+    """Render a replicas-per-host sweep as a per-platform text table."""
+    header = (f"{result.model}: tokens/s vs replicas per host "
+              f"(host cores / {result.scale}, knee at marginal < "
+              f"{result.knee_fraction:g}x single-replica)")
+    lines = [header, "-" * len(header)]
+    for platform in result.platforms():
+        knee = result.knees[platform]
+        lines.append(f"{platform}  (knee: {knee} replicas)")
+        for point in result.series(platform):
+            marker = " <- knee" if point.replicas == knee else ""
+            lines.append(
+                f"  {point.replicas:>2} replicas x {point.cores:>2} cores  "
+                f"{point.tokens_per_s:>8.1f} tok/s  "
+                f"({point.marginal_tokens_per_s:+.1f})  "
+                f"stall {point.stall_share:>5.1%}  "
+                f"remote {point.remote_grants}{marker}")
+    ranked = sorted(result.knees.items(), key=lambda kv: (-kv[1], kv[0]))
+    if len(ranked) > 1:
+        best, runner = ranked[0], ranked[1]
+        if best[1] > runner[1]:
+            lines.append(
+                f"{best[0]} sustains the most replicas per host "
+                f"({best[1]} vs {runner[1]} on {runner[0]}): each GPU "
+                f"brings its own CPU domain, so the dispatch pool scales "
+                f"with the replica count instead of saturating")
+    return "\n".join(lines)

@@ -17,6 +17,9 @@ Six pure passes (none re-runs the system under test to judge it):
 * **cluster** (:mod:`repro.check.clusterrules`) — replay of cluster
   routing decisions against conservation and session-affinity invariants
   (rules ``R...``);
+* **host** (:mod:`repro.check.hostrules`) — replay of the host CPU
+  grant log against core-exclusivity, NUMA-affinity, determinism, and
+  conservation invariants (rules ``N...``);
 * **hb** (:mod:`repro.check.hb`) — vector-clock happens-before analysis
   over a run's causality log plus determinism certification under
   adversarial tie-break perturbation (rules ``H...``). The log comes from
@@ -47,6 +50,7 @@ from repro.check.hb import (
     happens_before,
     vector_clocks,
 )
+from repro.check.hostrules import check_host_metadata
 from repro.check.kvrules import check_kv_events, check_kv_metadata
 from repro.check.runner import (
     DEFAULT_CHECK_DEGREES,
@@ -87,6 +91,7 @@ __all__ = [
     "check_causality",
     "check_cluster_metadata",
     "check_causality_logs",
+    "check_host_metadata",
     "check_hb_scenarios",
     "check_kv_events",
     "check_kv_metadata",

@@ -609,9 +609,36 @@ def _cluster_run(queue: EventQueue | None,
     return _outcome_rows(result.outcomes)
 
 
+def _host_contention_run(queue: EventQueue | None,
+                         causality: CausalityLog | None) -> list[tuple]:
+    from repro.hardware import get_platform
+    from repro.host import HostConfig, HostModel
+    from repro.serving.cluster import RouterPolicy, simulate_cluster
+    from repro.serving.continuous import ContinuousBatchPolicy
+    from repro.serving.latency import LatencyModel
+    from repro.serving.requests import poisson_requests
+    from repro.workloads import GPT2
+
+    requests = poisson_requests(rate_per_s=300.0, duration_s=0.05,
+                                prompt_len=128, output_tokens=16, seed=11)
+    latency = LatencyModel(platform=get_platform("AMD+A100"))
+    # Four replicas on a four-core host: every engine step contends for a
+    # core with the other replicas and the router, so the causality log
+    # carries host occupancy alongside streams and routing.
+    host = HostModel.for_platform("AMD+A100", replicas=4,
+                                  config=HostConfig(cores=4))
+    result = simulate_cluster(
+        requests, GPT2, latency,
+        policy=ContinuousBatchPolicy(max_active=4),
+        router=RouterPolicy.ROUND_ROBIN, replicas=4, host=host,
+        queue=queue, causality=causality)
+    return _outcome_rows(result.outcomes)
+
+
 #: The scenarios ``repro check hb`` runs by default: the canonical
 #: mixed-stream serving run, the PP + chunked-prefill + KV-offload run,
-#: and the routed cluster run with copy-on-write prefix caching — the
+#: the routed cluster run with copy-on-write prefix caching, and the
+#: host-contention cluster run on a finite core pool — the
 #: layers with the richest synchronization (the streams and knobs mirror
 #: ``tests/scenarios.py``).
 CANONICAL_SCENARIOS: tuple[HbScenario, ...] = (
@@ -632,6 +659,11 @@ CANONICAL_SCENARIOS: tuple[HbScenario, ...] = (
                     "across 4 replicas with copy-on-write prefix caching "
                     "on GH200",
         run=_cluster_run),
+    HbScenario(
+        name="host-contention",
+        description="Poisson stream (seed 11) round-robin across 4 replicas "
+                    "contending for a 4-core AMD+A100 host pool",
+        run=_host_contention_run),
 )
 
 

@@ -1,0 +1,134 @@
+"""Host CPU-schedule verification (rules ``N...``).
+
+Host-contention serving runs (:mod:`repro.host`) log the host topology and
+every core-time grant into exported trace metadata (``host``: the pool
+geometry with per-core busy totals, plus one event per grant). This pass
+replays that log against the invariants of the core scheduler:
+
+* **N001** — core exclusivity: no two grants on the same core overlap in
+  time. The pool books a core by advancing its ``free_at`` watermark, so
+  an overlap means a core ran two owners' dispatch work at once.
+* **N002** — NUMA affinity: a *local* (non-remote) grant must land in its
+  owner's home domain (the replica's GPU-attached domain, or the ``--numa``
+  override), and a pinned run (``--pin``) must contain no remote grants
+  at all — remote spill is exactly what pinning forbids.
+* **N003** — grant-order determinism: each core's grants appear in the
+  log in nondecreasing start order. The scheduler grants FIFO per core;
+  out-of-order starts mean the recorded schedule could not have been
+  produced by a deterministic replay.
+* **N004** — core-time conservation: the per-core busy total reported by
+  the topology block equals the sum of that core's grant durations. A
+  mismatch means booked time leaked (or was double-counted) between the
+  pool's accounting and the grant log.
+
+Like the K and R rules, the pass is pure log replay and runs automatically
+in ``repro check trace`` whenever a trace carries host metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.check.findings import Finding, Severity, register_rule
+
+N001 = register_rule(
+    "N001", "host", "two grants overlap on one CPU core")
+N002 = register_rule(
+    "N002", "host", "NUMA-affinity violation: grant off its home domain")
+N003 = register_rule(
+    "N003", "host", "per-core grant starts not in deterministic order")
+N004 = register_rule(
+    "N004", "host", "per-core busy time does not match its grant log")
+
+#: Relative tolerance for the N004 busy-time comparison. The pool and the
+#: replay sum the same floats in the same order, so the match is normally
+#: exact; the slack only forgives re-serialization rounding.
+_REL_TOL = 1e-9
+
+
+def _home_domains(meta: Mapping) -> dict[str, int]:
+    """owner -> home domain, reconstructed from the topology block."""
+    homes: dict[str, int] = {}
+    override = meta.get("numa_override")
+    replica_domains = meta.get("replica_domains", {})
+    for domain, gpus in replica_domains.items():
+        for gpu in gpus:
+            homes[f"replica{int(gpu)}"] = (int(override) if override
+                                           is not None else int(domain))
+    homes["router"] = int(override) if override is not None else 0
+    return homes
+
+
+def check_host_metadata(meta: Mapping, where: str = "host") -> list[Finding]:
+    """Verify the ``host`` metadata block of an exported trace."""
+    findings: list[Finding] = []
+    grants = meta.get("grants", [])
+    pinned = bool(meta.get("pinned", False))
+    homes = _home_domains(meta)
+
+    by_core: dict[int, list[dict]] = {}
+    last_start: dict[int, float] = {}
+    for position, grant in enumerate(grants):
+        core = int(grant["core"])
+        by_core.setdefault(core, []).append(grant)
+        start = float(grant["start_ns"])
+        if start < last_start.get(core, float("-inf")):
+            findings.append(Finding(
+                N003, Severity.ERROR, f"{where} core {core}",
+                f"grant #{position} ({grant['owner']}) starts at "
+                f"{start:.0f}ns, before the core's previous grant at "
+                f"{last_start[core]:.0f}ns — the log is not a FIFO "
+                f"replay of this core"))
+        last_start[core] = max(last_start.get(core, start), start)
+
+    for core, booked in sorted(by_core.items()):
+        ordered = sorted(booked,
+                         key=lambda g: (float(g["start_ns"]),
+                                        float(g["end_ns"])))
+        for prev, cur in zip(ordered, ordered[1:]):
+            if float(cur["start_ns"]) < float(prev["end_ns"]):
+                findings.append(Finding(
+                    N001, Severity.ERROR, f"{where} core {core}",
+                    f"grants to {prev['owner']} "
+                    f"[{float(prev['start_ns']):.0f}, "
+                    f"{float(prev['end_ns']):.0f}) and {cur['owner']} "
+                    f"[{float(cur['start_ns']):.0f}, "
+                    f"{float(cur['end_ns']):.0f}) overlap"))
+
+    for position, grant in enumerate(grants):
+        owner = str(grant["owner"])
+        remote = bool(grant.get("remote", False))
+        if remote and pinned:
+            findings.append(Finding(
+                N002, Severity.ERROR, f"{where} grant #{position}",
+                f"{owner} got a remote-domain grant on core "
+                f"{grant['core']} but the run was pinned (--pin forbids "
+                f"remote spill)"))
+            continue
+        home = homes.get(owner)
+        if home is None or remote:
+            continue  # autoscaled replica (no cataloged home) or priced spill
+        if int(grant["domain"]) != home:
+            findings.append(Finding(
+                N002, Severity.ERROR, f"{where} grant #{position}",
+                f"{owner} booked a local grant in domain "
+                f"{grant['domain']} but its home domain is {home}"))
+
+    busy_reported = {int(core["index"]): float(core["busy_ns"])
+                     for core in meta.get("cores", [])}
+    for core, booked in sorted(by_core.items()):
+        replayed = sum(float(g["end_ns"]) - float(g["start_ns"])
+                       for g in booked)
+        reported = busy_reported.get(core)
+        if reported is None:
+            findings.append(Finding(
+                N004, Severity.ERROR, f"{where} core {core}",
+                f"grants were booked on core {core} but the topology "
+                f"block does not list it"))
+            continue
+        if abs(replayed - reported) > _REL_TOL * max(replayed, reported, 1.0):
+            findings.append(Finding(
+                N004, Severity.ERROR, f"{where} core {core}",
+                f"topology reports {reported:.0f}ns busy but the grant "
+                f"log sums to {replayed:.0f}ns"))
+    return findings

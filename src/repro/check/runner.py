@@ -109,9 +109,13 @@ def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
     accounting replay (:mod:`repro.check.kvrules`). Traces from cluster
     runs carry routing decisions in ``cluster`` metadata and get the
     R001/R002 conservation and affinity replay
-    (:mod:`repro.check.clusterrules`) the same way.
+    (:mod:`repro.check.clusterrules`) the same way, and traces from
+    host-contention runs carry the CPU grant log in ``host`` metadata and
+    get the N001-N004 core-schedule replay
+    (:mod:`repro.check.hostrules`).
     """
     from repro.check.clusterrules import check_cluster_metadata
+    from repro.check.hostrules import check_host_metadata
     from repro.check.kvrules import check_kv_metadata
 
     report = CheckReport()
@@ -124,6 +128,9 @@ def check_trace_files(paths: Sequence[str | Path]) -> CheckReport:
         if trace is not None and "cluster" in trace.metadata:
             report.extend(check_cluster_metadata(trace.metadata["cluster"]),
                           f"{path} (cluster)")
+        if trace is not None and "host" in trace.metadata:
+            report.extend(check_host_metadata(trace.metadata["host"]),
+                          f"{path} (host)")
     return report
 
 

@@ -358,6 +358,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             "--autoscale-max needs a cluster router; pass e.g. "
             "--router least-loaded")
+    if args.host_cores < 0:
+        raise ConfigurationError(
+            f"--host-cores must be non-negative (got {args.host_cores}); "
+            f"0 models an unlimited host")
+    host = None
+    if args.host_cores or args.numa is not None or args.pin:
+        from repro.host import HostConfig, HostModel
+
+        if not args.host_cores:
+            raise ConfigurationError(
+                "--numa/--pin shape a finite host; pass --host-cores N "
+                "to enable one")
+        if args.scenario != "continuous":
+            raise ConfigurationError(
+                f"--host-cores models dispatch-CPU contention for the "
+                f"continuous scenario; --scenario {args.scenario} does "
+                f"not book per-step CPU shares")
+        host = HostModel.for_platform(
+            args.platform, replicas=max(args.replicas, 1),
+            config=HostConfig(cores=args.host_cores, numa=args.numa,
+                              pin=args.pin))
     model = get_model(args.model)
     kv = _kv_config(args)
     if args.prefix_share > 0 and 0.0 <= args.prefix_share <= 1.0:
@@ -401,11 +422,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result = simulate_cluster(
             workload, model, latency, policy=policy, router=args.router,
             replicas=args.replicas, recorder=recorder, kv=kv,
-            autoscale=autoscale, causality=causality)
+            autoscale=autoscale, causality=causality, host=host)
     else:
         result = simulate_serving(workload, model, latency, policy=policy,
                                   replicas=args.replicas, recorder=recorder,
-                                  kv=kv, causality=causality)
+                                  kv=kv, causality=causality, host=host)
     report = result.report
     title = (f"{args.scenario} serving: {model.name} on {args.platform} "
              f"({len(requests)} requests, {args.replicas} replica(s))")
@@ -421,6 +442,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"routed {router.routed} -> "
               f"{'/'.join(str(n) for n in router.routed_per_replica)}"
               f"  busy {format_ns(router.router_busy_ns)}{scaled}")
+    host_stats = getattr(result, "host", None)
+    if host_stats is not None:
+        print(f"host cpu           : {host_stats.cores} cores / "
+              f"{host_stats.domains} domain(s)  "
+              f"grants={host_stats.grants} "
+              f"(remote {host_stats.remote_grants})  "
+              f"stall {format_ns(host_stats.stall_ns)}  "
+              f"busy {format_ns(host_stats.busy_ns)}")
     for stats in result.kv:
         prefix = ""
         if stats.prefix_hits or stats.prefix_misses:
@@ -436,11 +465,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rows = [[f"r{stats.replica}", str(stats.requests),
                  str(stats.output_tokens), str(stats.steps),
                  f"{stats.throughput_tokens_per_s:.0f}",
-                 f"{100 * stats.utilization:.1f}%"]
+                 f"{100 * stats.utilization:.1f}%",
+                 f"{100 * stats.cpu_utilization:.1f}%"]
                 for stats in result.replicas]
         print()
         print(render_table(
-            ["replica", "requests", "tokens", "steps", "tokens/s", "util"],
+            ["replica", "requests", "tokens", "steps", "tokens/s", "util",
+             "cpu"],
             rows, title="per-replica scale-out"))
     if args.timeline:
         print()
@@ -472,6 +503,20 @@ def _cmd_kvpressure(args: argparse.Namespace) -> int:
         max_active=args.max_active, mode=ExecutionMode(args.mode),
         slo_ms=args.slo_ms)
     print(kv_pressure_report(result))
+    return 0
+
+
+def _cmd_hostsweep(args: argparse.Namespace) -> int:
+    from repro.analysis import replicas_per_host_report, run_replicas_per_host
+
+    platforms = [get_platform(name) for name in args.platforms.split(",")]
+    counts = tuple(int(c) for c in args.counts.split(","))
+    result = run_replicas_per_host(
+        get_model(args.model), platforms, counts=counts, scale=args.scale,
+        knee_fraction=args.knee_fraction, prompt_len=args.prompt_len,
+        output_tokens=args.output_tokens, requests_count=args.requests,
+        seed=args.seed, max_active=args.max_active)
+    print(replicas_per_host_report(result))
     return 0
 
 
@@ -731,11 +776,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--kv-pool-gib", type=float, default=None,
                        help="KV pool size per replica in GiB (default: all "
                             "HBM left after weights and runtime reserve)")
+    serve.add_argument("--host-cores", type=int, default=0,
+                       help="finite host CPU: total dispatch cores shared "
+                            "by every replica and the router (0 = "
+                            "unlimited, the historical model; per-domain "
+                            "budget on per-GPU-domain hosts like GH200)")
+    serve.add_argument("--numa", type=int, default=None, metavar="DOMAIN",
+                       help="force every replica's dispatch affinity to "
+                            "this NUMA domain (default: each replica's "
+                            "GPU-attached domain; needs --host-cores)")
+    serve.add_argument("--pin", action="store_true",
+                       help="forbid remote-domain spill: dispatch work "
+                            "waits for a local core instead of borrowing "
+                            "a penalized remote one (needs --host-cores)")
     serve.add_argument("--causality", metavar="PATH",
                        help="record the serving run's causality log "
                             "(scheduling, KV grants, occupancy) to a JSON "
                             "sidecar for 'repro check hb --log'")
     serve.set_defaults(func=_cmd_serve)
+
+    hostsweep = sub.add_parser(
+        "hostsweep",
+        help="tokens/s + launch-tax knee vs replicas packed on one host")
+    hostsweep.add_argument("--model", default="gpt2")
+    hostsweep.add_argument("--platforms",
+                           default="AMD+A100,Intel+H100,GH200",
+                           help="comma-separated platform names to compare")
+    hostsweep.add_argument("--counts", default="1,2,3,4,6,8",
+                           help="comma-separated replica counts (increasing)")
+    hostsweep.add_argument("--scale", type=int, default=16,
+                           help="divide each cataloged host's cores by this "
+                                "(topology preserved) so the knee lands in "
+                                "a small sweep")
+    hostsweep.add_argument("--knee-fraction", type=float, default=0.5,
+                           help="a replica still pays off while it adds at "
+                                "least this fraction of single-replica "
+                                "tokens/s")
+    hostsweep.add_argument("--prompt-len", type=int, default=64)
+    hostsweep.add_argument("--output-tokens", type=int, default=16)
+    hostsweep.add_argument("--requests", type=int, default=40,
+                           help="burst size served by every cell")
+    hostsweep.add_argument("--seed", type=int, default=11)
+    hostsweep.add_argument("--max-active", type=int, default=4)
+    hostsweep.set_defaults(func=_cmd_hostsweep)
 
     kvpressure = sub.add_parser(
         "kvpressure",
@@ -821,8 +904,8 @@ def build_parser() -> argparse.ArgumentParser:
                    "certification over causality logs")
     check_hb.add_argument("--scenario", action="append", metavar="NAME",
                           help="canonical scenario to simulate and check "
-                               "(repeatable; default: all — mixed-stream "
-                               "and pp-kv-offload)")
+                               "(repeatable; default: all — mixed-stream, "
+                               "pp-kv-offload, cluster, host-contention)")
     check_hb.add_argument("--log", action="append", metavar="PATH",
                           help="check an exported causality sidecar (from "
                                "'repro serve/run --causality') instead of "

@@ -11,6 +11,7 @@ from repro.hardware.catalog import (
 )
 from repro.hardware.cpu import CpuSpec
 from repro.hardware.gpu import GpuSpec
+from repro.hardware.host import HOST_SPECS, HostSpec, NumaDomain, host_for
 from repro.hardware.interconnect import (
     Coupling,
     INFINITY_FABRIC,
@@ -36,6 +37,10 @@ __all__ = [
     "CpuSpec",
     "GH200",
     "GpuSpec",
+    "HOST_SPECS",
+    "HostSpec",
+    "NumaDomain",
+    "host_for",
     "INFINITY_FABRIC",
     "INTEL_H100",
     "InterconnectSpec",

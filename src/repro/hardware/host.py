@@ -1,0 +1,198 @@
+"""Host topology catalog: sockets, NUMA domains, and GPU affinity.
+
+The platform catalog (:mod:`repro.hardware.catalog`) describes one CPU and
+one GPU in isolation; this module describes the *host* those parts live in
+— how many sockets share the board, how cores group into NUMA domains, and
+which domain each GPU hangs off. That is the level at which multi-replica
+serving contends for dispatch CPU (see :mod:`repro.host`): a replica whose
+dispatch lands on a remote domain pays the cross-socket penalty on every
+launch call, and a host with fewer cores than busy replicas queues them.
+
+The three paper platforms split into two shapes:
+
+* **Shared-socket x86 hosts** (AMD+A100, Intel+H100): a fixed set of
+  sockets serves however many GPUs are installed. Host CPU is a constant
+  while replica count grows — exactly the resource that saturates in
+  "Characterizing CPU-Induced Slowdowns in Multi-GPU LLM Inference"
+  (PAPERS.md, arxiv 2603.22774).
+* **Coupled per-GPU hosts** (GH200, MI300A): every GPU brings its own CPU
+  domain (one Grace per Hopper on a GH200 board; one Zen4 CCD cluster per
+  XCD on MI300A). Host CPU *scales with* the replica count, which is why
+  the closely-coupled parts sustain the most replicas before the launch
+  tax explodes (``repro hostsweep``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.platform import Platform
+
+
+@dataclass(frozen=True)
+class NumaDomain:
+    """One NUMA domain: a core group with affinity to some GPUs.
+
+    Attributes:
+        index: Domain ordinal on the host (socket number on x86 boards,
+            superchip ordinal on coupled boards).
+        cores: Physical cores in the domain.
+        gpus: GPU ordinals directly attached to this domain.
+    """
+
+    index: int
+    cores: int
+    gpus: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("NUMA domain index must be non-negative")
+        if self.cores < 0:
+            raise ConfigurationError("NUMA domain core count must be >= 0")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host-level topology for one cataloged platform.
+
+    Attributes:
+        name: Human-readable host description.
+        platform: Name of the :class:`~repro.hardware.platform.Platform`
+            this host carries (the ``HOST_SPECS`` key).
+        sockets: Socket (or superchip) count on a fixed host; for
+            ``per_gpu_domains`` hosts this is the domain count *per GPU*
+            (always 1 in the catalog).
+        cores_per_socket: Cores in each socket/domain.
+        remote_penalty: Multiplier on dispatch CPU time when a launch
+            issues from a core outside the replica's affine domain
+            (cross-socket memory latency on the allocator and driver
+            paths; >= 1.0).
+        per_gpu_domains: True when every GPU brings its own CPU domain
+            (GH200, MI300A) — host CPU then scales with replica count
+            instead of being a fixed pool.
+    """
+
+    name: str
+    platform: str
+    sockets: int
+    cores_per_socket: int
+    remote_penalty: float = 1.0
+    per_gpu_domains: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ConfigurationError("host needs at least one socket")
+        if self.cores_per_socket <= 0:
+            raise ConfigurationError("host sockets need at least one core")
+        if self.remote_penalty < 1.0:
+            raise ConfigurationError(
+                "remote_penalty is a slowdown multiplier; must be >= 1.0")
+
+    @property
+    def total_cores(self) -> int:
+        """Cores on a fixed host (per GPU for ``per_gpu_domains`` hosts)."""
+        return self.sockets * self.cores_per_socket
+
+    def domains_for(self, replicas: int,
+                    cores_override: int = 0) -> tuple[NumaDomain, ...]:
+        """Materialize the NUMA domains for a host serving ``replicas``.
+
+        Fixed hosts always present their cataloged sockets, with GPUs
+        distributed round-robin across domains (the usual riser layout).
+        ``per_gpu_domains`` hosts present one domain per replica.
+
+        ``cores_override`` rescales the topology, preserving its shape:
+        on fixed hosts it is the *total* core budget spread evenly over
+        the sockets; on per-GPU hosts it is the budget of each domain.
+        The override exists for the ``repro hostsweep`` analysis, which
+        shrinks hosts so the contention knee lands at a replica count
+        cheap enough to sweep (docs/host.md).
+        """
+        if replicas <= 0:
+            raise ConfigurationError("replicas must be positive")
+        if cores_override < 0:
+            raise ConfigurationError("cores_override must be non-negative")
+        if self.per_gpu_domains:
+            per_domain = cores_override or self.cores_per_socket
+            return tuple(NumaDomain(index=i, cores=per_domain, gpus=(i,))
+                         for i in range(replicas))
+        if cores_override and cores_override < self.sockets:
+            raise ConfigurationError(
+                f"host {self.name}: {cores_override} cores cannot populate "
+                f"{self.sockets} sockets (need at least one core each)")
+        budget = cores_override or self.total_cores
+        base, spill = divmod(budget, self.sockets)
+        gpus_of: dict[int, list[int]] = {s: [] for s in range(self.sockets)}
+        for gpu in range(replicas):
+            gpus_of[gpu % self.sockets].append(gpu)
+        return tuple(NumaDomain(index=s,
+                                cores=base + (1 if s < spill else 0),
+                                gpus=tuple(gpus_of[s]))
+                     for s in range(self.sockets))
+
+    def domain_of_gpu(self, gpu: int) -> int:
+        """The domain ordinal GPU ``gpu`` is attached to."""
+        if gpu < 0:
+            raise ConfigurationError("gpu ordinal must be non-negative")
+        if self.per_gpu_domains:
+            return gpu
+        return gpu % self.sockets
+
+
+#: Host topologies of the paper's evaluation platforms (plus the MI300A
+#: projection), keyed by platform name. The x86 testbeds are standard
+#: dual-socket boards; the coupled parts pair one CPU domain with each GPU.
+HOST_SPECS: dict[str, HostSpec] = {
+    "AMD+A100": HostSpec(
+        name="2P AMD EPYC 7313 host (2x16 cores, PCIe Gen4 risers)",
+        platform="AMD+A100",
+        sockets=2,
+        cores_per_socket=16,
+        # Cross-socket hop over xGMI: the allocator and driver structures
+        # live in the first-touch domain, so remote dispatch pays the
+        # inter-socket memory latency on most launch-path accesses.
+        remote_penalty=1.30,
+    ),
+    "Intel+H100": HostSpec(
+        name="2P Intel Xeon 8468V host (2x48 cores, PCIe Gen5 risers)",
+        platform="Intel+H100",
+        sockets=2,
+        cores_per_socket=48,
+        remote_penalty=1.20,
+    ),
+    "GH200": HostSpec(
+        name="GH200 superchip host (one 72c Grace per Hopper)",
+        platform="GH200",
+        sockets=1,
+        cores_per_socket=72,
+        # NVLink-C2C keeps remote-superchip traffic cheap relative to a
+        # PCIe host's cross-socket hop.
+        remote_penalty=1.12,
+        per_gpu_domains=True,
+    ),
+    "MI300A": HostSpec(
+        name="MI300A APU host (24 Zen4 cores per accelerator)",
+        platform="MI300A",
+        sockets=1,
+        cores_per_socket=24,
+        remote_penalty=1.10,
+        per_gpu_domains=True,
+    ),
+}
+
+
+def host_for(platform: Platform | str) -> HostSpec:
+    """The cataloged host topology for ``platform``.
+
+    Raises:
+        ConfigurationError: if the platform has no cataloged host.
+    """
+    name = platform if isinstance(platform, str) else platform.name
+    try:
+        return HOST_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(HOST_SPECS))
+        raise ConfigurationError(
+            f"no host topology cataloged for platform {name!r}; "
+            f"known: {known}") from None

@@ -1,0 +1,22 @@
+"""repro.host — finite-host CPU contention for multi-replica serving.
+
+The subsystem that answers "how many replicas per host?": host cores are
+a finite, NUMA-structured simulation resource
+(:class:`~repro.host.pool.CpuPool`) that replicas, the cluster router,
+and KV swap bookkeeping all book dispatch work on. Topology comes from
+the hardware catalog (:mod:`repro.hardware.host`); the wiring into a
+serving run is :class:`~repro.host.model.HostModel`. See docs/host.md.
+"""
+
+from repro.host.model import HostConfig, HostModel, HostStats
+from repro.host.pool import CoreGrant, CpuCore, CpuPool, pool_from_domains
+
+__all__ = [
+    "CoreGrant",
+    "CpuCore",
+    "CpuPool",
+    "HostConfig",
+    "HostModel",
+    "HostStats",
+    "pool_from_domains",
+]

@@ -57,6 +57,10 @@ def kv_continuous_batching_process(
     if kv is None:
         raise ConfigurationError(
             "kv_continuous_batching_process needs a session with a KvManager")
+    # Finite-host runs book each step's dispatch-CPU share on the shared
+    # core pool; swap bookkeeping pays one launch call per transfer, so
+    # KV pressure itself contends for host cores.
+    host = session.host
     planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens))
     active: list[ChunkedSequenceState] = []
     swapped: list[ChunkedSequenceState] = []   # offloaded, FIFO readmission order
@@ -87,13 +91,20 @@ def kv_continuous_batching_process(
             chunk_ns = (prefill_ns if chunk.is_whole
                         else StepPlanner.chunk_cost_ns(latency, model,
                                                        len(batch), chunk))
-            session.execute(
+            if host is None:
+                chunk_cpu = 0.0
+            elif chunk.is_whole:
+                chunk_cpu = latency.ttft_cpu_ns(model, len(batch), prompt_len)
+            else:
+                chunk_cpu = StepPlanner.chunk_cpu_ns(latency, model,
+                                                     len(batch), chunk)
+            clock += session.execute(
                 chunk.kind, clock, chunk_ns, len(batch),
                 queue_depth=depth(),
                 shape=EngineShape(model.name, len(batch), prompt_len)
                 if recorder is not None and chunk.is_whole else None,
-                schedule_label=chunk.schedule_label)
-            clock += chunk_ns
+                schedule_label=chunk.schedule_label,
+                cpu_ns=chunk_cpu)
         for request in batch:
             seq = ChunkedSequenceState(
                 request=request,
@@ -133,12 +144,13 @@ def kv_continuous_batching_process(
         if recorder is not None:
             recorder.on_admitted(request.request_id, request.arrival_ns,
                                  clock)
-        session.execute(
+        clock += session.execute(
             StepKind.PREFILL, clock, prefill_ns, 1,
             queue_depth=depth(),
             shape=EngineShape(model.name, 1, suffix)
-            if recorder is not None else None)
-        clock += prefill_ns
+            if recorder is not None else None,
+            cpu_ns=latency.ttft_cpu_ns(model, 1, suffix)
+            if host is not None else 0.0)
         seq = ChunkedSequenceState(
             request=request,
             first_token_ns=clock - request.arrival_ns,
@@ -190,9 +202,11 @@ def kv_continuous_batching_process(
             if transfer_ns is None:
                 break
             swapped.pop(0)
-            session.execute(StepKind.SWAP_IN, clock, transfer_ns, 1,
-                            queue_depth=depth())
-            clock += transfer_ns
+            clock += session.execute(
+                StepKind.SWAP_IN, clock, transfer_ns, 1,
+                queue_depth=depth(),
+                cpu_ns=latency.platform.launch_call_cpu_ns
+                if host is not None else 0.0)
             active.append(seq)
 
     def readmit_preempted() -> None:
@@ -286,9 +300,11 @@ def kv_continuous_batching_process(
                 preempted.append(victim.request)
             else:
                 transfer_ns = kv.swap_out(victim.request.request_id, clock)
-                session.execute(StepKind.SWAP_OUT, clock, transfer_ns, 1,
-                                queue_depth=depth())
-                clock += transfer_ns
+                clock += session.execute(
+                    StepKind.SWAP_OUT, clock, transfer_ns, 1,
+                    queue_depth=depth(),
+                    cpu_ns=latency.platform.launch_call_cpu_ns
+                    if host is not None else 0.0)
                 swapped.append(victim)
 
     while True:
@@ -320,13 +336,14 @@ def kv_continuous_batching_process(
         context = max(seq.context for seq in active)
         bucketed = -(-context // policy.context_bucket) * policy.context_bucket
         step_ns = latency.decode_step_ns(model, len(active), bucketed)
-        session.execute(
+        clock += session.execute(
             StepKind.DECODE, clock, step_ns, len(active),
             queue_depth=depth(),
             shape=EngineShape(model.name, len(active), 1,
                               phase="decode", context_len=bucketed)
-            if recorder is not None else None)
-        clock += step_ns
+            if recorder is not None else None,
+            cpu_ns=latency.decode_step_cpu_ns(model, len(active), bucketed)
+            if host is not None else 0.0)
         step_batch = len(active)
         finished: list[ChunkedSequenceState] = []
         for seq in active:

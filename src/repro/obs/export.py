@@ -92,6 +92,13 @@ def recording_to_trace(
             **recorder.cluster_meta,
             "events": [dict(event) for event in recorder.routing],
         }
+    if recorder.host_meta:
+        # Host-topology description plus every core-time grant, so `repro
+        # check trace` can re-verify the CPU schedule (rules N001-N004).
+        out.metadata["host"] = {
+            **recorder.host_meta,
+            "grants": [dict(grant) for grant in recorder.host_grants],
+        }
     splicer = _Splicer(out, devices_per_replica=devices_per_replica)
     marks: list[tuple[float, float]] = []
     for step in sorted(recorder.steps, key=lambda s: (s.ts_ns, s.index)):

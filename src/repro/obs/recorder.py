@@ -112,6 +112,8 @@ class RunRecorder:
     kv_pools: dict[int, dict] = field(default_factory=dict)
     routing: list[dict] = field(default_factory=list)
     cluster_meta: dict = field(default_factory=dict)
+    host_meta: dict = field(default_factory=dict)
+    host_grants: list[dict] = field(default_factory=list)
     sample_every: int = 1
     aggregates: AggregateTotals = field(default_factory=AggregateTotals)
     _histograms: dict[str, Histogram] = field(default_factory=dict, repr=False)
@@ -249,6 +251,34 @@ class RunRecorder:
             "tenant": tenant,
         })
         self.counters.add("requests_routed")
+
+    # ------------------------------------------------------------------
+    # Host CPU contention (repro.host hooks)
+    # ------------------------------------------------------------------
+    def on_host(self, meta: dict) -> None:
+        """Register the host topology (exported as ``host`` metadata, the
+        baseline the N-rules replay grants against). Called once when the
+        host attaches and again at end of run so per-core busy totals are
+        final; re-registration overwrites."""
+        self.host_meta = dict(meta)
+
+    def on_host_grant(self, owner: str, core: int, domain: int,
+                      start_ns: float, end_ns: float, cpu_ns: float,
+                      remote: bool, requested_ns: float) -> None:
+        """Mirror one core-time grant (replayed by rules N001–N004)."""
+        self.host_grants.append({
+            "owner": owner,
+            "core": core,
+            "domain": domain,
+            "start_ns": start_ns,
+            "end_ns": end_ns,
+            "cpu_ns": cpu_ns,
+            "remote": remote,
+            "requested_ns": requested_ns,
+        })
+        self.counters.add("host_grants")
+        if remote:
+            self.counters.add("host_remote_grants")
 
     def observe_launch_queue(self, depth: int) -> None:
         """Sample the CUDA launch-queue occupancy (executor hook)."""

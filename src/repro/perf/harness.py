@@ -14,7 +14,10 @@ Runs three canonical scenarios spanning the simulator's main workloads:
 * ``serve_cluster`` — the routed cluster stack end to end: a bursty
   generated stream through the least-loaded router onto 4 replicas with
   copy-on-write prefix caching (router process + per-replica queues on
-  top of the continuous-batching engine).
+  top of the continuous-batching engine);
+* ``serve_host_contention`` — the cluster stack on a finite host: 4
+  replicas plus the router contending for a 4-core AMD+A100 pool, every
+  engine step booking its dispatch-CPU share through ``repro.host``.
 
 Each scenario reports:
 
@@ -56,13 +59,17 @@ BEFORE_BASELINES: dict[str, float] = {
     # (lowering cache disabled, full unsampled recording), best of 3.
     "serve_chunked": 0.4305,
     "serve_cluster": 0.3197,
+    # serve_host_contention postdates everything above; its before is the
+    # scenario's wall on the tree that introduced repro.host, best of 3
+    # (the column tracks regressions from here on, not a speedup story).
+    "serve_host_contention": 0.0358,
 }
 
 #: Canonical scenario names, in run order. docs/performance.md documents
 #: each by name (a docs-lock test holds the two lists together).
 SCENARIO_NAMES: tuple[str, ...] = (
     "single_run", "tp_sweep", "serve_kv_offload", "serve_chunked",
-    "serve_cluster")
+    "serve_cluster", "serve_host_contention")
 
 
 @dataclass(frozen=True)
@@ -212,12 +219,42 @@ def _scenario_serve_cluster(quick: bool, sample_every: int = 8) -> int:
     return sum(o.request.output_tokens for o in run.outcomes)
 
 
+def _scenario_serve_host_contention(quick: bool) -> int:
+    from repro.hardware import get_platform
+    from repro.host import HostConfig, HostModel
+    from repro.obs import RunRecorder
+    from repro.serving import (
+        ContinuousBatchPolicy,
+        LatencyModel,
+        poisson_requests,
+    )
+    from repro.serving.cluster import simulate_cluster
+    from repro.workloads import get_model
+
+    rate = 300.0 if quick else 900.0
+    duration = 0.05 if quick else 0.15
+    requests = poisson_requests(rate_per_s=rate, duration_s=duration,
+                                prompt_len=128, output_tokens=16, seed=11)
+    recorder = RunRecorder(sample_every=8)
+    host = HostModel.for_platform("AMD+A100", replicas=4,
+                                  config=HostConfig(cores=4))
+    run = simulate_cluster(
+        requests, get_model("gpt2"),
+        LatencyModel(platform=get_platform("AMD+A100")),
+        policy=ContinuousBatchPolicy(max_active=8),
+        router="round-robin", replicas=4, recorder=recorder, host=host)
+    assert run.host is not None and run.host.stall_ns > 0, \
+        "scenario must contend for cores"
+    return sum(o.request.output_tokens for o in run.outcomes)
+
+
 _SCENARIOS = {
     "single_run": _scenario_single_run,
     "tp_sweep": _scenario_tp_sweep,
     "serve_kv_offload": _scenario_serve_kv_offload,
     "serve_chunked": _scenario_serve_chunked,
     "serve_cluster": _scenario_serve_cluster,
+    "serve_host_contention": _scenario_serve_host_contention,
 }
 
 

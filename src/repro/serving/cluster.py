@@ -55,6 +55,7 @@ from repro.sim.queue import EventQueue
 from repro.workloads.config import ModelConfig
 
 if TYPE_CHECKING:
+    from repro.host.model import HostModel
     from repro.kvcache.manager import KvCacheConfig
 
 
@@ -237,6 +238,7 @@ class ClusterRuntime:
         disagg_prompt_ratio: float = 4.0,
         queue: EventQueue | None = None,
         causality: CausalityLog | None = None,
+        host: HostModel | None = None,
     ) -> None:
         if not requests:
             raise ConfigurationError("no requests to serve")
@@ -259,8 +261,21 @@ class ClusterRuntime:
         self.core = SimCore(queue=queue, causality=causality)
         # Routing decisions are CPU dispatch work on the platform model;
         # a strictly positive cost is also what keeps router events and
-        # replica wake-ups off the same timestamp.
-        self.route_cost_ns = max(1.0, latency.platform.launch_call_cpu_ns)
+        # replica wake-ups off the same timestamp — so a platform whose
+        # launch-call cost is not positive is a broken configuration,
+        # not something to clamp over silently.
+        route_cost_ns = latency.platform.launch_call_cpu_ns
+        if route_cost_ns <= 0:
+            raise ConfigurationError(
+                f"platform {latency.platform.name} reports a non-positive "
+                f"launch_call_cpu_ns ({route_cost_ns}); the router cannot "
+                f"model a free dispatch decision")
+        self.route_cost_ns = route_cost_ns
+        # host=None is the infinite-CPU fast path; a HostModel makes the
+        # router and every replica contend for the host's finite cores.
+        self.host = host
+        if host is not None:
+            host.attach(self.core, recorder=recorder)
         self.router_thread = self.core.add_cpu_thread(name="router")
         self.devices_per_replica = (
             (latency.tp.degree if latency.tp else 1)
@@ -321,7 +336,10 @@ class ClusterRuntime:
                                          self.kv_config.block_tokens)
         session = EngineSession(replica=replica, thread=thread,
                                 devices=devices, recorder=self.recorder,
-                                kv=manager)
+                                kv=manager, host=self.host,
+                                numa_domain=(self.host.domain_for(replica)
+                                             if self.host is not None
+                                             else None))
         handle = ReplicaHandle(self, session)
         self.handles.append(handle)
         return handle
@@ -402,6 +420,12 @@ class ClusterRuntime:
                      * self.latency.platform.launch_call_cpu_ns)
         self.router_thread.occupy(spinup_ns)
         self.router_busy_ns += spinup_ns
+        if self.host is not None:
+            # Spin-up dispatch burns real cores: the booking delays
+            # replica grants, though the router itself never stalls (its
+            # event timing must stay ahead of the feed hint it publishes).
+            self.host.dispatch("router", ts_ns, spinup_ns,
+                               domain=self.host.router_domain)
         handle = self._make_replica()
         self._load.append(0.0)
         self.routed_per_replica.append(0)
@@ -423,6 +447,9 @@ class ClusterRuntime:
             replica = self._pick(request)
             self.router_thread.occupy(self.route_cost_ns)
             self.router_busy_ns += self.route_cost_ns
+            if self.host is not None:
+                self.host.dispatch("router", clock, self.route_cost_ns,
+                                   domain=self.host.router_domain)
             if request.request_id in self._routed_ids:
                 raise SimulationError(
                     f"request {request.request_id} routed twice")
@@ -493,6 +520,10 @@ class ClusterRuntime:
             # metadata reflects autoscaled replicas.
             self.recorder.on_cluster(self.router_policy.value, self.replicas,
                                      self._ids)
+            if self.host is not None:
+                # Likewise for the host block: the end-of-run core
+                # occupancy totals are what rule N004 conserves.
+                self.recorder.on_host(self.host.describe())
         return self.outcomes
 
     # ------------------------------------------------------------------
@@ -506,6 +537,7 @@ class ClusterRuntime:
             steps=s.steps,
             busy_ns=s.busy_ns,
             span_ns=s.span_ns,
+            cpu_busy_ns=s.thread.busy_ns,
         ) for s in self.sessions]
 
     def kv_stats(self) -> list[KvReplicaStats]:
@@ -556,6 +588,7 @@ def simulate_cluster(
     disagg_prompt_ratio: float = 4.0,
     queue: EventQueue | None = None,
     causality: CausalityLog | None = None,
+    host: HostModel | None = None,
 ) -> ClusterRunResult:
     """Serve a request stream through the router + replica-pool stack.
 
@@ -574,6 +607,11 @@ def simulate_cluster(
         queue / causality: Sim-core overrides for determinism
             certification and happens-before logging, exactly as in
             :func:`~repro.serving.runtime.simulate_serving`.
+        host: Optional finite-host CPU model
+            (:class:`repro.host.HostModel`): the router and every
+            replica then book their dispatch work on one shared core
+            pool. ``None`` keeps host CPU infinite, bit-identically to
+            prior behavior.
     """
     from repro.serving.batcher import ServingReport
     from repro.serving.continuous import (
@@ -603,7 +641,7 @@ def simulate_cluster(
         requests, model, latency, process=process, policy=policy,
         router=router, replicas=replicas, recorder=recorder, kv=kv,
         autoscale=autoscale, disagg_prompt_ratio=disagg_prompt_ratio,
-        queue=queue, causality=causality)
+        queue=queue, causality=causality, host=host)
     runtime.run()
     return ClusterRunResult(
         report=ServingReport(outcomes=list(runtime.outcomes)),
@@ -613,4 +651,5 @@ def simulate_cluster(
         devices_per_replica=runtime.devices_per_replica,
         kv=runtime.kv_stats(),
         router=runtime.router_stats(),
+        host=runtime.host.stats() if runtime.host is not None else None,
     )

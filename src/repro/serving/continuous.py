@@ -94,6 +94,10 @@ def continuous_batching_process(runtime: ServingRuntime,
     latency = runtime.latency
     model = runtime.model
     recorder = runtime.recorder
+    # Finite-host runs price each step's dispatch-CPU share so the
+    # session can book it on the contended core pool; the infinite-CPU
+    # path passes 0.0 and performs no extra lookups.
+    host = session.host
     planner = StepPlanner(PlannerConfig(chunk_tokens=policy.chunk_tokens),
                           max_active=policy.max_active)
     active: list[ChunkedSequenceState] = []
@@ -156,13 +160,15 @@ def continuous_batching_process(runtime: ServingRuntime,
             # ttft_ns lookup the pre-planner loop made (the parity anchor).
             prefill_ns = StepPlanner.chunk_cost_ns(latency, model,
                                                    len(batch), chunk)
-            session.execute(
+            clock += session.execute(
                 chunk.kind, clock, prefill_ns, len(batch),
                 queue_depth=queue.depth(clock) if recorder is not None else 0,
                 shape=EngineShape(model.name, len(batch), prompt_len)
                 if recorder is not None else None,
-                schedule_label=chunk.schedule_label)
-            clock += prefill_ns
+                schedule_label=chunk.schedule_label,
+                cpu_ns=StepPlanner.chunk_cpu_ns(latency, model, len(batch),
+                                                chunk)
+                if host is not None else 0.0)
         for request in batch:
             start_sequence(request, admitted_ns, len(batch))
 
@@ -170,11 +176,12 @@ def continuous_batching_process(runtime: ServingRuntime,
         """Execute one planned prompt chunk (BS=1 marginal-prefill cost)."""
         nonlocal clock
         chunk_ns = StepPlanner.chunk_cost_ns(latency, model, 1, chunk)
-        session.execute(
+        clock += session.execute(
             chunk.kind, clock, chunk_ns, 1,
             queue_depth=queue.depth(clock) if recorder is not None else 0,
-            shape=None, schedule_label=chunk.schedule_label)
-        clock += chunk_ns
+            shape=None, schedule_label=chunk.schedule_label,
+            cpu_ns=StepPlanner.chunk_cpu_ns(latency, model, 1, chunk)
+            if host is not None else 0.0)
         if chunk.is_last:
             request, admitted_ns = admitted.pop(chunk.request_id)
             start_sequence(request, admitted_ns, 1)
@@ -201,15 +208,17 @@ def continuous_batching_process(runtime: ServingRuntime,
             bucketed = (-(-context // policy.context_bucket)
                         * policy.context_bucket)
             step_ns = latency.decode_step_ns(model, len(active), bucketed)
-            session.execute(
+            clock += session.execute(
                 StepKind.DECODE, clock, step_ns, len(active),
                 queue_depth=queue.depth(clock) if recorder is not None else 0,
                 shape=EngineShape(model.name, len(active), 1,
                                   phase="decode", context_len=bucketed)
                 if recorder is not None else None,
-                schedule_label=decode_schedule_label(newly_joined))
+                schedule_label=decode_schedule_label(newly_joined),
+                cpu_ns=latency.decode_step_cpu_ns(model, len(active),
+                                                  bucketed)
+                if host is not None else 0.0)
             newly_joined.clear()
-            clock += step_ns
             step_batch = len(active)
             finished: list[ChunkedSequenceState] = []
             for seq in active:

@@ -320,6 +320,23 @@ class StepPlanner:
         return max(floor,
                    end - latency.ttft_ns(model, batch_size, chunk.start))
 
+    @staticmethod
+    def chunk_cpu_ns(latency: LatencyModel, model: ModelConfig,
+                     batch_size: int, chunk: PromptChunk) -> float:
+        """Marginal dispatch-CPU share of one chunk (host-contention runs).
+
+        The CPU analog of :meth:`chunk_cost_ns`: a whole-prompt chunk
+        books the prefill's full CPU busy time, a partial chunk the
+        difference of the two prefix CPU times, floored at one launch
+        call — a chunk step at minimum still dispatches one kernel.
+        """
+        end = latency.ttft_cpu_ns(model, batch_size,
+                                  chunk.start + chunk.length)
+        if chunk.is_first:
+            return end
+        return max(latency.platform.launch_call_cpu_ns,
+                   end - latency.ttft_cpu_ns(model, batch_size, chunk.start))
+
     # -- shared FIFO claim decision ------------------------------------
     @staticmethod
     def next_fifo_batch(queue: AdmissionQueue, now: float, limit: int,

@@ -49,6 +49,7 @@ from repro.sim.resources import CpuThread, GpuDevice
 from repro.workloads.config import ModelConfig
 
 if TYPE_CHECKING:
+    from repro.host.model import HostModel, HostStats
     from repro.kvcache.manager import KvCacheConfig, KvManager
     from repro.serving.batcher import ServingReport
 
@@ -211,6 +212,11 @@ class EngineSession:
     devices: list[GpuDevice]
     recorder: RunRecorder | None = None
     kv: KvManager | None = None
+    #: Finite-host CPU model (None = the classic infinite-CPU path, which
+    #: is bit-identical to a build without :mod:`repro.host`).
+    host: HostModel | None = None
+    #: NUMA domain this replica's dispatch is affine to (host runs only).
+    numa_domain: int | None = None
     schedule_items: dict[int, list[tuple]] = field(default_factory=dict)
     steps: int = 0
     requests: int = 0
@@ -229,7 +235,8 @@ class EngineSession:
     def execute(self, kind: StepKind, ts_ns: float, dur_ns: float,
                 batch_size: int, queue_depth: int = 0,
                 shape: EngineShape | None = None,
-                schedule_label: str | None = None) -> None:
+                schedule_label: str | None = None,
+                cpu_ns: float = 0.0) -> float:
         """Run one policy step on this replica's simulated hardware.
 
         Occupies the dispatch thread for the step, submits one covering
@@ -239,14 +246,34 @@ class EngineSession:
         steps also record a rendezvous joining all shards, mirroring how
         tensor-parallel execution keeps devices in lockstep.
 
+        Returns the step's *effective* duration, which the caller adds to
+        its clock. Without a host model that is exactly ``dur_ns`` — so
+        ``clock += session.execute(...)`` performs the same float
+        operations as the historical ``execute(...); clock += dur_ns``
+        (the parity anchor). With a host model attached, the step first
+        books its CPU share ``cpu_ns`` on the finite
+        :class:`~repro.host.CpuPool`: the grant's queueing stall delays
+        the whole step, and a remote-domain booking inflates the CPU
+        share by the host's NUMA penalty — both surface in the returned
+        duration and in the recorded step.
+
         ``schedule_label`` overrides the kernel name recorded in the
         checkable schedule (the chunked-prefill planner encodes chunk
         coordinates there for rule S007); the recorder stream is unaffected.
         """
         name = schedule_label or f"serving::{kind.value}"
-        self.thread.occupy(dur_ns)
+        start_ns = ts_ns
+        span_ns = dur_ns
+        if self.host is None:
+            self.thread.occupy(dur_ns)
+        else:
+            grant = self.host.dispatch(f"replica{self.replica}", ts_ns,
+                                       cpu_ns, domain=self.numa_domain)
+            start_ns = grant.start_ns
+            span_ns = dur_ns + (grant.cpu_ns - cpu_ns)
+            self.thread.occupy(span_ns)
         for device in self.devices:
-            device.compute_stream.submit(ts_ns, dur_ns)
+            device.compute_stream.submit(start_ns, span_ns)
             items = self.schedule_items[device.index]
             items.append(("kernel", name))
             if self.world > 1:
@@ -254,10 +281,11 @@ class EngineSession:
                               f"replica{self.replica}.step{self.steps}",
                               self.world))
         if self.recorder is not None:
-            self.recorder.record_step(kind, ts_ns, dur_ns, batch_size,
+            self.recorder.record_step(kind, start_ns, span_ns, batch_size,
                                       queue_depth=queue_depth, shape=shape,
                                       replica=self.replica)
         self.steps += 1
+        return (start_ns - ts_ns) + span_ns
 
     @property
     def busy_ns(self) -> float:
@@ -283,6 +311,9 @@ class ReplicaStats:
     steps: int
     busy_ns: float
     span_ns: float
+    #: Dispatch-thread occupancy (CpuThread.busy_ns) — the CPU side of the
+    #: replica, surfaced in the `repro serve` summary and timeline lanes.
+    cpu_busy_ns: float = 0.0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -295,6 +326,13 @@ class ReplicaStats:
         if self.span_ns <= 0:
             return 0.0
         return self.busy_ns / self.span_ns
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Dispatch-thread busy fraction over the replica's span."""
+        if self.span_ns <= 0:
+            return 0.0
+        return self.cpu_busy_ns / self.span_ns
 
 
 @dataclass(frozen=True)
@@ -337,6 +375,7 @@ class ServingRuntime:
         kv: KvCacheConfig | None = None,
         queue: EventQueue | None = None,
         causality: CausalityLog | None = None,
+        host: HostModel | None = None,
     ) -> None:
         if replicas <= 0:
             raise ConfigurationError("replicas must be positive")
@@ -355,6 +394,12 @@ class ServingRuntime:
         # kv=None (or policy NONE) builds no manager at all: the default
         # path stays bit-identical to pre-kvcache serving.
         self.kv_config = kv if kv is not None and kv.enabled else None
+        # host=None is the infinite-CPU fast path (bit-identical to a
+        # build without repro.host); a HostModel makes dispatch CPU a
+        # finite resource the replicas contend for.
+        self.host = host
+        if host is not None:
+            host.attach(self.core, recorder=recorder)
         self.sessions: list[EngineSession] = []
         for replica in range(replicas):
             thread = self.core.add_cpu_thread(name=f"serve{replica}")
@@ -374,7 +419,9 @@ class ServingRuntime:
                                         self.kv_config.block_tokens)
             self.sessions.append(EngineSession(
                 replica=replica, thread=thread, devices=devices,
-                recorder=recorder, kv=manager))
+                recorder=recorder, kv=manager, host=host,
+                numa_domain=(host.domain_for(replica)
+                             if host is not None else None)))
         self.outcomes: list[RequestOutcome] = []
 
     @property
@@ -432,6 +479,10 @@ class ServingRuntime:
                 raise SimulationError(
                     f"replica {session.replica} left {session.kv.host_blocks}"
                     f" KV blocks stranded in host memory at run end")
+        if self.host is not None and self.recorder is not None:
+            # Re-register with the end-of-run core occupancy totals so
+            # the exported metadata carries what rule N004 conserves.
+            self.recorder.on_host(self.host.describe())
         return self.outcomes
 
     def replica_stats(self) -> list[ReplicaStats]:
@@ -442,6 +493,7 @@ class ServingRuntime:
             steps=s.steps,
             busy_ns=s.busy_ns,
             span_ns=s.span_ns,
+            cpu_busy_ns=s.thread.busy_ns,
         ) for s in self.sessions]
 
     def kv_stats(self) -> list[KvReplicaStats]:
@@ -478,6 +530,9 @@ class ServingRunResult:
     sessions: list[EngineSession]
     devices_per_replica: int
     kv: list[KvReplicaStats] = field(default_factory=list)
+    #: Host CPU accounting when the run contended for a finite host
+    #: (``host=...``); None on the classic infinite-CPU path.
+    host: "HostStats | None" = None
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -548,6 +603,7 @@ def simulate_serving(
     kv: KvCacheConfig | None = None,
     queue: EventQueue | None = None,
     causality: CausalityLog | None = None,
+    host: HostModel | None = None,
 ) -> ServingRunResult:
     """Serve an arrival stream with any policy on the sim-backed runtime.
 
@@ -567,12 +623,24 @@ def simulate_serving(
             certification); None = the production FIFO-tie-break queue.
         causality: Optional happens-before log the run records into
             (``repro check hb`` consumes it); None = no logging.
+        host: Optional finite-host CPU model
+            (:class:`repro.host.HostModel`). Replicas then book every
+            step's dispatch CPU share on the shared core pool and pay
+            queueing stalls plus NUMA penalties; ``None`` keeps dispatch
+            CPU free and infinite, bit-identically to prior behavior.
+            Only the continuous-batching policy family prices per-step
+            CPU shares, so other policies require ``host=None``.
     """
     from repro.serving.batcher import ServingReport
     from repro.serving.continuous import ContinuousBatchPolicy
 
     if policy is None:
         policy = ContinuousBatchPolicy()
+    if host is not None and not isinstance(policy, ContinuousBatchPolicy):
+        raise ConfigurationError(
+            f"host CPU contention requires continuous batching "
+            f"(only that policy family prices per-step CPU shares); "
+            f"got {type(policy).__name__}")
     if kv is not None and kv.enabled:
         if not isinstance(policy, ContinuousBatchPolicy):
             raise ConfigurationError(
@@ -586,7 +654,7 @@ def simulate_serving(
     plain, tags = _normalize(requests)
     runtime = ServingRuntime(plain, model, latency, recorder=recorder,
                              replicas=replicas, tags=tags or None, kv=kv,
-                             queue=queue, causality=causality)
+                             queue=queue, causality=causality, host=host)
     runtime.run(lambda rt, session: process(rt, session, policy))
     return ServingRunResult(
         report=ServingReport(outcomes=list(runtime.outcomes)),
@@ -595,4 +663,5 @@ def simulate_serving(
         sessions=runtime.sessions,
         devices_per_replica=runtime.devices_per_replica,
         kv=runtime.kv_stats(),
+        host=runtime.host.stats() if runtime.host is not None else None,
     )

@@ -8,9 +8,11 @@ is resumed with the simulation time at which the request was granted:
   a collective; the process resumes once every party has joined, at the
   maximum of all ``ready_ns`` values (the time the collective can start);
 * ``("acquire", resource, owner, blocks, ready_ns)`` — block until a
-  registered :class:`repro.kvcache.KvCacheResource` can grant ``blocks``
-  KV blocks to ``owner`` (FIFO among waiters);
-* ``("release", resource, owner, ready_ns)`` — free every block ``owner``
+  registered resource (a :class:`repro.kvcache.KvCacheResource` granting
+  KV blocks, or a :class:`repro.host.CpuPool` granting whole-core
+  reservations) can grant ``blocks`` units to ``owner`` (FIFO among
+  waiters);
+* ``("release", resource, owner, ready_ns)`` — free every unit ``owner``
   holds on ``resource``, waking eligible waiters.
 
 A process that never yields simply runs to completion on its first
@@ -27,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Hashable, Iterable
 
 if TYPE_CHECKING:  # avoids a cycle: repro.kvcache builds on this module.
+    from repro.host.pool import CpuPool
     from repro.kvcache.resource import KvCacheResource
 
 from repro.errors import SimulationError
@@ -104,6 +107,7 @@ class SimCore:
         self.devices: list[GpuDevice] = []
         self.link: LinkResource | None = None
         self.kv_resources: list[KvCacheResource] = []
+        self.host_pools: list[CpuPool] = []
         self.now = 0.0
         self.events_processed = 0
 
@@ -140,6 +144,16 @@ class SimCore:
         resource.bind(self._queue, causality=self._causality)
         self.kv_resources.append(resource)
         return resource
+
+    def add_host_pool(self, pool: CpuPool) -> CpuPool:
+        """Register a host CPU pool so processes can book and reserve
+        cores on it. Binding mirrors :meth:`add_kv_resource`: the pool
+        gets the event queue (reservation releases wake other processes'
+        waiters) and the causality log (bookings record ``occupy``
+        intervals on ``host.core<i>`` labels)."""
+        pool.bind(self._queue, causality=self._causality)
+        self.host_pools.append(pool)
+        return pool
 
     def streams(self) -> list[StreamResource]:
         """Every device's compute stream, in device order."""
@@ -237,9 +251,10 @@ class SimCore:
                 f"deadlock: rendezvous never completed: {incomplete[:3]}")
         starved = [resource.name for resource in self.kv_resources
                    if resource.waiters]
+        starved += [pool.name for pool in self.host_pools if pool.waiters]
         if starved:
             raise SimulationError(
-                f"deadlock: kv acquisitions never granted on: {starved[:3]}")
+                f"deadlock: acquisitions never granted on: {starved[:3]}")
 
     def _step(self, process: Process, resume_ns: float) -> None:
         try:

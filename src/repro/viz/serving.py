@@ -100,7 +100,8 @@ def render_serving_timeline(
             if left < col_begin + column_ns and right > col_begin:
                 active[col] += 1
 
-    label_width = max(len("active"),
+    label_width = max(len("host cpu") if recorder.host_grants
+                      else len("active"),
                       *(len(lane_label(replica, kind))
                         for replica, kind in lane_order))
     lines = [f"serving timeline {format_ns(begin)} .. {format_ns(end)} "
@@ -110,6 +111,21 @@ def render_serving_timeline(
                      + "".join(lanes[(replica, kind)]))
     lines.append(f"{'active':<{label_width}} " + _profile_chars(active))
     lines.append(f"{'queue':<{label_width}} " + _profile_chars(queue))
+    if recorder.host_grants:
+        # Host-contention runs: busy host cores per column, so dispatch-CPU
+        # saturation is visible alongside the step lanes it throttles.
+        busy_cores: list[set[int]] = [set() for _ in range(width)]
+        for grant in recorder.host_grants:
+            if grant["end_ns"] < begin or grant["start_ns"] > end:
+                continue
+            first = max(0, min(width - 1,
+                               int((grant["start_ns"] - begin) * scale)))
+            last = max(first, min(width - 1,
+                                  int((grant["end_ns"] - begin) * scale)))
+            for col in range(first, last + 1):
+                busy_cores[col].add(int(grant["core"]))
+        lines.append(f"{'host cpu':<{label_width}} "
+                     + _profile_chars([len(cores) for cores in busy_cores]))
     legend = "   ".join(f"{char} {kind.value}"
                         for kind, char in _KIND_CHARS.items()
                         if kind in kinds)

@@ -10,15 +10,15 @@ from repro.check import CheckReport, Finding, RULES, Severity, register_rule
 # fully populated here.
 
 
-def test_registry_covers_all_seven_passes():
+def test_registry_covers_all_eight_passes():
     passes = {rule.pass_name for rule in RULES.values()}
     assert passes == {"graph", "schedule", "trace", "code", "kv", "hb",
-                      "cluster"}
+                      "cluster", "host"}
 
 
 def test_rule_ids_follow_pass_prefix():
     prefix = {"graph": "G", "schedule": "S", "trace": "T", "code": "C",
-              "kv": "K", "hb": "H", "cluster": "R"}
+              "kv": "K", "hb": "H", "cluster": "R", "host": "N"}
     for rule in RULES.values():
         assert rule.rule_id.startswith(prefix[rule.pass_name])
         assert rule.rule_id[1:].isdigit()

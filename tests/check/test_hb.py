@@ -338,7 +338,7 @@ def test_h008_silent_for_deterministic_scenario():
 # ----------------------------------------------------------------------
 def test_canonical_scenario_registry():
     assert [s.name for s in CANONICAL_SCENARIOS] == [
-        "mixed-stream", "pp-kv-offload", "cluster"]
+        "mixed-stream", "pp-kv-offload", "cluster", "host-contention"]
     assert get_scenario("mixed-stream") is CANONICAL_SCENARIOS[0]
     with pytest.raises(ConfigurationError, match="unknown hb scenario"):
         get_scenario("nope")

@@ -1,0 +1,156 @@
+"""N-rules: core exclusivity, NUMA affinity, FIFO replay, conservation."""
+
+from repro.check import check_host_metadata
+
+
+def _grant(owner, core, domain, start, end, remote=False):
+    return {"owner": owner, "core": core, "domain": domain,
+            "start_ns": float(start), "end_ns": float(end),
+            "cpu_ns": float(end - start), "remote": remote,
+            "requested_ns": float(start)}
+
+
+def _meta(grants=(), cores=None, pinned=False, numa=None):
+    grants = [dict(g) for g in grants]
+    if cores is None:
+        busy: dict[int, float] = {}
+        for g in grants:
+            busy[g["core"]] = (busy.get(g["core"], 0.0)
+                               + g["end_ns"] - g["start_ns"])
+        layout = {0: 0, 1: 0, 2: 1, 3: 1}
+        cores = [{"index": i, "domain": d, "busy_ns": busy.get(i, 0.0),
+                  "grants": sum(1 for g in grants if g["core"] == i)}
+                 for i, d in layout.items()]
+    return {"name": "host", "platform": "AMD+A100", "remote_penalty": 1.3,
+            "pinned": pinned, "numa_override": numa, "cores": cores,
+            "replica_domains": {"0": [0, 2], "1": [1, 3]},
+            "grants": grants}
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Clean logs
+# ----------------------------------------------------------------------
+def test_clean_schedule_has_no_findings():
+    meta = _meta([
+        _grant("replica0", 0, 0, 0, 10),
+        _grant("replica1", 2, 1, 0, 10),
+        _grant("router", 1, 0, 2, 3),
+        _grant("replica0", 0, 0, 10, 25),
+    ])
+    assert check_host_metadata(meta) == []
+
+
+def test_empty_host_block_is_clean():
+    assert check_host_metadata(_meta()) == []
+
+
+# ----------------------------------------------------------------------
+# N001 — core exclusivity
+# ----------------------------------------------------------------------
+def test_n001_overlapping_grants_on_one_core():
+    meta = _meta([
+        _grant("replica0", 0, 0, 0, 10),
+        _grant("replica2", 0, 0, 6, 12),  # starts before core 0 frees
+    ])
+    findings = check_host_metadata(meta)
+    assert "N001" in _rule_ids(findings)
+    assert any("overlap" in f.message for f in findings)
+
+
+def test_n001_back_to_back_grants_are_legal():
+    meta = _meta([
+        _grant("replica0", 0, 0, 0, 10),
+        _grant("replica2", 0, 0, 10, 12),
+    ])
+    assert "N001" not in _rule_ids(check_host_metadata(meta))
+
+
+# ----------------------------------------------------------------------
+# N002 — NUMA affinity
+# ----------------------------------------------------------------------
+def test_n002_local_grant_off_its_home_domain():
+    meta = _meta([_grant("replica0", 2, 1, 0, 10)])  # home is domain 0
+    findings = check_host_metadata(meta)
+    assert _rule_ids(findings) == {"N002"}
+    assert "home domain is 0" in findings[0].message
+
+
+def test_n002_remote_grant_is_a_priced_spill_not_a_violation():
+    meta = _meta([_grant("replica0", 2, 1, 0, 10, remote=True)])
+    assert check_host_metadata(meta) == []
+
+
+def test_n002_pinned_run_forbids_remote_grants():
+    meta = _meta([_grant("replica0", 2, 1, 0, 10, remote=True)],
+                 pinned=True)
+    findings = check_host_metadata(meta)
+    assert _rule_ids(findings) == {"N002"}
+    assert "--pin" in findings[0].message
+
+
+def test_n002_numa_override_moves_every_home():
+    # With --numa 1 even replica0 and the router belong to domain 1.
+    meta = _meta([
+        _grant("replica0", 2, 1, 0, 10),
+        _grant("router", 3, 1, 0, 5),
+    ], numa=1)
+    assert check_host_metadata(meta) == []
+    meta = _meta([_grant("router", 0, 0, 0, 5)], numa=1)
+    assert _rule_ids(check_host_metadata(meta)) == {"N002"}
+
+
+def test_n002_autoscaled_replica_without_home_is_skipped():
+    # replica9 is not in replica_domains: scaled out mid-run, no home.
+    meta = _meta([_grant("replica9", 3, 1, 0, 10)])
+    assert check_host_metadata(meta) == []
+
+
+# ----------------------------------------------------------------------
+# N003 — deterministic replay order
+# ----------------------------------------------------------------------
+def test_n003_out_of_order_starts_on_one_core():
+    meta = _meta([
+        _grant("replica0", 0, 0, 50, 60),
+        _grant("replica2", 0, 0, 10, 20),  # logged after, starts before
+    ])
+    assert "N003" in _rule_ids(check_host_metadata(meta))
+
+
+def test_n003_interleaved_cores_are_fine():
+    meta = _meta([
+        _grant("replica0", 0, 0, 50, 60),
+        _grant("replica1", 2, 1, 10, 20),  # earlier, but another core
+    ])
+    assert check_host_metadata(meta) == []
+
+
+# ----------------------------------------------------------------------
+# N004 — core-time conservation
+# ----------------------------------------------------------------------
+def test_n004_busy_total_must_match_grant_log():
+    grants = [_grant("replica0", 0, 0, 0, 10)]
+    meta = _meta(grants)
+    meta["cores"][0]["busy_ns"] = 25.0
+    findings = check_host_metadata(meta)
+    assert _rule_ids(findings) == {"N004"}
+    assert "grant log sums" in findings[0].message
+
+
+def test_n004_grants_on_an_unlisted_core():
+    meta = _meta([_grant("replica0", 7, 0, 0, 10)])
+    findings = check_host_metadata(meta)
+    assert "N004" in _rule_ids(findings)
+    assert any("does not list" in f.message for f in findings)
+
+
+def test_findings_carry_location_context():
+    meta = _meta([
+        _grant("replica0", 0, 0, 0, 10),
+        _grant("replica2", 0, 0, 6, 12),
+    ])
+    findings = check_host_metadata(meta, where="trace.json host")
+    assert all(f.location.startswith("trace.json host") for f in findings)

@@ -1,0 +1,111 @@
+"""Host topology catalog: sockets, NUMA domains, and GPU affinity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    HOST_SPECS,
+    GH200,
+    HostSpec,
+    NumaDomain,
+    PAPER_PLATFORMS,
+    host_for,
+)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_domain_rejects_negative_index_and_cores():
+    with pytest.raises(ConfigurationError):
+        NumaDomain(index=-1, cores=4)
+    with pytest.raises(ConfigurationError):
+        NumaDomain(index=0, cores=-1)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"sockets": 0},
+    {"cores_per_socket": 0},
+    {"remote_penalty": 0.9},
+])
+def test_spec_rejects_bad_shapes(kwargs):
+    base = dict(name="h", platform="P", sockets=2, cores_per_socket=8)
+    with pytest.raises(ConfigurationError):
+        HostSpec(**{**base, **kwargs})
+
+
+def test_domains_for_rejects_bad_arguments():
+    spec = HOST_SPECS["AMD+A100"]
+    with pytest.raises(ConfigurationError):
+        spec.domains_for(0)
+    with pytest.raises(ConfigurationError):
+        spec.domains_for(4, cores_override=-1)
+    with pytest.raises(ConfigurationError, match="cannot populate"):
+        spec.domains_for(4, cores_override=1)  # 2 sockets need >= 2 cores
+
+
+def test_domain_of_gpu_rejects_negative_ordinal():
+    with pytest.raises(ConfigurationError):
+        HOST_SPECS["GH200"].domain_of_gpu(-1)
+
+
+# ----------------------------------------------------------------------
+# Fixed (shared-socket) hosts
+# ----------------------------------------------------------------------
+def test_fixed_host_presents_cataloged_sockets():
+    spec = HOST_SPECS["AMD+A100"]
+    domains = spec.domains_for(4)
+    assert [d.index for d in domains] == [0, 1]
+    assert all(d.cores == 16 for d in domains)
+    # Riser layout: GPUs round-robin across the sockets.
+    assert domains[0].gpus == (0, 2)
+    assert domains[1].gpus == (1, 3)
+    assert spec.total_cores == 32
+    assert [spec.domain_of_gpu(g) for g in range(4)] == [0, 1, 0, 1]
+
+
+def test_fixed_host_core_override_spreads_with_spill():
+    domains = HOST_SPECS["AMD+A100"].domains_for(2, cores_override=5)
+    # 5 cores over 2 sockets: the spill core lands on domain 0.
+    assert [d.cores for d in domains] == [3, 2]
+
+
+def test_fixed_host_grows_domains_with_more_gpus_not_sockets():
+    domains = HOST_SPECS["Intel+H100"].domains_for(8)
+    assert len(domains) == 2
+    assert domains[0].gpus == (0, 2, 4, 6)
+
+
+# ----------------------------------------------------------------------
+# Per-GPU (coupled) hosts
+# ----------------------------------------------------------------------
+def test_coupled_host_brings_one_domain_per_replica():
+    spec = HOST_SPECS["GH200"]
+    domains = spec.domains_for(3)
+    assert [d.index for d in domains] == [0, 1, 2]
+    assert all(d.cores == 72 for d in domains)
+    assert [d.gpus for d in domains] == [(0,), (1,), (2,)]
+    assert spec.domain_of_gpu(5) == 5
+
+
+def test_coupled_host_override_is_per_domain():
+    domains = HOST_SPECS["GH200"].domains_for(2, cores_override=4)
+    assert [d.cores for d in domains] == [4, 4]
+
+
+# ----------------------------------------------------------------------
+# Catalog lookups
+# ----------------------------------------------------------------------
+def test_every_paper_platform_has_a_host():
+    for platform in PAPER_PLATFORMS:
+        assert host_for(platform).platform == platform.name
+
+
+def test_host_for_accepts_platform_or_name():
+    assert host_for(GH200) is host_for("GH200")
+    assert host_for("GH200").per_gpu_domains
+
+
+def test_host_for_unknown_platform_names_the_catalog():
+    with pytest.raises(ConfigurationError, match="GH200"):
+        host_for("TPUv9")

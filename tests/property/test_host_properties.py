@@ -1,0 +1,189 @@
+"""Hypothesis properties for the finite-host CPU subsystem.
+
+Randomized dispatch plans against :class:`repro.host.CpuPool` check the
+scheduler's core invariants (conservation, exclusivity, monotone per-core
+replay, remote pricing); :class:`repro.host.HostModel` metadata round-trips
+through the N-rules; and a contended cluster run stays outcome-identical
+under the adversarial tie-break queue.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import check_host_metadata
+from repro.hardware import get_platform, host_for
+from repro.host import HostConfig, HostModel, pool_from_domains
+from repro.serving.cluster import RouterPolicy, simulate_cluster
+from repro.serving.latency import LatencyModel
+from repro.serving.requests import poisson_requests
+from repro.sim.queue import PerturbedEventQueue
+from repro.workloads import GPT2
+
+AMD = get_platform("AMD+A100")
+LATENCY = LatencyModel(platform=AMD)
+
+
+@st.composite
+def dispatch_plans(draw):
+    """A pool shape plus a random sequence of dispatch requests."""
+    n_domains = draw(st.integers(min_value=1, max_value=3))
+    shape = [(d, draw(st.integers(min_value=1, max_value=3)))
+             for d in range(n_domains)]
+    penalty = draw(st.floats(min_value=1.0, max_value=2.0))
+    calls = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=n_domains - 1),  # domain
+            st.floats(min_value=0.0, max_value=1e6),            # ts_ns
+            st.floats(min_value=0.0, max_value=1e4),            # cpu_ns
+            st.booleans(),                                      # pinned
+        ),
+        min_size=1, max_size=40))
+    return shape, penalty, calls
+
+
+def _replay(plan):
+    shape, penalty, calls = plan
+    pool = pool_from_domains(shape, remote_penalty=penalty)
+    grants = []
+    for domain, ts, cpu, pinned in calls:
+        grants.append((pool.dispatch(f"replica{domain}", ts, cpu,
+                                     domain=domain, pinned=pinned),
+                       ts, cpu, pinned))
+    return pool, grants
+
+
+@given(plan=dispatch_plans())
+@settings(max_examples=60, deadline=None)
+def test_core_time_is_conserved(plan):
+    pool, grants = _replay(plan)
+    booked = sum(g.cpu_ns for g, *_ in grants)
+    assert pool.busy_ns == sum(c.busy_ns for c in pool.cores)
+    assert abs(pool.busy_ns - booked) <= 1e-6 * max(booked, 1.0)
+    for core in pool.cores:
+        spans = sum(g.end_ns - g.start_ns for g, *_ in grants
+                    if g.core == core.index)
+        assert abs(core.busy_ns - spans) <= 1e-6 * max(spans, 1.0)
+        assert core.grants == sum(1 for g, *_ in grants
+                                  if g.core == core.index)
+
+
+@given(plan=dispatch_plans())
+@settings(max_examples=60, deadline=None)
+def test_no_core_runs_two_grants_at_once(plan):
+    _, grants = _replay(plan)
+    by_core = {}
+    for grant, *_ in grants:
+        by_core.setdefault(grant.core, []).append(grant)
+    for booked in by_core.values():
+        # Issue order is already start order (N003): the free_at
+        # watermark only advances.
+        for prev, cur in zip(booked, booked[1:]):
+            assert cur.start_ns >= prev.end_ns
+
+
+@given(plan=dispatch_plans())
+@settings(max_examples=60, deadline=None)
+def test_grants_never_start_early_and_price_remote_spill(plan):
+    shape, penalty, _ = plan
+    _, grants = _replay(plan)
+    for grant, ts, cpu, pinned in grants:
+        assert grant.start_ns >= ts
+        assert grant.end_ns == grant.start_ns + grant.cpu_ns
+        if grant.remote:
+            assert not pinned
+            assert abs(grant.cpu_ns - cpu * penalty) <= 1e-9 * max(cpu, 1.0)
+        else:
+            assert grant.cpu_ns == cpu
+    # A pinned booking may stall but never leaves its domain.
+    domain_of = {}
+    for domain, count in shape:
+        for _ in range(count):
+            domain_of[len(domain_of)] = domain
+    for grant, _, _, pinned in grants:
+        if pinned:
+            assert domain_of[grant.core] == grant.domain
+
+
+@st.composite
+def host_plans(draw):
+    """Dispatch traffic shaped like a serving run on a cataloged host."""
+    replicas = draw(st.integers(min_value=1, max_value=4))
+    pin = draw(st.booleans())
+    cores = draw(st.integers(min_value=2, max_value=6))
+    owners = st.one_of(
+        st.integers(min_value=0, max_value=replicas - 1).map(
+            lambda r: f"replica{r}"),
+        st.just("router"))
+    calls = draw(st.lists(
+        st.tuples(owners,
+                  st.floats(min_value=0.0, max_value=1e6),
+                  st.floats(min_value=0.0, max_value=1e4)),
+        min_size=1, max_size=30))
+    return replicas, pin, cores, calls
+
+
+@given(plan=host_plans())
+@settings(max_examples=40, deadline=None)
+def test_host_metadata_replays_clean_through_the_n_rules(plan):
+    replicas, pin, cores, calls = plan
+    host = HostModel(host_for(AMD), replicas,
+                     config=HostConfig(cores=cores, pin=pin))
+    recorded = []
+    for owner, ts, cpu in calls:
+        domain = (host.router_domain if owner == "router"
+                  else host.domain_for(int(owner.removeprefix("replica"))))
+        grant = host.dispatch(owner, ts, cpu, domain=domain)
+        recorded.append({"owner": grant.owner, "core": grant.core,
+                         "domain": grant.domain, "start_ns": grant.start_ns,
+                         "end_ns": grant.end_ns, "cpu_ns": grant.cpu_ns,
+                         "remote": grant.remote, "requested_ns": ts})
+    meta = {**host.describe(), "grants": recorded}
+    assert check_host_metadata(meta) == []
+    assert host.grants == len(calls)
+    assert host.stall_ns >= 0.0
+    if pin:
+        assert host.remote_grants == 0
+
+
+@given(plan=host_plans())
+@settings(max_examples=25, deadline=None)
+def test_injected_over_occupancy_is_flagged(plan):
+    replicas, pin, cores, calls = plan
+    host = HostModel(host_for(AMD), replicas,
+                     config=HostConfig(cores=cores, pin=pin))
+    recorded = []
+    for owner, ts, cpu in calls:
+        domain = (host.router_domain if owner == "router"
+                  else host.domain_for(int(owner.removeprefix("replica"))))
+        grant = host.dispatch(owner, ts, cpu + 1.0, domain=domain)
+        recorded.append({"owner": grant.owner, "core": grant.core,
+                         "domain": grant.domain, "start_ns": grant.start_ns,
+                         "end_ns": grant.end_ns, "cpu_ns": grant.cpu_ns,
+                         "remote": grant.remote, "requested_ns": ts})
+    # Double-book the first grant: same core, overlapping window.
+    clone = dict(recorded[0])
+    clone["owner"] = "replica0"
+    clone["start_ns"] += (clone["end_ns"] - clone["start_ns"]) / 2
+    meta = {**host.describe(), "grants": [*recorded, clone]}
+    rules = {f.rule_id for f in check_host_metadata(meta)}
+    assert "N001" in rules
+    assert "N004" in rules  # the cloned time is not in the busy totals
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       replicas=st.integers(min_value=2, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_contended_cluster_is_tiebreak_deterministic(seed, replicas):
+    requests = poisson_requests(rate_per_s=250.0, duration_s=0.03,
+                                prompt_len=96, output_tokens=8, seed=seed)
+
+    def run(queue=None):
+        host = HostModel.for_platform(AMD, replicas=replicas,
+                                      config=HostConfig(cores=replicas))
+        result = simulate_cluster(
+            requests, GPT2, LATENCY, router=RouterPolicy.ROUND_ROBIN,
+            replicas=replicas, host=host, queue=queue)
+        return [(o.request.request_id, o.ttft_ns, o.completion_ns,
+                 o.batch_size, o.replica) for o in result.outcomes]
+
+    assert run() == run(queue=PerturbedEventQueue())

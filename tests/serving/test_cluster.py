@@ -133,6 +133,23 @@ def test_cluster_requires_continuous_batching():
                          policy=StaticBatchPolicy(max_batch_size=4))
 
 
+def test_non_positive_launch_cost_rejected_not_clamped():
+    # The router prices each decision at launch_call_cpu_ns; a platform
+    # reporting a free dispatch is a broken configuration, not something
+    # to clamp to 1ns silently.
+    class _FreeDispatchPlatform:
+        name = "free-dispatch"
+        launch_call_cpu_ns = 0.0
+
+    class _FreeDispatchLatency:
+        platform = _FreeDispatchPlatform()
+
+    with pytest.raises(ConfigurationError, match="launch_call_cpu_ns"):
+        ClusterRuntime(_simple_stream(4), GPT2, _FreeDispatchLatency(),
+                       process=None, policy=ContinuousBatchPolicy(),
+                       replicas=2)
+
+
 def test_empty_stream_rejected():
     with pytest.raises(ConfigurationError, match="no requests"):
         simulate_cluster([], GPT2, LatencyModel(platform=GH200))

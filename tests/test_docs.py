@@ -74,15 +74,15 @@ def test_readme_mentions_emit_trace_quickstart():
 def test_static_analysis_doc_covers_every_rule():
     """Every registered check rule is documented, and vice versa.
 
-    K-rules are tabled in docs/kvcache.md and R-rules in docs/cluster.md,
-    next to the subsystems they verify; everything else lives in
-    docs/static-analysis.md.
+    K-rules are tabled in docs/kvcache.md, R-rules in docs/cluster.md,
+    and N-rules in docs/host.md, next to the subsystems they verify;
+    everything else lives in docs/static-analysis.md.
     """
     from repro.check import RULES
 
     text = (_read("docs/static-analysis.md") + _read("docs/kvcache.md")
-            + _read("docs/cluster.md"))
-    documented = set(re.findall(r"^\| ([GSTCKHR]\d{3}) \|", text,
+            + _read("docs/cluster.md") + _read("docs/host.md"))
+    documented = set(re.findall(r"^\| ([GSTCKHRN]\d{3}) \|", text,
                                 re.MULTILINE))
     assert documented == set(RULES)
 
@@ -258,6 +258,67 @@ def test_serving_doc_covers_chunked_prefill_and_pp():
                               "--pp", "2", "--pp-microbatches", "2"])
     assert args.chunk_tokens == 256
     assert args.pp == 2 and args.pp_microbatches == 2
+
+
+def test_host_doc_matches_api():
+    text = _read("docs/host.md")
+    import repro.host as host
+    import repro.hardware as hardware
+    for name in ("HostSpec", "HOST_SPECS", "host_for"):
+        assert name in text
+        assert hasattr(hardware, name), name
+    for name in ("CpuPool", "CoreGrant", "HostModel", "HostConfig",
+                 "HostStats"):
+        assert name in text
+        assert hasattr(host, name), name
+    import repro.analysis as analysis
+    for name in ("run_replicas_per_host", "scaled_host_spec"):
+        assert name in text
+        assert hasattr(analysis, name), name
+    for token in ("--host-cores", "--numa", "--pin", "repro hostsweep",
+                  "remote_penalty", "cpu_utilization", "host-contention"):
+        assert token in text, token
+
+
+def test_host_doc_rule_table_matches_registry():
+    """The N-rule table in docs/host.md covers exactly the N rules."""
+    from repro.check import RULES
+
+    text = _read("docs/host.md")
+    documented = set(re.findall(r"^\| (N\d{3}) \|", text, re.MULTILINE))
+    registered = {rule for rule in RULES if rule.startswith("N")}
+    assert documented == registered
+
+
+def test_host_doc_is_linked():
+    assert "host.md" in _read("README.md")
+    assert "host.md" in _read("docs/architecture.md")
+    assert "host.md" in _read("docs/serving.md")
+    assert "host.md" in _read("docs/static-analysis.md")
+    assert "host.md" in _read("docs/performance.md")
+    assert (ROOT / "docs/host.md").exists()
+
+
+def test_host_doc_flags_exist():
+    """The CLI flags the host doc advertises are real."""
+    import repro.cli as cli
+
+    parser = cli.build_parser()
+    args = parser.parse_args([
+        "serve", "--replicas", "4", "--host-cores", "8",
+        "--numa", "1", "--pin"])
+    assert args.host_cores == 8
+    assert args.numa == 1 and args.pin
+    sweep = parser.parse_args(["hostsweep", "--scale", "8",
+                               "--knee-fraction", "0.4"])
+    assert sweep.scale == 8
+    assert sweep.knee_fraction == 0.4
+
+
+def test_host_doc_test_references_exist():
+    text = _read("docs/host.md")
+    for match in re.findall(r"`(tests/[\w/]+\.py)`", text):
+        assert (ROOT / match).exists(), match
 
 
 def test_performance_doc_flags_exist():
